@@ -1,0 +1,52 @@
+//! Benchmark the Figure 4 machinery: predicting the optimal time of all
+//! three layouts across node counts via the enumeration optimizer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hslb::whatif::predict_layout_scaling;
+use hslb::{ExhaustiveOptimizer, Hslb, HslbOptions, Objective};
+use hslb_bench::simulator_for;
+use hslb_cesm::{Layout, Resolution, ResolutionConfig};
+
+fn bench_figure4(c: &mut Criterion) {
+    let sim = simulator_for(Resolution::OneDegree, true);
+    let h = Hslb::new(&sim, HslbOptions::new(2048));
+    let fits = h.fit(&h.gather()).expect("fit");
+    let ocean = ResolutionConfig::one_degree_ocean_set();
+    let atm = ResolutionConfig::one_degree_atm_set();
+
+    c.bench_function("fig4_all_layouts_5_sizes", |b| {
+        b.iter(|| {
+            let pred = predict_layout_scaling(
+                &fits,
+                &[128, 256, 512, 1024, 2048],
+                Some(&ocean),
+                Some(&atm),
+            );
+            std::hint::black_box(pred.len())
+        })
+    });
+
+    let mut group = c.benchmark_group("exhaustive_per_layout_2048");
+    for layout in Layout::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("layout{}", layout.number())),
+            &layout,
+            |b, &l| {
+                b.iter(|| {
+                    let mut opt = ExhaustiveOptimizer::new(&fits, l, 2048);
+                    opt.ocean_allowed = Some(ocean.clone());
+                    opt.atm_allowed = Some(atm.clone());
+                    std::hint::black_box(opt.solve(Objective::MinMax).objective)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figure4
+}
+criterion_main!(benches);

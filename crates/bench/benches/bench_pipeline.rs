@@ -1,0 +1,53 @@
+//! End-to-end pipeline benchmarks: the full gather → fit → solve →
+//! execute loop per Table III family, plus the individual steps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hslb::{Hslb, HslbOptions};
+use hslb_bench::simulator_for;
+use hslb_cesm::Resolution;
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_end_to_end");
+    for (label, resolution, target) in [
+        ("1deg_128", Resolution::OneDegree, 128i64),
+        ("1deg_2048", Resolution::OneDegree, 2048),
+        ("8th_32768", Resolution::EighthDegree, 32_768),
+    ] {
+        let sim = simulator_for(resolution, true);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &target, |b, &n| {
+            b.iter(|| {
+                let report = Hslb::new(&sim, HslbOptions::new(n)).run(None).unwrap();
+                std::hint::black_box(report.hslb.actual_total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_steps(c: &mut Criterion) {
+    let sim = simulator_for(Resolution::OneDegree, true);
+    let h = Hslb::new(&sim, HslbOptions::new(2048));
+
+    c.bench_function("step1_gather", |b| {
+        b.iter(|| std::hint::black_box(h.gather().count(hslb_cesm::Component::Atm)))
+    });
+    let data = h.gather();
+    c.bench_function("step2_fit_all", |b| {
+        b.iter(|| std::hint::black_box(h.fit(&data).unwrap().min_r_squared()))
+    });
+    let fits = h.fit(&data).unwrap();
+    c.bench_function("step3_solve", |b| {
+        b.iter(|| std::hint::black_box(h.solve(&fits).unwrap().predicted_total))
+    });
+    let solved = h.solve(&fits).unwrap();
+    c.bench_function("step4_execute", |b| {
+        b.iter(|| std::hint::black_box(h.execute(&solved.allocation).unwrap().total))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_full_pipeline, bench_pipeline_steps
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Benchmark the §III-E branching ablation: SOS-1 branching vs branching
+//! on individual binaries, on the real 1° layout model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hslb::{Hslb, HslbOptions};
+use hslb_bench::simulator_for;
+use hslb_cesm::Resolution;
+use hslb_minlp::Branching;
+
+fn bench_branching(c: &mut Criterion) {
+    let sim = simulator_for(Resolution::OneDegree, true);
+    let target = 512i64;
+    let h = Hslb::new(&sim, HslbOptions::new(target));
+    let fits = h.fit(&h.gather()).expect("fit");
+
+    let mut group = c.benchmark_group("branching_ablation_512");
+    for (label, branching) in [("sos", Branching::SosFirst), ("binary", Branching::IntegerOnly)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &branching, |b, &br| {
+            let mut opts = HslbOptions::new(target);
+            opts.solver.branching = br;
+            let hb = Hslb::new(&sim, opts);
+            b.iter(|| {
+                let solved = hb.solve(&fits).expect("solve");
+                std::hint::black_box(solved.predicted_total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_branching
+}
+criterion_main!(benches);

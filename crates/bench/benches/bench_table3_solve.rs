@@ -1,0 +1,39 @@
+//! Benchmark the MINLP solve of every Table III experiment configuration
+//! (the optimization step only — fits are precomputed per config).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hslb::{Hslb, HslbOptions};
+use hslb_bench::simulator_for;
+use hslb_cesm::calib;
+
+fn bench_table3_solves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_minlp_solve");
+    for paper in calib::paper_table3() {
+        let label = format!(
+            "{}_{}{}",
+            match paper.resolution {
+                hslb_cesm::Resolution::OneDegree => "1deg",
+                hslb_cesm::Resolution::EighthDegree => "8th",
+            },
+            paper.target_nodes,
+            if paper.ocean_constrained { "" } else { "_free" }
+        );
+        let sim = simulator_for(paper.resolution, paper.ocean_constrained);
+        let h = Hslb::new(&sim, HslbOptions::new(paper.target_nodes));
+        let fits = h.fit(&h.gather()).expect("fit");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &fits, |b, fits| {
+            b.iter(|| {
+                let solved = h.solve(fits).expect("solve");
+                std::hint::black_box(solved.predicted_total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table3_solves
+}
+criterion_main!(benches);

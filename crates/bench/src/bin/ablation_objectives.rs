@@ -1,0 +1,45 @@
+//! §III-D ablation: the three candidate objectives. Every objective's
+//! solution is scored by the quantity that actually matters — the layout-1
+//! coupled makespan — reproducing the paper's ranking: min-max best,
+//! max-min close, min-sum much worse.
+//!
+//! `cargo run --release -p hslb-bench --bin ablation_objectives`
+
+use hslb::{Hslb, HslbOptions, Objective};
+use hslb_bench::simulator_for;
+use hslb_cesm::{Component, Resolution};
+
+fn main() {
+    let sim = simulator_for(Resolution::OneDegree, true);
+    println!("# objective ablation (1deg, layout 1): achieved makespan per objective");
+    println!(
+        "{:>8} {:>10} {:>30} {:>14} {:>14}",
+        "nodes", "objective", "allocation [lnd ice atm ocn]", "makespan", "vs min-max"
+    );
+    for target in [128i64, 512, 2048] {
+        let h = Hslb::new(&sim, HslbOptions::new(target));
+        let fits = h.fit(&h.gather()).expect("fit");
+        let makespan = |a: &hslb_cesm::Allocation| {
+            let icelnd = fits
+                .predict(Component::Ice, a.ice)
+                .max(fits.predict(Component::Lnd, a.lnd));
+            (icelnd + fits.predict(Component::Atm, a.atm))
+                .max(fits.predict(Component::Ocn, a.ocn))
+        };
+        let mut baseline = None;
+        for objective in [Objective::MinMax, Objective::MaxMin, Objective::SumTime] {
+            let mut opts = HslbOptions::new(target);
+            opts.objective = objective;
+            let solved = Hslb::new(&sim, opts).solve(&fits).expect("solve");
+            let a = solved.allocation;
+            let t = makespan(&a);
+            let base = *baseline.get_or_insert(t);
+            println!(
+                "{target:>8} {objective:>10} {:>30} {t:>14.3} {:>13.1}%",
+                format!("[{} {} {} {}]", a.lnd, a.ice, a.atm, a.ocn),
+                100.0 * (t - base) / base
+            );
+        }
+    }
+    println!("\n# paper ranking (from the FMO study, §III-D): min-max ≥ max-min >> min-sum");
+}

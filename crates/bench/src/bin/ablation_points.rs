@@ -1,0 +1,66 @@
+//! §III-C ablation: how many benchmark points does the fit need?
+//!
+//! "From our experience in order to capture scaling of a component, the
+//! number of benchmarking runs with various number of nodes should be at
+//! least greater than four for each component. … The number of points
+//! should obviously increase with the level of noise in the application."
+//!
+//! This sweep fits with D = 3…10 points under the default (quiet) and a
+//! hostile (noisy + outliers) environment, then scores the resulting
+//! allocation against the noiseless ground truth.
+//!
+//! `cargo run --release -p hslb-bench --bin ablation_points`
+
+use hslb::{GatherPlan, Hslb, HslbOptions};
+use hslb_cesm::{Component, Layout, Machine, NoiseSpec, ResolutionConfig, Simulator};
+
+/// True coupled time of an allocation under the noiseless ground truth.
+fn true_makespan(sim: &Simulator, alloc: &hslb_cesm::Allocation) -> f64 {
+    let t = |c: Component, n: i64| sim.truth(c, n);
+    let icelnd = t(Component::Ice, alloc.ice).max(t(Component::Lnd, alloc.lnd));
+    (icelnd + t(Component::Atm, alloc.atm)).max(t(Component::Ocn, alloc.ocn))
+}
+
+fn main() {
+    let target = 1024i64;
+    println!("# benchmark-point-count ablation (1deg, {target} nodes, layout 1)");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14}",
+        "points", "quiet: R2min", "true T (s)", "noisy: R2min", "true T (s)"
+    );
+    for points in 3usize..=10 {
+        let mut row = format!("{points:>8}");
+        for noise in [NoiseSpec::default(), NoiseSpec::noisy()] {
+            let sim = Simulator::new(
+                Machine::intrepid(),
+                ResolutionConfig::one_degree(),
+                noise,
+                hslb_bench::EXPERIMENT_SEED,
+            );
+            let mut opts = HslbOptions::new(target);
+            opts.gather = GatherPlan::LogSpaced {
+                min_nodes: 12,
+                max_nodes: target,
+                points,
+            };
+            let h = Hslb::new(&sim, opts);
+            let fits = h.fit(&h.gather()).expect("fit");
+            let solved = h.solve(&fits).expect("solve");
+            let truth = true_makespan(&sim, &solved.allocation);
+            row.push_str(&format!(
+                " {:>14.4} {:>14.2}",
+                fits.min_r_squared(),
+                truth
+            ));
+        }
+        println!("{row}");
+        let _ = Layout::Hybrid;
+    }
+    println!(
+        "\n# reading: with quiet benchmarks ~4 points already give stable, \
+         near-optimal allocations (the paper's finding); under heavy noise \
+         the fitted R^2 drops and allocation quality becomes erratic at any \
+         D — single outlier runs can dominate — which is why the paper \
+         recommends increasing the point count with the noise level."
+    );
+}

@@ -1,0 +1,40 @@
+//! §III-A ablation: the optional ice–land synchronization window.
+//! "Additional constraints, like Tsync, may actually result in reduced
+//! performance of the algorithm because it imposes additional
+//! synchronization constraints on the solution."
+//!
+//! `cargo run --release -p hslb-bench --bin ablation_tsync`
+
+use hslb::{Hslb, HslbOptions};
+use hslb_bench::simulator_for;
+use hslb_cesm::Resolution;
+
+fn main() {
+    let sim = simulator_for(Resolution::OneDegree, true);
+    let target = 512i64;
+    let h = Hslb::new(&sim, HslbOptions::new(target));
+    let fits = h.fit(&h.gather()).expect("fit");
+
+    println!("# T_sync sweep (1deg, {target} nodes, layout 1)");
+    println!(
+        "{:>10} {:>14} {:>16} {:>12}",
+        "T_sync", "predicted T", "|T_ice - T_lnd|", "bb nodes"
+    );
+    for tsync in [None, Some(60.0), Some(20.0), Some(5.0), Some(1.0), Some(0.25)] {
+        let mut opts = HslbOptions::new(target);
+        opts.tsync = tsync;
+        let solved = Hslb::new(&sim, opts).solve(&fits).expect("solve");
+        let gap = (solved.predicted.ice - solved.predicted.lnd).abs();
+        let label = tsync.map_or("off".to_string(), |t| format!("{t}"));
+        println!(
+            "{label:>10} {:>14.3} {:>16.3} {:>12}",
+            solved.predicted_total,
+            gap,
+            solved
+                .solver_stats
+                .as_ref()
+                .map_or(0, |s| s.nodes)
+        );
+    }
+    println!("\n# expected: tighter windows never improve (and eventually hurt) the makespan");
+}

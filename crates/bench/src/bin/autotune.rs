@@ -1,0 +1,157 @@
+//! The HSLB "black box" (§V): "It is our intention to develop a 'black
+//! box' from HSLB which would allow anyone, especially scientists without
+//! experience at manual optimization, to run CESM efficiently on
+//! supercomputers or clusters."
+//!
+//! One command in, a ready-to-use `env_mach_pes.xml` out:
+//!
+//! ```text
+//! cargo run --release -p hslb-bench --bin autotune -- \
+//!     --resolution 1deg --nodes 512 [--layout 1] [--free-ocean] \
+//!     [--objective minmax] [--deadline <seconds>]
+//! ```
+
+use hslb::{cost, Hslb, HslbOptions, Objective};
+use hslb_bench::simulator_for;
+use hslb_cesm::{pes, Layout, Machine, Resolution};
+
+struct Args {
+    resolution: Resolution,
+    nodes: i64,
+    layout: Layout,
+    free_ocean: bool,
+    objective: Objective,
+    deadline: Option<f64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: autotune --resolution <1deg|8th> --nodes <N> \
+         [--layout <1|2|3>] [--free-ocean] [--objective <minmax|maxmin|sum>] \
+         [--deadline <seconds>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut resolution = None;
+    let mut nodes = None;
+    let mut layout = Layout::Hybrid;
+    let mut free_ocean = false;
+    let mut objective = Objective::MinMax;
+    let mut deadline = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--resolution" => {
+                resolution = match it.next().as_deref() {
+                    Some("1deg") => Some(Resolution::OneDegree),
+                    Some("8th") | Some("1/8deg") => Some(Resolution::EighthDegree),
+                    _ => usage(),
+                }
+            }
+            "--nodes" => {
+                nodes = it.next().and_then(|v| v.parse::<i64>().ok());
+                if nodes.is_none() {
+                    usage();
+                }
+            }
+            "--layout" => {
+                layout = match it.next().as_deref() {
+                    Some("1") => Layout::Hybrid,
+                    Some("2") => Layout::SequentialWithOcean,
+                    Some("3") => Layout::FullySequential,
+                    _ => usage(),
+                }
+            }
+            "--free-ocean" => free_ocean = true,
+            "--objective" => {
+                objective = match it.next().as_deref() {
+                    Some("minmax") => Objective::MinMax,
+                    Some("maxmin") => Objective::MaxMin,
+                    Some("sum") => Objective::SumTime,
+                    _ => usage(),
+                }
+            }
+            "--deadline" => {
+                deadline = it.next().and_then(|v| v.parse::<f64>().ok());
+                if deadline.is_none() {
+                    usage();
+                }
+            }
+            _ => usage(),
+        }
+    }
+    let (Some(resolution), Some(nodes)) = (resolution, nodes) else {
+        usage();
+    };
+    Args {
+        resolution,
+        nodes,
+        layout,
+        free_ocean,
+        objective,
+        deadline,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let sim = simulator_for(args.resolution, !args.free_ocean);
+    let mut opts = HslbOptions::new(args.nodes);
+    opts.layout = args.layout;
+    opts.objective = args.objective;
+    let h = Hslb::new(&sim, opts);
+
+    eprintln!("# gathering benchmark data ({})", sim.resolution());
+    let data = h.gather();
+    let fits = match h.fit(&data) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("fit failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    for (c, f) in fits.iter() {
+        eprintln!("#   {c}: R^2 = {:.5}", f.r_squared);
+    }
+
+    let solved = match h.solve(&fits) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("solve failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "# optimal allocation for {} nodes: {} (predicted {:.1}s)",
+        args.nodes, solved.allocation, solved.predicted_total
+    );
+
+    if let Some(deadline) = args.deadline {
+        let frontier = cost::frontier(
+            &fits,
+            &Machine::intrepid(),
+            args.layout,
+            (args.nodes / 16).max(8),
+            args.nodes,
+        );
+        match cost::cheapest_within_deadline(&frontier, deadline) {
+            Some(p) => eprintln!(
+                "# cheapest size meeting {deadline}s deadline: {} nodes \
+                 ({:.1}s, {:.0} core-hours)",
+                p.nodes, p.time_s, p.core_hours
+            ),
+            None => eprintln!("# no size up to {} nodes meets a {deadline}s deadline", args.nodes),
+        }
+    }
+
+    // The deliverable: env_mach_pes.xml on stdout.
+    match pes::build(&Machine::intrepid(), args.layout, &solved.allocation) {
+        Ok(layout) => print!("{}", layout.to_xml()),
+        Err(e) => {
+            eprintln!("PES generation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Regenerate Figure 2: scaling curves for each component in layout (1)
+//! at 1° resolution — benchmark points plus the fitted
+//! `T(n) = a/n + b·n^c + d` curve evaluated on a dense grid.
+//!
+//! `cargo run --release -p hslb-bench --bin fig2`
+
+use hslb::{Hslb, HslbOptions};
+use hslb_bench::simulator_for;
+use hslb_cesm::{Component, Resolution};
+
+fn main() {
+    let sim = simulator_for(Resolution::OneDegree, true);
+    let pipeline = Hslb::new(&sim, HslbOptions::new(2048));
+    let data = pipeline.gather();
+    let fits = pipeline.fit(&data).expect("fit");
+
+    println!("# Figure 2: 1deg component scaling curves (layout 1)");
+    for (component, fit) in fits.iter() {
+        println!(
+            "\n## {component} ({}): T(n) = {:.4}/n + {:.3e}*n^{:.3} + {:.4}   R^2 = {:.5}",
+            component.model_name(),
+            fit.curve.a,
+            fit.curve.b,
+            fit.curve.c,
+            fit.curve.d,
+            fit.r_squared
+        );
+        if let Some(diag) = hslb_nlsq::diagnose(&fit.curve, data.of(component)) {
+            println!(
+                "# parameter std errors: a ±{:.3} b ±{:.2e} c ±{:.3} d ±{:.3}  (dof {})",
+                diag.std_errors[0],
+                diag.std_errors[1],
+                diag.std_errors[2],
+                diag.std_errors[3],
+                diag.dof
+            );
+        }
+        println!("# benchmark points (nodes, seconds)");
+        for &(n, y) in data.of(component) {
+            println!("point {n:.0} {y:.3}");
+        }
+        println!("# fitted curve (nodes, seconds)");
+        let mut n = 8.0_f64;
+        while n <= 2048.0 {
+            println!("curve {n:.0} {:.3}", fit.curve.eval(n));
+            n *= 1.5;
+        }
+    }
+
+    // The decomposed terms the paper illustrates in the inset: the
+    // scalable, nonlinear and serial contributions at a few node counts.
+    println!("\n# term decomposition for atm (inset of Figure 2)");
+    let atm = fits.curve(Component::Atm);
+    for n in [16.0, 128.0, 1024.0] {
+        println!(
+            "n={n:>6}: sca={:.3} nln={:.3} ser={:.3}",
+            atm.a / n,
+            atm.b * n.powf(atm.c),
+            atm.d
+        );
+    }
+}

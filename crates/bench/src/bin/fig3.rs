@@ -1,0 +1,39 @@
+//! Regenerate Figure 3: 1/8° resolution total times — "human" guess vs
+//! HSLB-predicted vs HSLB-actual across target node counts.
+//!
+//! `cargo run --release -p hslb-bench --bin fig3`
+
+use hslb::manual::{paper_manual_allocation, SimulatedExpert};
+use hslb::{Hslb, HslbOptions};
+use hslb_bench::simulator_for;
+use hslb_cesm::{Layout, Resolution};
+
+fn main() {
+    let sim = simulator_for(Resolution::EighthDegree, true);
+    println!("# Figure 3: 1/8deg scaling, layout (1), constrained ocean");
+    println!(
+        "{:>8} {:>14} {:>16} {:>14}",
+        "nodes", "human guess", "HSLB predicted", "HSLB actual"
+    );
+    for target in [8192i64, 16_384, 32_768] {
+        // Human arm: the paper's allocation where published, otherwise the
+        // simulated expert (16384 has no published tuning).
+        let human_alloc = paper_manual_allocation(Resolution::EighthDegree, target)
+            .unwrap_or_else(|| SimulatedExpert::default().tune(&sim, target).0);
+        let human = sim
+            .run_case(&human_alloc, Layout::Hybrid, 1)
+            .expect("human allocation valid")
+            .total;
+
+        let report = Hslb::new(&sim, HslbOptions::new(target))
+            .run(None)
+            .expect("pipeline");
+        println!(
+            "{target:>8} {human:>14.1} {:>16.1} {:>14.1}",
+            report.hslb.predicted_total.unwrap(),
+            report.hslb.actual_total
+        );
+    }
+    println!("\n# paper (8192): human 3785, predicted 3390, actual 3489");
+    println!("# paper (32768): human 1645, predicted 1593, actual 1612");
+}

@@ -1,0 +1,44 @@
+//! The full 1° target sweep. §IV-A: "We have run 1° resolution
+//! simulations targeting 128, 256, 512, 1024, and 2048 nodes. The results
+//! in Table III are shown only for the smallest and largest target node
+//! counts because they are usually the hardest to balance with HSLB."
+//! This binary prints all five.
+//!
+//! `cargo run --release -p hslb-bench --bin sweep`
+
+use hslb::manual::SimulatedExpert;
+use hslb::{Hslb, HslbOptions};
+use hslb_bench::simulator_for;
+use hslb_cesm::{Layout, Resolution};
+
+fn main() {
+    let sim = simulator_for(Resolution::OneDegree, true);
+    println!("# 1deg sweep, layout (1): all five paper targets");
+    println!(
+        "{:>8} {:>32} {:>12} {:>12} {:>12} {:>10}",
+        "nodes", "HSLB allocation [lnd ice atm ocn]", "manual t/s", "pred t/s", "actual t/s", "vs manual"
+    );
+    for target in [128i64, 256, 512, 1024, 2048] {
+        // Manual arm: the paper's allocation where published, otherwise
+        // the simulated expert.
+        let manual_alloc = hslb::manual::paper_manual_allocation(Resolution::OneDegree, target)
+            .unwrap_or_else(|| SimulatedExpert::default().tune(&sim, target).0);
+        let manual = sim
+            .run_case(&manual_alloc, Layout::Hybrid, 3)
+            .expect("manual allocation valid")
+            .total;
+
+        let report = Hslb::new(&sim, HslbOptions::new(target))
+            .run(None)
+            .expect("pipeline");
+        let a = report.hslb.allocation;
+        println!(
+            "{target:>8} {:>32} {manual:>12.2} {:>12.2} {:>12.2} {:>9.1}%",
+            format!("[{} {} {} {}]", a.lnd, a.ice, a.atm, a.ocn),
+            report.hslb.predicted_total.unwrap(),
+            report.hslb.actual_total,
+            100.0 * (manual - report.hslb.actual_total) / manual
+        );
+    }
+    println!("\n# paper shows 128 and 2048 (\"usually the hardest to balance\")");
+}

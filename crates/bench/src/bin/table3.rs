@@ -1,0 +1,66 @@
+//! Regenerate Table III: all six experiment panels, printing the paper's
+//! published totals alongside the reproduction's.
+//!
+//! `cargo run --release -p hslb-bench --bin table3 [--json]`
+
+use hslb_bench::{json_mode, run_pipeline, simulator_for, ExperimentRecord};
+use hslb_cesm::calib;
+
+fn main() {
+    let json = json_mode();
+    for paper in calib::paper_table3() {
+        let label = format!(
+            "{}, {} nodes{}",
+            paper.resolution,
+            paper.target_nodes,
+            if paper.ocean_constrained {
+                ""
+            } else {
+                ", unconstrained ocean nodes"
+            }
+        );
+        let sim = simulator_for(paper.resolution, paper.ocean_constrained);
+        let report = run_pipeline(&sim, paper.target_nodes);
+
+        if json {
+            ExperimentRecord::new(&label, &report, Some(&paper)).print_json();
+            continue;
+        }
+
+        println!("================ {label} ================");
+        print!("{report}");
+        println!(
+            "paper:   manual {}  |  HSLB predicted {:.3}  actual {:.3}",
+            paper
+                .manual_total
+                .map_or("-".into(), |t| format!("{t:.3}")),
+            paper.hslb_predicted_total,
+            paper.hslb_actual_total
+        );
+        if let Some(tuned) = paper.tuned_alloc {
+            println!(
+                "paper tuned-actual allocation: lnd={} ice={} atm={} ocn={}",
+                tuned[0], tuned[1], tuned[2], tuned[3]
+            );
+            // Our equivalent of the paper's tuning step: snap the HSLB
+            // prediction toward component sweet spots and re-run.
+            let h = hslb::Hslb::new(&sim, hslb::HslbOptions::new(paper.target_nodes));
+            let fits = h.fit(&h.gather()).expect("fit");
+            let snapped = hslb::snap_to_sweet_spots(
+                &fits,
+                paper.resolution,
+                hslb_cesm::Layout::Hybrid,
+                paper.target_nodes,
+                &report.hslb.allocation,
+            );
+            match sim.run_case(&snapped.allocation, hslb_cesm::Layout::Hybrid, 0xE1) {
+                Ok(run) => println!(
+                    "our tuned-actual:  {}  (predicted {:.3}, actual {:.3})",
+                    snapped.allocation, snapped.predicted_total, run.total
+                ),
+                Err(e) => println!("our tuned-actual allocation invalid: {e}"),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,58 @@
+//! End-to-end tests of the `autotune` black-box binary: spawn the real
+//! executable, check its XML output and its failure modes.
+
+use std::process::Command;
+
+fn autotune_bin() -> std::path::PathBuf {
+    // Integration tests live next to the binaries in target/<profile>/.
+    let mut path = std::env::current_exe().expect("test exe path");
+    path.pop(); // deps/
+    path.pop(); // <profile>/
+    path.push(format!("autotune{}", std::env::consts::EXE_SUFFIX));
+    path
+}
+
+#[test]
+fn autotune_emits_valid_pes_xml() {
+    let out = Command::new(autotune_bin())
+        .args(["--resolution", "1deg", "--nodes", "128"])
+        .output()
+        .expect("autotune runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let xml = String::from_utf8(out.stdout).expect("utf8 xml");
+    let layout = hslb_cesm::pes::PesLayout::from_xml(&xml).expect("parseable XML");
+    assert!(layout.total_tasks <= 128);
+    assert!(layout.entry(hslb_cesm::Component::Atm).is_some());
+    // The log goes to stderr, the artifact to stdout — pipeline friendly.
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("optimal allocation"), "{log}");
+}
+
+#[test]
+fn autotune_rejects_bad_usage() {
+    let out = Command::new(autotune_bin())
+        .args(["--nodes", "128"]) // missing --resolution
+        .output()
+        .expect("autotune runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    let out = Command::new(autotune_bin())
+        .args(["--resolution", "1deg", "--nodes", "not-a-number"])
+        .output()
+        .expect("autotune runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn autotune_deadline_report_appears() {
+    let out = Command::new(autotune_bin())
+        .args([
+            "--resolution", "1deg", "--nodes", "512", "--deadline", "200",
+        ])
+        .output()
+        .expect("autotune runs");
+    assert!(out.status.success());
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("deadline"), "{log}");
+}

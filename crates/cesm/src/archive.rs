@@ -1,0 +1,180 @@
+//! Timing-archive persistence.
+//!
+//! §III-F: "the data gathering step can be avoided altogether if reliable
+//! benchmarks are already available, for example, from previous
+//! experiments." CESM writes per-run timing files; this module defines a
+//! minimal line-oriented archive format for the benchmark observations
+//! HSLB consumes, so gathered data can be saved and re-used across runs
+//! without re-benchmarking:
+//!
+//! ```text
+//! # cesm-hslb timing archive v1
+//! # resolution: 1deg FV (CESM 1.1.1)
+//! atm 104 306.952
+//! ocn 24 362.669
+//! ```
+//!
+//! Plain text (no extra dependencies), stable ordering, round-trip
+//! tested.
+
+use crate::component::Component;
+use crate::sim::BenchPoint;
+
+/// Archive format errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchiveError {
+    /// A data line did not have `component nodes seconds` shape.
+    Malformed { line_no: usize, line: String },
+    /// Unknown component label.
+    UnknownComponent { line_no: usize, label: String },
+    /// Missing or wrong header.
+    BadHeader,
+}
+
+impl std::fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchiveError::Malformed { line_no, line } => {
+                write!(f, "malformed archive line {line_no}: {line:?}")
+            }
+            ArchiveError::UnknownComponent { line_no, label } => {
+                write!(f, "unknown component {label:?} at line {line_no}")
+            }
+            ArchiveError::BadHeader => write!(f, "missing archive header"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+const HEADER: &str = "# cesm-hslb timing archive v1";
+
+/// Serialize benchmark points into archive text. The optional annotation
+/// becomes a comment line (resolution, machine, date — free-form).
+pub fn write_archive(points: &[BenchPoint], annotation: Option<&str>) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    if let Some(a) = annotation {
+        for line in a.lines() {
+            out.push_str("# ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    let mut sorted: Vec<&BenchPoint> = points.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.component
+            .cmp(&b.component)
+            .then(a.nodes.cmp(&b.nodes))
+            .then(hslb_numerics::float::cmp_f64(a.seconds, b.seconds))
+    });
+    for p in sorted {
+        out.push_str(&format!("{} {} {:.6}\n", p.component.label(), p.nodes, p.seconds));
+    }
+    out
+}
+
+fn component_by_label(label: &str) -> Option<Component> {
+    Component::ALL.into_iter().find(|c| c.label() == label)
+}
+
+/// Parse archive text back into benchmark points.
+pub fn read_archive(text: &str) -> Result<Vec<BenchPoint>, ArchiveError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, first)) if first.trim() == HEADER => {}
+        _ => return Err(ArchiveError::BadHeader),
+    }
+    let mut out = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (Some(label), Some(nodes), Some(seconds), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(ArchiveError::Malformed {
+                line_no,
+                line: line.to_string(),
+            });
+        };
+        let component = component_by_label(label).ok_or_else(|| ArchiveError::UnknownComponent {
+            line_no,
+            label: label.to_string(),
+        })?;
+        let (Ok(nodes), Ok(seconds)) = (nodes.parse::<i64>(), seconds.parse::<f64>()) else {
+            return Err(ArchiveError::Malformed {
+                line_no,
+                line: line.to_string(),
+            });
+        };
+        out.push(BenchPoint {
+            component,
+            nodes,
+            seconds,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_points() -> Vec<BenchPoint> {
+        vec![
+            BenchPoint { component: Component::Ocn, nodes: 24, seconds: 362.669 },
+            BenchPoint { component: Component::Atm, nodes: 104, seconds: 306.952 },
+            BenchPoint { component: Component::Atm, nodes: 1664, seconds: 61.987 },
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_points() {
+        let pts = sample_points();
+        let text = write_archive(&pts, Some("resolution: 1deg\nmachine: Intrepid"));
+        let back = read_archive(&text).unwrap();
+        assert_eq!(back.len(), 3);
+        // Sorted by component then nodes: atm entries first.
+        assert_eq!(back[0].component, Component::Atm);
+        assert_eq!(back[0].nodes, 104);
+        assert!(back.contains(&pts[0]));
+    }
+
+    #[test]
+    fn header_is_required() {
+        assert_eq!(read_archive("atm 104 306.952"), Err(ArchiveError::BadHeader));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = format!("{HEADER}\n# a comment\n\natm 104 306.952\n");
+        let pts = read_archive(&text).unwrap();
+        assert_eq!(pts.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_location() {
+        let text = format!("{HEADER}\natm 104\n");
+        match read_archive(&text) {
+            Err(ArchiveError::Malformed { line_no, .. }) => assert_eq!(line_no, 2),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        let text = format!("{HEADER}\nxyz 104 306.9\n");
+        assert!(matches!(
+            read_archive(&text),
+            Err(ArchiveError::UnknownComponent { .. })
+        ));
+        let text = format!("{HEADER}\natm many 306.9\n");
+        assert!(matches!(read_archive(&text), Err(ArchiveError::Malformed { .. })));
+    }
+
+    #[test]
+    fn extra_fields_rejected() {
+        let text = format!("{HEADER}\natm 104 306.9 bogus\n");
+        assert!(matches!(read_archive(&text), Err(ArchiveError::Malformed { .. })));
+    }
+}

@@ -1,0 +1,103 @@
+//! CESM model components.
+
+use serde::{Deserialize, Serialize};
+
+/// A CESM 1.1.1 component (§II). The first four are the ones the paper's
+/// HSLB models optimize; RTM, CPL7 and CISM "take less time to run
+/// compared to the other components, so these components were not included
+/// in our HSLB models".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// Community Atmosphere Model (CAM), developed at NCAR.
+    Atm,
+    /// Parallel Ocean Program (POP), developed at LANL.
+    Ocn,
+    /// Community Ice Code (CICE) sea-ice model, developed at LANL.
+    Ice,
+    /// Community Land Model (CLM), developed at NCAR.
+    Lnd,
+    /// River Transport Model: total runoff from the land surface model.
+    Rtm,
+    /// CPL7 coupler: exchanges 2-D boundary data between components.
+    Cpl,
+    /// Community Ice Sheet Model (CISM): land-ice retreat.
+    Glc,
+}
+
+impl Component {
+    /// The four components included in the HSLB optimization models, in
+    /// the paper's Table I order: C = {ice, lnd, atm, ocn}.
+    pub const OPTIMIZED: [Component; 4] =
+        [Component::Ice, Component::Lnd, Component::Atm, Component::Ocn];
+
+    /// All seven components.
+    pub const ALL: [Component; 7] = [
+        Component::Atm,
+        Component::Ocn,
+        Component::Ice,
+        Component::Lnd,
+        Component::Rtm,
+        Component::Cpl,
+        Component::Glc,
+    ];
+
+    /// Short lowercase label as used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::Atm => "atm",
+            Component::Ocn => "ocn",
+            Component::Ice => "ice",
+            Component::Lnd => "lnd",
+            Component::Rtm => "rof",
+            Component::Cpl => "cpl",
+            Component::Glc => "glc",
+        }
+    }
+
+    /// The model implementing this component.
+    pub fn model_name(self) -> &'static str {
+        match self {
+            Component::Atm => "CAM",
+            Component::Ocn => "POP",
+            Component::Ice => "CICE",
+            Component::Lnd => "CLM",
+            Component::Rtm => "RTM",
+            Component::Cpl => "CPL7",
+            Component::Glc => "CISM",
+        }
+    }
+
+    /// Is this one of the four components HSLB optimizes?
+    pub fn is_optimized(self) -> bool {
+        Component::OPTIMIZED.contains(&self)
+    }
+}
+
+impl std::fmt::Display for Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimized_set_matches_table_i() {
+        assert_eq!(Component::OPTIMIZED.len(), 4);
+        assert!(Component::OPTIMIZED.iter().all(|c| c.is_optimized()));
+        assert!(!Component::Cpl.is_optimized());
+        assert!(!Component::Rtm.is_optimized());
+        assert!(!Component::Glc.is_optimized());
+    }
+
+    #[test]
+    fn labels_and_models() {
+        assert_eq!(Component::Atm.model_name(), "CAM");
+        assert_eq!(Component::Ocn.model_name(), "POP");
+        assert_eq!(Component::Ice.model_name(), "CICE");
+        assert_eq!(Component::Lnd.model_name(), "CLM");
+        assert_eq!(format!("{}", Component::Lnd), "lnd");
+    }
+}

@@ -1,0 +1,235 @@
+//! CICE sea-ice decomposition strategies.
+//!
+//! §IV-A: "The ice component supports seven decomposition strategies with
+//! varying block sizes … The optimal decomposition for a given number of
+//! nodes is not yet known a priori. In our tests, we used the default
+//! decompositions for CICE which resulted in the tests using varying
+//! decomposition types and block sizes. This increased the noise in the
+//! sea ice performance curve fit and impacted the timing estimates."
+//!
+//! We model each strategy as a node-count-dependent slowdown multiplier
+//! ≥ 1 over the ideal (fitted) ice curve. The *default* CICE choice picks
+//! a strategy by simple block-geometry rules (as the real scripts do), and
+//! is frequently not the best choice — which is exactly what produces the
+//! stepped, noisy ice scaling the paper describes. A small
+//! nearest-neighbour advisor ([`DecompAdvisor`]) stands in for the
+//! machine-learning companion paper \[10\].
+
+use serde::{Deserialize, Serialize};
+
+/// The seven CICE decomposition strategies (names from the real CICE
+/// namelist options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Decomposition {
+    Cartesian,
+    Rake,
+    SpaceCurve,
+    RoundRobin,
+    SectRobin,
+    SectCart,
+    BlkRobin,
+}
+
+impl Decomposition {
+    /// All strategies, in a fixed order.
+    pub const ALL: [Decomposition; 7] = [
+        Decomposition::Cartesian,
+        Decomposition::Rake,
+        Decomposition::SpaceCurve,
+        Decomposition::RoundRobin,
+        Decomposition::SectRobin,
+        Decomposition::SectCart,
+        Decomposition::BlkRobin,
+    ];
+
+    /// Namelist-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Decomposition::Cartesian => "cartesian",
+            Decomposition::Rake => "rake",
+            Decomposition::SpaceCurve => "spacecurve",
+            Decomposition::RoundRobin => "roundrobin",
+            Decomposition::SectRobin => "sectrobin",
+            Decomposition::SectCart => "sectcart",
+            Decomposition::BlkRobin => "blkrobin",
+        }
+    }
+}
+
+/// Deterministic hash for the multiplier model.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    z ^ (z >> 33)
+}
+
+/// Slowdown multiplier (≥ 1) of running CICE on `nodes` nodes with the
+/// given decomposition.
+///
+/// The model captures the two effects that matter for HSLB:
+/// * each strategy has node-count "pockets" where its block geometry tiles
+///   the grid well (multiplier near 1) and pockets where it doesn't
+///   (up to ~12 % slower) — deterministic in `(strategy, nodes)`;
+/// * strategies differ, so the best choice at one count is not the best
+///   at another.
+pub fn multiplier(d: Decomposition, nodes: i64) -> f64 {
+    let h = mix((d as u64 + 1).wrapping_mul(0x9E37_79B9) ^ (nodes as u64).wrapping_mul(0x85EB_CA6B));
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    // Block-geometry bonus: strategies like a count that divides evenly
+    // into their preferred block granularity.
+    let granularity = match d {
+        Decomposition::Cartesian => 16,
+        Decomposition::Rake => 12,
+        Decomposition::SpaceCurve => 8,
+        Decomposition::RoundRobin => 6,
+        Decomposition::SectRobin => 10,
+        Decomposition::SectCart => 20,
+        Decomposition::BlkRobin => 24,
+    };
+    let tiles_evenly = nodes % granularity == 0;
+    let spread = if tiles_evenly { 0.04 } else { 0.12 };
+    1.0 + u * spread
+}
+
+/// The default CICE strategy for a node count, per the (simplified)
+/// out-of-the-box selection rules: small counts get Cartesian, mid-range
+/// counts get sect-robin, large counts get space-filling curves —
+/// with the thresholds the real scripts key off block sizes.
+pub fn default_choice(nodes: i64) -> Decomposition {
+    if nodes < 64 {
+        Decomposition::Cartesian
+    } else if nodes < 1024 {
+        Decomposition::SectRobin
+    } else if nodes < 8192 {
+        Decomposition::SpaceCurve
+    } else {
+        Decomposition::RoundRobin
+    }
+}
+
+/// The best strategy (smallest multiplier) for a node count.
+pub fn best_choice(nodes: i64) -> (Decomposition, f64) {
+    Decomposition::ALL
+        .iter()
+        .map(|&d| (d, multiplier(d, nodes)))
+        .min_by(|a, b| hslb_numerics::float::cmp_f64(a.1, b.1))
+        .expect("nonempty strategy list")
+}
+
+/// Nearest-neighbour decomposition advisor — the stand-in for the
+/// machine-learning approach of companion paper \[10\] ("a separate effort
+/// was begun to determine the optimal sea ice decompositions using
+/// machine learning").
+///
+/// Trained on exhaustively evaluated node counts, it predicts the best
+/// strategy at unseen counts from the nearest training count (features:
+/// log₂ nodes and divisibility pattern).
+#[derive(Debug, Clone)]
+pub struct DecompAdvisor {
+    /// `(nodes, best strategy)` training pairs, sorted by nodes.
+    training: Vec<(i64, Decomposition)>,
+}
+
+impl DecompAdvisor {
+    /// Train on the given node counts by exhaustive evaluation.
+    pub fn train(counts: &[i64]) -> Self {
+        let mut training: Vec<(i64, Decomposition)> = counts
+            .iter()
+            .map(|&n| (n, best_choice(n).0))
+            .collect();
+        training.sort_unstable_by_key(|&(n, _)| n);
+        DecompAdvisor { training }
+    }
+
+    /// Predict a good strategy for `nodes`.
+    ///
+    /// Exact match wins; otherwise prefer a training count with the same
+    /// divisibility signature near in log-space, else the nearest count.
+    pub fn advise(&self, nodes: i64) -> Decomposition {
+        assert!(!self.training.is_empty(), "advisor has no training data");
+        if let Ok(i) = self.training.binary_search_by_key(&nodes, |&(n, _)| n) {
+            return self.training[i].1;
+        }
+        let sig = |n: i64| (n % 16 == 0, n % 12 == 0, n % 10 == 0);
+        let target_sig = sig(nodes);
+        let dist = |n: i64| ((n as f64).ln() - (nodes as f64).ln()).abs();
+        self.training
+            .iter()
+            .min_by(|a, b| {
+                let pa = (sig(a.0) != target_sig, dist(a.0));
+                let pb = (sig(b.0) != target_sig, dist(b.0));
+                pa.0.cmp(&pb.0)
+                    .then(hslb_numerics::float::cmp_f64(pa.1, pb.1))
+            })
+            .expect("nonempty")
+            .1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multipliers_are_bounded_and_deterministic() {
+        for &d in &Decomposition::ALL {
+            for n in [1i64, 7, 64, 777, 4096, 24_424] {
+                let m1 = multiplier(d, n);
+                let m2 = multiplier(d, n);
+                assert_eq!(m1, m2, "deterministic");
+                assert!((1.0..1.13).contains(&m1), "{d:?}@{n}: {m1}");
+            }
+        }
+    }
+
+    #[test]
+    fn even_tiling_caps_the_penalty() {
+        // Counts divisible by the strategy granularity stay within 4 %.
+        assert!(multiplier(Decomposition::Cartesian, 160) <= 1.04 + 1e-12);
+        assert!(multiplier(Decomposition::BlkRobin, 240) <= 1.04 + 1e-12);
+    }
+
+    #[test]
+    fn default_choice_is_sometimes_suboptimal() {
+        // The premise of companion paper [10]: across a spread of counts
+        // the default decomposition must lose to the best one somewhere.
+        let mut suboptimal = 0;
+        for n in (50..2000).step_by(37) {
+            let d = default_choice(n);
+            let (best, best_m) = best_choice(n);
+            if d != best && multiplier(d, n) > best_m + 1e-9 {
+                suboptimal += 1;
+            }
+        }
+        assert!(suboptimal > 10, "only {suboptimal} suboptimal defaults");
+    }
+
+    #[test]
+    fn advisor_beats_default_on_average() {
+        let training: Vec<i64> = (1..400).map(|k| k * 8).collect();
+        let advisor = DecompAdvisor::train(&training);
+        let mut adv_total = 0.0;
+        let mut def_total = 0.0;
+        // Held-out counts (not multiples of 8).
+        for n in (101..3000).step_by(53) {
+            adv_total += multiplier(advisor.advise(n), n);
+            def_total += multiplier(default_choice(n), n);
+        }
+        assert!(
+            adv_total < def_total,
+            "advisor {adv_total} vs default {def_total}"
+        );
+    }
+
+    #[test]
+    fn advisor_exact_match_returns_trained_best() {
+        let advisor = DecompAdvisor::train(&[128, 256, 512]);
+        assert_eq!(advisor.advise(256), best_choice(256).0);
+    }
+
+    #[test]
+    fn names_are_namelist_style() {
+        assert_eq!(Decomposition::SpaceCurve.name(), "spacecurve");
+        assert_eq!(Decomposition::ALL.len(), 7);
+    }
+}

@@ -1,0 +1,279 @@
+//! Component layouts (Figure 1) and their makespan semantics.
+
+use crate::component::Component;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The three CESM component layouts of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Layout {
+    /// Layout (1), the hybrid default: atmosphere and ocean run
+    /// concurrently on disjoint node sets; ice and land run concurrently
+    /// with each other on a subset of the atmosphere's nodes, sequentially
+    /// *before* the atmosphere (a science-imposed ordering).
+    ///
+    /// `total = max(max(T_ice, T_lnd) + T_atm, T_ocn)`, with
+    /// `n_ice + n_lnd ≤ n_atm` and `n_atm + n_ocn ≤ N`.
+    Hybrid,
+    /// Layout (2): ice, land and atmosphere run *sequentially* on one node
+    /// group; the ocean runs concurrently on the rest.
+    ///
+    /// `total = max(T_ice + T_lnd + T_atm, T_ocn)`, with each of
+    /// `n_ice, n_lnd, n_atm ≤ N − n_ocn`.
+    SequentialWithOcean,
+    /// Layout (3): everything sequential across all processors.
+    ///
+    /// `total = T_ice + T_lnd + T_atm + T_ocn`, with each `n_j ≤ N`.
+    FullySequential,
+}
+
+impl Layout {
+    /// All layouts in Figure 1 order.
+    pub const ALL: [Layout; 3] = [
+        Layout::Hybrid,
+        Layout::SequentialWithOcean,
+        Layout::FullySequential,
+    ];
+
+    /// The paper's numbering (1-3).
+    pub fn number(self) -> u8 {
+        match self {
+            Layout::Hybrid => 1,
+            Layout::SequentialWithOcean => 2,
+            Layout::FullySequential => 3,
+        }
+    }
+
+    /// Combine per-component times into the coupled run's makespan.
+    pub fn total_time(self, t: &ComponentTimes) -> f64 {
+        match self {
+            Layout::Hybrid => (t.ice.max(t.lnd) + t.atm).max(t.ocn),
+            Layout::SequentialWithOcean => (t.ice + t.lnd + t.atm).max(t.ocn),
+            Layout::FullySequential => t.ice + t.lnd + t.atm + t.ocn,
+        }
+    }
+
+    /// Check an allocation's node constraints for this layout on `n_total`
+    /// nodes. Returns a human-readable violation, or `None` when valid.
+    pub fn check(self, alloc: &Allocation, n_total: i64) -> Option<String> {
+        let a = alloc;
+        if a.lnd < 1 || a.ice < 1 || a.atm < 1 || a.ocn < 1 {
+            return Some("every component needs at least one node".to_string());
+        }
+        match self {
+            Layout::Hybrid => {
+                if a.ice + a.lnd > a.atm {
+                    return Some(format!(
+                        "ice+lnd ({}) exceed atm nodes ({})",
+                        a.ice + a.lnd,
+                        a.atm
+                    ));
+                }
+                if a.atm + a.ocn > n_total {
+                    return Some(format!(
+                        "atm+ocn ({}) exceed total nodes ({n_total})",
+                        a.atm + a.ocn
+                    ));
+                }
+            }
+            Layout::SequentialWithOcean => {
+                let cap = n_total - a.ocn;
+                for (label, n) in [("lnd", a.lnd), ("ice", a.ice), ("atm", a.atm)] {
+                    if n > cap {
+                        return Some(format!("{label} ({n}) exceeds N − ocn ({cap})"));
+                    }
+                }
+            }
+            Layout::FullySequential => {
+                for (label, n) in [("lnd", a.lnd), ("ice", a.ice), ("atm", a.atm), ("ocn", a.ocn)]
+                {
+                    if n > n_total {
+                        return Some(format!("{label} ({n}) exceeds total nodes ({n_total})"));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl std::fmt::Display for Layout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "layout ({})", self.number())
+    }
+}
+
+/// Node allocation to the four optimized components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Allocation {
+    pub lnd: i64,
+    pub ice: i64,
+    pub atm: i64,
+    pub ocn: i64,
+}
+
+impl Allocation {
+    /// Construct from the `[lnd, ice, atm, ocn]` order the paper's tables
+    /// use.
+    pub fn from_table_order(v: [i64; 4]) -> Self {
+        Allocation {
+            lnd: v[0],
+            ice: v[1],
+            atm: v[2],
+            ocn: v[3],
+        }
+    }
+
+    /// Nodes for one component.
+    pub fn get(&self, c: Component) -> i64 {
+        match c {
+            Component::Lnd => self.lnd,
+            Component::Ice => self.ice,
+            Component::Atm => self.atm,
+            Component::Ocn => self.ocn,
+            _ => 0,
+        }
+    }
+
+    /// Set nodes for one optimized component.
+    pub fn set(&mut self, c: Component, n: i64) {
+        match c {
+            Component::Lnd => self.lnd = n,
+            Component::Ice => self.ice = n,
+            Component::Atm => self.atm = n,
+            Component::Ocn => self.ocn = n,
+            _ => panic!("cannot allocate nodes to non-optimized component {c}"),
+        }
+    }
+
+    /// As a `(component → nodes)` map.
+    pub fn as_map(&self) -> BTreeMap<Component, i64> {
+        Component::OPTIMIZED.iter().map(|&c| (c, self.get(c))).collect()
+    }
+}
+
+impl std::fmt::Display for Allocation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lnd={} ice={} atm={} ocn={}",
+            self.lnd, self.ice, self.atm, self.ocn
+        )
+    }
+}
+
+/// Wall-clock seconds per component for one coupled run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentTimes {
+    pub lnd: f64,
+    pub ice: f64,
+    pub atm: f64,
+    pub ocn: f64,
+}
+
+impl ComponentTimes {
+    /// Time of one component.
+    pub fn get(&self, c: Component) -> f64 {
+        match c {
+            Component::Lnd => self.lnd,
+            Component::Ice => self.ice,
+            Component::Atm => self.atm,
+            Component::Ocn => self.ocn,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times() -> ComponentTimes {
+        ComponentTimes {
+            lnd: 60.0,
+            ice: 100.0,
+            atm: 300.0,
+            ocn: 350.0,
+        }
+    }
+
+    #[test]
+    fn makespans_match_table_i_objectives() {
+        let t = times();
+        // Layout 1: max(max(100, 60) + 300, 350) = 400.
+        assert_eq!(Layout::Hybrid.total_time(&t), 400.0);
+        // Layout 2: max(100 + 60 + 300, 350) = 460.
+        assert_eq!(Layout::SequentialWithOcean.total_time(&t), 460.0);
+        // Layout 3: 810.
+        assert_eq!(Layout::FullySequential.total_time(&t), 810.0);
+    }
+
+    #[test]
+    fn hybrid_constraints() {
+        let ok = Allocation {
+            lnd: 24,
+            ice: 80,
+            atm: 104,
+            ocn: 24,
+        };
+        assert_eq!(Layout::Hybrid.check(&ok, 128), None);
+        let too_big_inner = Allocation {
+            lnd: 60,
+            ice: 60,
+            atm: 104,
+            ocn: 24,
+        };
+        assert!(Layout::Hybrid.check(&too_big_inner, 128).is_some());
+        let over_budget = Allocation {
+            lnd: 24,
+            ice: 80,
+            atm: 110,
+            ocn: 24,
+        };
+        assert!(Layout::Hybrid.check(&over_budget, 128).is_some());
+    }
+
+    #[test]
+    fn sequential_layouts_allow_sharing() {
+        // Layout 2: atm can use all non-ocean nodes even if ice does too.
+        let a = Allocation {
+            lnd: 100,
+            ice: 100,
+            atm: 100,
+            ocn: 28,
+        };
+        assert_eq!(Layout::SequentialWithOcean.check(&a, 128), None);
+        // Layout 3: every component may span the whole machine.
+        let b = Allocation {
+            lnd: 128,
+            ice: 128,
+            atm: 128,
+            ocn: 128,
+        };
+        assert_eq!(Layout::FullySequential.check(&b, 128), None);
+        assert!(Layout::SequentialWithOcean.check(&b, 128).is_some());
+    }
+
+    #[test]
+    fn zero_nodes_rejected_everywhere() {
+        let a = Allocation {
+            lnd: 0,
+            ice: 1,
+            atm: 2,
+            ocn: 1,
+        };
+        for l in Layout::ALL {
+            assert!(l.check(&a, 128).is_some());
+        }
+    }
+
+    #[test]
+    fn table_order_round_trip() {
+        let a = Allocation::from_table_order([24, 80, 104, 24]);
+        assert_eq!(a.lnd, 24);
+        assert_eq!(a.ice, 80);
+        assert_eq!(a.atm, 104);
+        assert_eq!(a.ocn, 24);
+        assert_eq!(a.get(Component::Atm), 104);
+    }
+}

@@ -1,0 +1,64 @@
+//! Machine (platform) description.
+
+use serde::{Deserialize, Serialize};
+
+/// A target platform: node count and per-node execution shape.
+///
+/// "Nodes were used to represent the physical computing unit in our
+/// algorithm. On Intrepid, there are 4 cores per node and CESM is run with
+/// 1 MPI task and 4 threads per task on each node." (§III-C)
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Machine {
+    pub name: String,
+    /// Total nodes available on the machine.
+    pub nodes: i64,
+    pub cores_per_node: u32,
+    pub mpi_tasks_per_node: u32,
+    pub threads_per_task: u32,
+}
+
+impl Machine {
+    /// Intrepid, the IBM Blue Gene/P at the Argonne Leadership Computing
+    /// Facility: 40,960 quad-core nodes (163,840 cores).
+    pub fn intrepid() -> Machine {
+        Machine {
+            name: "Intrepid (IBM Blue Gene/P)".to_string(),
+            nodes: 40_960,
+            cores_per_node: 4,
+            mpi_tasks_per_node: 1,
+            threads_per_task: 4,
+        }
+    }
+
+    /// A hypothetical larger machine for the §IV-C "prediction on new
+    /// hardware" exercise: same per-node shape, 8× the nodes.
+    pub fn hypothetical_exascale() -> Machine {
+        Machine {
+            name: "Hypothetical next-gen (8x Intrepid)".to_string(),
+            nodes: 327_680,
+            cores_per_node: 4,
+            mpi_tasks_per_node: 1,
+            threads_per_task: 4,
+        }
+    }
+
+    /// Total core count.
+    pub fn cores(&self) -> i64 {
+        self.nodes * self.cores_per_node as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrepid_shape_matches_paper() {
+        let m = Machine::intrepid();
+        assert_eq!(m.nodes, 40_960);
+        assert_eq!(m.cores(), 163_840);
+        assert_eq!(m.cores_per_node, 4);
+        assert_eq!(m.mpi_tasks_per_node, 1);
+        assert_eq!(m.threads_per_task, 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! Component "sweet spot" node counts and snapping.
+//!
+//! §II/§IV-B: some components "are limited to run on particular processor
+//! counts or perform best at certain processor counts we'll call 'sweet'
+//! spots … usually found by extensive profiling of different decomposition
+//! and blocking schemes". The final Table III entry tunes the HSLB
+//! prediction "toward known component sweet spots"; this module provides
+//! that snapping.
+
+use crate::component::Component;
+use crate::grid::Resolution;
+
+/// Is `n` a sweet-spot node count for the component at this resolution?
+///
+/// The rules mirror how the real counts are chosen: counts that decompose
+/// the component's grid evenly. For the 1/8° HOMME cube-sphere atmosphere
+/// the natural unit is the element column; for CICE/POP it is the block
+/// grid; CLM is flexible but favors multiples of its clump size.
+pub fn is_sweet_spot(r: Resolution, c: Component, n: i64) -> bool {
+    if n < 1 {
+        return false;
+    }
+    match (r, c) {
+        // 1° FV atmosphere: Table I's explicit A set already encodes this;
+        // within it, counts dividing the 96 latitude strips are favored.
+        (Resolution::OneDegree, Component::Atm) => n <= 1638 || n == 1664,
+        (Resolution::OneDegree, Component::Ocn) => (n % 2 == 0 && n <= 480) || n == 768,
+        (Resolution::OneDegree, _) => true,
+        // 1/8° HOMME: favor counts with many small factors (even element
+        // distribution across 4-way-threaded nodes).
+        (Resolution::EighthDegree, Component::Atm) => n % 8 == 0,
+        (Resolution::EighthDegree, Component::Ice) => n % 8 == 0,
+        (Resolution::EighthDegree, Component::Ocn) => n % 4 == 0,
+        (Resolution::EighthDegree, Component::Lnd) => n % 2 == 0,
+        (Resolution::EighthDegree, _) => true,
+    }
+}
+
+/// Snap `n` to the nearest sweet spot within `[1, hi]`, searching
+/// outward. Returns `n` itself when it already qualifies.
+pub fn snap(r: Resolution, c: Component, n: i64, hi: i64) -> i64 {
+    let n = n.clamp(1, hi);
+    if is_sweet_spot(r, c, n) {
+        return n;
+    }
+    for delta in 1..=hi {
+        let lo_cand = n - delta;
+        if lo_cand >= 1 && is_sweet_spot(r, c, lo_cand) {
+            return lo_cand;
+        }
+        let hi_cand = n + delta;
+        if hi_cand <= hi && is_sweet_spot(r, c, hi_cand) {
+            return hi_cand;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snap_is_identity_on_sweet_spots() {
+        assert_eq!(snap(Resolution::EighthDegree, Component::Atm, 20_888, 32_768), 20_888);
+        assert_eq!(snap(Resolution::OneDegree, Component::Ocn, 256, 2048), 256);
+    }
+
+    #[test]
+    fn snap_moves_to_nearest_qualifying_count() {
+        // 20890 is not a multiple of 8; nearest multiple is 20888.
+        assert_eq!(snap(Resolution::EighthDegree, Component::Atm, 20_890, 32_768), 20_888);
+        // 487 is odd; the 1° ocean set wants even ≤ 480 (or 768): snapping
+        // 487 → 486 fails (> 480), → 480.
+        assert_eq!(snap(Resolution::OneDegree, Component::Ocn, 487, 2048), 480);
+    }
+
+    #[test]
+    fn snap_respects_upper_bound() {
+        let s = snap(Resolution::EighthDegree, Component::Atm, 32_767, 32_767);
+        assert!(s <= 32_767);
+        assert!(is_sweet_spot(Resolution::EighthDegree, Component::Atm, s));
+    }
+
+    #[test]
+    fn one_degree_atm_set_membership() {
+        assert!(is_sweet_spot(Resolution::OneDegree, Component::Atm, 1664));
+        assert!(is_sweet_spot(Resolution::OneDegree, Component::Atm, 104));
+        assert!(!is_sweet_spot(Resolution::OneDegree, Component::Atm, 1650));
+    }
+}

@@ -1,0 +1,185 @@
+//! CESM-style timing files.
+//!
+//! Real CESM writes a per-run timing summary; the paper's gather step
+//! reads component times out of those files, with a subtlety §III-C
+//! spells out: "the wall-clock times used for fitting the data do not
+//! include intra-component communication times (these are associated with
+//! the coupler), but they do include communication timing inside the
+//! component." This module renders a [`crate::RunResult`] as such a file
+//! and parses files back into benchmark observations, so the pipeline can
+//! gather from archived CESM output rather than live runs.
+
+use crate::component::Component;
+use crate::layout::ComponentTimes;
+use crate::sim::{BenchPoint, RunResult};
+
+/// One component's line in a timing file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimerLine {
+    pub component: Component,
+    pub nodes: i64,
+    /// Seconds inside the component (incl. its internal communication).
+    pub run_seconds: f64,
+    /// Seconds attributed to coupler exchange for this component — NOT
+    /// part of what HSLB fits.
+    pub coupling_seconds: f64,
+}
+
+/// A rendered timing summary for one coupled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingFile {
+    pub case_name: String,
+    pub lines: Vec<TimerLine>,
+    pub model_total: f64,
+}
+
+/// Fraction of each component's time the coupler exchange adds on top in
+/// the rendered file (small, per §II: the coupler "takes less time to run
+/// compared to the other components").
+const COUPLING_FRAC: f64 = 0.015;
+
+impl TimingFile {
+    /// Build from a simulated run.
+    pub fn from_run(case_name: &str, run: &RunResult) -> TimingFile {
+        let t: &ComponentTimes = &run.times;
+        let lines = [
+            (Component::Lnd, run.allocation.lnd, t.lnd),
+            (Component::Ice, run.allocation.ice, t.ice),
+            (Component::Atm, run.allocation.atm, t.atm),
+            (Component::Ocn, run.allocation.ocn, t.ocn),
+        ]
+        .into_iter()
+        .map(|(component, nodes, run_seconds)| TimerLine {
+            component,
+            nodes,
+            run_seconds,
+            coupling_seconds: run_seconds * COUPLING_FRAC,
+        })
+        .collect();
+        TimingFile {
+            case_name: case_name.to_string(),
+            lines,
+            model_total: run.total,
+        }
+    }
+
+    /// Render in the spirit of CESM's `timing summary`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("---------------- CESM timing summary ----------------\n"));
+        out.push_str(&format!("  case        : {}\n", self.case_name));
+        out.push_str(&format!("  model_total : {:.3} seconds\n", self.model_total));
+        out.push_str("  component      nodes        run (s)       cpl (s)\n");
+        for l in &self.lines {
+            out.push_str(&format!(
+                "  {:<12} {:>7} {:>14.3} {:>13.3}\n",
+                l.component.label(),
+                l.nodes,
+                l.run_seconds,
+                l.coupling_seconds
+            ));
+        }
+        out
+    }
+
+    /// Parse a rendered timing file.
+    pub fn parse(text: &str) -> Result<TimingFile, String> {
+        let mut case_name = None;
+        let mut model_total = None;
+        let mut lines = Vec::new();
+        for raw in text.lines() {
+            let line = raw.trim();
+            if let Some(rest) = line.strip_prefix("case        :") {
+                case_name = Some(rest.trim().to_string());
+            } else if let Some(rest) = line.strip_prefix("model_total :") {
+                let num = rest.trim().trim_end_matches(" seconds");
+                model_total = Some(num.parse::<f64>().map_err(|e| format!("bad total: {e}"))?);
+            } else {
+                let mut parts = line.split_whitespace();
+                let Some(label) = parts.next() else { continue };
+                let Some(component) = Component::ALL.into_iter().find(|c| c.label() == label)
+                else {
+                    continue;
+                };
+                let fields: Vec<&str> = parts.collect();
+                if fields.len() != 3 {
+                    return Err(format!("bad component line: {line:?}"));
+                }
+                lines.push(TimerLine {
+                    component,
+                    nodes: fields[0].parse().map_err(|e| format!("bad nodes: {e}"))?,
+                    run_seconds: fields[1].parse().map_err(|e| format!("bad run: {e}"))?,
+                    coupling_seconds: fields[2].parse().map_err(|e| format!("bad cpl: {e}"))?,
+                });
+            }
+        }
+        Ok(TimingFile {
+            case_name: case_name.ok_or("missing case name")?,
+            model_total: model_total.ok_or("missing model_total")?,
+            lines,
+        })
+    }
+
+    /// The benchmark observations HSLB fits: run time only, *excluding*
+    /// the coupler exchange — exactly the §III-C bookkeeping.
+    pub fn bench_points(&self) -> Vec<BenchPoint> {
+        self.lines
+            .iter()
+            .map(|l| BenchPoint {
+                component: l.component,
+                nodes: l.nodes,
+                seconds: l.run_seconds,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{Allocation, Layout};
+    use crate::sim::Simulator;
+
+    fn a_run() -> RunResult {
+        Simulator::one_degree(5)
+            .run_case(
+                &Allocation::from_table_order([24, 80, 104, 24]),
+                Layout::Hybrid,
+                0,
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let tf = TimingFile::from_run("b40.1deg.128", &a_run());
+        let text = tf.render();
+        assert!(text.contains("CESM timing summary"));
+        let back = TimingFile::parse(&text).unwrap();
+        assert_eq!(back.case_name, tf.case_name);
+        assert_eq!(back.lines.len(), 4);
+        for (a, b) in back.lines.iter().zip(&tf.lines) {
+            assert_eq!(a.component, b.component);
+            assert_eq!(a.nodes, b.nodes);
+            assert!((a.run_seconds - b.run_seconds).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bench_points_exclude_coupling() {
+        let tf = TimingFile::from_run("case", &a_run());
+        for (p, l) in tf.bench_points().iter().zip(&tf.lines) {
+            assert_eq!(p.seconds, l.run_seconds);
+            assert!(l.coupling_seconds > 0.0);
+            assert!(p.seconds > l.coupling_seconds);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_files() {
+        assert!(TimingFile::parse("").is_err());
+        assert!(TimingFile::parse("case        : x\n").is_err()); // no total
+        let bad = "case        : x\nmodel_total : 1.0 seconds\natm 10\n";
+        assert!(TimingFile::parse(bad).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the textual artifacts: the timing archive and the
+//! PES XML must round-trip arbitrary valid inputs and reject junk without
+//! panicking.
+
+use hslb_cesm::{archive, pes, Allocation, BenchPoint, Component, Layout, Machine};
+use proptest::prelude::*;
+
+fn arb_component() -> impl Strategy<Value = Component> {
+    prop::sample::select(Component::OPTIMIZED.to_vec())
+}
+
+fn arb_points() -> impl Strategy<Value = Vec<BenchPoint>> {
+    prop::collection::vec(
+        (arb_component(), 1i64..50_000, 0.001f64..100_000.0).prop_map(
+            |(component, nodes, seconds)| BenchPoint {
+                component,
+                nodes,
+                // Keep 6-decimal archive precision exact.
+                seconds: (seconds * 1e6).round() / 1e6,
+            },
+        ),
+        0..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn archive_round_trips_arbitrary_points(points in arb_points(),
+                                            note in "[ -~]{0,60}") {
+        let text = archive::write_archive(&points, Some(&note));
+        let back = archive::read_archive(&text).unwrap();
+        prop_assert_eq!(back.len(), points.len());
+        // Same multiset (the writer sorts).
+        for p in &points {
+            prop_assert!(back.contains(p), "{p:?} lost in round-trip");
+        }
+    }
+
+    #[test]
+    fn archive_parser_never_panics_on_junk(junk in "[ -~\n]{0,200}") {
+        let _ = archive::read_archive(&junk); // must not panic
+    }
+
+    #[test]
+    fn pes_round_trips_valid_hybrid_allocations(ocn in 1i64..1000,
+                                                atm in 2i64..2000,
+                                                ice_frac in 0.1f64..0.9) {
+        let ice = ((atm as f64 * ice_frac) as i64).max(1);
+        let lnd = (atm - ice).max(1);
+        let alloc = Allocation { lnd, ice: ice.min(atm - 1), atm, ocn };
+        prop_assume!(alloc.ice + alloc.lnd <= alloc.atm);
+        prop_assume!(alloc.atm + alloc.ocn <= Machine::intrepid().nodes);
+        let layout = pes::build(&Machine::intrepid(), Layout::Hybrid, &alloc).unwrap();
+        let xml = layout.to_xml();
+        let back = pes::PesLayout::from_xml(&xml).unwrap();
+        prop_assert_eq!(back.total_tasks, layout.total_tasks);
+        for e in &layout.entries {
+            prop_assert_eq!(back.entry(e.component), Some(e));
+        }
+        // Structural invariants of the hybrid placement.
+        let ocn_e = layout.entry(Component::Ocn).unwrap();
+        let atm_e = layout.entry(Component::Atm).unwrap();
+        prop_assert_eq!(ocn_e.rootpe, 0);
+        prop_assert_eq!(atm_e.rootpe, ocn_e.ntasks);
+    }
+
+    #[test]
+    fn pes_parser_never_panics_on_junk(junk in "[ -~\n\"<>=/]{0,300}") {
+        let _ = pes::PesLayout::from_xml(&junk); // must not panic
+    }
+
+    #[test]
+    fn timing_file_parser_never_panics(junk in "[ -~\n:]{0,300}") {
+        let _ = hslb_cesm::timers::TimingFile::parse(&junk); // must not panic
+    }
+}

@@ -1,0 +1,169 @@
+//! Cost-efficiency analysis (§IV-C).
+//!
+//! "Another important HSLB application may be the prediction of the
+//! optimal nodes to run a job. The definition of optimal depends on the
+//! goal; it could be a cost-efficient goal where nodes are increased until
+//! scaling is reduced to a predefined limit or it could be the shortest
+//! time to solution." This module prices allocations in core-hours and
+//! builds the cost/time frontier a facility user would consult before
+//! requesting an INCITE-scale allocation.
+
+use crate::exhaustive::ExhaustiveOptimizer;
+use crate::fit::FitSet;
+use crate::objective::Objective;
+use hslb_cesm::{Layout, Machine};
+use serde::Serialize;
+
+/// One point of the cost/time frontier.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct FrontierPoint {
+    /// Total nodes allocated to the job.
+    pub nodes: i64,
+    /// Predicted coupled time for the benchmark-length run, seconds.
+    pub time_s: f64,
+    /// Core-hours charged for that run (whole job allocation × duration).
+    pub core_hours: f64,
+    /// Speedup relative to the smallest frontier point.
+    pub speedup: f64,
+    /// Parallel efficiency relative to the smallest frontier point.
+    pub efficiency: f64,
+}
+
+/// Core-hours to run for `seconds` on `nodes` nodes of `machine` —
+/// facilities charge for the whole reservation, not the busy fraction.
+pub fn core_hours(machine: &Machine, nodes: i64, seconds: f64) -> f64 {
+    (nodes * machine.cores_per_node as i64) as f64 * seconds / 3600.0
+}
+
+/// Compute the cost/time frontier over doubling node counts, using the
+/// fitted curves and the (near-)exact enumeration optimizer at each size.
+///
+/// # Examples
+///
+/// ```
+/// use hslb::cost;
+/// use hslb::FitSet;
+/// use hslb_cesm::{Component, Layout, Machine};
+/// use hslb_nlsq::ScalingCurve;
+/// use std::collections::BTreeMap;
+///
+/// let mk = |a: f64, d: f64| ScalingCurve { a, b: 0.0, c: 1.0, d };
+/// let fits = FitSet::from_curves(BTreeMap::from([
+///     (Component::Ice, mk(8000.0, 2.0)),
+///     (Component::Lnd, mk(1500.0, 1.0)),
+///     (Component::Atm, mk(30000.0, 10.0)),
+///     (Component::Ocn, mk(9000.0, 5.0)),
+/// ]));
+/// let f = cost::frontier(&fits, &Machine::intrepid(), Layout::Hybrid, 64, 1024);
+/// assert_eq!(f.len(), 5); // 64, 128, 256, 512, 1024
+/// assert!(f.last().unwrap().time_s < f[0].time_s);
+/// ```
+pub fn frontier(
+    fits: &FitSet,
+    machine: &Machine,
+    layout: Layout,
+    min_nodes: i64,
+    max_nodes: i64,
+) -> Vec<FrontierPoint> {
+    assert!(min_nodes >= 4, "need at least 4 nodes");
+    let mut out = Vec::new();
+    let mut n = min_nodes;
+    let mut base: Option<(i64, f64)> = None;
+    while n <= max_nodes.min(machine.nodes) {
+        let time_s = ExhaustiveOptimizer::new(fits, layout, n)
+            .solve(Objective::MinMax)
+            .objective;
+        let (n0, t0) = *base.get_or_insert((n, time_s));
+        let speedup = t0 / time_s;
+        let ideal = n as f64 / n0 as f64;
+        out.push(FrontierPoint {
+            nodes: n,
+            time_s,
+            core_hours: core_hours(machine, n, time_s),
+            speedup,
+            efficiency: speedup / ideal,
+        });
+        n *= 2;
+    }
+    out
+}
+
+/// The cheapest frontier point whose time beats `deadline_s`, if any —
+/// "minimal cost subject to a throughput requirement".
+pub fn cheapest_within_deadline(
+    frontier: &[FrontierPoint],
+    deadline_s: f64,
+) -> Option<FrontierPoint> {
+    frontier
+        .iter()
+        .filter(|p| p.time_s <= deadline_s)
+        .min_by(|a, b| hslb_numerics::float::cmp_f64(a.core_hours, b.core_hours))
+        .copied()
+}
+
+/// The largest size still meeting an efficiency floor — the paper's
+/// "nodes are increased until scaling is reduced to a predefined limit".
+pub fn largest_efficient(frontier: &[FrontierPoint], min_efficiency: f64) -> Option<FrontierPoint> {
+    frontier
+        .iter()
+        .filter(|p| p.efficiency >= min_efficiency)
+        .max_by_key(|p| p.nodes)
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hslb_cesm::Component;
+    use hslb_nlsq::ScalingCurve;
+    use std::collections::BTreeMap;
+
+    fn toy_fits() -> FitSet {
+        let mk = |a: f64, d: f64| ScalingCurve { a, b: 0.0, c: 1.0, d };
+        FitSet::from_curves(BTreeMap::from([
+            (Component::Ice, mk(8_000.0, 2.0)),
+            (Component::Lnd, mk(1_500.0, 1.0)),
+            (Component::Atm, mk(30_000.0, 10.0)),
+            (Component::Ocn, mk(9_000.0, 5.0)),
+        ]))
+    }
+
+    #[test]
+    fn core_hours_formula() {
+        let m = Machine::intrepid(); // 4 cores/node
+        assert!((core_hours(&m, 128, 3600.0) - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frontier_time_decreases_cost_increases_eventually() {
+        let fits = toy_fits();
+        let f = frontier(&fits, &Machine::intrepid(), Layout::Hybrid, 64, 4096);
+        assert!(f.len() >= 6);
+        assert!(f.windows(2).all(|w| w[1].time_s <= w[0].time_s + 1e-9));
+        // Efficiency is non-increasing on these curves; the last doubling
+        // must be less efficient than the first.
+        assert!(f.last().unwrap().efficiency < f[1].efficiency + 1e-9);
+        // With a serial floor, big sizes cost more core-hours per run.
+        assert!(f.last().unwrap().core_hours > f[0].core_hours);
+    }
+
+    #[test]
+    fn deadline_picker_prefers_cheapest() {
+        let fits = toy_fits();
+        let f = frontier(&fits, &Machine::intrepid(), Layout::Hybrid, 64, 4096);
+        let loose = cheapest_within_deadline(&f, f[0].time_s + 1.0).unwrap();
+        assert_eq!(loose.nodes, f[0].nodes, "loose deadline → cheapest size");
+        let tight = cheapest_within_deadline(&f, f.last().unwrap().time_s * 1.05).unwrap();
+        assert!(tight.nodes > loose.nodes, "tight deadline forces scale-up");
+        assert!(cheapest_within_deadline(&f, 0.001).is_none());
+    }
+
+    #[test]
+    fn efficiency_floor_picks_a_knee() {
+        let fits = toy_fits();
+        let f = frontier(&fits, &Machine::intrepid(), Layout::Hybrid, 64, 16_384);
+        let knee = largest_efficient(&f, 0.7).unwrap();
+        assert!(knee.nodes < 16_384, "floor must bind before the max size");
+        assert!(knee.efficiency >= 0.7);
+    }
+}

@@ -1,0 +1,110 @@
+//! Benchmark data containers (the output of the gather step).
+
+use hslb_cesm::{BenchPoint, Component};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Benchmark observations grouped per component.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BenchmarkData {
+    points: BTreeMap<Component, Vec<(f64, f64)>>,
+}
+
+impl BenchmarkData {
+    /// Empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest simulator benchmark points.
+    pub fn from_points(points: &[BenchPoint]) -> Self {
+        let mut d = Self::new();
+        for p in points {
+            d.push(p.component, p.nodes as f64, p.seconds);
+        }
+        d
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, c: Component, nodes: f64, seconds: f64) {
+        self.points.entry(c).or_default().push((nodes, seconds));
+    }
+
+    /// Observations for one component (empty slice when none).
+    pub fn of(&self, c: Component) -> &[(f64, f64)] {
+        self.points.get(&c).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Components present.
+    pub fn components(&self) -> Vec<Component> {
+        self.points.keys().copied().collect()
+    }
+
+    /// Number of observations for a component.
+    pub fn count(&self, c: Component) -> usize {
+        self.of(c).len()
+    }
+
+    /// True when every optimized component has at least `d` points — the
+    /// paper's "at least greater than four for each component" guidance.
+    pub fn covers_optimized(&self, d: usize) -> bool {
+        Component::OPTIMIZED.iter().all(|&c| self.count(c) >= d)
+    }
+
+    /// Merge another dataset into this one (e.g. reusing prior benchmark
+    /// archives, §III-F: "the data gathering step can be avoided
+    /// altogether if reliable benchmarks are already available").
+    pub fn merge(&mut self, other: &BenchmarkData) {
+        for (&c, pts) in &other.points {
+            self.points.entry(c).or_default().extend_from_slice(pts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_and_counting() {
+        let mut d = BenchmarkData::new();
+        d.push(Component::Atm, 104.0, 306.9);
+        d.push(Component::Atm, 1664.0, 62.0);
+        d.push(Component::Ocn, 24.0, 362.7);
+        assert_eq!(d.count(Component::Atm), 2);
+        assert_eq!(d.count(Component::Ocn), 1);
+        assert_eq!(d.count(Component::Ice), 0);
+        assert!(!d.covers_optimized(1));
+        assert_eq!(d.components(), vec![Component::Atm, Component::Ocn]);
+    }
+
+    #[test]
+    fn from_points_round_trip() {
+        let pts = vec![
+            BenchPoint {
+                component: Component::Ice,
+                nodes: 80,
+                seconds: 109.0,
+            },
+            BenchPoint {
+                component: Component::Ice,
+                nodes: 1280,
+                seconds: 17.9,
+            },
+        ];
+        let d = BenchmarkData::from_points(&pts);
+        assert_eq!(d.of(Component::Ice), &[(80.0, 109.0), (1280.0, 17.9)]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = BenchmarkData::new();
+        a.push(Component::Lnd, 24.0, 63.8);
+        let mut b = BenchmarkData::new();
+        b.push(Component::Lnd, 384.0, 5.8);
+        b.push(Component::Atm, 104.0, 306.9);
+        a.merge(&b);
+        assert_eq!(a.count(Component::Lnd), 2);
+        assert_eq!(a.count(Component::Atm), 1);
+    }
+}

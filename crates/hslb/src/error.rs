@@ -1,0 +1,72 @@
+//! Error type unifying the pipeline's failure modes.
+
+/// Anything that can go wrong across the gather → fit → solve → execute
+/// pipeline.
+#[derive(Debug)]
+pub enum HslbError {
+    /// A component had too few or malformed benchmark points.
+    Fit {
+        component: hslb_cesm::Component,
+        source: hslb_nlsq::scaling::FitError,
+    },
+    /// Model construction failed.
+    Model(hslb_model::ModelError),
+    /// The MINLP could not be compiled for the solver.
+    Compile(hslb_minlp::CompileError),
+    /// The solver proved the model infeasible (a target node count below
+    /// the smallest feasible layout, say).
+    Infeasible { detail: String },
+    /// The solver stopped without an answer (node limit).
+    SolverIncomplete { detail: String },
+    /// The simulator rejected the allocation at execute time.
+    Execute { detail: String },
+    /// Misconfiguration detected before any work was done.
+    Config(String),
+}
+
+impl std::fmt::Display for HslbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HslbError::Fit { component, source } => {
+                write!(f, "fitting {component}: {source}")
+            }
+            HslbError::Model(e) => write!(f, "building layout model: {e}"),
+            HslbError::Compile(e) => write!(f, "compiling MINLP: {e}"),
+            HslbError::Infeasible { detail } => write!(f, "MINLP infeasible: {detail}"),
+            HslbError::SolverIncomplete { detail } => {
+                write!(f, "solver stopped early: {detail}")
+            }
+            HslbError::Execute { detail } => write!(f, "execution rejected: {detail}"),
+            HslbError::Config(detail) => write!(f, "configuration error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for HslbError {}
+
+impl From<hslb_model::ModelError> for HslbError {
+    fn from(e: hslb_model::ModelError) -> Self {
+        HslbError::Model(e)
+    }
+}
+
+impl From<hslb_minlp::CompileError> for HslbError {
+    fn from(e: hslb_minlp::CompileError) -> Self {
+        HslbError::Compile(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = HslbError::Config("bad target".into());
+        assert!(format!("{e}").contains("bad target"));
+        let e = HslbError::Infeasible {
+            detail: "N too small".into(),
+        };
+        assert!(format!("{e}").contains("infeasible"));
+    }
+}

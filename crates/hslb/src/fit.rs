@@ -1,0 +1,146 @@
+//! Step 2: fit every component's performance curve.
+
+use crate::data::BenchmarkData;
+use crate::error::HslbError;
+use hslb_cesm::Component;
+use hslb_nlsq::{fit_scaling, ScalingCurve, ScalingFit, ScalingFitOptions};
+use std::collections::BTreeMap;
+
+/// The fitted curves for the four optimized components, plus fit-quality
+/// diagnostics.
+#[derive(Debug, Clone)]
+pub struct FitSet {
+    fits: BTreeMap<Component, ScalingFit>,
+}
+
+impl FitSet {
+    /// The curve for a component. Panics if the component was not fitted
+    /// (construction guarantees the four optimized ones).
+    pub fn curve(&self, c: Component) -> ScalingCurve {
+        self.fits[&c].curve
+    }
+
+    /// Full fit diagnostics for a component.
+    pub fn fit(&self, c: Component) -> &ScalingFit {
+        &self.fits[&c]
+    }
+
+    /// Predicted time of component `c` on `n` nodes.
+    pub fn predict(&self, c: Component, n: i64) -> f64 {
+        self.curve(c).eval(n as f64)
+    }
+
+    /// Worst R² across components — the paper's headline fit-quality
+    /// check ("R² was very close to 1 for each component").
+    pub fn min_r_squared(&self) -> f64 {
+        self.fits
+            .values()
+            .map(|f| f.r_squared)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Iterate `(component, fit)` pairs in component order.
+    pub fn iter(&self) -> impl Iterator<Item = (Component, &ScalingFit)> {
+        self.fits.iter().map(|(&c, f)| (c, f))
+    }
+
+    /// Build a fit set directly from known curves (e.g. for what-if
+    /// studies over hypothetical hardware).
+    pub fn from_curves(curves: BTreeMap<Component, ScalingCurve>) -> Self {
+        let fits = curves
+            .into_iter()
+            .map(|(c, curve)| {
+                (
+                    c,
+                    ScalingFit {
+                        curve,
+                        r_squared: 1.0,
+                        rmse: 0.0,
+                        sse: 0.0,
+                        points: 0,
+                    },
+                )
+            })
+            .collect();
+        FitSet { fits }
+    }
+}
+
+/// Fit all four optimized components from benchmark data (Table II's four
+/// least-squares problems).
+pub fn fit_all(data: &BenchmarkData, opts: &ScalingFitOptions) -> Result<FitSet, HslbError> {
+    let mut fits = BTreeMap::new();
+    for &c in &Component::OPTIMIZED {
+        let fit = fit_scaling(data.of(c), opts)
+            .map_err(|source| HslbError::Fit { component: c, source })?;
+        fits.insert(c, fit);
+    }
+    Ok(FitSet { fits })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hslb_cesm::{Component, Simulator};
+
+    fn gather(sim: &Simulator, counts: &[i64]) -> BenchmarkData {
+        BenchmarkData::from_points(&sim.benchmark_all(counts))
+    }
+
+    #[test]
+    fn fits_simulated_one_degree_data_with_high_r2() {
+        let sim = Simulator::one_degree(5);
+        let data = gather(&sim, &[16, 64, 256, 1024, 2048]);
+        let fits = fit_all(&data, &ScalingFitOptions::default()).unwrap();
+        // All components fit well; ice is the weakest but still decent.
+        assert!(fits.min_r_squared() > 0.95, "min R² = {}", fits.min_r_squared());
+        assert!(fits.fit(Component::Atm).r_squared > 0.99);
+    }
+
+    #[test]
+    fn predictions_interpolate_the_truth() {
+        let sim = Simulator::one_degree(6);
+        let data = gather(&sim, &[16, 48, 128, 512, 2048]);
+        let fits = fit_all(&data, &ScalingFitOptions::default()).unwrap();
+        for &c in &Component::OPTIMIZED {
+            for n in [32i64, 200, 1000] {
+                let pred = fits.predict(c, n);
+                let truth = sim.truth(c, n);
+                assert!(
+                    (pred - truth).abs() / truth < 0.15,
+                    "{c}@{n}: pred {pred} vs truth {truth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn missing_component_data_is_a_fit_error() {
+        let mut data = BenchmarkData::new();
+        data.push(Component::Atm, 104.0, 306.9);
+        data.push(Component::Atm, 1664.0, 62.0);
+        let err = fit_all(&data, &ScalingFitOptions::default());
+        assert!(matches!(err, Err(HslbError::Fit { .. })));
+    }
+
+    #[test]
+    fn from_curves_builds_synthetic_set() {
+        let curves: BTreeMap<_, _> = Component::OPTIMIZED
+            .iter()
+            .map(|&c| {
+                (
+                    c,
+                    ScalingCurve {
+                        a: 100.0,
+                        b: 0.0,
+                        c: 1.0,
+                        d: 1.0,
+                    },
+                )
+            })
+            .collect();
+        let fits = FitSet::from_curves(curves);
+        assert_eq!(fits.predict(Component::Atm, 100), 2.0);
+        assert_eq!(fits.min_r_squared(), 1.0);
+    }
+}

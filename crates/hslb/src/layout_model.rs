@@ -1,0 +1,511 @@
+//! Step 3a: build the Table I MINLP for a layout, objective and node
+//! budget.
+//!
+//! The generated models are line-for-line translations of Table I:
+//! temporal constraints (lines 14–19 / 22–23 / 27), node constraints
+//! (lines 20–21 / 24–26 / 28), the optional ice–land synchronization
+//! window `T_sync` (lines 18–19), and the allowed-set machinery for the
+//! ocean and atmosphere node counts as binaries with a convexity row, a
+//! linking row and an SOS-1 declaration (lines 29–31).
+
+use crate::fit::FitSet;
+use crate::objective::Objective;
+use hslb_cesm::{Component, Layout};
+use hslb_model::{ConstraintSense, Convexity, Expr, Model, ObjectiveSense, VarId};
+use hslb_nlsq::ScalingCurve;
+
+/// Per-component minimum node counts (memory floors, §III-C). Defaults
+/// to 1 node each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFloors {
+    pub lnd: i64,
+    pub ice: i64,
+    pub atm: i64,
+    pub ocn: i64,
+}
+
+impl Default for NodeFloors {
+    fn default() -> Self {
+        NodeFloors {
+            lnd: 1,
+            ice: 1,
+            atm: 1,
+            ocn: 1,
+        }
+    }
+}
+
+impl NodeFloors {
+    /// Floors from a resolution's memory requirements.
+    pub fn from_config(config: &hslb_cesm::ResolutionConfig) -> Self {
+        NodeFloors {
+            lnd: config.memory_floor(Component::Lnd),
+            ice: config.memory_floor(Component::Ice),
+            atm: config.memory_floor(Component::Atm),
+            ocn: config.memory_floor(Component::Ocn),
+        }
+    }
+}
+
+/// Options controlling model generation.
+#[derive(Debug, Clone)]
+pub struct LayoutModelOptions {
+    pub layout: Layout,
+    pub objective: Objective,
+    /// Total nodes N available for allocation (Table I line 4).
+    pub total_nodes: i64,
+    /// Memory floors per component (lower bounds on every `n_j`).
+    pub floors: NodeFloors,
+    /// Allowed ocean node counts (Table I line 5); `None` = free.
+    pub ocean_allowed: Option<Vec<i64>>,
+    /// Allowed atmosphere node counts (Table I line 6); `None` = free.
+    pub atm_allowed: Option<Vec<i64>>,
+    /// Ice–land synchronization tolerance `T_sync` in seconds (Table I
+    /// line 9 and lines 18–19); `None` disables the constraint (the paper
+    /// notes it "may actually result in reduced performance").
+    pub tsync: Option<f64>,
+}
+
+impl LayoutModelOptions {
+    /// Makespan-minimizing model for a layout with no allowed-set
+    /// constraints.
+    pub fn free(layout: Layout, total_nodes: i64) -> Self {
+        LayoutModelOptions {
+            layout,
+            objective: Objective::MinMax,
+            total_nodes,
+            floors: NodeFloors::default(),
+            ocean_allowed: None,
+            atm_allowed: None,
+            tsync: None,
+        }
+    }
+}
+
+/// The generated model plus the variable ids needed to read solutions.
+#[derive(Debug, Clone)]
+pub struct LayoutModel {
+    pub model: Model,
+    /// Node-count variable per component, `[lnd, ice, atm, ocn]` order.
+    pub n_lnd: VarId,
+    pub n_ice: VarId,
+    pub n_atm: VarId,
+    pub n_ocn: VarId,
+    /// The makespan variable `T` (or the epigraph variable for min-sum).
+    pub t_total: VarId,
+    /// `T_icelnd` (layout 1 only).
+    pub t_icelnd: Option<VarId>,
+}
+
+impl LayoutModel {
+    /// Extract the allocation from a solution vector.
+    pub fn allocation(&self, x: &[f64]) -> hslb_cesm::Allocation {
+        hslb_cesm::Allocation {
+            lnd: x[self.n_lnd].round() as i64,
+            ice: x[self.n_ice].round() as i64,
+            atm: x[self.n_atm].round() as i64,
+            ocn: x[self.n_ocn].round() as i64,
+        }
+    }
+}
+
+/// The performance-function expression `T_j(n) = a/n + b·n^c + d` over a
+/// node-count variable.
+fn perf_expr(curve: &ScalingCurve, n: VarId) -> Expr {
+    Expr::c(curve.a) / Expr::var(n) + Expr::c(curve.b) * Expr::var(n).pow(curve.c) + curve.d
+}
+
+/// A safe upper bound on any component/makespan time: everything run on
+/// one node, summed.
+fn time_upper_bound(fits: &FitSet) -> f64 {
+    Component::OPTIMIZED
+        .iter()
+        .map(|&c| fits.curve(c).eval(1.0))
+        .sum::<f64>()
+        * 2.0
+}
+
+/// Add allowed-set machinery (Table I lines 29–31) for a node variable:
+/// binaries `z_k`, `Σ z_k = 1`, `Σ z_k·V_k = n`, SOS-1 over the set.
+fn add_allowed_set(
+    model: &mut Model,
+    label: &str,
+    n: VarId,
+    values: &[i64],
+) -> Result<(), hslb_model::ModelError> {
+    assert!(!values.is_empty(), "allowed set for {label} is empty");
+    let mut zs: Vec<(VarId, f64)> = Vec::with_capacity(values.len());
+    for &v in values {
+        let z = model.binary(&format!("z_{label}_{v}"))?;
+        zs.push((z, v as f64));
+    }
+    let convexity_row = zs
+        .iter()
+        .fold(Expr::c(0.0), |acc, &(z, _)| acc + Expr::var(z));
+    model.constrain(
+        &format!("{label}_pick_one"),
+        convexity_row,
+        ConstraintSense::Eq,
+        1.0,
+        Convexity::Linear,
+    )?;
+    let linking = zs
+        .iter()
+        .fold(Expr::c(0.0), |acc, &(z, v)| acc + v * Expr::var(z))
+        - Expr::var(n);
+    model.constrain(
+        &format!("{label}_link"),
+        linking,
+        ConstraintSense::Eq,
+        0.0,
+        Convexity::Linear,
+    )?;
+    model.add_sos1(&format!("{label}_set"), zs)?;
+    Ok(())
+}
+
+/// Build the MINLP of Table I for the given layout/objective/options.
+///
+/// `Objective::MaxMin` models are *intentionally not built* here — their
+/// epigraph constraints are nonconvex over a continuous variable, which
+/// the branch-and-bound rejects; the pipeline evaluates max-min with the
+/// enumeration optimizer instead.
+pub fn build_layout_model(
+    fits: &FitSet,
+    opts: &LayoutModelOptions,
+) -> Result<LayoutModel, crate::error::HslbError> {
+    if opts.objective == Objective::MaxMin {
+        return Err(crate::error::HslbError::Config(
+            "max-min objective is nonconvex; use the exhaustive optimizer (see Objective docs)"
+                .to_string(),
+        ));
+    }
+    let n_total = opts.total_nodes;
+    if n_total < 4 {
+        return Err(crate::error::HslbError::Config(format!(
+            "need at least 4 nodes, got {n_total}"
+        )));
+    }
+    let mut m = Model::new();
+    let nf = n_total as f64;
+
+    // Node-count variables (Table I line 10), bounded below by the
+    // memory floors and above by the machine.
+    let fl = &opts.floors;
+    let n_ice = m.integer("n_ice", fl.ice.max(1) as f64, nf)?;
+    let n_lnd = m.integer("n_lnd", fl.lnd.max(1) as f64, nf)?;
+    let n_atm = m.integer("n_atm", fl.atm.max(1) as f64, nf)?;
+    let n_ocn = m.integer("n_ocn", fl.ocn.max(1) as f64, nf)?;
+    let t_ub = time_upper_bound(fits);
+    let t_total = m.continuous("T", 0.0, t_ub)?;
+
+    let t_of = |c: Component, n: VarId, fits: &FitSet| perf_expr(&fits.curve(c), n);
+
+    // Allowed sets (trim to the node budget; an empty trim is a config
+    // error the solver would otherwise report as infeasible with less
+    // context).
+    if let Some(values) = &opts.ocean_allowed {
+        let trimmed: Vec<i64> = values
+            .iter()
+            .copied()
+            .filter(|&v| v <= n_total && v >= opts.floors.ocn)
+            .collect();
+        if trimmed.is_empty() {
+            return Err(crate::error::HslbError::Config(format!(
+                "no allowed ocean count fits within {n_total} nodes"
+            )));
+        }
+        add_allowed_set(&mut m, "ocn", n_ocn, &trimmed)?;
+    }
+    if let Some(values) = &opts.atm_allowed {
+        let trimmed: Vec<i64> = values
+            .iter()
+            .copied()
+            .filter(|&v| v <= n_total && v >= opts.floors.atm)
+            .collect();
+        if trimmed.is_empty() {
+            return Err(crate::error::HslbError::Config(format!(
+                "no allowed atmosphere count fits within {n_total} nodes"
+            )));
+        }
+        add_allowed_set(&mut m, "atm", n_atm, &trimmed)?;
+    }
+
+    let mut t_icelnd_var = None;
+
+    match opts.objective {
+        Objective::MinMax => {
+            match opts.layout {
+                Layout::Hybrid => {
+                    // Table I lines 14–21.
+                    let t_icelnd = m.continuous("T_icelnd", 0.0, t_ub)?;
+                    t_icelnd_var = Some(t_icelnd);
+                    // T_icelnd ≥ T_i(n_i), T_icelnd ≥ T_l(n_l)
+                    m.constrain(
+                        "icelnd_ge_ice",
+                        t_of(Component::Ice, n_ice, fits) - Expr::var(t_icelnd),
+                        ConstraintSense::Le,
+                        0.0,
+                        Convexity::Convex,
+                    )?;
+                    m.constrain(
+                        "icelnd_ge_lnd",
+                        t_of(Component::Lnd, n_lnd, fits) - Expr::var(t_icelnd),
+                        ConstraintSense::Le,
+                        0.0,
+                        Convexity::Convex,
+                    )?;
+                    // T ≥ T_icelnd + T_a(n_a)
+                    m.constrain(
+                        "total_ge_atm_branch",
+                        Expr::var(t_icelnd) + t_of(Component::Atm, n_atm, fits)
+                            - Expr::var(t_total),
+                        ConstraintSense::Le,
+                        0.0,
+                        Convexity::Convex,
+                    )?;
+                    // T ≥ T_o(n_o)
+                    m.constrain(
+                        "total_ge_ocn",
+                        t_of(Component::Ocn, n_ocn, fits) - Expr::var(t_total),
+                        ConstraintSense::Le,
+                        0.0,
+                        Convexity::Convex,
+                    )?;
+                    // Lines 18–19: |T_l(n_l) − T_i(n_i)| ≤ T_sync.
+                    if let Some(tsync) = opts.tsync {
+                        m.constrain(
+                            "sync_lnd_not_too_fast",
+                            t_of(Component::Ice, n_ice, fits)
+                                - t_of(Component::Lnd, n_lnd, fits),
+                            ConstraintSense::Le,
+                            tsync,
+                            Convexity::Nonconvex,
+                        )?;
+                        m.constrain(
+                            "sync_lnd_not_too_slow",
+                            t_of(Component::Lnd, n_lnd, fits)
+                                - t_of(Component::Ice, n_ice, fits),
+                            ConstraintSense::Le,
+                            tsync,
+                            Convexity::Nonconvex,
+                        )?;
+                    }
+                    // Lines 20–21: n_a + n_o ≤ N, n_i + n_l ≤ n_a.
+                    m.constrain(
+                        "budget",
+                        Expr::var(n_atm) + Expr::var(n_ocn),
+                        ConstraintSense::Le,
+                        nf,
+                        Convexity::Linear,
+                    )?;
+                    m.constrain(
+                        "icelnd_within_atm",
+                        Expr::var(n_ice) + Expr::var(n_lnd) - Expr::var(n_atm),
+                        ConstraintSense::Le,
+                        0.0,
+                        Convexity::Linear,
+                    )?;
+                }
+                Layout::SequentialWithOcean => {
+                    // Table I lines 22–26.
+                    m.constrain(
+                        "total_ge_seq",
+                        t_of(Component::Ice, n_ice, fits)
+                            + t_of(Component::Lnd, n_lnd, fits)
+                            + t_of(Component::Atm, n_atm, fits)
+                            - Expr::var(t_total),
+                        ConstraintSense::Le,
+                        0.0,
+                        Convexity::Convex,
+                    )?;
+                    m.constrain(
+                        "total_ge_ocn",
+                        t_of(Component::Ocn, n_ocn, fits) - Expr::var(t_total),
+                        ConstraintSense::Le,
+                        0.0,
+                        Convexity::Convex,
+                    )?;
+                    for (label, n) in [("lnd", n_lnd), ("ice", n_ice), ("atm", n_atm)] {
+                        m.constrain(
+                            &format!("{label}_within_rest"),
+                            Expr::var(n) + Expr::var(n_ocn),
+                            ConstraintSense::Le,
+                            nf,
+                            Convexity::Linear,
+                        )?;
+                    }
+                }
+                Layout::FullySequential => {
+                    // Table I lines 27–28.
+                    m.constrain(
+                        "total_ge_all_seq",
+                        t_of(Component::Ice, n_ice, fits)
+                            + t_of(Component::Lnd, n_lnd, fits)
+                            + t_of(Component::Atm, n_atm, fits)
+                            + t_of(Component::Ocn, n_ocn, fits)
+                            - Expr::var(t_total),
+                        ConstraintSense::Le,
+                        0.0,
+                        Convexity::Convex,
+                    )?;
+                    // n_j ≤ N is already each variable's upper bound.
+                }
+            }
+            m.set_objective(Expr::var(t_total), ObjectiveSense::Minimize)?;
+        }
+        Objective::SumTime => {
+            // Equation (3): minimize Σ T_j(n_j) under the layout's node
+            // constraints (epigraph form).
+            m.constrain(
+                "sum_epigraph",
+                t_of(Component::Ice, n_ice, fits)
+                    + t_of(Component::Lnd, n_lnd, fits)
+                    + t_of(Component::Atm, n_atm, fits)
+                    + t_of(Component::Ocn, n_ocn, fits)
+                    - Expr::var(t_total),
+                ConstraintSense::Le,
+                0.0,
+                Convexity::Convex,
+            )?;
+            match opts.layout {
+                Layout::Hybrid => {
+                    m.constrain(
+                        "budget",
+                        Expr::var(n_atm) + Expr::var(n_ocn),
+                        ConstraintSense::Le,
+                        nf,
+                        Convexity::Linear,
+                    )?;
+                    m.constrain(
+                        "icelnd_within_atm",
+                        Expr::var(n_ice) + Expr::var(n_lnd) - Expr::var(n_atm),
+                        ConstraintSense::Le,
+                        0.0,
+                        Convexity::Linear,
+                    )?;
+                }
+                Layout::SequentialWithOcean => {
+                    for (label, n) in [("lnd", n_lnd), ("ice", n_ice), ("atm", n_atm)] {
+                        m.constrain(
+                            &format!("{label}_within_rest"),
+                            Expr::var(n) + Expr::var(n_ocn),
+                            ConstraintSense::Le,
+                            nf,
+                            Convexity::Linear,
+                        )?;
+                    }
+                }
+                Layout::FullySequential => {}
+            }
+            m.set_objective(Expr::var(t_total), ObjectiveSense::Minimize)?;
+        }
+        Objective::MaxMin => unreachable!("rejected above"),
+    }
+
+    Ok(LayoutModel {
+        model: m,
+        n_lnd,
+        n_ice,
+        n_atm,
+        n_ocn,
+        t_total,
+        t_icelnd: t_icelnd_var,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::FitSet;
+    use hslb_nlsq::ScalingCurve;
+    use std::collections::BTreeMap;
+
+    fn toy_fits() -> FitSet {
+        // Simple decreasing curves with distinct workloads.
+        let mk = |a: f64, d: f64| ScalingCurve { a, b: 0.0, c: 1.0, d };
+        let curves: BTreeMap<_, _> = [
+            (Component::Ice, mk(8_000.0, 2.0)),
+            (Component::Lnd, mk(1_500.0, 1.0)),
+            (Component::Atm, mk(30_000.0, 10.0)),
+            (Component::Ocn, mk(9_000.0, 5.0)),
+        ]
+        .into_iter()
+        .collect();
+        FitSet::from_curves(curves)
+    }
+
+    #[test]
+    fn hybrid_model_shape_matches_table_i() {
+        let lm = build_layout_model(
+            &toy_fits(),
+            &LayoutModelOptions::free(Layout::Hybrid, 128),
+        )
+        .unwrap();
+        // 4 node vars + T + T_icelnd.
+        assert_eq!(lm.model.num_vars(), 6);
+        assert!(lm.t_icelnd.is_some());
+        // 4 convex temporal constraints + 2 linear node constraints.
+        assert_eq!(lm.model.constraints.len(), 6);
+        let shown = format!("{}", lm.model);
+        assert!(shown.contains("icelnd_within_atm"), "{shown}");
+    }
+
+    #[test]
+    fn tsync_adds_two_nonconvex_rows() {
+        let mut opts = LayoutModelOptions::free(Layout::Hybrid, 128);
+        opts.tsync = Some(5.0);
+        let lm = build_layout_model(&toy_fits(), &opts).unwrap();
+        let nonconvex = lm
+            .model
+            .constraints
+            .iter()
+            .filter(|c| c.convexity == hslb_model::Convexity::Nonconvex)
+            .count();
+        assert_eq!(nonconvex, 2);
+    }
+
+    #[test]
+    fn allowed_sets_create_sos_machinery() {
+        let mut opts = LayoutModelOptions::free(Layout::Hybrid, 128);
+        opts.ocean_allowed = Some(vec![2, 4, 8, 16, 24, 32, 480, 768]);
+        let lm = build_layout_model(&toy_fits(), &opts).unwrap();
+        // Values above 128 are trimmed: 6 binaries remain.
+        let binaries = (0..lm.model.num_vars())
+            .filter(|&v| lm.model.var_type(v) == hslb_model::VarType::Binary)
+            .count();
+        assert_eq!(binaries, 6);
+        assert_eq!(lm.model.sos1.len(), 1);
+        assert_eq!(lm.model.sos1[0].members.len(), 6);
+    }
+
+    #[test]
+    fn empty_trimmed_set_is_a_config_error() {
+        let mut opts = LayoutModelOptions::free(Layout::Hybrid, 128);
+        opts.ocean_allowed = Some(vec![480, 768]);
+        assert!(matches!(
+            build_layout_model(&toy_fits(), &opts),
+            Err(crate::error::HslbError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn maxmin_is_rejected_with_guidance() {
+        let mut opts = LayoutModelOptions::free(Layout::Hybrid, 128);
+        opts.objective = Objective::MaxMin;
+        let err = build_layout_model(&toy_fits(), &opts).unwrap_err();
+        assert!(format!("{err}").contains("max-min"));
+    }
+
+    #[test]
+    fn models_compile_for_the_solver() {
+        for layout in Layout::ALL {
+            let lm = build_layout_model(
+                &toy_fits(),
+                &LayoutModelOptions::free(layout, 256),
+            )
+            .unwrap();
+            hslb_minlp::compile(&lm.model).expect("model must compile");
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! The four-step HSLB pipeline (§III-F).
+
+use crate::data::BenchmarkData;
+use crate::error::HslbError;
+use crate::exhaustive::ExhaustiveOptimizer;
+use crate::fit::{fit_all, FitSet};
+use crate::layout_model::{build_layout_model, LayoutModelOptions};
+use crate::objective::Objective;
+use crate::report::{ArmReport, ExperimentReport};
+use hslb_cesm::{Allocation, Component, Layout, RunResult, Simulator};
+use hslb_minlp::{MinlpOptions, MinlpStatus};
+use hslb_nlsq::ScalingFitOptions;
+
+/// How to choose the benchmark node counts for the gather step.
+#[derive(Debug, Clone)]
+pub enum GatherPlan {
+    /// §III-C's recipe: the smallest memory-feasible count, the largest
+    /// available count, and `extra` log-spaced counts in between (the
+    /// paper found 4 points per component sufficient).
+    LogSpaced {
+        min_nodes: i64,
+        max_nodes: i64,
+        points: usize,
+    },
+    /// Use exactly these counts per component.
+    Explicit(Vec<i64>),
+    /// Reuse previously gathered data, skipping the gather step entirely
+    /// ("the data gathering step can be avoided altogether if reliable
+    /// benchmarks are already available").
+    Reuse(BenchmarkData),
+}
+
+impl GatherPlan {
+    /// The default plan for a target machine size.
+    pub fn default_for(total_nodes: i64) -> Self {
+        GatherPlan::LogSpaced {
+            min_nodes: (total_nodes / 128).max(8),
+            max_nodes: total_nodes,
+            points: 5,
+        }
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct HslbOptions {
+    pub layout: Layout,
+    pub objective: Objective,
+    /// Target total nodes N for the allocation.
+    pub target_nodes: i64,
+    pub gather: GatherPlan,
+    pub fit: ScalingFitOptions,
+    pub solver: MinlpOptions,
+    /// Ice–land synchronization tolerance (Table I line 9), optional.
+    pub tsync: Option<f64>,
+}
+
+impl HslbOptions {
+    /// Defaults matching the paper's main experiments: layout 1, min-max,
+    /// no T_sync.
+    pub fn new(target_nodes: i64) -> Self {
+        HslbOptions {
+            layout: Layout::Hybrid,
+            objective: Objective::MinMax,
+            target_nodes,
+            gather: GatherPlan::default_for(target_nodes),
+            fit: ScalingFitOptions::default(),
+            solver: MinlpOptions::default(),
+            tsync: None,
+        }
+    }
+}
+
+/// Result of the solve step.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    pub allocation: Allocation,
+    /// Predicted per-component times from the fitted curves.
+    pub predicted: hslb_cesm::layout::ComponentTimes,
+    /// Predicted total (the MINLP objective / enumeration score).
+    pub predicted_total: f64,
+    /// Solver statistics (absent when the enumeration path ran).
+    pub solver_stats: Option<hslb_minlp::SolveStats>,
+}
+
+/// The HSLB pipeline bound to a simulator (the "CESM instance").
+pub struct Hslb<'a> {
+    pub sim: &'a Simulator,
+    pub opts: HslbOptions,
+}
+
+impl<'a> Hslb<'a> {
+    /// Create a pipeline.
+    pub fn new(sim: &'a Simulator, opts: HslbOptions) -> Self {
+        Hslb { sim, opts }
+    }
+
+    /// Project a desired benchmark count onto a component's allowed set
+    /// (ocean counts are hard-coded in the CESM build; a benchmark run
+    /// cannot use a count the model will not start with).
+    fn project_count(&self, c: Component, n: i64) -> i64 {
+        // §III-C: the smallest usable benchmark count is the memory floor.
+        let floor = self.sim.config.memory_floor(c);
+        let n = n.max(floor);
+        let allowed = match c {
+            Component::Ocn => self.sim.config.ocean_allowed.as_ref(),
+            Component::Atm => self.sim.config.atm_allowed.as_ref(),
+            _ => None,
+        };
+        match allowed {
+            Some(list) => list
+                .iter()
+                .copied()
+                .filter(|&v| v >= floor)
+                .min_by_key(|&v| (v - n).abs())
+                .unwrap_or(n),
+            None => n.max(1),
+        }
+    }
+
+    /// Step 1: gather benchmark data per the plan.
+    pub fn gather(&self) -> BenchmarkData {
+        match &self.opts.gather {
+            GatherPlan::Reuse(data) => data.clone(),
+            GatherPlan::Explicit(counts) => self.gather_at(counts),
+            GatherPlan::LogSpaced {
+                min_nodes,
+                max_nodes,
+                points,
+            } => {
+                let (lo, hi) = (*min_nodes.min(max_nodes), *max_nodes.max(min_nodes));
+                let k = (*points).max(2);
+                let counts: Vec<i64> = (0..k)
+                    .map(|i| {
+                        let f = i as f64 / (k - 1) as f64;
+                        ((lo as f64).ln() + f * ((hi as f64).ln() - (lo as f64).ln())).exp()
+                            as i64
+                    })
+                    .collect();
+                self.gather_at(&counts)
+            }
+        }
+    }
+
+    fn gather_at(&self, counts: &[i64]) -> BenchmarkData {
+        let mut data = BenchmarkData::new();
+        for &c in &Component::OPTIMIZED {
+            let mut used = std::collections::BTreeSet::new();
+            for (i, &n) in counts.iter().enumerate() {
+                let m = self.project_count(c, n);
+                if !used.insert(m) {
+                    continue; // projection collapsed two counts
+                }
+                data.push(c, m as f64, self.sim.component_time(c, m, i as u64));
+            }
+        }
+        data
+    }
+
+    /// Step 2: fit the four performance curves.
+    pub fn fit(&self, data: &BenchmarkData) -> Result<FitSet, HslbError> {
+        fit_all(data, &self.opts.fit)
+    }
+
+    /// Step 3: solve for the optimal allocation given fitted curves.
+    ///
+    /// Convex objectives go through the MINLP branch-and-bound; `max-min`
+    /// is routed to the enumeration optimizer (see [`Objective`]).
+    pub fn solve(&self, fits: &FitSet) -> Result<SolveOutcome, HslbError> {
+        let alloc = if self.opts.objective.is_convex_minlp() {
+            let lm = build_layout_model(
+                fits,
+                &LayoutModelOptions {
+                    layout: self.opts.layout,
+                    objective: self.opts.objective,
+                    total_nodes: self.opts.target_nodes,
+                    floors: crate::layout_model::NodeFloors::from_config(&self.sim.config),
+                    ocean_allowed: self.sim.config.ocean_allowed.clone(),
+                    atm_allowed: self.sim.config.atm_allowed.clone(),
+                    tsync: self.opts.tsync,
+                },
+            )?;
+            let ir = hslb_minlp::compile(&lm.model)?;
+            let sol = if self.opts.solver.threads > 1 {
+                hslb_minlp::solve_parallel(&ir, &self.opts.solver)
+            } else {
+                hslb_minlp::solve(&ir, &self.opts.solver)
+            };
+            match sol.status {
+                MinlpStatus::Optimal | MinlpStatus::NodeLimitWithIncumbent => {
+                    let allocation = lm.allocation(&sol.x);
+                    return Ok(self.outcome(fits, allocation, Some(sol.stats)));
+                }
+                MinlpStatus::Infeasible => {
+                    return Err(HslbError::Infeasible {
+                        detail: format!(
+                            "no feasible {} allocation of {} nodes",
+                            self.opts.layout, self.opts.target_nodes
+                        ),
+                    })
+                }
+                MinlpStatus::NodeLimitNoIncumbent => {
+                    return Err(HslbError::SolverIncomplete {
+                        detail: format!("node limit {} reached", self.opts.solver.node_limit),
+                    })
+                }
+            }
+        } else {
+            let mut opt =
+                ExhaustiveOptimizer::new(fits, self.opts.layout, self.opts.target_nodes);
+            opt.ocean_allowed = self.sim.config.ocean_allowed.clone();
+            opt.atm_allowed = self.sim.config.atm_allowed.clone();
+            opt.floors = crate::layout_model::NodeFloors::from_config(&self.sim.config);
+            opt.solve(self.opts.objective).allocation
+        };
+        Ok(self.outcome(fits, alloc, None))
+    }
+
+    fn outcome(
+        &self,
+        fits: &FitSet,
+        allocation: Allocation,
+        solver_stats: Option<hslb_minlp::SolveStats>,
+    ) -> SolveOutcome {
+        let predicted = hslb_cesm::layout::ComponentTimes {
+            lnd: fits.predict(Component::Lnd, allocation.lnd),
+            ice: fits.predict(Component::Ice, allocation.ice),
+            atm: fits.predict(Component::Atm, allocation.atm),
+            ocn: fits.predict(Component::Ocn, allocation.ocn),
+        };
+        SolveOutcome {
+            predicted_total: self.opts.layout.total_time(&predicted),
+            allocation,
+            predicted,
+            solver_stats,
+        }
+    }
+
+    /// Step 4: execute the allocation on the simulator.
+    pub fn execute(&self, allocation: &Allocation) -> Result<RunResult, HslbError> {
+        self.sim
+            .run_case(allocation, self.opts.layout, 0xE0)
+            .map_err(|detail| HslbError::Execute { detail })
+    }
+
+    /// The whole pipeline: gather → fit → solve → execute, with an
+    /// optional manual-baseline arm for comparison.
+    pub fn run(&self, manual: Option<Allocation>) -> Result<ExperimentReport, HslbError> {
+        let data = self.gather();
+        let fits = self.fit(&data)?;
+        let solved = self.solve(&fits)?;
+        let actual = self.execute(&solved.allocation)?;
+
+        let manual_arm = match manual {
+            Some(alloc) => {
+                let run = self
+                    .sim
+                    .run_case(&alloc, self.opts.layout, 0xA0)
+                    .map_err(|detail| HslbError::Execute { detail })?;
+                Some(ArmReport {
+                    allocation: alloc,
+                    predicted: None,
+                    predicted_total: None,
+                    actual: run.times,
+                    actual_total: run.total,
+                })
+            }
+            None => None,
+        };
+
+        Ok(ExperimentReport {
+            resolution: self.sim.resolution(),
+            layout: self.opts.layout,
+            objective: self.opts.objective,
+            target_nodes: self.opts.target_nodes,
+            fits: fits
+                .iter()
+                .map(|(c, f)| (c, f.curve, f.r_squared))
+                .collect(),
+            manual: manual_arm,
+            hslb: ArmReport {
+                allocation: solved.allocation,
+                predicted: Some(solved.predicted),
+                predicted_total: Some(solved.predicted_total),
+                actual: actual.times,
+                actual_total: actual.total,
+            },
+            solver_stats: solved.solver_stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_respects_allowed_sets() {
+        let sim = Simulator::one_degree(20);
+        let h = Hslb::new(&sim, HslbOptions::new(128));
+        let data = h.gather();
+        assert!(data.covers_optimized(3));
+        // Every ocean observation must be an allowed (even/768) count.
+        for &(n, _) in data.of(Component::Ocn) {
+            let n = n as i64;
+            assert!(
+                (n % 2 == 0 && n <= 480) || n == 768,
+                "ocean benchmarked at disallowed count {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_plan_deduplicates_after_projection() {
+        let sim = Simulator::one_degree(21);
+        let mut opts = HslbOptions::new(128);
+        opts.gather = GatherPlan::Explicit(vec![23, 24, 25, 128]); // ocn projects 23→24? (24 even)
+        let h = Hslb::new(&sim, opts);
+        let data = h.gather();
+        // lnd keeps all 4 distinct counts; ocn collapses 23/24/25 → {24} (23→24? 25→24/26).
+        assert_eq!(data.count(Component::Lnd), 4);
+        assert!(data.count(Component::Ocn) < 4);
+    }
+}

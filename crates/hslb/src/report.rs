@@ -1,0 +1,175 @@
+//! Table III-style experiment reports.
+
+use crate::objective::Objective;
+use hslb_cesm::layout::ComponentTimes;
+use hslb_cesm::{Allocation, Component, Layout, Resolution};
+use hslb_nlsq::ScalingCurve;
+
+/// One arm of an experiment (manual or HSLB): allocation plus timings.
+#[derive(Debug, Clone)]
+pub struct ArmReport {
+    pub allocation: Allocation,
+    /// Fitted-curve predictions (HSLB arm only).
+    pub predicted: Option<ComponentTimes>,
+    pub predicted_total: Option<f64>,
+    /// Measured (simulated) times.
+    pub actual: ComponentTimes,
+    pub actual_total: f64,
+}
+
+/// A full experiment: one Table III panel.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    pub resolution: Resolution,
+    pub layout: Layout,
+    pub objective: Objective,
+    pub target_nodes: i64,
+    /// `(component, fitted curve, R²)` triples from the fit step.
+    pub fits: Vec<(Component, ScalingCurve, f64)>,
+    pub manual: Option<ArmReport>,
+    pub hslb: ArmReport,
+    pub solver_stats: Option<hslb_minlp::SolveStats>,
+}
+
+impl ExperimentReport {
+    /// Percent improvement of HSLB actual total over the manual actual
+    /// total (positive = HSLB faster); `None` without a manual arm.
+    pub fn improvement_over_manual_pct(&self) -> Option<f64> {
+        let manual = self.manual.as_ref()?;
+        hslb_numerics::stats::improvement_pct(manual.actual_total, self.hslb.actual_total)
+    }
+
+    /// Relative |predicted − actual| / actual of the HSLB total.
+    pub fn prediction_error_pct(&self) -> Option<f64> {
+        let p = self.hslb.predicted_total?;
+        Some(100.0 * (p - self.hslb.actual_total).abs() / self.hslb.actual_total)
+    }
+
+    /// Worst fit R² across components.
+    pub fn min_r_squared(&self) -> f64 {
+        self.fits
+            .iter()
+            .map(|&(_, _, r2)| r2)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl std::fmt::Display for ExperimentReport {
+    /// Renders one panel in the visual format of the paper's Table III.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}, {} nodes, {} ({})",
+            self.resolution, self.target_nodes, self.layout, self.objective
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>9} {:>12} {:>12} {:>12} {:>12}",
+            "components", "# nodes", "Manual t/s", "# nodes", "Pred t/s", "Actual t/s"
+        )?;
+        for c in [Component::Lnd, Component::Ice, Component::Atm, Component::Ocn] {
+            let (mn, mt) = match &self.manual {
+                Some(m) => (
+                    format!("{}", m.allocation.get(c)),
+                    format!("{:.3}", m.actual.get(c)),
+                ),
+                None => ("-".to_string(), "-".to_string()),
+            };
+            let pred = self
+                .hslb
+                .predicted
+                .map_or("-".to_string(), |p| format!("{:.3}", p.get(c)));
+            writeln!(
+                f,
+                "{:<12} {:>9} {:>12} {:>12} {:>12} {:>12.3}",
+                c.label(),
+                mn,
+                mt,
+                self.hslb.allocation.get(c),
+                pred,
+                self.hslb.actual.get(c)
+            )?;
+        }
+        let manual_total = self
+            .manual
+            .as_ref()
+            .map_or("-".to_string(), |m| format!("{:.3}", m.actual_total));
+        let pred_total = self
+            .hslb
+            .predicted_total
+            .map_or("-".to_string(), |t| format!("{t:.3}"));
+        writeln!(
+            f,
+            "{:<12} {:>9} {:>12} {:>12} {:>12} {:>12.3}",
+            "Total time", "", manual_total, "", pred_total, self.hslb.actual_total
+        )?;
+        if let Some(gain) = self.improvement_over_manual_pct() {
+            writeln!(f, "HSLB vs manual: {gain:+.1}%")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_report(manual_total: Option<f64>, hslb_total: f64) -> ExperimentReport {
+        let times = ComponentTimes {
+            lnd: 1.0,
+            ice: 2.0,
+            atm: 3.0,
+            ocn: 4.0,
+        };
+        let alloc = Allocation {
+            lnd: 10,
+            ice: 20,
+            atm: 30,
+            ocn: 40,
+        };
+        ExperimentReport {
+            resolution: Resolution::OneDegree,
+            layout: Layout::Hybrid,
+            objective: Objective::MinMax,
+            target_nodes: 128,
+            fits: vec![],
+            manual: manual_total.map(|t| ArmReport {
+                allocation: alloc,
+                predicted: None,
+                predicted_total: None,
+                actual: times,
+                actual_total: t,
+            }),
+            hslb: ArmReport {
+                allocation: alloc,
+                predicted: Some(times),
+                predicted_total: Some(hslb_total * 0.98),
+                actual: times,
+                actual_total: hslb_total,
+            },
+            solver_stats: None,
+        }
+    }
+
+    #[test]
+    fn improvement_math() {
+        let r = dummy_report(Some(100.0), 75.0);
+        assert!((r.improvement_over_manual_pct().unwrap() - 25.0).abs() < 1e-12);
+        assert!(dummy_report(None, 75.0).improvement_over_manual_pct().is_none());
+    }
+
+    #[test]
+    fn prediction_error_math() {
+        let r = dummy_report(None, 100.0);
+        assert!((r.prediction_error_pct().unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_shows_paper_table_shape() {
+        let shown = format!("{}", dummy_report(Some(100.0), 75.0));
+        assert!(shown.contains("components"));
+        assert!(shown.contains("Total time"));
+        assert!(shown.contains("lnd"));
+        assert!(shown.contains("+25.0%"));
+    }
+}

@@ -1,0 +1,234 @@
+//! §IV-C applications: predictions beyond the tuned configuration.
+//!
+//! "It is possible to adapt the developed mathematical approach for other
+//! purposes. For example, HSLB can estimate the effect of constraints or
+//! 'sweet' spots on scaling/efficiency of CESM, which component layout is
+//! more or less scalable; … or the optimal number of nodes to run CESM."
+
+use crate::exhaustive::ExhaustiveOptimizer;
+use crate::fit::FitSet;
+use crate::objective::Objective;
+use hslb_cesm::{Allocation, Layout};
+
+/// Predicted scaling of one layout: `(N, predicted time, allocation)` per
+/// target node count. This regenerates Figure 4's series.
+#[derive(Debug, Clone)]
+pub struct LayoutScaling {
+    pub layout: Layout,
+    pub points: Vec<(i64, f64, Allocation)>,
+}
+
+/// Predict the optimal time of each layout at each node count from fitted
+/// curves (no execution — exactly what the paper does for layouts 2 and 3,
+/// which were never run).
+pub fn predict_layout_scaling(
+    fits: &FitSet,
+    node_counts: &[i64],
+    ocean_allowed: Option<&[i64]>,
+    atm_allowed: Option<&[i64]>,
+) -> Vec<LayoutScaling> {
+    Layout::ALL
+        .iter()
+        .map(|&layout| {
+            let points = node_counts
+                .iter()
+                .map(|&n| {
+                    let mut opt = ExhaustiveOptimizer::new(fits, layout, n);
+                    opt.ocean_allowed = ocean_allowed.map(|s| s.to_vec());
+                    opt.atm_allowed = atm_allowed.map(|s| s.to_vec());
+                    let res = opt.solve(Objective::MinMax);
+                    (n, res.objective, res.allocation)
+                })
+                .collect();
+            LayoutScaling { layout, points }
+        })
+        .collect()
+}
+
+/// The outcome of an optimal-node-count search.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimalNodes {
+    /// Smallest node count meeting the efficiency threshold.
+    pub nodes: i64,
+    /// Predicted time at that count.
+    pub time: f64,
+    /// Marginal parallel efficiency at that count (speedup gained per
+    /// node-doubling, 1.0 = perfect).
+    pub marginal_efficiency: f64,
+}
+
+/// Find the cost-efficient node count: keep doubling while each doubling
+/// still buys at least `min_marginal_efficiency` of the ideal 2× speedup
+/// ("nodes are increased until scaling is reduced to a predefined limit").
+pub fn optimal_node_count(
+    fits: &FitSet,
+    layout: Layout,
+    min_nodes: i64,
+    max_nodes: i64,
+    min_marginal_efficiency: f64,
+) -> OptimalNodes {
+    assert!(min_nodes >= 4 && max_nodes >= min_nodes);
+    let time_at = |n: i64| {
+        ExhaustiveOptimizer::new(fits, layout, n)
+            .solve(Objective::MinMax)
+            .objective
+    };
+    let mut n = min_nodes;
+    let mut t = time_at(n);
+    let mut eff = 1.0;
+    while n * 2 <= max_nodes {
+        let t2 = time_at(n * 2);
+        // Ideal doubling halves the time: efficiency = (t/t2) / 2.
+        let e = (t / t2) / 2.0;
+        if e < min_marginal_efficiency {
+            break;
+        }
+        n *= 2;
+        t = t2;
+        eff = e;
+    }
+    OptimalNodes {
+        nodes: n,
+        time: t,
+        marginal_efficiency: eff,
+    }
+}
+
+/// Effect of an allowed-set constraint on achievable performance across
+/// machine sizes (§IV-C: "HSLB can estimate the effect of constraints or
+/// 'sweet' spots on scaling/efficiency of CESM"). For each node count,
+/// returns `(N, constrained optimum, unconstrained optimum)` — their gap
+/// is the price of the hard-coded set, the quantity behind the paper's
+/// "component models processor counts should not be arbitrarily limited".
+pub fn constraint_impact(
+    fits: &FitSet,
+    layout: Layout,
+    node_counts: &[i64],
+    ocean_allowed: &[i64],
+) -> Vec<(i64, f64, f64)> {
+    node_counts
+        .iter()
+        .map(|&n| {
+            let mut constrained = ExhaustiveOptimizer::new(fits, layout, n);
+            constrained.ocean_allowed = Some(ocean_allowed.to_vec());
+            let with = constrained.solve(Objective::MinMax).objective;
+            let without = ExhaustiveOptimizer::new(fits, layout, n)
+                .solve(Objective::MinMax)
+                .objective;
+            (n, with, without)
+        })
+        .collect()
+}
+
+/// Predict the best achievable time if one component's curve were replaced
+/// (e.g. swapping the ocean model — "how replacing one component with
+/// another will affect scaling").
+pub fn predict_component_swap(
+    fits: &FitSet,
+    layout: Layout,
+    total_nodes: i64,
+    component: hslb_cesm::Component,
+    replacement: hslb_nlsq::ScalingCurve,
+) -> (f64, f64) {
+    let before = ExhaustiveOptimizer::new(fits, layout, total_nodes)
+        .solve(Objective::MinMax)
+        .objective;
+    let mut curves: std::collections::BTreeMap<_, _> = hslb_cesm::Component::OPTIMIZED
+        .iter()
+        .map(|&c| (c, fits.curve(c)))
+        .collect();
+    curves.insert(component, replacement);
+    let swapped = FitSet::from_curves(curves);
+    let after = ExhaustiveOptimizer::new(&swapped, layout, total_nodes)
+        .solve(Objective::MinMax)
+        .objective;
+    (before, after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hslb_cesm::Component;
+    use hslb_nlsq::ScalingCurve;
+    use std::collections::BTreeMap;
+
+    fn toy_fits() -> FitSet {
+        let mk = |a: f64, d: f64| ScalingCurve { a, b: 0.0, c: 1.0, d };
+        FitSet::from_curves(BTreeMap::from([
+            (Component::Ice, mk(8_000.0, 2.0)),
+            (Component::Lnd, mk(1_500.0, 1.0)),
+            (Component::Atm, mk(30_000.0, 10.0)),
+            (Component::Ocn, mk(9_000.0, 5.0)),
+        ]))
+    }
+
+    #[test]
+    fn layout_scaling_produces_figure4_shape() {
+        let fits = toy_fits();
+        let scaling = predict_layout_scaling(&fits, &[128, 256, 512, 1024, 2048], None, None);
+        assert_eq!(scaling.len(), 3);
+        for s in &scaling {
+            // Times decrease with N for every layout on these curves.
+            assert!(s.points.windows(2).all(|w| w[1].1 <= w[0].1 + 1e-9),
+                "{:?} not monotone", s.layout);
+        }
+        // Layout 3 worst at every N.
+        for i in 0..5 {
+            assert!(scaling[2].points[i].1 >= scaling[0].points[i].1 - 1e-9);
+            assert!(scaling[2].points[i].1 >= scaling[1].points[i].1 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn optimal_nodes_stops_when_scaling_dies() {
+        // Curves with a large serial floor stop scaling quickly.
+        let mk = |a: f64, d: f64| ScalingCurve { a, b: 0.0, c: 1.0, d };
+        let fits = FitSet::from_curves(BTreeMap::from([
+            (Component::Ice, mk(1_000.0, 50.0)),
+            (Component::Lnd, mk(500.0, 50.0)),
+            (Component::Atm, mk(2_000.0, 100.0)),
+            (Component::Ocn, mk(1_000.0, 80.0)),
+        ]));
+        let res = optimal_node_count(&fits, Layout::Hybrid, 8, 65_536, 0.8);
+        assert!(res.nodes < 65_536, "should stop early, got {}", res.nodes);
+        // A scalable model keeps going further.
+        let fits2 = toy_fits();
+        let res2 = optimal_node_count(&fits2, Layout::Hybrid, 8, 65_536, 0.8);
+        assert!(res2.nodes > res.nodes);
+    }
+
+    #[test]
+    fn constraint_impact_grows_with_machine_size() {
+        // A sparse allowed set barely hurts on a small machine but binds
+        // hard once the optimum wants counts the set cannot express —
+        // the 1/8° ocean story in miniature.
+        let fits = toy_fits();
+        let allowed = vec![8i64, 16, 32, 64]; // capped at 64
+        let impact = constraint_impact(&fits, Layout::Hybrid, &[128, 1024, 8192], &allowed);
+        for &(_, with, without) in &impact {
+            assert!(with >= without - 1e-9, "constraint can only hurt");
+        }
+        let gap = |k: usize| (impact[k].1 - impact[k].2) / impact[k].2;
+        assert!(
+            gap(2) > gap(0),
+            "cap should bind harder at 8192 ({}) than at 128 ({})",
+            gap(2),
+            gap(0)
+        );
+    }
+
+    #[test]
+    fn component_swap_changes_prediction() {
+        let fits = toy_fits();
+        // A dramatically better ocean model shifts the optimum down.
+        let fast_ocean = ScalingCurve {
+            a: 900.0,
+            b: 0.0,
+            c: 1.0,
+            d: 0.5,
+        };
+        let (before, after) =
+            predict_component_swap(&fits, Layout::Hybrid, 256, Component::Ocn, fast_ocean);
+        assert!(after <= before);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests: simplex optimality cross-checked against random
+//! feasible points and against an independent grid enumeration.
+
+use hslb_lp::{solve, ConstraintSense, LpProblem, LpStatus, SimplexOptions};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Build a random *feasible* box-constrained LP: bounds [0, ub_j], rows of
+/// the form Σ a_ij x_j ≤ rhs_i with a_ij ≥ 0 and rhs_i ≥ 0 — the origin is
+/// always feasible, so status must be Optimal.
+fn random_feasible_lp(seed: u64, nvars: usize, nrows: usize) -> LpProblem {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut p = LpProblem::new();
+    for j in 0..nvars {
+        let ub = rng.gen_range(0.5..10.0);
+        p.add_var(&format!("x{j}"), 0.0, ub);
+    }
+    for _ in 0..nrows {
+        let terms: Vec<(usize, f64)> = (0..nvars)
+            .map(|j| (j, rng.gen_range(0.0..2.0)))
+            .collect();
+        let rhs = rng.gen_range(0.5..8.0);
+        p.add_row(&terms, ConstraintSense::Le, rhs);
+    }
+    let obj: Vec<(usize, f64)> = (0..nvars)
+        .map(|j| (j, rng.gen_range(-3.0..3.0)))
+        .collect();
+    p.set_objective(&obj);
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The simplex optimum must dominate every random feasible point.
+    #[test]
+    fn optimum_dominates_random_feasible_points(seed in 0u64..10_000, nvars in 1usize..6, nrows in 0usize..5) {
+        let p = random_feasible_lp(seed, nvars, nrows);
+        let s = solve(&p, &SimplexOptions::default()).unwrap();
+        prop_assert_eq!(s.status, LpStatus::Optimal);
+        prop_assert!(p.max_violation(&s.x) < 1e-6);
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xdead_beef);
+        let mut tried = 0;
+        while tried < 200 {
+            // Sample within bounds, keep only row-feasible points.
+            let x: Vec<f64> = (0..nvars)
+                .map(|j| {
+                    let (lo, hi) = p.bounds(j);
+                    rng.gen_range(lo..=hi)
+                })
+                .collect();
+            if p.max_violation(&x) <= 1e-9 {
+                prop_assert!(
+                    s.objective <= p.objective_value(&x) + 1e-7,
+                    "simplex {} beaten by random point {}",
+                    s.objective,
+                    p.objective_value(&x)
+                );
+            }
+            tried += 1;
+        }
+    }
+
+    /// On 2-variable problems, compare against dense grid enumeration.
+    #[test]
+    fn matches_grid_enumeration_2d(seed in 0u64..3_000) {
+        let p = random_feasible_lp(seed, 2, 3);
+        let s = solve(&p, &SimplexOptions::default()).unwrap();
+        prop_assert_eq!(s.status, LpStatus::Optimal);
+
+        let (l0, u0) = p.bounds(0);
+        let (l1, u1) = p.bounds(1);
+        let mut best = f64::INFINITY;
+        let steps = 120;
+        for i in 0..=steps {
+            for j in 0..=steps {
+                let x = vec![
+                    l0 + (u0 - l0) * i as f64 / steps as f64,
+                    l1 + (u1 - l1) * j as f64 / steps as f64,
+                ];
+                if p.max_violation(&x) <= 1e-9 {
+                    best = best.min(p.objective_value(&x));
+                }
+            }
+        }
+        // Grid best can only be ≥ the true optimum (coarse sampling).
+        prop_assert!(
+            s.objective <= best + 1e-7,
+            "simplex {} worse than grid {}",
+            s.objective,
+            best
+        );
+        // And the grid should come close to the optimum.
+        prop_assert!(
+            best - s.objective <= 0.35 * (1.0 + s.objective.abs()),
+            "grid {} too far above simplex {}",
+            best,
+            s.objective
+        );
+    }
+
+    /// Equality-constrained problems: Σx = rhs with rhs inside the box sum
+    /// is feasible; solution must satisfy the equality exactly.
+    #[test]
+    fn equalities_hold_at_optimum(seed in 0u64..3_000, nvars in 2usize..5) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut p = LpProblem::new();
+        for j in 0..nvars {
+            p.add_var(&format!("x{j}"), 0.0, 2.0);
+        }
+        let rhs = rng.gen_range(0.1..(2.0 * nvars as f64 - 0.1));
+        let terms: Vec<(usize, f64)> = (0..nvars).map(|j| (j, 1.0)).collect();
+        p.add_row(&terms, ConstraintSense::Eq, rhs);
+        let obj: Vec<(usize, f64)> = (0..nvars).map(|j| (j, rng.gen_range(-1.0..1.0))).collect();
+        p.set_objective(&obj);
+        let s = solve(&p, &SimplexOptions::default()).unwrap();
+        prop_assert_eq!(s.status, LpStatus::Optimal);
+        let total: f64 = s.x.iter().sum();
+        prop_assert!((total - rhs).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,225 @@
+//! Functional tests for the bounded-variable simplex.
+
+use hslb_lp::{solve, ConstraintSense, LpProblem, LpStatus, SimplexOptions};
+
+fn opt(p: &LpProblem) -> hslb_lp::LpSolution {
+    let s = solve(p, &SimplexOptions::default()).unwrap();
+    assert_eq!(s.status, LpStatus::Optimal, "expected optimal");
+    assert!(
+        p.max_violation(&s.x) < 1e-6,
+        "claimed optimal point violates constraints by {}",
+        p.max_violation(&s.x)
+    );
+    s
+}
+
+#[test]
+fn textbook_2d() {
+    // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 (Dantzig's example).
+    // Optimum (2, 6) with value 36.
+    let mut p = LpProblem::new();
+    let x = p.add_var("x", 0.0, f64::INFINITY);
+    let y = p.add_var("y", 0.0, f64::INFINITY);
+    p.add_row(&[(x, 1.0)], ConstraintSense::Le, 4.0);
+    p.add_row(&[(y, 2.0)], ConstraintSense::Le, 12.0);
+    p.add_row(&[(x, 3.0), (y, 2.0)], ConstraintSense::Le, 18.0);
+    p.set_objective(&[(x, -3.0), (y, -5.0)]);
+    let s = opt(&p);
+    assert!((s.objective + 36.0).abs() < 1e-8);
+    assert!((s.x[0] - 2.0).abs() < 1e-8);
+    assert!((s.x[1] - 6.0).abs() < 1e-8);
+}
+
+#[test]
+fn equality_constraints() {
+    // min x + 2y s.t. x + y = 10, x − y = 2 → x=6, y=4, obj=14.
+    let mut p = LpProblem::new();
+    let x = p.add_var("x", 0.0, f64::INFINITY);
+    let y = p.add_var("y", 0.0, f64::INFINITY);
+    p.add_row(&[(x, 1.0), (y, 1.0)], ConstraintSense::Eq, 10.0);
+    p.add_row(&[(x, 1.0), (y, -1.0)], ConstraintSense::Eq, 2.0);
+    p.set_objective(&[(x, 1.0), (y, 2.0)]);
+    let s = opt(&p);
+    assert!((s.objective - 14.0).abs() < 1e-8);
+}
+
+#[test]
+fn ge_constraints_need_phase1() {
+    // min 2x + 3y s.t. x + y ≥ 10, x ≥ 2, y ≥ 3 → (7, 3), obj = 23.
+    let mut p = LpProblem::new();
+    let x = p.add_var("x", 2.0, f64::INFINITY);
+    let y = p.add_var("y", 3.0, f64::INFINITY);
+    p.add_row(&[(x, 1.0), (y, 1.0)], ConstraintSense::Ge, 10.0);
+    p.set_objective(&[(x, 2.0), (y, 3.0)]);
+    let s = opt(&p);
+    assert!((s.objective - 23.0).abs() < 1e-8);
+    assert!((s.x[0] - 7.0).abs() < 1e-8);
+}
+
+#[test]
+fn detects_infeasible() {
+    let mut p = LpProblem::new();
+    let x = p.add_var("x", 0.0, 1.0);
+    p.add_row(&[(x, 1.0)], ConstraintSense::Ge, 2.0);
+    let s = solve(&p, &SimplexOptions::default()).unwrap();
+    assert_eq!(s.status, LpStatus::Infeasible);
+}
+
+#[test]
+fn detects_infeasible_conflicting_rows() {
+    let mut p = LpProblem::new();
+    let x = p.add_var("x", f64::NEG_INFINITY, f64::INFINITY);
+    p.add_row(&[(x, 1.0)], ConstraintSense::Ge, 5.0);
+    p.add_row(&[(x, 1.0)], ConstraintSense::Le, 4.0);
+    let s = solve(&p, &SimplexOptions::default()).unwrap();
+    assert_eq!(s.status, LpStatus::Infeasible);
+}
+
+#[test]
+fn detects_unbounded() {
+    // min -x with x ≥ 0 free above.
+    let mut p = LpProblem::new();
+    let x = p.add_var("x", 0.0, f64::INFINITY);
+    let y = p.add_var("y", 0.0, f64::INFINITY);
+    p.add_row(&[(x, 1.0), (y, -1.0)], ConstraintSense::Le, 1.0);
+    p.set_objective(&[(x, -1.0)]);
+    let s = solve(&p, &SimplexOptions::default()).unwrap();
+    assert_eq!(s.status, LpStatus::Unbounded);
+}
+
+#[test]
+fn free_variables() {
+    // min |style| problem: min x s.t. x ≥ y − 3, x ≥ −y + 1, y free.
+    // Optimal x = −1 at y = 2.
+    let mut p = LpProblem::new();
+    let x = p.add_var("x", f64::NEG_INFINITY, f64::INFINITY);
+    let y = p.add_var("y", f64::NEG_INFINITY, f64::INFINITY);
+    p.add_row(&[(x, 1.0), (y, -1.0)], ConstraintSense::Ge, -3.0);
+    p.add_row(&[(x, 1.0), (y, 1.0)], ConstraintSense::Ge, 1.0);
+    p.set_objective(&[(x, 1.0)]);
+    let s = opt(&p);
+    assert!((s.objective + 1.0).abs() < 1e-8);
+}
+
+#[test]
+fn upper_bounds_without_rows() {
+    // min −x − 2y with 0 ≤ x ≤ 3, 0 ≤ y ≤ 4, no rows: all at upper bounds.
+    let mut p = LpProblem::new();
+    let x = p.add_var("x", 0.0, 3.0);
+    let y = p.add_var("y", 0.0, 4.0);
+    p.set_objective(&[(x, -1.0), (y, -2.0)]);
+    let s = opt(&p);
+    assert!((s.objective + 11.0).abs() < 1e-9);
+    assert!((s.x[0] - 3.0).abs() < 1e-9);
+    assert!((s.x[1] - 4.0).abs() < 1e-9);
+}
+
+#[test]
+fn bound_flip_path() {
+    // Entering variable hits its own opposite bound before any basic
+    // variable blocks: forces the bound-flip branch.
+    // min −x s.t. x + y ≤ 100, 0 ≤ x ≤ 1, 0 ≤ y ≤ 1.
+    let mut p = LpProblem::new();
+    let x = p.add_var("x", 0.0, 1.0);
+    let y = p.add_var("y", 0.0, 1.0);
+    p.add_row(&[(x, 1.0), (y, 1.0)], ConstraintSense::Le, 100.0);
+    p.set_objective(&[(x, -1.0)]);
+    let s = opt(&p);
+    assert!((s.x[0] - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn negative_rhs_rows() {
+    // min x s.t. −x ≤ −5  (i.e. x ≥ 5).
+    let mut p = LpProblem::new();
+    let x = p.add_var("x", 0.0, f64::INFINITY);
+    p.add_row(&[(x, -1.0)], ConstraintSense::Le, -5.0);
+    p.set_objective(&[(x, 1.0)]);
+    let s = opt(&p);
+    assert!((s.objective - 5.0).abs() < 1e-8);
+}
+
+#[test]
+fn degenerate_problem_terminates() {
+    // Classic degenerate LP (many ties in the ratio test).
+    let mut p = LpProblem::new();
+    // Beale's cycling example: min −0.75a + 150b − 0.02c + 6d.
+    let a = p.add_var("a", 0.0, f64::INFINITY);
+    let b = p.add_var("b", 0.0, f64::INFINITY);
+    let c = p.add_var("c", 0.0, f64::INFINITY);
+    let d = p.add_var("d", 0.0, f64::INFINITY);
+    p.add_row(&[(a, 0.25), (b, -60.0), (c, -0.04), (d, 9.0)], ConstraintSense::Le, 0.0);
+    p.add_row(&[(a, 0.5), (b, -90.0), (c, -0.02), (d, 3.0)], ConstraintSense::Le, 0.0);
+    p.add_row(&[(c, 1.0)], ConstraintSense::Le, 1.0);
+    p.set_objective(&[(a, -0.75), (b, 150.0), (c, -0.02), (d, 6.0)]);
+    let s = solve(&p, &SimplexOptions::default()).unwrap();
+    assert_eq!(s.status, LpStatus::Optimal);
+    assert!(p.max_violation(&s.x) < 1e-7);
+    // Known optimum: z = −0.05 at a = 0.04, c = 1.
+    assert!((s.objective + 0.05).abs() < 1e-8, "objective {}", s.objective);
+}
+
+#[test]
+fn many_columns_sos_like() {
+    // The shape that matters for the MINLP: hundreds of binaries with a
+    // convexity row Σ z = 1 and a linking row Σ k·z_k = n.
+    let mut p = LpProblem::new();
+    let m = 500usize;
+    let zs: Vec<_> = (0..m)
+        .map(|k| p.add_var(&format!("z{k}"), 0.0, 1.0))
+        .collect();
+    let n = p.add_var("n", 1.0, 1000.0);
+    let conv: Vec<_> = zs.iter().map(|&z| (z, 1.0)).collect();
+    p.add_row(&conv, ConstraintSense::Eq, 1.0);
+    let mut link: Vec<_> = zs
+        .iter()
+        .enumerate()
+        .map(|(k, &z)| (z, (k + 1) as f64 * 2.0))
+        .collect();
+    link.push((n, -1.0));
+    p.add_row(&link, ConstraintSense::Eq, 0.0);
+    // Maximize n: should select the largest allowed value 2m = 1000.
+    p.set_objective(&[(n, -1.0)]);
+    let s = opt(&p);
+    assert!((s.x[n] - 1000.0).abs() < 1e-6);
+}
+
+#[test]
+fn fixed_variables_are_respected() {
+    let mut p = LpProblem::new();
+    let x = p.add_var("x", 2.0, 2.0);
+    let y = p.add_var("y", 0.0, 10.0);
+    p.add_row(&[(x, 1.0), (y, 1.0)], ConstraintSense::Le, 5.0);
+    p.set_objective(&[(y, -1.0)]);
+    let s = opt(&p);
+    assert!((s.x[0] - 2.0).abs() < 1e-9);
+    assert!((s.x[1] - 3.0).abs() < 1e-8);
+}
+
+#[test]
+fn redundant_equality_rows() {
+    // Duplicate equality rows leave a basic artificial in a redundant row;
+    // the solve must still succeed.
+    let mut p = LpProblem::new();
+    let x = p.add_var("x", 0.0, 10.0);
+    let y = p.add_var("y", 0.0, 10.0);
+    p.add_row(&[(x, 1.0), (y, 1.0)], ConstraintSense::Eq, 6.0);
+    p.add_row(&[(x, 2.0), (y, 2.0)], ConstraintSense::Eq, 12.0);
+    p.set_objective(&[(x, 1.0)]);
+    let s = opt(&p);
+    assert!(s.objective.abs() < 1e-8); // x = 0, y = 6
+}
+
+#[test]
+fn tightened_bounds_change_optimum() {
+    // Branch-and-bound usage pattern: clone + tighten.
+    let mut p = LpProblem::new();
+    let x = p.add_var("x", 0.0, 10.0);
+    p.set_objective(&[(x, -1.0)]);
+    let s1 = opt(&p);
+    assert!((s1.x[0] - 10.0).abs() < 1e-9);
+    let mut p2 = p.clone();
+    p2.set_bounds(x, 0.0, 3.5);
+    let s2 = opt(&p2);
+    assert!((s2.x[0] - 3.5).abs() < 1e-9);
+}

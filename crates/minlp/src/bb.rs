@@ -1,0 +1,654 @@
+//! The branch-and-bound tree search (serial driver + shared node logic).
+
+use crate::ir::Ir;
+use crate::nlp::{self, Cut, NlpStatus};
+use crate::options::{Algorithm, Branching, MinlpOptions, NodeSelection};
+use crate::solution::{MinlpSolution, MinlpStatus, SolveStats};
+use hslb_lp::{LpStatus, SimplexOptions};
+use hslb_numerics::float;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A live tree node. Bounds are stored as deltas against the root —
+/// integer branchings add one `(var, lo, hi)` override each, and SOS
+/// branchings narrow a per-set member index window, so a node costs a few
+/// dozen bytes regardless of how many binaries the SOS sets hold.
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    /// Accumulated variable bound overrides (intersected with root bounds).
+    pub overrides: Vec<(usize, f64, f64)>,
+    /// Inclusive member-index window per SOS set; members outside the
+    /// window are fixed to zero when the node's LP is built.
+    pub sos_window: Vec<(usize, usize)>,
+    /// Lower bound inherited from the parent's relaxation.
+    pub bound: f64,
+    pub depth: usize,
+    /// The integer branching that created this node, for pseudo-cost
+    /// bookkeeping: `(variable, fractional part at the parent, direction)`.
+    pub branch: Option<(usize, f64, crate::pseudocost::BranchDir)>,
+}
+
+/// Heap entry ordered so that `BinaryHeap::pop` yields the best bound.
+struct Entry {
+    key: Reverse<OrdF64>,
+    seq: Reverse<u64>,
+    node: Node,
+}
+
+/// Total-ordered f64 wrapper for the node heap.
+#[derive(PartialEq)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        float::cmp_f64(self.0, other.0)
+    }
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// What processing a node produced.
+pub(crate) enum NodeOutcome {
+    /// Fathomed: relaxation infeasible, bound-dominated, or an enforced
+    /// nonconvex constraint ruled the (fully fixed) node out.
+    Pruned { infeasible: bool },
+    /// Fathomed with a feasible integer point.
+    Incumbent { x: Vec<f64>, obj: f64 },
+    /// Split into children (each with an inherited bound).
+    Branched { children: Vec<Node>, sos: bool },
+}
+
+/// Node-processing report: outcome + cuts generated + work counters.
+pub(crate) struct Processed {
+    pub outcome: NodeOutcome,
+    pub new_cuts: Vec<Cut>,
+    pub lp_solves: usize,
+    pub simplex_iters: usize,
+    /// This node's own relaxation bound (∞ when infeasible) — consumed by
+    /// the driver to update pseudo-costs against the parent bound.
+    pub relax_bound: f64,
+}
+
+/// Resolve a node's effective bounds; `None` when an intersection is empty
+/// (node trivially infeasible).
+pub(crate) fn node_bounds(ir: &Ir, node: &Node) -> Option<(Vec<f64>, Vec<f64>)> {
+    let mut lb = ir.lb.clone();
+    let mut ub = ir.ub.clone();
+    for &(v, lo, hi) in &node.overrides {
+        lb[v] = lb[v].max(lo);
+        ub[v] = ub[v].min(hi);
+        if lb[v] > ub[v] {
+            return None;
+        }
+    }
+    for (s, &(w0, w1)) in node.sos_window.iter().enumerate() {
+        let members = &ir.sos[s].members;
+        for (k, &(v, _)) in members.iter().enumerate() {
+            if k < w0 || k > w1 {
+                // Fix to zero (member bounds always contain zero for the
+                // binaries these sets are built from).
+                lb[v] = lb[v].max(0.0);
+                ub[v] = ub[v].min(0.0);
+                if lb[v] > ub[v] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some((lb, ub))
+}
+
+/// Pick the fractional integer variable to branch on, if any, using the
+/// configured selection rule.
+fn fractional_int(
+    ir: &Ir,
+    x: &[f64],
+    tol: f64,
+    rule: crate::options::IntVarSelection,
+    pc: &crate::pseudocost::PseudoCostTable,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for v in 0..ir.num_vars() {
+        if !ir.is_int[v] {
+            continue;
+        }
+        let f = float::fractionality(x[v]);
+        if f <= tol {
+            continue;
+        }
+        let score = match rule {
+            crate::options::IntVarSelection::MostFractional => f,
+            crate::options::IntVarSelection::PseudoCost => {
+                // Product-rule score over the down/up fractional parts.
+                let frac_down = x[v] - x[v].floor();
+                pc.score(v, frac_down)
+            }
+        };
+        if best.map_or(true, |(_, bs)| score > bs) {
+            best = Some((v, score));
+        }
+    }
+    best.map(|(v, _)| v)
+}
+
+/// First SOS set with ≥ 2 members above tolerance inside its window.
+fn violated_sos(ir: &Ir, node: &Node, x: &[f64], tol: f64) -> Option<usize> {
+    for (s, set) in ir.sos.iter().enumerate() {
+        if set.members.is_empty() {
+            continue;
+        }
+        let (w0, w1) = node.sos_window[s];
+        let nonzero = set.members[w0..=w1]
+            .iter()
+            .filter(|&&(v, _)| x[v].abs() > tol)
+            .count();
+        if nonzero >= 2 {
+            return Some(s);
+        }
+    }
+    None
+}
+
+/// Split SOS set `s` of `node` at the weighted centroid of the LP values.
+fn branch_sos(ir: &Ir, node: &Node, x: &[f64], s: usize, bound: f64) -> Vec<Node> {
+    let (w0, w1) = node.sos_window[s];
+    let members = &ir.sos[s].members[w0..=w1];
+    let mass: f64 = members.iter().map(|&(v, _)| x[v].max(0.0)).sum();
+    let centroid: f64 = if mass > 0.0 {
+        members
+            .iter()
+            .map(|&(v, w)| x[v].max(0.0) * w)
+            .sum::<f64>()
+            / mass
+    } else {
+        members[members.len() / 2].1
+    };
+    // Largest in-window index whose weight ≤ centroid, clamped so both
+    // children are strict subsets.
+    let mut split = w0;
+    for (k, &(_, w)) in ir.sos[s].members[w0..=w1].iter().enumerate() {
+        if w <= centroid {
+            split = w0 + k;
+        }
+    }
+    let split = split.clamp(w0, w1 - 1);
+    [(w0, split), (split + 1, w1)]
+        .into_iter()
+        .map(|win| {
+            let mut child = node.clone();
+            child.sos_window[s] = win;
+            child.bound = bound;
+            child.depth += 1;
+            child.branch = None; // this edge is an SOS split, not an integer branch
+            child
+        })
+        .collect()
+}
+
+/// Split on integer variable `v` around its relaxation value.
+fn branch_int(node: &Node, v: usize, xv: f64, lb_v: f64, ub_v: f64, bound: f64) -> Vec<Node> {
+    // For fractional xv: [lb, floor] / [ceil, ub]. For integral xv (the
+    // nonconvex-enforcement path), split so both children are proper.
+    let frac = xv - xv.floor();
+    let (left_hi, right_lo) = if float::fractionality(xv) > 1e-9 {
+        (xv.floor(), xv.ceil())
+    } else if xv >= ub_v - 0.5 {
+        (xv - 1.0, xv)
+    } else {
+        (xv, xv + 1.0)
+    };
+    let mut out = Vec::with_capacity(2);
+    if left_hi >= lb_v - 1e-9 {
+        let mut child = node.clone();
+        child.overrides.push((v, f64::NEG_INFINITY, left_hi));
+        child.bound = bound;
+        child.depth += 1;
+        child.branch = Some((v, frac.max(1e-6), crate::pseudocost::BranchDir::Down));
+        out.push(child);
+    }
+    if right_lo <= ub_v + 1e-9 {
+        let mut child = node.clone();
+        child.overrides.push((v, right_lo, f64::INFINITY));
+        child.bound = bound;
+        child.depth += 1;
+        child.branch = Some((v, (1.0 - frac).max(1e-6), crate::pseudocost::BranchDir::Up));
+        out.push(child);
+    }
+    out
+}
+
+/// Process one node against a snapshot of the global cut pool.
+///
+/// `cutoff` is the objective value a node must strictly beat (incumbent
+/// minus gap); nodes at or above it are pruned. Newly generated OA cuts
+/// are returned for the driver to publish.
+pub(crate) fn process_node(
+    ir: &Ir,
+    opts: &MinlpOptions,
+    node: &Node,
+    pool: &[Cut],
+    cutoff: f64,
+    pc: &crate::pseudocost::PseudoCostTable,
+) -> Processed {
+    let mut report = Processed {
+        outcome: NodeOutcome::Pruned { infeasible: true },
+        new_cuts: Vec::new(),
+        lp_solves: 0,
+        simplex_iters: 0,
+        relax_bound: f64::INFINITY,
+    };
+    let Some((lb, ub)) = node_bounds(ir, node) else {
+        return report;
+    };
+    let sx = SimplexOptions::default();
+
+    for _round in 0..opts.max_cut_rounds {
+        // --- relaxation solve ---
+        let (x, bound) = if opts.algorithm == Algorithm::NlpBb {
+            // Solve the node NLP to convergence (Kelley).
+            let mut merged: Vec<Cut> = pool.to_vec();
+            merged.extend(report.new_cuts.iter().cloned());
+            let res = nlp::solve_relaxation(ir, &lb, &ub, &merged, opts);
+            report.lp_solves += res.lp_solves;
+            report.simplex_iters += res.simplex_iters;
+            report.new_cuts.extend(res.new_cuts);
+            match res.status {
+                NlpStatus::Infeasible => {
+                    report.outcome = NodeOutcome::Pruned { infeasible: true };
+                    return report;
+                }
+                NlpStatus::Unbounded => {
+                    panic!("MINLP relaxation unbounded: give every variable finite-ish bounds")
+                }
+                NlpStatus::Optimal | NlpStatus::IterationLimit => {}
+            }
+            if res.x.is_empty() {
+                report.outcome = NodeOutcome::Pruned { infeasible: true };
+                return report;
+            }
+            (res.x, res.objective)
+        } else {
+            // Single LP over current linearization (Quesada–Grossmann).
+            let mut lp = nlp::build_lp(ir, &lb, &ub, pool);
+            for c in &report.new_cuts {
+                lp.add_row(
+                    &c.terms,
+                    hslb_lp::ConstraintSense::Le,
+                    c.rhs,
+                );
+            }
+            let sol = match hslb_lp::solve(&lp, &sx) {
+                Ok(s) => s,
+                Err(_) => {
+                    // Numerical failure: treat as unfathomed and branch on
+                    // the widest integer to make progress.
+                    report.outcome = NodeOutcome::Pruned { infeasible: true };
+                    return report;
+                }
+            };
+            report.lp_solves += 1;
+            report.simplex_iters += sol.iterations;
+            match sol.status {
+                LpStatus::Infeasible => {
+                    report.outcome = NodeOutcome::Pruned { infeasible: true };
+                    return report;
+                }
+                LpStatus::Unbounded => {
+                    panic!("MINLP relaxation unbounded: give every variable finite-ish bounds")
+                }
+                LpStatus::Optimal => {}
+            }
+            (sol.x.clone(), sol.objective)
+        };
+
+        report.relax_bound = bound;
+
+        // --- bound pruning ---
+        if bound >= cutoff {
+            report.outcome = NodeOutcome::Pruned { infeasible: false };
+            return report;
+        }
+
+        // --- branching decision on fractional structure ---
+        let sos_choice = match opts.branching {
+            Branching::SosFirst => violated_sos(ir, node, &x, opts.int_tol),
+            // Even in IntegerOnly mode the SOS condition must be enforced;
+            // it only loses its *priority*. With the usual Σz=1 convexity
+            // row, integral binaries always satisfy it.
+            Branching::IntegerOnly => None,
+        };
+        if let Some(s) = sos_choice {
+            report.outcome = NodeOutcome::Branched {
+                children: branch_sos(ir, node, &x, s, bound),
+                sos: true,
+            };
+            return report;
+        }
+        if let Some(v) = fractional_int(ir, &x, opts.int_tol, opts.int_var_selection, pc) {
+            report.outcome = NodeOutcome::Branched {
+                children: branch_int(node, v, x[v], lb[v], ub[v], bound),
+                sos: false,
+            };
+            return report;
+        }
+        // Integral: late SOS check (IntegerOnly mode, or degenerate sets).
+        if let Some(s) = violated_sos(ir, node, &x, opts.int_tol) {
+            report.outcome = NodeOutcome::Branched {
+                children: branch_sos(ir, node, &x, s, bound),
+                sos: true,
+            };
+            return report;
+        }
+
+        // --- integer point: enforce nonlinear constraints ---
+        // Round integers exactly before evaluating (LP tolerance noise on
+        // n changes T(n) measurably at small n).
+        let mut xi = x.clone();
+        for v in 0..ir.num_vars() {
+            if ir.is_int[v] {
+                xi[v] = xi[v].round();
+            }
+        }
+        let mut added_cut = false;
+        for k in 0..ir.nonlinear.len() {
+            let con = &ir.nonlinear[k];
+            let g = con.g.eval(&xi);
+            if g <= opts.feas_tol {
+                continue;
+            }
+            if con.convex {
+                report.new_cuts.push(nlp::linearize(ir, k, &xi));
+                added_cut = true;
+            } else {
+                // Nonconvex: no valid cut. If the constraint's integers are
+                // all fixed at this node it is constant and violated —
+                // prune. Otherwise branch one of them to make progress.
+                let unfixed = con
+                    .vars
+                    .iter()
+                    .copied()
+                    .find(|&v| ir.is_int[v] && ub[v] - lb[v] > 0.5);
+                match unfixed {
+                    None => {
+                        report.outcome = NodeOutcome::Pruned { infeasible: true };
+                        return report;
+                    }
+                    Some(v) => {
+                        report.outcome = NodeOutcome::Branched {
+                            children: branch_int(node, v, xi[v], lb[v], ub[v], bound),
+                            sos: false,
+                        };
+                        return report;
+                    }
+                }
+            }
+        }
+        if added_cut {
+            continue; // re-solve this node with the new linearization
+        }
+
+        // Feasible integer point: candidate incumbent. Its true objective
+        // is the LP objective (linear) evaluated at the rounded point.
+        let obj = ir.objective(&xi);
+        report.outcome = NodeOutcome::Incumbent { x: xi, obj };
+        return report;
+    }
+
+    // Cut rounds exhausted: accept the point if it is within a loose
+    // multiple of the tolerance, otherwise give up on the node (cannot
+    // happen for well-scaled convex instances).
+    report.outcome = NodeOutcome::Pruned { infeasible: true };
+    report
+}
+
+/// Solve the compiled MINLP with a serial branch-and-bound.
+///
+/// # Examples
+///
+/// ```
+/// use hslb_minlp::{compile, solve, MinlpOptions, MinlpStatus};
+/// use hslb_model::{ConstraintSense, Convexity, Expr, Model, ObjectiveSense};
+///
+/// // minimize T  s.t.  T ≥ 64/n,  n integer in [1, 10]  →  n = 10.
+/// let mut m = Model::new();
+/// let n = m.integer("n", 1.0, 10.0).unwrap();
+/// let t = m.continuous("T", 0.0, 1e6).unwrap();
+/// m.constrain(
+///     "perf",
+///     64.0 / Expr::var(n) - Expr::var(t),
+///     ConstraintSense::Le,
+///     0.0,
+///     Convexity::Convex,
+/// ).unwrap();
+/// m.set_objective(Expr::var(t), ObjectiveSense::Minimize).unwrap();
+///
+/// let sol = solve(&compile(&m).unwrap(), &MinlpOptions::default());
+/// assert_eq!(sol.status, MinlpStatus::Optimal);
+/// assert_eq!(sol.int_value(n), 10);
+/// ```
+pub fn solve(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
+    let t0 = std::time::Instant::now();
+    let mut stats = SolveStats::default();
+    let mut pool: Vec<Cut> = Vec::new();
+
+    // Root presolve: tighten the box by propagating the linear rows.
+    let tightened;
+    let ir = if opts.presolve {
+        match crate::presolve::propagate(ir, 20) {
+            crate::presolve::PresolveResult::Infeasible { .. } => {
+                stats.wall = t0.elapsed();
+                return MinlpSolution {
+                    status: MinlpStatus::Infeasible,
+                    x: vec![],
+                    objective: f64::INFINITY,
+                    best_bound: f64::INFINITY,
+                    stats,
+                };
+            }
+            crate::presolve::PresolveResult::Tightened { lb, ub, changes } => {
+                stats.presolve_changes = changes;
+                tightened = Ir {
+                    lb,
+                    ub,
+                    ..ir.clone()
+                };
+                &tightened
+            }
+        }
+    } else {
+        ir
+    };
+    let pc = crate::pseudocost::PseudoCostTable::new(ir.num_vars());
+
+    // Root: continuous NLP relaxation (Kelley). Its cuts seed the pool —
+    // the paper's "initial linearization point".
+    let root_bounds = (ir.lb.clone(), ir.ub.clone());
+    let root_relax = nlp::solve_relaxation(ir, &root_bounds.0, &root_bounds.1, &[], opts);
+    stats.lp_solves += root_relax.lp_solves;
+    stats.simplex_iters += root_relax.simplex_iters;
+    pool.extend(root_relax.new_cuts.iter().cloned());
+    stats.cuts = pool.len();
+    match root_relax.status {
+        NlpStatus::Infeasible => {
+            stats.wall = t0.elapsed();
+            return MinlpSolution {
+                status: MinlpStatus::Infeasible,
+                x: vec![],
+                objective: f64::INFINITY,
+                best_bound: f64::INFINITY,
+                stats,
+            };
+        }
+        NlpStatus::Unbounded => {
+            panic!("MINLP relaxation unbounded: give every variable finite-ish bounds")
+        }
+        NlpStatus::Optimal | NlpStatus::IterationLimit => {}
+    }
+    let root_bound = if root_relax.status == NlpStatus::Optimal {
+        root_relax.objective
+    } else {
+        f64::NEG_INFINITY
+    };
+
+    let root = Node {
+        overrides: Vec::new(),
+        sos_window: ir
+            .sos
+            .iter()
+            .map(|s| (0usize, s.members.len().saturating_sub(1)))
+            .collect(),
+        bound: root_bound,
+        depth: 0,
+        branch: None,
+    };
+
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+    let mut stack: Vec<Node> = Vec::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<Entry>, stack: &mut Vec<Node>, n: Node, seq: &mut u64| {
+        match opts.node_selection {
+            NodeSelection::BestBound => {
+                heap.push(Entry {
+                    key: Reverse(OrdF64(n.bound)),
+                    seq: Reverse(*seq),
+                    node: n,
+                });
+                *seq += 1;
+            }
+            NodeSelection::DepthFirst => stack.push(n),
+        }
+    };
+    push(&mut heap, &mut stack, root, &mut seq);
+
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let cutoff_of = |inc: &Option<(f64, Vec<f64>)>| -> f64 {
+        match inc {
+            None => f64::INFINITY,
+            Some((obj, _)) => obj - opts.abs_gap.max(opts.rel_gap * obj.abs()),
+        }
+    };
+    let mut best_open_bound = root_bound;
+
+    while stats.nodes < opts.node_limit {
+        let node = match opts.node_selection {
+            NodeSelection::BestBound => match heap.pop() {
+                Some(e) => e.node,
+                None => break,
+            },
+            NodeSelection::DepthFirst => match stack.pop() {
+                Some(n) => n,
+                None => break,
+            },
+        };
+        best_open_bound = node.bound;
+        let cutoff = cutoff_of(&incumbent);
+        if node.bound >= cutoff {
+            stats.pruned_by_bound += 1;
+            continue;
+        }
+        stats.nodes += 1;
+        if let Some(every) = opts.log_every {
+            if every > 0 && stats.nodes % every == 0 {
+                let inc = incumbent
+                    .as_ref()
+                    .map_or("-".to_string(), |(o, _)| format!("{o:.4}"));
+                eprintln!(
+                    "[minlp] node {:>6}  bound {:>12.4}  incumbent {:>12}  cuts {:>5}  open {}",
+                    stats.nodes,
+                    node.bound,
+                    inc,
+                    pool.len(),
+                    heap.len() + stack.len()
+                );
+            }
+        }
+        let processed = process_node(ir, opts, &node, &pool, cutoff, &pc);
+        // Pseudo-cost update for the integer branch that created this node.
+        if let Some((v, frac, dir)) = node.branch {
+            if processed.relax_bound.is_finite() && node.bound.is_finite() {
+                pc.update(v, dir, frac, processed.relax_bound - node.bound);
+            }
+        }
+        stats.lp_solves += processed.lp_solves;
+        stats.simplex_iters += processed.simplex_iters;
+        if !processed.new_cuts.is_empty() {
+            stats.cuts += nlp::absorb_cuts(&mut pool, processed.new_cuts, 1e-9);
+        }
+        match processed.outcome {
+            NodeOutcome::Pruned { infeasible } => {
+                if infeasible {
+                    stats.pruned_infeasible += 1;
+                } else {
+                    stats.pruned_by_bound += 1;
+                }
+            }
+            NodeOutcome::Incumbent { x, obj } => {
+                if incumbent.as_ref().map_or(true, |(best, _)| obj < *best) {
+                    stats.incumbents += 1;
+                    incumbent = Some((obj, x));
+                }
+            }
+            NodeOutcome::Branched { children, sos } => {
+                if sos {
+                    stats.sos_branches += 1;
+                } else {
+                    stats.int_branches += 1;
+                }
+                for c in children {
+                    push(&mut heap, &mut stack, c, &mut seq);
+                }
+            }
+        }
+    }
+
+    stats.wall = t0.elapsed();
+    let exhausted = heap.is_empty() && stack.is_empty();
+    match incumbent {
+        Some((obj, x)) => {
+            let status = if exhausted {
+                MinlpStatus::Optimal
+            } else {
+                MinlpStatus::NodeLimitWithIncumbent
+            };
+            let model_obj = ir.model_objective(&x);
+            MinlpSolution {
+                status,
+                x,
+                objective: model_obj,
+                best_bound: if exhausted { obj } else { best_open_bound },
+                stats,
+            }
+        }
+        None => MinlpSolution {
+            status: if exhausted {
+                MinlpStatus::Infeasible
+            } else {
+                MinlpStatus::NodeLimitNoIncumbent
+            },
+            x: vec![],
+            objective: f64::INFINITY,
+            best_bound: best_open_bound,
+            stats,
+        },
+    }
+}

@@ -1,0 +1,353 @@
+//! Kelley's cutting-plane method for the continuous (convex) relaxation.
+//!
+//! MINOTAUR delegates its NLP subproblems to filterSQP; here every NLP we
+//! ever need is *convex with bounded variables*, so Kelley's method —
+//! iterate: solve an LP, linearize the most violated convex constraints at
+//! the LP optimum, repeat — converges to the NLP optimum using nothing but
+//! the `hslb-lp` simplex. The linearizations it generates are globally
+//! valid outer-approximation cuts, which the branch-and-bound reuses as
+//! its initial cut pool (exactly the role of the "initial linearization
+//! point" in §III-E).
+
+use crate::ir::Ir;
+use crate::options::MinlpOptions;
+use hslb_lp::{ConstraintSense as LpSense, LpProblem, LpStatus, SimplexOptions};
+use hslb_model::ConstraintSense;
+
+/// A globally valid linear cut `Σ terms ≤ rhs`.
+#[derive(Debug, Clone)]
+pub struct Cut {
+    pub terms: Vec<(usize, f64)>,
+    pub rhs: f64,
+    /// Index of the nonlinear constraint this cut outer-approximates.
+    pub source: usize,
+}
+
+impl Cut {
+    /// Are two cuts near-duplicates (same source, coefficients and rhs
+    /// within a relative tolerance)? Tangent planes taken at nearby points
+    /// are almost identical; keeping both only slows the LPs down.
+    pub fn near_duplicate(&self, other: &Cut, tol: f64) -> bool {
+        if self.source != other.source || self.terms.len() != other.terms.len() {
+            return false;
+        }
+        let close = |a: f64, b: f64| (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()));
+        if !close(self.rhs, other.rhs) {
+            return false;
+        }
+        self.terms
+            .iter()
+            .zip(&other.terms)
+            .all(|(&(va, ca), &(vb, cb))| va == vb && close(ca, cb))
+    }
+}
+
+/// Append `new` cuts to `pool`, dropping near-duplicates of recent pool
+/// entries. Only the tail of the pool is scanned (tangents from the same
+/// search region cluster in time), keeping this O(new · window).
+pub fn absorb_cuts(pool: &mut Vec<Cut>, new: Vec<Cut>, tol: f64) -> usize {
+    const WINDOW: usize = 64;
+    let mut added = 0;
+    for cut in new {
+        let start = pool.len().saturating_sub(WINDOW);
+        if pool[start..].iter().any(|c| c.near_duplicate(&cut, tol)) {
+            continue;
+        }
+        pool.push(cut);
+        added += 1;
+    }
+    added
+}
+
+/// Status of a relaxation solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NlpStatus {
+    /// Converged: LP optimum satisfies all convex constraints within tol.
+    Optimal,
+    /// The linear relaxation (hence the NLP, hence the MINLP) is
+    /// infeasible.
+    Infeasible,
+    /// The relaxation is unbounded (models should bound their variables).
+    Unbounded,
+    /// Iteration cap hit before the violation dropped under tolerance.
+    IterationLimit,
+}
+
+/// Result of [`solve_relaxation`].
+#[derive(Debug, Clone)]
+pub struct NlpResult {
+    pub status: NlpStatus,
+    pub x: Vec<f64>,
+    /// Internal (minimization) objective value.
+    pub objective: f64,
+    /// Cuts generated during this solve (globally valid).
+    pub new_cuts: Vec<Cut>,
+    /// LP solves performed.
+    pub lp_solves: usize,
+    /// Simplex iterations across those solves.
+    pub simplex_iters: usize,
+}
+
+/// Build the base LP for the IR under the given bounds, with pool cuts.
+///
+/// Nonconvex constraints are *omitted* (they are enforced by the caller's
+/// feasibility checks), so the LP is a relaxation whose bound and
+/// infeasibility verdicts remain valid.
+pub fn build_lp(ir: &Ir, lb: &[f64], ub: &[f64], cuts: &[Cut]) -> LpProblem {
+    let mut lp = LpProblem::new();
+    for v in 0..ir.num_vars() {
+        lp.add_var(&ir.var_names[v], lb[v], ub[v]);
+    }
+    for row in &ir.linear {
+        let sense = match row.sense {
+            ConstraintSense::Le => LpSense::Le,
+            ConstraintSense::Ge => LpSense::Ge,
+            ConstraintSense::Eq => LpSense::Eq,
+        };
+        lp.add_row(&row.terms, sense, row.rhs);
+    }
+    for cut in cuts {
+        lp.add_row(&cut.terms, LpSense::Le, cut.rhs);
+    }
+    lp.set_objective(&ir.obj_terms);
+    lp
+}
+
+/// Linearize convex constraint `k` of the IR at `x`:
+/// `g(x̂) + ∇g(x̂)·(x − x̂) ≤ 0`  ⇒  `∇g·x ≤ ∇g·x̂ − g(x̂)`.
+pub fn linearize(ir: &Ir, k: usize, x: &[f64]) -> Cut {
+    let con = &ir.nonlinear[k];
+    debug_assert!(con.convex, "cuts only from convex constraints");
+    let (g, grad) = con.g.eval_grad(x);
+    let mut rhs = -g;
+    let mut terms = Vec::with_capacity(con.vars.len());
+    for &v in &con.vars {
+        let gv = grad[v];
+        if gv != 0.0 {
+            terms.push((v, gv));
+            rhs += gv * x[v];
+        }
+    }
+    Cut {
+        terms,
+        rhs,
+        source: k,
+    }
+}
+
+/// Solve the convex continuous relaxation of `ir` restricted to bounds
+/// `[lb, ub]`, starting from the cut pool `pool`. Newly generated cuts are
+/// returned (and are valid for every other node).
+pub fn solve_relaxation(
+    ir: &Ir,
+    lb: &[f64],
+    ub: &[f64],
+    pool: &[Cut],
+    opts: &MinlpOptions,
+) -> NlpResult {
+    let sx = SimplexOptions::default();
+    let mut new_cuts: Vec<Cut> = Vec::new();
+    let mut lp_solves = 0usize;
+    let mut simplex_iters = 0usize;
+
+    for _ in 0..opts.max_kelley_iters {
+        // Rebuild with pool + accumulated new cuts. Problems are small;
+        // rebuilding keeps the LP state trivially consistent.
+        let mut lp = build_lp(ir, lb, ub, pool);
+        for c in &new_cuts {
+            lp.add_row(&c.terms, LpSense::Le, c.rhs);
+        }
+        let sol = match hslb_lp::solve(&lp, &sx) {
+            Ok(s) => s,
+            Err(_) => {
+                return NlpResult {
+                    status: NlpStatus::IterationLimit,
+                    x: vec![],
+                    objective: f64::INFINITY,
+                    new_cuts,
+                    lp_solves,
+                    simplex_iters,
+                }
+            }
+        };
+        lp_solves += 1;
+        simplex_iters += sol.iterations;
+        match sol.status {
+            LpStatus::Infeasible => {
+                return NlpResult {
+                    status: NlpStatus::Infeasible,
+                    x: sol.x,
+                    objective: f64::INFINITY,
+                    new_cuts,
+                    lp_solves,
+                    simplex_iters,
+                }
+            }
+            LpStatus::Unbounded => {
+                return NlpResult {
+                    status: NlpStatus::Unbounded,
+                    x: sol.x,
+                    objective: f64::NEG_INFINITY,
+                    new_cuts,
+                    lp_solves,
+                    simplex_iters,
+                }
+            }
+            LpStatus::Optimal => {}
+        }
+
+        // Add cuts for every convex constraint violated at the LP optimum.
+        let mut violated = false;
+        for k in 0..ir.nonlinear.len() {
+            if !ir.nonlinear[k].convex {
+                continue;
+            }
+            let g = ir.nonlinear[k].g.eval(&sol.x);
+            if g > opts.feas_tol {
+                new_cuts.push(linearize(ir, k, &sol.x));
+                violated = true;
+            }
+        }
+        if !violated {
+            return NlpResult {
+                status: NlpStatus::Optimal,
+                objective: ir.obj_constant
+                    + ir.obj_terms.iter().map(|&(v, c)| c * sol.x[v]).sum::<f64>(),
+                x: sol.x,
+                new_cuts,
+                lp_solves,
+                simplex_iters,
+            };
+        }
+    }
+
+    NlpResult {
+        status: NlpStatus::IterationLimit,
+        x: vec![],
+        objective: f64::NEG_INFINITY,
+        new_cuts,
+        lp_solves,
+        simplex_iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::compile;
+    use hslb_model::{Convexity, Expr, Model, ObjectiveSense};
+
+    fn epigraph_model() -> Ir {
+        // minimize T s.t. T ≥ 64/n + n  (continuous n ∈ [1, 64]),
+        // optimum of the relaxation at n = 8, T = 16.
+        let mut m = Model::new();
+        let n = m.continuous("n", 1.0, 64.0).unwrap();
+        let t = m.continuous("T", 0.0, 1e6).unwrap();
+        let g = 64.0 / Expr::var(n) + Expr::var(n) - Expr::var(t);
+        m.constrain("perf", g, hslb_model::ConstraintSense::Le, 0.0, Convexity::Convex)
+            .unwrap();
+        m.set_objective(Expr::var(t), ObjectiveSense::Minimize).unwrap();
+        compile(&m).unwrap()
+    }
+
+    #[test]
+    fn kelley_converges_to_convex_optimum() {
+        let ir = epigraph_model();
+        let res = solve_relaxation(&ir, &ir.lb, &ir.ub, &[], &MinlpOptions::default());
+        assert_eq!(res.status, NlpStatus::Optimal);
+        assert!((res.objective - 16.0).abs() < 1e-3, "obj = {}", res.objective);
+        assert!((res.x[0] - 8.0).abs() < 0.1, "n = {}", res.x[0]);
+        assert!(!res.new_cuts.is_empty());
+    }
+
+    #[test]
+    fn cuts_are_globally_valid() {
+        // Every generated cut must hold at arbitrary feasible points of the
+        // original convex constraint.
+        let ir = epigraph_model();
+        let res = solve_relaxation(&ir, &ir.lb, &ir.ub, &[], &MinlpOptions::default());
+        for n in [1.0_f64, 3.0, 10.0, 30.0, 64.0] {
+            let t = 64.0 / n + n + 0.5; // strictly feasible point
+            let x = vec![n, t];
+            for cut in &res.new_cuts {
+                let lhs: f64 = cut.terms.iter().map(|&(v, c)| c * x[v]).sum();
+                assert!(
+                    lhs <= cut.rhs + 1e-9,
+                    "cut violated at feasible point n={n}: {lhs} > {}",
+                    cut.rhs
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tightened_bounds_shift_optimum() {
+        let ir = epigraph_model();
+        let mut lb = ir.lb.clone();
+        let ub = ir.ub.clone();
+        lb[0] = 20.0; // force n ≥ 20 ⇒ T* = 64/20 + 20 = 23.2
+        let res = solve_relaxation(&ir, &lb, &ub, &[], &MinlpOptions::default());
+        assert_eq!(res.status, NlpStatus::Optimal);
+        assert!((res.objective - 23.2).abs() < 1e-3, "obj = {}", res.objective);
+    }
+
+    #[test]
+    fn infeasible_bounds_detected() {
+        let ir = epigraph_model();
+        let mut ub = ir.ub.clone();
+        ub[1] = 5.0; // T ≤ 5 but min T = 16
+        let res = solve_relaxation(&ir, &ir.lb, &ub, &[], &MinlpOptions::default());
+        assert_eq!(res.status, NlpStatus::Infeasible);
+    }
+
+    #[test]
+    fn pool_cuts_accelerate_resolve() {
+        let ir = epigraph_model();
+        let first = solve_relaxation(&ir, &ir.lb, &ir.ub, &[], &MinlpOptions::default());
+        let second = solve_relaxation(&ir, &ir.lb, &ir.ub, &first.new_cuts, &MinlpOptions::default());
+        assert_eq!(second.status, NlpStatus::Optimal);
+        assert!(second.lp_solves <= first.lp_solves);
+        assert!((second.objective - first.objective).abs() < 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod cut_pool_tests {
+    use super::*;
+
+    fn cut(source: usize, coeffs: &[(usize, f64)], rhs: f64) -> Cut {
+        Cut {
+            terms: coeffs.to_vec(),
+            rhs,
+            source,
+        }
+    }
+
+    #[test]
+    fn near_duplicates_are_detected() {
+        let a = cut(0, &[(0, 1.0), (1, -2.0)], 3.0);
+        let b = cut(0, &[(0, 1.0 + 1e-12), (1, -2.0)], 3.0);
+        assert!(a.near_duplicate(&b, 1e-9));
+        // Different source, coefficient or rhs → not duplicates.
+        assert!(!a.near_duplicate(&cut(1, &[(0, 1.0), (1, -2.0)], 3.0), 1e-9));
+        assert!(!a.near_duplicate(&cut(0, &[(0, 1.5), (1, -2.0)], 3.0), 1e-9));
+        assert!(!a.near_duplicate(&cut(0, &[(0, 1.0), (1, -2.0)], 4.0), 1e-9));
+        assert!(!a.near_duplicate(&cut(0, &[(0, 1.0)], 3.0), 1e-9));
+    }
+
+    #[test]
+    fn absorb_skips_duplicates_and_counts_additions() {
+        let mut pool = vec![cut(0, &[(0, 1.0)], 1.0)];
+        let added = absorb_cuts(
+            &mut pool,
+            vec![
+                cut(0, &[(0, 1.0)], 1.0),       // duplicate
+                cut(0, &[(0, 2.0)], 1.0),       // new
+                cut(1, &[(0, 1.0)], 1.0),       // new (other source)
+            ],
+            1e-9,
+        );
+        assert_eq!(added, 2);
+        assert_eq!(pool.len(), 3);
+    }
+}

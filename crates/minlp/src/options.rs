@@ -1,0 +1,112 @@
+//! Solver configuration.
+
+/// Which branch-and-bound flavor to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// LP/NLP-based branch-and-bound (Quesada–Grossmann): one tree, LP
+    /// relaxations, outer-approximation cuts added lazily at integer
+    /// points. This is what the paper uses via MINOTAUR.
+    LpNlpBb,
+    /// Classic NLP-based branch-and-bound: each node's continuous
+    /// relaxation is solved to convergence (Kelley) before branching.
+    /// Kept for the ablation benchmarks.
+    NlpBb,
+}
+
+/// How to pick the branching entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Branching {
+    /// Prefer branching on violated SOS-1 sets (split at the weighted
+    /// centroid), falling back to the most fractional integer variable.
+    /// §III-E: "we … forced the MINLP solver to branch on the
+    /// special-ordered set, rather than on individual binary variables,
+    /// which improved the runtime … by two orders of magnitude".
+    SosFirst,
+    /// Ignore SOS structure: branch only on individual variables (the
+    /// paper's slow baseline, kept for the ablation).
+    IntegerOnly,
+}
+
+/// How to pick which fractional integer variable to branch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntVarSelection {
+    /// The variable whose LP value is farthest from an integer.
+    MostFractional,
+    /// Pseudo-cost (product rule) with most-fractional fallback until a
+    /// variable has branching history.
+    PseudoCost,
+}
+
+/// Node selection order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeSelection {
+    /// Lowest lower bound first (global view, best for proving optimality).
+    BestBound,
+    /// LIFO stack (finds incumbents fast, uses little memory).
+    DepthFirst,
+}
+
+/// All solver options.
+#[derive(Debug, Clone)]
+pub struct MinlpOptions {
+    pub algorithm: Algorithm,
+    pub branching: Branching,
+    pub int_var_selection: IntVarSelection,
+    pub node_selection: NodeSelection,
+    /// Run root bound propagation on the linear rows before the search.
+    pub presolve: bool,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+    /// Nonlinear feasibility tolerance for `g(x) ≤ tol`.
+    pub feas_tol: f64,
+    /// Absolute optimality gap: a node is pruned when its bound is within
+    /// this of the incumbent.
+    pub abs_gap: f64,
+    /// Relative optimality gap.
+    pub rel_gap: f64,
+    /// Hard cap on explored nodes.
+    pub node_limit: usize,
+    /// Cap on cut-and-resolve rounds within a single node.
+    pub max_cut_rounds: usize,
+    /// Cap on Kelley iterations per relaxation solve.
+    pub max_kelley_iters: usize,
+    /// Worker threads for [`crate::solve_parallel`] (ignored by `solve`).
+    pub threads: usize,
+    /// Print a progress line to stderr every `n` processed nodes
+    /// (`None` = silent). Serial driver only.
+    pub log_every: Option<usize>,
+}
+
+impl Default for MinlpOptions {
+    fn default() -> Self {
+        MinlpOptions {
+            algorithm: Algorithm::LpNlpBb,
+            branching: Branching::SosFirst,
+            int_var_selection: IntVarSelection::MostFractional,
+            node_selection: NodeSelection::BestBound,
+            presolve: true,
+            int_tol: 1e-6,
+            feas_tol: 1e-6,
+            abs_gap: 1e-7,
+            rel_gap: 1e-9,
+            node_limit: 2_000_000,
+            max_cut_rounds: 40,
+            max_kelley_iters: 120,
+            threads: 1,
+            log_every: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_configuration() {
+        let o = MinlpOptions::default();
+        assert_eq!(o.algorithm, Algorithm::LpNlpBb);
+        assert_eq!(o.branching, Branching::SosFirst);
+        assert_eq!(o.node_selection, NodeSelection::BestBound);
+    }
+}

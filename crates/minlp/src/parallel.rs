@@ -1,0 +1,302 @@
+//! Parallel branch-and-bound tree search.
+//!
+//! A straightforward shared-state design in the spirit of the HPC
+//! guidance this workspace follows: worker threads pull nodes from a
+//! shared best-bound heap, publish outer-approximation cuts to a shared
+//! pool behind an `RwLock` (readers take snapshots; writers append), and
+//! race on a mutex-protected incumbent. All cuts are globally valid, so a
+//! worker that reads a stale pool snapshot only does redundant work —
+//! never produces a wrong answer — and the incumbent only monotonically
+//! improves, so stale cutoffs are conservative. The final optimum is
+//! therefore identical to the serial solver's (node and cut *counts*
+//! differ run to run).
+
+use crate::bb::{process_node, Node, NodeOutcome};
+use crate::ir::Ir;
+use crate::nlp::{self, Cut, NlpStatus};
+use crate::options::MinlpOptions;
+use crate::solution::{MinlpSolution, MinlpStatus, SolveStats};
+use hslb_numerics::float;
+use parking_lot::{Mutex, RwLock};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct HeapEntry {
+    bound: f64,
+    seq: u64,
+    node: Node,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: invert so the *lowest* bound pops first; ties by
+        // insertion order for determinism of the serial fallback.
+        float::cmp_f64(other.bound, self.bound).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct Shared {
+    queue: Mutex<(BinaryHeap<HeapEntry>, u64)>,
+    pool: RwLock<Vec<Cut>>,
+    incumbent: Mutex<Option<(f64, Vec<f64>)>>,
+    /// Number of workers currently processing a node (used for quiescence
+    /// detection: queue empty AND no one busy ⇒ done).
+    busy: AtomicUsize,
+    nodes_done: AtomicUsize,
+}
+
+/// Solve with `opts.threads` worker threads (≤ 1 falls back to the serial
+/// driver). Returns the same optimum as [`crate::solve`].
+pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
+    if opts.threads <= 1 {
+        return crate::bb::solve(ir, opts);
+    }
+    let t0 = std::time::Instant::now();
+
+    // Root presolve (same as the serial driver).
+    let tightened;
+    let ir = if opts.presolve {
+        match crate::presolve::propagate(ir, 20) {
+            crate::presolve::PresolveResult::Infeasible { .. } => {
+                return MinlpSolution {
+                    status: MinlpStatus::Infeasible,
+                    x: vec![],
+                    objective: f64::INFINITY,
+                    best_bound: f64::INFINITY,
+                    stats: SolveStats {
+                        wall: t0.elapsed(),
+                        ..Default::default()
+                    },
+                };
+            }
+            crate::presolve::PresolveResult::Tightened { lb, ub, .. } => {
+                tightened = Ir { lb, ub, ..ir.clone() };
+                &tightened
+            }
+        }
+    } else {
+        ir
+    };
+    let pc = crate::pseudocost::PseudoCostTable::new(ir.num_vars());
+
+    // Root relaxation (serial) seeds the cut pool.
+    let root_relax = nlp::solve_relaxation(ir, &ir.lb, &ir.ub, &[], opts);
+    match root_relax.status {
+        NlpStatus::Infeasible => {
+            return MinlpSolution {
+                status: MinlpStatus::Infeasible,
+                x: vec![],
+                objective: f64::INFINITY,
+                best_bound: f64::INFINITY,
+                stats: SolveStats {
+                    wall: t0.elapsed(),
+                    lp_solves: root_relax.lp_solves,
+                    ..Default::default()
+                },
+            }
+        }
+        NlpStatus::Unbounded => {
+            panic!("MINLP relaxation unbounded: give every variable finite-ish bounds")
+        }
+        _ => {}
+    }
+    let root_bound = if root_relax.status == NlpStatus::Optimal {
+        root_relax.objective
+    } else {
+        f64::NEG_INFINITY
+    };
+
+    let root = Node {
+        overrides: Vec::new(),
+        sos_window: ir
+            .sos
+            .iter()
+            .map(|s| (0usize, s.members.len().saturating_sub(1)))
+            .collect(),
+        bound: root_bound,
+        depth: 0,
+        branch: None,
+    };
+
+    let shared = Shared {
+        queue: Mutex::new({
+            let mut h = BinaryHeap::new();
+            h.push(HeapEntry {
+                bound: root_bound,
+                seq: 0,
+                node: root,
+            });
+            (h, 1)
+        }),
+        pool: RwLock::new(root_relax.new_cuts.clone()),
+        incumbent: Mutex::new(None),
+        busy: AtomicUsize::new(0),
+        nodes_done: AtomicUsize::new(0),
+    };
+
+    let nthreads = opts.threads;
+    let worker_stats: Vec<Mutex<SolveStats>> =
+        (0..nthreads).map(|_| Mutex::new(SolveStats::default())).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for tid in 0..nthreads {
+            let shared = &shared;
+            let pc = &pc;
+            let stats_slot = &worker_stats[tid];
+            scope.spawn(move |_| {
+                let mut local = SolveStats::default();
+                loop {
+                    // Pop under the lock, marking busy *before* releasing
+                    // it so quiescence detection cannot race.
+                    let node = {
+                        let mut q = shared.queue.lock();
+                        match q.0.pop() {
+                            Some(e) => {
+                                shared.busy.fetch_add(1, Ordering::SeqCst);
+                                Some(e.node)
+                            }
+                            None => None,
+                        }
+                    };
+                    let Some(node) = node else {
+                        if shared.busy.load(Ordering::SeqCst) == 0 {
+                            break; // queue empty, nobody working: done
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    };
+
+                    if shared.nodes_done.load(Ordering::Relaxed) >= opts.node_limit {
+                        shared.busy.fetch_sub(1, Ordering::SeqCst);
+                        continue; // drain without processing
+                    }
+
+                    let cutoff = {
+                        let inc = shared.incumbent.lock();
+                        match &*inc {
+                            None => f64::INFINITY,
+                            Some((obj, _)) => obj - opts.abs_gap.max(opts.rel_gap * obj.abs()),
+                        }
+                    };
+                    if node.bound >= cutoff {
+                        local.pruned_by_bound += 1;
+                        shared.busy.fetch_sub(1, Ordering::SeqCst);
+                        continue;
+                    }
+
+                    let snapshot: Vec<Cut> = shared.pool.read().clone();
+                    let processed = process_node(ir, opts, &node, &snapshot, cutoff, pc);
+                    if let Some((v, frac, dir)) = node.branch {
+                        if processed.relax_bound.is_finite() && node.bound.is_finite() {
+                            pc.update(v, dir, frac, processed.relax_bound - node.bound);
+                        }
+                    }
+                    local.nodes += 1;
+                    shared.nodes_done.fetch_add(1, Ordering::Relaxed);
+                    local.lp_solves += processed.lp_solves;
+                    local.simplex_iters += processed.simplex_iters;
+                    if !processed.new_cuts.is_empty() {
+                        local.cuts += nlp::absorb_cuts(
+                            &mut shared.pool.write(),
+                            processed.new_cuts,
+                            1e-9,
+                        );
+                    }
+                    match processed.outcome {
+                        NodeOutcome::Pruned { infeasible } => {
+                            if infeasible {
+                                local.pruned_infeasible += 1;
+                            } else {
+                                local.pruned_by_bound += 1;
+                            }
+                        }
+                        NodeOutcome::Incumbent { x, obj } => {
+                            let mut inc = shared.incumbent.lock();
+                            if inc.as_ref().map_or(true, |(best, _)| obj < *best) {
+                                local.incumbents += 1;
+                                *inc = Some((obj, x));
+                            }
+                        }
+                        NodeOutcome::Branched { children, sos } => {
+                            if sos {
+                                local.sos_branches += 1;
+                            } else {
+                                local.int_branches += 1;
+                            }
+                            let mut q = shared.queue.lock();
+                            for c in children {
+                                let seq = q.1;
+                                q.1 += 1;
+                                q.0.push(HeapEntry {
+                                    bound: c.bound,
+                                    seq,
+                                    node: c,
+                                });
+                            }
+                        }
+                    }
+                    shared.busy.fetch_sub(1, Ordering::SeqCst);
+                }
+                *stats_slot.lock() = local;
+            });
+        }
+    })
+    .expect("branch-and-bound worker panicked");
+
+    // Merge statistics.
+    let mut stats = SolveStats::default();
+    stats.lp_solves += root_relax.lp_solves;
+    stats.simplex_iters += root_relax.simplex_iters;
+    stats.cuts += root_relax.new_cuts.len();
+    for s in &worker_stats {
+        let s = s.lock();
+        stats.nodes += s.nodes;
+        stats.lp_solves += s.lp_solves;
+        stats.simplex_iters += s.simplex_iters;
+        stats.cuts += s.cuts;
+        stats.pruned_by_bound += s.pruned_by_bound;
+        stats.pruned_infeasible += s.pruned_infeasible;
+        stats.incumbents += s.incumbents;
+        stats.sos_branches += s.sos_branches;
+        stats.int_branches += s.int_branches;
+    }
+    stats.wall = t0.elapsed();
+
+    let exhausted = stats.nodes < opts.node_limit;
+    let incumbent = shared.incumbent.into_inner();
+    match incumbent {
+        Some((obj, x)) => MinlpSolution {
+            status: if exhausted {
+                MinlpStatus::Optimal
+            } else {
+                MinlpStatus::NodeLimitWithIncumbent
+            },
+            objective: ir.model_objective(&x),
+            best_bound: obj,
+            x,
+            stats,
+        },
+        None => MinlpSolution {
+            status: if exhausted {
+                MinlpStatus::Infeasible
+            } else {
+                MinlpStatus::NodeLimitNoIncumbent
+            },
+            x: vec![],
+            objective: f64::INFINITY,
+            best_bound: root_bound,
+            stats,
+        },
+    }
+}

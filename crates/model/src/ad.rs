@@ -1,0 +1,143 @@
+//! Forward-mode automatic differentiation over [`Expr`].
+//!
+//! AMPL gives its solvers exact derivatives of the model functions; this
+//! module is our equivalent. Each AST node propagates a `(value, gradient)`
+//! pair. The expressions in the HSLB models are tiny (a performance curve
+//! touches one variable, a temporal constraint two or three), so the dense
+//! per-node gradient vector costs nothing in practice while keeping the
+//! recursion straightforward to audit.
+
+use crate::expr::Expr;
+
+/// Value and dense gradient of `e` at `x`.
+pub fn eval_grad(e: &Expr, x: &[f64]) -> (f64, Vec<f64>) {
+    let mut g = vec![0.0; x.len()];
+    let v = walk(e, x, &mut g, 1.0);
+    (v, g)
+}
+
+/// Evaluate `e` and accumulate `seed · ∂e/∂x` into `grad`.
+///
+/// Recursing with a seed (the chain-rule multiplier from the parent)
+/// avoids allocating a gradient vector per node: the tree is walked once,
+/// with each leaf adding its contribution directly. For product and
+/// quotient nodes the children must be evaluated first (their values enter
+/// the seed of their siblings), so those nodes do an extra value-only pass.
+fn walk(e: &Expr, x: &[f64], grad: &mut [f64], seed: f64) -> f64 {
+    match e {
+        Expr::Const(v) => *v,
+        Expr::Var(i) => {
+            grad[*i] += seed;
+            x[*i]
+        }
+        Expr::Sum(terms) => terms.iter().map(|t| walk(t, x, grad, seed)).sum(),
+        Expr::Neg(inner) => -walk(inner, x, grad, -seed),
+        Expr::Pow(base, p) => {
+            let b = base.eval(x);
+            let v = b.powf(*p);
+            // d(b^p) = p·b^(p−1)·db
+            let db_seed = seed * *p * b.powf(*p - 1.0);
+            let _ = walk(base, x, grad, db_seed);
+            v
+        }
+        Expr::Div(a, b) => {
+            let bv = b.eval(x);
+            let av = walk(a, x, grad, seed / bv);
+            // d(a/b) = da/b − a·db/b²
+            let _ = walk(b, x, grad, -seed * av / (bv * bv));
+            av / bv
+        }
+        Expr::Prod(factors) => {
+            // Values first, then each factor's seed is the product of the
+            // others.
+            let vals: Vec<f64> = factors.iter().map(|f| f.eval(x)).collect();
+            let total: f64 = vals.iter().product();
+            for (k, f) in factors.iter().enumerate() {
+                // Product of all values except k; recomputed directly to be
+                // robust when some value is zero.
+                let others: f64 = vals
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != k)
+                    .map(|(_, v)| v)
+                    .product();
+                let _ = walk(f, x, grad, seed * others);
+            }
+            total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd_grad(e: &Expr, x: &[f64]) -> Vec<f64> {
+        let h = 1e-6;
+        (0..x.len())
+            .map(|i| {
+                let mut xp = x.to_vec();
+                let mut xm = x.to_vec();
+                xp[i] += h;
+                xm[i] -= h;
+                (e.eval(&xp) - e.eval(&xm)) / (2.0 * h)
+            })
+            .collect()
+    }
+
+    fn check(e: &Expr, x: &[f64]) {
+        let (v, g) = eval_grad(e, x);
+        assert!((v - e.eval(x)).abs() < 1e-12, "value mismatch");
+        let fd = fd_grad(e, x);
+        for (i, (a, b)) in g.iter().zip(&fd).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-4 * (1.0 + b.abs()),
+                "grad[{i}]: ad={a} fd={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_of_performance_function() {
+        // T(n) = a/n + b n^c + d
+        let n = Expr::var(0);
+        let t = 120.0 / n.clone() + 0.003 * n.pow(1.2) + 4.5;
+        check(&t, &[37.0]);
+    }
+
+    #[test]
+    fn gradient_of_products_and_quotients() {
+        let e = Expr::var(0) * Expr::var(1) / (Expr::var(2) + 1.0);
+        check(&e, &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn gradient_with_zero_factor() {
+        // Product rule must survive a zero-valued factor.
+        let e = Expr::var(0) * Expr::var(1);
+        let (_, g) = eval_grad(&e, &[0.0, 5.0]);
+        assert_eq!(g, vec![5.0, 0.0]);
+    }
+
+    #[test]
+    fn gradient_of_nested_pow() {
+        let e = (Expr::var(0) + Expr::var(1)).pow(2.5);
+        check(&e, &[1.5, 2.5]);
+    }
+
+    #[test]
+    fn gradient_of_negation_chain() {
+        let e = -(-(Expr::var(0) * 3.0));
+        let (v, g) = eval_grad(&e, &[2.0]);
+        assert_eq!(v, 6.0);
+        assert_eq!(g[0], 3.0);
+    }
+
+    #[test]
+    fn seed_accumulates_across_shared_variables() {
+        // x appears twice: d(x + x²)/dx = 1 + 2x.
+        let e = Expr::var(0) + Expr::var(0).pow(2.0);
+        let (_, g) = eval_grad(&e, &[3.0]);
+        assert!((g[0] - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,346 @@
+//! Expression AST with evaluation and differentiation entry points.
+
+use crate::model::VarId;
+
+/// A scalar expression over model variables.
+///
+/// The node set is exactly what the paper's models need: affine
+/// combinations, products, quotients and real powers (the performance
+/// function is `a/n + b·n^c + d`). Powers take a *constant* exponent;
+/// bases are expected positive when the exponent is non-integral (node
+/// counts are ≥ 1 in every model, so this holds by construction).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A constant.
+    Const(f64),
+    /// A model variable.
+    Var(VarId),
+    /// Sum of subexpressions.
+    Sum(Vec<Expr>),
+    /// Product of subexpressions.
+    Prod(Vec<Expr>),
+    /// `base ^ exponent` with a constant exponent.
+    Pow(Box<Expr>, f64),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Quotient.
+    Div(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Constant constructor (reads better than `Expr::Const` in models).
+    pub fn c(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Variable constructor.
+    pub fn var(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+
+    /// `self ^ p` with constant exponent.
+    pub fn pow(self, p: f64) -> Expr {
+        Expr::Pow(Box::new(self), p)
+    }
+
+    /// `1 / self`.
+    pub fn recip(self) -> Expr {
+        Expr::Div(Box::new(Expr::Const(1.0)), Box::new(self))
+    }
+
+    /// Evaluate at the point `x` (indexed by `VarId`).
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Var(i) => x[*i],
+            Expr::Sum(terms) => terms.iter().map(|t| t.eval(x)).sum(),
+            Expr::Prod(factors) => factors.iter().map(|f| f.eval(x)).product(),
+            Expr::Pow(base, p) => base.eval(x).powf(*p),
+            Expr::Neg(e) => -e.eval(x),
+            Expr::Div(a, b) => a.eval(x) / b.eval(x),
+        }
+    }
+
+    /// Evaluate value and gradient at `x` via forward-mode automatic
+    /// differentiation. The gradient has `x.len()` entries.
+    pub fn eval_grad(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        crate::ad::eval_grad(self, x)
+    }
+
+    /// Collect the set of variables appearing in the expression, sorted
+    /// and deduplicated.
+    pub fn variables(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(i) => out.push(*i),
+            Expr::Sum(ts) => ts.iter().for_each(|t| t.collect_vars(out)),
+            Expr::Prod(fs) => fs.iter().for_each(|f| f.collect_vars(out)),
+            Expr::Pow(b, _) => b.collect_vars(out),
+            Expr::Neg(e) => e.collect_vars(out),
+            Expr::Div(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Attempt to view the expression as affine; `None` when any nonlinear
+    /// node is reachable. Constant folding is applied along the way, so
+    /// e.g. `Prod[Const(2), Var(0)]` is linear.
+    pub fn as_linear(&self) -> Option<crate::linear::LinExpr> {
+        crate::linear::extract(self)
+    }
+
+    /// True when [`Expr::as_linear`] succeeds.
+    pub fn is_linear(&self) -> bool {
+        self.as_linear().is_some()
+    }
+
+    /// Render with variable names supplied by `name`.
+    pub fn display_with<'a>(&'a self, name: &'a dyn Fn(VarId) -> String) -> ExprDisplay<'a> {
+        ExprDisplay { expr: self, name }
+    }
+}
+
+/// Helper for rendering expressions with model-provided variable names.
+pub struct ExprDisplay<'a> {
+    expr: &'a Expr,
+    name: &'a dyn Fn(VarId) -> String,
+}
+
+impl std::fmt::Display for ExprDisplay<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fmt_expr(self.expr, self.name, f, 0)
+    }
+}
+
+fn fmt_expr(
+    e: &Expr,
+    name: &dyn Fn(VarId) -> String,
+    f: &mut std::fmt::Formatter<'_>,
+    prec: u8,
+) -> std::fmt::Result {
+    match e {
+        Expr::Const(v) => write!(f, "{v}"),
+        Expr::Var(i) => write!(f, "{}", name(*i)),
+        Expr::Sum(ts) => {
+            if prec > 0 {
+                write!(f, "(")?;
+            }
+            for (k, t) in ts.iter().enumerate() {
+                if k > 0 {
+                    write!(f, " + ")?;
+                }
+                fmt_expr(t, name, f, 1)?;
+            }
+            if prec > 0 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Expr::Prod(fs) => {
+            for (k, t) in fs.iter().enumerate() {
+                if k > 0 {
+                    write!(f, "*")?;
+                }
+                fmt_expr(t, name, f, 2)?;
+            }
+            Ok(())
+        }
+        Expr::Pow(b, p) => {
+            fmt_expr(b, name, f, 3)?;
+            write!(f, "^{p}")
+        }
+        Expr::Neg(e) => {
+            write!(f, "-")?;
+            fmt_expr(e, name, f, 3)
+        }
+        Expr::Div(a, b) => {
+            fmt_expr(a, name, f, 2)?;
+            write!(f, "/")?;
+            fmt_expr(b, name, f, 3)
+        }
+    }
+}
+
+// ---- operator overloads (Expr ∘ Expr, Expr ∘ f64, f64 ∘ Expr) ----
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        match (self, rhs) {
+            (Expr::Sum(mut a), Expr::Sum(b)) => {
+                a.extend(b);
+                Expr::Sum(a)
+            }
+            (Expr::Sum(mut a), b) => {
+                a.push(b);
+                Expr::Sum(a)
+            }
+            (a, Expr::Sum(mut b)) => {
+                b.insert(0, a);
+                Expr::Sum(b)
+            }
+            (a, b) => Expr::Sum(vec![a, b]),
+        }
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        self + Expr::Neg(Box::new(rhs))
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Prod(vec![self, rhs])
+    }
+}
+
+impl std::ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::Div(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+}
+
+impl std::ops::Add<f64> for Expr {
+    type Output = Expr;
+    fn add(self, rhs: f64) -> Expr {
+        self + Expr::Const(rhs)
+    }
+}
+
+impl std::ops::Add<Expr> for f64 {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Const(self) + rhs
+    }
+}
+
+impl std::ops::Sub<f64> for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: f64) -> Expr {
+        self - Expr::Const(rhs)
+    }
+}
+
+impl std::ops::Sub<Expr> for f64 {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Const(self) - rhs
+    }
+}
+
+impl std::ops::Mul<f64> for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: f64) -> Expr {
+        self * Expr::Const(rhs)
+    }
+}
+
+impl std::ops::Mul<Expr> for f64 {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Const(self) * rhs
+    }
+}
+
+impl std::ops::Div<f64> for Expr {
+    type Output = Expr;
+    fn div(self, rhs: f64) -> Expr {
+        self / Expr::Const(rhs)
+    }
+}
+
+impl std::ops::Div<Expr> for f64 {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::Const(self) / rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_performance_function_shape() {
+        // T(n) = a/n + b*n^c + d at n = 4 with a=8, b=0.5, c=1.5, d=2.
+        let n = Expr::var(0);
+        let t = 8.0 / n.clone() + 0.5 * n.pow(1.5) + 2.0;
+        let v = t.eval(&[4.0]);
+        assert!((v - (2.0 + 0.5 * 8.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variables_are_sorted_and_deduped() {
+        let e = Expr::var(3) + Expr::var(1) * Expr::var(3);
+        assert_eq!(e.variables(), vec![1, 3]);
+    }
+
+    #[test]
+    fn sum_flattening() {
+        let e = (Expr::var(0) + Expr::var(1)) + (Expr::var(2) + Expr::var(3));
+        match e {
+            Expr::Sum(ts) => assert_eq!(ts.len(), 4),
+            _ => panic!("expected flattened sum"),
+        }
+    }
+
+    #[test]
+    fn linearity_detection() {
+        let lin = 2.0 * Expr::var(0) + 3.0 * Expr::var(1) - 1.0;
+        assert!(lin.is_linear());
+        let nonlin = Expr::var(0) * Expr::var(1);
+        assert!(!nonlin.is_linear());
+        let pow1 = Expr::var(0).pow(1.0);
+        assert!(pow1.is_linear()); // x^1 folds to x
+    }
+
+    #[test]
+    fn display_round_trip_readability() {
+        let n = Expr::var(0);
+        let t = 8.0 / n.clone() + 0.5 * n.pow(1.5);
+        let naming = |v: VarId| format!("n{v}");
+        let shown = format!("{}", t.display_with(&naming));
+        assert!(shown.contains("n0"), "{shown}");
+        assert!(shown.contains("^1.5"), "{shown}");
+    }
+
+    #[test]
+    fn neg_and_sub() {
+        let e = Expr::var(0) - Expr::var(1);
+        assert_eq!(e.eval(&[5.0, 3.0]), 2.0);
+        let e = -Expr::var(0);
+        assert_eq!(e.eval(&[5.0]), -5.0);
+        let e = 10.0 - Expr::var(0);
+        assert_eq!(e.eval(&[4.0]), 6.0);
+    }
+
+    #[test]
+    fn div_and_recip() {
+        let e = Expr::var(0).recip();
+        assert_eq!(e.eval(&[4.0]), 0.25);
+        let e = Expr::var(0) / Expr::var(1);
+        assert_eq!(e.eval(&[6.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Declarative optimization modeling with automatic differentiation.
+//!
+//! In the paper, the HSLB MINLP is written in AMPL, which provides (a) a
+//! notation close to the mathematics of Table I/II, and (b) exact
+//! derivatives of the nonlinear constraint functions for the solver's
+//! linearization (outer-approximation) step. This crate plays both roles
+//! for the Rust reproduction:
+//!
+//! * [`Expr`] — a small expression AST (`+`, `·`, `/`, `x^p`) with
+//!   evaluation and forward-mode automatic differentiation. Its operator
+//!   overloads make model construction read like the paper's Table I.
+//! * [`Model`] — a container of typed variables (continuous / integer /
+//!   binary), linear and nonlinear constraints with declared convexity,
+//!   SOS-1 sets (the paper's "special ordered sets" for the atmosphere and
+//!   ocean allowed node counts), and a minimize/maximize objective.
+//! * [`LinExpr`] — the linear fragment, extracted automatically so the
+//!   MINLP solver can route linear rows straight to the LP.
+//!
+//! The solver crate (`hslb-minlp`) consumes a [`Model`] directly.
+
+mod ad;
+pub mod ampl;
+mod expr;
+mod linear;
+mod model;
+
+pub use ampl::to_ampl;
+pub use expr::Expr;
+pub use linear::LinExpr;
+pub use model::{
+    Constraint, ConstraintSense, Convexity, Model, ModelError, Objective, ObjectiveSense, Sos1,
+    VarId, VarType,
+};

@@ -1,0 +1,209 @@
+//! Extraction of the affine fragment of an [`Expr`].
+
+use crate::expr::Expr;
+use crate::model::VarId;
+use std::collections::BTreeMap;
+
+/// An affine expression `Σ coeff·x + constant` with canonical (sorted,
+/// merged) terms.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinExpr {
+    /// Coefficients keyed by variable, zero-coefficient entries removed.
+    pub terms: BTreeMap<VarId, f64>,
+    /// Constant offset.
+    pub constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr::default()
+    }
+
+    /// A pure constant.
+    pub fn constant(c: f64) -> Self {
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// A single variable with coefficient 1.
+    pub fn variable(v: VarId) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(v, 1.0);
+        LinExpr {
+            terms,
+            constant: 0.0,
+        }
+    }
+
+    /// Add `coeff · var` to the expression.
+    pub fn add_term(&mut self, var: VarId, coeff: f64) {
+        let entry = self.terms.entry(var).or_insert(0.0);
+        *entry += coeff;
+        if *entry == 0.0 {
+            self.terms.remove(&var);
+        }
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &LinExpr) {
+        for (&v, &c) in &other.terms {
+            self.add_term(v, c);
+        }
+        self.constant += other.constant;
+    }
+
+    /// In-place `self *= k`.
+    pub fn scale(&mut self, k: f64) {
+        if k == 0.0 {
+            self.terms.clear();
+            self.constant = 0.0;
+            return;
+        }
+        for c in self.terms.values_mut() {
+            *c *= k;
+        }
+        self.constant *= k;
+    }
+
+    /// Evaluate at a point indexed by `VarId`.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        self.constant + self.terms.iter().map(|(&v, &c)| c * x[v]).sum::<f64>()
+    }
+
+    /// Sparse `(var, coeff)` pairs, sorted by variable.
+    pub fn pairs(&self) -> Vec<(VarId, f64)> {
+        self.terms.iter().map(|(&v, &c)| (v, c)).collect()
+    }
+
+    /// True when there are no variable terms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// Try to express `e` as affine; `None` if any genuinely nonlinear node is
+/// reachable. Folds constants along the way, so products with constant
+/// factors and `x^1` / `x^0` are recognized as linear.
+pub fn extract(e: &Expr) -> Option<LinExpr> {
+    match e {
+        Expr::Const(v) => Some(LinExpr::constant(*v)),
+        Expr::Var(i) => Some(LinExpr::variable(*i)),
+        Expr::Sum(terms) => {
+            let mut acc = LinExpr::zero();
+            for t in terms {
+                acc.add_assign(&extract(t)?);
+            }
+            Some(acc)
+        }
+        Expr::Neg(inner) => {
+            let mut l = extract(inner)?;
+            l.scale(-1.0);
+            Some(l)
+        }
+        Expr::Prod(factors) => {
+            // Linear iff at most one factor is non-constant.
+            let mut linear_part: Option<LinExpr> = None;
+            let mut scalar = 1.0;
+            for f in factors {
+                let l = extract(f)?;
+                if l.is_constant() {
+                    scalar *= l.constant;
+                } else if linear_part.is_none() {
+                    linear_part = Some(l);
+                } else {
+                    return None; // product of two variable-bearing factors
+                }
+            }
+            let mut out = linear_part.unwrap_or_else(|| LinExpr::constant(1.0));
+            out.scale(scalar);
+            Some(out)
+        }
+        Expr::Pow(base, p) => {
+            let l = extract(base)?;
+            if l.is_constant() {
+                return Some(LinExpr::constant(l.constant.powf(*p)));
+            }
+            if *p == 1.0 {
+                Some(l)
+            } else if *p == 0.0 {
+                Some(LinExpr::constant(1.0))
+            } else {
+                None
+            }
+        }
+        Expr::Div(a, b) => {
+            let lb = extract(b)?;
+            if !lb.is_constant() {
+                return None; // variable in the denominator
+            }
+            let mut la = extract(a)?;
+            la.scale(1.0 / lb.constant);
+            Some(la)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_affine_combination() {
+        let e = 2.0 * Expr::var(0) + 3.0 * Expr::var(1) - 4.0;
+        let l = extract(&e).unwrap();
+        assert_eq!(l.pairs(), vec![(0, 2.0), (1, 3.0)]);
+        assert_eq!(l.constant, -4.0);
+        assert_eq!(l.eval(&[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn merges_repeated_variables() {
+        let e = Expr::var(0) + 2.0 * Expr::var(0);
+        let l = extract(&e).unwrap();
+        assert_eq!(l.pairs(), vec![(0, 3.0)]);
+    }
+
+    #[test]
+    fn cancellation_removes_term() {
+        let e = Expr::var(0) - Expr::var(0);
+        let l = extract(&e).unwrap();
+        assert!(l.is_constant());
+        assert_eq!(l.constant, 0.0);
+    }
+
+    #[test]
+    fn rejects_products_of_variables() {
+        assert!(extract(&(Expr::var(0) * Expr::var(1))).is_none());
+    }
+
+    #[test]
+    fn rejects_variable_denominator() {
+        assert!(extract(&(Expr::c(1.0) / Expr::var(0))).is_none());
+    }
+
+    #[test]
+    fn folds_constant_pow_and_division() {
+        let e = Expr::c(2.0).pow(3.0) * Expr::var(0) / 4.0;
+        let l = extract(&e).unwrap();
+        assert_eq!(l.pairs(), vec![(0, 2.0)]);
+    }
+
+    #[test]
+    fn pow_one_and_zero() {
+        assert_eq!(extract(&Expr::var(0).pow(1.0)).unwrap().pairs(), vec![(0, 1.0)]);
+        let l = extract(&Expr::var(0).pow(0.0)).unwrap();
+        assert!(l.is_constant());
+        assert_eq!(l.constant, 1.0);
+    }
+
+    #[test]
+    fn scale_by_zero_clears() {
+        let mut l = LinExpr::variable(2);
+        l.constant = 5.0;
+        l.scale(0.0);
+        assert_eq!(l, LinExpr::zero());
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests: autodiff agrees with finite differences on random
+//! expression trees, and linear extraction agrees with evaluation.
+
+use hslb_model::Expr;
+use proptest::prelude::*;
+
+/// Random expression over `nvars` variables. Positive-leaning constants
+/// and shallow depth keep evaluation well-conditioned (the model domain is
+/// positive node counts, so we sample positive points too).
+fn arb_expr(nvars: usize, depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0.1f64..5.0).prop_map(Expr::Const),
+        (0..nvars).prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Expr::Sum),
+            prop::collection::vec(inner.clone(), 2..3).prop_map(Expr::Prod),
+            (inner.clone(), 0.5f64..2.5)
+                .prop_map(|(b, p)| Expr::Pow(Box::new(Expr::Sum(vec![b, Expr::Const(1.0)])), p)),
+            inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Div(
+                Box::new(a),
+                Box::new(Expr::Sum(vec![b, Expr::Const(2.0)]))
+            )),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ad_matches_finite_differences(e in arb_expr(3, 3),
+                                     x in prop::collection::vec(0.5f64..4.0, 3)) {
+        let (v, g) = e.eval_grad(&x);
+        prop_assume!(v.is_finite() && v.abs() < 1e8);
+        prop_assert!((v - e.eval(&x)).abs() <= 1e-9 * (1.0 + v.abs()));
+        let h = 1e-5;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            xp[i] += h;
+            xm[i] -= h;
+            let (fp, fm) = (e.eval(&xp), e.eval(&xm));
+            prop_assume!(fp.is_finite() && fm.is_finite());
+            let fd = (fp - fm) / (2.0 * h);
+            prop_assume!(fd.abs() < 1e7);
+            prop_assert!(
+                (g[i] - fd).abs() <= 1e-3 * (1.0 + fd.abs().max(g[i].abs())),
+                "var {i}: ad {} vs fd {}", g[i], fd
+            );
+        }
+    }
+
+    #[test]
+    fn linear_extraction_agrees_with_eval(coeffs in prop::collection::vec(-5.0f64..5.0, 3),
+                                          konst in -10.0f64..10.0,
+                                          x in prop::collection::vec(-3.0f64..3.0, 3)) {
+        // Build an affine expr through the operator API and check the
+        // extracted LinExpr evaluates identically.
+        let e = coeffs[0] * Expr::var(0)
+            + coeffs[1] * Expr::var(1)
+            + coeffs[2] * Expr::var(2)
+            + konst;
+        let l = e.as_linear().expect("affine by construction");
+        let lhs = e.eval(&x);
+        let rhs = l.eval(&x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn nonlinear_trees_with_products_of_vars_are_rejected(i in 0usize..3, j in 0usize..3) {
+        let e = Expr::var(i) * Expr::var(j) + Expr::var(0);
+        prop_assert!(e.as_linear().is_none());
+    }
+}

@@ -1,0 +1,196 @@
+//! Fit-quality diagnostics: parameter covariance, standard errors and
+//! prediction intervals.
+//!
+//! §III-C of the paper judges fits by R² alone; for the "how many
+//! benchmark points do I need" question (also §III-C) the parameter
+//! standard errors are the sharper tool — they blow up exactly when the
+//! four-parameter model is underdetermined. Standard Gauss–Markov
+//! linearization: `cov(p) ≈ σ̂²·(JᵀJ)⁻¹` with `σ̂² = SSE/(m−p)`.
+
+use crate::scaling::ScalingCurve;
+use hslb_numerics::{lu, Matrix};
+
+/// Diagnostics of a fitted scaling curve against its data.
+#[derive(Debug, Clone)]
+pub struct FitDiagnostics {
+    /// Estimated residual variance `σ̂² = SSE/(m − p)`.
+    pub sigma2: f64,
+    /// Standard error of each parameter `[a, b, c, d]`; `INFINITY` when
+    /// the Jacobian is rank-deficient in that direction.
+    pub std_errors: [f64; 4],
+    /// Degrees of freedom `m − p` (0 when the fit is saturated).
+    pub dof: usize,
+    /// Parameter covariance matrix (4×4), when invertible.
+    pub covariance: Option<Matrix>,
+}
+
+impl FitDiagnostics {
+    /// Approximate standard error of the *prediction* `T(n)` at a node
+    /// count, by the delta method: `√(gᵀ·cov·g)` with `g = ∂T/∂p`.
+    pub fn prediction_std_error(&self, curve: &ScalingCurve, n: f64) -> f64 {
+        let Some(cov) = &self.covariance else {
+            return f64::INFINITY;
+        };
+        let g = gradient(curve, n);
+        let cg = cov.matvec(&g).expect("4x4 covariance");
+        hslb_numerics::vector::dot(&g, &cg).max(0.0).sqrt()
+    }
+}
+
+/// Parameter gradient of `T(n) = a/n + b·n^c + d` at `n`.
+fn gradient(curve: &ScalingCurve, n: f64) -> Vec<f64> {
+    let nc = n.powf(curve.c);
+    vec![1.0 / n, nc, curve.b * nc * n.ln(), 1.0]
+}
+
+/// Compute diagnostics for a fitted curve on its data.
+///
+/// Returns `None` when there are no spare degrees of freedom (`m ≤ 4`) —
+/// the paper's minimum of "greater than four" points per component is
+/// exactly the condition for this to exist.
+pub fn diagnose(curve: &ScalingCurve, data: &[(f64, f64)]) -> Option<FitDiagnostics> {
+    let m = data.len();
+    let p = 4usize;
+    if m <= p {
+        return None;
+    }
+    let dof = m - p;
+    let sse: f64 = data
+        .iter()
+        .map(|&(n, y)| {
+            let r = curve.eval(n) - y;
+            r * r
+        })
+        .sum();
+    let sigma2 = sse / dof as f64;
+
+    // JᵀJ over the data.
+    let mut jac = Matrix::zeros(m, p);
+    for (i, &(n, _)) in data.iter().enumerate() {
+        let g = gradient(curve, n);
+        jac.row_mut(i).copy_from_slice(&g);
+    }
+    let jtj = jac.gram();
+
+    // Invert via LU column-by-column; rank deficiency → no covariance,
+    // infinite standard errors.
+    let covariance = lu::Lu::factor(&jtj).ok().and_then(|f| {
+        let mut inv = Matrix::zeros(p, p);
+        for j in 0..p {
+            let mut e = vec![0.0; p];
+            e[j] = 1.0;
+            let col = f.solve(&e).ok()?;
+            for i in 0..p {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Some(inv)
+    });
+
+    let std_errors = match &covariance {
+        Some(cov) => {
+            let mut se = [0.0; 4];
+            for j in 0..4 {
+                se[j] = (sigma2 * cov[(j, j)]).max(0.0).sqrt();
+            }
+            se
+        }
+        None => [f64::INFINITY; 4],
+    };
+
+    // Scale covariance by σ² so it is the parameter covariance proper.
+    let covariance = covariance.map(|mut c| {
+        for v in c.as_mut_slice() {
+            *v *= sigma2;
+        }
+        c
+    });
+
+    Some(FitDiagnostics {
+        sigma2,
+        std_errors,
+        dof,
+        covariance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scaling::{fit_scaling, ScalingFitOptions};
+
+    fn synth(curve: ScalingCurve, ns: &[f64], jitter: f64) -> Vec<(f64, f64)> {
+        ns.iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let eps = if i % 2 == 0 { 1.0 + jitter } else { 1.0 - jitter };
+                (n, curve.eval(n) * eps)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn noiseless_fit_has_tiny_sigma() {
+        let truth = ScalingCurve {
+            a: 10_000.0,
+            b: 1e-3,
+            c: 1.2,
+            d: 8.0,
+        };
+        let data = synth(truth, &[8.0, 32.0, 128.0, 512.0, 2048.0, 8192.0], 0.0);
+        let fit = fit_scaling(&data, &ScalingFitOptions::default()).unwrap();
+        let d = diagnose(&fit.curve, &data).unwrap();
+        assert!(d.sigma2 < 1e-3, "sigma2 = {}", d.sigma2);
+        assert_eq!(d.dof, 2);
+    }
+
+    #[test]
+    fn noisier_data_means_larger_errors() {
+        let truth = ScalingCurve {
+            a: 10_000.0,
+            b: 1e-3,
+            c: 1.2,
+            d: 8.0,
+        };
+        let ns = [8.0, 32.0, 128.0, 512.0, 2048.0, 8192.0];
+        let opts = ScalingFitOptions::default();
+        let quiet = fit_scaling(&synth(truth, &ns, 0.005), &opts).unwrap();
+        let noisy = fit_scaling(&synth(truth, &ns, 0.05), &opts).unwrap();
+        let dq = diagnose(&quiet.curve, &synth(truth, &ns, 0.005)).unwrap();
+        let dn = diagnose(&noisy.curve, &synth(truth, &ns, 0.05)).unwrap();
+        assert!(dn.sigma2 > dq.sigma2);
+        assert!(dn.std_errors[0] > dq.std_errors[0]);
+    }
+
+    #[test]
+    fn saturated_fit_has_no_diagnostics() {
+        let truth = ScalingCurve {
+            a: 100.0,
+            b: 0.0,
+            c: 1.0,
+            d: 1.0,
+        };
+        let data = synth(truth, &[8.0, 32.0, 128.0, 512.0], 0.0);
+        assert!(diagnose(&truth, &data).is_none()); // m = p = 4
+    }
+
+    #[test]
+    fn prediction_error_grows_when_extrapolating() {
+        let truth = ScalingCurve {
+            a: 50_000.0,
+            b: 2e-3,
+            c: 1.1,
+            d: 20.0,
+        };
+        let ns = [128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0];
+        let data = synth(truth, &ns, 0.02);
+        let fit = fit_scaling(&data, &ScalingFitOptions::default()).unwrap();
+        let d = diagnose(&fit.curve, &data).unwrap();
+        let inside = d.prediction_std_error(&fit.curve, 1000.0);
+        let outside = d.prediction_std_error(&fit.curve, 40_000.0);
+        assert!(
+            outside > inside,
+            "extrapolation SE {outside} should exceed interpolation SE {inside}"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Box-constrained nonlinear least squares for performance-curve fitting.
+//!
+//! Step 2 of the paper's HSLB algorithm fits the performance model
+//!
+//! ```text
+//! T_j(n) = a_j / n + b_j · n^{c_j} + d_j        (Table II, line 1)
+//! ```
+//!
+//! to the benchmark timings of each CESM component by solving
+//!
+//! ```text
+//! min_{a,b,c,d ≥ 0}  Σ_i ( y_ji − a_j/n_ji − b_j·n_ji^{c_j} − d_j )²   (Table II, line 10)
+//! ```
+//!
+//! This crate implements the general machinery — a Levenberg–Marquardt
+//! solver with projected box constraints ([`lm`]) and a deterministic
+//! multistart wrapper ([`multistart`]) that reproduces the paper's
+//! observation that different local optima fit equally well — plus the
+//! concrete paper model with its analytic Jacobian ([`scaling`]).
+
+pub mod diagnostics;
+pub mod lm;
+pub mod multistart;
+pub mod scaling;
+
+pub use lm::{LmOptions, LmOutcome, LmResult, ResidualModel};
+pub use multistart::{multistart_fit, MultistartOptions};
+pub use diagnostics::{diagnose, FitDiagnostics};
+pub use scaling::{fit_scaling, ScalingCurve, ScalingFit, ScalingFitOptions};

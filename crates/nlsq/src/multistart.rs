@@ -1,0 +1,235 @@
+//! Deterministic multistart wrapper around Levenberg–Marquardt.
+//!
+//! §III-C of the paper: "Since nonlinear optimization algorithms are
+//! iterative, selecting a different starting point may lead the solver to
+//! a different local solution. We experimented with different starting
+//! solutions and observed that even though the parameter values may
+//! differ, the solution value of the problem did not vary significantly."
+//! Multistart operationalizes that experiment: run LM from several spread
+//! starting points and keep the best basin.
+
+use crate::lm::{levenberg_marquardt, LmOptions, LmResult, ResidualModel};
+
+/// Options for [`multistart_fit`].
+#[derive(Debug, Clone)]
+pub struct MultistartOptions {
+    /// Number of starting points (≥ 1; the first is always the caller's).
+    pub starts: usize,
+    /// Seed for the quasi-random start generation (deterministic).
+    pub seed: u64,
+    /// Run the starts on `threads` OS threads (1 = serial).
+    pub threads: usize,
+    /// Inner LM options.
+    pub lm: LmOptions,
+}
+
+impl Default for MultistartOptions {
+    fn default() -> Self {
+        MultistartOptions {
+            starts: 16,
+            seed: 0x5eed_cafe,
+            threads: 1,
+            lm: LmOptions::default(),
+        }
+    }
+}
+
+/// SplitMix64: tiny deterministic generator for start-point jitter; keeps
+/// this crate independent of the `rand` version used elsewhere.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Generate starting points inside the model's box. Bounded dimensions are
+/// sampled log-uniformly when the bounds span orders of magnitude (typical
+/// for the `a` parameter, which can be anywhere from seconds to hours) and
+/// uniformly otherwise; unbounded dimensions jitter around `p0`.
+fn generate_starts<M: ResidualModel>(
+    model: &M,
+    p0: &[f64],
+    starts: usize,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    let lb = model.lower_bounds();
+    let ub = model.upper_bounds();
+    let mut state = seed;
+    let mut out = Vec::with_capacity(starts);
+    out.push(p0.to_vec());
+    while out.len() < starts {
+        let p: Vec<f64> = (0..model.num_params())
+            .map(|j| {
+                let (l, u) = (lb[j], ub[j]);
+                let r = unit(&mut state);
+                match (l.is_finite(), u.is_finite()) {
+                    (true, true) => {
+                        let lpos = l.max(1e-12);
+                        if u / lpos > 1e3 && l >= 0.0 {
+                            // log-uniform over [max(l, 1e-12·u), u]
+                            let lo = l.max(1e-12 * u);
+                            (lo.ln() + r * (u.ln() - lo.ln())).exp()
+                        } else {
+                            l + r * (u - l)
+                        }
+                    }
+                    (true, false) => l + (r * 6.0).exp() - 1.0 + p0[j].abs() * r,
+                    (false, true) => u - (r * 6.0).exp() + 1.0 - p0[j].abs() * r,
+                    (false, false) => p0[j] + (r - 0.5) * 2.0 * (1.0 + p0[j].abs()),
+                }
+            })
+            .collect();
+        out.push(p);
+    }
+    out
+}
+
+/// Fit from `starts` starting points; return the lowest-cost result.
+///
+/// With `threads > 1`, the starts are distributed over scoped worker
+/// threads (the model is only read, so a shared reference suffices). The
+/// result is deterministic regardless of thread count: ties are broken by
+/// start index.
+pub fn multistart_fit<M: ResidualModel + Sync>(
+    model: &M,
+    p0: &[f64],
+    opts: &MultistartOptions,
+) -> LmResult {
+    let starts = generate_starts(model, p0, opts.starts.max(1), opts.seed);
+    let results: Vec<(usize, LmResult)> = if opts.threads <= 1 {
+        starts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, levenberg_marquardt(model, s, &opts.lm)))
+            .collect()
+    } else {
+        parallel_runs(model, &starts, opts)
+    };
+    results
+        .into_iter()
+        .min_by(|(ia, a), (ib, b)| {
+            hslb_numerics::float::cmp_f64(a.cost, b.cost).then(ia.cmp(ib))
+        })
+        .expect("at least one start")
+        .1
+}
+
+fn parallel_runs<M: ResidualModel + Sync>(
+    model: &M,
+    starts: &[Vec<f64>],
+    opts: &MultistartOptions,
+) -> Vec<(usize, LmResult)> {
+    let nthreads = opts.threads.min(starts.len()).max(1);
+    let mut results: Vec<Option<(usize, LmResult)>> = vec![None; starts.len()];
+    let chunk = starts.len().div_ceil(nthreads);
+    crossbeam::thread::scope(|scope| {
+        for (slot_chunk, start_chunk) in results.chunks_mut(chunk).zip(starts.chunks(chunk)) {
+            let lm = opts.lm.clone();
+            scope.spawn(move |_| {
+                for (slot, s) in slot_chunk.iter_mut().zip(start_chunk) {
+                    *slot = Some((0, levenberg_marquardt(model, s, &lm)));
+                }
+            });
+        }
+    })
+    .expect("multistart worker panicked");
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let (_, res) = r.expect("all slots filled");
+            (i, res)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hslb_numerics::Matrix;
+
+    /// A two-basin model: r(p) = (p² − 4, 0.1·(p − 1.9)). Local minima near
+    /// p = ±2 with the p ≈ +2 basin slightly better.
+    struct TwoBasins;
+
+    impl ResidualModel for TwoBasins {
+        fn num_params(&self) -> usize {
+            1
+        }
+        fn num_residuals(&self) -> usize {
+            2
+        }
+        fn residuals(&self, p: &[f64], out: &mut [f64]) {
+            out[0] = p[0] * p[0] - 4.0;
+            out[1] = 0.1 * (p[0] - 1.9);
+        }
+        fn jacobian(&self, p: &[f64], jac: &mut Matrix) {
+            jac[(0, 0)] = 2.0 * p[0];
+            jac[(1, 0)] = 0.1;
+        }
+        fn lower_bounds(&self) -> Vec<f64> {
+            vec![-10.0]
+        }
+        fn upper_bounds(&self) -> Vec<f64> {
+            vec![10.0]
+        }
+    }
+
+    #[test]
+    fn escapes_inferior_basin() {
+        // A single start at −3 converges to the worse basin near −2…
+        let single = levenberg_marquardt(&TwoBasins, &[-3.0], &LmOptions::default());
+        assert!(single.params[0] < 0.0);
+        // …multistart finds the better one near +2.
+        let multi = multistart_fit(
+            &TwoBasins,
+            &[-3.0],
+            &MultistartOptions {
+                starts: 12,
+                ..Default::default()
+            },
+        );
+        assert!(multi.params[0] > 0.0, "stayed at {}", multi.params[0]);
+        assert!(multi.cost <= single.cost + 1e-15);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let serial = multistart_fit(
+            &TwoBasins,
+            &[0.5],
+            &MultistartOptions {
+                starts: 8,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let parallel = multistart_fit(
+            &TwoBasins,
+            &[0.5],
+            &MultistartOptions {
+                starts: 8,
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(serial.params, parallel.params);
+        assert_eq!(serial.cost, parallel.cost);
+    }
+
+    #[test]
+    fn starts_respect_bounds() {
+        let starts = generate_starts(&TwoBasins, &[0.0], 50, 7);
+        for s in &starts {
+            assert!(s[0] >= -10.0 && s[0] <= 10.0);
+        }
+        assert_eq!(starts.len(), 50);
+        assert_eq!(starts[0], vec![0.0]); // caller's start always included
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests for the scaling-curve fit.
+
+use hslb_nlsq::{fit_scaling, ScalingCurve, ScalingFitOptions};
+use proptest::prelude::*;
+
+fn arb_curve() -> impl Strategy<Value = ScalingCurve> {
+    (
+        100.0f64..100_000.0, // a
+        0.0f64..0.01,        // b
+        1.0f64..1.8,         // c
+        0.1f64..100.0,       // d
+    )
+        .prop_map(|(a, b, c, d)| ScalingCurve { a, b, c, d })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Noiseless synthetic data from an in-bounds curve must be fit with
+    /// R² ≈ 1 and accurate predictions at the sampled points.
+    #[test]
+    fn noiseless_fit_reproduces_observations(truth in arb_curve()) {
+        let ns = [8.0, 24.0, 96.0, 384.0, 1024.0, 4096.0];
+        let data: Vec<(f64, f64)> = ns.iter().map(|&n| (n, truth.eval(n))).collect();
+        let fit = fit_scaling(&data, &ScalingFitOptions::default()).unwrap();
+        prop_assert!(fit.r_squared > 0.999, "r2 = {}", fit.r_squared);
+        for &(n, y) in &data {
+            let p = fit.curve.eval(n);
+            prop_assert!((p - y).abs() <= 0.02 * y + 1e-6, "n={n}: {p} vs {y}");
+        }
+    }
+
+    /// The fit must always respect the positivity and exponent bounds
+    /// (Table II line 11 plus the convexity guard).
+    #[test]
+    fn fitted_parameters_respect_bounds(truth in arb_curve(),
+                                        jitter in prop::collection::vec(0.95f64..1.05, 6)) {
+        let ns = [16.0, 32.0, 128.0, 512.0, 2048.0, 8192.0];
+        let data: Vec<(f64, f64)> = ns
+            .iter()
+            .zip(&jitter)
+            .map(|(&n, &j)| (n, truth.eval(n) * j))
+            .collect();
+        let fit = fit_scaling(&data, &ScalingFitOptions::default()).unwrap();
+        prop_assert!(fit.curve.a >= 0.0);
+        prop_assert!(fit.curve.b >= 0.0);
+        prop_assert!(fit.curve.d >= 0.0);
+        prop_assert!(fit.curve.c >= 1.0 && fit.curve.c <= 3.0);
+        prop_assert!(fit.curve.is_convex());
+    }
+
+    /// Monotone consequence of convex fits: the curve evaluated on a
+    /// decreasing-time dataset never predicts negative times.
+    #[test]
+    fn predictions_stay_positive(truth in arb_curve(), n in 1.0f64..100_000.0) {
+        let ns = [8.0, 64.0, 512.0, 4096.0];
+        let data: Vec<(f64, f64)> = ns.iter().map(|&m| (m, truth.eval(m))).collect();
+        let fit = fit_scaling(&data, &ScalingFitOptions::default()).unwrap();
+        prop_assert!(fit.curve.eval(n) >= 0.0);
+    }
+}

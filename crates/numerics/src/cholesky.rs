@@ -1,0 +1,149 @@
+//! Cholesky factorization for symmetric positive definite systems.
+
+use crate::{Matrix, NumericsError, Result};
+
+/// A Cholesky factorization `A = L·Lᵀ` of a symmetric positive definite
+/// matrix. Only the lower triangle of the input is read.
+///
+/// This is the workhorse for the Levenberg–Marquardt normal equations
+/// `(JᵀJ + λ·diag)·δ = Jᵀr`, which are SPD whenever λ > 0.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorize a symmetric positive definite matrix.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(NumericsError::DimensionMismatch {
+                expected: n,
+                got: a.cols(),
+            });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(NumericsError::NotPositiveDefinite { index: i });
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factorize `A + ridge·I`, growing `ridge` by factors of 10 until the
+    /// shifted matrix is positive definite (up to `max_tries` shifts).
+    ///
+    /// Used as a safety net for nearly singular Gauss–Newton steps; the
+    /// returned factorization corresponds to the *shifted* matrix.
+    pub fn factor_with_ridge(a: &Matrix, mut ridge: f64, max_tries: usize) -> Result<Self> {
+        if let Ok(c) = Cholesky::factor(a) {
+            return Ok(c);
+        }
+        let n = a.rows();
+        ridge = ridge.max(f64::EPSILON * a.max_abs().max(1.0));
+        for _ in 0..max_tries {
+            let mut shifted = a.clone();
+            for i in 0..n {
+                shifted[(i, i)] += ridge;
+            }
+            if let Ok(c) = Cholesky::factor(&shifted) {
+                return Ok(c);
+            }
+            ridge *= 10.0;
+        }
+        Err(NumericsError::NotPositiveDefinite { index: 0 })
+    }
+
+    /// Solve `A·x = b` using the stored factor.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(NumericsError::DimensionMismatch {
+                expected: n,
+                got: b.len(),
+            });
+        }
+        // Forward: L·y = b.
+        let mut x = b.to_vec();
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut s = x[i];
+            for j in 0..i {
+                s -= row[j] * x[j];
+            }
+            x[i] = s / row[i];
+        }
+        // Backward: Lᵀ·x = y.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in i + 1..n {
+                s -= self.l[(j, i)] * x[j];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_and_solves_spd() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let c = Cholesky::factor(&a).unwrap();
+        let x = c.solve(&[8.0, 7.0]).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        assert!((ax[0] - 8.0).abs() < 1e-12);
+        assert!((ax[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l_times_lt_reconstructs() {
+        let a = Matrix::from_rows(&[&[9.0, 3.0, 0.0], &[3.0, 5.0, 1.0], &[0.0, 1.0, 7.0]]);
+        let c = Cholesky::factor(&a).unwrap();
+        let llt = c.l().matmul(&c.l().transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((llt[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(NumericsError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn ridge_rescues_semidefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]); // rank 1
+        assert!(Cholesky::factor(&a).is_err());
+        let c = Cholesky::factor_with_ridge(&a, 1e-10, 30).unwrap();
+        // The shifted solve must still be finite.
+        let x = c.solve(&[1.0, 1.0]).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+}

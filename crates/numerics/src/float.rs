@@ -1,0 +1,98 @@
+//! Tolerant floating-point comparisons shared across the workspace.
+//!
+//! Solver codes (simplex pivots, integrality checks, constraint
+//! feasibility) each need *named* tolerances rather than ad-hoc literals;
+//! keeping the comparison helpers here makes the choices auditable.
+
+/// Default absolute/relative tolerance used by [`approx_eq`].
+pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// `a ≈ b` under a combined absolute + relative tolerance.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}
+
+/// `a ⪅ b`: less-or-approximately-equal.
+#[inline]
+pub fn approx_le(a: f64, b: f64, tol: f64) -> bool {
+    a <= b || approx_eq(a, b, tol)
+}
+
+/// `a ⪆ b`: greater-or-approximately-equal.
+#[inline]
+pub fn approx_ge(a: f64, b: f64, tol: f64) -> bool {
+    a >= b || approx_eq(a, b, tol)
+}
+
+/// Is `x` within `tol` of an integer?
+#[inline]
+pub fn is_integral(x: f64, tol: f64) -> bool {
+    (x - x.round()).abs() <= tol
+}
+
+/// Fractional distance of `x` to the nearest integer, in `[0, 0.5]`.
+#[inline]
+pub fn fractionality(x: f64) -> f64 {
+    (x - x.round()).abs()
+}
+
+/// Round to nearest integer, returning an `i64`.
+///
+/// Panics in debug builds if the value is out of `i64` range or NaN.
+#[inline]
+pub fn round_i64(x: f64) -> i64 {
+    debug_assert!(x.is_finite());
+    debug_assert!(x.abs() < i64::MAX as f64);
+    x.round() as i64
+}
+
+/// Total order comparison usable as a sort key for finite floats; NaN sorts
+/// last so it can never be selected as a "best" value by min-sorts.
+#[inline]
+pub fn cmp_f64(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => a.partial_cmp(&b).unwrap(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute_and_relative() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(approx_eq(1e12, 1e12 * (1.0 + 1e-10), 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+    }
+
+    #[test]
+    fn le_ge_are_consistent() {
+        assert!(approx_le(1.0, 2.0, 1e-9));
+        assert!(approx_le(2.0, 2.0 - 1e-12, 1e-9));
+        assert!(!approx_le(2.1, 2.0, 1e-9));
+        assert!(approx_ge(2.0, 1.0, 1e-9));
+    }
+
+    #[test]
+    fn integrality_checks() {
+        assert!(is_integral(3.0 + 1e-10, 1e-6));
+        assert!(!is_integral(3.4, 1e-6));
+        assert!((fractionality(2.75) - 0.25).abs() < 1e-12);
+        assert_eq!(fractionality(5.0), 0.0);
+    }
+
+    #[test]
+    fn nan_sorts_last() {
+        let mut v = vec![2.0, f64::NAN, 1.0];
+        v.sort_by(|a, b| cmp_f64(*a, *b));
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], 2.0);
+        assert!(v[2].is_nan());
+    }
+}

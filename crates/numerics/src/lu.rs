@@ -1,0 +1,192 @@
+//! LU factorization with partial pivoting.
+
+use crate::{Matrix, NumericsError, Result};
+
+/// An LU factorization `P·A = L·U` of a square matrix, with partial
+/// (row) pivoting.
+///
+/// The factors are stored packed in a single matrix: the strictly lower
+/// triangle holds `L` (unit diagonal implied) and the upper triangle holds
+/// `U`. `perm[i]` records which original row landed in position `i`.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    packed: Matrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+/// Relative pivot threshold below which the matrix is declared singular.
+const PIVOT_TOL: f64 = 1e-13;
+
+impl Lu {
+    /// Factorize a square matrix.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(NumericsError::DimensionMismatch {
+                expected: n,
+                got: a.cols(),
+            });
+        }
+        let scale = a.max_abs().max(1.0);
+        let mut m = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: bring the largest |entry| in column k up.
+            let mut p = k;
+            let mut best = m[(k, k)].abs();
+            for i in k + 1..n {
+                let v = m[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best <= PIVOT_TOL * scale {
+                return Err(NumericsError::Singular { pivot: k });
+            }
+            if p != k {
+                m.swap_rows(p, k);
+                perm.swap(p, k);
+                sign = -sign;
+            }
+            let pivot = m[(k, k)];
+            for i in k + 1..n {
+                let factor = m[(i, k)] / pivot;
+                m[(i, k)] = factor;
+                if factor == 0.0 {
+                    continue;
+                }
+                // Row update: m[i, k+1..] -= factor * m[k, k+1..].
+                // Split borrows: row k is strictly above row i.
+                let (upper, lower) = m.as_mut_slice().split_at_mut(i * n);
+                let row_k = &upper[k * n..(k + 1) * n];
+                let row_i = &mut lower[..n];
+                for j in k + 1..n {
+                    row_i[j] -= factor * row_k[j];
+                }
+            }
+        }
+        Ok(Lu { packed: m, perm, sign })
+    }
+
+    /// Solve `A·x = b` using the stored factors.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.packed.rows();
+        if b.len() != n {
+            return Err(NumericsError::DimensionMismatch {
+                expected: n,
+                got: b.len(),
+            });
+        }
+        // Apply permutation, then forward substitution (unit lower).
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let row = self.packed.row(i);
+            let mut s = x[i];
+            for j in 0..i {
+                s -= row[j] * x[j];
+            }
+            x[i] = s;
+        }
+        // Backward substitution (upper).
+        for i in (0..n).rev() {
+            let row = self.packed.row(i);
+            let mut s = x[i];
+            for j in i + 1..n {
+                s -= row[j] * x[j];
+            }
+            x[i] = s / row[i];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.packed.rows();
+        (0..n).fold(self.sign, |d, i| d * self.packed[(i, i)])
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.packed.rows()
+    }
+}
+
+/// One-shot solve of `A·x = b`.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Lu::factor(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.matvec(x).unwrap();
+        crate::vector::norm_inf(&crate::vector::sub(&ax, b))
+    }
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Zero on the initial diagonal forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            Lu::factor(&a),
+            Err(NumericsError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_matches_2x2_formula() {
+        let a = Matrix::from_rows(&[&[3.0, 7.0], &[1.0, -4.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() - (3.0 * -4.0 - 7.0 * 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Lu::factor(&a).is_err());
+    }
+
+    #[test]
+    fn random_systems_have_small_residual() {
+        // Deterministic pseudo-random matrix via a simple LCG so the test
+        // needs no external RNG.
+        let mut state = 42_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        for n in [1usize, 2, 3, 5, 8, 13] {
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = next();
+                }
+                a[(i, i)] += 2.0; // diagonally dominant → well conditioned
+            }
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let x = solve(&a, &b).unwrap();
+            assert!(residual(&a, &x, &b) < 1e-9, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Householder QR factorization and least-squares solves.
+
+use crate::{Matrix, NumericsError, Result};
+
+/// A Householder QR factorization of an `m × n` matrix with `m ≥ n`.
+///
+/// `R` is stored in the upper triangle of `packed`; the essential parts of
+/// the Householder vectors live below the diagonal, with their scaling
+/// factors in `beta`.
+///
+/// Preferred over the normal equations when the Jacobian is ill-conditioned:
+/// QR squares neither the condition number nor the data.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    packed: Matrix,
+    beta: Vec<f64>,
+}
+
+impl Qr {
+    /// Factorize `a` (requires `rows ≥ cols`).
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (m, n) = (a.rows(), a.cols());
+        if m < n {
+            return Err(NumericsError::DimensionMismatch { expected: n, got: m });
+        }
+        let mut r = a.clone();
+        let mut beta = vec![0.0; n];
+        for k in 0..n {
+            // Build the Householder reflector for column k.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += r[(i, k)] * r[(i, k)];
+            }
+            norm = norm.sqrt();
+            if norm == 0.0 {
+                beta[k] = 0.0;
+                continue;
+            }
+            let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = r[(k, k)] - alpha;
+            // v = [v0, r[k+1..m, k]]; normalize so v[0] = 1.
+            let mut vnorm2 = v0 * v0;
+            for i in k + 1..m {
+                vnorm2 += r[(i, k)] * r[(i, k)];
+            }
+            if vnorm2 == 0.0 {
+                beta[k] = 0.0;
+                continue;
+            }
+            beta[k] = 2.0 * v0 * v0 / vnorm2;
+            // Store normalized v below the diagonal (v[0]=1 implied).
+            for i in k + 1..m {
+                r[(i, k)] /= v0;
+            }
+            r[(k, k)] = alpha;
+            // Apply the reflector to the remaining columns.
+            for j in k + 1..n {
+                let mut s = r[(k, j)];
+                for i in k + 1..m {
+                    s += r[(i, k)] * r[(i, j)];
+                }
+                s *= beta[k];
+                r[(k, j)] -= s;
+                for i in k + 1..m {
+                    let vik = r[(i, k)];
+                    r[(i, j)] -= s * vik;
+                }
+            }
+        }
+        Ok(Qr { packed: r, beta })
+    }
+
+    /// Apply `Qᵀ` to a vector of length `rows`.
+    fn apply_qt(&self, b: &mut [f64]) {
+        let (m, n) = (self.packed.rows(), self.packed.cols());
+        for k in 0..n {
+            if self.beta[k] == 0.0 {
+                continue;
+            }
+            let mut s = b[k];
+            for i in k + 1..m {
+                s += self.packed[(i, k)] * b[i];
+            }
+            s *= self.beta[k];
+            b[k] -= s;
+            for i in k + 1..m {
+                b[i] -= s * self.packed[(i, k)];
+            }
+        }
+    }
+
+    /// Least-squares solve: `x = argmin ‖A·x − b‖₂`.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = (self.packed.rows(), self.packed.cols());
+        if b.len() != m {
+            return Err(NumericsError::DimensionMismatch { expected: m, got: b.len() });
+        }
+        let mut qtb = b.to_vec();
+        self.apply_qt(&mut qtb);
+        // Back-substitute R·x = (Qᵀb)[0..n].
+        let mut x = vec![0.0; n];
+        let scale = self.packed.max_abs().max(1.0);
+        for i in (0..n).rev() {
+            let mut s = qtb[i];
+            for j in i + 1..n {
+                s -= self.packed[(i, j)] * x[j];
+            }
+            let rii = self.packed[(i, i)];
+            if rii.abs() <= 1e-13 * scale {
+                return Err(NumericsError::Singular { pivot: i });
+            }
+            x[i] = s / rii;
+        }
+        Ok(x)
+    }
+}
+
+/// One-shot least-squares solve.
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Qr::factor(a)?.solve_least_squares(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_solve_matches_lu() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = [5.0, 10.0];
+        let x_qr = least_squares(&a, &b).unwrap();
+        let x_lu = crate::lu::solve(&a, &b).unwrap();
+        assert!((x_qr[0] - x_lu[0]).abs() < 1e-10);
+        assert!((x_qr[1] - x_lu[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn overdetermined_line_fit() {
+        // Fit y = 2x + 1 through exact points: residual must vanish.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let mut a = Matrix::zeros(4, 2);
+        let mut b = vec![0.0; 4];
+        for (i, &x) in xs.iter().enumerate() {
+            a[(i, 0)] = x;
+            a[(i, 1)] = 1.0;
+            b[i] = 2.0 * x + 1.0;
+        }
+        let p = least_squares(&a, &b).unwrap();
+        assert!((p[0] - 2.0).abs() < 1e-10);
+        assert!((p[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal() {
+        // For the LS solution, Aᵀ(Ax − b) = 0.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, -1.0], &[0.5, 4.0], &[2.0, 2.0]]);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let x = least_squares(&a, &b).unwrap();
+        let r = crate::vector::sub(&a.matvec(&x).unwrap(), &b);
+        let atr = a.matvec_t(&r).unwrap();
+        assert!(crate::vector::norm_inf(&atr) < 1e-10);
+    }
+
+    #[test]
+    fn rejects_underdetermined() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Qr::factor(&a).is_err());
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let qr = Qr::factor(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Descriptive statistics and goodness-of-fit measures.
+//!
+//! The paper judges each component's curve fit by its coefficient of
+//! determination R² ("in our tests, R² was very close to 1 for each
+//! component"); these helpers back that reporting throughout the workspace.
+
+/// Arithmetic mean; `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population variance; `None` for empty input.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Coefficient of determination R² = 1 − SS_res / SS_tot.
+///
+/// `None` when lengths mismatch or fewer than two observations. When the
+/// observations are all identical (SS_tot = 0), returns 1.0 for a perfect
+/// prediction and `-inf` otherwise, matching the usual convention.
+pub fn r_squared(observed: &[f64], predicted: &[f64]) -> Option<f64> {
+    if observed.len() != predicted.len() || observed.len() < 2 {
+        return None;
+    }
+    let m = mean(observed)?;
+    let ss_tot: f64 = observed.iter().map(|y| (y - m) * (y - m)).sum();
+    let ss_res: f64 = observed
+        .iter()
+        .zip(predicted)
+        .map(|(y, p)| (y - p) * (y - p))
+        .sum();
+    if ss_tot == 0.0 {
+        return Some(if ss_res == 0.0 { 1.0 } else { f64::NEG_INFINITY });
+    }
+    Some(1.0 - ss_res / ss_tot)
+}
+
+/// Root-mean-square error between observations and predictions.
+pub fn rmse(observed: &[f64], predicted: &[f64]) -> Option<f64> {
+    if observed.len() != predicted.len() || observed.is_empty() {
+        return None;
+    }
+    let ss: f64 = observed
+        .iter()
+        .zip(predicted)
+        .map(|(y, p)| (y - p) * (y - p))
+        .sum();
+    Some((ss / observed.len() as f64).sqrt())
+}
+
+/// Mean absolute percentage error, in percent. Observations equal to zero
+/// are skipped; `None` if nothing remains.
+pub fn mape(observed: &[f64], predicted: &[f64]) -> Option<f64> {
+    if observed.len() != predicted.len() {
+        return None;
+    }
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (y, p) in observed.iter().zip(predicted) {
+        if *y != 0.0 {
+            total += ((y - p) / y).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(100.0 * total / n as f64)
+    }
+}
+
+/// Relative improvement of `new` over `baseline` in percent:
+/// `100·(baseline − new)/baseline`. Positive means `new` is better
+/// (smaller). `None` when the baseline is zero.
+pub fn improvement_pct(baseline: f64, new: f64) -> Option<f64> {
+    if baseline == 0.0 {
+        None
+    } else {
+        Some(100.0 * (baseline - new) / baseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(variance(&[1.0, 2.0, 3.0]), Some(2.0 / 3.0));
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[]), None);
+    }
+
+    #[test]
+    fn r_squared_perfect_fit_is_one() {
+        let y = [1.0, 2.0, 4.0];
+        assert_eq!(r_squared(&y, &y), Some(1.0));
+    }
+
+    #[test]
+    fn r_squared_mean_prediction_is_zero() {
+        let y = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        assert!((r_squared(&y, &p).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_constant_observations() {
+        assert_eq!(r_squared(&[5.0, 5.0], &[5.0, 5.0]), Some(1.0));
+        assert_eq!(r_squared(&[5.0, 5.0], &[4.0, 6.0]), Some(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]).unwrap() - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_observations() {
+        let v = mape(&[0.0, 10.0], &[5.0, 9.0]).unwrap();
+        assert!((v - 10.0).abs() < 1e-12);
+        assert_eq!(mape(&[0.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn improvement_pct_signs() {
+        assert!((improvement_pct(100.0, 75.0).unwrap() - 25.0).abs() < 1e-12);
+        assert!(improvement_pct(100.0, 110.0).unwrap() < 0.0);
+        assert_eq!(improvement_pct(0.0, 1.0), None);
+    }
+}

@@ -1,0 +1,129 @@
+//! BLAS-1 style helpers on plain `&[f64]` slices.
+//!
+//! Free functions instead of a wrapper type: every caller in the workspace
+//! already holds `Vec<f64>`s (LP columns, residual vectors, gradients), and
+//! a newtype would only add conversions at each boundary.
+
+/// Dot product. Panics in debug builds on length mismatch.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y ← y + alpha · x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    if alpha == 0.0 {
+        return;
+    }
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← alpha · x`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Maximum absolute entry (infinity norm); zero for an empty slice.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// Sum of entries.
+#[inline]
+pub fn sum(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// Elementwise difference `a - b` as a fresh vector.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Elementwise sum `a + b` as a fresh vector.
+#[inline]
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Index of the entry with the largest absolute value, or `None` if empty.
+pub fn argmax_abs(x: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, v) in x.iter().enumerate() {
+        let a = v.abs();
+        if best.map_or(true, |(_, b)| a > b) {
+            best = Some((i, a));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Clamp every entry of `x` into `[lo[i], hi[i]]` in place.
+pub fn clamp_box(x: &mut [f64], lo: &[f64], hi: &[f64]) {
+    debug_assert_eq!(x.len(), lo.len());
+    debug_assert_eq!(x.len(), hi.len());
+    for ((xi, &l), &h) in x.iter_mut().zip(lo).zip(hi) {
+        *xi = xi.clamp(l, h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_orthogonal_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 2.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, 0.0]);
+    }
+
+    #[test]
+    fn axpy_zero_alpha_is_noop() {
+        let mut y = vec![1.0, 2.0];
+        axpy(0.0, &[f64::NAN, f64::NAN], &mut y);
+        assert_eq!(y, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn argmax_abs_finds_largest_magnitude() {
+        assert_eq!(argmax_abs(&[1.0, -9.0, 3.0]), Some(1));
+        assert_eq!(argmax_abs(&[]), None);
+    }
+
+    #[test]
+    fn clamp_box_clamps() {
+        let mut x = vec![-1.0, 0.5, 9.0];
+        clamp_box(&mut x, &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(x, vec![0.0, 0.5, 1.0]);
+    }
+}

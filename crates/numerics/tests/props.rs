@@ -1,0 +1,119 @@
+//! Property-based tests for the numerics crate.
+
+use hslb_numerics::{lu, qr, scalar, stats, vector, Cholesky, Matrix};
+use proptest::prelude::*;
+
+/// Strategy for a well-conditioned square matrix: random entries in
+/// [-1, 1] with a dominant diagonal.
+fn diag_dominant(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+        let mut m = Matrix::from_vec(n, n, data).unwrap();
+        for i in 0..n {
+            m[(i, i)] += n as f64 + 1.0;
+        }
+        m
+    })
+}
+
+fn vec_n(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, n)
+}
+
+proptest! {
+    #[test]
+    fn lu_solve_residual_small((a, b) in (2usize..8).prop_flat_map(|n| (diag_dominant(n), vec_n(n)))) {
+        let x = lu::solve(&a, &b).unwrap();
+        let r = vector::sub(&a.matvec(&x).unwrap(), &b);
+        prop_assert!(vector::norm_inf(&r) < 1e-8);
+    }
+
+    #[test]
+    fn cholesky_solves_spd((a, b) in (2usize..8).prop_flat_map(|n| (diag_dominant(n), vec_n(n)))) {
+        // A·Aᵀ + I is SPD for any A.
+        let spd = {
+            let mut s = a.matmul(&a.transpose()).unwrap();
+            for i in 0..s.rows() {
+                s[(i, i)] += 1.0;
+            }
+            s
+        };
+        let x = Cholesky::factor(&spd).unwrap().solve(&b).unwrap();
+        let r = vector::sub(&spd.matvec(&x).unwrap(), &b);
+        prop_assert!(vector::norm_inf(&r) < 1e-7);
+    }
+
+    #[test]
+    fn qr_least_squares_is_stationary(rows in 4usize..10, seed in 0u64..1000) {
+        // Build a random tall matrix deterministically from the seed.
+        let cols = 3usize;
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let mut a = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                a[(i, j)] = next();
+            }
+        }
+        for j in 0..cols {
+            a[(j, j)] += 2.0; // ensure full column rank
+        }
+        let b: Vec<f64> = (0..rows).map(|_| next()).collect();
+        let x = qr::least_squares(&a, &b).unwrap();
+        // Normal-equation stationarity: Aᵀ(Ax − b) ≈ 0.
+        let r = vector::sub(&a.matvec(&x).unwrap(), &b);
+        let atr = a.matvec_t(&r).unwrap();
+        prop_assert!(vector::norm_inf(&atr) < 1e-8);
+    }
+
+    #[test]
+    fn transpose_is_involution(n in 1usize..6, m in 1usize..6, seed in 0u64..100) {
+        let mut state = seed.wrapping_add(7);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        let data: Vec<f64> = (0..n * m).map(|_| next()).collect();
+        let a = Matrix::from_vec(n, m, data).unwrap();
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn r_squared_at_most_one(ys in prop::collection::vec(-100.0f64..100.0, 2..20),
+                             noise in prop::collection::vec(-1.0f64..1.0, 20)) {
+        let preds: Vec<f64> = ys.iter().zip(&noise).map(|(y, n)| y + n).collect();
+        if let Some(r2) = stats::r_squared(&ys, &preds) {
+            prop_assert!(r2 <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn integer_ternary_matches_bruteforce_on_unimodal(center in -50i64..50, lo in -100i64..0, span in 1i64..200) {
+        let hi = lo + span;
+        let f = |x: i64| {
+            let d = (x - center) as f64;
+            d * d
+        };
+        let (x, fx) = scalar::integer_ternary_min(f, lo, hi);
+        let brute = (lo..=hi).map(|x| (x, f(x)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+        prop_assert_eq!(fx, brute.1);
+        prop_assert_eq!(x, brute.0);
+    }
+
+    #[test]
+    fn golden_section_bracket_shrinks_to_quadratic_min(c in -5.0f64..5.0) {
+        let (x, _) = scalar::golden_section(|x| (x - c) * (x - c), -10.0, 10.0, 1e-10, 300);
+        prop_assert!((x - c).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in vec_n(5), b in vec_n(5), alpha in -3.0f64..3.0) {
+        let scaled: Vec<f64> = a.iter().map(|x| alpha * x).collect();
+        let lhs = vector::dot(&scaled, &b);
+        let rhs = alpha * vector::dot(&a, &b);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + rhs.abs()));
+    }
+}

@@ -1,0 +1,63 @@
+//! The full operational loop a CESM production group would run:
+//!
+//! 1. benchmark once and **archive** the timings (CESM-style timing
+//!    files),
+//! 2. later (different session / user), **reload** the archive — no
+//!    re-benchmarking ("the data gathering step can be avoided altogether
+//!    if reliable benchmarks are already available", §III-F),
+//! 3. solve for a *new* target node count,
+//! 4. emit the ready-to-use **`env_mach_pes.xml`** (HSLB's role inside
+//!    CESM's automated pipeline, §V).
+//!
+//! Run with: `cargo run --release --example operational_workflow`
+
+use cesm_hslb::cesm::{archive, pes};
+use cesm_hslb::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- session 1: benchmark and archive ----
+    let sim = Simulator::one_degree(42);
+    let bench_counts = [16i64, 64, 256, 1024, 2048];
+    let points = sim.benchmark_all(&bench_counts);
+    let archive_text = archive::write_archive(
+        &points,
+        Some("resolution: 1deg FV (CESM 1.1.1)\nmachine: Intrepid"),
+    );
+    println!(
+        "archived {} observations ({} bytes):\n{}",
+        points.len(),
+        archive_text.len(),
+        archive_text.lines().take(6).collect::<Vec<_>>().join("\n")
+    );
+    println!("...\n");
+
+    // ---- session 2: reload, fit, solve for a different target ----
+    let restored = archive::read_archive(&archive_text)?;
+    let data = BenchmarkData::from_points(&restored);
+    let mut opts = HslbOptions::new(512); // a target never benchmarked
+    opts.gather = GatherPlan::Reuse(data);
+    let pipeline = Hslb::new(&sim, opts);
+    let fits = pipeline.fit(&pipeline.gather())?;
+    let solved = pipeline.solve(&fits)?;
+    println!(
+        "target 512 nodes → {} (predicted {:.1}s, min R² {:.4})",
+        solved.allocation,
+        solved.predicted_total,
+        fits.min_r_squared()
+    );
+
+    // Sanity-check against an actual (simulated) run.
+    let run = pipeline.execute(&solved.allocation)?;
+    println!("actual coupled run: {:.1}s\n", run.total);
+
+    // ---- the deliverable: env_mach_pes.xml ----
+    let pes_layout = pes::build(&Machine::intrepid(), Layout::Hybrid, &solved.allocation)?;
+    let xml = pes_layout.to_xml();
+    println!("{xml}");
+
+    // Round-trip proof: the XML is parseable back to the same layout.
+    let back = pes::PesLayout::from_xml(&xml)?;
+    assert_eq!(back.total_tasks, pes_layout.total_tasks);
+    println!("# XML round-trip verified ({} total tasks)", back.total_tasks);
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: tune CESM at 1° resolution on 128 nodes, exactly the first
+//! experiment of the paper's Table III.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cesm_hslb::prelude::*;
+
+fn main() -> Result<(), HslbError> {
+    // A simulated CESM 1.1.1 at 1° resolution on Intrepid. In production,
+    // `Simulator` is replaced by real 5-day benchmark runs; everything
+    // else stays the same.
+    let sim = Simulator::one_degree(42);
+
+    // The pipeline defaults mirror the paper: layout (1) (atmosphere ∥
+    // ocean, ice ∥ land inside the atmosphere group), min-max objective,
+    // five log-spaced benchmark node counts.
+    let target_nodes = 128;
+    let pipeline = Hslb::new(&sim, HslbOptions::new(target_nodes));
+
+    // Step 1 — gather: benchmark each component at several node counts.
+    let data = pipeline.gather();
+    println!(
+        "gathered {} ocean observations (allowed counts only)",
+        data.count(Component::Ocn)
+    );
+
+    // Step 2 — fit: T_j(n) = a/n + b·n^c + d per component.
+    let fits = pipeline.fit(&data)?;
+    for (component, fit) in fits.iter() {
+        println!(
+            "{component}: T(n) = {:.1}/n + {:.2e}·n^{:.2} + {:.2}   (R² = {:.4})",
+            fit.curve.a, fit.curve.b, fit.curve.c, fit.curve.d, fit.r_squared
+        );
+    }
+
+    // Step 3 — solve: the Table I MINLP via LP/NLP branch-and-bound.
+    let solved = pipeline.solve(&fits)?;
+    println!(
+        "\noptimal allocation: {}   (predicted total {:.1}s)",
+        solved.allocation, solved.predicted_total
+    );
+    if let Some(stats) = &solved.solver_stats {
+        println!(
+            "solver: {} nodes, {} LP solves, {} OA cuts, {:?}",
+            stats.nodes, stats.lp_solves, stats.cuts, stats.wall
+        );
+    }
+
+    // Step 4 — execute: run the coupled model with that allocation.
+    let run = pipeline.execute(&solved.allocation)?;
+    println!("actual total: {:.1}s", run.total);
+
+    // Compare with the expert allocation the paper's Table III reports.
+    let manual = paper_manual_allocation(Resolution::OneDegree, target_nodes)
+        .expect("paper reports a manual tuning for 1deg/128");
+    let manual_run = sim
+        .run_case(&manual, Layout::Hybrid, 7)
+        .expect("paper allocation is valid");
+    println!(
+        "manual expert:  {:.1}s → HSLB is {:+.1}% faster",
+        manual_run.total,
+        100.0 * (manual_run.total - run.total) / manual_run.total
+    );
+    Ok(())
+}

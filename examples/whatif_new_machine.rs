@@ -1,0 +1,76 @@
+//! §IV-C what-if studies: optimal node counts for a job, cost-efficiency
+//! frontiers, and "more exotic and less reliable predictions such as the
+//! prediction of CESM scaling on new hardware".
+//!
+//! Run with: `cargo run --release --example whatif_new_machine`
+
+use cesm_hslb::hslb::whatif;
+use cesm_hslb::prelude::*;
+
+fn main() -> Result<(), HslbError> {
+    let sim = Simulator::one_degree(42);
+    let pipeline = Hslb::new(&sim, HslbOptions::new(2048));
+    let fits = pipeline.fit(&pipeline.gather())?;
+
+    // 1. Cost-efficient node count: keep doubling while each doubling
+    //    still delivers ≥ 70 % of the ideal 2× speedup.
+    let machine = Machine::intrepid();
+    let sweet = whatif::optimal_node_count(&fits, Layout::Hybrid, 64, machine.nodes, 0.70);
+    println!(
+        "cost-efficient size on {}: {} nodes, predicted {:.1}s \
+         (last doubling efficiency {:.0}%)",
+        machine.name,
+        sweet.nodes,
+        sweet.time,
+        100.0 * sweet.marginal_efficiency
+    );
+
+    // 2. The shortest-time-to-solution point, regardless of cost.
+    let frontier: Vec<(i64, f64)> = (7..=15)
+        .map(|p| {
+            let n = 1i64 << p;
+            let t = hslb::ExhaustiveOptimizer::new(&fits, Layout::Hybrid, n)
+                .solve(Objective::MinMax)
+                .objective;
+            (n, t)
+        })
+        .collect();
+    println!("\nscaling frontier (1° model):");
+    for (n, t) in &frontier {
+        println!("  {n:>6} nodes → {t:>8.2}s");
+    }
+
+    // 3. New hardware: a hypothetical 8×-Intrepid. The *curves* are the
+    //    per-node performance model, so predicting a bigger machine means
+    //    re-solving the allocation problem with a bigger N (the paper
+    //    flags this as exploratory — extrapolation beyond measured
+    //    counts).
+    let big = Machine::hypothetical_exascale();
+    let res = hslb::ExhaustiveOptimizer::new(&fits, Layout::Hybrid, big.nodes)
+        .solve(Objective::MinMax);
+    println!(
+        "\non {} ({} nodes): predicted {:.2}s with {}",
+        big.name, big.nodes, res.objective, res.allocation
+    );
+
+    // 4. Component swap: what if a rewritten ocean model scaled 3× better?
+    let better_ocean = ScalingCurve {
+        a: fits.curve(Component::Ocn).a / 3.0,
+        b: fits.curve(Component::Ocn).b,
+        c: fits.curve(Component::Ocn).c,
+        d: fits.curve(Component::Ocn).d / 2.0,
+    };
+    let (before, after) = whatif::predict_component_swap(
+        &fits,
+        Layout::Hybrid,
+        2048,
+        Component::Ocn,
+        better_ocean,
+    );
+    println!(
+        "\nrewriting POP (3x scalable part): {before:.1}s → {after:.1}s at 2048 nodes \
+         ({:+.0}%)",
+        100.0 * (before - after) / before
+    );
+    Ok(())
+}

@@ -1,0 +1,136 @@
+//! Tests for the operational artifacts: AMPL export of the Table I
+//! models, PES XML generation from pipeline output, archive round-trips
+//! through the pipeline, and robustness under a hostile noise regime.
+
+use cesm_hslb::cesm::{archive, pes};
+use cesm_hslb::hslb::{build_layout_model, LayoutModelOptions};
+use cesm_hslb::model::to_ampl;
+use cesm_hslb::prelude::*;
+
+fn fits_1deg() -> cesm_hslb::hslb::FitSet {
+    let sim = Simulator::one_degree(42);
+    let h = Hslb::new(&sim, HslbOptions::new(2048));
+    h.fit(&h.gather()).expect("fit")
+}
+
+#[test]
+fn layout1_model_exports_table_i_shaped_ampl() {
+    let fits = fits_1deg();
+    let lm = build_layout_model(
+        &fits,
+        &LayoutModelOptions {
+            layout: Layout::Hybrid,
+            objective: Objective::MinMax,
+            total_nodes: 128,
+            floors: cesm_hslb::hslb::NodeFloors::from_config(&ResolutionConfig::one_degree()),
+            ocean_allowed: Some(ResolutionConfig::one_degree_ocean_set()),
+            atm_allowed: None,
+            tsync: Some(5.0),
+        },
+    )
+    .expect("model builds");
+    let ampl = to_ampl(&lm.model);
+    // The structural landmarks of Table I must all appear.
+    assert!(ampl.contains("var n_ice integer"), "{ampl:.300}");
+    assert!(ampl.contains("var T_icelnd"));
+    assert!(ampl.contains("minimize obj: T;"));
+    assert!(ampl.contains("subject to icelnd_ge_ice:"));
+    assert!(ampl.contains("subject to total_ge_ocn:"));
+    assert!(ampl.contains("subject to budget:"));
+    assert!(ampl.contains("subject to icelnd_within_atm:"));
+    assert!(ampl.contains("subject to sync_lnd_not_too_fast:"));
+    // SOS machinery for the ocean allowed set (Table I lines 29–31).
+    assert!(ampl.contains("subject to ocn_pick_one:"));
+    assert!(ampl.contains("subject to ocn_link:"));
+    assert!(ampl.contains(".sosno := 1"));
+    // Deterministic output.
+    assert_eq!(ampl, to_ampl(&lm.model));
+}
+
+#[test]
+fn pipeline_to_pes_xml_is_consistent() {
+    let sim = Simulator::one_degree(42);
+    let h = Hslb::new(&sim, HslbOptions::new(256));
+    let report = h.run(None).expect("pipeline");
+    let layout =
+        pes::build(&Machine::intrepid(), Layout::Hybrid, &report.hslb.allocation).expect("pes");
+    // Every optimized component appears with a positive task count, and
+    // NTASKS matches the allocation under 1 task/node.
+    for c in Component::OPTIMIZED {
+        let entry = layout.entry(c).expect("entry present");
+        assert_eq!(entry.ntasks, report.hslb.allocation.get(c));
+        assert_eq!(entry.nthrds, 4);
+    }
+    assert!(layout.total_tasks <= 256);
+    let xml = layout.to_xml();
+    assert_eq!(pes::PesLayout::from_xml(&xml).unwrap().total_tasks, layout.total_tasks);
+}
+
+#[test]
+fn archived_benchmarks_reproduce_the_solve() {
+    // Solving from archived data must equal solving from live data.
+    let sim = Simulator::one_degree(42);
+    let h_live = Hslb::new(&sim, HslbOptions::new(512));
+    let live_data = h_live.gather();
+    let live = h_live
+        .solve(&h_live.fit(&live_data).unwrap())
+        .expect("live solve");
+
+    // Archive and restore through the text format.
+    let mut points = Vec::new();
+    for c in Component::OPTIMIZED {
+        for &(n, y) in live_data.of(c) {
+            points.push(BenchPoint {
+                component: c,
+                nodes: n as i64,
+                seconds: y,
+            });
+        }
+    }
+    let text = archive::write_archive(&points, None);
+    let restored = BenchmarkData::from_points(&archive::read_archive(&text).unwrap());
+
+    let mut opts = HslbOptions::new(512);
+    opts.gather = GatherPlan::Reuse(restored);
+    let h_arch = Hslb::new(&sim, opts);
+    let arch = h_arch
+        .solve(&h_arch.fit(&h_arch.gather()).unwrap())
+        .expect("archive solve");
+    // Same fits up to text-format rounding (6 decimals) → same allocation.
+    assert_eq!(live.allocation, arch.allocation);
+}
+
+#[test]
+fn pipeline_survives_hostile_noise() {
+    // Outliers and heavy jitter must degrade quality, not correctness:
+    // the pipeline still returns a valid allocation with a sane total.
+    let sim = Simulator::new(
+        Machine::intrepid(),
+        ResolutionConfig::one_degree(),
+        NoiseSpec::noisy(),
+        1234,
+    );
+    let mut opts = HslbOptions::new(512);
+    // The paper's own mitigation: more points under more noise.
+    opts.gather = GatherPlan::LogSpaced {
+        min_nodes: 12,
+        max_nodes: 512,
+        points: 9,
+    };
+    let report = Hslb::new(&sim, opts).run(None).expect("pipeline under noise");
+    let a = report.hslb.allocation;
+    assert!(a.ice + a.lnd <= a.atm && a.atm + a.ocn <= 512);
+    // Within 2× of the quiet-environment optimum — degraded, not broken.
+    let quiet = Simulator::one_degree(42);
+    let quiet_total = Hslb::new(&quiet, HslbOptions::new(512))
+        .run(None)
+        .unwrap()
+        .hslb
+        .actual_total;
+    assert!(
+        report.hslb.actual_total < 2.0 * quiet_total,
+        "noisy {} vs quiet {}",
+        report.hslb.actual_total,
+        quiet_total
+    );
+}

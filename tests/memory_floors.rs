@@ -1,0 +1,72 @@
+//! Memory-floor behaviour (§III-C: "the minimal number of nodes allowed
+//! by memory requirements").
+
+use cesm_hslb::prelude::*;
+
+#[test]
+fn gather_never_benchmarks_below_the_floor() {
+    let sim = Simulator::eighth_degree(42);
+    let mut opts = HslbOptions::new(32_768);
+    // Ask for absurdly small counts; the gather step must clamp.
+    opts.gather = GatherPlan::LogSpaced {
+        min_nodes: 1,
+        max_nodes: 32_768,
+        points: 6,
+    };
+    let data = Hslb::new(&sim, opts).gather();
+    for c in Component::OPTIMIZED {
+        let floor = sim.config.memory_floor(c);
+        for &(n, _) in data.of(c) {
+            assert!(
+                n as i64 >= floor,
+                "{c} benchmarked at {n} below its floor {floor}"
+            );
+        }
+    }
+}
+
+#[test]
+fn solver_allocations_respect_floors() {
+    let sim = Simulator::eighth_degree(42);
+    let report = Hslb::new(&sim, HslbOptions::new(8192)).run(None).unwrap();
+    for c in Component::OPTIMIZED {
+        assert!(
+            report.hslb.allocation.get(c) >= sim.config.memory_floor(c),
+            "{c} allocated below its memory floor"
+        );
+    }
+}
+
+#[test]
+fn simulator_rejects_below_floor_runs() {
+    let sim = Simulator::eighth_degree(42);
+    // lnd on 2 nodes cannot hold the 1/4° land fields.
+    let alloc = Allocation {
+        lnd: 2,
+        ice: 4000,
+        atm: 5056,
+        ocn: 3136,
+    };
+    let err = sim.run_case(&alloc, Layout::Hybrid, 0).unwrap_err();
+    assert!(err.contains("memory"), "unexpected error: {err}");
+}
+
+#[test]
+fn one_degree_floors_are_below_all_published_allocations() {
+    // The paper's own Table III allocations must all be feasible.
+    let config = ResolutionConfig::one_degree();
+    for e in cesm_hslb::cesm::calib::paper_table3() {
+        if e.resolution != Resolution::OneDegree {
+            continue;
+        }
+        for alloc in [e.manual_alloc, Some(e.hslb_alloc)].into_iter().flatten() {
+            let a = Allocation::from_table_order(alloc);
+            for c in Component::OPTIMIZED {
+                assert!(
+                    a.get(c) >= config.memory_floor(c),
+                    "paper allocation {a} violates the {c} floor"
+                );
+            }
+        }
+    }
+}
