@@ -8,12 +8,16 @@
 //! ```text
 //! cargo run --release -p hslb-bench --bin autotune -- \
 //!     --resolution 1deg --nodes 512 [--layout 1] [--free-ocean] \
-//!     [--objective minmax] [--deadline <seconds>]
+//!     [--objective minmax] [--deadline <seconds>] [--faults <[seed:]rate>]
 //! ```
+//!
+//! `--faults 7:0.2` injects a deterministic fault stream (seed 7, 20 %
+//! failures/hangs/garbage/corruption) into the simulated cluster — a rehearsal
+//! of the retry/backoff gather and the solver degradation ladder.
 
 use hslb::{cost, Hslb, HslbOptions, Objective};
 use hslb_bench::simulator_for;
-use hslb_cesm::{pes, Layout, Machine, Resolution};
+use hslb_cesm::{pes, FaultSpec, Layout, Machine, Resolution};
 
 struct Args {
     resolution: Resolution,
@@ -22,15 +26,25 @@ struct Args {
     free_ocean: bool,
     objective: Objective,
     deadline: Option<f64>,
+    faults: Option<FaultSpec>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: autotune --resolution <1deg|8th> --nodes <N> \
          [--layout <1|2|3>] [--free-ocean] [--objective <minmax|maxmin|sum>] \
-         [--deadline <seconds>]"
+         [--deadline <seconds>] [--faults <[seed:]rate>]"
     );
     std::process::exit(2);
+}
+
+/// `--faults 0.2` (seed 0) or `--faults 7:0.2` (explicit stream seed).
+fn parse_faults(arg: &str) -> Option<FaultSpec> {
+    let (seed, rate) = match arg.split_once(':') {
+        Some((s, r)) => (s.parse::<u64>().ok()?, r.parse::<f64>().ok()?),
+        None => (0, arg.parse::<f64>().ok()?),
+    };
+    (0.0..=1.0).contains(&rate).then(|| FaultSpec::flaky(seed, rate))
 }
 
 fn parse_args() -> Args {
@@ -40,6 +54,7 @@ fn parse_args() -> Args {
     let mut free_ocean = false;
     let mut objective = Objective::MinMax;
     let mut deadline = None;
+    let mut faults = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -79,6 +94,12 @@ fn parse_args() -> Args {
                     usage();
                 }
             }
+            "--faults" => {
+                faults = it.next().as_deref().and_then(parse_faults);
+                if faults.is_none() {
+                    usage();
+                }
+            }
             _ => usage(),
         }
     }
@@ -92,45 +113,72 @@ fn parse_args() -> Args {
         free_ocean,
         objective,
         deadline,
+        faults,
     }
 }
 
 fn main() {
     let args = parse_args();
-    let sim = simulator_for(args.resolution, !args.free_ocean);
+    let mut sim = simulator_for(args.resolution, !args.free_ocean);
+    if let Some(spec) = args.faults {
+        eprintln!(
+            "# injecting faults: seed {}, {:.0}% fail/hang/garbage/corrupt",
+            spec.seed,
+            spec.fail_rate * 100.0
+        );
+        sim = sim.with_faults(spec);
+    }
     let mut opts = HslbOptions::new(args.nodes);
     opts.layout = args.layout;
     opts.objective = args.objective;
     let h = Hslb::new(&sim, opts);
 
     eprintln!("# gathering benchmark data ({})", sim.resolution());
-    let data = h.gather();
-    let fits = match h.fit(&data) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("fit failed: {e}");
-            std::process::exit(1);
-        }
-    };
-    for (c, f) in fits.iter() {
-        eprintln!("#   {c}: R^2 = {:.5}", f.r_squared);
+    let (data, gather) = h.gather_resilient();
+    if !gather.is_clean() {
+        eprintln!("# gather: {gather}");
     }
-
-    let solved = match h.solve(&fits) {
-        Ok(s) => s,
+    // Strict path: fit + MINLP. Any refusal hands control to the full
+    // pipeline, which walks the degradation ladder and reports the rung.
+    let strict = h.fit(&data).and_then(|fits| {
+        for (c, f) in fits.iter() {
+            eprintln!("#   {c}: R^2 = {:.5}", f.r_squared);
+        }
+        let solved = h.solve(&fits)?;
+        Ok((fits, solved))
+    });
+    let (fits, allocation) = match strict {
+        Ok((fits, solved)) => {
+            eprintln!(
+                "# optimal allocation for {} nodes: {} (predicted {:.1}s)",
+                args.nodes, solved.allocation, solved.predicted_total
+            );
+            (Some(fits), solved.allocation)
+        }
         Err(e) => {
-            eprintln!("solve failed: {e}");
-            std::process::exit(1);
+            eprintln!("# strict pipeline refused ({e}); engaging the degradation ladder");
+            match h.run(None) {
+                Ok(report) => {
+                    if let Some(res) = &report.resilience {
+                        eprintln!("# {res}");
+                    }
+                    eprintln!(
+                        "# degraded allocation for {} nodes: {}",
+                        args.nodes, report.hslb.allocation
+                    );
+                    (None, report.hslb.allocation)
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
         }
     };
-    eprintln!(
-        "# optimal allocation for {} nodes: {} (predicted {:.1}s)",
-        args.nodes, solved.allocation, solved.predicted_total
-    );
 
-    if let Some(deadline) = args.deadline {
+    if let (Some(deadline), Some(fits)) = (args.deadline, fits.as_ref()) {
         let frontier = cost::frontier(
-            &fits,
+            fits,
             &Machine::intrepid(),
             args.layout,
             (args.nodes / 16).max(8),
@@ -147,7 +195,7 @@ fn main() {
     }
 
     // The deliverable: env_mach_pes.xml on stdout.
-    match pes::build(&Machine::intrepid(), args.layout, &solved.allocation) {
+    match pes::build(&Machine::intrepid(), args.layout, &allocation) {
         Ok(layout) => print!("{}", layout.to_xml()),
         Err(e) => {
             eprintln!("PES generation failed: {e}");

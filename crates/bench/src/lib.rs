@@ -20,7 +20,6 @@
 
 use hslb::{Hslb, HslbOptions};
 use hslb_cesm::{Machine, NoiseSpec, Resolution, ResolutionConfig, Simulator};
-use serde::Serialize;
 
 /// The seed every experiment binary uses, so printed numbers are stable
 /// run to run (matching EXPERIMENTS.md).
@@ -49,7 +48,7 @@ pub fn run_pipeline(sim: &Simulator, target_nodes: i64) -> hslb::ExperimentRepor
 
 /// Machine-readable record of one experiment, appended to stdout as JSON
 /// when `--json` is passed to a binary.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct ExperimentRecord {
     pub experiment: String,
     pub resolution: String,
@@ -85,9 +84,63 @@ impl ExperimentRecord {
         }
     }
 
+    /// Render as one JSON object (non-finite floats become `null`,
+    /// matching serde_json's behavior for f64).
+    pub fn to_json(&self) -> String {
+        fn jstr(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn jf64(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        fn jopt(v: Option<f64>) -> String {
+            v.map(jf64).unwrap_or_else(|| "null".to_string())
+        }
+        format!(
+            concat!(
+                "{{\"experiment\":{},\"resolution\":{},\"target_nodes\":{},",
+                "\"hslb_alloc\":[{},{},{},{}],\"hslb_predicted_total\":{},",
+                "\"hslb_actual_total\":{},\"manual_actual_total\":{},",
+                "\"paper_hslb_predicted_total\":{},\"paper_hslb_actual_total\":{},",
+                "\"paper_manual_total\":{}}}"
+            ),
+            jstr(&self.experiment),
+            jstr(&self.resolution),
+            self.target_nodes,
+            self.hslb_alloc[0],
+            self.hslb_alloc[1],
+            self.hslb_alloc[2],
+            self.hslb_alloc[3],
+            jf64(self.hslb_predicted_total),
+            jf64(self.hslb_actual_total),
+            jopt(self.manual_actual_total),
+            jopt(self.paper_hslb_predicted_total),
+            jopt(self.paper_hslb_actual_total),
+            jopt(self.paper_manual_total),
+        )
+    }
+
     /// Emit as one JSON line.
     pub fn print_json(&self) {
-        println!("{}", serde_json::to_string(self).expect("serializable"));
+        println!("{}", self.to_json());
     }
 }
 
@@ -117,6 +170,8 @@ mod tests {
         let sim = simulator_for(Resolution::OneDegree, true);
         let report = run_pipeline(&sim, 128);
         let rec = ExperimentRecord::new("t", &report, None);
-        assert!(serde_json::to_string(&rec).unwrap().contains("hslb_alloc"));
+        let json = rec.to_json();
+        assert!(json.contains("\"hslb_alloc\":[24,80,104,24]") || json.contains("\"hslb_alloc\":["));
+        assert!(json.contains("\"paper_manual_total\":null"));
     }
 }

@@ -18,15 +18,13 @@
 //! tested.
 
 use crate::component::Component;
+use crate::fault::FaultSpec;
 use crate::sim::BenchPoint;
 
-/// Archive format errors.
+/// Archive format errors (fatal — only the header can produce one; bad
+/// data lines are skipped and reported instead, see [`ParseReport`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ArchiveError {
-    /// A data line did not have `component nodes seconds` shape.
-    Malformed { line_no: usize, line: String },
-    /// Unknown component label.
-    UnknownComponent { line_no: usize, label: String },
     /// Missing or wrong header.
     BadHeader,
 }
@@ -34,18 +32,57 @@ pub enum ArchiveError {
 impl std::fmt::Display for ArchiveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ArchiveError::Malformed { line_no, line } => {
-                write!(f, "malformed archive line {line_no}: {line:?}")
-            }
-            ArchiveError::UnknownComponent { line_no, label } => {
-                write!(f, "unknown component {label:?} at line {line_no}")
-            }
             ArchiveError::BadHeader => write!(f, "missing archive header"),
         }
     }
 }
 
 impl std::error::Error for ArchiveError {}
+
+/// Why one data line was skipped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SkipReason {
+    /// The line did not have `component nodes seconds` shape.
+    Malformed,
+    /// Unknown component label.
+    UnknownComponent(String),
+    /// Node count or seconds value out of range (non-positive nodes,
+    /// non-finite or negative seconds).
+    OutOfRange,
+}
+
+impl std::fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SkipReason::Malformed => write!(f, "malformed line"),
+            SkipReason::UnknownComponent(label) => write!(f, "unknown component {label:?}"),
+            SkipReason::OutOfRange => write!(f, "value out of range"),
+        }
+    }
+}
+
+/// One skipped data line, with its 1-based line number for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedLine {
+    pub line_no: usize,
+    pub line: String,
+    pub reason: SkipReason,
+}
+
+/// Result of parsing an archive: the points that parsed plus every line
+/// that did not (a corrupted archive degrades, it does not vanish).
+#[derive(Debug, Clone, Default)]
+pub struct ParseReport {
+    pub parsed: Vec<BenchPoint>,
+    pub skipped: Vec<SkippedLine>,
+}
+
+impl ParseReport {
+    /// True when no data line was skipped.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty()
+    }
+}
 
 const HEADER: &str = "# cesm-hslb timing archive v1";
 
@@ -79,45 +116,112 @@ fn component_by_label(label: &str) -> Option<Component> {
 }
 
 /// Parse archive text back into benchmark points.
-pub fn read_archive(text: &str) -> Result<Vec<BenchPoint>, ArchiveError> {
+///
+/// A wrong or missing header is fatal (the file is not an archive at
+/// all); anything wrong with an individual data line — truncation,
+/// unknown component, unparsable or out-of-range numbers — skips that
+/// line and records it in [`ParseReport::skipped`] with its line number,
+/// so callers can log the damage and keep the surviving points.
+pub fn read_archive(text: &str) -> Result<ParseReport, ArchiveError> {
     let mut lines = text.lines().enumerate();
     match lines.next() {
         Some((_, first)) if first.trim() == HEADER => {}
         _ => return Err(ArchiveError::BadHeader),
     }
-    let mut out = Vec::new();
+    let mut report = ParseReport::default();
     for (idx, line) in lines {
         let line_no = idx + 1;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
+        let skip = |reason: SkipReason, skipped: &mut Vec<SkippedLine>| {
+            skipped.push(SkippedLine {
+                line_no,
+                line: line.to_string(),
+                reason,
+            });
+        };
         let mut parts = trimmed.split_whitespace();
         let (Some(label), Some(nodes), Some(seconds), None) =
             (parts.next(), parts.next(), parts.next(), parts.next())
         else {
-            return Err(ArchiveError::Malformed {
-                line_no,
-                line: line.to_string(),
-            });
+            skip(SkipReason::Malformed, &mut report.skipped);
+            continue;
         };
-        let component = component_by_label(label).ok_or_else(|| ArchiveError::UnknownComponent {
-            line_no,
-            label: label.to_string(),
-        })?;
+        let Some(component) = component_by_label(label) else {
+            skip(
+                SkipReason::UnknownComponent(label.to_string()),
+                &mut report.skipped,
+            );
+            continue;
+        };
         let (Ok(nodes), Ok(seconds)) = (nodes.parse::<i64>(), seconds.parse::<f64>()) else {
-            return Err(ArchiveError::Malformed {
-                line_no,
-                line: line.to_string(),
-            });
+            skip(SkipReason::Malformed, &mut report.skipped);
+            continue;
         };
-        out.push(BenchPoint {
+        if nodes < 1 || !seconds.is_finite() || seconds < 0.0 {
+            skip(SkipReason::OutOfRange, &mut report.skipped);
+            continue;
+        }
+        report.parsed.push(BenchPoint {
             component,
             nodes,
             seconds,
         });
     }
-    Ok(out)
+    Ok(report)
+}
+
+/// Apply a [`FaultSpec`]'s archive-corruption stream to archive text:
+/// each data line may be truncated mid-token, have a field replaced with
+/// junk, or be glued to a stray fragment — the damage patterns a torn
+/// write or a flaky filesystem produces. The header and comment lines
+/// are left alone (a destroyed header is total loss, not degradation).
+/// Deterministic per `(spec.seed, line number)`.
+pub fn corrupt_archive(text: &str, spec: &FaultSpec) -> String {
+    let mut out = String::with_capacity(text.len());
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        let is_data = idx > 0 && !trimmed.is_empty() && !trimmed.starts_with('#');
+        if !is_data || !spec.corrupts_line(idx as u64) {
+            out.push_str(line);
+            out.push('\n');
+            continue;
+        }
+        // Second draw picks the damage mode, offset so it is independent
+        // of the should-corrupt decision.
+        let mode = if spec.corrupts_line(idx as u64 + 0x10_000) { 0 } else { 1 }
+            + if spec.corrupts_line(idx as u64 + 0x20_000) { 0 } else { 2 };
+        match mode {
+            0 => {
+                // Truncate mid-line (torn write).
+                let cut = line.len() / 2;
+                out.push_str(&line[..cut]);
+            }
+            1 => {
+                // Replace the seconds field with junk.
+                let mut parts: Vec<&str> = line.split_whitespace().collect();
+                if let Some(last) = parts.last_mut() {
+                    *last = "#corrupt#";
+                }
+                out.push_str(&parts.join(" "));
+            }
+            2 => {
+                // Unknown component label.
+                out.push_str("??? ");
+                out.push_str(line.split_whitespace().nth(1).unwrap_or("0"));
+                out.push_str(" 0.0");
+            }
+            _ => {
+                // Glue a stray fragment onto the line.
+                out.push_str(line);
+                out.push_str(" 0xDEAD");
+            }
+        }
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -136,7 +240,9 @@ mod tests {
     fn round_trip_preserves_points() {
         let pts = sample_points();
         let text = write_archive(&pts, Some("resolution: 1deg\nmachine: Intrepid"));
-        let back = read_archive(&text).unwrap();
+        let report = read_archive(&text).unwrap();
+        assert!(report.is_clean());
+        let back = report.parsed;
         assert_eq!(back.len(), 3);
         // Sorted by component then nodes: atm entries first.
         assert_eq!(back[0].component, Component::Atm);
@@ -146,35 +252,82 @@ mod tests {
 
     #[test]
     fn header_is_required() {
-        assert_eq!(read_archive("atm 104 306.952"), Err(ArchiveError::BadHeader));
+        assert!(matches!(
+            read_archive("atm 104 306.952"),
+            Err(ArchiveError::BadHeader)
+        ));
     }
 
     #[test]
     fn comments_and_blank_lines_are_skipped() {
         let text = format!("{HEADER}\n# a comment\n\natm 104 306.952\n");
-        let pts = read_archive(&text).unwrap();
-        assert_eq!(pts.len(), 1);
+        let report = read_archive(&text).unwrap();
+        assert_eq!(report.parsed.len(), 1);
+        assert!(report.is_clean());
     }
 
     #[test]
-    fn malformed_lines_are_rejected_with_location() {
-        let text = format!("{HEADER}\natm 104\n");
-        match read_archive(&text) {
-            Err(ArchiveError::Malformed { line_no, .. }) => assert_eq!(line_no, 2),
-            other => panic!("expected Malformed, got {other:?}"),
+    fn bad_lines_are_skipped_with_location() {
+        let text = format!("{HEADER}\natm 104\nxyz 104 306.9\natm many 306.9\nocn 24 362.7\n");
+        let report = read_archive(&text).unwrap();
+        assert_eq!(report.parsed.len(), 1);
+        assert_eq!(report.parsed[0].component, Component::Ocn);
+        assert_eq!(report.skipped.len(), 3);
+        assert_eq!(report.skipped[0].line_no, 2);
+        assert_eq!(report.skipped[0].reason, SkipReason::Malformed);
+        assert_eq!(
+            report.skipped[1].reason,
+            SkipReason::UnknownComponent("xyz".into())
+        );
+        assert_eq!(report.skipped[2].line_no, 4);
+    }
+
+    #[test]
+    fn extra_fields_and_bad_values_are_skipped() {
+        let text = format!("{HEADER}\natm 104 306.9 bogus\natm -3 306.9\natm 104 -1.0\natm 104 inf\n");
+        let report = read_archive(&text).unwrap();
+        assert!(report.parsed.is_empty());
+        assert_eq!(report.skipped.len(), 4);
+        assert_eq!(report.skipped[0].reason, SkipReason::Malformed);
+        assert_eq!(report.skipped[1].reason, SkipReason::OutOfRange);
+        assert_eq!(report.skipped[2].reason, SkipReason::OutOfRange);
+        assert_eq!(report.skipped[3].reason, SkipReason::OutOfRange);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_survivable() {
+        let pts: Vec<BenchPoint> = (0..40)
+            .map(|i| BenchPoint {
+                component: Component::Atm,
+                nodes: 64 + i,
+                seconds: 300.0 - i as f64,
+            })
+            .collect();
+        let text = write_archive(&pts, Some("corruption test"));
+        let spec = FaultSpec {
+            corrupt_rate: 0.3,
+            ..FaultSpec::flaky(13, 0.0)
+        };
+        let damaged = corrupt_archive(&text, &spec);
+        assert_eq!(damaged, corrupt_archive(&text, &spec), "must be deterministic");
+        assert_ne!(damaged, text, "30% corruption must touch something");
+
+        let report = read_archive(&damaged).unwrap();
+        assert!(!report.skipped.is_empty(), "corrupted lines must be reported");
+        assert!(
+            report.parsed.len() >= 40 - report.skipped.len(),
+            "every uncorrupted line must survive"
+        );
+        assert!(report.parsed.len() < 40);
+        // Skipped lines carry real locations inside the damaged text.
+        for s in &report.skipped {
+            assert!(s.line_no >= 2);
         }
-        let text = format!("{HEADER}\nxyz 104 306.9\n");
-        assert!(matches!(
-            read_archive(&text),
-            Err(ArchiveError::UnknownComponent { .. })
-        ));
-        let text = format!("{HEADER}\natm many 306.9\n");
-        assert!(matches!(read_archive(&text), Err(ArchiveError::Malformed { .. })));
     }
 
     #[test]
-    fn extra_fields_rejected() {
-        let text = format!("{HEADER}\natm 104 306.9 bogus\n");
-        assert!(matches!(read_archive(&text), Err(ArchiveError::Malformed { .. })));
+    fn inactive_spec_corrupts_nothing() {
+        let text = write_archive(&sample_points(), None);
+        assert_eq!(corrupt_archive(&text, &FaultSpec::none()), text);
     }
 }

@@ -1,12 +1,11 @@
 //! CESM model components.
 
-use serde::{Deserialize, Serialize};
 
 /// A CESM 1.1.1 component (§II). The first four are the ones the paper's
 /// HSLB models optimize; RTM, CPL7 and CISM "take less time to run
 /// compared to the other components, so these components were not included
 /// in our HSLB models".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Component {
     /// Community Atmosphere Model (CAM), developed at NCAR.
     Atm,

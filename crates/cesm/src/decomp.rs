@@ -15,11 +15,10 @@
 //! nearest-neighbour advisor ([`DecompAdvisor`]) stands in for the
 //! machine-learning companion paper \[10\].
 
-use serde::{Deserialize, Serialize};
 
 /// The seven CICE decomposition strategies (names from the real CICE
 /// namelist options).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Decomposition {
     Cartesian,
     Rake,

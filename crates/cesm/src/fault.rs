@@ -1,0 +1,312 @@
+//! Deterministic fault injection for benchmark and coupled runs.
+//!
+//! Real gather campaigns on Intrepid-class machines lose runs: jobs die
+//! on node failures, hang past their wall-clock budget in contended I/O,
+//! or emit timer files with garbage in them. HSLB's robustness work needs
+//! those failure modes on demand, so this module injects them *into the
+//! simulator* the same way [`crate::perf::NoiseSpec`] injects timing
+//! noise: seeded and fully deterministic per `(seed, component, nodes,
+//! run_id)`, so a failing experiment replays exactly.
+//!
+//! Four fault families, each with an independent rate:
+//!
+//! * **failure** — the run dies outright (no timing produced);
+//! * **hang** — the run exceeds its wall-clock budget and is killed by
+//!   the scheduler (simulated: no real time passes);
+//! * **garbage** — the run "completes" but its reported timing is
+//!   nonsense (zero, negative, or off by many orders of magnitude —
+//!   distinct from [`NoiseSpec`](crate::perf::NoiseSpec) outliers, which
+//!   stay physically plausible);
+//! * **corruption** — timing-archive lines are mangled or truncated on
+//!   disk (applied by [`crate::archive::corrupt_archive`]).
+
+/// What the fault stream decided for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Run proceeds normally.
+    None,
+    /// Run fails outright.
+    Fail,
+    /// Run hangs past its wall-clock budget.
+    Hang,
+    /// Run completes but reports a garbage timing.
+    Garbage,
+}
+
+/// Why a benchmark run produced no usable timing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchFault {
+    /// The run died before producing a timing.
+    Failed {
+        component: crate::Component,
+        nodes: i64,
+        run_id: u64,
+    },
+    /// The run exceeded its wall-clock budget (either an injected hang or
+    /// a genuine time over budget) and was killed.
+    Hung {
+        component: crate::Component,
+        nodes: i64,
+        run_id: u64,
+        /// Simulated seconds the run had consumed when killed.
+        elapsed_seconds: f64,
+        /// The budget it blew through.
+        budget_seconds: f64,
+    },
+}
+
+impl std::fmt::Display for BenchFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchFault::Failed {
+                component,
+                nodes,
+                run_id,
+            } => write!(f, "{component} benchmark on {nodes} nodes (run {run_id}) failed"),
+            BenchFault::Hung {
+                component,
+                nodes,
+                run_id,
+                elapsed_seconds,
+                budget_seconds,
+            } => write!(
+                f,
+                "{component} benchmark on {nodes} nodes (run {run_id}) hung: \
+                 {elapsed_seconds:.1}s > budget {budget_seconds:.1}s"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BenchFault {}
+
+/// Draw domains keep the decision streams for different consumers
+/// independent (a benchmark fault at `(c, n, run)` says nothing about a
+/// coupled-run fault there).
+#[derive(Debug, Clone, Copy)]
+pub enum FaultDomain {
+    /// Per-component benchmark runs (the gather step).
+    Bench,
+    /// Full coupled runs (the execute step).
+    CoupledRun,
+    /// Archive lines written to disk.
+    Archive,
+}
+
+impl FaultDomain {
+    fn tag(self) -> u64 {
+        match self {
+            FaultDomain::Bench => 0xBE7C,
+            FaultDomain::CoupledRun => 0xC0DE,
+            FaultDomain::Archive => 0xA3C4,
+        }
+    }
+}
+
+/// Seeded fault-injection specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Seed of the fault stream, independent of the simulator's noise
+    /// seed so fault scenarios can be replayed against any noise regime.
+    pub seed: u64,
+    /// Probability a run fails outright.
+    pub fail_rate: f64,
+    /// Probability a run hangs past its wall-clock budget.
+    pub hang_rate: f64,
+    /// Probability a run reports a garbage timing.
+    pub garbage_rate: f64,
+    /// Probability an archive line is corrupted or truncated.
+    pub corrupt_rate: f64,
+    /// How far past the budget a hung run gets before the scheduler kills
+    /// it (reported in the [`BenchFault::Hung`] diagnostics).
+    pub hang_overrun: f64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::none()
+    }
+}
+
+impl FaultSpec {
+    /// No faults at all — the pre-existing, fully reliable simulator.
+    pub fn none() -> Self {
+        FaultSpec {
+            seed: 0,
+            fail_rate: 0.0,
+            hang_rate: 0.0,
+            garbage_rate: 0.0,
+            corrupt_rate: 0.0,
+            hang_overrun: 1.5,
+        }
+    }
+
+    /// Uniform flakiness: every fault family at the same rate.
+    pub fn flaky(seed: u64, rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        FaultSpec {
+            seed,
+            fail_rate: rate,
+            hang_rate: rate,
+            garbage_rate: rate,
+            corrupt_rate: rate,
+            hang_overrun: 1.5,
+        }
+    }
+
+    /// A hostile-cluster preset: 10% failures, 5% hangs, 5% garbage,
+    /// 10% archive corruption.
+    pub fn hostile(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            fail_rate: 0.10,
+            hang_rate: 0.05,
+            garbage_rate: 0.05,
+            corrupt_rate: 0.10,
+            hang_overrun: 1.5,
+        }
+    }
+
+    /// True when any fault family can fire.
+    pub fn is_active(&self) -> bool {
+        self.fail_rate > 0.0
+            || self.hang_rate > 0.0
+            || self.garbage_rate > 0.0
+            || self.corrupt_rate > 0.0
+    }
+
+    fn mix(&self, domain: FaultDomain, a: u64, b: u64, run_id: u64) -> u64 {
+        let mut h = self.seed ^ 0x5EED_FA17_5EED_FA17;
+        for k in [domain.tag(), a.wrapping_add(1), b, run_id] {
+            h = (h ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .rotate_left(29)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h ^= h >> 27;
+        }
+        h
+    }
+
+    /// Uniform [0, 1) draw for a `(domain, a, b, run_id)` cell.
+    fn unit(&self, domain: FaultDomain, a: u64, b: u64, run_id: u64) -> f64 {
+        (self.mix(domain, a, b, run_id) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The fault decision for one run. Families are stacked in a fixed
+    /// order on a single uniform draw, so rates compose exactly (total
+    /// fault probability = fail + hang + garbage, clamped at 1).
+    pub fn draw(&self, domain: FaultDomain, a: u64, b: u64, run_id: u64) -> FaultOutcome {
+        if !self.is_active() {
+            return FaultOutcome::None;
+        }
+        let u = self.unit(domain, a, b, run_id);
+        if u < self.fail_rate {
+            FaultOutcome::Fail
+        } else if u < self.fail_rate + self.hang_rate {
+            FaultOutcome::Hang
+        } else if u < self.fail_rate + self.hang_rate + self.garbage_rate {
+            FaultOutcome::Garbage
+        } else {
+            FaultOutcome::None
+        }
+    }
+
+    /// True when this archive line should be corrupted.
+    pub fn corrupts_line(&self, line_no: u64) -> bool {
+        self.corrupt_rate > 0.0
+            && self.unit(FaultDomain::Archive, line_no, 0, 0) < self.corrupt_rate
+    }
+
+    /// A deterministically garbage version of a clean timing: zero,
+    /// negative, or off by ≥ 6 orders of magnitude — never something a
+    /// plausibility check could mistake for a real 5-day-run timing.
+    pub fn garbage_value(&self, clean: f64, domain: FaultDomain, a: u64, b: u64, run_id: u64) -> f64 {
+        let h = self.mix(domain, a.wrapping_add(0x6A5B), b, run_id);
+        match h % 4 {
+            0 => 0.0,
+            1 => -clean.abs().max(1.0),
+            2 => clean.abs().max(1e-3) * 1e7,
+            _ => clean.abs().max(1e-3) * 1e-8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_spec_never_fires() {
+        let spec = FaultSpec::none();
+        for run in 0..100 {
+            assert_eq!(spec.draw(FaultDomain::Bench, 1, 104, run), FaultOutcome::None);
+        }
+        assert!(!spec.corrupts_line(3));
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_seed_sensitive() {
+        let a = FaultSpec::flaky(7, 0.3);
+        let b = FaultSpec::flaky(7, 0.3);
+        let c = FaultSpec::flaky(8, 0.3);
+        let run: Vec<FaultOutcome> = (0..64)
+            .map(|r| a.draw(FaultDomain::Bench, 2, 80, r))
+            .collect();
+        let same: Vec<FaultOutcome> = (0..64)
+            .map(|r| b.draw(FaultDomain::Bench, 2, 80, r))
+            .collect();
+        let other: Vec<FaultOutcome> = (0..64)
+            .map(|r| c.draw(FaultDomain::Bench, 2, 80, r))
+            .collect();
+        assert_eq!(run, same);
+        assert_ne!(run, other);
+    }
+
+    #[test]
+    fn fault_rates_are_respected() {
+        let spec = FaultSpec {
+            seed: 99,
+            fail_rate: 0.25,
+            hang_rate: 0.15,
+            garbage_rate: 0.10,
+            corrupt_rate: 0.0,
+            hang_overrun: 1.5,
+        };
+        let total = 4000;
+        let mut counts = [0usize; 4];
+        for run in 0..total {
+            let i = match spec.draw(FaultDomain::Bench, 3, 24, run) {
+                FaultOutcome::None => 0,
+                FaultOutcome::Fail => 1,
+                FaultOutcome::Hang => 2,
+                FaultOutcome::Garbage => 3,
+            };
+            counts[i] += 1;
+        }
+        let rate = |n: usize| n as f64 / total as f64;
+        assert!((rate(counts[1]) - 0.25).abs() < 0.05, "fail {:?}", counts);
+        assert!((rate(counts[2]) - 0.15).abs() < 0.05, "hang {:?}", counts);
+        assert!((rate(counts[3]) - 0.10).abs() < 0.05, "garbage {:?}", counts);
+    }
+
+    #[test]
+    fn domains_are_independent_streams() {
+        let spec = FaultSpec::flaky(5, 0.5);
+        let bench: Vec<FaultOutcome> = (0..64)
+            .map(|r| spec.draw(FaultDomain::Bench, 1, 104, r))
+            .collect();
+        let coupled: Vec<FaultOutcome> = (0..64)
+            .map(|r| spec.draw(FaultDomain::CoupledRun, 1, 104, r))
+            .collect();
+        assert_ne!(bench, coupled);
+    }
+
+    #[test]
+    fn garbage_is_always_implausible() {
+        let spec = FaultSpec::flaky(11, 0.5);
+        for run in 0..200 {
+            let g = spec.garbage_value(300.0, FaultDomain::Bench, 1, 104, run);
+            let plausible = g.is_finite() && g > 1e-3 && g < 1e5;
+            assert!(!plausible, "garbage {g} would pass a plausibility check");
+        }
+    }
+}

@@ -1,7 +1,6 @@
 //! Model resolutions and grid combinations.
 
 use crate::component::Component;
-use serde::{Deserialize, Serialize};
 
 /// The two resolution setups the paper evaluates (§II):
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 ///   ice at 1° on a displaced-pole grid;
 /// * 1/8° — pre-release CESM 1.2, HOMME spectral-element cube-sphere
 ///   atmosphere at 1/8°, FV land at 1/4°, ocean/ice at 1/10° tri-pole.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Resolution {
     /// 1° FV grid — the moderate setup with known manual tunings.
     OneDegree,
@@ -49,7 +48,7 @@ impl std::fmt::Display for Resolution {
 }
 
 /// Static description of a resolution's discrete allocation structure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ResolutionConfig {
     pub resolution: Resolution,
     /// Allowed ocean node counts ("the version of CESM we used had ocean

@@ -1,11 +1,10 @@
 //! Component layouts (Figure 1) and their makespan semantics.
 
 use crate::component::Component;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The three CESM component layouts of Figure 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Layout {
     /// Layout (1), the hybrid default: atmosphere and ocean run
     /// concurrently on disjoint node sets; ice and land run concurrently
@@ -104,7 +103,7 @@ impl std::fmt::Display for Layout {
 }
 
 /// Node allocation to the four optimized components.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Allocation {
     pub lnd: i64,
     pub ice: i64,
@@ -163,7 +162,7 @@ impl std::fmt::Display for Allocation {
 }
 
 /// Wall-clock seconds per component for one coupled run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComponentTimes {
     pub lnd: f64,
     pub ice: f64,

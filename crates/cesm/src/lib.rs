@@ -1,4 +1,5 @@
 //! A Community Earth System Model (CESM) execution simulator.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 //!
 //! The paper runs CESM 1.1.1 / 1.2 on Intrepid (IBM Blue Gene/P, 40,960
 //! quad-core nodes) and observes, for each component and node count, a
@@ -32,6 +33,7 @@ pub mod archive;
 pub mod calib;
 pub mod component;
 pub mod decomp;
+pub mod fault;
 pub mod grid;
 pub mod layout;
 pub mod machine;
@@ -42,6 +44,7 @@ pub mod sweetspot;
 pub mod timers;
 
 pub use component::Component;
+pub use fault::{BenchFault, FaultDomain, FaultOutcome, FaultSpec};
 pub use grid::{Resolution, ResolutionConfig};
 pub use layout::{Allocation, Layout};
 pub use machine::Machine;

@@ -1,13 +1,12 @@
 //! Machine (platform) description.
 
-use serde::{Deserialize, Serialize};
 
 /// A target platform: node count and per-node execution shape.
 ///
 /// "Nodes were used to represent the physical computing unit in our
 /// algorithm. On Intrepid, there are 4 cores per node and CESM is run with
 /// 1 MPI task and 4 threads per task on each node." (§III-C)
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Machine {
     pub name: String,
     /// Total nodes available on the machine.

@@ -1,6 +1,5 @@
 //! Ground-truth performance curves and noise specification.
 
-use serde::{Deserialize, Serialize};
 
 /// Multiplicative timing-noise magnitudes per component class.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// default decomposition choice varies with the node count ("this
 /// increased the noise in the sea ice performance curve fit and impacted
 /// the timing estimates").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseSpec {
     /// Relative σ of run-to-run noise for non-ice components.
     pub base_sigma: f64,
@@ -61,7 +60,7 @@ impl NoiseSpec {
 
 /// Serializable mirror of a fitted curve's coefficients, used to embed
 /// ground truth in reports.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CurveParams {
     pub a: f64,
     pub b: f64,

@@ -3,15 +3,15 @@
 use crate::calib;
 use crate::component::Component;
 use crate::decomp;
+use crate::fault::{BenchFault, FaultDomain, FaultOutcome, FaultSpec};
 use crate::grid::{Resolution, ResolutionConfig};
 use crate::layout::{Allocation, ComponentTimes, Layout};
 use crate::machine::Machine;
 use crate::perf::NoiseSpec;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// One benchmark observation: component time at a node count.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BenchPoint {
     pub component: Component,
     pub nodes: i64,
@@ -19,7 +19,7 @@ pub struct BenchPoint {
 }
 
 /// Result of simulating one coupled 5-day run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     pub allocation: Allocation,
     pub layout: Layout,
@@ -57,6 +57,8 @@ pub struct Simulator {
     pub machine: Machine,
     pub config: ResolutionConfig,
     pub noise: NoiseSpec,
+    /// Injected fault regime (inactive by default; see [`FaultSpec`]).
+    pub faults: FaultSpec,
     seed: u64,
 }
 
@@ -67,8 +69,15 @@ impl Simulator {
             machine,
             config,
             noise,
+            faults: FaultSpec::none(),
             seed,
         }
+    }
+
+    /// The same simulator with a fault-injection regime attached.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Intrepid at 1° with default noise.
@@ -143,6 +152,56 @@ impl Simulator {
         base * decomp_penalty * self.noise_factor(c, nodes, run_id)
     }
 
+    /// Fault-aware benchmark of one component run: what a real gather
+    /// campaign sees. Under the simulator's [`FaultSpec`] the run can
+    /// fail outright, hang past `budget_seconds` (also triggered by a
+    /// genuinely slow run when a budget is set), or "succeed" with a
+    /// garbage timing. With [`FaultSpec::none`] and no budget this is
+    /// exactly [`Simulator::component_time`].
+    pub fn try_component_time(
+        &self,
+        c: Component,
+        nodes: i64,
+        run_id: u64,
+        budget_seconds: Option<f64>,
+    ) -> Result<f64, BenchFault> {
+        let clean = self.component_time(c, nodes, run_id);
+        match self.faults.draw(FaultDomain::Bench, c as u64, nodes as u64, run_id) {
+            FaultOutcome::Fail => Err(BenchFault::Failed {
+                component: c,
+                nodes,
+                run_id,
+            }),
+            FaultOutcome::Hang => {
+                let budget = budget_seconds.unwrap_or(clean);
+                Err(BenchFault::Hung {
+                    component: c,
+                    nodes,
+                    run_id,
+                    elapsed_seconds: budget * self.faults.hang_overrun.max(1.0),
+                    budget_seconds: budget,
+                })
+            }
+            FaultOutcome::Garbage => Ok(self.faults.garbage_value(
+                clean,
+                FaultDomain::Bench,
+                c as u64,
+                nodes as u64,
+                run_id,
+            )),
+            FaultOutcome::None => match budget_seconds {
+                Some(budget) if clean > budget => Err(BenchFault::Hung {
+                    component: c,
+                    nodes,
+                    run_id,
+                    elapsed_seconds: clean,
+                    budget_seconds: budget,
+                }),
+                _ => Ok(clean),
+            },
+        }
+    }
+
     /// Simulate a coupled run of the given allocation under a layout.
     ///
     /// Returns an error string when the allocation violates the layout's
@@ -180,6 +239,34 @@ impl Simulator {
                     alloc.atm
                 ));
             }
+        }
+        // Coupled runs draw from their own fault stream: a valid
+        // allocation can still lose its run to the cluster.
+        let alloc_key = (alloc.lnd as u64)
+            .wrapping_mul(31)
+            .wrapping_add(alloc.ice as u64)
+            .wrapping_mul(31)
+            .wrapping_add(alloc.atm as u64)
+            .wrapping_mul(31)
+            .wrapping_add(alloc.ocn as u64);
+        match self
+            .faults
+            .draw(FaultDomain::CoupledRun, alloc_key, layout.number() as u64, run_id)
+        {
+            FaultOutcome::Fail => {
+                return Err(format!("coupled run {run_id} failed (injected fault)"))
+            }
+            FaultOutcome::Hang => {
+                return Err(format!(
+                    "coupled run {run_id} hung past its wall-clock budget (injected fault)"
+                ))
+            }
+            FaultOutcome::Garbage => {
+                return Err(format!(
+                    "coupled run {run_id} produced corrupt timer output (injected fault)"
+                ))
+            }
+            FaultOutcome::None => {}
         }
         let times = ComponentTimes {
             lnd: self.component_time(Component::Lnd, alloc.lnd, run_id),
@@ -337,6 +424,99 @@ mod tests {
             (0.1..0.3).contains(&rate),
             "outlier rate {rate} far from configured 0.2"
         );
+    }
+
+    #[test]
+    fn faults_are_deterministic_and_respect_rate() {
+        use crate::fault::FaultSpec;
+        let sim = Simulator::one_degree(42).with_faults(FaultSpec::flaky(7, 0.15));
+        let mut failures = 0;
+        let total = 400;
+        for run in 0..total {
+            let a = sim.try_component_time(Component::Atm, 104, run, None);
+            let b = sim.try_component_time(Component::Atm, 104, run, None);
+            assert_eq!(a, b, "fault draws must replay exactly");
+            if a.is_err() {
+                failures += 1;
+            }
+        }
+        // fail + hang = 0.30 of runs produce no timing.
+        let rate = failures as f64 / total as f64;
+        assert!((0.2..0.4).contains(&rate), "fault rate {rate} far from 0.30");
+    }
+
+    #[test]
+    fn faultless_try_matches_component_time() {
+        let sim = Simulator::one_degree(42);
+        assert_eq!(
+            sim.try_component_time(Component::Atm, 104, 3, None).unwrap(),
+            sim.component_time(Component::Atm, 104, 3)
+        );
+    }
+
+    #[test]
+    fn budget_kills_genuinely_slow_runs() {
+        use crate::fault::BenchFault;
+        let sim = Simulator::one_degree(42);
+        let clean = sim.component_time(Component::Ocn, 24, 0);
+        match sim.try_component_time(Component::Ocn, 24, 0, Some(clean / 2.0)) {
+            Err(BenchFault::Hung {
+                elapsed_seconds,
+                budget_seconds,
+                ..
+            }) => {
+                assert!(elapsed_seconds > budget_seconds);
+            }
+            other => panic!("expected Hung, got {other:?}"),
+        }
+        // A generous budget lets the same run through.
+        assert!(sim
+            .try_component_time(Component::Ocn, 24, 0, Some(clean * 2.0))
+            .is_ok());
+    }
+
+    #[test]
+    fn injected_garbage_is_implausible_but_deterministic() {
+        use crate::fault::FaultSpec;
+        let spec = FaultSpec {
+            garbage_rate: 1.0,
+            ..FaultSpec::flaky(3, 0.0)
+        };
+        let sim = Simulator::one_degree(42).with_faults(spec);
+        let g1 = sim.try_component_time(Component::Atm, 104, 0, None).unwrap();
+        let g2 = sim.try_component_time(Component::Atm, 104, 0, None).unwrap();
+        assert_eq!(g1, g2);
+        let clean = sim.component_time(Component::Atm, 104, 0);
+        assert!(
+            !(g1.is_finite() && g1 > clean * 1e-3 && g1 < clean * 1e3),
+            "garbage {g1} looks plausible next to clean {clean}"
+        );
+    }
+
+    #[test]
+    fn coupled_runs_fail_under_faults_but_not_without() {
+        use crate::fault::FaultSpec;
+        let alloc = Allocation::from_table_order([24, 80, 104, 24]);
+        let clean_sim = Simulator::one_degree(42);
+        let faulty_sim = Simulator::one_degree(42).with_faults(FaultSpec::flaky(9, 0.4));
+        let mut failed = 0;
+        for run in 0..50 {
+            assert!(clean_sim.run_case(&alloc, Layout::Hybrid, run).is_ok());
+            if faulty_sim.run_case(&alloc, Layout::Hybrid, run).is_err() {
+                failed += 1;
+            }
+        }
+        assert!(failed > 0, "40%-faulty coupled runs never failed in 50 tries");
+        // Timings of surviving runs are identical to the clean simulator's:
+        // faults gate runs, they do not perturb physics.
+        for run in 0..50 {
+            if let Ok(r) = faulty_sim.run_case(&alloc, Layout::Hybrid, run) {
+                assert_eq!(
+                    r.total,
+                    clean_sim.run_case(&alloc, Layout::Hybrid, run).unwrap().total
+                );
+            }
+        }
     }
 
     #[test]

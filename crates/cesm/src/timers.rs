@@ -66,7 +66,7 @@ impl TimingFile {
     /// Render in the spirit of CESM's `timing summary`.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("---------------- CESM timing summary ----------------\n"));
+        out.push_str("---------------- CESM timing summary ----------------\n");
         out.push_str(&format!("  case        : {}\n", self.case_name));
         out.push_str(&format!("  model_total : {:.3} seconds\n", self.model_total));
         out.push_str("  component      nodes        run (s)       cpl (s)\n");

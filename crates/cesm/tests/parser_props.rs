@@ -30,7 +30,9 @@ proptest! {
     fn archive_round_trips_arbitrary_points(points in arb_points(),
                                             note in "[ -~]{0,60}") {
         let text = archive::write_archive(&points, Some(&note));
-        let back = archive::read_archive(&text).unwrap();
+        let report = archive::read_archive(&text).unwrap();
+        prop_assert!(report.is_clean(), "clean archive reported skips: {:?}", report.skipped);
+        let back = report.parsed;
         prop_assert_eq!(back.len(), points.len());
         // Same multiset (the writer sorts).
         for p in &points {

@@ -1,0 +1,70 @@
+//! Offline stand-in for the one `crossbeam` API this workspace uses:
+//! `crossbeam::thread::scope`, implemented over `std::thread::scope`.
+//!
+//! Semantics difference kept deliberately small: the real crate joins all
+//! threads and returns `Err(panic payload)` if any child panicked, while
+//! `std::thread::scope` resumes the panic after joining. Call sites here
+//! only ever `.expect(...)` the result, so both behaviors end in the same
+//! panic; this shim therefore always returns `Ok` on the non-panicking
+//! path.
+
+pub mod thread {
+    /// Mirror of `crossbeam::thread::Scope`: spawn takes a closure that
+    /// receives the scope again (so workers could spawn more workers).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope handle; every spawned thread is joined before
+    /// this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_workers() {
+        let counter = AtomicUsize::new(0);
+        crate::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_compiles_and_runs() {
+        let counter = AtomicUsize::new(0);
+        crate::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

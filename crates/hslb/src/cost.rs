@@ -12,10 +12,9 @@ use crate::exhaustive::ExhaustiveOptimizer;
 use crate::fit::FitSet;
 use crate::objective::Objective;
 use hslb_cesm::{Layout, Machine};
-use serde::Serialize;
 
 /// One point of the cost/time frontier.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct FrontierPoint {
     /// Total nodes allocated to the job.
     pub nodes: i64,

@@ -1,11 +1,10 @@
 //! Benchmark data containers (the output of the gather step).
 
 use hslb_cesm::{BenchPoint, Component};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Benchmark observations grouped per component.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct BenchmarkData {
     points: BTreeMap<Component, Vec<(f64, f64)>>,
 }

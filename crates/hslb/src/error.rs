@@ -20,6 +20,12 @@ pub enum HslbError {
     SolverIncomplete { detail: String },
     /// The simulator rejected the allocation at execute time.
     Execute { detail: String },
+    /// The benchmark campaign could not gather enough usable data (too
+    /// many failed/hung runs even after retries and substitutions).
+    Gather { detail: String },
+    /// Every rung of the degradation ladder failed; the reasons are in
+    /// the order the fallbacks were attempted.
+    DegradationExhausted { fallbacks: Vec<String> },
     /// Misconfiguration detected before any work was done.
     Config(String),
 }
@@ -37,6 +43,14 @@ impl std::fmt::Display for HslbError {
                 write!(f, "solver stopped early: {detail}")
             }
             HslbError::Execute { detail } => write!(f, "execution rejected: {detail}"),
+            HslbError::Gather { detail } => write!(f, "gather failed: {detail}"),
+            HslbError::DegradationExhausted { fallbacks } => {
+                write!(
+                    f,
+                    "every fallback failed: [{}]",
+                    fallbacks.join("; ")
+                )
+            }
             HslbError::Config(detail) => write!(f, "configuration error: {detail}"),
         }
     }
@@ -68,5 +82,10 @@ mod tests {
             detail: "N too small".into(),
         };
         assert!(format!("{e}").contains("infeasible"));
+        let e = HslbError::DegradationExhausted {
+            fallbacks: vec!["solver deadline".into(), "no curves".into()],
+        };
+        let shown = format!("{e}");
+        assert!(shown.contains("solver deadline") && shown.contains("no curves"));
     }
 }

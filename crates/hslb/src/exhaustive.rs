@@ -129,21 +129,34 @@ impl<'a> ExhaustiveOptimizer<'a> {
         let lo = lo.max(1);
         match allowed {
             Some(list) => Some(list.iter().copied().filter(|&v| v >= lo && v <= cap).collect()),
-            None if cap <= 4096 => Some((lo..=cap.max(lo)).collect()),
+            // An empty list (cap < lo) is a real answer: no candidates.
+            None if cap <= 4096 => Some((lo..=cap).collect()),
             None => None,
         }
     }
 
     /// Solve under the given objective.
+    ///
+    /// Panics when the candidate space is empty; fault-tolerant callers
+    /// should use [`Self::try_solve`].
     pub fn solve(&self, objective: Objective) -> ExhaustiveResult {
+        self.try_solve(objective)
+            .expect("no feasible candidate allocation (use try_solve on the fault path)")
+    }
+
+    /// Fallible solve: `None` when no candidate allocation exists — the
+    /// target machine is smaller than the memory floors, an allowed set
+    /// filters down to nothing, or every candidate scores infinite.
+    pub fn try_solve(&self, objective: Objective) -> Option<ExhaustiveResult> {
         match objective {
             Objective::MinMax => self.solve_minmax(),
             Objective::SumTime => self.solve_sum(),
             Objective::MaxMin => self.solve_maxmin(),
         }
+        .filter(|r| r.objective.is_finite())
     }
 
-    fn solve_minmax(&self) -> ExhaustiveResult {
+    fn solve_minmax(&self) -> Option<ExhaustiveResult> {
         let n = self.total_nodes;
         let mut evals = 0usize;
         let mut best: Option<(f64, Allocation)> = None;
@@ -153,11 +166,11 @@ impl<'a> ExhaustiveOptimizer<'a> {
             let (total, ni, nl) = self.score_minmax(0, 0);
             let na = self.fits.curve(Component::Atm).argmin_nodes(self.floors.atm, n);
             let no = self.fits.curve(Component::Ocn).argmin_nodes(self.floors.ocn, n);
-            return ExhaustiveResult {
+            return Some(ExhaustiveResult {
                 allocation: Allocation { lnd: nl, ice: ni, atm: na, ocn: no },
                 objective: total,
                 evaluations: 1,
-            };
+            });
         }
 
         let min_atm_side = (self.floors.ice + self.floors.lnd)
@@ -184,7 +197,7 @@ impl<'a> ExhaustiveOptimizer<'a> {
                                 }
                                 *evals += 1;
                                 let (total, _, _) = self.score_minmax(na, n_ocn);
-                                if loc.map_or(true, |(b, _)| total < b) {
+                                if loc.is_none_or(|(b, _)| total < b) {
                                     loc = Some((total, na));
                                 }
                             }
@@ -227,7 +240,7 @@ impl<'a> ExhaustiveOptimizer<'a> {
                 }
                 Layout::FullySequential => unreachable!(),
             };
-            if best.as_ref().map_or(true, |(b, _)| total < *b) {
+            if best.as_ref().is_none_or(|(b, _)| total < *b) {
                 best = Some((total, alloc));
             }
             total
@@ -246,15 +259,15 @@ impl<'a> ExhaustiveOptimizer<'a> {
             }
         }
 
-        let (objective, allocation) = best.expect("at least one candidate");
-        ExhaustiveResult {
+        let (objective, allocation) = best?;
+        Some(ExhaustiveResult {
             allocation,
             objective,
             evaluations: evals,
-        }
+        })
     }
 
-    fn solve_sum(&self) -> ExhaustiveResult {
+    fn solve_sum(&self) -> Option<ExhaustiveResult> {
         // Equation (3): each component independently picks its curve's
         // minimizer subject to the layout's node caps — the sum decouples
         // given the outer ocn choice.
@@ -324,19 +337,19 @@ impl<'a> ExhaustiveOptimizer<'a> {
                 + self.t(Component::Lnd, nl)
                 + self.t(Component::Atm, na)
                 + self.t(Component::Ocn, no);
-            if best.as_ref().map_or(true, |(b, _)| total < *b) {
+            if best.as_ref().is_none_or(|(b, _)| total < *b) {
                 best = Some((total, Allocation { lnd: nl, ice: ni, atm: na, ocn: no }));
             }
         }
-        let (objective, allocation) = best.expect("nonempty candidates");
-        ExhaustiveResult {
+        let (objective, allocation) = best?;
+        Some(ExhaustiveResult {
             allocation,
             objective,
             evaluations: evals,
-        }
+        })
     }
 
-    fn solve_maxmin(&self) -> ExhaustiveResult {
+    fn solve_maxmin(&self) -> Option<ExhaustiveResult> {
         // Equation (2): maximize min_j T_j(n_j) under a *use-all-nodes*
         // budget (without it the trivial answer is one node each). The
         // search mirrors min-max but scores with the minimum.
@@ -374,7 +387,7 @@ impl<'a> ExhaustiveOptimizer<'a> {
             let score = (-neg)
                 .min(self.t(Component::Atm, na))
                 .min(self.t(Component::Ocn, no));
-            if best.as_ref().map_or(true, |(b, _)| score > *b) {
+            if best.as_ref().is_none_or(|(b, _)| score > *b) {
                 best = Some((
                     score,
                     Allocation {
@@ -386,12 +399,12 @@ impl<'a> ExhaustiveOptimizer<'a> {
                 ));
             }
         }
-        let (objective, allocation) = best.expect("nonempty candidates");
-        ExhaustiveResult {
+        let (objective, allocation) = best?;
+        Some(ExhaustiveResult {
             allocation,
             objective,
             evaluations: evals,
-        }
+        })
     }
 }
 
@@ -430,6 +443,16 @@ mod tests {
         assert!((t - res.objective).abs() < 1e-9);
         assert!(a.ice + a.lnd <= a.atm);
         assert!(a.atm + a.ocn <= 128);
+    }
+
+    #[test]
+    fn try_solve_reports_empty_candidate_space() {
+        let fits = toy_fits();
+        // Two nodes cannot host an atm side plus an ocean.
+        let tiny = ExhaustiveOptimizer::new(&fits, Layout::Hybrid, 2);
+        assert!(tiny.try_solve(Objective::MinMax).is_none());
+        let ok = ExhaustiveOptimizer::new(&fits, Layout::Hybrid, 128);
+        assert!(ok.try_solve(Objective::MinMax).is_some());
     }
 
     #[test]

@@ -1,4 +1,5 @@
 //! The Heuristic Static Load-Balancing (HSLB) algorithm for CESM.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 //!
 //! This crate is the paper's primary contribution: given a way to
 //! benchmark CESM's components (here, the [`hslb_cesm`] simulator — in
@@ -36,6 +37,7 @@ pub mod manual;
 pub mod objective;
 pub mod pipeline;
 pub mod report;
+pub mod resilience;
 pub mod tuning;
 pub mod whatif;
 
@@ -47,4 +49,5 @@ pub use layout_model::{build_layout_model, LayoutModel, LayoutModelOptions, Node
 pub use objective::Objective;
 pub use pipeline::{GatherPlan, Hslb, HslbOptions, SolveOutcome};
 pub use report::{ArmReport, ExperimentReport};
+pub use resilience::{GatherReport, ResilienceReport, RetryPolicy, SolverRung};
 pub use tuning::{snap_to_sweet_spots, TunedAllocation};

@@ -47,7 +47,18 @@ impl SimulatedExpert {
     /// Produce an allocation for layout 1 on `n` nodes by iterative manual
     /// tuning against the simulator. Returns the best allocation found and
     /// the number of (expensive) coupled runs spent.
+    ///
+    /// Panics when every coupled run fails (a fully hostile cluster);
+    /// fault-tolerant callers should use [`Self::try_tune`].
     pub fn tune(&self, sim: &Simulator, n: i64) -> (Allocation, usize) {
+        self.try_tune(sim, n)
+            .expect("every coupled run failed (use try_tune on the fault path)")
+    }
+
+    /// Fallible variant of [`Self::tune`]: `None` when not a single
+    /// coupled run succeeded, which under fault injection is a real
+    /// outcome rather than a bug.
+    pub fn try_tune(&self, sim: &Simulator, n: i64) -> Option<(Allocation, usize)> {
         let allowed_ocn = sim.config.ocean_allowed.clone();
         let allowed_atm = sim.config.atm_allowed.clone();
         let pick_ocn = |target: i64| -> i64 {
@@ -97,7 +108,7 @@ impl SimulatedExpert {
                 continue;
             };
             runs += 1;
-            if best.as_ref().map_or(true, |(b, _)| run.total < *b) {
+            if best.as_ref().is_none_or(|(b, _)| run.total < *b) {
                 best = Some((run.total, alloc));
             }
             // Adjust like a human reading the timing table: grow whichever
@@ -111,8 +122,8 @@ impl SimulatedExpert {
                 break; // balanced enough; the human stops here
             }
         }
-        let (_, alloc) = best.expect("at least one run succeeded");
-        (alloc, runs)
+        let (_, alloc) = best?;
+        Some((alloc, runs))
     }
 }
 
@@ -142,8 +153,21 @@ mod tests {
     fn simulated_expert_produces_valid_allocation() {
         let sim = Simulator::one_degree(9);
         let (alloc, runs) = SimulatedExpert::default().tune(&sim, 128);
-        assert!(runs >= 1 && runs <= 10, "expert used {runs} runs");
+        assert!((1..=10).contains(&runs), "expert used {runs} runs");
         assert!(sim.run_case(&alloc, Layout::Hybrid, 99).is_ok());
+    }
+
+    #[test]
+    fn try_tune_survives_a_hostile_cluster() {
+        use hslb_cesm::FaultSpec;
+        // Every coupled run fails: no allocation can be produced, but the
+        // outcome is a None, not a panic.
+        let spec = FaultSpec {
+            fail_rate: 1.0,
+            ..FaultSpec::flaky(1, 0.0)
+        };
+        let sim = Simulator::one_degree(9).with_faults(spec);
+        assert!(SimulatedExpert::default().try_tune(&sim, 128).is_none());
     }
 
     #[test]

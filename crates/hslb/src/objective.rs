@@ -1,9 +1,8 @@
 //! Objective functions for the allocation problem (§III-D).
 
-use serde::{Deserialize, Serialize};
 
 /// The three candidate objectives the paper discusses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Objective {
     /// Equation (1): `min max_j` of the layout's critical path — the
     /// layout-aware makespan (for layout 1, `max(max(ice,lnd)+atm, ocn)`).

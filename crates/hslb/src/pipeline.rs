@@ -1,13 +1,20 @@
-//! The four-step HSLB pipeline (§III-F).
+//! The four-step HSLB pipeline (§III-F), hardened against benchmark
+//! faults: the gather step retries failed/hung/garbage runs with
+//! exponential backoff and substitutes replacement node counts for
+//! irrecoverable points, and the solve step walks a degradation ladder
+//! (MINLP → exhaustive enumeration → simulated expert) instead of dying
+//! with the first rung.
 
 use crate::data::BenchmarkData;
 use crate::error::HslbError;
 use crate::exhaustive::ExhaustiveOptimizer;
 use crate::fit::{fit_all, FitSet};
 use crate::layout_model::{build_layout_model, LayoutModelOptions};
+use crate::manual::SimulatedExpert;
 use crate::objective::Objective;
 use crate::report::{ArmReport, ExperimentReport};
-use hslb_cesm::{Allocation, Component, Layout, RunResult, Simulator};
+use crate::resilience::{GatherReport, ResilienceReport, RetryPolicy, SolverRung};
+use hslb_cesm::{Allocation, BenchFault, Component, Layout, RunResult, Simulator};
 use hslb_minlp::{MinlpOptions, MinlpStatus};
 use hslb_nlsq::ScalingFitOptions;
 
@@ -53,6 +60,8 @@ pub struct HslbOptions {
     pub solver: MinlpOptions,
     /// Ice–land synchronization tolerance (Table I line 9), optional.
     pub tsync: Option<f64>,
+    /// Retry/backoff policy for benchmark and coupled runs.
+    pub retry: RetryPolicy,
 }
 
 impl HslbOptions {
@@ -67,6 +76,7 @@ impl HslbOptions {
             fit: ScalingFitOptions::default(),
             solver: MinlpOptions::default(),
             tsync: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -118,10 +128,28 @@ impl<'a> Hslb<'a> {
         }
     }
 
-    /// Step 1: gather benchmark data per the plan.
+    /// Step 1: gather benchmark data per the plan, discarding the fault
+    /// accounting (see [`Self::gather_resilient`]).
     pub fn gather(&self) -> BenchmarkData {
+        self.gather_resilient().0
+    }
+
+    /// Step 1, with the campaign's fault accounting: every benchmark run
+    /// goes through the [`RetryPolicy`] — bounded retries with
+    /// exponential backoff for failed/hung runs, a plausibility window
+    /// that rejects corrupt timings, and replacement node counts for
+    /// points that stay dead after every retry. On a fault-free
+    /// simulator this produces bit-identical data to the historical
+    /// gather.
+    pub fn gather_resilient(&self) -> (BenchmarkData, GatherReport) {
         match &self.opts.gather {
-            GatherPlan::Reuse(data) => data.clone(),
+            GatherPlan::Reuse(data) => {
+                let mut report = GatherReport::default();
+                for c in Component::OPTIMIZED {
+                    report.points.insert(c, data.count(c));
+                }
+                (data.clone(), report)
+            }
             GatherPlan::Explicit(counts) => self.gather_at(counts),
             GatherPlan::LogSpaced {
                 min_nodes,
@@ -142,19 +170,108 @@ impl<'a> Hslb<'a> {
         }
     }
 
-    fn gather_at(&self, counts: &[i64]) -> BenchmarkData {
+    fn gather_at(&self, counts: &[i64]) -> (BenchmarkData, GatherReport) {
         let mut data = BenchmarkData::new();
+        let mut report = GatherReport::default();
         for &c in &Component::OPTIMIZED {
             let mut used = std::collections::BTreeSet::new();
+            let mut kept = 0usize;
             for (i, &n) in counts.iter().enumerate() {
                 let m = self.project_count(c, n);
                 if !used.insert(m) {
                     continue; // projection collapsed two counts
                 }
-                data.push(c, m as f64, self.sim.component_time(c, m, i as u64));
+                if let Some(secs) = self.measure_with_retry(c, m, i as u64, &mut report) {
+                    data.push(c, m as f64, secs);
+                    kept += 1;
+                    continue;
+                }
+                // The planned count is irrecoverable (a bad node set, a
+                // poisoned queue slot): the curve shape matters more than
+                // the exact abscissa, so try nearby replacement counts.
+                let mut rescued = false;
+                for (k, cand) in self.substitute_candidates(c, m, &used).into_iter().enumerate()
+                {
+                    let base = i as u64 + ((k as u64 + 1) << 12);
+                    if let Some(secs) = self.measure_with_retry(c, cand, base, &mut report) {
+                        used.insert(cand);
+                        data.push(c, cand as f64, secs);
+                        report.substituted_points += 1;
+                        kept += 1;
+                        rescued = true;
+                        break;
+                    }
+                }
+                if !rescued {
+                    report.abandoned_points += 1;
+                }
+            }
+            report.points.insert(c, kept);
+        }
+        (data, report)
+    }
+
+    /// One benchmark point under the retry policy. Attempt 0 reuses the
+    /// historical run id so a fault-free campaign reproduces the exact
+    /// noise stream of the pre-fault-injection gather.
+    fn measure_with_retry(
+        &self,
+        c: Component,
+        nodes: i64,
+        base_run: u64,
+        report: &mut GatherReport,
+    ) -> Option<f64> {
+        let policy = &self.opts.retry;
+        let mut retried = false;
+        for attempt in 0..policy.max_attempts.max(1) {
+            if attempt > 0 {
+                report.backoff_seconds += policy.backoff_before(attempt);
+                if !retried {
+                    report.retried_points += 1;
+                    retried = true;
+                }
+            }
+            report.attempts += 1;
+            let run_id = base_run + (attempt as u64) * 1000;
+            match self
+                .sim
+                .try_component_time(c, nodes, run_id, policy.run_budget_seconds)
+            {
+                Ok(secs) if policy.plausible(secs) => {
+                    report.succeeded += 1;
+                    return Some(secs);
+                }
+                Ok(_) => report.garbage_discarded += 1,
+                Err(BenchFault::Failed { .. }) => report.failed_runs += 1,
+                Err(BenchFault::Hung {
+                    elapsed_seconds, ..
+                }) => {
+                    report.hung_runs += 1;
+                    report.wasted_seconds += elapsed_seconds;
+                }
             }
         }
-        data
+        None
+    }
+
+    /// Nearby replacement counts for an irrecoverable benchmark point,
+    /// projected onto the component's allowed set and deduplicated
+    /// against counts already measured.
+    fn substitute_candidates(
+        &self,
+        c: Component,
+        m: i64,
+        used: &std::collections::BTreeSet<i64>,
+    ) -> Vec<i64> {
+        let step = (m / 8).max(1);
+        let mut out = Vec::new();
+        for delta in [step, -step, 2 * step, -2 * step] {
+            let cand = self.project_count(c, (m + delta).max(1));
+            if cand >= 1 && !used.contains(&cand) && !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+        out
     }
 
     /// Step 2: fit the four performance curves.
@@ -165,55 +282,119 @@ impl<'a> Hslb<'a> {
     /// Step 3: solve for the optimal allocation given fitted curves.
     ///
     /// Convex objectives go through the MINLP branch-and-bound; `max-min`
-    /// is routed to the enumeration optimizer (see [`Objective`]).
+    /// is routed to the enumeration optimizer (see [`Objective`]). This
+    /// is the strict, single-rung API: solver limits and deadlines
+    /// without an incumbent are errors. [`Self::run`] instead walks the
+    /// degradation ladder.
     pub fn solve(&self, fits: &FitSet) -> Result<SolveOutcome, HslbError> {
-        let alloc = if self.opts.objective.is_convex_minlp() {
-            let lm = build_layout_model(
-                fits,
-                &LayoutModelOptions {
-                    layout: self.opts.layout,
-                    objective: self.opts.objective,
-                    total_nodes: self.opts.target_nodes,
-                    floors: crate::layout_model::NodeFloors::from_config(&self.sim.config),
-                    ocean_allowed: self.sim.config.ocean_allowed.clone(),
-                    atm_allowed: self.sim.config.atm_allowed.clone(),
-                    tsync: self.opts.tsync,
-                },
-            )?;
-            let ir = hslb_minlp::compile(&lm.model)?;
-            let sol = if self.opts.solver.threads > 1 {
-                hslb_minlp::solve_parallel(&ir, &self.opts.solver)
-            } else {
-                hslb_minlp::solve(&ir, &self.opts.solver)
-            };
-            match sol.status {
-                MinlpStatus::Optimal | MinlpStatus::NodeLimitWithIncumbent => {
-                    let allocation = lm.allocation(&sol.x);
-                    return Ok(self.outcome(fits, allocation, Some(sol.stats)));
+        if self.opts.objective.is_convex_minlp() {
+            self.solve_minlp(fits).map(|(outcome, _)| outcome)
+        } else {
+            self.exhaustive(fits)
+                .try_solve(self.opts.objective)
+                .map(|res| self.outcome(fits, res.allocation, None))
+                .ok_or_else(|| HslbError::Infeasible {
+                    detail: format!(
+                        "no candidate {} allocation of {} nodes",
+                        self.opts.layout, self.opts.target_nodes
+                    ),
+                })
+        }
+    }
+
+    fn exhaustive<'f>(&self, fits: &'f FitSet) -> ExhaustiveOptimizer<'f> {
+        let mut opt = ExhaustiveOptimizer::new(fits, self.opts.layout, self.opts.target_nodes);
+        opt.ocean_allowed = self.sim.config.ocean_allowed.clone();
+        opt.atm_allowed = self.sim.config.atm_allowed.clone();
+        opt.floors = crate::layout_model::NodeFloors::from_config(&self.sim.config);
+        opt
+    }
+
+    /// The MINLP rung. `Ok((outcome, with_gap))` carries whether the
+    /// solver stopped at a limit with an unproven gap (best incumbent
+    /// accepted, accuracy degraded); errors describe why the rung
+    /// produced nothing.
+    fn solve_minlp(&self, fits: &FitSet) -> Result<(SolveOutcome, bool), HslbError> {
+        let lm = build_layout_model(
+            fits,
+            &LayoutModelOptions {
+                layout: self.opts.layout,
+                objective: self.opts.objective,
+                total_nodes: self.opts.target_nodes,
+                floors: crate::layout_model::NodeFloors::from_config(&self.sim.config),
+                ocean_allowed: self.sim.config.ocean_allowed.clone(),
+                atm_allowed: self.sim.config.atm_allowed.clone(),
+                tsync: self.opts.tsync,
+            },
+        )?;
+        let ir = hslb_minlp::compile(&lm.model)?;
+        let sol = if self.opts.solver.threads > 1 {
+            hslb_minlp::solve_parallel(&ir, &self.opts.solver)
+        } else {
+            hslb_minlp::solve(&ir, &self.opts.solver)
+        };
+        match sol.status {
+            MinlpStatus::Optimal => {
+                let allocation = lm.allocation(&sol.x);
+                Ok((self.outcome(fits, allocation, Some(sol.stats)), false))
+            }
+            MinlpStatus::NodeLimitWithIncumbent | MinlpStatus::TimeLimitWithIncumbent => {
+                // Best incumbent with an unproven gap — usable, degraded.
+                let allocation = lm.allocation(&sol.x);
+                Ok((self.outcome(fits, allocation, Some(sol.stats)), true))
+            }
+            MinlpStatus::Infeasible => Err(HslbError::Infeasible {
+                detail: format!(
+                    "no feasible {} allocation of {} nodes",
+                    self.opts.layout, self.opts.target_nodes
+                ),
+            }),
+            MinlpStatus::NodeLimitNoIncumbent => Err(HslbError::SolverIncomplete {
+                detail: format!(
+                    "node limit {} reached without an incumbent",
+                    self.opts.solver.node_limit
+                ),
+            }),
+            MinlpStatus::TimeLimitNoIncumbent => Err(HslbError::SolverIncomplete {
+                detail: format!(
+                    "wall-clock deadline {:?} expired without an incumbent",
+                    self.opts.solver.time_limit
+                ),
+            }),
+        }
+    }
+
+    /// Rungs 1–2 of the degradation ladder (both need fitted curves).
+    /// `None` means rung 3 (the fit-free simulated expert) is next;
+    /// every fallback taken is appended to `fallbacks`.
+    fn solve_ladder(
+        &self,
+        fits: &FitSet,
+        fallbacks: &mut Vec<String>,
+        degraded: &mut bool,
+    ) -> Option<(SolveOutcome, SolverRung)> {
+        if self.opts.objective.is_convex_minlp() {
+            match self.solve_minlp(fits) {
+                Ok((outcome, with_gap)) => {
+                    *degraded |= with_gap;
+                    return Some((outcome, SolverRung::Minlp));
                 }
-                MinlpStatus::Infeasible => {
-                    return Err(HslbError::Infeasible {
-                        detail: format!(
-                            "no feasible {} allocation of {} nodes",
-                            self.opts.layout, self.opts.target_nodes
-                        ),
-                    })
-                }
-                MinlpStatus::NodeLimitNoIncumbent => {
-                    return Err(HslbError::SolverIncomplete {
-                        detail: format!("node limit {} reached", self.opts.solver.node_limit),
-                    })
+                Err(e) => {
+                    fallbacks.push(format!("MINLP rung: {e}"));
+                    *degraded = true;
                 }
             }
-        } else {
-            let mut opt =
-                ExhaustiveOptimizer::new(fits, self.opts.layout, self.opts.target_nodes);
-            opt.ocean_allowed = self.sim.config.ocean_allowed.clone();
-            opt.atm_allowed = self.sim.config.atm_allowed.clone();
-            opt.floors = crate::layout_model::NodeFloors::from_config(&self.sim.config);
-            opt.solve(self.opts.objective).allocation
-        };
-        Ok(self.outcome(fits, alloc, None))
+        }
+        match self.exhaustive(fits).try_solve(self.opts.objective) {
+            Some(res) => Some((
+                self.outcome(fits, res.allocation, None),
+                SolverRung::Exhaustive,
+            )),
+            None => {
+                fallbacks.push("exhaustive rung: no feasible candidate allocation".into());
+                None
+            }
+        }
     }
 
     fn outcome(
@@ -236,35 +417,110 @@ impl<'a> Hslb<'a> {
         }
     }
 
-    /// Step 4: execute the allocation on the simulator.
+    /// Step 4: execute the allocation on the simulator (one attempt; the
+    /// full pipeline retries, see [`Self::run`]).
     pub fn execute(&self, allocation: &Allocation) -> Result<RunResult, HslbError> {
         self.sim
             .run_case(allocation, self.opts.layout, 0xE0)
             .map_err(|detail| HslbError::Execute { detail })
     }
 
+    /// Execute a coupled run with bounded retries (a valid allocation
+    /// can still lose its run to the cluster). Attempt 0 reuses the
+    /// historical run id so fault-free behavior is unchanged.
+    fn execute_with_retry(
+        &self,
+        allocation: &Allocation,
+        base_run: u64,
+    ) -> Result<(RunResult, usize), String> {
+        // Coupled runs are the expensive last-mile step: grant a little
+        // headroom beyond the benchmark retry budget.
+        let attempts = self.opts.retry.max_attempts.max(1) + 2;
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            let run_id = base_run + (attempt as u64) * 0x100;
+            match self.sim.run_case(allocation, self.opts.layout, run_id) {
+                Ok(run) => return Ok((run, attempt + 1)),
+                Err(detail) => last = detail,
+            }
+        }
+        Err(format!("{last} (after {attempts} attempts)"))
+    }
+
     /// The whole pipeline: gather → fit → solve → execute, with an
     /// optional manual-baseline arm for comparison.
+    ///
+    /// This is the fault-tolerant entry point. Benchmark runs are
+    /// retried per the [`RetryPolicy`]; the solve step walks the
+    /// degradation ladder — MINLP branch-and-bound, then exhaustive
+    /// enumeration over the fitted curves, then (when no curves could be
+    /// fitted at all) the simulated-expert heuristic — and the report's
+    /// [`ResilienceReport`] records the rung that won, every fallback
+    /// reason, and whether accuracy is degraded. A manual arm whose
+    /// coupled runs all fail is dropped with a note rather than failing
+    /// the experiment. The only errors left are the truly fatal ones:
+    /// every ladder rung exhausted, or the final allocation's coupled
+    /// run failing every retry.
     pub fn run(&self, manual: Option<Allocation>) -> Result<ExperimentReport, HslbError> {
-        let data = self.gather();
-        let fits = self.fit(&data)?;
-        let solved = self.solve(&fits)?;
-        let actual = self.execute(&solved.allocation)?;
+        let (data, gather) = self.gather_resilient();
+        let mut fallbacks: Vec<String> = Vec::new();
+        let mut degraded = gather.degraded(self.opts.retry.min_points);
+
+        // Fit when possible; a failed fit drops to the fit-free rung.
+        let fits = match self.fit(&data) {
+            Ok(f) => Some(f),
+            Err(e) => {
+                fallbacks.push(format!("fit rung: {e}"));
+                None
+            }
+        };
+
+        let solved = fits
+            .as_ref()
+            .and_then(|f| self.solve_ladder(f, &mut fallbacks, &mut degraded));
+
+        let (allocation, solved, rung) = match solved {
+            Some((outcome, rung)) => (outcome.allocation, Some(outcome), rung),
+            None => {
+                // Rung 3: no usable curves — fall back to the simulated
+                // expert, which only needs the simulator itself.
+                degraded = true;
+                let expert = SimulatedExpert {
+                    iterations: self.opts.retry.max_attempts.max(1) * 4,
+                };
+                match expert.try_tune(self.sim, self.opts.target_nodes) {
+                    Some((alloc, runs)) => {
+                        fallbacks.push(format!(
+                            "expert rung: tuned an allocation in {runs} coupled runs"
+                        ));
+                        (alloc, None, SolverRung::SimulatedExpert)
+                    }
+                    None => {
+                        fallbacks.push("expert rung: every coupled run failed".into());
+                        return Err(HslbError::DegradationExhausted { fallbacks });
+                    }
+                }
+            }
+        };
+
+        let (actual, execute_attempts) = self
+            .execute_with_retry(&allocation, 0xE0)
+            .map_err(|detail| HslbError::Execute { detail })?;
 
         let manual_arm = match manual {
-            Some(alloc) => {
-                let run = self
-                    .sim
-                    .run_case(&alloc, self.opts.layout, 0xA0)
-                    .map_err(|detail| HslbError::Execute { detail })?;
-                Some(ArmReport {
+            Some(alloc) => match self.execute_with_retry(&alloc, 0xA0) {
+                Ok((run, _)) => Some(ArmReport {
                     allocation: alloc,
                     predicted: None,
                     predicted_total: None,
                     actual: run.times,
                     actual_total: run.total,
-                })
-            }
+                }),
+                Err(detail) => {
+                    fallbacks.push(format!("manual arm dropped: {detail}"));
+                    None
+                }
+            },
             None => None,
         };
 
@@ -274,18 +530,29 @@ impl<'a> Hslb<'a> {
             objective: self.opts.objective,
             target_nodes: self.opts.target_nodes,
             fits: fits
-                .iter()
-                .map(|(c, f)| (c, f.curve, f.r_squared))
-                .collect(),
+                .as_ref()
+                .map(|fits| {
+                    fits.iter()
+                        .map(|(c, f)| (c, f.curve, f.r_squared))
+                        .collect()
+                })
+                .unwrap_or_default(),
             manual: manual_arm,
             hslb: ArmReport {
-                allocation: solved.allocation,
-                predicted: Some(solved.predicted),
-                predicted_total: Some(solved.predicted_total),
+                allocation,
+                predicted: solved.as_ref().map(|s| s.predicted),
+                predicted_total: solved.as_ref().map(|s| s.predicted_total),
                 actual: actual.times,
                 actual_total: actual.total,
             },
-            solver_stats: solved.solver_stats,
+            solver_stats: solved.and_then(|s| s.solver_stats),
+            resilience: Some(ResilienceReport {
+                gather,
+                rung,
+                fallbacks,
+                degraded_accuracy: degraded,
+                execute_attempts,
+            }),
         })
     }
 }
@@ -308,6 +575,70 @@ mod tests {
                 "ocean benchmarked at disallowed count {n}"
             );
         }
+    }
+
+    #[test]
+    fn resilient_gather_survives_flaky_runs() {
+        use hslb_cesm::FaultSpec;
+        let sim = Simulator::one_degree(20).with_faults(FaultSpec::flaky(77, 0.2));
+        let h = Hslb::new(&sim, HslbOptions::new(128));
+        let (data, report) = h.gather_resilient();
+        assert!(!report.is_clean(), "20% fail + 20% hang must leave marks");
+        assert!(report.failed_runs + report.hung_runs > 0);
+        assert!(
+            data.covers_optimized(3),
+            "retries must keep the campaign viable: {report}"
+        );
+        // Deterministic: the same seed reproduces the same campaign.
+        let (_, again) = h.gather_resilient();
+        assert_eq!(report.attempts, again.attempts);
+        assert_eq!(report.failed_runs, again.failed_runs);
+    }
+
+    #[test]
+    fn clean_gather_report_is_clean_and_counts_points() {
+        let sim = Simulator::one_degree(20);
+        let h = Hslb::new(&sim, HslbOptions::new(128));
+        let (data, report) = h.gather_resilient();
+        assert!(report.is_clean());
+        assert_eq!(report.failed_runs, 0);
+        for c in Component::OPTIMIZED {
+            assert_eq!(report.points[&c], data.count(c));
+        }
+        // The resilient path reproduces the historical gather exactly.
+        assert_eq!(data.of(Component::Atm), h.gather().of(Component::Atm));
+    }
+
+    #[test]
+    fn zero_deadline_falls_back_to_exhaustive_rung() {
+        let sim = Simulator::one_degree(22);
+        let mut opts = HslbOptions::new(128);
+        opts.solver.time_limit = Some(std::time::Duration::ZERO);
+        let h = Hslb::new(&sim, opts);
+        let report = h.run(None).expect("ladder must rescue the run");
+        let res = report.resilience.as_ref().expect("run() always reports");
+        assert_eq!(res.rung, crate::resilience::SolverRung::Exhaustive);
+        assert!(res.degraded_accuracy);
+        assert!(
+            res.fallbacks.iter().any(|r| r.contains("deadline")),
+            "fallback reasons: {:?}",
+            res.fallbacks
+        );
+        assert!(report.hslb.actual_total.is_finite());
+    }
+
+    #[test]
+    fn strict_solve_errors_on_zero_deadline() {
+        let sim = Simulator::one_degree(22);
+        let mut opts = HslbOptions::new(128);
+        opts.solver.time_limit = Some(std::time::Duration::ZERO);
+        let h = Hslb::new(&sim, opts);
+        let data = h.gather();
+        let fits = h.fit(&data).unwrap();
+        assert!(matches!(
+            h.solve(&fits),
+            Err(crate::error::HslbError::SolverIncomplete { .. })
+        ));
     }
 
     #[test]

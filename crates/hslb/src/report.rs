@@ -1,6 +1,7 @@
 //! Table III-style experiment reports.
 
 use crate::objective::Objective;
+use crate::resilience::ResilienceReport;
 use hslb_cesm::layout::ComponentTimes;
 use hslb_cesm::{Allocation, Component, Layout, Resolution};
 use hslb_nlsq::ScalingCurve;
@@ -29,6 +30,10 @@ pub struct ExperimentReport {
     pub manual: Option<ArmReport>,
     pub hslb: ArmReport,
     pub solver_stats: Option<hslb_minlp::SolveStats>,
+    /// How the pipeline weathered faults: gather accounting, the ladder
+    /// rung that produced the allocation, fallback reasons. `None` for
+    /// reports built outside [`crate::pipeline::Hslb::run`].
+    pub resilience: Option<ResilienceReport>,
 }
 
 impl ExperimentReport {
@@ -106,6 +111,13 @@ impl std::fmt::Display for ExperimentReport {
         if let Some(gain) = self.improvement_over_manual_pct() {
             writeln!(f, "HSLB vs manual: {gain:+.1}%")?;
         }
+        // Only surface the resilience block when something happened — a
+        // clean run keeps the paper's table shape untouched.
+        if let Some(res) = &self.resilience {
+            if res.degraded_accuracy || !res.fallbacks.is_empty() || !res.gather.is_clean() {
+                write!(f, "{res}")?;
+            }
+        }
         Ok(())
     }
 }
@@ -148,6 +160,7 @@ mod tests {
                 actual_total: hslb_total,
             },
             solver_stats: None,
+            resilience: None,
         }
     }
 

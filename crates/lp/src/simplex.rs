@@ -395,8 +395,8 @@ fn initial_state(lb: f64, ub: f64) -> VarState {
 /// Read structural variable values out of the tableau.
 fn extract(tab: &Tableau, n: usize) -> Vec<f64> {
     let mut x = vec![0.0; n];
-    for j in 0..n {
-        x[j] = match tab.state[j] {
+    for (j, xj) in x.iter_mut().enumerate() {
+        *xj = match tab.state[j] {
             VarState::Basic => 0.0, // filled below from xb
             VarState::AtLower => tab.lb[j],
             VarState::AtUpper => tab.ub[j],
@@ -547,7 +547,7 @@ fn iterate(
                 entering = Some((j, score, dir));
                 break;
             }
-            if entering.map_or(true, |(_, s, _)| score > s) {
+            if entering.is_none_or(|(_, s, _)| score > s) {
                 entering = Some((j, score, dir));
             }
         }
@@ -580,7 +580,7 @@ fn iterate(
                     // basis column index.
                     || (bland
                         && t <= t_best + 1e-12
-                        && leave.map_or(true, |(lr, _)| bcol < tab.basis[lr]));
+                        && leave.is_none_or(|(lr, _)| bcol < tab.basis[lr]));
                 if better {
                     t_best = t.min(t_best);
                     leave = Some((r, st));

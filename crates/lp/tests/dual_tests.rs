@@ -38,16 +38,12 @@ fn duals_predict_rhs_perturbation() {
     p.set_objective(&[(x, -3.0), (y, -4.0)]);
     let (z0, duals) = solve_ok(&p);
     let eps = 1e-5;
-    for r in 0..3 {
+    for (r, &dual) in duals.iter().enumerate().take(3) {
         let mut pp = p.clone();
         pp.set_rhs(r, pp.rhs(r) + eps);
         let (z1, _) = solve_ok(&pp);
         let fd = (z1 - z0) / eps;
-        assert!(
-            (fd - duals[r]).abs() < 1e-4,
-            "row {r}: dual {} vs finite-diff {fd}",
-            duals[r]
-        );
+        assert!((fd - dual).abs() < 1e-4, "row {r}: dual {dual} vs finite-diff {fd}");
     }
 }
 

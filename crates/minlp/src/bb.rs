@@ -128,11 +128,11 @@ fn fractional_int(
     pc: &crate::pseudocost::PseudoCostTable,
 ) -> Option<usize> {
     let mut best: Option<(usize, f64)> = None;
-    for v in 0..ir.num_vars() {
+    for (v, &xv) in x.iter().enumerate().take(ir.num_vars()) {
         if !ir.is_int[v] {
             continue;
         }
-        let f = float::fractionality(x[v]);
+        let f = float::fractionality(xv);
         if f <= tol {
             continue;
         }
@@ -140,11 +140,11 @@ fn fractional_int(
             crate::options::IntVarSelection::MostFractional => f,
             crate::options::IntVarSelection::PseudoCost => {
                 // Product-rule score over the down/up fractional parts.
-                let frac_down = x[v] - x[v].floor();
+                let frac_down = xv - xv.floor();
                 pc.score(v, frac_down)
             }
         };
-        if best.map_or(true, |(_, bs)| score > bs) {
+        if best.is_none_or(|(_, bs)| score > bs) {
             best = Some((v, score));
         }
     }
@@ -364,9 +364,9 @@ pub(crate) fn process_node(
         // Round integers exactly before evaluating (LP tolerance noise on
         // n changes T(n) measurably at small n).
         let mut xi = x.clone();
-        for v in 0..ir.num_vars() {
+        for (v, xiv) in xi.iter_mut().enumerate().take(ir.num_vars()) {
             if ir.is_int[v] {
-                xi[v] = xi[v].round();
+                *xiv = xiv.round();
             }
         }
         let mut added_cut = false;
@@ -548,8 +548,14 @@ pub fn solve(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
         }
     };
     let mut best_open_bound = root_bound;
+    let deadline = opts.time_limit.map(|limit| t0 + limit);
+    let mut timed_out = false;
 
     while stats.nodes < opts.node_limit {
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            timed_out = true;
+            break;
+        }
         let node = match opts.node_selection {
             NodeSelection::BestBound => match heap.pop() {
                 Some(e) => e.node,
@@ -603,7 +609,7 @@ pub fn solve(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
                 }
             }
             NodeOutcome::Incumbent { x, obj } => {
-                if incumbent.as_ref().map_or(true, |(best, _)| obj < *best) {
+                if incumbent.as_ref().is_none_or(|(best, _)| obj < *best) {
                     stats.incumbents += 1;
                     incumbent = Some((obj, x));
                 }
@@ -627,6 +633,8 @@ pub fn solve(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
         Some((obj, x)) => {
             let status = if exhausted {
                 MinlpStatus::Optimal
+            } else if timed_out {
+                MinlpStatus::TimeLimitWithIncumbent
             } else {
                 MinlpStatus::NodeLimitWithIncumbent
             };
@@ -642,6 +650,8 @@ pub fn solve(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
         None => MinlpSolution {
             status: if exhausted {
                 MinlpStatus::Infeasible
+            } else if timed_out {
+                MinlpStatus::TimeLimitNoIncumbent
             } else {
                 MinlpStatus::NodeLimitNoIncumbent
             },

@@ -268,7 +268,7 @@ mod tests {
         let res = solve_relaxation(&ir, &ir.lb, &ir.ub, &[], &MinlpOptions::default());
         for n in [1.0_f64, 3.0, 10.0, 30.0, 64.0] {
             let t = 64.0 / n + n + 0.5; // strictly feasible point
-            let x = vec![n, t];
+            let x = [n, t];
             for cut in &res.new_cuts {
                 let lhs: f64 = cut.terms.iter().map(|&(v, c)| c * x[v]).sum();
                 assert!(

@@ -66,6 +66,12 @@ pub struct MinlpOptions {
     pub rel_gap: f64,
     /// Hard cap on explored nodes.
     pub node_limit: usize,
+    /// Wall-clock deadline for the whole solve (`None` = unlimited). On
+    /// expiry the search stops and returns the best incumbent with its
+    /// proven gap ([`crate::MinlpStatus::TimeLimitWithIncumbent`]) rather
+    /// than erroring; with no incumbent yet it reports
+    /// [`crate::MinlpStatus::TimeLimitNoIncumbent`].
+    pub time_limit: Option<std::time::Duration>,
     /// Cap on cut-and-resolve rounds within a single node.
     pub max_cut_rounds: usize,
     /// Cap on Kelley iterations per relaxation solve.
@@ -90,6 +96,7 @@ impl Default for MinlpOptions {
             abs_gap: 1e-7,
             rel_gap: 1e-9,
             node_limit: 2_000_000,
+            time_limit: None,
             max_cut_rounds: 40,
             max_kelley_iters: 120,
             threads: 1,

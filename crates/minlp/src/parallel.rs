@@ -19,7 +19,7 @@ use crate::solution::{MinlpSolution, MinlpStatus, SolveStats};
 use hslb_numerics::float;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 struct HeapEntry {
     bound: f64,
@@ -54,6 +54,9 @@ struct Shared {
     /// detection: queue empty AND no one busy ⇒ done).
     busy: AtomicUsize,
     nodes_done: AtomicUsize,
+    /// Set once the wall-clock deadline passes; workers then drain the
+    /// queue without processing, like the node-limit path.
+    timed_out: AtomicBool,
 }
 
 /// Solve with `opts.threads` worker threads (≤ 1 falls back to the serial
@@ -143,17 +146,18 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
         incumbent: Mutex::new(None),
         busy: AtomicUsize::new(0),
         nodes_done: AtomicUsize::new(0),
+        timed_out: AtomicBool::new(false),
     };
+    let deadline = opts.time_limit.map(|limit| t0 + limit);
 
     let nthreads = opts.threads;
     let worker_stats: Vec<Mutex<SolveStats>> =
         (0..nthreads).map(|_| Mutex::new(SolveStats::default())).collect();
 
     crossbeam::thread::scope(|scope| {
-        for tid in 0..nthreads {
+        for stats_slot in &worker_stats {
             let shared = &shared;
             let pc = &pc;
-            let stats_slot = &worker_stats[tid];
             scope.spawn(move |_| {
                 let mut local = SolveStats::default();
                 loop {
@@ -177,7 +181,12 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
                         continue;
                     };
 
-                    if shared.nodes_done.load(Ordering::Relaxed) >= opts.node_limit {
+                    if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                        shared.timed_out.store(true, Ordering::SeqCst);
+                    }
+                    if shared.timed_out.load(Ordering::SeqCst)
+                        || shared.nodes_done.load(Ordering::Relaxed) >= opts.node_limit
+                    {
                         shared.busy.fetch_sub(1, Ordering::SeqCst);
                         continue; // drain without processing
                     }
@@ -223,7 +232,7 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
                         }
                         NodeOutcome::Incumbent { x, obj } => {
                             let mut inc = shared.incumbent.lock();
-                            if inc.as_ref().map_or(true, |(best, _)| obj < *best) {
+                            if inc.as_ref().is_none_or(|(best, _)| obj < *best) {
                                 local.incumbents += 1;
                                 *inc = Some((obj, x));
                             }
@@ -273,12 +282,15 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
     }
     stats.wall = t0.elapsed();
 
-    let exhausted = stats.nodes < opts.node_limit;
+    let timed_out = shared.timed_out.load(Ordering::SeqCst);
+    let exhausted = stats.nodes < opts.node_limit && !timed_out;
     let incumbent = shared.incumbent.into_inner();
     match incumbent {
         Some((obj, x)) => MinlpSolution {
             status: if exhausted {
                 MinlpStatus::Optimal
+            } else if timed_out {
+                MinlpStatus::TimeLimitWithIncumbent
             } else {
                 MinlpStatus::NodeLimitWithIncumbent
             },
@@ -290,6 +302,8 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
         None => MinlpSolution {
             status: if exhausted {
                 MinlpStatus::Infeasible
+            } else if timed_out {
+                MinlpStatus::TimeLimitNoIncumbent
             } else {
                 MinlpStatus::NodeLimitNoIncumbent
             },

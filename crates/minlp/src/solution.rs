@@ -11,6 +11,11 @@ pub enum MinlpStatus {
     NodeLimitWithIncumbent,
     /// Stopped at the node limit with no incumbent.
     NodeLimitNoIncumbent,
+    /// Stopped at the wall-clock deadline with an incumbent in hand (the
+    /// solution carries the proven gap at that point).
+    TimeLimitWithIncumbent,
+    /// Stopped at the wall-clock deadline before any incumbent was found.
+    TimeLimitNoIncumbent,
 }
 
 /// Counters describing the work a solve performed.
@@ -58,7 +63,9 @@ impl MinlpSolution {
     pub fn has_solution(&self) -> bool {
         matches!(
             self.status,
-            MinlpStatus::Optimal | MinlpStatus::NodeLimitWithIncumbent
+            MinlpStatus::Optimal
+                | MinlpStatus::NodeLimitWithIncumbent
+                | MinlpStatus::TimeLimitWithIncumbent
         )
     }
 
@@ -99,6 +106,8 @@ impl std::fmt::Display for MinlpSolution {
             MinlpStatus::Infeasible => "infeasible",
             MinlpStatus::NodeLimitWithIncumbent => "node-limit (incumbent)",
             MinlpStatus::NodeLimitNoIncumbent => "node-limit (no incumbent)",
+            MinlpStatus::TimeLimitWithIncumbent => "time-limit (incumbent)",
+            MinlpStatus::TimeLimitNoIncumbent => "time-limit (no incumbent)",
         };
         write!(
             f,

@@ -41,8 +41,8 @@ fn presolve_tightens_budget_shares() {
     };
     assert!(changes > 0);
     // Each n_j ≤ N − (k−1) once the others' lower bounds are counted.
-    for v in 1..=3 {
-        assert!(ub[v] <= 28.0, "ub[{v}] = {}", ub[v]);
+    for (v, &ubv) in ub.iter().enumerate().take(4).skip(1) {
+        assert!(ubv <= 28.0, "ub[{v}] = {ubv}");
     }
 }
 
@@ -133,4 +133,50 @@ fn presolve_proves_infeasibility_before_search() {
     // Presolve caught it: no tree nodes, no LP solves.
     assert_eq!(sol.stats.nodes, 0);
     assert_eq!(sol.stats.lp_solves, 0);
+}
+
+#[test]
+fn zero_deadline_stops_before_any_node() {
+    let ir = compile(&chained_model(30.0, 3)).unwrap();
+    let sol = solve(
+        &ir,
+        &MinlpOptions {
+            time_limit: Some(std::time::Duration::ZERO),
+            ..Default::default()
+        },
+    );
+    assert_eq!(sol.status, MinlpStatus::TimeLimitNoIncumbent);
+    assert!(!sol.has_solution());
+    assert_eq!(sol.stats.nodes, 0);
+}
+
+#[test]
+fn generous_deadline_does_not_change_the_optimum() {
+    let ir = compile(&chained_model(24.0, 3)).unwrap();
+    let unlimited = solve(&ir, &MinlpOptions::default());
+    let with_deadline = solve(
+        &ir,
+        &MinlpOptions {
+            time_limit: Some(std::time::Duration::from_secs(120)),
+            ..Default::default()
+        },
+    );
+    assert_eq!(unlimited.status, MinlpStatus::Optimal);
+    assert_eq!(with_deadline.status, MinlpStatus::Optimal);
+    assert_eq!(with_deadline.objective, unlimited.objective);
+}
+
+#[test]
+fn parallel_zero_deadline_stops_cleanly() {
+    let ir = compile(&chained_model(30.0, 3)).unwrap();
+    let sol = hslb_minlp::solve_parallel(
+        &ir,
+        &MinlpOptions {
+            threads: 2,
+            time_limit: Some(std::time::Duration::ZERO),
+            ..Default::default()
+        },
+    );
+    assert_eq!(sol.status, MinlpStatus::TimeLimitNoIncumbent);
+    assert!(!sol.has_solution());
 }

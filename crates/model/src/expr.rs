@@ -196,6 +196,9 @@ impl std::ops::Add for Expr {
 
 impl std::ops::Sub for Expr {
     type Output = Expr;
+    // a − b is represented as a + (−b) on purpose: Neg is a first-class
+    // IR node and downstream passes only need to handle Add.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn sub(self, rhs: Expr) -> Expr {
         self + Expr::Neg(Box::new(rhs))
     }

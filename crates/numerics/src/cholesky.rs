@@ -88,8 +88,8 @@ impl Cholesky {
         // Backward: Lᵀ·x = y.
         for i in (0..n).rev() {
             let mut s = x[i];
-            for j in i + 1..n {
-                s -= self.l[(j, i)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.l[(j, i)] * xj;
             }
             x[i] = s / self.l[(i, i)];
         }

@@ -89,7 +89,7 @@ mod tests {
 
     #[test]
     fn nan_sorts_last() {
-        let mut v = vec![2.0, f64::NAN, 1.0];
+        let mut v = [2.0, f64::NAN, 1.0];
         v.sort_by(|a, b| cmp_f64(*a, *b));
         assert_eq!(v[0], 1.0);
         assert_eq!(v[1], 2.0);

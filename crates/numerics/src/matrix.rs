@@ -144,8 +144,7 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let yi = y[i];
+        for (i, &yi) in y.iter().enumerate().take(self.rows) {
             if yi == 0.0 {
                 continue;
             }

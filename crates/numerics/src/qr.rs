@@ -78,13 +78,13 @@ impl Qr {
                 continue;
             }
             let mut s = b[k];
-            for i in k + 1..m {
-                s += self.packed[(i, k)] * b[i];
+            for (i, &bi) in b.iter().enumerate().take(m).skip(k + 1) {
+                s += self.packed[(i, k)] * bi;
             }
             s *= self.beta[k];
             b[k] -= s;
-            for i in k + 1..m {
-                b[i] -= s * self.packed[(i, k)];
+            for (i, bi) in b.iter_mut().enumerate().take(m).skip(k + 1) {
+                *bi -= s * self.packed[(i, k)];
             }
         }
     }
@@ -102,8 +102,8 @@ impl Qr {
         let scale = self.packed.max_abs().max(1.0);
         for i in (0..n).rev() {
             let mut s = qtb[i];
-            for j in i + 1..n {
-                s -= self.packed[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.packed[(i, j)] * xj;
             }
             let rii = self.packed[(i, i)];
             if rii.abs() <= 1e-13 * scale {

@@ -68,7 +68,7 @@ pub fn argmax_abs(x: &[f64]) -> Option<usize> {
     let mut best: Option<(usize, f64)> = None;
     for (i, v) in x.iter().enumerate() {
         let a = v.abs();
-        if best.map_or(true, |(_, b)| a > b) {
+        if best.is_none_or(|(_, b)| a > b) {
             best = Some((i, a));
         }
     }

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- session 2: reload, fit, solve for a different target ----
     let restored = archive::read_archive(&archive_text)?;
-    let data = BenchmarkData::from_points(&restored);
+    if !restored.is_clean() {
+        eprintln!("warning: {} archive lines skipped", restored.skipped.len());
+    }
+    let data = BenchmarkData::from_points(&restored.parsed);
     let mut opts = HslbOptions::new(512); // a target never benchmarked
     opts.gather = GatherPlan::Reuse(data);
     let pipeline = Hslb::new(&sim, opts);

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repository gate: build, tests, lints. CI and pre-merge both run this.
+#
+#   scripts/check.sh           # everything
+#   scripts/check.sh --fast    # skip the release build
+#
+# The clippy step is strict (-D warnings) across every target, including
+# tests and benches: the workspace carries `warn(clippy::unwrap_used)` on
+# the library crates' non-test code, so a new unwrap on a fault path
+# fails the gate here rather than panicking on a cluster.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo clippy (-D warnings, all targets)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $fast -eq 0 ]]; then
+    echo "==> cargo build --release"
+    cargo build --release --workspace
+fi
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> all checks passed"

@@ -47,11 +47,12 @@ pub mod prelude {
     pub use hslb::manual::paper_manual_allocation;
     pub use hslb::{
         build_layout_model, fit_all, BenchmarkData, ExhaustiveOptimizer, ExperimentReport, FitSet,
-        GatherPlan, Hslb, HslbError, HslbOptions, LayoutModel, LayoutModelOptions, Objective,
+        GatherPlan, GatherReport, Hslb, HslbError, HslbOptions, LayoutModel, LayoutModelOptions,
+        Objective, ResilienceReport, RetryPolicy, SolverRung,
     };
     pub use hslb_cesm::{
-        Allocation, BenchPoint, Component, Layout, Machine, NoiseSpec, Resolution,
-        ResolutionConfig, RunResult, Simulator,
+        Allocation, BenchPoint, Component, FaultDomain, FaultSpec, Layout, Machine, NoiseSpec,
+        Resolution, ResolutionConfig, RunResult, Simulator,
     };
     pub use hslb_minlp::{Algorithm, Branching, MinlpOptions, MinlpStatus, NodeSelection};
     pub use hslb_nlsq::{fit_scaling, ScalingCurve, ScalingFitOptions};

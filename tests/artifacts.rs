@@ -88,7 +88,7 @@ fn archived_benchmarks_reproduce_the_solve() {
         }
     }
     let text = archive::write_archive(&points, None);
-    let restored = BenchmarkData::from_points(&archive::read_archive(&text).unwrap());
+    let restored = BenchmarkData::from_points(&archive::read_archive(&text).unwrap().parsed);
 
     let mut opts = HslbOptions::new(512);
     opts.gather = GatherPlan::Reuse(restored);
@@ -115,7 +115,7 @@ fn pipeline_survives_hostile_noise() {
     opts.gather = GatherPlan::LogSpaced {
         min_nodes: 12,
         max_nodes: 512,
-        points: 9,
+        points: 11,
     };
     let report = Hslb::new(&sim, opts).run(None).expect("pipeline under noise");
     let a = report.hslb.allocation;

@@ -102,13 +102,12 @@ fn claim_figure4_layout_ordering() {
     let ocean = ResolutionConfig::one_degree_ocean_set();
     let atm = ResolutionConfig::one_degree_atm_set();
     let pred = whatif::predict_layout_scaling(&fits, &counts, Some(&ocean), Some(&atm));
-    for i in 0..counts.len() {
+    for (i, &count) in counts.iter().enumerate() {
         let (l1, l2, l3) = (pred[0].points[i].1, pred[1].points[i].1, pred[2].points[i].1);
-        assert!(l3 >= l1 && l3 >= l2, "layout 3 must be worst at N={}", counts[i]);
+        assert!(l3 >= l1 && l3 >= l2, "layout 3 must be worst at N={count}");
         assert!(
             (l2 - l1).abs() / l1 < 0.25,
-            "layouts 1 and 2 should be similar at N={}: {l1} vs {l2}",
-            counts[i]
+            "layouts 1 and 2 should be similar at N={count}: {l1} vs {l2}",
         );
     }
 }
