@@ -49,7 +49,7 @@ fn main() {
             let truth = true_makespan(&sim, &solved.allocation);
             row.push_str(&format!(
                 " {:>14.4} {:>14.2}",
-                fits.min_r_squared(),
+                fits.min_r_squared().unwrap_or(f64::NAN),
                 truth
             ));
         }

@@ -1,0 +1,331 @@
+//! End-to-end pipeline benchmark suite with telemetry capture.
+//!
+//! Runs the full gather → fit → solve → execute pipeline at both paper
+//! resolutions across several node budgets, with a telemetry sink
+//! attached to every layer, and writes the per-phase timings plus solver
+//! telemetry to `BENCH_pipeline.json` (schema `hslb-bench-pipeline/v1`,
+//! documented in DESIGN.md §8).
+//!
+//! ```text
+//! cargo run --release -p hslb-bench --bin bench-suite            # full suite
+//! cargo run --release -p hslb-bench --bin bench-suite -- --smoke # CI subset
+//! cargo run -p hslb-bench --bin bench-suite -- --validate FILE   # schema check
+//! cargo run -p hslb-bench --bin bench-suite -- --out FILE        # custom sink
+//! ```
+
+use hslb::{Hslb, HslbOptions};
+use hslb_bench::simulator_for;
+use hslb_cesm::Resolution;
+use hslb_telemetry::json::Value;
+use hslb_telemetry::{span_tree, Snapshot, Telemetry};
+
+/// One pipeline configuration the suite measures.
+struct Scenario {
+    name: &'static str,
+    resolution: Resolution,
+    target_nodes: i64,
+}
+
+fn scenarios(smoke: bool) -> Vec<Scenario> {
+    let s = |name, resolution, target_nodes| Scenario {
+        name,
+        resolution,
+        target_nodes,
+    };
+    if smoke {
+        vec![
+            s("1deg_n96", Resolution::OneDegree, 96),
+            s("eighth_n8192", Resolution::EighthDegree, 8192),
+        ]
+    } else {
+        vec![
+            s("1deg_n64", Resolution::OneDegree, 64),
+            s("1deg_n128", Resolution::OneDegree, 128),
+            s("1deg_n256", Resolution::OneDegree, 256),
+            s("eighth_n8192", Resolution::EighthDegree, 8192),
+            s("eighth_n16384", Resolution::EighthDegree, 16_384),
+        ]
+    }
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn num(x: f64) -> Value {
+    Value::Num(x)
+}
+
+/// Wall time of a direct child span of `pipeline`, in milliseconds.
+fn phase_ms(tree: &[hslb_telemetry::SpanNode], phase: &str) -> Value {
+    tree.iter()
+        .find_map(|root| root.find(phase))
+        .and_then(|n| n.dur_ms)
+        .map_or(Value::Null, num)
+}
+
+/// All `fit.component` points, one JSON object per component.
+fn fit_components(snap: &Snapshot) -> Value {
+    let mut out = Vec::new();
+    for e in &snap.events {
+        if e.name != "fit.component" {
+            continue;
+        }
+        let field = |k: &str| {
+            e.fields
+                .iter()
+                .find(|(n, _)| n == k)
+                .map_or(Value::Null, |&(_, v)| num(v))
+        };
+        let component = e
+            .labels
+            .iter()
+            .find(|(n, _)| n == "component")
+            .map_or("?", |(_, v)| v.as_str());
+        out.push(obj(vec![
+            ("component", Value::Str(component.to_string())),
+            ("r2", field("r2")),
+            ("points", field("points")),
+            ("lm_iterations", field("lm_iterations")),
+            ("basin_hits", field("basin_hits")),
+        ]));
+    }
+    Value::Arr(out)
+}
+
+fn run_scenario(s: &Scenario) -> Value {
+    let telemetry = Telemetry::new();
+    let sim = simulator_for(s.resolution, true).with_telemetry(telemetry.clone());
+    let mut opts = HslbOptions::new(s.target_nodes);
+    opts.telemetry = telemetry.clone();
+    let pipeline = Hslb::new(&sim, opts);
+
+    let (report, wall) = criterion::time_once(|| pipeline.run(None).expect("pipeline run"));
+    let snap = telemetry.snapshot();
+    let tree = span_tree(&snap.events);
+
+    let resilience = report.resilience.as_ref().expect("run() always reports");
+    let gather = &resilience.gather;
+    let counter = |name: &str| num(snap.counters.get(name).copied().unwrap_or(0) as f64);
+
+    let solver = match &report.solver_stats {
+        Some(st) => {
+            let wall_s = st.wall.as_secs_f64();
+            obj(vec![
+                ("rung", Value::Str(resilience.rung.to_string())),
+                ("nodes", num(st.nodes as f64)),
+                ("lp_solves", num(st.lp_solves as f64)),
+                ("simplex_iters", num(st.simplex_iters as f64)),
+                ("cuts", num(st.cuts as f64)),
+                ("incumbents", num(st.incumbents as f64)),
+                (
+                    "nodes_per_sec",
+                    if wall_s > 0.0 {
+                        num(st.nodes as f64 / wall_s)
+                    } else {
+                        Value::Null
+                    },
+                ),
+                ("wall_ms", num(wall_s * 1e3)),
+            ])
+        }
+        None => obj(vec![("rung", Value::Str(resilience.rung.to_string()))]),
+    };
+
+    let exhaustive = if snap.counters.contains_key("exhaustive.evaluated") {
+        obj(vec![
+            ("evaluated", counter("exhaustive.evaluated")),
+            ("pruned", counter("exhaustive.pruned")),
+        ])
+    } else {
+        Value::Null
+    };
+
+    let alloc = &report.hslb.allocation;
+    obj(vec![
+        ("name", Value::Str(s.name.to_string())),
+        ("resolution", Value::Str(s.resolution.to_string())),
+        ("target_nodes", num(s.target_nodes as f64)),
+        (
+            "phase_ms",
+            obj(vec![
+                ("gather", phase_ms(&tree, "gather")),
+                ("fit", phase_ms(&tree, "fit")),
+                ("solve", phase_ms(&tree, "solve")),
+                ("execute", phase_ms(&tree, "execute")),
+                ("total", num(wall.as_secs_f64() * 1e3)),
+            ]),
+        ),
+        (
+            "gather",
+            obj(vec![
+                ("attempts", num(gather.attempts as f64)),
+                ("succeeded", num(gather.succeeded as f64)),
+                ("failed_runs", num(gather.failed_runs as f64)),
+                ("hung_runs", num(gather.hung_runs as f64)),
+                ("retried_points", num(gather.retried_points as f64)),
+                ("substituted_points", num(gather.substituted_points as f64)),
+                ("abandoned_points", num(gather.abandoned_points as f64)),
+                ("backoff_seconds", num(gather.backoff_seconds)),
+            ]),
+        ),
+        (
+            "fit",
+            obj(vec![
+                (
+                    "min_r_squared",
+                    report.min_r_squared().map_or(Value::Null, num),
+                ),
+                ("components", fit_components(&snap)),
+            ]),
+        ),
+        ("solver", solver),
+        ("exhaustive", exhaustive),
+        (
+            "allocation",
+            obj(vec![
+                ("atm", num(alloc.atm as f64)),
+                ("ocn", num(alloc.ocn as f64)),
+                ("ice", num(alloc.ice as f64)),
+                ("lnd", num(alloc.lnd as f64)),
+            ]),
+        ),
+        (
+            "predicted_total",
+            report.hslb.predicted_total.map_or(Value::Null, num),
+        ),
+        ("actual_total", num(report.hslb.actual_total)),
+        (
+            "counters",
+            Value::Obj(
+                snap.counters
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), num(v as f64)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Schema check for `hslb-bench-pipeline/v1` documents. Returns every
+/// violation found (empty = valid).
+fn validate(doc: &Value) -> Vec<String> {
+    let mut errs = Vec::new();
+    match doc.get("schema").and_then(Value::as_str) {
+        Some("hslb-bench-pipeline/v1") => {}
+        other => errs.push(format!("schema must be hslb-bench-pipeline/v1, got {other:?}")),
+    }
+    let Some(scenarios) = doc.get("scenarios").and_then(Value::as_arr) else {
+        errs.push("missing scenarios array".to_string());
+        return errs;
+    };
+    if scenarios.is_empty() {
+        errs.push("scenarios array is empty".to_string());
+    }
+    for (i, sc) in scenarios.iter().enumerate() {
+        let ctx = |field: &str| format!("scenario {i}: {field}");
+        for key in ["name", "resolution"] {
+            if sc.get(key).and_then(Value::as_str).is_none() {
+                errs.push(ctx(&format!("missing string {key}")));
+            }
+        }
+        if sc.get("target_nodes").and_then(Value::as_f64).is_none() {
+            errs.push(ctx("missing numeric target_nodes"));
+        }
+        match sc.get("phase_ms") {
+            Some(p) => {
+                for key in ["gather", "fit", "solve", "execute", "total"] {
+                    if p.get(key).is_none() {
+                        errs.push(ctx(&format!("phase_ms missing {key}")));
+                    }
+                }
+            }
+            None => errs.push(ctx("missing phase_ms")),
+        }
+        if sc
+            .get("solver")
+            .and_then(|s| s.get("rung"))
+            .and_then(Value::as_str)
+            .is_none()
+        {
+            errs.push(ctx("missing solver.rung"));
+        }
+        match sc.get("allocation") {
+            Some(a) => {
+                for key in ["atm", "ocn", "ice", "lnd"] {
+                    if a.get(key).and_then(Value::as_f64).is_none() {
+                        errs.push(ctx(&format!("allocation missing numeric {key}")));
+                    }
+                }
+            }
+            None => errs.push(ctx("missing allocation")),
+        }
+        for key in ["gather", "fit", "actual_total"] {
+            if sc.get(key).is_none() {
+                errs.push(ctx(&format!("missing {key}")));
+            }
+        }
+    }
+    errs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = "BENCH_pipeline.json".to_string();
+    let mut validate_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().expect("--out FILE").clone(),
+            "--validate" => validate_path = Some(it.next().expect("--validate FILE").clone()),
+            other => {
+                eprintln!("unknown flag {other}; expected --smoke | --out FILE | --validate FILE");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = validate_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let doc = match hslb_telemetry::json::parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("{path}: JSON parse error: {e}");
+                std::process::exit(1);
+            }
+        };
+        let errs = validate(&doc);
+        if errs.is_empty() {
+            println!(
+                "{path}: valid hslb-bench-pipeline/v1 ({} scenarios)",
+                doc.get("scenarios").and_then(Value::as_arr).map_or(0, |a| a.len())
+            );
+            return;
+        }
+        for e in &errs {
+            eprintln!("{path}: {e}");
+        }
+        std::process::exit(1);
+    }
+
+    let mut results = Vec::new();
+    for s in scenarios(smoke) {
+        eprintln!("bench-suite: {} ({} @ {} nodes)...", s.name, s.resolution, s.target_nodes);
+        results.push(run_scenario(&s));
+    }
+    let doc = obj(vec![
+        (
+            "schema",
+            Value::Str("hslb-bench-pipeline/v1".to_string()),
+        ),
+        ("smoke", Value::Bool(smoke)),
+        ("scenarios", Value::Arr(results)),
+    ]);
+    let errs = validate(&doc);
+    assert!(errs.is_empty(), "generated document fails own schema: {errs:?}");
+    std::fs::write(&out, doc.to_pretty() + "\n").unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("bench-suite: wrote {out}");
+}

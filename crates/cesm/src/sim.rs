@@ -59,6 +59,9 @@ pub struct Simulator {
     pub noise: NoiseSpec,
     /// Injected fault regime (inactive by default; see [`FaultSpec`]).
     pub faults: FaultSpec,
+    /// Telemetry sink for coupled-run events (disabled by default;
+    /// purely observational — timings are unaffected).
+    pub telemetry: hslb_telemetry::Telemetry,
     seed: u64,
 }
 
@@ -70,6 +73,7 @@ impl Simulator {
             config,
             noise,
             faults: FaultSpec::none(),
+            telemetry: hslb_telemetry::Telemetry::disabled(),
             seed,
         }
     }
@@ -77,6 +81,12 @@ impl Simulator {
     /// The same simulator with a fault-injection regime attached.
     pub fn with_faults(mut self, faults: FaultSpec) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// The same simulator with a telemetry sink attached.
+    pub fn with_telemetry(mut self, telemetry: hslb_telemetry::Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -275,6 +285,18 @@ impl Simulator {
             ocn: self.component_time(Component::Ocn, alloc.ocn, run_id),
         };
         let total = layout.total_time(&times) * (1.0 + calib::COUPLER_OVERHEAD_FRAC);
+        self.telemetry.point(
+            "sim.coupled_run",
+            &[
+                ("run_id", run_id as f64),
+                ("total_s", total),
+                ("atm", alloc.atm as f64),
+                ("ocn", alloc.ocn as f64),
+                ("ice", alloc.ice as f64),
+                ("lnd", alloc.lnd as f64),
+            ],
+            &[("layout", &layout.to_string())],
+        );
         Ok(RunResult {
             allocation: *alloc,
             layout,

@@ -12,6 +12,16 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// Time a single invocation of `f`, returning its result alongside the
+/// wall time. The building block the `bench-suite` binary uses for
+/// one-shot phase timings where batching would rerun an expensive
+/// pipeline stage.
+pub fn time_once<O>(f: impl FnOnce() -> O) -> (O, Duration) {
+    let start = Instant::now();
+    let out = black_box(f());
+    (out, start.elapsed())
+}
+
 /// Label for one parameterized benchmark case.
 pub struct BenchmarkId {
     id: String,
@@ -163,6 +173,13 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn time_once_returns_result_and_duration() {
+        let (out, wall) = time_once(|| 6 * 7);
+        assert_eq!(out, 42);
+        assert!(wall >= Duration::ZERO);
+    }
 
     #[test]
     fn bench_function_times_the_closure() {

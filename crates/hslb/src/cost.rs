@@ -52,7 +52,7 @@ pub fn core_hours(machine: &Machine, nodes: i64, seconds: f64) -> f64 {
 ///     (Component::Lnd, mk(1500.0, 1.0)),
 ///     (Component::Atm, mk(30000.0, 10.0)),
 ///     (Component::Ocn, mk(9000.0, 5.0)),
-/// ]));
+/// ])).unwrap();
 /// let f = cost::frontier(&fits, &Machine::intrepid(), Layout::Hybrid, 64, 1024);
 /// assert_eq!(f.len(), 5); // 64, 128, 256, 512, 1024
 /// assert!(f.last().unwrap().time_s < f[0].time_s);
@@ -125,6 +125,7 @@ mod tests {
             (Component::Atm, mk(30_000.0, 10.0)),
             (Component::Ocn, mk(9_000.0, 5.0)),
         ]))
+        .unwrap()
     }
 
     #[test]

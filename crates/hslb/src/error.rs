@@ -9,6 +9,12 @@ pub enum HslbError {
         component: hslb_cesm::Component,
         source: hslb_nlsq::scaling::FitError,
     },
+    /// A fit set was constructed without all four optimized components
+    /// (the solve step indexes every one, so a partial set would panic
+    /// later — reject it at construction instead).
+    IncompleteFitSet {
+        missing: Vec<hslb_cesm::Component>,
+    },
     /// Model construction failed.
     Model(hslb_model::ModelError),
     /// The MINLP could not be compiled for the solver.
@@ -35,6 +41,10 @@ impl std::fmt::Display for HslbError {
         match self {
             HslbError::Fit { component, source } => {
                 write!(f, "fitting {component}: {source}")
+            }
+            HslbError::IncompleteFitSet { missing } => {
+                let names: Vec<String> = missing.iter().map(|c| c.to_string()).collect();
+                write!(f, "fit set is missing components: [{}]", names.join(", "))
             }
             HslbError::Model(e) => write!(f, "building layout model: {e}"),
             HslbError::Compile(e) => write!(f, "compiling MINLP: {e}"),

@@ -48,6 +48,9 @@ pub struct ExhaustiveResult {
     pub objective: f64,
     /// Candidate allocations evaluated.
     pub evaluations: usize,
+    /// Candidates discarded without scoring (floor/cap/allowed-set
+    /// violations) — the enumeration's pruning effectiveness.
+    pub pruned: usize,
 }
 
 impl<'a> ExhaustiveOptimizer<'a> {
@@ -135,6 +138,21 @@ impl<'a> ExhaustiveOptimizer<'a> {
         }
     }
 
+    /// `lo..=hi` thinned to every `step`-th value, but always containing
+    /// both endpoints. A plain `step_by` can step over `hi` whenever
+    /// `(hi − lo) % step ≠ 0`, silently excluding the cap — on monotone
+    /// curves often the true optimum — from enumeration.
+    fn strided_inclusive(lo: i64, hi: i64, step: i64) -> Vec<i64> {
+        if hi < lo {
+            return Vec::new();
+        }
+        let mut out: Vec<i64> = (lo..=hi).step_by(step.max(1) as usize).collect();
+        if out.last() != Some(&hi) {
+            out.push(hi);
+        }
+        out
+    }
+
     /// Solve under the given objective.
     ///
     /// Panics when the candidate space is empty; fault-tolerant callers
@@ -159,6 +177,7 @@ impl<'a> ExhaustiveOptimizer<'a> {
     fn solve_minmax(&self) -> Option<ExhaustiveResult> {
         let n = self.total_nodes;
         let mut evals = 0usize;
+        let mut pruned = 0usize;
         let mut best: Option<(f64, Allocation)> = None;
 
         // Layout 3 needs no outer enumeration at all.
@@ -170,6 +189,7 @@ impl<'a> ExhaustiveOptimizer<'a> {
                 allocation: Allocation { lnd: nl, ice: ni, atm: na, ocn: no },
                 objective: total,
                 evaluations: 1,
+                pruned: 0,
             });
         }
 
@@ -179,7 +199,7 @@ impl<'a> ExhaustiveOptimizer<'a> {
         let ocn_cap = n - min_atm_side; // leave room for the atm side
         let ocn_candidates = Self::candidates(&self.ocean_allowed, self.floors.ocn, ocn_cap);
 
-        let mut consider_ocn = |n_ocn: i64, evals: &mut usize| -> f64 {
+        let mut consider_ocn = |n_ocn: i64, evals: &mut usize, pruned: &mut usize| -> f64 {
             let atm_budget = n - n_ocn;
             let inner_best = match self.layout {
                 Layout::Hybrid => {
@@ -193,6 +213,7 @@ impl<'a> ExhaustiveOptimizer<'a> {
                             let mut loc: Option<(f64, i64)> = None;
                             for &na in &cands {
                                 if na < min_atm_side {
+                                    *pruned += 1;
                                     continue;
                                 }
                                 *evals += 1;
@@ -224,6 +245,7 @@ impl<'a> ExhaustiveOptimizer<'a> {
                 Layout::FullySequential => unreachable!(),
             };
             let Some((total, na)) = inner_best else {
+                *pruned += 1;
                 return f64::INFINITY;
             };
             let (_, ni, nl) = self.score_minmax(na, n_ocn);
@@ -249,12 +271,12 @@ impl<'a> ExhaustiveOptimizer<'a> {
         match ocn_candidates {
             Some(cands) => {
                 for &no in &cands {
-                    consider_ocn(no, &mut evals);
+                    consider_ocn(no, &mut evals, &mut pruned);
                 }
             }
             None => {
                 // Grid-with-refinement over the big unconstrained range.
-                let f = |no: i64| consider_ocn(no, &mut evals);
+                let f = |no: i64| consider_ocn(no, &mut evals, &mut pruned);
                 let _ = scalar::integer_grid_min(f, 1, ocn_cap, 256);
             }
         }
@@ -264,6 +286,7 @@ impl<'a> ExhaustiveOptimizer<'a> {
             allocation,
             objective,
             evaluations: evals,
+            pruned,
         })
     }
 
@@ -280,17 +303,16 @@ impl<'a> ExhaustiveOptimizer<'a> {
         };
         let cands = Self::candidates(&self.ocean_allowed, self.floors.ocn, ocn_cap)
             .unwrap_or_else(|| {
-                (self.floors.ocn.max(1)..=ocn_cap)
-                    .step_by(((n / 2048).max(1)) as usize)
-                    .collect()
+                Self::strided_inclusive(self.floors.ocn.max(1), ocn_cap, (n / 2048).max(1))
             });
+        let mut pruned = 0usize;
         for &no in &cands {
-            evals += 1;
             let cap = match self.layout {
                 Layout::Hybrid | Layout::SequentialWithOcean => n - no,
                 Layout::FullySequential => n,
             };
             if cap < 3 {
+                pruned += 1;
                 continue;
             }
             let na = match &self.atm_allowed {
@@ -312,6 +334,7 @@ impl<'a> ExhaustiveOptimizer<'a> {
                 _ => cap,
             };
             if inner_cap < 2 {
+                pruned += 1;
                 continue;
             }
             // In layout 1, ice+lnd ≤ n_atm couples them; minimize the sum
@@ -320,6 +343,7 @@ impl<'a> ExhaustiveOptimizer<'a> {
                 Layout::Hybrid => {
                     let (ice_lo, lnd_lo) = (self.floors.ice.max(1), self.floors.lnd.max(1));
                     if inner_cap < ice_lo + lnd_lo {
+                        pruned += 1;
                         continue;
                     }
                     let f = |k: i64| {
@@ -333,6 +357,7 @@ impl<'a> ExhaustiveOptimizer<'a> {
                     self.fits.curve(Component::Lnd).argmin_nodes(self.floors.lnd, inner_cap),
                 ),
             };
+            evals += 1;
             let total = self.t(Component::Ice, ni)
                 + self.t(Component::Lnd, nl)
                 + self.t(Component::Atm, na)
@@ -346,6 +371,7 @@ impl<'a> ExhaustiveOptimizer<'a> {
             allocation,
             objective,
             evaluations: evals,
+            pruned,
         })
     }
 
@@ -356,25 +382,27 @@ impl<'a> ExhaustiveOptimizer<'a> {
         let n = self.total_nodes;
         let mut best: Option<(f64, Allocation)> = None;
         let mut evals = 0usize;
+        let mut pruned = 0usize;
         let cands = Self::candidates(&self.ocean_allowed, self.floors.ocn, n - 3)
             .unwrap_or_else(|| {
-                (self.floors.ocn.max(1)..n - 2)
-                    .step_by(((n / 2048).max(1)) as usize)
-                    .collect()
+                Self::strided_inclusive(self.floors.ocn.max(1), n - 3, (n / 2048).max(1))
             });
         for &no in &cands {
             let na = n - no; // all remaining nodes go to the atm group
             if na < 3 {
+                pruned += 1;
                 continue;
             }
             if let Some(list) = &self.atm_allowed {
                 if !list.contains(&na) {
+                    pruned += 1;
                     continue;
                 }
             }
             // Split ice/lnd to maximize min(T_i, T_l): unimodal again.
             let (ice_lo, lnd_lo) = (self.floors.ice.max(1), self.floors.lnd.max(1));
             if na < ice_lo + lnd_lo {
+                pruned += 1;
                 continue;
             }
             let f = |k: i64| {
@@ -404,6 +432,7 @@ impl<'a> ExhaustiveOptimizer<'a> {
             allocation,
             objective,
             evaluations: evals,
+            pruned,
         })
     }
 }
@@ -423,6 +452,7 @@ mod tests {
             (Component::Atm, mk(30_000.0, 10.0)),
             (Component::Ocn, mk(9_000.0, 5.0)),
         ]))
+        .unwrap()
     }
 
     #[test]
@@ -507,5 +537,34 @@ mod tests {
         // With monotone curves every component takes the max it can.
         assert_eq!(res.allocation.atm, 128);
         assert_eq!(res.allocation.ocn, 128);
+    }
+
+    #[test]
+    fn strided_inclusive_keeps_both_endpoints() {
+        assert_eq!(
+            ExhaustiveOptimizer::strided_inclusive(1, 10, 3),
+            vec![1, 4, 7, 10]
+        );
+        // (hi − lo) % step ≠ 0: hi must still be present.
+        assert_eq!(
+            ExhaustiveOptimizer::strided_inclusive(1, 9, 3),
+            vec![1, 4, 7, 9]
+        );
+        assert_eq!(ExhaustiveOptimizer::strided_inclusive(5, 5, 2), vec![5]);
+        assert!(ExhaustiveOptimizer::strided_inclusive(6, 5, 2).is_empty());
+    }
+
+    #[test]
+    fn coarse_stride_does_not_skip_the_cap() {
+        // Regression: above 4096 candidates the ocean range is thinned by
+        // step = (n/2048).max(1). At n = 6000 that is step 2 starting at
+        // 1 — every candidate odd — so the cap (6000, the optimum on a
+        // monotone-decreasing curve) was silently never evaluated and the
+        // solver returned ocn = 5999.
+        let fits = toy_fits();
+        let opt = ExhaustiveOptimizer::new(&fits, Layout::FullySequential, 6000);
+        let res = opt.solve(Objective::SumTime);
+        assert_eq!(res.allocation.ocn, 6000, "cap excluded from enumeration");
+        assert!(res.evaluations > 0);
     }
 }

@@ -30,13 +30,25 @@ impl FitSet {
         self.curve(c).eval(n as f64)
     }
 
-    /// Worst R² across components — the paper's headline fit-quality
-    /// check ("R² was very close to 1 for each component").
-    pub fn min_r_squared(&self) -> f64 {
+    /// Worst R² across *measured* components — the paper's headline
+    /// fit-quality check ("R² was very close to 1 for each component").
+    ///
+    /// Synthetic fits (see [`FitSet::from_curves`]) carry no data and are
+    /// excluded; `None` means every fit in the set is synthetic, so there
+    /// is no measured quality to report. (The old signature returned
+    /// `f64::INFINITY` in that case, which sailed straight through
+    /// `min_r_squared() > threshold` accuracy gates.)
+    pub fn min_r_squared(&self) -> Option<f64> {
         self.fits
             .values()
+            .filter(|f| !f.synthetic && f.r_squared.is_finite())
             .map(|f| f.r_squared)
-            .fold(f64::INFINITY, f64::min)
+            .fold(None, |acc, r| Some(acc.map_or(r, |m: f64| m.min(r))))
+    }
+
+    /// Are any of the fits synthetic (injected curves, no backing data)?
+    pub fn has_synthetic(&self) -> bool {
+        self.fits.values().any(|f| f.synthetic)
     }
 
     /// Iterate `(component, fit)` pairs in component order.
@@ -46,23 +58,27 @@ impl FitSet {
 
     /// Build a fit set directly from known curves (e.g. for what-if
     /// studies over hypothetical hardware).
-    pub fn from_curves(curves: BTreeMap<Component, ScalingCurve>) -> Self {
+    ///
+    /// All four optimized components must be present — `curve`/`fit`
+    /// index by component, so a partial map would panic deep inside the
+    /// solve step; reject it here with [`HslbError::IncompleteFitSet`].
+    /// The entries are stamped as synthetic (`r_squared = NAN`,
+    /// `points = 0`) so downstream accuracy gates can tell them apart
+    /// from measured fits.
+    pub fn from_curves(curves: BTreeMap<Component, ScalingCurve>) -> Result<Self, HslbError> {
+        let missing: Vec<Component> = Component::OPTIMIZED
+            .iter()
+            .copied()
+            .filter(|c| !curves.contains_key(c))
+            .collect();
+        if !missing.is_empty() {
+            return Err(HslbError::IncompleteFitSet { missing });
+        }
         let fits = curves
             .into_iter()
-            .map(|(c, curve)| {
-                (
-                    c,
-                    ScalingFit {
-                        curve,
-                        r_squared: 1.0,
-                        rmse: 0.0,
-                        sse: 0.0,
-                        points: 0,
-                    },
-                )
-            })
+            .map(|(c, curve)| (c, ScalingFit::synthetic(curve)))
             .collect();
-        FitSet { fits }
+        Ok(FitSet { fits })
     }
 }
 
@@ -93,8 +109,10 @@ mod tests {
         let data = gather(&sim, &[16, 64, 256, 1024, 2048]);
         let fits = fit_all(&data, &ScalingFitOptions::default()).unwrap();
         // All components fit well; ice is the weakest but still decent.
-        assert!(fits.min_r_squared() > 0.95, "min R² = {}", fits.min_r_squared());
+        let min_r2 = fits.min_r_squared().expect("measured fits");
+        assert!(min_r2 > 0.95, "min R² = {min_r2}");
         assert!(fits.fit(Component::Atm).r_squared > 0.99);
+        assert!(!fits.has_synthetic());
     }
 
     #[test]
@@ -123,9 +141,8 @@ mod tests {
         assert!(matches!(err, Err(HslbError::Fit { .. })));
     }
 
-    #[test]
-    fn from_curves_builds_synthetic_set() {
-        let curves: BTreeMap<_, _> = Component::OPTIMIZED
+    fn flat_curves() -> BTreeMap<Component, ScalingCurve> {
+        Component::OPTIMIZED
             .iter()
             .map(|&c| {
                 (
@@ -138,9 +155,47 @@ mod tests {
                     },
                 )
             })
-            .collect();
-        let fits = FitSet::from_curves(curves);
+            .collect()
+    }
+
+    #[test]
+    fn from_curves_builds_synthetic_set() {
+        let fits = FitSet::from_curves(flat_curves()).unwrap();
         assert_eq!(fits.predict(Component::Atm, 100), 2.0);
-        assert_eq!(fits.min_r_squared(), 1.0);
+        // Regression: synthetic fits used to be stamped with fake-perfect
+        // diagnostics (R² = 1.0, points = 0) that accuracy gates could not
+        // distinguish from real fits. They must now be flagged and carry
+        // no measured quality.
+        assert!(fits.has_synthetic());
+        assert_eq!(fits.min_r_squared(), None);
+        let atm = fits.fit(Component::Atm);
+        assert!(atm.synthetic);
+        assert!(atm.r_squared.is_nan());
+        assert_eq!(atm.points, 0);
+    }
+
+    #[test]
+    fn from_curves_rejects_partial_maps() {
+        // Regression: a map missing a component used to construct fine and
+        // then panic on the BTreeMap index inside `curve`/`fit` during the
+        // solve step. Construction must fail instead.
+        let mut curves = flat_curves();
+        curves.remove(&Component::Ocn);
+        curves.remove(&Component::Ice);
+        match FitSet::from_curves(curves) {
+            Err(HslbError::IncompleteFitSet { missing }) => {
+                // Reported in Component::OPTIMIZED order.
+                assert_eq!(missing, vec![Component::Ice, Component::Ocn]);
+            }
+            other => panic!("expected IncompleteFitSet, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_r_squared_is_none_when_nothing_is_measured() {
+        // Regression: the empty/synthetic case used to fold to
+        // f64::INFINITY, which passes any `> threshold` accuracy gate.
+        let fits = FitSet::from_curves(flat_curves()).unwrap();
+        assert_eq!(fits.min_r_squared(), None);
     }
 }

@@ -432,7 +432,7 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        FitSet::from_curves(curves)
+        FitSet::from_curves(curves).unwrap()
     }
 
     #[test]

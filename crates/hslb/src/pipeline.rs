@@ -62,6 +62,11 @@ pub struct HslbOptions {
     pub tsync: Option<f64>,
     /// Retry/backoff policy for benchmark and coupled runs.
     pub retry: RetryPolicy,
+    /// Telemetry sink for pipeline events. Disabled by default;
+    /// instrumentation is strictly passive — the allocation produced is
+    /// bit-identical with or without a sink attached. The same handle is
+    /// injected into the MINLP solver for the solve step.
+    pub telemetry: hslb_telemetry::Telemetry,
 }
 
 impl HslbOptions {
@@ -77,6 +82,7 @@ impl HslbOptions {
             solver: MinlpOptions::default(),
             tsync: None,
             retry: RetryPolicy::default(),
+            telemetry: hslb_telemetry::Telemetry::disabled(),
         }
     }
 }
@@ -142,7 +148,8 @@ impl<'a> Hslb<'a> {
     /// simulator this produces bit-identical data to the historical
     /// gather.
     pub fn gather_resilient(&self) -> (BenchmarkData, GatherReport) {
-        match &self.opts.gather {
+        let _span = self.opts.telemetry.span("gather");
+        let (data, report) = match &self.opts.gather {
             GatherPlan::Reuse(data) => {
                 let mut report = GatherReport::default();
                 for c in Component::OPTIMIZED {
@@ -167,7 +174,34 @@ impl<'a> Hslb<'a> {
                     .collect();
                 self.gather_at(&counts)
             }
+        };
+        self.emit_gather_telemetry(&report);
+        (data, report)
+    }
+
+    /// Campaign-level gather accounting for the telemetry sink.
+    fn emit_gather_telemetry(&self, report: &GatherReport) {
+        let tel = &self.opts.telemetry;
+        if !tel.is_enabled() {
+            return;
         }
+        tel.counter_add("gather.attempts", report.attempts as u64);
+        tel.counter_add("gather.succeeded", report.succeeded as u64);
+        tel.counter_add("gather.failed_runs", report.failed_runs as u64);
+        tel.counter_add("gather.hung_runs", report.hung_runs as u64);
+        tel.counter_add("gather.garbage_discarded", report.garbage_discarded as u64);
+        tel.counter_add("gather.retried_points", report.retried_points as u64);
+        tel.counter_add("gather.substituted_points", report.substituted_points as u64);
+        tel.counter_add("gather.abandoned_points", report.abandoned_points as u64);
+        tel.point(
+            "gather.done",
+            &[
+                ("backoff_s", report.backoff_seconds),
+                ("wasted_s", report.wasted_seconds),
+                ("min_points", report.min_component_points() as f64),
+            ],
+            &[],
+        );
     }
 
     fn gather_at(&self, counts: &[i64]) -> (BenchmarkData, GatherReport) {
@@ -222,10 +256,14 @@ impl<'a> Hslb<'a> {
         report: &mut GatherReport,
     ) -> Option<f64> {
         let policy = &self.opts.retry;
+        let tel = &self.opts.telemetry;
+        let component = c.to_string();
         let mut retried = false;
         for attempt in 0..policy.max_attempts.max(1) {
             if attempt > 0 {
-                report.backoff_seconds += policy.backoff_before(attempt);
+                let wait = policy.backoff_before(attempt);
+                report.backoff_seconds += wait;
+                tel.record("gather.backoff_s", wait);
                 if !retried {
                     report.retried_points += 1;
                     retried = true;
@@ -233,21 +271,43 @@ impl<'a> Hslb<'a> {
             }
             report.attempts += 1;
             let run_id = base_run + (attempt as u64) * 1000;
-            match self
+            let t0 = std::time::Instant::now();
+            let res = self
                 .sim
-                .try_component_time(c, nodes, run_id, policy.run_budget_seconds)
-            {
+                .try_component_time(c, nodes, run_id, policy.run_budget_seconds);
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let emit = |status: &str, secs: f64| {
+                tel.point(
+                    "gather.run",
+                    &[
+                        ("nodes", nodes as f64),
+                        ("secs", secs),
+                        ("attempt", attempt as f64),
+                        ("wall_ms", wall_ms),
+                    ],
+                    &[("component", &component), ("status", status)],
+                );
+            };
+            match res {
                 Ok(secs) if policy.plausible(secs) => {
                     report.succeeded += 1;
+                    emit("ok", secs);
                     return Some(secs);
                 }
-                Ok(_) => report.garbage_discarded += 1,
-                Err(BenchFault::Failed { .. }) => report.failed_runs += 1,
+                Ok(secs) => {
+                    report.garbage_discarded += 1;
+                    emit("garbage", secs);
+                }
+                Err(BenchFault::Failed { .. }) => {
+                    report.failed_runs += 1;
+                    emit("failed", f64::NAN);
+                }
                 Err(BenchFault::Hung {
                     elapsed_seconds, ..
                 }) => {
                     report.hung_runs += 1;
                     report.wasted_seconds += elapsed_seconds;
+                    emit("hung", elapsed_seconds);
                 }
             }
         }
@@ -276,7 +336,23 @@ impl<'a> Hslb<'a> {
 
     /// Step 2: fit the four performance curves.
     pub fn fit(&self, data: &BenchmarkData) -> Result<FitSet, HslbError> {
-        fit_all(data, &self.opts.fit)
+        let _span = self.opts.telemetry.span("fit");
+        let fits = fit_all(data, &self.opts.fit)?;
+        if self.opts.telemetry.is_enabled() {
+            for (c, f) in fits.iter() {
+                self.opts.telemetry.point(
+                    "fit.component",
+                    &[
+                        ("r2", f.r_squared),
+                        ("points", f.points as f64),
+                        ("lm_iterations", f.lm_iterations as f64),
+                        ("basin_hits", f.basin_hits as f64),
+                    ],
+                    &[("component", &c.to_string())],
+                );
+            }
+        }
+        Ok(fits)
     }
 
     /// Step 3: solve for the optimal allocation given fitted curves.
@@ -290,8 +366,7 @@ impl<'a> Hslb<'a> {
         if self.opts.objective.is_convex_minlp() {
             self.solve_minlp(fits).map(|(outcome, _)| outcome)
         } else {
-            self.exhaustive(fits)
-                .try_solve(self.opts.objective)
+            self.solve_exhaustive(fits)
                 .map(|res| self.outcome(fits, res.allocation, None))
                 .ok_or_else(|| HslbError::Infeasible {
                     detail: format!(
@@ -300,6 +375,17 @@ impl<'a> Hslb<'a> {
                     ),
                 })
         }
+    }
+
+    /// The enumeration rung, with its candidate accounting forwarded to
+    /// the telemetry sink.
+    fn solve_exhaustive(&self, fits: &FitSet) -> Option<crate::exhaustive::ExhaustiveResult> {
+        let res = self.exhaustive(fits).try_solve(self.opts.objective);
+        if let Some(r) = &res {
+            self.opts.telemetry.counter_add("exhaustive.evaluated", r.evaluations as u64);
+            self.opts.telemetry.counter_add("exhaustive.pruned", r.pruned as u64);
+        }
+        res
     }
 
     fn exhaustive<'f>(&self, fits: &'f FitSet) -> ExhaustiveOptimizer<'f> {
@@ -328,10 +414,16 @@ impl<'a> Hslb<'a> {
             },
         )?;
         let ir = hslb_minlp::compile(&lm.model)?;
-        let sol = if self.opts.solver.threads > 1 {
-            hslb_minlp::solve_parallel(&ir, &self.opts.solver)
+        // Hand the pipeline's sink to the solver unless the caller
+        // already wired a dedicated one into the solver options.
+        let mut solver = self.opts.solver.clone();
+        if !solver.telemetry.is_enabled() {
+            solver.telemetry = self.opts.telemetry.clone();
+        }
+        let sol = if solver.threads > 1 {
+            hslb_minlp::solve_parallel(&ir, &solver)
         } else {
-            hslb_minlp::solve(&ir, &self.opts.solver)
+            hslb_minlp::solve(&ir, &solver)
         };
         match sol.status {
             MinlpStatus::Optimal => {
@@ -380,17 +472,30 @@ impl<'a> Hslb<'a> {
                     return Some((outcome, SolverRung::Minlp));
                 }
                 Err(e) => {
+                    self.opts.telemetry.point(
+                        "ladder.fallback",
+                        &[],
+                        &[("from", "minlp"), ("cause", &e.to_string())],
+                    );
                     fallbacks.push(format!("MINLP rung: {e}"));
                     *degraded = true;
                 }
             }
         }
-        match self.exhaustive(fits).try_solve(self.opts.objective) {
+        match self.solve_exhaustive(fits) {
             Some(res) => Some((
                 self.outcome(fits, res.allocation, None),
                 SolverRung::Exhaustive,
             )),
             None => {
+                self.opts.telemetry.point(
+                    "ladder.fallback",
+                    &[],
+                    &[
+                        ("from", "exhaustive"),
+                        ("cause", "no feasible candidate allocation"),
+                    ],
+                );
                 fallbacks.push("exhaustive rung: no feasible candidate allocation".into());
                 None
             }
@@ -462,6 +567,7 @@ impl<'a> Hslb<'a> {
     /// every ladder rung exhausted, or the final allocation's coupled
     /// run failing every retry.
     pub fn run(&self, manual: Option<Allocation>) -> Result<ExperimentReport, HslbError> {
+        let _pipeline = self.opts.telemetry.span("pipeline");
         let (data, gather) = self.gather_resilient();
         let mut fallbacks: Vec<String> = Vec::new();
         let mut degraded = gather.degraded(self.opts.retry.min_points);
@@ -470,11 +576,17 @@ impl<'a> Hslb<'a> {
         let fits = match self.fit(&data) {
             Ok(f) => Some(f),
             Err(e) => {
+                self.opts.telemetry.point(
+                    "ladder.fallback",
+                    &[],
+                    &[("from", "fit"), ("cause", &e.to_string())],
+                );
                 fallbacks.push(format!("fit rung: {e}"));
                 None
             }
         };
 
+        let solve_span = self.opts.telemetry.span("solve");
         let solved = fits
             .as_ref()
             .and_then(|f| self.solve_ladder(f, &mut fallbacks, &mut degraded));
@@ -502,10 +614,18 @@ impl<'a> Hslb<'a> {
                 }
             }
         };
+        self.opts.telemetry.point(
+            "ladder.rung",
+            &[("degraded", f64::from(u8::from(degraded)))],
+            &[("rung", &rung.to_string())],
+        );
+        drop(solve_span);
 
+        let execute_span = self.opts.telemetry.span("execute");
         let (actual, execute_attempts) = self
             .execute_with_retry(&allocation, 0xE0)
             .map_err(|detail| HslbError::Execute { detail })?;
+        drop(execute_span);
 
         let manual_arm = match manual {
             Some(alloc) => match self.execute_with_retry(&alloc, 0xA0) {

@@ -50,12 +50,14 @@ impl ExperimentReport {
         Some(100.0 * (p - self.hslb.actual_total).abs() / self.hslb.actual_total)
     }
 
-    /// Worst fit R² across components.
-    pub fn min_r_squared(&self) -> f64 {
+    /// Worst fit R² across components; `None` when no component carries a
+    /// finite measured R² (e.g. every fit was synthetic).
+    pub fn min_r_squared(&self) -> Option<f64> {
         self.fits
             .iter()
             .map(|&(_, _, r2)| r2)
-            .fold(f64::INFINITY, f64::min)
+            .filter(|r2| r2.is_finite())
+            .fold(None, |acc, r| Some(acc.map_or(r, |m: f64| m.min(r))))
     }
 }
 

@@ -136,6 +136,7 @@ mod tests {
             (Component::Atm, mk(30_000.0, 10.0)),
             (Component::Ocn, mk(9_000.0, 5.0)),
         ]))
+        .unwrap()
     }
 
     #[test]

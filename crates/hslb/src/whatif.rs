@@ -138,7 +138,8 @@ pub fn predict_component_swap(
         .map(|&c| (c, fits.curve(c)))
         .collect();
     curves.insert(component, replacement);
-    let swapped = FitSet::from_curves(curves);
+    let swapped =
+        FitSet::from_curves(curves).expect("curve map covers every optimized component");
     let after = ExhaustiveOptimizer::new(&swapped, layout, total_nodes)
         .solve(Objective::MinMax)
         .objective;
@@ -160,6 +161,7 @@ mod tests {
             (Component::Atm, mk(30_000.0, 10.0)),
             (Component::Ocn, mk(9_000.0, 5.0)),
         ]))
+        .unwrap()
     }
 
     #[test]
@@ -188,7 +190,8 @@ mod tests {
             (Component::Lnd, mk(500.0, 50.0)),
             (Component::Atm, mk(2_000.0, 100.0)),
             (Component::Ocn, mk(1_000.0, 80.0)),
-        ]));
+        ]))
+        .unwrap();
         let res = optimal_node_count(&fits, Layout::Hybrid, 8, 65_536, 0.8);
         assert!(res.nodes < 65_536, "should stop early, got {}", res.nodes);
         // A scalable model keeps going further.

@@ -89,6 +89,25 @@ pub(crate) struct Processed {
     pub relax_bound: f64,
 }
 
+/// Publish a driver's final work counters to the telemetry sink. Workers
+/// in the parallel driver call this with their *local* tallies, so the
+/// sink's totals equal the merged [`SolveStats`] regardless of thread
+/// count.
+pub(crate) fn emit_stats_counters(tel: &hslb_telemetry::Telemetry, stats: &SolveStats) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.counter_add("minlp.nodes", stats.nodes as u64);
+    tel.counter_add("minlp.lp_solves", stats.lp_solves as u64);
+    tel.counter_add("minlp.simplex_iters", stats.simplex_iters as u64);
+    tel.counter_add("minlp.cuts", stats.cuts as u64);
+    tel.counter_add("minlp.incumbents", stats.incumbents as u64);
+    tel.counter_add(
+        "minlp.pruned",
+        (stats.pruned_by_bound + stats.pruned_infeasible) as u64,
+    );
+}
+
 /// Resolve a node's effective bounds; `None` when an intersection is empty
 /// (node trivially infeasible).
 pub(crate) fn node_bounds(ir: &Ir, node: &Node) -> Option<(Vec<f64>, Vec<f64>)> {
@@ -599,6 +618,7 @@ pub fn solve(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
         stats.simplex_iters += processed.simplex_iters;
         if !processed.new_cuts.is_empty() {
             stats.cuts += nlp::absorb_cuts(&mut pool, processed.new_cuts, 1e-9);
+            opts.telemetry.record("minlp.cut_pool", pool.len() as f64);
         }
         match processed.outcome {
             NodeOutcome::Pruned { infeasible } => {
@@ -611,6 +631,11 @@ pub fn solve(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
             NodeOutcome::Incumbent { x, obj } => {
                 if incumbent.as_ref().is_none_or(|(best, _)| obj < *best) {
                     stats.incumbents += 1;
+                    opts.telemetry.point(
+                        "minlp.incumbent",
+                        &[("obj", obj), ("node", stats.nodes as f64)],
+                        &[("driver", "serial")],
+                    );
                     incumbent = Some((obj, x));
                 }
             }
@@ -628,6 +653,23 @@ pub fn solve(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
     }
 
     stats.wall = t0.elapsed();
+    emit_stats_counters(&opts.telemetry, &stats);
+    if opts.telemetry.is_enabled() {
+        let secs = stats.wall.as_secs_f64();
+        opts.telemetry.point(
+            "minlp.done",
+            &[
+                ("nodes", stats.nodes as f64),
+                (
+                    "nodes_per_sec",
+                    if secs > 0.0 { stats.nodes as f64 / secs } else { 0.0 },
+                ),
+                ("wall_ms", secs * 1e3),
+                ("cut_pool", pool.len() as f64),
+            ],
+            &[("driver", "serial")],
+        );
+    }
     let exhausted = heap.is_empty() && stack.is_empty();
     match incumbent {
         Some((obj, x)) => {

@@ -81,6 +81,11 @@ pub struct MinlpOptions {
     /// Print a progress line to stderr every `n` processed nodes
     /// (`None` = silent). Serial driver only.
     pub log_every: Option<usize>,
+    /// Telemetry sink for solver events (incumbent timeline, cut-pool
+    /// growth, per-worker utilization). Disabled by default; the solve
+    /// path is identical either way — instrumentation is strictly
+    /// passive.
+    pub telemetry: hslb_telemetry::Telemetry,
 }
 
 impl Default for MinlpOptions {
@@ -101,6 +106,7 @@ impl Default for MinlpOptions {
             max_kelley_iters: 120,
             threads: 1,
             log_every: None,
+            telemetry: hslb_telemetry::Telemetry::disabled(),
         }
     }
 }

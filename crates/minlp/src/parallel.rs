@@ -155,10 +155,13 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
         (0..nthreads).map(|_| Mutex::new(SolveStats::default())).collect();
 
     crossbeam::thread::scope(|scope| {
-        for stats_slot in &worker_stats {
+        for (worker_id, stats_slot) in worker_stats.iter().enumerate() {
             let shared = &shared;
             let pc = &pc;
+            let telemetry = opts.telemetry.clone();
             scope.spawn(move |_| {
+                let worker_t0 = std::time::Instant::now();
+                let mut busy_time = std::time::Duration::ZERO;
                 let mut local = SolveStats::default();
                 loop {
                     // Pop under the lock, marking busy *before* releasing
@@ -205,7 +208,9 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
                     }
 
                     let snapshot: Vec<Cut> = shared.pool.read().clone();
+                    let node_t0 = std::time::Instant::now();
                     let processed = process_node(ir, opts, &node, &snapshot, cutoff, pc);
+                    busy_time += node_t0.elapsed();
                     if let Some((v, frac, dir)) = node.branch {
                         if processed.relax_bound.is_finite() && node.bound.is_finite() {
                             pc.update(v, dir, frac, processed.relax_bound - node.bound);
@@ -216,11 +221,12 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
                     local.lp_solves += processed.lp_solves;
                     local.simplex_iters += processed.simplex_iters;
                     if !processed.new_cuts.is_empty() {
-                        local.cuts += nlp::absorb_cuts(
-                            &mut shared.pool.write(),
-                            processed.new_cuts,
-                            1e-9,
-                        );
+                        let pool_len = {
+                            let mut pool = shared.pool.write();
+                            local.cuts += nlp::absorb_cuts(&mut pool, processed.new_cuts, 1e-9);
+                            pool.len()
+                        };
+                        telemetry.record("minlp.cut_pool", pool_len as f64);
                     }
                     match processed.outcome {
                         NodeOutcome::Pruned { infeasible } => {
@@ -235,6 +241,11 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
                             if inc.as_ref().is_none_or(|(best, _)| obj < *best) {
                                 local.incumbents += 1;
                                 *inc = Some((obj, x));
+                                telemetry.point(
+                                    "minlp.incumbent",
+                                    &[("obj", obj), ("worker", worker_id as f64)],
+                                    &[("driver", "parallel")],
+                                );
                             }
                         }
                         NodeOutcome::Branched { children, sos } => {
@@ -256,6 +267,25 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
                         }
                     }
                     shared.busy.fetch_sub(1, Ordering::SeqCst);
+                }
+                // Each worker publishes its own tallies — the sink's
+                // totals must match the merged stats under any thread
+                // count (exercised by the telemetry integration tests).
+                crate::bb::emit_stats_counters(&telemetry, &local);
+                if telemetry.is_enabled() {
+                    let wall = worker_t0.elapsed().as_secs_f64();
+                    let busy = busy_time.as_secs_f64();
+                    telemetry.point(
+                        "minlp.worker",
+                        &[
+                            ("worker", worker_id as f64),
+                            ("nodes", local.nodes as f64),
+                            ("busy_ms", busy * 1e3),
+                            ("wall_ms", wall * 1e3),
+                            ("utilization", if wall > 0.0 { busy / wall } else { 0.0 }),
+                        ],
+                        &[("driver", "parallel")],
+                    );
                 }
                 *stats_slot.lock() = local;
             });
@@ -281,6 +311,35 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
         stats.int_branches += s.int_branches;
     }
     stats.wall = t0.elapsed();
+
+    // Workers published their local tallies; the root relaxation's work
+    // happened on this thread and still needs accounting for the sink's
+    // totals to equal the merged stats.
+    crate::bb::emit_stats_counters(
+        &opts.telemetry,
+        &SolveStats {
+            lp_solves: root_relax.lp_solves,
+            simplex_iters: root_relax.simplex_iters,
+            cuts: root_relax.new_cuts.len(),
+            ..Default::default()
+        },
+    );
+    if opts.telemetry.is_enabled() {
+        let secs = stats.wall.as_secs_f64();
+        opts.telemetry.point(
+            "minlp.done",
+            &[
+                ("nodes", stats.nodes as f64),
+                (
+                    "nodes_per_sec",
+                    if secs > 0.0 { stats.nodes as f64 / secs } else { 0.0 },
+                ),
+                ("wall_ms", secs * 1e3),
+                ("threads", nthreads as f64),
+            ],
+            &[("driver", "parallel")],
+        );
+    }
 
     let timed_out = shared.timed_out.load(Ordering::SeqCst);
     let exhausted = stats.nodes < opts.node_limit && !timed_out;

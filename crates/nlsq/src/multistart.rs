@@ -90,6 +90,20 @@ fn generate_starts<M: ResidualModel>(
     out
 }
 
+/// Aggregate diagnostics over one multistart run, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultistartReport {
+    /// Number of starting points actually run.
+    pub starts: usize,
+    /// How many starts converged into the winning basin (cost within
+    /// 0.1 % of the best). The paper's §III-C observation — "the solution
+    /// value of the problem did not vary significantly" — shows up here as
+    /// `basin_hits ≈ starts`.
+    pub basin_hits: usize,
+    /// Total LM iterations summed over every start.
+    pub total_iterations: usize,
+}
+
 /// Fit from `starts` starting points; return the lowest-cost result.
 ///
 /// With `threads > 1`, the starts are distributed over scoped worker
@@ -101,6 +115,15 @@ pub fn multistart_fit<M: ResidualModel + Sync>(
     p0: &[f64],
     opts: &MultistartOptions,
 ) -> LmResult {
+    multistart_fit_report(model, p0, opts).0
+}
+
+/// [`multistart_fit`] plus the per-run [`MultistartReport`].
+pub fn multistart_fit_report<M: ResidualModel + Sync>(
+    model: &M,
+    p0: &[f64],
+    opts: &MultistartOptions,
+) -> (LmResult, MultistartReport) {
     let starts = generate_starts(model, p0, opts.starts.max(1), opts.seed);
     let results: Vec<(usize, LmResult)> = if opts.threads <= 1 {
         starts
@@ -111,13 +134,28 @@ pub fn multistart_fit<M: ResidualModel + Sync>(
     } else {
         parallel_runs(model, &starts, opts)
     };
-    results
-        .into_iter()
+    let total_iterations = results.iter().map(|(_, r)| r.iterations).sum();
+    let best = results
+        .iter()
         .min_by(|(ia, a), (ib, b)| {
             hslb_numerics::float::cmp_f64(a.cost, b.cost).then(ia.cmp(ib))
         })
         .expect("at least one start")
         .1
+        .clone();
+    let tol = 1e-3 * best.cost.abs() + 1e-12;
+    let basin_hits = results
+        .iter()
+        .filter(|(_, r)| (r.cost - best.cost).abs() <= tol)
+        .count();
+    (
+        best,
+        MultistartReport {
+            starts: results.len(),
+            basin_hits,
+            total_iterations,
+        },
+    )
 }
 
 fn parallel_runs<M: ResidualModel + Sync>(

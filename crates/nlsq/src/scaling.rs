@@ -1,7 +1,7 @@
 //! The paper's performance model `T(n) = a/n + b·n^c + d` and its fit.
 
 use crate::lm::{LmOptions, ResidualModel};
-use crate::multistart::{multistart_fit, MultistartOptions};
+use crate::multistart::{multistart_fit_report, MultistartOptions};
 use hslb_numerics::{stats, Matrix};
 
 /// A fitted performance curve `T(n) = a/n + b·n^c + d`.
@@ -52,14 +52,42 @@ impl ScalingCurve {
 pub struct ScalingFit {
     /// The fitted curve.
     pub curve: ScalingCurve,
-    /// Coefficient of determination against the fitted data.
+    /// Coefficient of determination against the fitted data. `NAN` for
+    /// synthetic fits (no data backs them).
     pub r_squared: f64,
-    /// Root-mean-square error in seconds.
+    /// Root-mean-square error in seconds (`NAN` for synthetic fits).
     pub rmse: f64,
     /// Sum of squared residuals (the objective of Table II line 10).
     pub sse: f64,
-    /// Number of data points used.
+    /// Number of data points used (0 for synthetic fits).
     pub points: usize,
+    /// Total Levenberg–Marquardt iterations across all multistart runs.
+    pub lm_iterations: usize,
+    /// Starts that converged into the winning basin (see
+    /// [`crate::MultistartReport::basin_hits`]).
+    pub basin_hits: usize,
+    /// True when the curve was injected rather than fitted — the
+    /// degraded-accuracy path downstream must not mistake it for a
+    /// measured fit.
+    pub synthetic: bool,
+}
+
+impl ScalingFit {
+    /// Wrap a hand-written curve as a fit with no backing data. Quality
+    /// diagnostics are `NAN`/0 and [`ScalingFit::synthetic`] is set, so
+    /// accuracy gates can tell it apart from a real fit.
+    pub fn synthetic(curve: ScalingCurve) -> ScalingFit {
+        ScalingFit {
+            curve,
+            r_squared: f64::NAN,
+            rmse: f64::NAN,
+            sse: f64::NAN,
+            points: 0,
+            lm_iterations: 0,
+            basin_hits: 0,
+            synthetic: true,
+        }
+    }
 }
 
 /// Options for [`fit_scaling`].
@@ -217,7 +245,7 @@ pub fn fit_scaling(data: &[(f64, f64)], opts: &ScalingFitOptions) -> Result<Scal
         threads: opts.threads,
         lm: LmOptions::default(),
     };
-    let res = multistart_fit(&model, &p0, &ms);
+    let (res, report) = multistart_fit_report(&model, &p0, &ms);
 
     let curve = ScalingCurve {
         a: res.params[0],
@@ -233,6 +261,9 @@ pub fn fit_scaling(data: &[(f64, f64)], opts: &ScalingFitOptions) -> Result<Scal
         rmse: stats::rmse(&observed, &predicted).unwrap_or(f64::NAN),
         sse: res.cost,
         points: data.len(),
+        lm_iterations: report.total_iterations,
+        basin_hits: report.basin_hits,
+        synthetic: false,
     })
 }
 

@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "target 512 nodes → {} (predicted {:.1}s, min R² {:.4})",
         solved.allocation,
         solved.predicted_total,
-        fits.min_r_squared()
+        fits.min_r_squared().unwrap_or(f64::NAN)
     );
 
     // Sanity-check against an actual (simulated) run.

@@ -26,4 +26,13 @@ fi
 echo "==> cargo test"
 cargo test -q --workspace
 
+if [[ $fast -eq 0 ]]; then
+    echo "==> bench-suite smoke + schema validation"
+    smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
+    trap 'rm -f "$smoke_out"' EXIT
+    cargo run --release -q -p hslb-bench --bin bench-suite -- --smoke --out "$smoke_out"
+    cargo run --release -q -p hslb-bench --bin bench-suite -- --validate "$smoke_out"
+    cargo run --release -q -p hslb-bench --bin bench-suite -- --validate BENCH_pipeline.json
+fi
+
 echo "==> all checks passed"

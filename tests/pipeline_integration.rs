@@ -10,7 +10,8 @@ fn full_pipeline_one_degree_128() {
     let report = pipeline.run(manual).expect("pipeline succeeds");
 
     // Fit quality: "R² was very close to 1 for each component".
-    assert!(report.min_r_squared() > 0.95, "min R² = {}", report.min_r_squared());
+    let min_r2 = report.min_r_squared().expect("measured fits");
+    assert!(min_r2 > 0.95, "min R² = {min_r2}");
 
     // HSLB's prediction tracks the actual run (paper: within a few %).
     assert!(
