@@ -7,7 +7,7 @@
 
 use hslb::{Hslb, HslbOptions, Objective};
 use hslb_bench::simulator_for;
-use hslb_cesm::{Component, Resolution};
+use hslb_cesm::{Layout, Resolution};
 
 fn main() {
     let sim = simulator_for(Resolution::OneDegree, true);
@@ -19,13 +19,7 @@ fn main() {
     for target in [128i64, 512, 2048] {
         let h = Hslb::new(&sim, HslbOptions::new(target));
         let fits = h.fit(&h.gather()).expect("fit");
-        let makespan = |a: &hslb_cesm::Allocation| {
-            let icelnd = fits
-                .predict(Component::Ice, a.ice)
-                .max(fits.predict(Component::Lnd, a.lnd));
-            (icelnd + fits.predict(Component::Atm, a.atm))
-                .max(fits.predict(Component::Ocn, a.ocn))
-        };
+        let makespan = |a: &hslb_cesm::Allocation| fits.predicted_total(Layout::Hybrid, a);
         let mut baseline = None;
         for objective in [Objective::MinMax, Objective::MaxMin, Objective::SumTime] {
             let mut opts = HslbOptions::new(target);

@@ -50,7 +50,7 @@ fn main() {
     // The decomposed terms the paper illustrates in the inset: the
     // scalable, nonlinear and serial contributions at a few node counts.
     println!("\n# term decomposition for atm (inset of Figure 2)");
-    let atm = fits.curve(Component::Atm);
+    let atm = fits.optimized_curve(Component::Atm);
     for n in [16.0, 128.0, 1024.0] {
         println!(
             "n={n:>6}: sca={:.3} nln={:.3} ser={:.3}",

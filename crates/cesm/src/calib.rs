@@ -17,7 +17,7 @@
 
 use crate::component::Component;
 use crate::grid::Resolution;
-use hslb_nlsq::{fit_scaling, ScalingCurve, ScalingFitOptions};
+use hslb_nlsq::{fit_scaling, EarlyStopPolicy, ScalingCurve, ScalingFitOptions};
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
@@ -99,12 +99,25 @@ pub fn observations(r: Resolution, c: Component) -> &'static [(f64, f64)] {
     }
 }
 
-fn fit_truth(r: Resolution) -> BTreeMap<Component, ScalingCurve> {
-    let opts = ScalingFitOptions {
+/// Fit options for the ground-truth calibration. The early-stop fast
+/// path is on: the fitted curves are bit-identical with it off (asserted
+/// by `ground_truth_bits_are_independent_of_early_stop` below), it just
+/// skips the redundant starts that used to make the first calibration
+/// cost 16–25 ms.
+fn truth_fit_options(r: Resolution, early_stop: Option<EarlyStopPolicy>) -> ScalingFitOptions {
+    ScalingFitOptions {
         starts: 32,
         seed: 0xCE5B_0001 ^ r as u64,
+        early_stop,
         ..Default::default()
-    };
+    }
+}
+
+fn fit_truth_with(
+    r: Resolution,
+    early_stop: Option<EarlyStopPolicy>,
+) -> BTreeMap<Component, ScalingCurve> {
+    let opts = truth_fit_options(r, early_stop);
     Component::OPTIMIZED
         .iter()
         .map(|&c| {
@@ -115,7 +128,12 @@ fn fit_truth(r: Resolution) -> BTreeMap<Component, ScalingCurve> {
         .collect()
 }
 
-/// Ground-truth curves for a resolution, fitted once and cached.
+fn fit_truth(r: Resolution) -> BTreeMap<Component, ScalingCurve> {
+    fit_truth_with(r, Some(EarlyStopPolicy::default()))
+}
+
+/// Ground-truth curves for a resolution, fitted once and shared behind a
+/// `OnceLock` by every simulator in the process.
 pub fn ground_truth(r: Resolution) -> &'static BTreeMap<Component, ScalingCurve> {
     static ONE: OnceLock<BTreeMap<Component, ScalingCurve>> = OnceLock::new();
     static EIGHTH: OnceLock<BTreeMap<Component, ScalingCurve>> = OnceLock::new();
@@ -123,6 +141,14 @@ pub fn ground_truth(r: Resolution) -> &'static BTreeMap<Component, ScalingCurve>
         Resolution::OneDegree => ONE.get_or_init(|| fit_truth(Resolution::OneDegree)),
         Resolution::EighthDegree => EIGHTH.get_or_init(|| fit_truth(Resolution::EighthDegree)),
     }
+}
+
+/// Force both resolutions' calibration fits now, off any measured path.
+/// `Simulator::new` prewarms its own resolution; call this to move the
+/// whole one-time cost to process startup instead.
+pub fn prewarm() {
+    ground_truth(Resolution::OneDegree);
+    ground_truth(Resolution::EighthDegree);
 }
 
 /// The coupler/river overhead fraction applied to simulated total times.
@@ -273,6 +299,31 @@ mod tests {
         let a = ground_truth(Resolution::OneDegree) as *const _;
         let b = ground_truth(Resolution::OneDegree) as *const _;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ground_truth_bits_are_independent_of_early_stop() {
+        // The calibration fast path must not move the ground truth by a
+        // single bit: every simulated timing in the workspace descends
+        // from these curves.
+        for r in [Resolution::OneDegree, Resolution::EighthDegree] {
+            let fast = fit_truth_with(r, Some(EarlyStopPolicy::default()));
+            let full = fit_truth_with(r, None);
+            for &c in &Component::OPTIMIZED {
+                let (f, g) = (&fast[&c], &full[&c]);
+                assert_eq!(f.a.to_bits(), g.a.to_bits(), "{r:?}/{c} a");
+                assert_eq!(f.b.to_bits(), g.b.to_bits(), "{r:?}/{c} b");
+                assert_eq!(f.c.to_bits(), g.c.to_bits(), "{r:?}/{c} c");
+                assert_eq!(f.d.to_bits(), g.d.to_bits(), "{r:?}/{c} d");
+            }
+        }
+    }
+
+    #[test]
+    fn prewarm_populates_both_resolutions() {
+        prewarm();
+        assert_eq!(ground_truth(Resolution::OneDegree).len(), 4);
+        assert_eq!(ground_truth(Resolution::EighthDegree).len(), 4);
     }
 
     #[test]

@@ -15,6 +15,11 @@ pub enum HslbError {
     IncompleteFitSet {
         missing: Vec<hslb_cesm::Component>,
     },
+    /// A curve was requested for a component the fit set does not carry
+    /// (the coupler, say — only optimized components are fitted).
+    MissingFit {
+        component: hslb_cesm::Component,
+    },
     /// Model construction failed.
     Model(hslb_model::ModelError),
     /// The MINLP could not be compiled for the solver.
@@ -45,6 +50,9 @@ impl std::fmt::Display for HslbError {
             HslbError::IncompleteFitSet { missing } => {
                 let names: Vec<String> = missing.iter().map(|c| c.to_string()).collect();
                 write!(f, "fit set is missing components: [{}]", names.join(", "))
+            }
+            HslbError::MissingFit { component } => {
+                write!(f, "no fitted curve for component {component}")
             }
             HslbError::Model(e) => write!(f, "building layout model: {e}"),
             HslbError::Compile(e) => write!(f, "compiling MINLP: {e}"),

@@ -101,9 +101,9 @@ impl<'a> ExhaustiveOptimizer<'a> {
                 // convex decreasing-then-flat curves *except* for the b·n^c
                 // term — optimize each independently over [1, n_atm].
                 let cap = n_atm; // caller passes cap = N − n_ocn here
-                let ni = self.fits.curve(Component::Ice).argmin_nodes(self.floors.ice, cap);
-                let nl = self.fits.curve(Component::Lnd).argmin_nodes(self.floors.lnd, cap);
-                let na = self.fits.curve(Component::Atm).argmin_nodes(self.floors.atm, cap);
+                let ni = self.fits.optimized_curve(Component::Ice).argmin_nodes(self.floors.ice, cap);
+                let nl = self.fits.optimized_curve(Component::Lnd).argmin_nodes(self.floors.lnd, cap);
+                let na = self.fits.optimized_curve(Component::Atm).argmin_nodes(self.floors.atm, cap);
                 let seq = self.t(Component::Ice, ni)
                     + self.t(Component::Lnd, nl)
                     + self.t(Component::Atm, na);
@@ -111,10 +111,10 @@ impl<'a> ExhaustiveOptimizer<'a> {
             }
             Layout::FullySequential => {
                 let cap = self.total_nodes;
-                let ni = self.fits.curve(Component::Ice).argmin_nodes(self.floors.ice, cap);
-                let nl = self.fits.curve(Component::Lnd).argmin_nodes(self.floors.lnd, cap);
-                let na = self.fits.curve(Component::Atm).argmin_nodes(self.floors.atm, cap);
-                let no = self.fits.curve(Component::Ocn).argmin_nodes(self.floors.ocn, cap);
+                let ni = self.fits.optimized_curve(Component::Ice).argmin_nodes(self.floors.ice, cap);
+                let nl = self.fits.optimized_curve(Component::Lnd).argmin_nodes(self.floors.lnd, cap);
+                let na = self.fits.optimized_curve(Component::Atm).argmin_nodes(self.floors.atm, cap);
+                let no = self.fits.optimized_curve(Component::Ocn).argmin_nodes(self.floors.ocn, cap);
                 let total = self.t(Component::Ice, ni)
                     + self.t(Component::Lnd, nl)
                     + self.t(Component::Atm, na)
@@ -183,8 +183,8 @@ impl<'a> ExhaustiveOptimizer<'a> {
         // Layout 3 needs no outer enumeration at all.
         if self.layout == Layout::FullySequential {
             let (total, ni, nl) = self.score_minmax(0, 0);
-            let na = self.fits.curve(Component::Atm).argmin_nodes(self.floors.atm, n);
-            let no = self.fits.curve(Component::Ocn).argmin_nodes(self.floors.ocn, n);
+            let na = self.fits.optimized_curve(Component::Atm).argmin_nodes(self.floors.atm, n);
+            let no = self.fits.optimized_curve(Component::Ocn).argmin_nodes(self.floors.ocn, n);
             return Some(ExhaustiveResult {
                 allocation: Allocation { lnd: nl, ice: ni, atm: na, ocn: no },
                 objective: total,
@@ -254,9 +254,9 @@ impl<'a> ExhaustiveOptimizer<'a> {
                 Layout::SequentialWithOcean => {
                     let cap = atm_budget;
                     Allocation {
-                        lnd: self.fits.curve(Component::Lnd).argmin_nodes(self.floors.lnd, cap),
-                        ice: self.fits.curve(Component::Ice).argmin_nodes(self.floors.ice, cap),
-                        atm: self.fits.curve(Component::Atm).argmin_nodes(self.floors.atm, cap),
+                        lnd: self.fits.optimized_curve(Component::Lnd).argmin_nodes(self.floors.lnd, cap),
+                        ice: self.fits.optimized_curve(Component::Ice).argmin_nodes(self.floors.ice, cap),
+                        atm: self.fits.optimized_curve(Component::Atm).argmin_nodes(self.floors.atm, cap),
                         ocn: n_ocn,
                     }
                 }
@@ -327,7 +327,7 @@ impl<'a> ExhaustiveOptimizer<'a> {
                         )
                     })
                     .unwrap_or(self.floors.atm.max(1)),
-                None => self.fits.curve(Component::Atm).argmin_nodes(self.floors.atm, cap),
+                None => self.fits.optimized_curve(Component::Atm).argmin_nodes(self.floors.atm, cap),
             };
             let inner_cap = match self.layout {
                 Layout::Hybrid => na,
@@ -353,8 +353,8 @@ impl<'a> ExhaustiveOptimizer<'a> {
                     (k, inner_cap - k)
                 }
                 _ => (
-                    self.fits.curve(Component::Ice).argmin_nodes(self.floors.ice, inner_cap),
-                    self.fits.curve(Component::Lnd).argmin_nodes(self.floors.lnd, inner_cap),
+                    self.fits.optimized_curve(Component::Ice).argmin_nodes(self.floors.ice, inner_cap),
+                    self.fits.optimized_curve(Component::Lnd).argmin_nodes(self.floors.lnd, inner_cap),
                 ),
             };
             evals += 1;

@@ -2,9 +2,10 @@
 
 use crate::data::BenchmarkData;
 use crate::error::HslbError;
-use hslb_cesm::Component;
+use hslb_cesm::{Allocation, Component, Layout};
 use hslb_nlsq::{fit_scaling, ScalingCurve, ScalingFit, ScalingFitOptions};
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 /// The fitted curves for the four optimized components, plus fit-quality
 /// diagnostics.
@@ -14,20 +15,65 @@ pub struct FitSet {
 }
 
 impl FitSet {
-    /// The curve for a component. Panics if the component was not fitted
-    /// (construction guarantees the four optimized ones).
-    pub fn curve(&self, c: Component) -> ScalingCurve {
-        self.fits[&c].curve
+    /// The curve for a component, or [`HslbError::MissingFit`] if that
+    /// component was never fitted (the coupler, say — only the four
+    /// optimized components carry curves).
+    pub fn curve(&self, c: Component) -> Result<ScalingCurve, HslbError> {
+        self.fits
+            .get(&c)
+            .map(|f| f.curve)
+            .ok_or(HslbError::MissingFit { component: c })
     }
 
-    /// Full fit diagnostics for a component.
-    pub fn fit(&self, c: Component) -> &ScalingFit {
-        &self.fits[&c]
+    /// Full fit diagnostics for a component, or
+    /// [`HslbError::MissingFit`] if it was never fitted.
+    pub fn fit(&self, c: Component) -> Result<&ScalingFit, HslbError> {
+        self.fits
+            .get(&c)
+            .ok_or(HslbError::MissingFit { component: c })
+    }
+
+    /// The curve for one of the four *optimized* components, which
+    /// construction ([`fit_all`]/[`FitSet::from_curves`]) guarantees are
+    /// present. For arbitrary components use the checked [`FitSet::curve`].
+    pub fn optimized_curve(&self, c: Component) -> ScalingCurve {
+        self.fits
+            .get(&c)
+            .map(|f| f.curve)
+            .expect("construction guarantees the four optimized components")
+    }
+
+    /// Fit diagnostics for one of the four optimized components (see
+    /// [`FitSet::optimized_curve`] for the contract).
+    pub fn optimized_fit(&self, c: Component) -> &ScalingFit {
+        self.fits
+            .get(&c)
+            .expect("construction guarantees the four optimized components")
     }
 
     /// Predicted time of component `c` on `n` nodes.
     pub fn predict(&self, c: Component, n: i64) -> f64 {
-        self.curve(c).eval(n as f64)
+        self.optimized_curve(c).eval(n as f64)
+    }
+
+    /// Predicted coupled total of an allocation under `layout` — the
+    /// layout composition rules of §III-D (concurrent groups take the
+    /// max, sequential groups the sum). Shared by post-solve tuning and
+    /// the objective ablations so the composition logic lives once.
+    pub fn predicted_total(&self, layout: Layout, a: &Allocation) -> f64 {
+        let (ice, lnd) = (
+            self.predict(Component::Ice, a.ice),
+            self.predict(Component::Lnd, a.lnd),
+        );
+        let (atm, ocn) = (
+            self.predict(Component::Atm, a.atm),
+            self.predict(Component::Ocn, a.ocn),
+        );
+        match layout {
+            Layout::Hybrid => (ice.max(lnd) + atm).max(ocn),
+            Layout::SequentialWithOcean => (ice + lnd + atm).max(ocn),
+            Layout::FullySequential => ice + lnd + atm + ocn,
+        }
     }
 
     /// Worst R² across *measured* components — the paper's headline
@@ -82,13 +128,76 @@ impl FitSet {
     }
 }
 
+/// Shared warm-start state for repeated fits of the *same machine and
+/// resolution*: each component's last fitted curve seeds the next fit's
+/// start 0, so a re-fit on fresh (or identical) data of the same system
+/// begins near-converged and the early-stop policy confirms the basin in
+/// a handful of LM iterations.
+///
+/// The handle is cheap to clone (shared state behind an `Arc`). Do not
+/// share one cache across different machines or resolutions — a far-off
+/// warm start is harmless (it is one start among many) but wastes the
+/// fast path.
+#[derive(Debug, Clone, Default)]
+pub struct WarmStartCache {
+    inner: Arc<Mutex<BTreeMap<Component, [f64; 4]>>>,
+}
+
+impl WarmStartCache {
+    /// An empty cache; the first `fit_all_warm` through it runs cold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The last fitted parameters for `c`, if any.
+    pub fn get(&self, c: Component) -> Option<[f64; 4]> {
+        self.inner.lock().expect("warm-start cache lock").get(&c).copied()
+    }
+
+    /// Record `curve` as the warm start for future fits of `c`.
+    pub fn store(&self, c: Component, curve: &ScalingCurve) {
+        self.inner
+            .lock()
+            .expect("warm-start cache lock")
+            .insert(c, [curve.a, curve.b, curve.c, curve.d]);
+    }
+
+    /// How many components have a stored warm start.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("warm-start cache lock").len()
+    }
+
+    /// Is the cache still cold?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Fit all four optimized components from benchmark data (Table II's four
 /// least-squares problems).
 pub fn fit_all(data: &BenchmarkData, opts: &ScalingFitOptions) -> Result<FitSet, HslbError> {
+    fit_all_warm(data, opts, None)
+}
+
+/// [`fit_all`] with an optional [`WarmStartCache`]: stored curves seed
+/// each component's start 0, and the fitted curves are written back for
+/// the next round.
+pub fn fit_all_warm(
+    data: &BenchmarkData,
+    opts: &ScalingFitOptions,
+    cache: Option<&WarmStartCache>,
+) -> Result<FitSet, HslbError> {
     let mut fits = BTreeMap::new();
     for &c in &Component::OPTIMIZED {
-        let fit = fit_scaling(data.of(c), opts)
+        let component_opts = ScalingFitOptions {
+            warm_start: cache.and_then(|w| w.get(c)).or(opts.warm_start),
+            ..opts.clone()
+        };
+        let fit = fit_scaling(data.of(c), &component_opts)
             .map_err(|source| HslbError::Fit { component: c, source })?;
+        if let Some(w) = cache {
+            w.store(c, &fit.curve);
+        }
         fits.insert(c, fit);
     }
     Ok(FitSet { fits })
@@ -111,7 +220,7 @@ mod tests {
         // All components fit well; ice is the weakest but still decent.
         let min_r2 = fits.min_r_squared().expect("measured fits");
         assert!(min_r2 > 0.95, "min R² = {min_r2}");
-        assert!(fits.fit(Component::Atm).r_squared > 0.99);
+        assert!(fits.fit(Component::Atm).unwrap().r_squared > 0.99);
         assert!(!fits.has_synthetic());
     }
 
@@ -168,7 +277,7 @@ mod tests {
         // no measured quality.
         assert!(fits.has_synthetic());
         assert_eq!(fits.min_r_squared(), None);
-        let atm = fits.fit(Component::Atm);
+        let atm = fits.fit(Component::Atm).unwrap();
         assert!(atm.synthetic);
         assert!(atm.r_squared.is_nan());
         assert_eq!(atm.points, 0);
@@ -189,6 +298,76 @@ mod tests {
             }
             other => panic!("expected IncompleteFitSet, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn unfitted_component_is_an_error_not_a_panic() {
+        // Regression: `curve`/`fit` used to index the BTreeMap directly,
+        // so asking about the coupler (never optimized, never fitted)
+        // panicked deep inside what-if studies. It must be a typed error.
+        let fits = FitSet::from_curves(flat_curves()).unwrap();
+        match fits.curve(Component::Cpl) {
+            Err(HslbError::MissingFit { component }) => assert_eq!(component, Component::Cpl),
+            other => panic!("expected MissingFit, got {other:?}"),
+        }
+        assert!(matches!(
+            fits.fit(Component::Cpl),
+            Err(HslbError::MissingFit { .. })
+        ));
+        // The optimized components remain available through both paths.
+        assert!(fits.curve(Component::Atm).is_ok());
+        assert_eq!(
+            fits.optimized_curve(Component::Atm),
+            fits.curve(Component::Atm).unwrap()
+        );
+    }
+
+    #[test]
+    fn warm_start_cache_round_trips_fitted_curves() {
+        let sim = Simulator::one_degree(5);
+        let data = gather(&sim, &[16, 64, 256, 1024, 2048]);
+        let cache = WarmStartCache::new();
+        assert!(cache.is_empty());
+        let cold = fit_all_warm(&data, &ScalingFitOptions::default(), Some(&cache)).unwrap();
+        assert_eq!(cache.len(), Component::OPTIMIZED.len());
+        // A re-fit of the same data from the cached warm starts lands in
+        // the same basin: predictions agree tightly with the cold fit.
+        let warm = fit_all_warm(&data, &ScalingFitOptions::default(), Some(&cache)).unwrap();
+        for &c in &Component::OPTIMIZED {
+            for n in [16i64, 128, 1024] {
+                let (p_cold, p_warm) = (cold.predict(c, n), warm.predict(c, n));
+                assert!(
+                    (p_cold - p_warm).abs() <= 1e-4 * p_cold.abs(),
+                    "{c}@{n}: cold {p_cold} vs warm {p_warm}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_total_matches_manual_composition() {
+        use hslb_cesm::{Allocation, Layout};
+        let fits = FitSet::from_curves(flat_curves()).unwrap();
+        let a = Allocation {
+            lnd: 10,
+            ice: 20,
+            atm: 30,
+            ocn: 40,
+        };
+        let (ti, tl) = (fits.predict(Component::Ice, 20), fits.predict(Component::Lnd, 10));
+        let (ta, to) = (fits.predict(Component::Atm, 30), fits.predict(Component::Ocn, 40));
+        assert_eq!(
+            fits.predicted_total(Layout::Hybrid, &a),
+            (ti.max(tl) + ta).max(to)
+        );
+        assert_eq!(
+            fits.predicted_total(Layout::SequentialWithOcean, &a),
+            (ti + tl + ta).max(to)
+        );
+        assert_eq!(
+            fits.predicted_total(Layout::FullySequential, &a),
+            ti + tl + ta + to
+        );
     }
 
     #[test]

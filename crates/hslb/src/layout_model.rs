@@ -120,7 +120,7 @@ fn perf_expr(curve: &ScalingCurve, n: VarId) -> Expr {
 fn time_upper_bound(fits: &FitSet) -> f64 {
     Component::OPTIMIZED
         .iter()
-        .map(|&c| fits.curve(c).eval(1.0))
+        .map(|&c| fits.optimized_curve(c).eval(1.0))
         .sum::<f64>()
         * 2.0
 }
@@ -199,7 +199,7 @@ pub fn build_layout_model(
     let t_ub = time_upper_bound(fits);
     let t_total = m.continuous("T", 0.0, t_ub)?;
 
-    let t_of = |c: Component, n: VarId, fits: &FitSet| perf_expr(&fits.curve(c), n);
+    let t_of = |c: Component, n: VarId, fits: &FitSet| perf_expr(&fits.optimized_curve(c), n);
 
     // Allowed sets (trim to the node budget; an empty trim is a config
     // error the solver would otherwise report as infeasible with less

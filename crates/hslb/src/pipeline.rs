@@ -8,7 +8,7 @@
 use crate::data::BenchmarkData;
 use crate::error::HslbError;
 use crate::exhaustive::ExhaustiveOptimizer;
-use crate::fit::{fit_all, FitSet};
+use crate::fit::{fit_all_warm, FitSet, WarmStartCache};
 use crate::layout_model::{build_layout_model, LayoutModelOptions};
 use crate::manual::SimulatedExpert;
 use crate::objective::Objective;
@@ -60,6 +60,10 @@ pub struct HslbOptions {
     pub solver: MinlpOptions,
     /// Ice–land synchronization tolerance (Table I line 9), optional.
     pub tsync: Option<f64>,
+    /// Warm-start cache shared across pipelines of the same machine and
+    /// resolution: each fit seeds from the previous scenario's fitted
+    /// curves. `None` (the default) fits cold every time.
+    pub warm_cache: Option<WarmStartCache>,
     /// Retry/backoff policy for benchmark and coupled runs.
     pub retry: RetryPolicy,
     /// Telemetry sink for pipeline events. Disabled by default;
@@ -78,9 +82,17 @@ impl HslbOptions {
             objective: Objective::MinMax,
             target_nodes,
             gather: GatherPlan::default_for(target_nodes),
-            fit: ScalingFitOptions::default(),
+            // The pipeline opts into the multistart early-stop fast path:
+            // the fitted curves are bit-identical with it on or off
+            // (asserted by tests/fast_path.rs), only the redundant starts
+            // are skipped.
+            fit: ScalingFitOptions {
+                early_stop: Some(hslb_nlsq::EarlyStopPolicy::default()),
+                ..ScalingFitOptions::default()
+            },
             solver: MinlpOptions::default(),
             tsync: None,
+            warm_cache: None,
             retry: RetryPolicy::default(),
             telemetry: hslb_telemetry::Telemetry::disabled(),
         }
@@ -334,10 +346,12 @@ impl<'a> Hslb<'a> {
         out
     }
 
-    /// Step 2: fit the four performance curves.
+    /// Step 2: fit the four performance curves. When a
+    /// [`WarmStartCache`] is configured, each fit seeds from the
+    /// previous scenario's curve and the fitted curves are written back.
     pub fn fit(&self, data: &BenchmarkData) -> Result<FitSet, HslbError> {
         let _span = self.opts.telemetry.span("fit");
-        let fits = fit_all(data, &self.opts.fit)?;
+        let fits = fit_all_warm(data, &self.opts.fit, self.opts.warm_cache.as_ref())?;
         if self.opts.telemetry.is_enabled() {
             for (c, f) in fits.iter() {
                 self.opts.telemetry.point(
@@ -347,6 +361,8 @@ impl<'a> Hslb<'a> {
                         ("points", f.points as f64),
                         ("lm_iterations", f.lm_iterations as f64),
                         ("basin_hits", f.basin_hits as f64),
+                        ("starts_run", f.starts_run as f64),
+                        ("early_stopped", f64::from(u8::from(f.early_stopped))),
                     ],
                     &[("component", &c.to_string())],
                 );

@@ -94,30 +94,9 @@ pub fn snap_to_sweet_spots(
         "tuning produced an invalid allocation: {tuned}"
     );
 
-    let predicted = |a: &Allocation| {
-        let icelnd = fits
-            .predict(Component::Ice, a.ice)
-            .max(fits.predict(Component::Lnd, a.lnd));
-        match layout {
-            Layout::Hybrid => {
-                (icelnd + fits.predict(Component::Atm, a.atm)).max(fits.predict(Component::Ocn, a.ocn))
-            }
-            Layout::SequentialWithOcean => (fits.predict(Component::Ice, a.ice)
-                + fits.predict(Component::Lnd, a.lnd)
-                + fits.predict(Component::Atm, a.atm))
-            .max(fits.predict(Component::Ocn, a.ocn)),
-            Layout::FullySequential => {
-                fits.predict(Component::Ice, a.ice)
-                    + fits.predict(Component::Lnd, a.lnd)
-                    + fits.predict(Component::Atm, a.atm)
-                    + fits.predict(Component::Ocn, a.ocn)
-            }
-        }
-    };
-
     TunedAllocation {
         allocation: tuned,
-        predicted_total: predicted(&tuned),
+        predicted_total: fits.predicted_total(layout, &tuned),
         adjustments,
     }
 }

@@ -135,7 +135,7 @@ pub fn predict_component_swap(
         .objective;
     let mut curves: std::collections::BTreeMap<_, _> = hslb_cesm::Component::OPTIMIZED
         .iter()
-        .map(|&c| (c, fits.curve(c)))
+        .map(|&c| (c, fits.optimized_curve(c)))
         .collect();
     curves.insert(component, replacement);
     let swapped =

@@ -1,0 +1,122 @@
+//! The fit fast-path invariant at pipeline level: fitted curves are
+//! bit-identical with the multistart early-stop on or off, serial or
+//! parallel, while the fast path measurably skips redundant starts.
+
+use hslb::{fit_all, Hslb, HslbOptions};
+use hslb_cesm::{Component, Simulator};
+use hslb_nlsq::{EarlyStopPolicy, ScalingFitOptions};
+
+fn assert_bit_identical(a: &hslb::FitSet, b: &hslb::FitSet, label: &str) {
+    for &c in &Component::OPTIMIZED {
+        let (x, y) = (a.optimized_curve(c), b.optimized_curve(c));
+        assert_eq!(x.a.to_bits(), y.a.to_bits(), "{label}: {c} a");
+        assert_eq!(x.b.to_bits(), y.b.to_bits(), "{label}: {c} b");
+        assert_eq!(x.c.to_bits(), y.c.to_bits(), "{label}: {c} c");
+        assert_eq!(x.d.to_bits(), y.d.to_bits(), "{label}: {c} d");
+    }
+}
+
+#[test]
+fn fitted_curves_are_bit_identical_with_fast_path_on_or_off() {
+    for (sim, target) in [
+        (Simulator::one_degree(42), 128),
+        (Simulator::eighth_degree(42), 8192),
+    ] {
+        let h = Hslb::new(&sim, HslbOptions::new(target));
+        let data = h.gather();
+        let full = fit_all(
+            &data,
+            &ScalingFitOptions {
+                early_stop: None,
+                ..ScalingFitOptions::default()
+            },
+        )
+        .expect("full fit");
+        assert!(
+            full.iter().all(|(_, f)| !f.early_stopped),
+            "early-stop must never fire when disabled"
+        );
+        for threads in [1usize, 4] {
+            let fast = fit_all(
+                &data,
+                &ScalingFitOptions {
+                    early_stop: Some(EarlyStopPolicy::default()),
+                    threads,
+                    ..ScalingFitOptions::default()
+                },
+            )
+            .expect("fast fit");
+            assert_bit_identical(&full, &fast, &format!("threads={threads}"));
+            for (c, f) in fast.iter() {
+                assert!(
+                    f.starts_run <= ScalingFitOptions::default().starts,
+                    "{c}: ran {} of {} starts",
+                    f.starts_run,
+                    ScalingFitOptions::default().starts
+                );
+                assert!(f.basin_hits <= f.starts_run);
+            }
+            // The fast path must actually fire somewhere, or it is not a
+            // fast path at all.
+            assert!(
+                fast.iter().any(|(_, f)| f.early_stopped),
+                "no component early-stopped at threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_default_fit_matches_disabled_fast_path() {
+    // HslbOptions::new enables the early-stop policy; the produced fit
+    // must still be bit-identical to a cold full fit of the same data.
+    let sim = Simulator::one_degree(7);
+    let h = Hslb::new(&sim, HslbOptions::new(128));
+    let data = h.gather();
+    let piped = h.fit(&data).expect("pipeline fit");
+    let full = fit_all(
+        &data,
+        &ScalingFitOptions {
+            early_stop: None,
+            ..ScalingFitOptions::default()
+        },
+    )
+    .expect("full fit");
+    assert_bit_identical(&piped, &full, "pipeline default");
+    let total_run: usize = piped.iter().map(|(_, f)| f.starts_run).sum();
+    let total_full: usize = full.iter().map(|(_, f)| f.starts_run).sum();
+    assert!(
+        total_run < total_full,
+        "fast path ran {total_run} starts vs {total_full} full"
+    );
+}
+
+#[test]
+fn warm_cache_threads_through_repeated_pipeline_runs() {
+    let sim = Simulator::one_degree(42);
+    let cache = hslb::WarmStartCache::new();
+    let mut opts = HslbOptions::new(128);
+    opts.warm_cache = Some(cache.clone());
+    let h = Hslb::new(&sim, opts);
+    let data = h.gather();
+    let first = h.fit(&data).expect("cold fit");
+    assert_eq!(cache.len(), Component::OPTIMIZED.len());
+    let second = h.fit(&data).expect("warm fit");
+    // The warm re-fit starts at the previous optimum, so it spends far
+    // fewer LM iterations while landing in the same basin.
+    let cold_iters: usize = first.iter().map(|(_, f)| f.lm_iterations).sum();
+    let warm_iters: usize = second.iter().map(|(_, f)| f.lm_iterations).sum();
+    assert!(
+        warm_iters <= cold_iters,
+        "warm {warm_iters} vs cold {cold_iters} LM iterations"
+    );
+    for &c in &Component::OPTIMIZED {
+        // Same basin: within the 0.1 %-cost basin tolerance, point
+        // predictions can move a few tenths of a percent at most.
+        let (a, b) = (first.predict(c, 256), second.predict(c, 256));
+        assert!(
+            (a - b).abs() <= 5e-3 * a.abs(),
+            "{c}: warm refit left the basin ({a} vs {b})"
+        );
+    }
+}

@@ -24,6 +24,8 @@ pub mod multistart;
 pub mod scaling;
 
 pub use lm::{LmOptions, LmOutcome, LmResult, ResidualModel};
-pub use multistart::{multistart_fit, multistart_fit_report, MultistartOptions, MultistartReport};
+pub use multistart::{
+    multistart_fit, multistart_fit_report, EarlyStopPolicy, MultistartOptions, MultistartReport,
+};
 pub use diagnostics::{diagnose, FitDiagnostics};
 pub use scaling::{fit_scaling, ScalingCurve, ScalingFit, ScalingFitOptions};

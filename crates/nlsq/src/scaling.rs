@@ -1,7 +1,7 @@
 //! The paper's performance model `T(n) = a/n + b·n^c + d` and its fit.
 
 use crate::lm::{LmOptions, ResidualModel};
-use crate::multistart::{multistart_fit_report, MultistartOptions};
+use crate::multistart::{multistart_fit_report, EarlyStopPolicy, MultistartOptions};
 use hslb_numerics::{stats, Matrix};
 
 /// A fitted performance curve `T(n) = a/n + b·n^c + d`.
@@ -66,6 +66,11 @@ pub struct ScalingFit {
     /// Starts that converged into the winning basin (see
     /// [`crate::MultistartReport::basin_hits`]).
     pub basin_hits: usize,
+    /// Starts actually run (< the configured count when the early-stop
+    /// policy fired; 0 for synthetic fits).
+    pub starts_run: usize,
+    /// Did the multistart early-stop policy cut the run short?
+    pub early_stopped: bool,
     /// True when the curve was injected rather than fitted — the
     /// degraded-accuracy path downstream must not mistake it for a
     /// measured fit.
@@ -85,6 +90,8 @@ impl ScalingFit {
             points: 0,
             lm_iterations: 0,
             basin_hits: 0,
+            starts_run: 0,
+            early_stopped: false,
             synthetic: true,
         }
     }
@@ -103,6 +110,16 @@ pub struct ScalingFitOptions {
     pub seed: u64,
     /// Threads for the multistart (1 = serial).
     pub threads: usize,
+    /// Early-stop policy for the multistart (§III-C fast path). `None`
+    /// runs every start; the default policy stops once consecutive starts
+    /// confirm the incumbent basin. The fitted curve is bit-identical
+    /// either way — asserted by the `fast_path` integration tests.
+    pub early_stop: Option<EarlyStopPolicy>,
+    /// Warm-start parameters `[a, b, c, d]` from a previous fit of the
+    /// same component. When set, they replace the heuristic initial guess
+    /// as start 0 — near-converged warm starts let the early-stop policy
+    /// confirm the basin in a handful of LM iterations.
+    pub warm_start: Option<[f64; 4]>,
 }
 
 impl Default for ScalingFitOptions {
@@ -112,6 +129,8 @@ impl Default for ScalingFitOptions {
             starts: 24,
             seed: 0x1234_5678,
             threads: 1,
+            early_stop: None,
+            warm_start: None,
         }
     }
 }
@@ -232,17 +251,24 @@ pub fn fit_scaling(data: &[(f64, f64)], opts: &ScalingFitOptions) -> Result<Scal
         .max_by(|a, b| hslb_numerics::float::cmp_f64(a.0, b.0))
         .expect("nonempty")
         .1;
-    let p0 = vec![
-        (y_at_nmin - y_at_nmax).max(y_at_nmin * 0.5) * n_min_pt,
-        0.0,
-        opts.c_bounds.0,
-        (y_at_nmax * 0.5).max(1e-6),
-    ];
+    let p0 = match opts.warm_start {
+        // A previous fit of the same component seeds start 0; the jittered
+        // starts 1..N are generated from the box alone, so they are
+        // unchanged and the basin scan still probes the space.
+        Some(w) => w.to_vec(),
+        None => vec![
+            (y_at_nmin - y_at_nmax).max(y_at_nmin * 0.5) * n_min_pt,
+            0.0,
+            opts.c_bounds.0,
+            (y_at_nmax * 0.5).max(1e-6),
+        ],
+    };
 
     let ms = MultistartOptions {
         starts: opts.starts,
         seed: opts.seed,
         threads: opts.threads,
+        early_stop: opts.early_stop,
         lm: LmOptions::default(),
     };
     let (res, report) = multistart_fit_report(&model, &p0, &ms);
@@ -263,6 +289,8 @@ pub fn fit_scaling(data: &[(f64, f64)], opts: &ScalingFitOptions) -> Result<Scal
         points: data.len(),
         lm_iterations: report.total_iterations,
         basin_hits: report.basin_hits,
+        starts_run: report.starts,
+        early_stopped: report.early_stopped,
         synthetic: false,
     })
 }

@@ -1,6 +1,6 @@
 //! Property tests for the scaling-curve fit.
 
-use hslb_nlsq::{fit_scaling, ScalingCurve, ScalingFitOptions};
+use hslb_nlsq::{fit_scaling, EarlyStopPolicy, ScalingCurve, ScalingFitOptions};
 use proptest::prelude::*;
 
 fn arb_curve() -> impl Strategy<Value = ScalingCurve> {
@@ -57,5 +57,45 @@ proptest! {
         let data: Vec<(f64, f64)> = ns.iter().map(|&m| (m, truth.eval(m))).collect();
         let fit = fit_scaling(&data, &ScalingFitOptions::default()).unwrap();
         prop_assert!(fit.curve.eval(n) >= 0.0);
+    }
+
+    /// The fit fast-path invariant: for random scaling data, early-stop
+    /// on/off and threads ∈ {1, 4} all yield identical `ScalingCurve`
+    /// bits, `starts_run` equals the starts actually run, and
+    /// `basin_hits ≤ starts_run`.
+    #[test]
+    fn early_stop_is_bit_identical_at_any_thread_count(
+        truth in arb_curve(),
+        jitter in prop::collection::vec(0.97f64..1.03, 6),
+    ) {
+        let ns = [8.0, 24.0, 96.0, 384.0, 1024.0, 4096.0];
+        let data: Vec<(f64, f64)> = ns
+            .iter()
+            .zip(&jitter)
+            .map(|(&n, &j)| (n, truth.eval(n) * j))
+            .collect();
+        let base = ScalingFitOptions { starts: 12, ..Default::default() };
+        let reference = fit_scaling(&data, &base).unwrap();
+        prop_assert!(!reference.early_stopped);
+        prop_assert_eq!(reference.starts_run, base.starts);
+        for threads in [1usize, 4] {
+            for early_stop in [None, Some(EarlyStopPolicy::default())] {
+                let opts = ScalingFitOptions { threads, early_stop, ..base.clone() };
+                let fit = fit_scaling(&data, &opts).unwrap();
+                prop_assert_eq!(
+                    fit.curve.a.to_bits(), reference.curve.a.to_bits(),
+                    "a diverged (threads={}, early_stop={})", threads, early_stop.is_some()
+                );
+                prop_assert_eq!(fit.curve.b.to_bits(), reference.curve.b.to_bits());
+                prop_assert_eq!(fit.curve.c.to_bits(), reference.curve.c.to_bits());
+                prop_assert_eq!(fit.curve.d.to_bits(), reference.curve.d.to_bits());
+                prop_assert!(fit.starts_run <= base.starts);
+                prop_assert!(fit.basin_hits <= fit.starts_run);
+                if early_stop.is_none() {
+                    prop_assert!(!fit.early_stopped, "early-stop fired while disabled");
+                    prop_assert_eq!(fit.starts_run, base.starts);
+                }
+            }
+        }
     }
 }

@@ -54,11 +54,12 @@ fn main() -> Result<(), HslbError> {
     );
 
     // 4. Component swap: what if a rewritten ocean model scaled 3× better?
+    let ocn = fits.curve(Component::Ocn)?;
     let better_ocean = ScalingCurve {
-        a: fits.curve(Component::Ocn).a / 3.0,
-        b: fits.curve(Component::Ocn).b,
-        c: fits.curve(Component::Ocn).c,
-        d: fits.curve(Component::Ocn).d / 2.0,
+        a: ocn.a / 3.0,
+        b: ocn.b,
+        c: ocn.c,
+        d: ocn.d / 2.0,
     };
     let (before, after) = whatif::predict_component_swap(
         &fits,

@@ -29,9 +29,15 @@ cargo test -q --workspace
 if [[ $fast -eq 0 ]]; then
     echo "==> bench-suite smoke + schema validation"
     smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
-    trap 'rm -f "$smoke_out"' EXIT
+    slow_out="$(mktemp /tmp/bench_smoke_full.XXXXXX.json)"
+    trap 'rm -f "$smoke_out" "$slow_out"' EXIT
     cargo run --release -q -p hslb-bench --bin bench-suite -- --smoke --out "$smoke_out"
     cargo run --release -q -p hslb-bench --bin bench-suite -- --validate "$smoke_out"
+    # The same smoke run with the fit fast-path disabled: the validator
+    # checks starts_run ≤ starts per component and that early_stopped is
+    # false everywhere when the document says the policy was off.
+    cargo run --release -q -p hslb-bench --bin bench-suite -- --smoke --no-early-stop --out "$slow_out"
+    cargo run --release -q -p hslb-bench --bin bench-suite -- --validate "$slow_out"
     cargo run --release -q -p hslb-bench --bin bench-suite -- --validate BENCH_pipeline.json
 fi
 
