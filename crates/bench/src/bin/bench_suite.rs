@@ -7,7 +7,9 @@
 //! documented in DESIGN.md §8; fast-path design in §10). The fit layer runs the multistart
 //! early-stop fast path plus a per-resolution warm-start cache by
 //! default; `--no-early-stop` disables the early-stop policy for A/B
-//! comparison (the fitted curves are bit-identical either way).
+//! comparison (the early-stop A/B leaves the fitted curves bit-identical;
+//! warm starts, by contrast, may move a curve within basin tolerance —
+//! see `WarmStartCache`).
 //!
 //! ```text
 //! cargo run --release -p hslb-bench --bin bench-suite            # full suite

@@ -134,6 +134,15 @@ impl FitSet {
 /// begins near-converged and the early-stop policy confirms the basin in
 /// a handful of LM iterations.
 ///
+/// Unlike the early-stop policy — which is *exactly* invariant (the
+/// fitted curves are bit-identical with it on or off) — a warm start may
+/// move the fitted curve within the basin tolerance: the cached
+/// parameters replace the caller's start 0, which is also the
+/// residual-scale reference point and the index-0 tie-break of the
+/// multistart, so a warm re-fit of identical data is guaranteed to land
+/// in the same basin (tests assert 1e-4 relative agreement on
+/// predictions) but not to reproduce the cold fit bit-for-bit.
+///
 /// The handle is cheap to clone (shared state behind an `Arc`). Do not
 /// share one cache across different machines or resolutions — a far-off
 /// warm start is harmless (it is one start among many) but wastes the

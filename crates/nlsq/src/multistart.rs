@@ -284,9 +284,13 @@ impl BasinScan {
                 self.incumbent_cost = Some(cost);
             }
             (Some(best), Some(inc)) => {
-                let hit = (cost - best).abs() <= basin_tolerance(best, self.residual_scale);
+                // A NaN reference (start 0 diverged) never counts hits —
+                // and must be replaceable, or basin confirmation stays
+                // disabled for the whole run.
+                let hit = !best.is_nan()
+                    && (cost - best).abs() <= basin_tolerance(best, self.residual_scale);
                 self.consecutive = if hit { self.consecutive + 1 } else { 0 };
-                if cost < best {
+                if cost < best || (best.is_nan() && !cost.is_nan()) {
                     // Ties keep the earlier index; only a strict
                     // improvement moves the reference.
                     self.best_cost = Some(cost);
@@ -413,11 +417,20 @@ fn parallel_runs<M: ResidualModel + Sync>(
         slots: Vec<Option<LmResult>>,
         prefix: usize,
         scan: BasinScan,
+        /// Sticky fire flag: set (under the lock) the moment the scan
+        /// publishes a cutoff. Speculative workers that claimed later
+        /// indices before the cutoff landed still finish their LM run and
+        /// store their slot, but must never feed the scan again — without
+        /// this guard such a worker could re-fire the policy at a larger
+        /// `processed` and overwrite `cutoff` with a bigger value, making
+        /// the retained prefix depend on thread timing.
+        fired: bool,
     }
     let drain = Mutex::new(Drain {
         slots: (0..n).map(|_| None).collect(),
         prefix: 0,
         scan: BasinScan::new(opts.early_stop, residual_scale),
+        fired: false,
     });
     crossbeam::thread::scope(|scope| {
         for _ in 0..nthreads {
@@ -431,6 +444,12 @@ fn parallel_runs<M: ResidualModel + Sync>(
                 let r = levenberg_marquardt(model, &starts[i], &lm);
                 let mut d = drain.lock().expect("multistart drain lock");
                 d.slots[i] = Some(r);
+                if d.fired {
+                    // The cutoff is already decided; this was a
+                    // speculative start past it. Its slot is discarded by
+                    // the final `take(keep)`.
+                    return;
+                }
                 // Drain the contiguous prefix in index order — exactly
                 // the serial scan, just fed as slots fill in.
                 while d.prefix < n && d.slots[d.prefix].is_some() {
@@ -438,6 +457,10 @@ fn parallel_runs<M: ResidualModel + Sync>(
                     let fired = d.scan.push(cost);
                     d.prefix += 1;
                     if let Some(keep) = fired {
+                        // First (and only) publication: `fired` is set
+                        // under the same lock, so no later drain can
+                        // reach this store.
+                        d.fired = true;
                         cutoff.store(keep, Ordering::Release);
                         return;
                     }
@@ -669,6 +692,50 @@ mod tests {
         // Start 0 seeds the incumbent; the next 8 starts all fail to
         // displace it, so the cutoff lands at 9 starts.
         assert_eq!(fired, Some(9));
+    }
+
+    /// Regression: a NaN cost from start 0 used to seed `best_cost` with
+    /// NaN permanently (`cost < best` is false for NaN), silently
+    /// disabling basin confirmation for the whole run. The reference must
+    /// be replaceable by the first finite cost.
+    #[test]
+    fn nan_seed_does_not_disable_basin_confirmation() {
+        let policy = EarlyStopPolicy {
+            min_starts: 2,
+            consecutive: 3,
+            max_no_improvement: 0, // isolate criterion 1
+        };
+        let mut scan = BasinScan::new(Some(policy), 0.0);
+        assert_eq!(scan.push(f64::NAN), None); // seeds both references
+        assert_eq!(scan.push(1.0), None); // replaces the NaN best, no hit
+        assert_eq!(scan.push(1.0), None); // streak 1
+        assert_eq!(scan.push(1.0), None); // streak 2
+        assert_eq!(scan.push(1.0), Some(5)); // streak 3 → cutoff
+    }
+
+    /// Regression for the sticky-cutoff race: after the policy fired, a
+    /// speculative worker that had already claimed a later index could
+    /// push its result into the shared scan and re-fire with a larger
+    /// `processed`, overwriting the cutoff — making `starts`,
+    /// `total_iterations`, and potentially the winner depend on thread
+    /// timing. Hammer the parallel driver and require every run to match
+    /// the serial reference exactly.
+    #[test]
+    fn parallel_early_stop_cutoff_is_sticky_under_contention() {
+        let opts_for = |threads| MultistartOptions {
+            starts: 32,
+            threads,
+            early_stop: Some(EarlyStopPolicy::default()),
+            ..Default::default()
+        };
+        let (serial, serial_rep) = multistart_fit_report(&TwoBasins, &[-3.0], &opts_for(1));
+        assert!(serial_rep.early_stopped, "policy must fire for this test to bite");
+        for _ in 0..50 {
+            let (par, par_rep) = multistart_fit_report(&TwoBasins, &[-3.0], &opts_for(4));
+            assert_eq!(par.params, serial.params);
+            assert_eq!(par.cost.to_bits(), serial.cost.to_bits());
+            assert_eq!(par_rep, serial_rep, "report diverged from serial");
+        }
     }
 
     #[test]
