@@ -1,0 +1,84 @@
+//! `audit-source`: the Level 2 workspace source audit.
+//!
+//! Scans the workspace's own `src/` trees for the project rules described
+//! in [`hslb_audit::source`] and exits nonzero when any finding survives
+//! the allowlist. Output is deterministic and sorted so CI diffs are
+//! stable.
+//!
+//! ```text
+//! audit-source [--root DIR] [--allowlist FILE] [--list-rules]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use hslb_audit::source::{scan_workspace, Allowlist, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn run() -> Result<ExitCode, String> {
+    let mut root = PathBuf::from(".");
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--allowlist" => {
+                allowlist_path = Some(PathBuf::from(
+                    args.next().ok_or("--allowlist needs a file")?,
+                ));
+            }
+            "--list-rules" => {
+                for (id, desc) in RULES {
+                    println!("{id}: {desc}");
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--help" | "-h" => {
+                println!("usage: audit-source [--root DIR] [--allowlist FILE] [--list-rules]");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Default allowlist: scripts/audit.allow under the root, if present.
+    let allow = match allowlist_path.or_else(|| {
+        let p = root.join("scripts/audit.allow");
+        p.is_file().then_some(p)
+    }) {
+        Some(p) => {
+            let content = std::fs::read_to_string(&p)
+                .map_err(|e| format!("cannot read allowlist {}: {e}", p.display()))?;
+            Allowlist::parse(&content)?
+        }
+        None => Allowlist::default(),
+    };
+
+    let outcome = scan_workspace(&root, &allow).map_err(|e| format!("scan failed: {e}"))?;
+    for f in &outcome.findings {
+        println!("{f}");
+    }
+    println!(
+        "audit-source: {} files scanned, {} finding(s), {} allowlisted",
+        outcome.files_scanned,
+        outcome.findings.len(),
+        outcome.allowlisted
+    );
+    Ok(if outcome.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("audit-source: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! A structural convexity verifier for model expressions.
+//!
+//! Walks an [`hslb_model::Expr`] bottom-up carrying a (curvature, value
+//! interval) pair per node — the disciplined-convex-programming
+//! composition rules restricted to the node set the Table I models
+//! actually produce (affine combinations, `const/affine`, `affine^p`,
+//! constant scaling). The verdict is sound but deliberately incomplete:
+//! [`Curvature::Unknown`] means "not verifiable by these rules", which
+//! the model audit treats as a failed `Convexity::Convex` declaration —
+//! exactly the conservative direction a global-optimality certificate
+//! needs.
+//!
+//! Constants within the [`crate::EpsilonPolicy`] coefficient tolerance of
+//! zero are treated as zero, so a fit that the certificate accepted with
+//! a near-zero negative coefficient verifies here too — the two levels
+//! share one sign convention.
+
+use crate::certificate::EpsilonPolicy;
+use hslb_model::Expr;
+use std::cmp::Ordering;
+
+/// Verified curvature of an expression over a bound box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Curvature {
+    /// A constant.
+    Constant,
+    /// Affine in the variables.
+    Affine,
+    /// Verifiably convex.
+    Convex,
+    /// Verifiably concave.
+    Concave,
+    /// Not verifiable by the structural rules.
+    Unknown,
+}
+
+impl Curvature {
+    /// Can this stand where a convex function is required?
+    pub fn is_convex_ok(self) -> bool {
+        matches!(
+            self,
+            Curvature::Constant | Curvature::Affine | Curvature::Convex
+        )
+    }
+
+    fn negate(self) -> Curvature {
+        match self {
+            Curvature::Convex => Curvature::Concave,
+            Curvature::Concave => Curvature::Convex,
+            other => other,
+        }
+    }
+
+    /// Curvature of a sum of two terms.
+    fn add(self, other: Curvature) -> Curvature {
+        use Curvature::*;
+        match (self, other) {
+            (Unknown, _) | (_, Unknown) => Unknown,
+            (Constant, x) | (x, Constant) => x,
+            (Affine, x) | (x, Affine) => x,
+            (Convex, Convex) => Convex,
+            (Concave, Concave) => Concave,
+            (Convex, Concave) | (Concave, Convex) => Unknown,
+        }
+    }
+
+    /// Curvature after scaling by a constant of the given sign.
+    fn scale(self, sign: Ordering) -> Curvature {
+        match sign {
+            Ordering::Equal => Curvature::Constant,
+            Ordering::Greater => self,
+            Ordering::Less => self.negate(),
+        }
+    }
+}
+
+/// A conservative value interval for a node (used for sign reasoning:
+/// positive denominators, nonnegative power bases).
+#[derive(Debug, Clone, Copy)]
+struct Range {
+    lo: f64,
+    hi: f64,
+}
+
+impl Range {
+    fn point(v: f64) -> Range {
+        Range { lo: v, hi: v }
+    }
+    fn everything() -> Range {
+        Range {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
+    }
+    fn add(self, o: Range) -> Range {
+        Range {
+            lo: self.lo + o.lo,
+            hi: self.hi + o.hi,
+        }
+    }
+    fn neg(self) -> Range {
+        Range {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
+    }
+    fn scale(self, k: f64) -> Range {
+        if k >= 0.0 {
+            Range {
+                lo: self.lo * k,
+                hi: self.hi * k,
+            }
+        } else {
+            Range {
+                lo: self.hi * k,
+                hi: self.lo * k,
+            }
+        }
+    }
+    fn nonneg(self) -> bool {
+        self.lo >= 0.0
+    }
+    fn positive(self) -> bool {
+        self.lo > 0.0
+    }
+}
+
+struct Analysis {
+    curvature: Curvature,
+    range: Range,
+    /// `Some(v)` when the node folds to a constant.
+    constant: Option<f64>,
+}
+
+fn constant(v: f64) -> Analysis {
+    Analysis {
+        curvature: Curvature::Constant,
+        range: Range::point(v),
+        constant: Some(v),
+    }
+}
+
+/// Verified curvature of `e` over the variable box `[lb, ub]`.
+pub fn curvature(e: &Expr, lb: &[f64], ub: &[f64], eps: EpsilonPolicy) -> Curvature {
+    analyze(e, lb, ub, eps).curvature
+}
+
+fn analyze(e: &Expr, lb: &[f64], ub: &[f64], eps: EpsilonPolicy) -> Analysis {
+    match e {
+        Expr::Const(v) => {
+            // Near-zero constants are zero under the shared ε-policy.
+            let v = if v.abs() <= eps.coeff { 0.0 } else { *v };
+            constant(v)
+        }
+        Expr::Var(i) => Analysis {
+            curvature: Curvature::Affine,
+            range: Range {
+                lo: lb.get(*i).copied().unwrap_or(f64::NEG_INFINITY),
+                hi: ub.get(*i).copied().unwrap_or(f64::INFINITY),
+            },
+            constant: None,
+        },
+        Expr::Neg(inner) => {
+            let a = analyze(inner, lb, ub, eps);
+            Analysis {
+                curvature: a.curvature.negate(),
+                range: a.range.neg(),
+                constant: a.constant.map(|v| -v),
+            }
+        }
+        Expr::Sum(terms) => {
+            let mut curvature = Curvature::Constant;
+            let mut range = Range::point(0.0);
+            let mut constant_sum = Some(0.0);
+            for t in terms {
+                let a = analyze(t, lb, ub, eps);
+                curvature = curvature.add(a.curvature);
+                range = range.add(a.range);
+                constant_sum = match (constant_sum, a.constant) {
+                    (Some(acc), Some(v)) => Some(acc + v),
+                    _ => None,
+                };
+            }
+            Analysis {
+                curvature,
+                range,
+                constant: constant_sum,
+            }
+        }
+        Expr::Prod(factors) => {
+            // Verifiable only as constant × (at most one non-constant).
+            let mut k = 1.0;
+            let mut nonconst: Option<Analysis> = None;
+            for f in factors {
+                let a = analyze(f, lb, ub, eps);
+                match a.constant {
+                    Some(v) => k *= v,
+                    None => {
+                        if nonconst.is_some() {
+                            return Analysis {
+                                curvature: Curvature::Unknown,
+                                range: Range::everything(),
+                                constant: None,
+                            };
+                        }
+                        nonconst = Some(a);
+                    }
+                }
+            }
+            match nonconst {
+                None => constant(k),
+                Some(a) => Analysis {
+                    curvature: a.curvature.scale(eps.sign(k)),
+                    range: a.range.scale(k),
+                    constant: None,
+                },
+            }
+        }
+        Expr::Pow(base, p) => {
+            let a = analyze(base, lb, ub, eps);
+            if let Some(v) = a.constant {
+                return constant(v.powf(*p));
+            }
+            // Affine base with a nonnegative range: x^p is convex for
+            // p ≥ 1 or p ≤ 0, concave for 0 ≤ p ≤ 1 (exponents within the
+            // ε-policy of an endpoint are read as the endpoint).
+            let lo1 = 1.0 - eps.exponent;
+            let hi0 = eps.exponent;
+            let curvature = if a.curvature == Curvature::Affine && a.range.nonneg() {
+                if *p >= lo1 || *p <= hi0 {
+                    Curvature::Convex
+                } else {
+                    Curvature::Concave
+                }
+            } else {
+                Curvature::Unknown
+            };
+            let range = if a.range.nonneg() {
+                let (x, y) = (a.range.lo.powf(*p), a.range.hi.powf(*p));
+                Range {
+                    lo: x.min(y),
+                    hi: x.max(y),
+                }
+            } else {
+                Range::everything()
+            };
+            Analysis {
+                curvature,
+                range,
+                constant: None,
+            }
+        }
+        Expr::Div(num, den) => {
+            let n = analyze(num, lb, ub, eps);
+            let d = analyze(den, lb, ub, eps);
+            if let Some(k) = d.constant {
+                if eps.sign(k) == Ordering::Equal {
+                    return Analysis {
+                        curvature: Curvature::Unknown,
+                        range: Range::everything(),
+                        constant: None,
+                    };
+                }
+                return Analysis {
+                    curvature: n.curvature.scale(eps.sign(1.0 / k)),
+                    range: n.range.scale(1.0 / k),
+                    constant: n.constant.map(|v| v / k),
+                };
+            }
+            // k / (affine, positive over the box): convex for k ≥ 0,
+            // concave for k ≤ 0 (the workhorse `a/n` term).
+            if let Some(k) = n.constant {
+                if d.curvature == Curvature::Affine && d.range.positive() {
+                    let curvature = Curvature::Convex.scale(eps.sign(k));
+                    let range = if k >= 0.0 {
+                        Range {
+                            lo: k / d.range.hi,
+                            hi: k / d.range.lo,
+                        }
+                    } else {
+                        Range {
+                            lo: k / d.range.lo,
+                            hi: k / d.range.hi,
+                        }
+                    };
+                    return Analysis {
+                        curvature,
+                        range,
+                        constant: None,
+                    };
+                }
+            }
+            Analysis {
+                curvature: Curvature::Unknown,
+                range: Range::everything(),
+                constant: None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps() -> EpsilonPolicy {
+        EpsilonPolicy::default()
+    }
+
+    /// The paper's performance term over n ∈ [1, 128]: a/n + b·n^c + d.
+    fn perf(a: f64, b: f64, c: f64, d: f64) -> Expr {
+        Expr::c(a) / Expr::var(0) + Expr::c(b) * Expr::var(0).pow(c) + d
+    }
+
+    #[test]
+    fn convex_perf_term_verifies() {
+        let e = perf(100.0, 0.5, 1.3, 2.0);
+        assert_eq!(curvature(&e, &[1.0], &[128.0], eps()), Curvature::Convex);
+    }
+
+    #[test]
+    fn epigraph_row_is_convex() {
+        // a/n + b·n^c + d − T: the exact Table I row shape.
+        let e = perf(100.0, 0.5, 1.3, 2.0) - Expr::var(1);
+        assert_eq!(
+            curvature(&e, &[1.0, 0.0], &[128.0, 1e9], eps()),
+            Curvature::Convex
+        );
+    }
+
+    #[test]
+    fn negative_b_makes_the_term_unverifiable() {
+        let e = perf(100.0, -0.5, 1.3, 2.0);
+        assert_eq!(curvature(&e, &[1.0], &[128.0], eps()), Curvature::Unknown);
+    }
+
+    #[test]
+    fn concave_exponent_is_caught() {
+        let e = perf(0.0, 1.0, 0.5, 0.0);
+        // a = 0 → that term is the constant 0; b·n^0.5 is concave.
+        assert_eq!(curvature(&e, &[1.0], &[128.0], eps()), Curvature::Concave);
+    }
+
+    #[test]
+    fn near_zero_negative_coefficient_is_read_as_zero() {
+        let e = perf(100.0, -1e-12, 0.5, 2.0);
+        // b ≈ 0 under the policy: the concave power term vanishes.
+        assert_eq!(curvature(&e, &[1.0], &[128.0], eps()), Curvature::Convex);
+    }
+
+    #[test]
+    fn affine_rows_are_affine() {
+        let e = Expr::var(0) + Expr::var(1) - Expr::var(2);
+        let c = curvature(&e, &[1.0; 3], &[128.0; 3], eps());
+        assert_eq!(c, Curvature::Affine);
+        assert!(c.is_convex_ok());
+    }
+
+    #[test]
+    fn difference_of_convex_is_unknown() {
+        // 1/a − 1/b (the T_sync shape) is not verifiable as convex.
+        let e = Expr::var(0).recip() - Expr::var(1).recip();
+        assert_eq!(
+            curvature(&e, &[1.0, 1.0], &[64.0, 64.0], eps()),
+            Curvature::Unknown
+        );
+    }
+
+    #[test]
+    fn division_by_possibly_zero_denominator_is_unknown() {
+        let e = Expr::c(5.0) / Expr::var(0);
+        assert_eq!(curvature(&e, &[0.0], &[128.0], eps()), Curvature::Unknown);
+    }
+
+    #[test]
+    fn negative_numerator_over_positive_affine_is_concave() {
+        let e = Expr::c(-5.0) / Expr::var(0);
+        assert_eq!(curvature(&e, &[1.0], &[128.0], eps()), Curvature::Concave);
+    }
+}

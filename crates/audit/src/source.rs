@@ -1,0 +1,522 @@
+//! Level 2: a line-level source scanner for project rules clippy cannot
+//! express.
+//!
+//! The scanner walks the workspace's own `src/` trees (vendored compat
+//! crates are skipped — they mimic third-party APIs) and enforces four
+//! rules, each born from a real incident class in this repository:
+//!
+//! * **`nondeterminism`** — no `SystemTime` / `thread::sleep` in solver
+//!   or fit code paths. Wall-clock reads make solves unreproducible;
+//!   sleeps belong only to fault-injection modules (paths containing
+//!   `fault`).
+//! * **`float-eq`** — no float `==` / `!=` outside the approved
+//!   tolerance helpers (`crates/numerics/src/float.rs`). Exact float
+//!   comparison is how the NaN basin-seeding bug of PR 3 slipped in.
+//! * **`lock-in-drain`** — no lock acquisition while a multistart
+//!   drain-lock guard is live (a binding of `drain.lock()`). The PR 3
+//!   early-stop cutoff race came from exactly this nesting class.
+//! * **`telemetry-read`** — no telemetry *reads* (`.counter(…)`,
+//!   `.snapshot(…)`, `.events(…)`, `.elapsed_ms(…)`) in solver/fit code
+//!   paths. Instrumentation must be passive: results may be *written*
+//!   from anywhere, but a solver decision based on a telemetry value
+//!   would let observation change the answer.
+//!
+//! Mechanics, kept deliberately simple so diagnostics are reproducible:
+//! files are scanned line by line; scanning stops at the first
+//! `#[cfg(test)]` (test modules sit at the end of a file by repo
+//! convention); full-line comments are skipped. Documented exceptions
+//! live in an allowlist file (`scripts/audit.allow`) whose entries must
+//! each carry a justification.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The rule catalog (ids are stable; the allowlist references them).
+pub const RULES: [(&str, &str); 4] = [
+    (
+        "nondeterminism",
+        "no SystemTime/thread::sleep outside fault-injection modules",
+    ),
+    (
+        "float-eq",
+        "no float ==/!= outside the approved tolerance helpers",
+    ),
+    (
+        "lock-in-drain",
+        "no lock acquisition inside the multistart drain-lock critical section",
+    ),
+    (
+        "telemetry-read",
+        "no telemetry reads feeding solver/fit control flow",
+    ),
+];
+
+/// Crate `src/` prefixes counted as solver/fit code paths for the
+/// `telemetry-read` and `nondeterminism` rules. The telemetry crate
+/// itself and the bench/report layer legitimately read snapshots.
+const SOLVER_PATHS: [&str; 6] = [
+    "crates/numerics/src",
+    "crates/lp/src",
+    "crates/model/src",
+    "crates/nlsq/src",
+    "crates/minlp/src",
+    "crates/hslb/src",
+];
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line, trimmed.
+    pub text: String,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}: `{}`",
+            self.path, self.line, self.rule, self.message, self.text
+        )
+    }
+}
+
+/// A reviewed exception: suppresses findings of `rule` in files ending
+/// with `path_suffix` on lines containing `substring`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path_suffix: String,
+    pub substring: String,
+    pub justification: String,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parse the `rule | path-suffix | line-substring | justification`
+    /// format. Blank lines and `#` comments are skipped; an entry without
+    /// all four fields (justification included) is an error — exceptions
+    /// must say why they exist.
+    pub fn parse(content: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (i, raw) in content.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('|').map(str::trim).collect();
+            if fields.len() != 4 || fields.iter().any(|f| f.is_empty()) {
+                return Err(format!(
+                    "allowlist line {}: expected `rule | path | substring | justification`, \
+                     got `{line}`",
+                    i + 1
+                ));
+            }
+            if !RULES.iter().any(|&(id, _)| id == fields[0]) {
+                return Err(format!(
+                    "allowlist line {}: unknown rule `{}`",
+                    i + 1,
+                    fields[0]
+                ));
+            }
+            entries.push(AllowEntry {
+                rule: fields[0].to_string(),
+                path_suffix: fields[1].to_string(),
+                substring: fields[2].to_string(),
+                justification: fields[3].to_string(),
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    fn allows(&self, f: &Finding) -> bool {
+        self.entries.iter().any(|e| {
+            e.rule == f.rule && f.path.ends_with(&e.path_suffix) && f.text.contains(&e.substring)
+        })
+    }
+}
+
+/// Scan result: surviving findings plus accounting.
+#[derive(Debug, Default)]
+pub struct ScanOutcome {
+    /// Findings not covered by the allowlist, sorted by (path, line,
+    /// rule).
+    pub findings: Vec<Finding>,
+    pub allowlisted: usize,
+    pub files_scanned: usize,
+}
+
+fn in_solver_path(path: &str) -> bool {
+    SOLVER_PATHS.iter().any(|p| path.starts_with(p))
+}
+
+/// True when `s` contains a float-ish token: a decimal literal, an `f64`/
+/// `f32` path, or a float constant name.
+fn has_float_token(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    for i in 0..bytes.len() {
+        if bytes[i] == b'.'
+            && i > 0
+            && bytes[i - 1].is_ascii_digit()
+            && i + 1 < bytes.len()
+            && bytes[i + 1].is_ascii_digit()
+        {
+            return true;
+        }
+    }
+    s.contains("f64") || s.contains("f32") || s.contains("NAN") || s.contains("INFINITY")
+}
+
+/// The operand slice around a comparison, cut at expression delimiters.
+fn operand_window(line: &str, op_start: usize, op_len: usize) -> (String, String) {
+    let delims: &[char] = &[',', ';', '(', ')', '{', '}', '[', ']', '&', '|'];
+    let left_raw = &line[..op_start];
+    let left = left_raw
+        .rfind(delims)
+        .map(|i| &left_raw[i + 1..])
+        .unwrap_or(left_raw);
+    let right_raw = &line[op_start + op_len..];
+    let right = right_raw
+        .find(delims)
+        .map(|i| &right_raw[..i])
+        .unwrap_or(right_raw);
+    (left.to_string(), right.to_string())
+}
+
+/// Pure per-file scan (separated from IO for tests). `path` is the
+/// workspace-relative path used for path-scoped rules.
+pub fn scan_file_content(path: &str, content: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let solver = in_solver_path(path);
+    let fault_module = path.contains("fault");
+    let tolerance_helper = path.ends_with("numerics/src/float.rs");
+
+    // lock-in-drain region state: Some(depth of the enclosing block)
+    // while a drain guard is live.
+    let mut drain_region: Option<i64> = None;
+    let mut depth: i64 = 0;
+
+    for (idx, raw) in content.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.contains("#[cfg(test)]") {
+            break; // test modules end the audited region of a file
+        }
+        if line.starts_with("//") {
+            continue;
+        }
+        let mut push = |rule: &'static str, message: String| {
+            out.push(Finding {
+                rule,
+                path: path.to_string(),
+                line: line_no,
+                text: line.to_string(),
+                message,
+            });
+        };
+
+        // --- nondeterminism ---
+        if solver && !fault_module {
+            if line.contains("SystemTime") {
+                push(
+                    "nondeterminism",
+                    "wall-clock read in a solver/fit code path".to_string(),
+                );
+            }
+            if line.contains("thread::sleep") {
+                push(
+                    "nondeterminism",
+                    "sleep outside a fault-injection module".to_string(),
+                );
+            }
+        }
+
+        // --- float-eq ---
+        if !tolerance_helper {
+            let bytes = line.as_bytes();
+            let mut i = 0;
+            while i + 1 < bytes.len() {
+                // Byte-wise match: `=`/`!` are ASCII, so `i` and `i + 2`
+                // are char boundaries whenever this hits.
+                let is_eq = (bytes[i] == b'=' || bytes[i] == b'!') && bytes[i + 1] == b'=';
+                if is_eq {
+                    let neq = bytes[i] == b'!';
+                    let before = if i > 0 { bytes[i - 1] } else { b' ' };
+                    let after = if i + 2 < bytes.len() {
+                        bytes[i + 2]
+                    } else {
+                        b' '
+                    };
+                    // Skip <=, >=, =>, === fragments and pattern `=>`.
+                    let operator = !matches!(before, b'<' | b'>' | b'=' | b'!')
+                        && after != b'='
+                        && !(neq && after == b'!');
+                    if operator {
+                        let (l, r) = operand_window(line, i, 2);
+                        if has_float_token(&l) || has_float_token(&r) {
+                            push(
+                                "float-eq",
+                                "float equality outside the tolerance helpers".to_string(),
+                            );
+                            // One finding per line is enough.
+                            break;
+                        }
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // --- lock-in-drain ---
+        let depth_before = depth;
+        depth += line.matches('{').count() as i64 - line.matches('}').count() as i64;
+        if let Some(region_depth) = drain_region {
+            if depth_before < region_depth || depth < region_depth {
+                drain_region = None;
+            } else if line.contains(".lock(")
+                || line.contains(".read(")
+                || line.contains(".write(")
+                || line.contains(".try_lock(")
+            {
+                push(
+                    "lock-in-drain",
+                    "lock acquisition while the drain guard is held".to_string(),
+                );
+            }
+        }
+        if drain_region.is_none() && line.contains("drain.lock()") {
+            drain_region = Some(depth_before);
+        }
+
+        // --- telemetry-read ---
+        if solver {
+            for pat in [".snapshot(", ".events(", ".elapsed_ms(", ".counter("] {
+                if line.contains(pat) {
+                    push(
+                        "telemetry-read",
+                        format!("telemetry read `{pat}…)` in a solver/fit code path"),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for determinism.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs_files(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// The `src/` trees the workspace owns: `src/` at the root plus every
+/// `crates/<name>/src`, excluding the vendored `crates/compat` stand-ins.
+pub fn workspace_src_roots(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut roots = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut names: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        names.sort();
+        for c in names {
+            if c.is_dir() && c.file_name().is_some_and(|n| n != "compat") {
+                roots.push(c.join("src"));
+            }
+        }
+    }
+    Ok(roots)
+}
+
+/// Scan the workspace rooted at `root` under the allowlist.
+pub fn scan_workspace(root: &Path, allow: &Allowlist) -> std::io::Result<ScanOutcome> {
+    let mut files = Vec::new();
+    for src in workspace_src_roots(root)? {
+        collect_rs_files(&src, &mut files)?;
+    }
+    let mut outcome = ScanOutcome::default();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = std::fs::read_to_string(&file)?;
+        outcome.files_scanned += 1;
+        for f in scan_file_content(&rel, &content) {
+            if allow.allows(&f) {
+                outcome.allowlisted += 1;
+            } else {
+                outcome.findings.push(f);
+            }
+        }
+    }
+    outcome
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nondeterminism_only_flags_solver_paths() {
+        let code = "let t = std::time::SystemTime::now();\n";
+        assert_eq!(scan_file_content("crates/minlp/src/bb.rs", code).len(), 1);
+        assert!(scan_file_content("crates/bench/src/lib.rs", code).is_empty());
+        assert!(scan_file_content("crates/cesm/src/fault.rs", code).is_empty());
+    }
+
+    #[test]
+    fn sleep_is_flagged_outside_fault_modules() {
+        let code = "std::thread::sleep(d);\n";
+        let f = scan_file_content("crates/nlsq/src/multistart.rs", code);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "nondeterminism");
+    }
+
+    #[test]
+    fn float_eq_catches_literal_comparison() {
+        let f = scan_file_content("crates/hslb/src/fit.rs", "if x == 0.0 {\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "float-eq");
+        // != too
+        let f = scan_file_content("crates/hslb/src/fit.rs", "if x != 1.5 {\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn float_eq_ignores_integer_and_ordering_comparisons() {
+        for line in [
+            "if n == 0 {\n",
+            "if a <= 0.5 {\n",
+            "if a >= 0.5 {\n",
+            "match x { _ => 0.0 }\n",
+            "assert!(i == j);\n",
+        ] {
+            assert!(
+                scan_file_content("crates/hslb/src/fit.rs", line).is_empty(),
+                "false positive on {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn float_eq_exempts_the_tolerance_helper_module() {
+        let code = "if a == b { /* bitwise check */ }\nlet x = 1.0 == y;\n";
+        assert!(scan_file_content("crates/numerics/src/float.rs", code).is_empty());
+    }
+
+    #[test]
+    fn lock_in_drain_flags_nested_acquisition() {
+        let code = "\
+fn f() {
+    let mut d = drain.lock();
+    let peek = other.lock();
+    d.push(1);
+}
+";
+        let f = scan_file_content("crates/nlsq/src/multistart.rs", code);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "lock-in-drain");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn lock_in_drain_region_ends_with_the_scope() {
+        let code = "\
+fn f() {
+    {
+        let mut d = drain.lock();
+        d.push(1);
+    }
+    let after = other.lock();
+}
+";
+        assert!(scan_file_content("crates/nlsq/src/multistart.rs", code).is_empty());
+    }
+
+    #[test]
+    fn telemetry_reads_flagged_in_solver_paths_only() {
+        let code = "let n = telemetry.counter(\"x\");\n";
+        let f = scan_file_content("crates/minlp/src/bb.rs", code);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "telemetry-read");
+        // The bench/report layer may read snapshots.
+        assert!(scan_file_content("crates/bench/src/bin/bench_suite.rs", code).is_empty());
+        // Writes are fine anywhere.
+        let w = "telemetry.counter_add(\"x\", 1);\n";
+        assert!(scan_file_content("crates/minlp/src/bb.rs", w).is_empty());
+    }
+
+    #[test]
+    fn scanning_stops_at_cfg_test() {
+        let code = "\
+fn f() {}
+#[cfg(test)]
+mod tests {
+    fn g() { let t = std::time::SystemTime::now(); }
+}
+";
+        assert!(scan_file_content("crates/minlp/src/bb.rs", code).is_empty());
+    }
+
+    #[test]
+    fn allowlist_requires_justification() {
+        assert!(Allowlist::parse("float-eq | a.rs | x == 0.0 |").is_err());
+        assert!(Allowlist::parse("bogus-rule | a.rs | x | why").is_err());
+        let ok = Allowlist::parse(
+            "# comment\nfloat-eq | parallel.rs | bound == other | heap identity\n",
+        )
+        .unwrap();
+        assert_eq!(ok.entries.len(), 1);
+        assert_eq!(ok.entries[0].justification, "heap identity");
+    }
+
+    #[test]
+    fn allowlist_suppresses_matching_findings() {
+        let allow = Allowlist::parse("float-eq | fit.rs | x == 0.0 | sentinel compare\n").unwrap();
+        let f = &scan_file_content("crates/hslb/src/fit.rs", "if x == 0.0 {\n")[0];
+        assert!(allow.allows(f));
+        let g = &scan_file_content("crates/hslb/src/fit.rs", "if y == 2.0 {\n")[0];
+        assert!(!allow.allows(g));
+    }
+
+    #[test]
+    fn findings_render_deterministically() {
+        let f = &scan_file_content("crates/hslb/src/fit.rs", "if x == 0.0 {\n")[0];
+        assert_eq!(
+            f.to_string(),
+            "crates/hslb/src/fit.rs:1: [float-eq] float equality outside the tolerance \
+             helpers: `if x == 0.0 {`"
+        );
+    }
+}

@@ -1,0 +1,631 @@
+//! Level 1b: model well-formedness audit.
+//!
+//! The solver's exactness argument assumes more than convex curves — it
+//! assumes the generated MINLP *is* the Table I model for the declared
+//! layout: the SOS-1 allowed sets are usable, the temporal constraint
+//! graph has the layout's shape, the node-budget inequalities admit a
+//! point at all, and every `Convexity::Convex` declaration is true. This
+//! pass re-derives each of those properties from the model itself, so a
+//! drifted model builder (or a hostile instance) fails loudly before
+//! branch-and-bound starts.
+
+use crate::certificate::EpsilonPolicy;
+use crate::convexity::{curvature, Curvature};
+use hslb_cesm::Layout;
+use hslb_model::{ConstraintSense, Convexity, Model, VarType};
+
+/// The objective shapes the layout builder can produce (the audit crate
+/// cannot depend on the pipeline's `Objective`, which lives above it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectiveShape {
+    /// Makespan minimization (paper eq. 1): min T.
+    MinMax,
+    /// Total-time minimization (paper eq. 3) in epigraph form.
+    SumTime,
+}
+
+/// What the caller declared about the instance; the audit checks the
+/// model against this, never the other way around.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelExpectations {
+    pub layout: Layout,
+    pub shape: ObjectiveShape,
+    /// Node budget N (Table I line 4).
+    pub total_nodes: i64,
+    /// T_sync constraints requested (Table I lines 18–19).
+    pub tsync: bool,
+    /// An ocean allowed set was configured (Table I line 5).
+    pub ocean_set: bool,
+    /// An atmosphere allowed set was configured (Table I line 6).
+    pub atm_set: bool,
+}
+
+/// One failed well-formedness check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelViolation {
+    /// Stable rule id: `sos`, `structure`, `convexity`, `budget`.
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for ModelViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.message)
+    }
+}
+
+/// The well-formedness report for one generated model.
+#[derive(Debug, Clone)]
+pub struct ModelAudit {
+    pub violations: Vec<ModelViolation>,
+    /// Constraints whose `Convexity::Convex` declaration the structural
+    /// verifier confirmed.
+    pub convex_verified: usize,
+    pub sos_sets_checked: usize,
+    pub linear_rows_checked: usize,
+}
+
+impl ModelAudit {
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for ModelAudit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "  model: {} ({} convex rows verified, {} SOS sets, {} linear rows)",
+            if self.passed() {
+                "well-formed"
+            } else {
+                "MALFORMED"
+            },
+            self.convex_verified,
+            self.sos_sets_checked,
+            self.linear_rows_checked,
+        )?;
+        for v in &self.violations {
+            writeln!(f, "    violation: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The constraint names the layout builder emits for an expectation, as
+/// `(name, declared convexity)` pairs. This is the audit's independent
+/// copy of the Table I structure — if the builder drifts, the mismatch
+/// surfaces here.
+fn expected_rows(e: &ModelExpectations) -> Vec<(String, Convexity)> {
+    use Convexity::{Convex, Linear, Nonconvex};
+    let mut rows: Vec<(String, Convexity)> = Vec::new();
+    if e.ocean_set {
+        rows.push(("ocn_pick_one".into(), Linear));
+        rows.push(("ocn_link".into(), Linear));
+    }
+    if e.atm_set {
+        rows.push(("atm_pick_one".into(), Linear));
+        rows.push(("atm_link".into(), Linear));
+    }
+    match e.shape {
+        ObjectiveShape::MinMax => match e.layout {
+            Layout::Hybrid => {
+                rows.push(("icelnd_ge_ice".into(), Convex));
+                rows.push(("icelnd_ge_lnd".into(), Convex));
+                rows.push(("total_ge_atm_branch".into(), Convex));
+                rows.push(("total_ge_ocn".into(), Convex));
+                if e.tsync {
+                    rows.push(("sync_lnd_not_too_fast".into(), Nonconvex));
+                    rows.push(("sync_lnd_not_too_slow".into(), Nonconvex));
+                }
+                rows.push(("budget".into(), Linear));
+                rows.push(("icelnd_within_atm".into(), Linear));
+            }
+            Layout::SequentialWithOcean => {
+                rows.push(("total_ge_seq".into(), Convex));
+                rows.push(("total_ge_ocn".into(), Convex));
+                for label in ["lnd", "ice", "atm"] {
+                    rows.push((format!("{label}_within_rest"), Linear));
+                }
+            }
+            Layout::FullySequential => {
+                rows.push(("total_ge_all_seq".into(), Convex));
+            }
+        },
+        ObjectiveShape::SumTime => {
+            rows.push(("sum_epigraph".into(), Convex));
+            match e.layout {
+                Layout::Hybrid => {
+                    rows.push(("budget".into(), Linear));
+                    rows.push(("icelnd_within_atm".into(), Linear));
+                }
+                Layout::SequentialWithOcean => {
+                    for label in ["lnd", "ice", "atm"] {
+                        rows.push((format!("{label}_within_rest"), Linear));
+                    }
+                }
+                Layout::FullySequential => {}
+            }
+        }
+    }
+    rows
+}
+
+/// Interval of a linear expression over the variable box.
+fn linear_range(model: &Model, pairs: &[(usize, f64)], constant: f64) -> (f64, f64) {
+    let mut lo = constant;
+    let mut hi = constant;
+    for &(v, k) in pairs {
+        let (l, u) = model.bounds(v);
+        if k >= 0.0 {
+            lo += k * l;
+            hi += k * u;
+        } else {
+            lo += k * u;
+            hi += k * l;
+        }
+    }
+    (lo, hi)
+}
+
+/// Node-count values a component variable can take: the SOS weights when
+/// an allowed set is attached, else the (integer) bound interval.
+enum AllowedValues {
+    Set(Vec<f64>),
+    Interval(f64, f64),
+}
+
+impl AllowedValues {
+    /// Smallest value ≥ `min`, if any.
+    fn smallest_at_least(&self, min: f64) -> Option<f64> {
+        match self {
+            AllowedValues::Set(vals) => vals.iter().copied().find(|&v| v >= min),
+            AllowedValues::Interval(lo, hi) => {
+                let v = lo.max(min).ceil();
+                (v <= *hi).then_some(v)
+            }
+        }
+    }
+}
+
+fn allowed_values(model: &Model, label: &str, var: Option<usize>) -> AllowedValues {
+    for s in &model.sos1 {
+        if s.name == format!("{label}_set") {
+            return AllowedValues::Set(s.members.iter().map(|&(_, w)| w).collect());
+        }
+    }
+    match var {
+        Some(v) => {
+            let (lo, hi) = model.bounds(v);
+            AllowedValues::Interval(lo, hi)
+        }
+        None => AllowedValues::Interval(1.0, f64::INFINITY),
+    }
+}
+
+fn find_var(model: &Model, name: &str) -> Option<usize> {
+    (0..model.num_vars()).find(|&v| model.var_name(v) == name)
+}
+
+/// Audit a generated layout model against the declared expectations.
+pub fn audit_model(model: &Model, expect: &ModelExpectations, eps: EpsilonPolicy) -> ModelAudit {
+    let mut violations: Vec<ModelViolation> = Vec::new();
+    let mut push = |rule: &'static str, message: String| {
+        violations.push(ModelViolation { rule, message });
+    };
+
+    // --- SOS-1 allowed sets: nonempty, ordered, binary members, within
+    // the node budget, pairwise disjoint.
+    let nf = expect.total_nodes as f64;
+    for s in &model.sos1 {
+        if s.members.is_empty() {
+            push("sos", format!("SOS-1 set `{}` is empty", s.name));
+            continue;
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for &(v, w) in &s.members {
+            if w <= prev {
+                push(
+                    "sos",
+                    format!(
+                        "SOS-1 set `{}` weights not strictly increasing at {w}",
+                        s.name
+                    ),
+                );
+            }
+            prev = w;
+            if !(1.0..=nf).contains(&w) {
+                push(
+                    "sos",
+                    format!(
+                        "SOS-1 set `{}` weight {w} outside the node budget [1, {}]",
+                        s.name, expect.total_nodes
+                    ),
+                );
+            }
+            if v >= model.num_vars() {
+                push(
+                    "sos",
+                    format!("SOS-1 set `{}` references unknown var {v}", s.name),
+                );
+            } else if model.var_type(v) != VarType::Binary {
+                push(
+                    "sos",
+                    format!(
+                        "SOS-1 set `{}` member `{}` is not binary",
+                        s.name,
+                        model.var_name(v)
+                    ),
+                );
+            }
+        }
+    }
+    for (i, a) in model.sos1.iter().enumerate() {
+        for b in model.sos1.iter().skip(i + 1) {
+            let overlap = a
+                .members
+                .iter()
+                .any(|&(v, _)| b.members.iter().any(|&(w, _)| v == w));
+            if overlap {
+                push(
+                    "sos",
+                    format!("SOS-1 sets `{}` and `{}` share members", a.name, b.name),
+                );
+            }
+        }
+    }
+
+    // --- Temporal structure: the constraint graph must match the
+    // declared layout exactly — every expected row present with the
+    // declared convexity class, no unexpected rows.
+    let expected = expected_rows(expect);
+    for (name, conv) in &expected {
+        match model.constraints.iter().find(|c| &c.name == name) {
+            None => push(
+                "structure",
+                format!(
+                    "missing constraint `{name}` required by {:?}",
+                    expect.layout
+                ),
+            ),
+            Some(c) => {
+                if std::mem::discriminant(&c.convexity) != std::mem::discriminant(conv) {
+                    push(
+                        "structure",
+                        format!(
+                            "constraint `{name}` declared {:?}, layout requires {:?}",
+                            c.convexity, conv
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    for c in &model.constraints {
+        if !expected.iter().any(|(name, _)| name == &c.name) {
+            push(
+                "structure",
+                format!(
+                    "unexpected constraint `{}` not in the {:?}/{:?} graph",
+                    c.name, expect.layout, expect.shape
+                ),
+            );
+        }
+    }
+
+    // --- Declared convexity verified structurally. `Linear` must extract
+    // as affine; `Convex` must verify through the curvature rules in the
+    // normalized g ≤ 0 orientation. `Nonconvex` rows are the solver's
+    // problem (it branch-enforces them) — nothing to verify.
+    let lb: Vec<f64> = (0..model.num_vars()).map(|v| model.bounds(v).0).collect();
+    let ub: Vec<f64> = (0..model.num_vars()).map(|v| model.bounds(v).1).collect();
+    let mut convex_verified = 0usize;
+    for c in &model.constraints {
+        match c.convexity {
+            Convexity::Linear => {
+                if !c.expr.is_linear() {
+                    push(
+                        "convexity",
+                        format!("constraint `{}` declared Linear but is not affine", c.name),
+                    );
+                }
+            }
+            Convexity::Convex => {
+                if c.expr.is_linear() {
+                    convex_verified += 1;
+                    continue;
+                }
+                let cur = curvature(&c.expr, &lb, &ub, eps);
+                let ok = match c.sense {
+                    ConstraintSense::Le => cur.is_convex_ok(),
+                    ConstraintSense::Ge => matches!(
+                        cur,
+                        Curvature::Concave | Curvature::Affine | Curvature::Constant
+                    ),
+                    // A nonlinear equality can never be convex in g ≤ 0
+                    // form (the compiler rejects it too).
+                    ConstraintSense::Eq => false,
+                };
+                if ok {
+                    convex_verified += 1;
+                } else {
+                    push(
+                        "convexity",
+                        format!(
+                            "constraint `{}` declared Convex but verifies as {cur:?} \
+                             (sense {:?})",
+                            c.name, c.sense
+                        ),
+                    );
+                }
+            }
+            Convexity::Nonconvex => {}
+        }
+    }
+
+    // --- Node-budget inequalities: each linear row must admit a point of
+    // the variable box on its own…
+    let mut linear_rows_checked = 0usize;
+    for c in &model.constraints {
+        let Some(lin) = c.expr.as_linear() else {
+            continue;
+        };
+        linear_rows_checked += 1;
+        let (lo, hi) = linear_range(model, &lin.pairs(), lin.constant);
+        let sat = match c.sense {
+            ConstraintSense::Le => lo <= c.rhs,
+            ConstraintSense::Ge => hi >= c.rhs,
+            ConstraintSense::Eq => lo <= c.rhs && c.rhs <= hi,
+        };
+        if !sat {
+            push(
+                "budget",
+                format!(
+                    "linear row `{}` unsatisfiable over the bounds: \
+                     range [{lo:.3}, {hi:.3}] vs rhs {:.3}",
+                    c.name, c.rhs
+                ),
+            );
+        }
+    }
+
+    // …and the layout's budget rows must be *mutually* satisfiable
+    // against the memory floors and the discrete allowed sets.
+    let floor = |name: &str| find_var(model, name).map(|v| model.bounds(v).0);
+    if let (Some(f_lnd), Some(f_ice), Some(f_atm), Some(f_ocn)) = (
+        floor("n_lnd"),
+        floor("n_ice"),
+        floor("n_atm"),
+        floor("n_ocn"),
+    ) {
+        let atm_vals = allowed_values(model, "atm", find_var(model, "n_atm"));
+        let ocn_vals = allowed_values(model, "ocn", find_var(model, "n_ocn"));
+        match expect.layout {
+            Layout::Hybrid => {
+                // Need n_atm ≥ n_ice + n_lnd and n_atm + n_ocn ≤ N with
+                // every variable at or above its floor.
+                let need_atm = f_atm.max(f_ice + f_lnd);
+                let ocn_min = ocn_vals.smallest_at_least(f_ocn);
+                let atm_min = atm_vals.smallest_at_least(need_atm);
+                match (atm_min, ocn_min) {
+                    (Some(va), Some(vo)) if va + vo <= nf => {}
+                    _ => push(
+                        "budget",
+                        format!(
+                            "hybrid budget infeasible: no atmosphere value ≥ {need_atm:.0} \
+                             and ocean value ≥ {f_ocn:.0} fit within {} nodes",
+                            expect.total_nodes
+                        ),
+                    ),
+                }
+            }
+            Layout::SequentialWithOcean => {
+                let ocn_min = ocn_vals.smallest_at_least(f_ocn);
+                match ocn_min {
+                    Some(vo) => {
+                        for (label, fl) in [("lnd", f_lnd), ("ice", f_ice), ("atm", f_atm)] {
+                            if fl + vo > nf {
+                                push(
+                                    "budget",
+                                    format!(
+                                        "sequential budget infeasible: floor({label}) = {fl:.0} \
+                                         plus smallest ocean {vo:.0} exceeds {} nodes",
+                                        expect.total_nodes
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    None => push(
+                        "budget",
+                        format!("no ocean value at or above its floor {f_ocn:.0}"),
+                    ),
+                }
+            }
+            Layout::FullySequential => {
+                for (label, fl) in [
+                    ("lnd", f_lnd),
+                    ("ice", f_ice),
+                    ("atm", f_atm),
+                    ("ocn", f_ocn),
+                ] {
+                    if fl > nf {
+                        push(
+                            "budget",
+                            format!(
+                                "floor({label}) = {fl:.0} exceeds the {} node budget",
+                                expect.total_nodes
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    } else {
+        push(
+            "structure",
+            "model is missing one of the node variables n_lnd/n_ice/n_atm/n_ocn".to_string(),
+        );
+    }
+
+    violations.sort_by(|a, b| (a.rule, &a.message).cmp(&(b.rule, &b.message)));
+    ModelAudit {
+        violations,
+        convex_verified,
+        sos_sets_checked: model.sos1.len(),
+        linear_rows_checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hslb_model::{Expr, ObjectiveSense};
+
+    fn eps() -> EpsilonPolicy {
+        EpsilonPolicy::default()
+    }
+
+    /// A hand-built MinMax/FullySequential model in the builder's shape.
+    fn tiny_model(convex_curve: bool) -> Model {
+        let mut m = Model::new();
+        let n_ice = m.integer("n_ice", 1.0, 64.0).unwrap();
+        let n_lnd = m.integer("n_lnd", 1.0, 64.0).unwrap();
+        let n_atm = m.integer("n_atm", 1.0, 64.0).unwrap();
+        let n_ocn = m.integer("n_ocn", 1.0, 64.0).unwrap();
+        let t = m.continuous("T", 0.0, 1e9).unwrap();
+        let term = |n| {
+            if convex_curve {
+                Expr::c(100.0) / Expr::var(n) + Expr::c(0.5) * Expr::var(n).pow(1.2)
+            } else {
+                Expr::c(100.0) / Expr::var(n) + Expr::c(-0.5) * Expr::var(n).pow(1.2)
+            }
+        };
+        m.constrain(
+            "total_ge_all_seq",
+            term(n_ice) + term(n_lnd) + term(n_atm) + term(n_ocn) - Expr::var(t),
+            ConstraintSense::Le,
+            0.0,
+            Convexity::Convex,
+        )
+        .unwrap();
+        m.set_objective(Expr::var(t), ObjectiveSense::Minimize)
+            .unwrap();
+        m
+    }
+
+    fn expectations() -> ModelExpectations {
+        ModelExpectations {
+            layout: Layout::FullySequential,
+            shape: ObjectiveShape::MinMax,
+            total_nodes: 64,
+            tsync: false,
+            ocean_set: false,
+            atm_set: false,
+        }
+    }
+
+    #[test]
+    fn well_formed_model_passes() {
+        let audit = audit_model(&tiny_model(true), &expectations(), eps());
+        assert!(audit.passed(), "{:?}", audit.violations);
+        assert_eq!(audit.convex_verified, 1);
+    }
+
+    #[test]
+    fn false_convex_declaration_is_caught() {
+        let audit = audit_model(&tiny_model(false), &expectations(), eps());
+        assert!(!audit.passed());
+        assert!(audit.violations.iter().any(|v| v.rule == "convexity"));
+    }
+
+    #[test]
+    fn missing_temporal_row_is_caught() {
+        let mut e = expectations();
+        e.layout = Layout::Hybrid; // expects icelnd_* rows the model lacks
+        let audit = audit_model(&tiny_model(true), &e, eps());
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.rule == "structure" && v.message.contains("icelnd_ge_ice")));
+        // The FullySequential row is now unexpected, too.
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.rule == "structure" && v.message.contains("total_ge_all_seq")));
+    }
+
+    #[test]
+    fn unsatisfiable_budget_row_is_caught() {
+        let mut m = tiny_model(true);
+        // floors sum to 4 but demand n_ice + n_lnd ≥ … impossible row:
+        let n_ice = 0;
+        let n_lnd = 1;
+        m.constrain(
+            "budget",
+            Expr::var(n_ice) + Expr::var(n_lnd),
+            ConstraintSense::Le,
+            1.0, // both floors are 1 ⇒ min LHS is 2 > 1
+            Convexity::Linear,
+        )
+        .unwrap();
+        let mut e = expectations();
+        e.shape = ObjectiveShape::SumTime; // irrelevant; keeps row name legal
+        let audit = audit_model(&m, &e, eps());
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.rule == "budget" && v.message.contains("budget")));
+    }
+
+    #[test]
+    fn overlapping_sos_sets_are_caught() {
+        let mut m = tiny_model(true);
+        let z1 = m.binary("z1").unwrap();
+        let z2 = m.binary("z2").unwrap();
+        m.add_sos1("ocn_set", vec![(z1, 2.0), (z2, 4.0)]).unwrap();
+        m.add_sos1("atm_set", vec![(z1, 8.0), (z2, 16.0)]).unwrap();
+        let mut e = expectations();
+        e.ocean_set = true;
+        e.atm_set = true;
+        let audit = audit_model(&m, &e, eps());
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.rule == "sos" && v.message.contains("share")));
+    }
+
+    #[test]
+    fn sos_weight_above_budget_is_caught() {
+        let mut m = tiny_model(true);
+        let z1 = m.binary("z1").unwrap();
+        let z2 = m.binary("z2").unwrap();
+        m.add_sos1("ocn_set", vec![(z1, 2.0), (z2, 768.0)]).unwrap();
+        let mut e = expectations();
+        e.ocean_set = true;
+        let audit = audit_model(&m, &e, eps());
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.rule == "sos" && v.message.contains("outside the node budget")));
+    }
+
+    #[test]
+    fn violations_are_sorted_and_deterministic() {
+        let mut e = expectations();
+        e.layout = Layout::Hybrid;
+        let a = audit_model(&tiny_model(false), &e, eps());
+        let b = audit_model(&tiny_model(false), &e, eps());
+        let msgs: Vec<String> = a.violations.iter().map(|v| v.to_string()).collect();
+        assert_eq!(
+            msgs,
+            b.violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+        );
+        let mut sorted = msgs.clone();
+        sorted.sort();
+        assert_eq!(msgs, sorted);
+    }
+}

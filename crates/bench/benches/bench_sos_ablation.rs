@@ -14,7 +14,10 @@ fn bench_branching(c: &mut Criterion) {
     let fits = h.fit(&h.gather()).expect("fit");
 
     let mut group = c.benchmark_group("branching_ablation_512");
-    for (label, branching) in [("sos", Branching::SosFirst), ("binary", Branching::IntegerOnly)] {
+    for (label, branching) in [
+        ("sos", Branching::SosFirst),
+        ("binary", Branching::IntegerOnly),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &branching, |b, &br| {
             let mut opts = HslbOptions::new(target);
             opts.solver.branching = br;

@@ -22,10 +22,26 @@ fn main() {
         "configuration", "bb nodes", "lp solves", "wall", "objective"
     );
     for (label, algorithm, selection) in [
-        ("lpnlp+bestbound", Algorithm::LpNlpBb, NodeSelection::BestBound),
-        ("lpnlp+depthfirst", Algorithm::LpNlpBb, NodeSelection::DepthFirst),
-        ("nlpbb+bestbound", Algorithm::NlpBb, NodeSelection::BestBound),
-        ("nlpbb+depthfirst", Algorithm::NlpBb, NodeSelection::DepthFirst),
+        (
+            "lpnlp+bestbound",
+            Algorithm::LpNlpBb,
+            NodeSelection::BestBound,
+        ),
+        (
+            "lpnlp+depthfirst",
+            Algorithm::LpNlpBb,
+            NodeSelection::DepthFirst,
+        ),
+        (
+            "nlpbb+bestbound",
+            Algorithm::NlpBb,
+            NodeSelection::BestBound,
+        ),
+        (
+            "nlpbb+depthfirst",
+            Algorithm::NlpBb,
+            NodeSelection::DepthFirst,
+        ),
     ] {
         let mut opts = HslbOptions::new(target);
         opts.solver.algorithm = algorithm;

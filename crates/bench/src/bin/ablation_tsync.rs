@@ -20,7 +20,14 @@ fn main() {
         "{:>10} {:>14} {:>16} {:>12}",
         "T_sync", "predicted T", "|T_ice - T_lnd|", "bb nodes"
     );
-    for tsync in [None, Some(60.0), Some(20.0), Some(5.0), Some(1.0), Some(0.25)] {
+    for tsync in [
+        None,
+        Some(60.0),
+        Some(20.0),
+        Some(5.0),
+        Some(1.0),
+        Some(0.25),
+    ] {
         let mut opts = HslbOptions::new(target);
         opts.tsync = tsync;
         let solved = Hslb::new(&sim, opts).solve(&fits).expect("solve");
@@ -30,10 +37,7 @@ fn main() {
             "{label:>10} {:>14.3} {:>16.3} {:>12}",
             solved.predicted_total,
             gap,
-            solved
-                .solver_stats
-                .as_ref()
-                .map_or(0, |s| s.nodes)
+            solved.solver_stats.as_ref().map_or(0, |s| s.nodes)
         );
     }
     println!("\n# expected: tighter windows never improve (and eventually hurt) the makespan");

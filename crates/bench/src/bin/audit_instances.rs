@@ -1,0 +1,196 @@
+//! `audit-instances`: the Level 1 instance-audit gate over the benchmark
+//! scenarios.
+//!
+//! For every bench-suite scenario this gathers, fits, builds the layout
+//! MINLP and runs the full instance audit — each must produce a passing
+//! convexity certificate and a well-formed model. It then runs the
+//! negative self-test: a seeded non-convex fit set must be *rejected*
+//! deterministically, routed to the exhaustive rung by the pipeline, and
+//! never reported as a certified global optimum. Exit status is nonzero
+//! when any expectation fails, so `scripts/check.sh` can gate on it.
+//!
+//! ```text
+//! cargo run --release -p hslb-bench --bin audit-instances
+//! cargo run --release -p hslb-bench --bin audit-instances -- --smoke
+//! ```
+
+use hslb::fit::FitSet;
+use hslb::{build_layout_model, Hslb, HslbError, HslbOptions, LayoutModelOptions, NodeFloors};
+use hslb_bench::simulator_for;
+use hslb_cesm::{Component, Resolution, Simulator};
+use hslb_nlsq::ScalingCurve;
+use std::collections::BTreeMap;
+
+struct Scenario {
+    name: &'static str,
+    resolution: Resolution,
+    target_nodes: i64,
+}
+
+/// The bench-suite scenario grid (kept in lockstep with `bench-suite`).
+fn scenarios(smoke: bool) -> Vec<Scenario> {
+    let s = |name, resolution, target_nodes| Scenario {
+        name,
+        resolution,
+        target_nodes,
+    };
+    if smoke {
+        vec![
+            s("1deg_n96", Resolution::OneDegree, 96),
+            s("eighth_n8192", Resolution::EighthDegree, 8192),
+        ]
+    } else {
+        vec![
+            s("1deg_n64", Resolution::OneDegree, 64),
+            s("1deg_n128", Resolution::OneDegree, 128),
+            s("1deg_n256", Resolution::OneDegree, 256),
+            s("eighth_n8192", Resolution::EighthDegree, 8192),
+            s("eighth_n16384", Resolution::EighthDegree, 16_384),
+        ]
+    }
+}
+
+/// Audit one scenario's instance exactly as the pipeline would before its
+/// solve. Returns an error line on failure.
+fn audit_scenario(s: &Scenario) -> Result<String, String> {
+    let sim = simulator_for(s.resolution, true);
+    let opts = HslbOptions::new(s.target_nodes);
+    let h = Hslb::new(&sim, opts.clone());
+    let data = h.gather();
+    let fits = h
+        .fit(&data)
+        .map_err(|e| format!("{}: fit failed: {e}", s.name))?;
+    let lm = build_layout_model(
+        &fits,
+        &LayoutModelOptions {
+            layout: opts.layout,
+            objective: opts.objective,
+            total_nodes: opts.target_nodes,
+            floors: NodeFloors::from_config(&sim.config),
+            ocean_allowed: sim.config.ocean_allowed.clone(),
+            atm_allowed: sim.config.atm_allowed.clone(),
+            tsync: opts.tsync,
+        },
+    )
+    .map_err(|e| format!("{}: model build failed: {e}", s.name))?;
+    let curves: Vec<(Component, ScalingCurve)> = fits.iter().map(|(c, f)| (c, f.curve)).collect();
+    let expect = hslb_audit::ModelExpectations {
+        layout: opts.layout,
+        shape: hslb_audit::ObjectiveShape::MinMax,
+        total_nodes: opts.target_nodes,
+        tsync: opts.tsync.is_some(),
+        ocean_set: sim.config.ocean_allowed.is_some(),
+        atm_set: sim.config.atm_allowed.is_some(),
+    };
+    let audit = hslb_audit::audit_instance(&curves, &lm.model, &expect);
+    if audit.passed() {
+        Ok(format!(
+            "{}: PASS ({} components certified, {} convex rows verified, {} SOS sets)",
+            s.name,
+            audit.certificate.components.len(),
+            audit.model.convex_verified,
+            audit.model.sos_sets_checked
+        ))
+    } else {
+        Err(format!("{}: FAIL\n{audit}", s.name))
+    }
+}
+
+/// A fit set with a deliberately non-convex atmosphere curve (negative
+/// power coefficient, exponent in (0, 1)).
+fn non_convex_fits() -> FitSet {
+    let convex = ScalingCurve {
+        a: 120.0,
+        b: 0.01,
+        c: 1.2,
+        d: 2.0,
+    };
+    let broken = ScalingCurve {
+        a: 100.0,
+        b: -0.5,
+        c: 0.5,
+        d: 5.0,
+    };
+    let mut curves = BTreeMap::new();
+    curves.insert(Component::Lnd, convex);
+    curves.insert(Component::Ice, convex);
+    curves.insert(Component::Atm, broken);
+    curves.insert(Component::Ocn, convex);
+    FitSet::from_curves(curves).expect("all four components present")
+}
+
+/// The negative self-test: the audit must reject the seeded instance and
+/// the pipeline must degrade to the exhaustive rung without claiming a
+/// global optimum. Returns error lines for any expectation that fails.
+fn self_test() -> Result<Vec<String>, String> {
+    let mut lines = Vec::new();
+    let sim = Simulator::one_degree(7);
+
+    // Strict API: rejection, deterministically the same summary twice.
+    let h = Hslb::new(&sim, HslbOptions::new(128));
+    let reject = |h: &Hslb| match h.solve(&non_convex_fits()) {
+        Err(HslbError::AuditRejected { audit }) => Ok(audit.summary()),
+        Err(other) => Err(format!("self-test: expected AuditRejected, got: {other}")),
+        Ok(_) => Err("self-test: non-convex instance was NOT rejected".to_string()),
+    };
+    let first = reject(&h)?;
+    let second = reject(&h)?;
+    if first != second {
+        return Err(format!(
+            "self-test: rejection is not deterministic:\n  {first}\n  {second}"
+        ));
+    }
+    lines.push(format!("self-test reject: PASS ({first})"));
+
+    // Full pipeline: the ladder must rescue the run on the exhaustive
+    // rung and the report must refuse the optimality claim.
+    let mut opts = HslbOptions::new(128);
+    opts.curve_override = Some(non_convex_fits());
+    let report = Hslb::new(&sim, opts)
+        .run(None)
+        .map_err(|e| format!("self-test: ladder failed to rescue the run: {e}"))?;
+    let rung = report
+        .resilience
+        .as_ref()
+        .map(|r| r.rung)
+        .ok_or("self-test: run() produced no resilience report")?;
+    if rung != hslb::SolverRung::Exhaustive {
+        return Err(format!("self-test: expected exhaustive rung, got {rung}"));
+    }
+    if report.global_optimum() {
+        return Err("self-test: rejected instance still claims a global optimum".to_string());
+    }
+    lines.push(format!(
+        "self-test ladder: PASS (rung {rung}, optimality refused)"
+    ));
+    Ok(lines)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut failed = false;
+    for s in scenarios(smoke) {
+        match audit_scenario(&s) {
+            Ok(line) => println!("audit-instances: {line}"),
+            Err(line) => {
+                failed = true;
+                eprintln!("audit-instances: {line}");
+            }
+        }
+    }
+    match self_test() {
+        Ok(lines) => {
+            for line in lines {
+                println!("audit-instances: {line}");
+            }
+        }
+        Err(line) => {
+            failed = true;
+            eprintln!("audit-instances: {line}");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("audit-instances: all instances certified, negative self-test rejected");
+}

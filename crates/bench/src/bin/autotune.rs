@@ -44,7 +44,9 @@ fn parse_faults(arg: &str) -> Option<FaultSpec> {
         Some((s, r)) => (s.parse::<u64>().ok()?, r.parse::<f64>().ok()?),
         None => (0, arg.parse::<f64>().ok()?),
     };
-    (0.0..=1.0).contains(&rate).then(|| FaultSpec::flaky(seed, rate))
+    (0.0..=1.0)
+        .contains(&rate)
+        .then(|| FaultSpec::flaky(seed, rate))
 }
 
 fn parse_args() -> Args {
@@ -190,7 +192,10 @@ fn main() {
                  ({:.1}s, {:.0} core-hours)",
                 p.nodes, p.time_s, p.core_hours
             ),
-            None => eprintln!("# no size up to {} nodes meets a {deadline}s deadline", args.nodes),
+            None => eprintln!(
+                "# no size up to {} nodes meets a {deadline}s deadline",
+                args.nodes
+            ),
         }
     }
 

@@ -3,8 +3,12 @@
 //! Runs the full gather → fit → solve → execute pipeline at both paper
 //! resolutions across several node budgets, with a telemetry sink
 //! attached to every layer, and writes the per-phase timings plus solver
-//! telemetry to `BENCH_pipeline.json` (schema `hslb-bench-pipeline/v2`,
-//! documented in DESIGN.md §8; fast-path design in §10). The fit layer runs the multistart
+//! telemetry to `BENCH_pipeline.json` (schema `hslb-bench-pipeline/v3`,
+//! documented in DESIGN.md §8; fast-path design in §10, audit gate in
+//! §11). Every scenario records its pre-solve instance audit; the
+//! validator rejects documents whose audits did not pass — a benchmark
+//! result without a convexity certificate is not evidence of a global
+//! optimum. The fit layer runs the multistart
 //! early-stop fast path plus a per-resolution warm-start cache by
 //! default; `--no-early-stop` disables the early-stop policy for A/B
 //! comparison (the early-stop A/B leaves the fitted curves bit-identical;
@@ -165,6 +169,18 @@ fn run_scenario(s: &Scenario, early_stop: bool, warm: &WarmStartCache) -> Value 
         Value::Null
     };
 
+    let audit = match &report.audit {
+        Some(a) => obj(vec![
+            ("passed", Value::Bool(a.passed())),
+            ("components", num(a.certificate.components.len() as f64)),
+            ("violations", num(a.violation_count() as f64)),
+            ("convex_verified", num(a.model.convex_verified as f64)),
+            ("sos_sets", num(a.model.sos_sets_checked as f64)),
+            ("summary", Value::Str(a.summary())),
+        ]),
+        None => Value::Null,
+    };
+
     let alloc = &report.hslb.allocation;
     obj(vec![
         ("name", Value::Str(s.name.to_string())),
@@ -200,11 +216,15 @@ fn run_scenario(s: &Scenario, early_stop: bool, warm: &WarmStartCache) -> Value 
                     "min_r_squared",
                     report.min_r_squared().map_or(Value::Null, num),
                 ),
-                ("starts", num(HslbOptions::new(s.target_nodes).fit.starts as f64)),
+                (
+                    "starts",
+                    num(HslbOptions::new(s.target_nodes).fit.starts as f64),
+                ),
                 ("components", fit_components(&snap)),
             ]),
         ),
         ("solver", solver),
+        ("audit", audit),
         ("exhaustive", exhaustive),
         (
             "allocation",
@@ -232,19 +252,27 @@ fn run_scenario(s: &Scenario, early_stop: bool, warm: &WarmStartCache) -> Value 
     ])
 }
 
-/// Schema check for `hslb-bench-pipeline/v2` documents. Returns every
-/// violation found (empty = valid). v1 documents (no early-stop/warm-start
-/// accounting) are rejected with an explicit upgrade message.
+/// Schema check for `hslb-bench-pipeline/v3` documents. Returns every
+/// violation found (empty = valid). Older schema versions are rejected
+/// with explicit upgrade messages.
 fn validate(doc: &Value) -> Vec<String> {
     let mut errs = Vec::new();
     match doc.get("schema").and_then(Value::as_str) {
-        Some("hslb-bench-pipeline/v2") => {}
+        Some("hslb-bench-pipeline/v3") => {}
         Some("hslb-bench-pipeline/v1") => errs.push(
             "schema hslb-bench-pipeline/v1 is no longer accepted: regenerate with a \
-             v2 emitter (adds early_stop, fit.starts, fit.components[].starts_run/early_stopped)"
+             v3 emitter (adds early_stop, fit accounting, and the audit block)"
                 .to_string(),
         ),
-        other => errs.push(format!("schema must be hslb-bench-pipeline/v2, got {other:?}")),
+        Some("hslb-bench-pipeline/v2") => errs.push(
+            "schema hslb-bench-pipeline/v2 is no longer accepted: regenerate with a \
+             v3 emitter (adds the per-scenario audit block with the convexity \
+             certificate verdict)"
+                .to_string(),
+        ),
+        other => errs.push(format!(
+            "schema must be hslb-bench-pipeline/v3, got {other:?}"
+        )),
     }
     let early_stop_enabled = doc.get("early_stop").and_then(Value::as_bool);
     if early_stop_enabled.is_none() {
@@ -300,6 +328,33 @@ fn validate(doc: &Value) -> Vec<String> {
                 errs.push(ctx(&format!("missing {key}")));
             }
         }
+        // v3 audit block: every scenario solve must carry a *passing*
+        // instance audit — the suite's scenarios are all convex Table I
+        // instances, so a failed (or missing) certificate means the
+        // pipeline or the fits regressed.
+        match sc.get("audit") {
+            Some(a) if !matches!(a, Value::Null) => {
+                match a.get("passed").and_then(Value::as_bool) {
+                    Some(true) => {}
+                    Some(false) => errs.push(ctx(&format!(
+                        "audit failed: {}",
+                        a.get("summary").and_then(Value::as_str).unwrap_or("?")
+                    ))),
+                    None => errs.push(ctx("audit missing boolean passed")),
+                }
+                for key in ["components", "violations", "convex_verified"] {
+                    if a.get(key).and_then(Value::as_f64).is_none() {
+                        errs.push(ctx(&format!("audit missing numeric {key}")));
+                    }
+                }
+                if a.get("summary").and_then(Value::as_str).is_none() {
+                    errs.push(ctx("audit missing string summary"));
+                }
+            }
+            _ => errs.push(ctx(
+                "missing audit block: every scenario solve must be certified",
+            )),
+        }
         // v2 fit accounting: the configured start budget, and per
         // component the starts actually run. `starts_run` can never
         // exceed the budget, and with early-stop disabled no component
@@ -317,10 +372,7 @@ fn validate(doc: &Value) -> Vec<String> {
             errs.push(ctx("fit.components is empty"));
         }
         for comp in components {
-            let name = comp
-                .get("component")
-                .and_then(Value::as_str)
-                .unwrap_or("?");
+            let name = comp.get("component").and_then(Value::as_str).unwrap_or("?");
             let cctx = |field: &str| ctx(&format!("fit.components[{name}]: {field}"));
             match comp.get("starts_run").and_then(Value::as_f64) {
                 Some(run) => {
@@ -371,8 +423,7 @@ fn main() {
     }
 
     if let Some(path) = validate_path {
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
         let doc = match hslb_telemetry::json::parse(&text) {
             Ok(doc) => doc,
             Err(e) => {
@@ -383,8 +434,10 @@ fn main() {
         let errs = validate(&doc);
         if errs.is_empty() {
             println!(
-                "{path}: valid hslb-bench-pipeline/v2 ({} scenarios)",
-                doc.get("scenarios").and_then(Value::as_arr).map_or(0, |a| a.len())
+                "{path}: valid hslb-bench-pipeline/v3 ({} scenarios)",
+                doc.get("scenarios")
+                    .and_then(Value::as_arr)
+                    .map_or(0, |a| a.len())
             );
             return;
         }
@@ -398,21 +451,24 @@ fn main() {
     let mut caches: std::collections::BTreeMap<String, WarmStartCache> =
         std::collections::BTreeMap::new();
     for s in scenarios(smoke) {
-        eprintln!("bench-suite: {} ({} @ {} nodes)...", s.name, s.resolution, s.target_nodes);
+        eprintln!(
+            "bench-suite: {} ({} @ {} nodes)...",
+            s.name, s.resolution, s.target_nodes
+        );
         let warm = caches.entry(s.resolution.to_string()).or_default();
         results.push(run_scenario(&s, early_stop, warm));
     }
     let doc = obj(vec![
-        (
-            "schema",
-            Value::Str("hslb-bench-pipeline/v2".to_string()),
-        ),
+        ("schema", Value::Str("hslb-bench-pipeline/v3".to_string())),
         ("smoke", Value::Bool(smoke)),
         ("early_stop", Value::Bool(early_stop)),
         ("scenarios", Value::Arr(results)),
     ]);
     let errs = validate(&doc);
-    assert!(errs.is_empty(), "generated document fails own schema: {errs:?}");
+    assert!(
+        errs.is_empty(),
+        "generated document fails own schema: {errs:?}"
+    );
     std::fs::write(&out, doc.to_pretty() + "\n").unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!("bench-suite: wrote {out}");
 }

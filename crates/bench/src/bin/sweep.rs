@@ -16,7 +16,12 @@ fn main() {
     println!("# 1deg sweep, layout (1): all five paper targets");
     println!(
         "{:>8} {:>32} {:>12} {:>12} {:>12} {:>10}",
-        "nodes", "HSLB allocation [lnd ice atm ocn]", "manual t/s", "pred t/s", "actual t/s", "vs manual"
+        "nodes",
+        "HSLB allocation [lnd ice atm ocn]",
+        "manual t/s",
+        "pred t/s",
+        "actual t/s",
+        "vs manual"
     );
     for target in [128i64, 256, 512, 1024, 2048] {
         // Manual arm: the paper's allocation where published, otherwise

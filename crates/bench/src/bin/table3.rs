@@ -31,9 +31,7 @@ fn main() {
         print!("{report}");
         println!(
             "paper:   manual {}  |  HSLB predicted {:.3}  actual {:.3}",
-            paper
-                .manual_total
-                .map_or("-".into(), |t| format!("{t:.3}")),
+            paper.manual_total.map_or("-".into(), |t| format!("{t:.3}")),
             paper.hslb_predicted_total,
             paper.hslb_actual_total
         );

@@ -1,4 +1,6 @@
 //! Shared harness for the experiment regenerators and criterion benches.
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //!
 //! Every table and figure of the paper's evaluation has one binary here
 //! (`cargo run --release -p hslb-bench --bin <name>`):
@@ -35,10 +37,16 @@ pub fn simulator_for(resolution: Resolution, ocean_constrained: bool) -> Simulat
             ResolutionConfig::eighth_degree().without_ocean_constraint()
         }
     };
-    Simulator::new(Machine::intrepid(), config, NoiseSpec::default(), EXPERIMENT_SEED)
+    Simulator::new(
+        Machine::intrepid(),
+        config,
+        NoiseSpec::default(),
+        EXPERIMENT_SEED,
+    )
 }
 
 /// Run the standard pipeline at a target size and hand back the report.
+#[allow(clippy::expect_used)] // bench harness: fail fast and loud
 pub fn run_pipeline(sim: &Simulator, target_nodes: i64) -> hslb::ExperimentReport {
     let manual = hslb::manual::paper_manual_allocation(sim.resolution(), target_nodes);
     Hslb::new(sim, HslbOptions::new(target_nodes))
@@ -171,7 +179,9 @@ mod tests {
         let report = run_pipeline(&sim, 128);
         let rec = ExperimentRecord::new("t", &report, None);
         let json = rec.to_json();
-        assert!(json.contains("\"hslb_alloc\":[24,80,104,24]") || json.contains("\"hslb_alloc\":["));
+        assert!(
+            json.contains("\"hslb_alloc\":[24,80,104,24]") || json.contains("\"hslb_alloc\":[")
+        );
         assert!(json.contains("\"paper_manual_total\":null"));
     }
 }

@@ -18,7 +18,11 @@ fn autotune_emits_valid_pes_xml() {
         .args(["--resolution", "1deg", "--nodes", "128"])
         .output()
         .expect("autotune runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let xml = String::from_utf8(out.stdout).expect("utf8 xml");
     let layout = hslb_cesm::pes::PesLayout::from_xml(&xml).expect("parseable XML");
     assert!(layout.total_tasks <= 128);
@@ -48,7 +52,12 @@ fn autotune_rejects_bad_usage() {
 fn autotune_deadline_report_appears() {
     let out = Command::new(autotune_bin())
         .args([
-            "--resolution", "1deg", "--nodes", "512", "--deadline", "200",
+            "--resolution",
+            "1deg",
+            "--nodes",
+            "512",
+            "--deadline",
+            "200",
         ])
         .output()
         .expect("autotune runs");

@@ -106,7 +106,12 @@ pub fn write_archive(points: &[BenchPoint], annotation: Option<&str>) -> String 
             .then(hslb_numerics::float::cmp_f64(a.seconds, b.seconds))
     });
     for p in sorted {
-        out.push_str(&format!("{} {} {:.6}\n", p.component.label(), p.nodes, p.seconds));
+        out.push_str(&format!(
+            "{} {} {:.6}\n",
+            p.component.label(),
+            p.nodes,
+            p.seconds
+        ));
     }
     out
 }
@@ -191,8 +196,15 @@ pub fn corrupt_archive(text: &str, spec: &FaultSpec) -> String {
         }
         // Second draw picks the damage mode, offset so it is independent
         // of the should-corrupt decision.
-        let mode = if spec.corrupts_line(idx as u64 + 0x10_000) { 0 } else { 1 }
-            + if spec.corrupts_line(idx as u64 + 0x20_000) { 0 } else { 2 };
+        let mode = if spec.corrupts_line(idx as u64 + 0x10_000) {
+            0
+        } else {
+            1
+        } + if spec.corrupts_line(idx as u64 + 0x20_000) {
+            0
+        } else {
+            2
+        };
         match mode {
             0 => {
                 // Truncate mid-line (torn write).
@@ -230,9 +242,21 @@ mod tests {
 
     fn sample_points() -> Vec<BenchPoint> {
         vec![
-            BenchPoint { component: Component::Ocn, nodes: 24, seconds: 362.669 },
-            BenchPoint { component: Component::Atm, nodes: 104, seconds: 306.952 },
-            BenchPoint { component: Component::Atm, nodes: 1664, seconds: 61.987 },
+            BenchPoint {
+                component: Component::Ocn,
+                nodes: 24,
+                seconds: 362.669,
+            },
+            BenchPoint {
+                component: Component::Atm,
+                nodes: 104,
+                seconds: 306.952,
+            },
+            BenchPoint {
+                component: Component::Atm,
+                nodes: 1664,
+                seconds: 61.987,
+            },
         ]
     }
 
@@ -284,7 +308,8 @@ mod tests {
 
     #[test]
     fn extra_fields_and_bad_values_are_skipped() {
-        let text = format!("{HEADER}\natm 104 306.9 bogus\natm -3 306.9\natm 104 -1.0\natm 104 inf\n");
+        let text =
+            format!("{HEADER}\natm 104 306.9 bogus\natm -3 306.9\natm 104 -1.0\natm 104 inf\n");
         let report = read_archive(&text).unwrap();
         assert!(report.parsed.is_empty());
         assert_eq!(report.skipped.len(), 4);
@@ -309,11 +334,18 @@ mod tests {
             ..FaultSpec::flaky(13, 0.0)
         };
         let damaged = corrupt_archive(&text, &spec);
-        assert_eq!(damaged, corrupt_archive(&text, &spec), "must be deterministic");
+        assert_eq!(
+            damaged,
+            corrupt_archive(&text, &spec),
+            "must be deterministic"
+        );
         assert_ne!(damaged, text, "30% corruption must touch something");
 
         let report = read_archive(&damaged).unwrap();
-        assert!(!report.skipped.is_empty(), "corrupted lines must be reported");
+        assert!(
+            !report.skipped.is_empty(),
+            "corrupted lines must be reported"
+        );
         assert!(
             report.parsed.len() >= 40 - report.skipped.len(),
             "every uncorrupted line must survive"

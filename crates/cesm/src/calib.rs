@@ -26,7 +26,12 @@ pub fn one_degree_observations(c: Component) -> &'static [(f64, f64)] {
     match c {
         // Table III, 1° entries: manual@128, HSLB-actual@128,
         // manual@2048, HSLB-actual@2048.
-        Component::Lnd => &[(24.0, 63.766), (15.0, 100.202), (384.0, 5.777), (71.0, 23.158)],
+        Component::Lnd => &[
+            (24.0, 63.766),
+            (15.0, 100.202),
+            (384.0, 5.777),
+            (71.0, 23.158),
+        ],
         Component::Ice => &[
             (80.0, 109.054),
             (89.0, 116.472),
@@ -121,6 +126,8 @@ fn fit_truth_with(
     Component::OPTIMIZED
         .iter()
         .map(|&c| {
+            // The observation tables are compiled-in paper data.
+            #[allow(clippy::expect_used)]
             let fit = fit_scaling(observations(r, c), &opts)
                 .expect("paper calibration data is well-formed");
             (c, fit.curve)

@@ -1,6 +1,5 @@
 //! CESM model components.
 
-
 /// A CESM 1.1.1 component (§II). The first four are the ones the paper's
 /// HSLB models optimize; RTM, CPL7 and CISM "take less time to run
 /// compared to the other components, so these components were not included
@@ -26,8 +25,12 @@ pub enum Component {
 impl Component {
     /// The four components included in the HSLB optimization models, in
     /// the paper's Table I order: C = {ice, lnd, atm, ocn}.
-    pub const OPTIMIZED: [Component; 4] =
-        [Component::Ice, Component::Lnd, Component::Atm, Component::Ocn];
+    pub const OPTIMIZED: [Component; 4] = [
+        Component::Ice,
+        Component::Lnd,
+        Component::Atm,
+        Component::Ocn,
+    ];
 
     /// All seven components.
     pub const ALL: [Component; 7] = [

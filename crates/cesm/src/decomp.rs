@@ -15,7 +15,6 @@
 //! nearest-neighbour advisor ([`DecompAdvisor`]) stands in for the
 //! machine-learning companion paper \[10\].
 
-
 /// The seven CICE decomposition strategies (names from the real CICE
 /// namelist options).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -72,10 +71,11 @@ fn mix(mut z: u64) -> u64 {
 /// * strategies differ, so the best choice at one count is not the best
 ///   at another.
 pub fn multiplier(d: Decomposition, nodes: i64) -> f64 {
-    let h = mix((d as u64 + 1).wrapping_mul(0x9E37_79B9) ^ (nodes as u64).wrapping_mul(0x85EB_CA6B));
+    let h =
+        mix((d as u64 + 1).wrapping_mul(0x9E37_79B9) ^ (nodes as u64).wrapping_mul(0x85EB_CA6B));
     let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
-    // Block-geometry bonus: strategies like a count that divides evenly
-    // into their preferred block granularity.
+                                                    // Block-geometry bonus: strategies like a count that divides evenly
+                                                    // into their preferred block granularity.
     let granularity = match d {
         Decomposition::Cartesian => 16,
         Decomposition::Rake => 12,
@@ -107,6 +107,7 @@ pub fn default_choice(nodes: i64) -> Decomposition {
 }
 
 /// The best strategy (smallest multiplier) for a node count.
+#[allow(clippy::expect_used)] // `ALL` is a non-empty const list
 pub fn best_choice(nodes: i64) -> (Decomposition, f64) {
     Decomposition::ALL
         .iter()
@@ -132,10 +133,8 @@ pub struct DecompAdvisor {
 impl DecompAdvisor {
     /// Train on the given node counts by exhaustive evaluation.
     pub fn train(counts: &[i64]) -> Self {
-        let mut training: Vec<(i64, Decomposition)> = counts
-            .iter()
-            .map(|&n| (n, best_choice(n).0))
-            .collect();
+        let mut training: Vec<(i64, Decomposition)> =
+            counts.iter().map(|&n| (n, best_choice(n).0)).collect();
         training.sort_unstable_by_key(|&(n, _)| n);
         DecompAdvisor { training }
     }
@@ -152,6 +151,8 @@ impl DecompAdvisor {
         let sig = |n: i64| (n % 16 == 0, n % 12 == 0, n % 10 == 0);
         let target_sig = sig(nodes);
         let dist = |n: i64| ((n as f64).ln() - (nodes as f64).ln()).abs();
+        // Non-empty training set asserted on entry.
+        #[allow(clippy::expect_used)]
         self.training
             .iter()
             .min_by(|a, b| {

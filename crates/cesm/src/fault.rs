@@ -62,7 +62,10 @@ impl std::fmt::Display for BenchFault {
                 component,
                 nodes,
                 run_id,
-            } => write!(f, "{component} benchmark on {nodes} nodes (run {run_id}) failed"),
+            } => write!(
+                f,
+                "{component} benchmark on {nodes} nodes (run {run_id}) failed"
+            ),
             BenchFault::Hung {
                 component,
                 nodes,
@@ -219,7 +222,14 @@ impl FaultSpec {
     /// A deterministically garbage version of a clean timing: zero,
     /// negative, or off by ≥ 6 orders of magnitude — never something a
     /// plausibility check could mistake for a real 5-day-run timing.
-    pub fn garbage_value(&self, clean: f64, domain: FaultDomain, a: u64, b: u64, run_id: u64) -> f64 {
+    pub fn garbage_value(
+        &self,
+        clean: f64,
+        domain: FaultDomain,
+        a: u64,
+        b: u64,
+        run_id: u64,
+    ) -> f64 {
         let h = self.mix(domain, a.wrapping_add(0x6A5B), b, run_id);
         match h % 4 {
             0 => 0.0,
@@ -238,7 +248,10 @@ mod tests {
     fn inactive_spec_never_fires() {
         let spec = FaultSpec::none();
         for run in 0..100 {
-            assert_eq!(spec.draw(FaultDomain::Bench, 1, 104, run), FaultOutcome::None);
+            assert_eq!(
+                spec.draw(FaultDomain::Bench, 1, 104, run),
+                FaultOutcome::None
+            );
         }
         assert!(!spec.corrupts_line(3));
     }
@@ -285,7 +298,11 @@ mod tests {
         let rate = |n: usize| n as f64 / total as f64;
         assert!((rate(counts[1]) - 0.25).abs() < 0.05, "fail {:?}", counts);
         assert!((rate(counts[2]) - 0.15).abs() < 0.05, "hang {:?}", counts);
-        assert!((rate(counts[3]) - 0.10).abs() < 0.05, "garbage {:?}", counts);
+        assert!(
+            (rate(counts[3]) - 0.10).abs() < 0.05,
+            "garbage {:?}",
+            counts
+        );
     }
 
     #[test]

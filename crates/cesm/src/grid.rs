@@ -170,6 +170,8 @@ mod tests {
         assert!(Resolution::EighthDegree
             .grid_of(crate::Component::Atm)
             .contains("HOMME"));
-        assert!(Resolution::OneDegree.grid_of(crate::Component::Ocn).contains("displaced"));
+        assert!(Resolution::OneDegree
+            .grid_of(crate::Component::Ocn)
+            .contains("displaced"));
     }
 }

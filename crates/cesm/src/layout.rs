@@ -84,8 +84,12 @@ impl Layout {
                 }
             }
             Layout::FullySequential => {
-                for (label, n) in [("lnd", a.lnd), ("ice", a.ice), ("atm", a.atm), ("ocn", a.ocn)]
-                {
+                for (label, n) in [
+                    ("lnd", a.lnd),
+                    ("ice", a.ice),
+                    ("atm", a.atm),
+                    ("ocn", a.ocn),
+                ] {
                     if n > n_total {
                         return Some(format!("{label} ({n}) exceeds total nodes ({n_total})"));
                     }
@@ -147,7 +151,10 @@ impl Allocation {
 
     /// As a `(component → nodes)` map.
     pub fn as_map(&self) -> BTreeMap<Component, i64> {
-        Component::OPTIMIZED.iter().map(|&c| (c, self.get(c))).collect()
+        Component::OPTIMIZED
+            .iter()
+            .map(|&c| (c, self.get(c)))
+            .collect()
     }
 }
 

@@ -1,5 +1,6 @@
 //! A Community Earth System Model (CESM) execution simulator.
-#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //!
 //! The paper runs CESM 1.1.1 / 1.2 on Intrepid (IBM Blue Gene/P, 40,960
 //! quad-core nodes) and observes, for each component and node count, a

@@ -1,6 +1,5 @@
 //! Machine (platform) description.
 
-
 /// A target platform: node count and per-node execution shape.
 ///
 /// "Nodes were used to represent the physical computing unit in our

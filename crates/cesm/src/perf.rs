@@ -1,6 +1,5 @@
 //! Ground-truth performance curves and noise specification.
 
-
 /// Multiplicative timing-noise magnitudes per component class.
 ///
 /// §III-C/IV-A: most component timings are smooth enough that four points

@@ -65,11 +65,7 @@ impl std::error::Error for PesError {}
 /// * layout 2 — ocean first, then ice/land/atm all rooted at the shared
 ///   group start (sequential on the same ranks);
 /// * layout 3 — everything rooted at rank 0.
-pub fn build(
-    machine: &Machine,
-    layout: Layout,
-    alloc: &Allocation,
-) -> Result<PesLayout, PesError> {
+pub fn build(machine: &Machine, layout: Layout, alloc: &Allocation) -> Result<PesLayout, PesError> {
     if let Some(problem) = layout.check(alloc, machine.nodes) {
         return Err(PesError::InvalidAllocation(problem));
     }
@@ -84,28 +80,77 @@ pub fn build(
             let ice_root = atm_root;
             let lnd_root = atm_root + tasks(alloc.atm) - tasks(alloc.lnd);
             total_tasks = tasks(alloc.ocn) + tasks(alloc.atm);
-            entries.push(PesEntry { component: Component::Ocn, ntasks: tasks(alloc.ocn), nthrds: threads, rootpe: ocn_root });
-            entries.push(PesEntry { component: Component::Atm, ntasks: tasks(alloc.atm), nthrds: threads, rootpe: atm_root });
-            entries.push(PesEntry { component: Component::Ice, ntasks: tasks(alloc.ice), nthrds: threads, rootpe: ice_root });
-            entries.push(PesEntry { component: Component::Lnd, ntasks: tasks(alloc.lnd), nthrds: threads, rootpe: lnd_root });
+            entries.push(PesEntry {
+                component: Component::Ocn,
+                ntasks: tasks(alloc.ocn),
+                nthrds: threads,
+                rootpe: ocn_root,
+            });
+            entries.push(PesEntry {
+                component: Component::Atm,
+                ntasks: tasks(alloc.atm),
+                nthrds: threads,
+                rootpe: atm_root,
+            });
+            entries.push(PesEntry {
+                component: Component::Ice,
+                ntasks: tasks(alloc.ice),
+                nthrds: threads,
+                rootpe: ice_root,
+            });
+            entries.push(PesEntry {
+                component: Component::Lnd,
+                ntasks: tasks(alloc.lnd),
+                nthrds: threads,
+                rootpe: lnd_root,
+            });
             // Coupler shares the atmosphere ranks; river shares land.
-            entries.push(PesEntry { component: Component::Cpl, ntasks: tasks(alloc.atm), nthrds: threads, rootpe: atm_root });
-            entries.push(PesEntry { component: Component::Rtm, ntasks: tasks(alloc.lnd), nthrds: threads, rootpe: lnd_root });
+            entries.push(PesEntry {
+                component: Component::Cpl,
+                ntasks: tasks(alloc.atm),
+                nthrds: threads,
+                rootpe: atm_root,
+            });
+            entries.push(PesEntry {
+                component: Component::Rtm,
+                ntasks: tasks(alloc.lnd),
+                nthrds: threads,
+                rootpe: lnd_root,
+            });
         }
         Layout::SequentialWithOcean => {
             let group_root = tasks(alloc.ocn);
-            total_tasks = tasks(alloc.ocn)
-                + tasks(alloc.atm.max(alloc.ice).max(alloc.lnd));
-            entries.push(PesEntry { component: Component::Ocn, ntasks: tasks(alloc.ocn), nthrds: threads, rootpe: 0 });
+            total_tasks = tasks(alloc.ocn) + tasks(alloc.atm.max(alloc.ice).max(alloc.lnd));
+            entries.push(PesEntry {
+                component: Component::Ocn,
+                ntasks: tasks(alloc.ocn),
+                nthrds: threads,
+                rootpe: 0,
+            });
             for (c, n) in [
                 (Component::Ice, alloc.ice),
                 (Component::Lnd, alloc.lnd),
                 (Component::Atm, alloc.atm),
             ] {
-                entries.push(PesEntry { component: c, ntasks: tasks(n), nthrds: threads, rootpe: group_root });
+                entries.push(PesEntry {
+                    component: c,
+                    ntasks: tasks(n),
+                    nthrds: threads,
+                    rootpe: group_root,
+                });
             }
-            entries.push(PesEntry { component: Component::Cpl, ntasks: tasks(alloc.atm), nthrds: threads, rootpe: group_root });
-            entries.push(PesEntry { component: Component::Rtm, ntasks: tasks(alloc.lnd), nthrds: threads, rootpe: group_root });
+            entries.push(PesEntry {
+                component: Component::Cpl,
+                ntasks: tasks(alloc.atm),
+                nthrds: threads,
+                rootpe: group_root,
+            });
+            entries.push(PesEntry {
+                component: Component::Rtm,
+                ntasks: tasks(alloc.lnd),
+                nthrds: threads,
+                rootpe: group_root,
+            });
         }
         Layout::FullySequential => {
             total_tasks = tasks(alloc.atm.max(alloc.ice).max(alloc.lnd).max(alloc.ocn));
@@ -115,13 +160,31 @@ pub fn build(
                 (Component::Atm, alloc.atm),
                 (Component::Ocn, alloc.ocn),
             ] {
-                entries.push(PesEntry { component: c, ntasks: tasks(n), nthrds: threads, rootpe: 0 });
+                entries.push(PesEntry {
+                    component: c,
+                    ntasks: tasks(n),
+                    nthrds: threads,
+                    rootpe: 0,
+                });
             }
-            entries.push(PesEntry { component: Component::Cpl, ntasks: tasks(alloc.atm), nthrds: threads, rootpe: 0 });
-            entries.push(PesEntry { component: Component::Rtm, ntasks: tasks(alloc.lnd), nthrds: threads, rootpe: 0 });
+            entries.push(PesEntry {
+                component: Component::Cpl,
+                ntasks: tasks(alloc.atm),
+                nthrds: threads,
+                rootpe: 0,
+            });
+            entries.push(PesEntry {
+                component: Component::Rtm,
+                ntasks: tasks(alloc.lnd),
+                nthrds: threads,
+                rootpe: 0,
+            });
         }
     }
-    Ok(PesLayout { entries, total_tasks })
+    Ok(PesLayout {
+        entries,
+        total_tasks,
+    })
 }
 
 impl PesLayout {
@@ -185,7 +248,10 @@ impl PesLayout {
         if entries.is_empty() {
             return Err(PesError::Parse("no component entries found".to_string()));
         }
-        Ok(PesLayout { entries, total_tasks })
+        Ok(PesLayout {
+            entries,
+            total_tasks,
+        })
     }
 
     /// The entry for one component, if present.

@@ -138,7 +138,9 @@ impl Simulator {
         }
         let mut h = self.seed;
         for k in [c as u64 + 1, nodes as u64, run_id] {
-            h = (h ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15)).rotate_left(23).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h = (h ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .rotate_left(23)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
         }
         let mut rng = rand::rngs::StdRng::seed_from_u64(h);
         // Sum of uniforms ≈ normal; clamp at ±3σ to keep times positive.
@@ -182,7 +184,10 @@ impl Simulator {
         budget_seconds: Option<f64>,
     ) -> Result<f64, BenchFault> {
         let clean = self.component_time(c, nodes, run_id);
-        match self.faults.draw(FaultDomain::Bench, c as u64, nodes as u64, run_id) {
+        match self
+            .faults
+            .draw(FaultDomain::Bench, c as u64, nodes as u64, run_id)
+        {
             FaultOutcome::Fail => Err(BenchFault::Failed {
                 component: c,
                 nodes,
@@ -265,10 +270,12 @@ impl Simulator {
             .wrapping_add(alloc.atm as u64)
             .wrapping_mul(31)
             .wrapping_add(alloc.ocn as u64);
-        match self
-            .faults
-            .draw(FaultDomain::CoupledRun, alloc_key, layout.number() as u64, run_id)
-        {
+        match self.faults.draw(
+            FaultDomain::CoupledRun,
+            alloc_key,
+            layout.number() as u64,
+            run_id,
+        ) {
             FaultOutcome::Fail => {
                 return Err(format!("coupled run {run_id} failed (injected fault)"))
             }
@@ -364,10 +371,7 @@ mod tests {
             )
             .unwrap();
         let within = |got: f64, want: f64, tol: f64| {
-            assert!(
-                (got - want).abs() / want < tol,
-                "got {got}, paper {want}"
-            );
+            assert!((got - want).abs() / want < tol, "got {got}, paper {want}");
         };
         within(run.times.lnd, 63.766, 0.25);
         within(run.times.ice, 109.054, 0.25);
@@ -417,10 +421,11 @@ mod tests {
         assert_eq!(pts.len(), 16);
         // Times decrease with nodes for every component in this range.
         for &c in &Component::OPTIMIZED {
-            let series: Vec<&BenchPoint> =
-                pts.iter().filter(|p| p.component == c).collect();
-            assert!(series.windows(2).all(|w| w[1].seconds < w[0].seconds),
-                "{c} not decreasing: {series:?}");
+            let series: Vec<&BenchPoint> = pts.iter().filter(|p| p.component == c).collect();
+            assert!(
+                series.windows(2).all(|w| w[1].seconds < w[0].seconds),
+                "{c} not decreasing: {series:?}"
+            );
         }
     }
 
@@ -470,14 +475,18 @@ mod tests {
         }
         // fail + hang = 0.30 of runs produce no timing.
         let rate = failures as f64 / total as f64;
-        assert!((0.2..0.4).contains(&rate), "fault rate {rate} far from 0.30");
+        assert!(
+            (0.2..0.4).contains(&rate),
+            "fault rate {rate} far from 0.30"
+        );
     }
 
     #[test]
     fn faultless_try_matches_component_time() {
         let sim = Simulator::one_degree(42);
         assert_eq!(
-            sim.try_component_time(Component::Atm, 104, 3, None).unwrap(),
+            sim.try_component_time(Component::Atm, 104, 3, None)
+                .unwrap(),
             sim.component_time(Component::Atm, 104, 3)
         );
     }
@@ -511,8 +520,12 @@ mod tests {
             ..FaultSpec::flaky(3, 0.0)
         };
         let sim = Simulator::one_degree(42).with_faults(spec);
-        let g1 = sim.try_component_time(Component::Atm, 104, 0, None).unwrap();
-        let g2 = sim.try_component_time(Component::Atm, 104, 0, None).unwrap();
+        let g1 = sim
+            .try_component_time(Component::Atm, 104, 0, None)
+            .unwrap();
+        let g2 = sim
+            .try_component_time(Component::Atm, 104, 0, None)
+            .unwrap();
         assert_eq!(g1, g2);
         let clean = sim.component_time(Component::Atm, 104, 0);
         assert!(
@@ -534,14 +547,20 @@ mod tests {
                 failed += 1;
             }
         }
-        assert!(failed > 0, "40%-faulty coupled runs never failed in 50 tries");
+        assert!(
+            failed > 0,
+            "40%-faulty coupled runs never failed in 50 tries"
+        );
         // Timings of surviving runs are identical to the clean simulator's:
         // faults gate runs, they do not perturb physics.
         for run in 0..50 {
             if let Ok(r) = faulty_sim.run_case(&alloc, Layout::Hybrid, run) {
                 assert_eq!(
                     r.total,
-                    clean_sim.run_case(&alloc, Layout::Hybrid, run).unwrap().total
+                    clean_sim
+                        .run_case(&alloc, Layout::Hybrid, run)
+                        .unwrap()
+                        .total
                 );
             }
         }

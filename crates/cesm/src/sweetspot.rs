@@ -62,14 +62,20 @@ mod tests {
 
     #[test]
     fn snap_is_identity_on_sweet_spots() {
-        assert_eq!(snap(Resolution::EighthDegree, Component::Atm, 20_888, 32_768), 20_888);
+        assert_eq!(
+            snap(Resolution::EighthDegree, Component::Atm, 20_888, 32_768),
+            20_888
+        );
         assert_eq!(snap(Resolution::OneDegree, Component::Ocn, 256, 2048), 256);
     }
 
     #[test]
     fn snap_moves_to_nearest_qualifying_count() {
         // 20890 is not a multiple of 8; nearest multiple is 20888.
-        assert_eq!(snap(Resolution::EighthDegree, Component::Atm, 20_890, 32_768), 20_888);
+        assert_eq!(
+            snap(Resolution::EighthDegree, Component::Atm, 20_890, 32_768),
+            20_888
+        );
         // 487 is odd; the 1° ocean set wants even ≤ 480 (or 768): snapping
         // 487 → 486 fails (> 480), → 480.
         assert_eq!(snap(Resolution::OneDegree, Component::Ocn, 487, 2048), 480);

@@ -68,7 +68,10 @@ impl TimingFile {
         let mut out = String::new();
         out.push_str("---------------- CESM timing summary ----------------\n");
         out.push_str(&format!("  case        : {}\n", self.case_name));
-        out.push_str(&format!("  model_total : {:.3} seconds\n", self.model_total));
+        out.push_str(&format!(
+            "  model_total : {:.3} seconds\n",
+            self.model_total
+        ));
         out.push_str("  component      nodes        run (s)       cpl (s)\n");
         for l in &self.lines {
             out.push_str(&format!(

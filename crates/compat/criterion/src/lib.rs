@@ -1,4 +1,5 @@
 //! Offline stand-in for the subset of `criterion` this workspace uses.
+#![forbid(unsafe_code)]
 //!
 //! The build container has no registry access, so the real crate cannot
 //! be fetched. This shim keeps `cargo bench` functional: each benchmark
@@ -79,7 +80,10 @@ fn run_one(label: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
     f(&mut b);
     if b.batches > 0 && b.samples > 0 {
         let per_iter = b.total / (b.batches * b.samples as u32);
-        println!("bench {label:<48} {per_iter:>12.2?}/iter ({} iters)", b.samples);
+        println!(
+            "bench {label:<48} {per_iter:>12.2?}/iter ({} iters)",
+            b.samples
+        );
     } else {
         println!("bench {label:<48} (no measurement)");
     }

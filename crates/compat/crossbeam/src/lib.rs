@@ -1,4 +1,5 @@
 //! Offline stand-in for the one `crossbeam` API this workspace uses:
+#![forbid(unsafe_code)]
 //! `crossbeam::thread::scope`, implemented over `std::thread::scope`.
 //!
 //! Semantics difference kept deliberately small: the real crate joins all

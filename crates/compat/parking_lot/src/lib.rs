@@ -1,4 +1,5 @@
 //! Offline stand-in for the subset of `parking_lot` this workspace uses:
+#![forbid(unsafe_code)]
 //! `Mutex` and `RwLock` with panic-free (non-poisoning) guards. Backed by
 //! `std::sync`; a poisoned std lock is recovered transparently, matching
 //! parking_lot's no-poisoning semantics.

@@ -1,4 +1,5 @@
 //! Offline stand-in for the subset of `proptest` this workspace uses.
+#![forbid(unsafe_code)]
 //!
 //! The build container has no registry access, so the real crate cannot
 //! be fetched. This crate keeps the property tests *running* (not just
@@ -266,7 +267,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter {:?} rejected 1024 samples in a row", self.whence)
+        panic!(
+            "prop_filter {:?} rejected 1024 samples in a row",
+            self.whence
+        )
     }
 }
 
@@ -396,11 +400,7 @@ fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<char> {
                 match (prev, chars.peek()) {
                     (Some(lo), Some(&hi)) if hi != ']' => {
                         chars.next();
-                        let hi = if hi == '\\' {
-                            parse_escape(chars)
-                        } else {
-                            hi
-                        };
+                        let hi = if hi == '\\' { parse_escape(chars) } else { hi };
                         assert!(lo <= hi, "string strategy: bad class range {lo}-{hi}");
                         for v in (lo as u32 + 1)..=(hi as u32) {
                             if let Some(ch) = char::from_u32(v) {
@@ -660,10 +660,12 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
         if *l == *r {
-            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!("assertion failed: {} != {}\n  both: {:?}",
-                        stringify!($left), stringify!($right), l),
-            ));
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
         }
     }};
 }
@@ -777,9 +779,11 @@ mod tests {
                 Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let strat = (0i64..10).prop_map(Tree::Leaf).prop_recursive(3, 16, 3, |inner| {
-            prop::collection::vec(inner, 1..3).prop_map(Tree::Node)
-        });
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 3, |inner| {
+                prop::collection::vec(inner, 1..3).prop_map(Tree::Node)
+            });
         let mut rng = TestRng::deterministic("tree");
         for _ in 0..100 {
             assert!(depth(&strat.sample(&mut rng)) <= 5);

@@ -1,4 +1,5 @@
 //! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+#![forbid(unsafe_code)]
 //! uses: `SeedableRng::seed_from_u64`, `rngs::StdRng`, and the `Rng`
 //! extension methods `gen`, `gen_range`, and `gen_bool`.
 //!
@@ -174,10 +175,7 @@ pub mod rngs {
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];

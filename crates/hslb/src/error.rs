@@ -12,18 +12,22 @@ pub enum HslbError {
     /// A fit set was constructed without all four optimized components
     /// (the solve step indexes every one, so a partial set would panic
     /// later — reject it at construction instead).
-    IncompleteFitSet {
-        missing: Vec<hslb_cesm::Component>,
-    },
+    IncompleteFitSet { missing: Vec<hslb_cesm::Component> },
     /// A curve was requested for a component the fit set does not carry
     /// (the coupler, say — only optimized components are fitted).
-    MissingFit {
-        component: hslb_cesm::Component,
-    },
+    MissingFit { component: hslb_cesm::Component },
     /// Model construction failed.
     Model(hslb_model::ModelError),
     /// The MINLP could not be compiled for the solver.
     Compile(hslb_minlp::CompileError),
+    /// The pre-solve instance audit failed: the fitted curves or the
+    /// generated model violate the convexity/well-formedness assumptions
+    /// behind the branch-and-bound's global-optimality claim. The full
+    /// audit is carried so the degradation ladder can attach it to the
+    /// report while routing the instance to the exhaustive rung.
+    AuditRejected {
+        audit: Box<hslb_audit::InstanceAudit>,
+    },
     /// The solver proved the model infeasible (a target node count below
     /// the smallest feasible layout, say).
     Infeasible { detail: String },
@@ -56,6 +60,9 @@ impl std::fmt::Display for HslbError {
             }
             HslbError::Model(e) => write!(f, "building layout model: {e}"),
             HslbError::Compile(e) => write!(f, "compiling MINLP: {e}"),
+            HslbError::AuditRejected { audit } => {
+                write!(f, "instance audit rejected the MINLP: {}", audit.summary())
+            }
             HslbError::Infeasible { detail } => write!(f, "MINLP infeasible: {detail}"),
             HslbError::SolverIncomplete { detail } => {
                 write!(f, "solver stopped early: {detail}")
@@ -63,11 +70,7 @@ impl std::fmt::Display for HslbError {
             HslbError::Execute { detail } => write!(f, "execution rejected: {detail}"),
             HslbError::Gather { detail } => write!(f, "gather failed: {detail}"),
             HslbError::DegradationExhausted { fallbacks } => {
-                write!(
-                    f,
-                    "every fallback failed: [{}]",
-                    fallbacks.join("; ")
-                )
+                write!(f, "every fallback failed: [{}]", fallbacks.join("; "))
             }
             HslbError::Config(detail) => write!(f, "configuration error: {detail}"),
         }

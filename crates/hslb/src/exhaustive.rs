@@ -92,7 +92,8 @@ impl<'a> ExhaustiveOptimizer<'a> {
         match self.layout {
             Layout::Hybrid => {
                 let (ni, nl, icelnd) = self.best_icelnd_split(n_atm);
-                let total = (icelnd + self.t(Component::Atm, n_atm)).max(self.t(Component::Ocn, n_ocn));
+                let total =
+                    (icelnd + self.t(Component::Atm, n_atm)).max(self.t(Component::Ocn, n_ocn));
                 (total, ni, nl)
             }
             Layout::SequentialWithOcean => {
@@ -101,9 +102,18 @@ impl<'a> ExhaustiveOptimizer<'a> {
                 // convex decreasing-then-flat curves *except* for the b·n^c
                 // term — optimize each independently over [1, n_atm].
                 let cap = n_atm; // caller passes cap = N − n_ocn here
-                let ni = self.fits.optimized_curve(Component::Ice).argmin_nodes(self.floors.ice, cap);
-                let nl = self.fits.optimized_curve(Component::Lnd).argmin_nodes(self.floors.lnd, cap);
-                let na = self.fits.optimized_curve(Component::Atm).argmin_nodes(self.floors.atm, cap);
+                let ni = self
+                    .fits
+                    .optimized_curve(Component::Ice)
+                    .argmin_nodes(self.floors.ice, cap);
+                let nl = self
+                    .fits
+                    .optimized_curve(Component::Lnd)
+                    .argmin_nodes(self.floors.lnd, cap);
+                let na = self
+                    .fits
+                    .optimized_curve(Component::Atm)
+                    .argmin_nodes(self.floors.atm, cap);
                 let seq = self.t(Component::Ice, ni)
                     + self.t(Component::Lnd, nl)
                     + self.t(Component::Atm, na);
@@ -111,10 +121,22 @@ impl<'a> ExhaustiveOptimizer<'a> {
             }
             Layout::FullySequential => {
                 let cap = self.total_nodes;
-                let ni = self.fits.optimized_curve(Component::Ice).argmin_nodes(self.floors.ice, cap);
-                let nl = self.fits.optimized_curve(Component::Lnd).argmin_nodes(self.floors.lnd, cap);
-                let na = self.fits.optimized_curve(Component::Atm).argmin_nodes(self.floors.atm, cap);
-                let no = self.fits.optimized_curve(Component::Ocn).argmin_nodes(self.floors.ocn, cap);
+                let ni = self
+                    .fits
+                    .optimized_curve(Component::Ice)
+                    .argmin_nodes(self.floors.ice, cap);
+                let nl = self
+                    .fits
+                    .optimized_curve(Component::Lnd)
+                    .argmin_nodes(self.floors.lnd, cap);
+                let na = self
+                    .fits
+                    .optimized_curve(Component::Atm)
+                    .argmin_nodes(self.floors.atm, cap);
+                let no = self
+                    .fits
+                    .optimized_curve(Component::Ocn)
+                    .argmin_nodes(self.floors.ocn, cap);
                 let total = self.t(Component::Ice, ni)
                     + self.t(Component::Lnd, nl)
                     + self.t(Component::Atm, na)
@@ -131,7 +153,12 @@ impl<'a> ExhaustiveOptimizer<'a> {
     fn candidates(allowed: &Option<Vec<i64>>, lo: i64, cap: i64) -> Option<Vec<i64>> {
         let lo = lo.max(1);
         match allowed {
-            Some(list) => Some(list.iter().copied().filter(|&v| v >= lo && v <= cap).collect()),
+            Some(list) => Some(
+                list.iter()
+                    .copied()
+                    .filter(|&v| v >= lo && v <= cap)
+                    .collect(),
+            ),
             // An empty list (cap < lo) is a real answer: no candidates.
             None if cap <= 4096 => Some((lo..=cap).collect()),
             None => None,
@@ -157,6 +184,7 @@ impl<'a> ExhaustiveOptimizer<'a> {
     ///
     /// Panics when the candidate space is empty; fault-tolerant callers
     /// should use [`Self::try_solve`].
+    #[allow(clippy::expect_used)] // panicking wrapper, documented above
     pub fn solve(&self, objective: Objective) -> ExhaustiveResult {
         self.try_solve(objective)
             .expect("no feasible candidate allocation (use try_solve on the fault path)")
@@ -183,10 +211,21 @@ impl<'a> ExhaustiveOptimizer<'a> {
         // Layout 3 needs no outer enumeration at all.
         if self.layout == Layout::FullySequential {
             let (total, ni, nl) = self.score_minmax(0, 0);
-            let na = self.fits.optimized_curve(Component::Atm).argmin_nodes(self.floors.atm, n);
-            let no = self.fits.optimized_curve(Component::Ocn).argmin_nodes(self.floors.ocn, n);
+            let na = self
+                .fits
+                .optimized_curve(Component::Atm)
+                .argmin_nodes(self.floors.atm, n);
+            let no = self
+                .fits
+                .optimized_curve(Component::Ocn)
+                .argmin_nodes(self.floors.ocn, n);
             return Some(ExhaustiveResult {
-                allocation: Allocation { lnd: nl, ice: ni, atm: na, ocn: no },
+                allocation: Allocation {
+                    lnd: nl,
+                    ice: ni,
+                    atm: na,
+                    ocn: no,
+                },
                 objective: total,
                 evaluations: 1,
                 pruned: 0,
@@ -204,11 +243,7 @@ impl<'a> ExhaustiveOptimizer<'a> {
             let inner_best = match self.layout {
                 Layout::Hybrid => {
                     // Optimize n_atm ∈ allowed ∩ [floor, atm_budget].
-                    match Self::candidates(
-                        &self.atm_allowed,
-                        min_atm_side,
-                        atm_budget,
-                    ) {
+                    match Self::candidates(&self.atm_allowed, min_atm_side, atm_budget) {
                         Some(cands) => {
                             let mut loc: Option<(f64, i64)> = None;
                             for &na in &cands {
@@ -230,8 +265,11 @@ impl<'a> ExhaustiveOptimizer<'a> {
                             // n_atm; ternary search finds its basin in
                             // O(log) evaluations.
                             let f = |na: i64| self.score_minmax(na, n_ocn).0;
-                            let (na, total) =
-                                scalar::integer_ternary_min(f, min_atm_side.min(atm_budget), atm_budget);
+                            let (na, total) = scalar::integer_ternary_min(
+                                f,
+                                min_atm_side.min(atm_budget),
+                                atm_budget,
+                            );
                             *evals += 2 * (64 - atm_budget.leading_zeros() as usize);
                             Some((total, na))
                         }
@@ -250,13 +288,27 @@ impl<'a> ExhaustiveOptimizer<'a> {
             };
             let (_, ni, nl) = self.score_minmax(na, n_ocn);
             let alloc = match self.layout {
-                Layout::Hybrid => Allocation { lnd: nl, ice: ni, atm: na, ocn: n_ocn },
+                Layout::Hybrid => Allocation {
+                    lnd: nl,
+                    ice: ni,
+                    atm: na,
+                    ocn: n_ocn,
+                },
                 Layout::SequentialWithOcean => {
                     let cap = atm_budget;
                     Allocation {
-                        lnd: self.fits.optimized_curve(Component::Lnd).argmin_nodes(self.floors.lnd, cap),
-                        ice: self.fits.optimized_curve(Component::Ice).argmin_nodes(self.floors.ice, cap),
-                        atm: self.fits.optimized_curve(Component::Atm).argmin_nodes(self.floors.atm, cap),
+                        lnd: self
+                            .fits
+                            .optimized_curve(Component::Lnd)
+                            .argmin_nodes(self.floors.lnd, cap),
+                        ice: self
+                            .fits
+                            .optimized_curve(Component::Ice)
+                            .argmin_nodes(self.floors.ice, cap),
+                        atm: self
+                            .fits
+                            .optimized_curve(Component::Atm)
+                            .argmin_nodes(self.floors.atm, cap),
                         ocn: n_ocn,
                     }
                 }
@@ -301,8 +353,8 @@ impl<'a> ExhaustiveOptimizer<'a> {
             Layout::FullySequential => n,
             _ => n - 2,
         };
-        let cands = Self::candidates(&self.ocean_allowed, self.floors.ocn, ocn_cap)
-            .unwrap_or_else(|| {
+        let cands =
+            Self::candidates(&self.ocean_allowed, self.floors.ocn, ocn_cap).unwrap_or_else(|| {
                 Self::strided_inclusive(self.floors.ocn.max(1), ocn_cap, (n / 2048).max(1))
             });
         let mut pruned = 0usize;
@@ -327,7 +379,10 @@ impl<'a> ExhaustiveOptimizer<'a> {
                         )
                     })
                     .unwrap_or(self.floors.atm.max(1)),
-                None => self.fits.optimized_curve(Component::Atm).argmin_nodes(self.floors.atm, cap),
+                None => self
+                    .fits
+                    .optimized_curve(Component::Atm)
+                    .argmin_nodes(self.floors.atm, cap),
             };
             let inner_cap = match self.layout {
                 Layout::Hybrid => na,
@@ -346,15 +401,18 @@ impl<'a> ExhaustiveOptimizer<'a> {
                         pruned += 1;
                         continue;
                     }
-                    let f = |k: i64| {
-                        self.t(Component::Ice, k) + self.t(Component::Lnd, inner_cap - k)
-                    };
+                    let f =
+                        |k: i64| self.t(Component::Ice, k) + self.t(Component::Lnd, inner_cap - k);
                     let (k, _) = scalar::integer_ternary_min(f, ice_lo, inner_cap - lnd_lo);
                     (k, inner_cap - k)
                 }
                 _ => (
-                    self.fits.optimized_curve(Component::Ice).argmin_nodes(self.floors.ice, inner_cap),
-                    self.fits.optimized_curve(Component::Lnd).argmin_nodes(self.floors.lnd, inner_cap),
+                    self.fits
+                        .optimized_curve(Component::Ice)
+                        .argmin_nodes(self.floors.ice, inner_cap),
+                    self.fits
+                        .optimized_curve(Component::Lnd)
+                        .argmin_nodes(self.floors.lnd, inner_cap),
                 ),
             };
             evals += 1;
@@ -363,7 +421,15 @@ impl<'a> ExhaustiveOptimizer<'a> {
                 + self.t(Component::Atm, na)
                 + self.t(Component::Ocn, no);
             if best.as_ref().is_none_or(|(b, _)| total < *b) {
-                best = Some((total, Allocation { lnd: nl, ice: ni, atm: na, ocn: no }));
+                best = Some((
+                    total,
+                    Allocation {
+                        lnd: nl,
+                        ice: ni,
+                        atm: na,
+                        ocn: no,
+                    },
+                ));
             }
         }
         let (objective, allocation) = best?;
@@ -383,8 +449,8 @@ impl<'a> ExhaustiveOptimizer<'a> {
         let mut best: Option<(f64, Allocation)> = None;
         let mut evals = 0usize;
         let mut pruned = 0usize;
-        let cands = Self::candidates(&self.ocean_allowed, self.floors.ocn, n - 3)
-            .unwrap_or_else(|| {
+        let cands =
+            Self::candidates(&self.ocean_allowed, self.floors.ocn, n - 3).unwrap_or_else(|| {
                 Self::strided_inclusive(self.floors.ocn.max(1), n - 3, (n / 2048).max(1))
             });
         for &no in &cands {
@@ -445,7 +511,12 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn toy_fits() -> FitSet {
-        let mk = |a: f64, d: f64| ScalingCurve { a, b: 0.0, c: 1.0, d };
+        let mk = |a: f64, d: f64| ScalingCurve {
+            a,
+            b: 0.0,
+            c: 1.0,
+            d,
+        };
         FitSet::from_curves(BTreeMap::from([
             (Component::Ice, mk(8_000.0, 2.0)),
             (Component::Lnd, mk(1_500.0, 1.0)),
@@ -462,14 +533,20 @@ mod tests {
         let res = opt.solve(Objective::MinMax);
         // Sanity: compare against a handful of hand-picked allocations.
         for (ni, nl, na, no) in [(30, 10, 100, 28), (40, 24, 64, 64), (10, 5, 96, 32)] {
-            let icelnd = fits.predict(Component::Ice, ni).max(fits.predict(Component::Lnd, nl));
-            let t = (icelnd + fits.predict(Component::Atm, na)).max(fits.predict(Component::Ocn, no));
+            let icelnd = fits
+                .predict(Component::Ice, ni)
+                .max(fits.predict(Component::Lnd, nl));
+            let t =
+                (icelnd + fits.predict(Component::Atm, na)).max(fits.predict(Component::Ocn, no));
             assert!(res.objective <= t + 1e-9, "beaten by ({ni},{nl},{na},{no})");
         }
         // And the reported allocation achieves the reported objective.
         let a = res.allocation;
-        let icelnd = fits.predict(Component::Ice, a.ice).max(fits.predict(Component::Lnd, a.lnd));
-        let t = (icelnd + fits.predict(Component::Atm, a.atm)).max(fits.predict(Component::Ocn, a.ocn));
+        let icelnd = fits
+            .predict(Component::Ice, a.ice)
+            .max(fits.predict(Component::Lnd, a.lnd));
+        let t =
+            (icelnd + fits.predict(Component::Atm, a.atm)).max(fits.predict(Component::Ocn, a.ocn));
         assert!((t - res.objective).abs() < 1e-9);
         assert!(a.ice + a.lnd <= a.atm);
         assert!(a.atm + a.ocn <= 128);

@@ -36,6 +36,7 @@ impl FitSet {
     /// The curve for one of the four *optimized* components, which
     /// construction ([`fit_all`]/[`FitSet::from_curves`]) guarantees are
     /// present. For arbitrary components use the checked [`FitSet::curve`].
+    #[allow(clippy::expect_used)] // construction invariant, see doc
     pub fn optimized_curve(&self, c: Component) -> ScalingCurve {
         self.fits
             .get(&c)
@@ -45,6 +46,7 @@ impl FitSet {
 
     /// Fit diagnostics for one of the four optimized components (see
     /// [`FitSet::optimized_curve`] for the contract).
+    #[allow(clippy::expect_used)] // construction invariant, see doc
     pub fn optimized_fit(&self, c: Component) -> &ScalingFit {
         self.fits
             .get(&c)
@@ -159,11 +161,17 @@ impl WarmStartCache {
     }
 
     /// The last fitted parameters for `c`, if any.
+    #[allow(clippy::expect_used)] // poisoned lock = panic already in flight
     pub fn get(&self, c: Component) -> Option<[f64; 4]> {
-        self.inner.lock().expect("warm-start cache lock").get(&c).copied()
+        self.inner
+            .lock()
+            .expect("warm-start cache lock")
+            .get(&c)
+            .copied()
     }
 
     /// Record `curve` as the warm start for future fits of `c`.
+    #[allow(clippy::expect_used)] // poisoned lock = panic already in flight
     pub fn store(&self, c: Component, curve: &ScalingCurve) {
         self.inner
             .lock()
@@ -172,6 +180,7 @@ impl WarmStartCache {
     }
 
     /// How many components have a stored warm start.
+    #[allow(clippy::expect_used)] // poisoned lock = panic already in flight
     pub fn len(&self) -> usize {
         self.inner.lock().expect("warm-start cache lock").len()
     }
@@ -202,8 +211,10 @@ pub fn fit_all_warm(
             warm_start: cache.and_then(|w| w.get(c)).or(opts.warm_start),
             ..opts.clone()
         };
-        let fit = fit_scaling(data.of(c), &component_opts)
-            .map_err(|source| HslbError::Fit { component: c, source })?;
+        let fit = fit_scaling(data.of(c), &component_opts).map_err(|source| HslbError::Fit {
+            component: c,
+            source,
+        })?;
         if let Some(w) = cache {
             w.store(c, &fit.curve);
         }
@@ -363,8 +374,14 @@ mod tests {
             atm: 30,
             ocn: 40,
         };
-        let (ti, tl) = (fits.predict(Component::Ice, 20), fits.predict(Component::Lnd, 10));
-        let (ta, to) = (fits.predict(Component::Atm, 30), fits.predict(Component::Ocn, 40));
+        let (ti, tl) = (
+            fits.predict(Component::Ice, 20),
+            fits.predict(Component::Lnd, 10),
+        );
+        let (ta, to) = (
+            fits.predict(Component::Atm, 30),
+            fits.predict(Component::Ocn, 40),
+        );
         assert_eq!(
             fits.predicted_total(Layout::Hybrid, &a),
             (ti.max(tl) + ta).max(to)

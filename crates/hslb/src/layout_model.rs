@@ -276,16 +276,14 @@ pub fn build_layout_model(
                     if let Some(tsync) = opts.tsync {
                         m.constrain(
                             "sync_lnd_not_too_fast",
-                            t_of(Component::Ice, n_ice, fits)
-                                - t_of(Component::Lnd, n_lnd, fits),
+                            t_of(Component::Ice, n_ice, fits) - t_of(Component::Lnd, n_lnd, fits),
                             ConstraintSense::Le,
                             tsync,
                             Convexity::Nonconvex,
                         )?;
                         m.constrain(
                             "sync_lnd_not_too_slow",
-                            t_of(Component::Lnd, n_lnd, fits)
-                                - t_of(Component::Ice, n_ice, fits),
+                            t_of(Component::Lnd, n_lnd, fits) - t_of(Component::Ice, n_ice, fits),
                             ConstraintSense::Le,
                             tsync,
                             Convexity::Nonconvex,
@@ -423,7 +421,12 @@ mod tests {
 
     fn toy_fits() -> FitSet {
         // Simple decreasing curves with distinct workloads.
-        let mk = |a: f64, d: f64| ScalingCurve { a, b: 0.0, c: 1.0, d };
+        let mk = |a: f64, d: f64| ScalingCurve {
+            a,
+            b: 0.0,
+            c: 1.0,
+            d,
+        };
         let curves: BTreeMap<_, _> = [
             (Component::Ice, mk(8_000.0, 2.0)),
             (Component::Lnd, mk(1_500.0, 1.0)),
@@ -437,11 +440,8 @@ mod tests {
 
     #[test]
     fn hybrid_model_shape_matches_table_i() {
-        let lm = build_layout_model(
-            &toy_fits(),
-            &LayoutModelOptions::free(Layout::Hybrid, 128),
-        )
-        .unwrap();
+        let lm = build_layout_model(&toy_fits(), &LayoutModelOptions::free(Layout::Hybrid, 128))
+            .unwrap();
         // 4 node vars + T + T_icelnd.
         assert_eq!(lm.model.num_vars(), 6);
         assert!(lm.t_icelnd.is_some());
@@ -500,11 +500,8 @@ mod tests {
     #[test]
     fn models_compile_for_the_solver() {
         for layout in Layout::ALL {
-            let lm = build_layout_model(
-                &toy_fits(),
-                &LayoutModelOptions::free(layout, 256),
-            )
-            .unwrap();
+            let lm =
+                build_layout_model(&toy_fits(), &LayoutModelOptions::free(layout, 256)).unwrap();
             hslb_minlp::compile(&lm.model).expect("model must compile");
         }
     }

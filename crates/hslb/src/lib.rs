@@ -1,5 +1,6 @@
 //! The Heuristic Static Load-Balancing (HSLB) algorithm for CESM.
-#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //!
 //! This crate is the paper's primary contribution: given a way to
 //! benchmark CESM's components (here, the [`hslb_cesm`] simulator — in

@@ -15,8 +15,8 @@
 //! * [`SimulatedExpert`] — a procedural stand-in for the human loop, used
 //!   by ablations at node counts the paper does not report.
 
-use hslb_cesm::{Allocation, Layout, Resolution, Simulator};
 use hslb_cesm::calib;
+use hslb_cesm::{Allocation, Layout, Resolution, Simulator};
 
 /// The expert allocation the paper reports for a `(resolution, N)`
 /// experiment, if any.
@@ -50,6 +50,7 @@ impl SimulatedExpert {
     ///
     /// Panics when every coupled run fails (a fully hostile cluster);
     /// fault-tolerant callers should use [`Self::try_tune`].
+    #[allow(clippy::expect_used)] // panicking wrapper, documented above
     pub fn tune(&self, sim: &Simulator, n: i64) -> (Allocation, usize) {
         self.try_tune(sim, n)
             .expect("every coupled run failed (use try_tune on the fault path)")

@@ -1,6 +1,5 @@
 //! Objective functions for the allocation problem (§III-D).
 
-
 /// The three candidate objectives the paper discusses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Objective {

@@ -66,6 +66,11 @@ pub struct HslbOptions {
     pub warm_cache: Option<WarmStartCache>,
     /// Retry/backoff policy for benchmark and coupled runs.
     pub retry: RetryPolicy,
+    /// When set, the solve step uses these curves instead of fitting the
+    /// gathered data — the injection hook for flowing a synthetic fit set
+    /// (a seeded non-convex instance, say) through the full audit and
+    /// degradation ladder. `None` (the default) fits normally.
+    pub curve_override: Option<FitSet>,
     /// Telemetry sink for pipeline events. Disabled by default;
     /// instrumentation is strictly passive — the allocation produced is
     /// bit-identical with or without a sink attached. The same handle is
@@ -94,6 +99,7 @@ impl HslbOptions {
             tsync: None,
             warm_cache: None,
             retry: RetryPolicy::default(),
+            curve_override: None,
             telemetry: hslb_telemetry::Telemetry::disabled(),
         }
     }
@@ -109,6 +115,11 @@ pub struct SolveOutcome {
     pub predicted_total: f64,
     /// Solver statistics (absent when the enumeration path ran).
     pub solver_stats: Option<hslb_minlp::SolveStats>,
+    /// The pre-solve instance audit. `Some(passing)` on the MINLP rung;
+    /// `Some(failing)` when a rejected audit routed the solve to the
+    /// exhaustive rung; `None` when no MINLP was attempted (non-convex
+    /// objectives, fit-free rungs).
+    pub audit: Option<hslb_audit::InstanceAudit>,
 }
 
 /// The HSLB pipeline bound to a simulator (the "CESM instance").
@@ -180,8 +191,7 @@ impl<'a> Hslb<'a> {
                 let counts: Vec<i64> = (0..k)
                     .map(|i| {
                         let f = i as f64 / (k - 1) as f64;
-                        ((lo as f64).ln() + f * ((hi as f64).ln() - (lo as f64).ln())).exp()
-                            as i64
+                        ((lo as f64).ln() + f * ((hi as f64).ln() - (lo as f64).ln())).exp() as i64
                     })
                     .collect();
                 self.gather_at(&counts)
@@ -203,7 +213,10 @@ impl<'a> Hslb<'a> {
         tel.counter_add("gather.hung_runs", report.hung_runs as u64);
         tel.counter_add("gather.garbage_discarded", report.garbage_discarded as u64);
         tel.counter_add("gather.retried_points", report.retried_points as u64);
-        tel.counter_add("gather.substituted_points", report.substituted_points as u64);
+        tel.counter_add(
+            "gather.substituted_points",
+            report.substituted_points as u64,
+        );
         tel.counter_add("gather.abandoned_points", report.abandoned_points as u64);
         tel.point(
             "gather.done",
@@ -236,7 +249,10 @@ impl<'a> Hslb<'a> {
                 // poisoned queue slot): the curve shape matters more than
                 // the exact abscissa, so try nearby replacement counts.
                 let mut rescued = false;
-                for (k, cand) in self.substitute_candidates(c, m, &used).into_iter().enumerate()
+                for (k, cand) in self
+                    .substitute_candidates(c, m, &used)
+                    .into_iter()
+                    .enumerate()
                 {
                     let base = i as u64 + ((k as u64 + 1) << 12);
                     if let Some(secs) = self.measure_with_retry(c, cand, base, &mut report) {
@@ -398,8 +414,12 @@ impl<'a> Hslb<'a> {
     fn solve_exhaustive(&self, fits: &FitSet) -> Option<crate::exhaustive::ExhaustiveResult> {
         let res = self.exhaustive(fits).try_solve(self.opts.objective);
         if let Some(r) = &res {
-            self.opts.telemetry.counter_add("exhaustive.evaluated", r.evaluations as u64);
-            self.opts.telemetry.counter_add("exhaustive.pruned", r.pruned as u64);
+            self.opts
+                .telemetry
+                .counter_add("exhaustive.evaluated", r.evaluations as u64);
+            self.opts
+                .telemetry
+                .counter_add("exhaustive.pruned", r.pruned as u64);
         }
         res
     }
@@ -429,6 +449,20 @@ impl<'a> Hslb<'a> {
                 tsync: self.opts.tsync,
             },
         )?;
+
+        // Level 1 instance audit: branch-and-bound may only claim a
+        // global optimum on an instance whose curves certify convex and
+        // whose model matches the declared layout's Table I structure. A
+        // failed audit is an error here — the ladder catches it and
+        // degrades to the exhaustive rung with the audit attached.
+        let audit = self.audit_instance(fits, &lm.model);
+        self.emit_audit_telemetry(&audit);
+        if !audit.passed() {
+            return Err(HslbError::AuditRejected {
+                audit: Box::new(audit),
+            });
+        }
+
         let ir = hslb_minlp::compile(&lm.model)?;
         // Hand the pipeline's sink to the solver unless the caller
         // already wired a dedicated one into the solver options.
@@ -436,20 +470,30 @@ impl<'a> Hslb<'a> {
         if !solver.telemetry.is_enabled() {
             solver.telemetry = self.opts.telemetry.clone();
         }
-        let sol = if solver.threads > 1 {
+        let mut sol = if solver.threads > 1 {
             hslb_minlp::solve_parallel(&ir, &solver)
         } else {
             hslb_minlp::solve(&ir, &solver)
         };
+        sol.stats.audit = Some(hslb_minlp::AuditStamp {
+            passed: audit.passed(),
+            components: audit.certificate.components.len(),
+            violations: audit.violation_count(),
+            summary: audit.summary(),
+        });
         match sol.status {
             MinlpStatus::Optimal => {
                 let allocation = lm.allocation(&sol.x);
-                Ok((self.outcome(fits, allocation, Some(sol.stats)), false))
+                let mut outcome = self.outcome(fits, allocation, Some(sol.stats));
+                outcome.audit = Some(audit);
+                Ok((outcome, false))
             }
             MinlpStatus::NodeLimitWithIncumbent | MinlpStatus::TimeLimitWithIncumbent => {
                 // Best incumbent with an unproven gap — usable, degraded.
                 let allocation = lm.allocation(&sol.x);
-                Ok((self.outcome(fits, allocation, Some(sol.stats)), true))
+                let mut outcome = self.outcome(fits, allocation, Some(sol.stats));
+                outcome.audit = Some(audit);
+                Ok((outcome, true))
             }
             MinlpStatus::Infeasible => Err(HslbError::Infeasible {
                 detail: format!(
@@ -472,6 +516,59 @@ impl<'a> Hslb<'a> {
         }
     }
 
+    /// Run the Level 1 instance audit for a generated layout model: the
+    /// fitted curves' convexity certificate plus the model
+    /// well-formedness checks, against expectations derived from the
+    /// pipeline's own configuration.
+    fn audit_instance(
+        &self,
+        fits: &FitSet,
+        model: &hslb_model::Model,
+    ) -> hslb_audit::InstanceAudit {
+        let curves: Vec<(Component, hslb_nlsq::ScalingCurve)> =
+            fits.iter().map(|(c, f)| (c, f.curve)).collect();
+        let expect = hslb_audit::ModelExpectations {
+            layout: self.opts.layout,
+            shape: match self.opts.objective {
+                Objective::SumTime => hslb_audit::ObjectiveShape::SumTime,
+                _ => hslb_audit::ObjectiveShape::MinMax,
+            },
+            total_nodes: self.opts.target_nodes,
+            tsync: self.opts.tsync.is_some(),
+            ocean_set: self.sim.config.ocean_allowed.is_some(),
+            atm_set: self.sim.config.atm_allowed.is_some(),
+        };
+        hslb_audit::audit_instance(&curves, model, &expect)
+    }
+
+    /// Per-solve audit accounting for the telemetry sink.
+    fn emit_audit_telemetry(&self, audit: &hslb_audit::InstanceAudit) {
+        let tel = &self.opts.telemetry;
+        if !tel.is_enabled() {
+            return;
+        }
+        for c in &audit.certificate.components {
+            tel.point(
+                "audit.component",
+                &[
+                    ("passed", f64::from(u8::from(c.passed()))),
+                    ("violations", c.violations.len() as f64),
+                ],
+                &[("component", &c.component.to_string())],
+            );
+        }
+        tel.point(
+            "audit.done",
+            &[
+                ("passed", f64::from(u8::from(audit.passed()))),
+                ("violations", audit.violation_count() as f64),
+                ("convex_verified", audit.model.convex_verified as f64),
+                ("sos_sets", audit.model.sos_sets_checked as f64),
+            ],
+            &[],
+        );
+    }
+
     /// Rungs 1–2 of the degradation ladder (both need fitted curves).
     /// `None` means rung 3 (the fit-free simulated expert) is next;
     /// every fallback taken is appended to `fallbacks`.
@@ -481,6 +578,7 @@ impl<'a> Hslb<'a> {
         fallbacks: &mut Vec<String>,
         degraded: &mut bool,
     ) -> Option<(SolveOutcome, SolverRung)> {
+        let mut rejected_audit = None;
         if self.opts.objective.is_convex_minlp() {
             match self.solve_minlp(fits) {
                 Ok((outcome, with_gap)) => {
@@ -495,14 +593,21 @@ impl<'a> Hslb<'a> {
                     );
                     fallbacks.push(format!("MINLP rung: {e}"));
                     *degraded = true;
+                    // A rejected audit rides along to the report: the
+                    // exhaustive answer is honest about *why* it is not a
+                    // certified global optimum.
+                    if let HslbError::AuditRejected { audit } = e {
+                        rejected_audit = Some(*audit);
+                    }
                 }
             }
         }
         match self.solve_exhaustive(fits) {
-            Some(res) => Some((
-                self.outcome(fits, res.allocation, None),
-                SolverRung::Exhaustive,
-            )),
+            Some(res) => {
+                let mut outcome = self.outcome(fits, res.allocation, None);
+                outcome.audit = rejected_audit;
+                Some((outcome, SolverRung::Exhaustive))
+            }
             None => {
                 self.opts.telemetry.point(
                     "ladder.fallback",
@@ -535,6 +640,7 @@ impl<'a> Hslb<'a> {
             allocation,
             predicted,
             solver_stats,
+            audit: None,
         }
     }
 
@@ -588,18 +694,23 @@ impl<'a> Hslb<'a> {
         let mut fallbacks: Vec<String> = Vec::new();
         let mut degraded = gather.degraded(self.opts.retry.min_points);
 
-        // Fit when possible; a failed fit drops to the fit-free rung.
-        let fits = match self.fit(&data) {
-            Ok(f) => Some(f),
-            Err(e) => {
-                self.opts.telemetry.point(
-                    "ladder.fallback",
-                    &[],
-                    &[("from", "fit"), ("cause", &e.to_string())],
-                );
-                fallbacks.push(format!("fit rung: {e}"));
-                None
-            }
+        // Fit when possible; a failed fit drops to the fit-free rung. An
+        // injected curve set bypasses the fit entirely (see
+        // [`HslbOptions::curve_override`]).
+        let fits = match &self.opts.curve_override {
+            Some(synthetic) => Some(synthetic.clone()),
+            None => match self.fit(&data) {
+                Ok(f) => Some(f),
+                Err(e) => {
+                    self.opts.telemetry.point(
+                        "ladder.fallback",
+                        &[],
+                        &[("from", "fit"), ("cause", &e.to_string())],
+                    );
+                    fallbacks.push(format!("fit rung: {e}"));
+                    None
+                }
+            },
         };
 
         let solve_span = self.opts.telemetry.span("solve");
@@ -681,6 +792,7 @@ impl<'a> Hslb<'a> {
                 actual: actual.times,
                 actual_total: actual.total,
             },
+            audit: solved.as_ref().and_then(|s| s.audit.clone()),
             solver_stats: solved.and_then(|s| s.solver_stats),
             resilience: Some(ResilienceReport {
                 gather,

@@ -127,9 +127,7 @@ impl GatherReport {
     /// True when the campaign lost data the fit will feel: a point was
     /// substituted or abandoned, or a component fell below `min_points`.
     pub fn degraded(&self, min_points: usize) -> bool {
-        self.substituted_points > 0
-            || self.abandoned_points > 0
-            || !self.meets_minimum(min_points)
+        self.substituted_points > 0 || self.abandoned_points > 0 || !self.meets_minimum(min_points)
     }
 }
 

@@ -108,7 +108,12 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn fits() -> FitSet {
-        let mk = |a: f64, d: f64| ScalingCurve { a, b: 0.0, c: 1.0, d };
+        let mk = |a: f64, d: f64| ScalingCurve {
+            a,
+            b: 0.0,
+            c: 1.0,
+            d,
+        };
         FitSet::from_curves(BTreeMap::from([
             (Component::Ice, mk(8_000.0, 2.0)),
             (Component::Lnd, mk(1_500.0, 1.0)),

@@ -138,8 +138,9 @@ pub fn predict_component_swap(
         .map(|&c| (c, fits.optimized_curve(c)))
         .collect();
     curves.insert(component, replacement);
-    let swapped =
-        FitSet::from_curves(curves).expect("curve map covers every optimized component");
+    // The map was seeded from `Component::OPTIMIZED` two lines up.
+    #[allow(clippy::expect_used)]
+    let swapped = FitSet::from_curves(curves).expect("curve map covers every optimized component");
     let after = ExhaustiveOptimizer::new(&swapped, layout, total_nodes)
         .solve(Objective::MinMax)
         .objective;
@@ -154,7 +155,12 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn toy_fits() -> FitSet {
-        let mk = |a: f64, d: f64| ScalingCurve { a, b: 0.0, c: 1.0, d };
+        let mk = |a: f64, d: f64| ScalingCurve {
+            a,
+            b: 0.0,
+            c: 1.0,
+            d,
+        };
         FitSet::from_curves(BTreeMap::from([
             (Component::Ice, mk(8_000.0, 2.0)),
             (Component::Lnd, mk(1_500.0, 1.0)),
@@ -171,8 +177,11 @@ mod tests {
         assert_eq!(scaling.len(), 3);
         for s in &scaling {
             // Times decrease with N for every layout on these curves.
-            assert!(s.points.windows(2).all(|w| w[1].1 <= w[0].1 + 1e-9),
-                "{:?} not monotone", s.layout);
+            assert!(
+                s.points.windows(2).all(|w| w[1].1 <= w[0].1 + 1e-9),
+                "{:?} not monotone",
+                s.layout
+            );
         }
         // Layout 3 worst at every N.
         for i in 0..5 {
@@ -184,7 +193,12 @@ mod tests {
     #[test]
     fn optimal_nodes_stops_when_scaling_dies() {
         // Curves with a large serial floor stop scaling quickly.
-        let mk = |a: f64, d: f64| ScalingCurve { a, b: 0.0, c: 1.0, d };
+        let mk = |a: f64, d: f64| ScalingCurve {
+            a,
+            b: 0.0,
+            c: 1.0,
+            d,
+        };
         let fits = FitSet::from_curves(BTreeMap::from([
             (Component::Ice, mk(1_000.0, 50.0)),
             (Component::Lnd, mk(500.0, 50.0)),

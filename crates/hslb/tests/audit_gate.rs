@@ -1,0 +1,123 @@
+//! The instance-audit gate: a non-convex fit set must fail its
+//! certificate, route to the exhaustive rung, and never be reported as a
+//! certified global optimum.
+
+use hslb::fit::FitSet;
+use hslb::{Hslb, HslbError, HslbOptions};
+use hslb_cesm::{Component, Simulator};
+use hslb_nlsq::ScalingCurve;
+use std::collections::BTreeMap;
+
+/// A seeded fit set whose atmosphere curve is non-convex two ways:
+/// negative power coefficient and an exponent inside (0, 1).
+fn non_convex_fits() -> FitSet {
+    let convex = ScalingCurve {
+        a: 120.0,
+        b: 0.01,
+        c: 1.2,
+        d: 2.0,
+    };
+    let broken = ScalingCurve {
+        a: 100.0,
+        b: -0.5,
+        c: 0.5,
+        d: 5.0,
+    };
+    let mut curves = BTreeMap::new();
+    curves.insert(Component::Lnd, convex);
+    curves.insert(Component::Ice, convex);
+    curves.insert(Component::Atm, broken);
+    curves.insert(Component::Ocn, convex);
+    FitSet::from_curves(curves).expect("all four components present")
+}
+
+fn opts_with_override() -> HslbOptions {
+    let mut opts = HslbOptions::new(128);
+    opts.curve_override = Some(non_convex_fits());
+    opts
+}
+
+#[test]
+fn strict_solve_rejects_a_non_convex_instance() {
+    let sim = Simulator::one_degree(7);
+    let h = Hslb::new(&sim, opts_with_override());
+    let err = h.solve(&non_convex_fits()).expect_err("audit must reject");
+    match err {
+        HslbError::AuditRejected { audit } => {
+            assert!(!audit.passed());
+            assert!(!audit.certificate.passed());
+            let atm = audit
+                .certificate
+                .components
+                .iter()
+                .find(|c| c.component == Component::Atm)
+                .expect("atm certified");
+            assert!(!atm.passed());
+            assert!(!atm.exponent_ok, "c = 0.5 with b ≠ 0 must fail");
+            assert!(
+                atm.violations.iter().any(|v| v.contains("coefficient b")),
+                "negative b must be called out: {:?}",
+                atm.violations
+            );
+        }
+        other => panic!("expected AuditRejected, got {other}"),
+    }
+}
+
+#[test]
+fn rejected_instance_degrades_to_exhaustive_and_never_claims_optimality() {
+    let sim = Simulator::one_degree(7);
+    let report = Hslb::new(&sim, opts_with_override())
+        .run(None)
+        .expect("the ladder must rescue the run");
+    let res = report.resilience.as_ref().expect("run() always reports");
+    assert_eq!(res.rung, hslb::resilience::SolverRung::Exhaustive);
+    assert!(res.degraded_accuracy);
+    assert!(
+        res.fallbacks
+            .iter()
+            .any(|r| r.contains("instance audit rejected")),
+        "fallback reasons: {:?}",
+        res.fallbacks
+    );
+    // The failing audit rides along on the report…
+    let audit = report.audit.as_ref().expect("audit attached");
+    assert!(!audit.passed());
+    // …and the experiment is never presented as a certified optimum.
+    assert!(!report.global_optimum());
+    assert!(report.solver_stats.is_none(), "no MINLP stats on this path");
+    let shown = format!("{report}");
+    assert!(shown.contains("NOT certified"), "{shown}");
+}
+
+#[test]
+fn rejection_is_deterministic() {
+    let sim = Simulator::one_degree(7);
+    let summarize = || {
+        Hslb::new(&sim, opts_with_override())
+            .run(None)
+            .expect("pipeline")
+            .audit
+            .expect("audit attached")
+            .summary()
+    };
+    let first = summarize();
+    assert!(first.starts_with("fail:"), "{first}");
+    assert_eq!(first, summarize(), "same instance, same verdict, same text");
+}
+
+#[test]
+fn convex_instances_still_certify_and_claim_optimality() {
+    let sim = Simulator::one_degree(7);
+    let report = Hslb::new(&sim, HslbOptions::new(128))
+        .run(None)
+        .expect("pipeline");
+    let audit = report.audit.as_ref().expect("every MINLP solve is audited");
+    assert!(audit.passed(), "{audit}");
+    assert!(report.global_optimum());
+    let stats = report.solver_stats.as_ref().expect("MINLP rung solved");
+    let stamp = stats.audit.as_ref().expect("stats carry the stamp");
+    assert!(stamp.passed);
+    assert_eq!(stamp.components, 4);
+    assert_eq!(stamp.violations, 0);
+}

@@ -3,9 +3,7 @@
 //! curves, and the simulated expert across sizes.
 
 use hslb::manual::SimulatedExpert;
-use hslb::{
-    snap_to_sweet_spots, ExhaustiveOptimizer, GatherPlan, Hslb, HslbOptions, Objective,
-};
+use hslb::{snap_to_sweet_spots, ExhaustiveOptimizer, GatherPlan, Hslb, HslbOptions, Objective};
 use hslb_cesm::{Layout, Machine, NoiseSpec, Resolution, ResolutionConfig, Simulator};
 
 #[test]
@@ -66,8 +64,7 @@ fn tsync_with_parallel_solver_is_consistent() {
     par_opts.solver.threads = 3;
     let parallel = Hslb::new(&sim, par_opts).solve(&fits).unwrap();
     assert!(
-        (serial.predicted_total - parallel.predicted_total).abs()
-            < 1e-6 * serial.predicted_total
+        (serial.predicted_total - parallel.predicted_total).abs() < 1e-6 * serial.predicted_total
     );
     // The sync window is honored in both.
     let gap = (serial.predicted.ice - serial.predicted.lnd).abs();
@@ -92,14 +89,20 @@ fn simulated_expert_scales_to_high_resolution() {
     let sim = Simulator::eighth_degree(7);
     let (alloc, runs) = SimulatedExpert::default().tune(&sim, 8192);
     assert!(runs <= 10, "expert burned {runs} runs");
-    let run = sim.run_case(&alloc, Layout::Hybrid, 77).expect("valid allocation");
+    let run = sim
+        .run_case(&alloc, Layout::Hybrid, 77)
+        .expect("valid allocation");
     // Sanity: within 2x of the HSLB result at the same size.
     let hslb_total = Hslb::new(&sim, HslbOptions::new(8192))
         .run(None)
         .unwrap()
         .hslb
         .actual_total;
-    assert!(run.total < 2.0 * hslb_total, "expert {} vs hslb {hslb_total}", run.total);
+    assert!(
+        run.total < 2.0 * hslb_total,
+        "expert {} vs hslb {hslb_total}",
+        run.total
+    );
 }
 
 #[test]

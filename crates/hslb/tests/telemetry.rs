@@ -7,9 +7,20 @@ use hslb_cesm::Simulator;
 use hslb_telemetry::{span_tree, Telemetry};
 
 fn run_with(telemetry: Telemetry, threads: usize) -> hslb::ExperimentReport {
+    run_with_cutover(telemetry, threads, 0)
+}
+
+fn run_with_cutover(
+    telemetry: Telemetry,
+    threads: usize,
+    serial_cutover: usize,
+) -> hslb::ExperimentReport {
     let sim = Simulator::one_degree(42).with_telemetry(telemetry.clone());
     let mut opts = HslbOptions::new(128);
     opts.solver.threads = threads;
+    // Tests that assert per-worker behavior pin the cutover off (0);
+    // the cutover test forces it on with a huge threshold.
+    opts.solver.serial_cutover = serial_cutover;
     opts.telemetry = telemetry;
     Hslb::new(&sim, opts).run(None).expect("pipeline")
 }
@@ -39,8 +50,7 @@ fn telemetry_never_changes_the_allocation() {
     assert_eq!(silent.hslb.allocation, observed.hslb.allocation);
     assert_eq!(silent.hslb.actual_total, observed.hslb.actual_total);
     assert_eq!(
-        silent.hslb.predicted_total,
-        observed.hslb.predicted_total,
+        silent.hslb.predicted_total, observed.hslb.predicted_total,
         "instrumentation must be strictly passive"
     );
 }
@@ -52,7 +62,10 @@ fn counters_match_solver_stats_under_parallel_solve() {
     let stats = report.solver_stats.expect("MINLP rung solved");
     assert_eq!(tel.counter("minlp.nodes"), stats.nodes as u64);
     assert_eq!(tel.counter("minlp.lp_solves"), stats.lp_solves as u64);
-    assert_eq!(tel.counter("minlp.simplex_iters"), stats.simplex_iters as u64);
+    assert_eq!(
+        tel.counter("minlp.simplex_iters"),
+        stats.simplex_iters as u64
+    );
     assert_eq!(tel.counter("minlp.cuts"), stats.cuts as u64);
     assert_eq!(tel.counter("minlp.incumbents"), stats.incumbents as u64);
     assert_eq!(
@@ -66,6 +79,53 @@ fn counters_match_solver_stats_under_parallel_solve() {
         .filter(|e| e.name == "minlp.worker")
         .count();
     assert_eq!(workers, 4);
+}
+
+#[test]
+fn serial_cutover_matches_the_parallel_incumbent() {
+    // Force the cutover with a huge threshold: the parallel driver must
+    // delegate the whole solve to the serial path — no worker points —
+    // while publishing its probe work to the sink.
+    let tel = Telemetry::new();
+    let cut = run_with_cutover(tel.clone(), 4, usize::MAX);
+    let workers = tel
+        .events()
+        .iter()
+        .filter(|e| e.name == "minlp.worker")
+        .count();
+    assert_eq!(workers, 0, "cutover must not spin up workers");
+    assert!(
+        tel.events()
+            .iter()
+            .any(|e| e.name == "minlp.serial_cutover"),
+        "cutover decision must be visible in telemetry"
+    );
+    // The cutover delegates to the serial driver, so its incumbent is
+    // bit-identical to the threads = 1 solve…
+    let serial = run_with_cutover(Telemetry::new(), 1, 0);
+    assert_eq!(cut.hslb.allocation, serial.hslb.allocation);
+    assert_eq!(cut.hslb.predicted_total, serial.hslb.predicted_total);
+    // …and agrees with the full parallel solve on the objective (the
+    // argmin may differ among degenerate optima, the optimum may not).
+    let full = run_with_cutover(Telemetry::new(), 4, 0);
+    let (a, b) = (
+        cut.hslb.predicted_total.expect("minlp objective"),
+        full.hslb.predicted_total.expect("minlp objective"),
+    );
+    assert!(
+        (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+        "cutover optimum {a} vs parallel optimum {b}"
+    );
+    // The counters-equal-stats invariant holds on the cutover path too
+    // (serial solve counters plus the probe's root-relaxation work).
+    let stats = cut.solver_stats.expect("MINLP rung solved");
+    assert_eq!(tel.counter("minlp.nodes"), stats.nodes as u64);
+    assert_eq!(tel.counter("minlp.lp_solves"), stats.lp_solves as u64);
+    assert_eq!(
+        tel.counter("minlp.simplex_iters"),
+        stats.simplex_iters as u64
+    );
+    assert_eq!(tel.counter("minlp.cuts"), stats.cuts as u64);
 }
 
 #[test]

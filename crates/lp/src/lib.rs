@@ -1,4 +1,6 @@
 //! A dense bounded-variable primal simplex LP solver.
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //!
 //! This crate stands in for CLP, the LP engine the paper's MINLP solver
 //! (MINOTAUR) uses for its LP/NLP-based branch-and-bound. The LPs that

@@ -54,7 +54,10 @@ impl LpProblem {
     ///
     /// Panics if `lb > ub` or either bound is NaN.
     pub fn add_var(&mut self, name: &str, lb: f64, ub: f64) -> VarId {
-        assert!(!lb.is_nan() && !ub.is_nan(), "NaN bound for variable {name}");
+        assert!(
+            !lb.is_nan() && !ub.is_nan(),
+            "NaN bound for variable {name}"
+        );
         assert!(lb <= ub, "inverted bounds [{lb}, {ub}] for variable {name}");
         self.vars.push(VarDef {
             name: name.to_string(),
@@ -87,7 +90,10 @@ impl LpProblem {
     pub fn set_objective(&mut self, terms: &[(VarId, f64)]) {
         self.objective.iter_mut().for_each(|c| *c = 0.0);
         for &(v, c) in terms {
-            assert!(v < self.vars.len(), "objective references unknown variable {v}");
+            assert!(
+                v < self.vars.len(),
+                "objective references unknown variable {v}"
+            );
             self.objective[v] += c;
         }
     }
@@ -175,11 +181,7 @@ impl LpProblem {
 
     /// Activity (left-hand-side value) of row `r` at a point.
     pub fn row_activity(&self, r: RowId, x: &[f64]) -> f64 {
-        self.rows[r]
-            .terms
-            .iter()
-            .map(|&(v, c)| c * x[v])
-            .sum()
+        self.rows[r].terms.iter().map(|&(v, c)| c * x[v]).sum()
     }
 
     /// Maximum constraint violation of `x` over all rows and bounds.

@@ -118,8 +118,14 @@ impl Tableau {
     fn value(&self, j: usize) -> f64 {
         match self.state[j] {
             VarState::Basic => {
-                // Rare path; callers use xb by row where possible.
-                let r = self.basis.iter().position(|&b| b == j).expect("basic var in basis");
+                // Rare path; callers use xb by row where possible. A
+                // `Basic` state without a basis row is a broken tableau.
+                #[allow(clippy::expect_used)]
+                let r = self
+                    .basis
+                    .iter()
+                    .position(|&b| b == j)
+                    .expect("basic var in basis");
                 self.xb[r]
             }
             VarState::AtLower => self.lb[j],
@@ -170,7 +176,13 @@ impl Tableau {
 /// Helper: value of a basic column (linear scan is fine — only used for
 /// objective reporting, not in the pivot loop).
 fn continue_basic(tab: &Tableau, j: usize) -> f64 {
-    let r = tab.basis.iter().position(|&b| b == j).expect("basic var in basis");
+    // Callers pass a column the tableau reports as basic.
+    #[allow(clippy::expect_used)]
+    let r = tab
+        .basis
+        .iter()
+        .position(|&b| b == j)
+        .expect("basic var in basis");
     tab.xb[r]
 }
 
@@ -612,6 +624,8 @@ fn iterate(
         } else if leave.is_none() {
             return Ok(LpStatus::Unbounded);
         } else {
+            // The branch above returned when `leave` was `None`.
+            #[allow(clippy::unwrap_used)]
             let (r, leave_state) = leave.unwrap();
             let t = t_best;
             // Update basic values.

@@ -43,7 +43,10 @@ fn duals_predict_rhs_perturbation() {
         pp.set_rhs(r, pp.rhs(r) + eps);
         let (z1, _) = solve_ok(&pp);
         let fd = (z1 - z0) / eps;
-        assert!((fd - dual).abs() < 1e-4, "row {r}: dual {dual} vs finite-diff {fd}");
+        assert!(
+            (fd - dual).abs() < 1e-4,
+            "row {r}: dual {dual} vs finite-diff {fd}"
+        );
     }
 }
 

@@ -16,15 +16,11 @@ fn random_feasible_lp(seed: u64, nvars: usize, nrows: usize) -> LpProblem {
         p.add_var(&format!("x{j}"), 0.0, ub);
     }
     for _ in 0..nrows {
-        let terms: Vec<(usize, f64)> = (0..nvars)
-            .map(|j| (j, rng.gen_range(0.0..2.0)))
-            .collect();
+        let terms: Vec<(usize, f64)> = (0..nvars).map(|j| (j, rng.gen_range(0.0..2.0))).collect();
         let rhs = rng.gen_range(0.5..8.0);
         p.add_row(&terms, ConstraintSense::Le, rhs);
     }
-    let obj: Vec<(usize, f64)> = (0..nvars)
-        .map(|j| (j, rng.gen_range(-3.0..3.0)))
-        .collect();
+    let obj: Vec<(usize, f64)> = (0..nvars).map(|j| (j, rng.gen_range(-3.0..3.0))).collect();
     p.set_objective(&obj);
     p
 }

@@ -148,15 +148,27 @@ fn degenerate_problem_terminates() {
     let b = p.add_var("b", 0.0, f64::INFINITY);
     let c = p.add_var("c", 0.0, f64::INFINITY);
     let d = p.add_var("d", 0.0, f64::INFINITY);
-    p.add_row(&[(a, 0.25), (b, -60.0), (c, -0.04), (d, 9.0)], ConstraintSense::Le, 0.0);
-    p.add_row(&[(a, 0.5), (b, -90.0), (c, -0.02), (d, 3.0)], ConstraintSense::Le, 0.0);
+    p.add_row(
+        &[(a, 0.25), (b, -60.0), (c, -0.04), (d, 9.0)],
+        ConstraintSense::Le,
+        0.0,
+    );
+    p.add_row(
+        &[(a, 0.5), (b, -90.0), (c, -0.02), (d, 3.0)],
+        ConstraintSense::Le,
+        0.0,
+    );
     p.add_row(&[(c, 1.0)], ConstraintSense::Le, 1.0);
     p.set_objective(&[(a, -0.75), (b, 150.0), (c, -0.02), (d, 6.0)]);
     let s = solve(&p, &SimplexOptions::default()).unwrap();
     assert_eq!(s.status, LpStatus::Optimal);
     assert!(p.max_violation(&s.x) < 1e-7);
     // Known optimum: z = −0.05 at a = 0.04, c = 1.
-    assert!((s.objective + 0.05).abs() < 1e-8, "objective {}", s.objective);
+    assert!(
+        (s.objective + 0.05).abs() < 1e-8,
+        "objective {}",
+        s.objective
+    );
 }
 
 #[test]

@@ -194,11 +194,7 @@ fn branch_sos(ir: &Ir, node: &Node, x: &[f64], s: usize, bound: f64) -> Vec<Node
     let members = &ir.sos[s].members[w0..=w1];
     let mass: f64 = members.iter().map(|&(v, _)| x[v].max(0.0)).sum();
     let centroid: f64 = if mass > 0.0 {
-        members
-            .iter()
-            .map(|&(v, w)| x[v].max(0.0) * w)
-            .sum::<f64>()
-            / mass
+        members.iter().map(|&(v, w)| x[v].max(0.0) * w).sum::<f64>() / mass
     } else {
         members[members.len() / 2].1
     };
@@ -310,11 +306,7 @@ pub(crate) fn process_node(
             // Single LP over current linearization (Quesada–Grossmann).
             let mut lp = nlp::build_lp(ir, &lb, &ub, pool);
             for c in &report.new_cuts {
-                lp.add_row(
-                    &c.terms,
-                    hslb_lp::ConstraintSense::Le,
-                    c.rhs,
-                );
+                lp.add_row(&c.terms, hslb_lp::ConstraintSense::Le, c.rhs);
             }
             let sol = match hslb_lp::solve(&lp, &sx) {
                 Ok(s) => s,
@@ -544,8 +536,10 @@ pub fn solve(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
     let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
     let mut stack: Vec<Node> = Vec::new();
     let mut seq = 0u64;
-    let push = |heap: &mut BinaryHeap<Entry>, stack: &mut Vec<Node>, n: Node, seq: &mut u64| {
-        match opts.node_selection {
+    let push =
+        |heap: &mut BinaryHeap<Entry>, stack: &mut Vec<Node>, n: Node, seq: &mut u64| match opts
+            .node_selection
+        {
             NodeSelection::BestBound => {
                 heap.push(Entry {
                     key: Reverse(OrdF64(n.bound)),
@@ -555,8 +549,7 @@ pub fn solve(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
                 *seq += 1;
             }
             NodeSelection::DepthFirst => stack.push(n),
-        }
-    };
+        };
     push(&mut heap, &mut stack, root, &mut seq);
 
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
@@ -662,7 +655,11 @@ pub fn solve(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
                 ("nodes", stats.nodes as f64),
                 (
                     "nodes_per_sec",
-                    if secs > 0.0 { stats.nodes as f64 / secs } else { 0.0 },
+                    if secs > 0.0 {
+                        stats.nodes as f64 / secs
+                    } else {
+                        0.0
+                    },
                 ),
                 ("wall_ms", secs * 1e3),
                 ("cut_pool", pool.len() as f64),

@@ -189,7 +189,9 @@ pub fn compile(model: &Model) -> Result<Ir, CompileError> {
     } else {
         model.objective.expr.clone()
     };
-    let lin = obj_expr.as_linear().ok_or(CompileError::NonlinearObjective)?;
+    let lin = obj_expr
+        .as_linear()
+        .ok_or(CompileError::NonlinearObjective)?;
 
     let sos = model
         .sos1
@@ -227,7 +229,8 @@ mod tests {
         let g = 100.0 / Expr::var(nvar) + 2.0 * Expr::var(nvar) - Expr::var(t);
         m.constrain("perf", g, ConstraintSense::Le, 0.0, Convexity::Convex)
             .unwrap();
-        m.set_objective(Expr::var(t), ObjectiveSense::Minimize).unwrap();
+        m.set_objective(Expr::var(t), ObjectiveSense::Minimize)
+            .unwrap();
         let ir = compile(&m).unwrap();
         assert_eq!(ir.num_vars(), 2);
         assert_eq!(ir.linear.len(), 0);
@@ -252,7 +255,8 @@ mod tests {
             Convexity::Convex,
         )
         .unwrap();
-        m.set_objective(Expr::var(t), ObjectiveSense::Minimize).unwrap();
+        m.set_objective(Expr::var(t), ObjectiveSense::Minimize)
+            .unwrap();
         let ir = compile(&m).unwrap();
         // g = 0 − (T − 100/n) must evaluate to 100/n − T.
         let x = vec![4.0, 30.0];
@@ -263,7 +267,8 @@ mod tests {
     fn maximize_is_negated() {
         let mut m = Model::new();
         let x = m.continuous("x", 0.0, 5.0).unwrap();
-        m.set_objective(Expr::var(x), ObjectiveSense::Maximize).unwrap();
+        m.set_objective(Expr::var(x), ObjectiveSense::Maximize)
+            .unwrap();
         let ir = compile(&m).unwrap();
         assert!(ir.negated);
         assert_eq!(ir.obj_terms, vec![(x, -1.0)]);
@@ -286,7 +291,8 @@ mod tests {
             Convexity::Nonconvex,
         )
         .unwrap();
-        m.set_objective(Expr::var(y), ObjectiveSense::Minimize).unwrap();
+        m.set_objective(Expr::var(y), ObjectiveSense::Minimize)
+            .unwrap();
         assert!(matches!(
             compile(&m),
             Err(CompileError::NonconvexOverContinuous { .. })
@@ -307,7 +313,8 @@ mod tests {
             Convexity::Nonconvex,
         )
         .unwrap();
-        m.set_objective(Expr::var(a), ObjectiveSense::Minimize).unwrap();
+        m.set_objective(Expr::var(a), ObjectiveSense::Minimize)
+            .unwrap();
         let ir = compile(&m).unwrap();
         assert!(ir.nonlinear[0].all_int);
         assert!(!ir.nonlinear[0].convex);
@@ -325,13 +332,20 @@ mod tests {
             Convexity::Convex,
         )
         .unwrap();
-        m.set_objective(Expr::var(x), ObjectiveSense::Minimize).unwrap();
-        assert!(matches!(compile(&m), Err(CompileError::NonlinearEquality { .. })));
+        m.set_objective(Expr::var(x), ObjectiveSense::Minimize)
+            .unwrap();
+        assert!(matches!(
+            compile(&m),
+            Err(CompileError::NonlinearEquality { .. })
+        ));
 
         let mut m2 = Model::new();
         let y = m2.continuous("y", 0.1, 5.0).unwrap();
         m2.set_objective(Expr::var(y).recip(), ObjectiveSense::Minimize)
             .unwrap();
-        assert!(matches!(compile(&m2), Err(CompileError::NonlinearObjective)));
+        assert!(matches!(
+            compile(&m2),
+            Err(CompileError::NonlinearObjective)
+        ));
     }
 }

@@ -1,4 +1,6 @@
 //! A branch-and-bound MINLP solver (the MINOTAUR stand-in).
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //!
 //! The paper solves its load-balancing models with MINOTAUR's LP/NLP-based
 //! branch-and-bound [Quesada & Grossmann / Fletcher & Leyffer, ref 13]:
@@ -48,7 +50,7 @@ pub use bb::solve;
 pub use ir::{compile, CompileError, Ir};
 pub use nlp::{solve_relaxation, Cut, NlpResult, NlpStatus};
 pub use options::{Algorithm, Branching, IntVarSelection, MinlpOptions, NodeSelection};
+pub use parallel::solve_parallel;
 pub use presolve::{propagate, PresolveResult};
 pub use pseudocost::{BranchDir, PseudoCostTable};
-pub use parallel::solve_parallel;
-pub use solution::{MinlpSolution, MinlpStatus, SolveStats};
+pub use solution::{AuditStamp, MinlpSolution, MinlpStatus, SolveStats};

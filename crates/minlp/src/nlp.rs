@@ -244,9 +244,16 @@ mod tests {
         let n = m.continuous("n", 1.0, 64.0).unwrap();
         let t = m.continuous("T", 0.0, 1e6).unwrap();
         let g = 64.0 / Expr::var(n) + Expr::var(n) - Expr::var(t);
-        m.constrain("perf", g, hslb_model::ConstraintSense::Le, 0.0, Convexity::Convex)
+        m.constrain(
+            "perf",
+            g,
+            hslb_model::ConstraintSense::Le,
+            0.0,
+            Convexity::Convex,
+        )
+        .unwrap();
+        m.set_objective(Expr::var(t), ObjectiveSense::Minimize)
             .unwrap();
-        m.set_objective(Expr::var(t), ObjectiveSense::Minimize).unwrap();
         compile(&m).unwrap()
     }
 
@@ -255,7 +262,11 @@ mod tests {
         let ir = epigraph_model();
         let res = solve_relaxation(&ir, &ir.lb, &ir.ub, &[], &MinlpOptions::default());
         assert_eq!(res.status, NlpStatus::Optimal);
-        assert!((res.objective - 16.0).abs() < 1e-3, "obj = {}", res.objective);
+        assert!(
+            (res.objective - 16.0).abs() < 1e-3,
+            "obj = {}",
+            res.objective
+        );
         assert!((res.x[0] - 8.0).abs() < 0.1, "n = {}", res.x[0]);
         assert!(!res.new_cuts.is_empty());
     }
@@ -288,7 +299,11 @@ mod tests {
         lb[0] = 20.0; // force n ≥ 20 ⇒ T* = 64/20 + 20 = 23.2
         let res = solve_relaxation(&ir, &lb, &ub, &[], &MinlpOptions::default());
         assert_eq!(res.status, NlpStatus::Optimal);
-        assert!((res.objective - 23.2).abs() < 1e-3, "obj = {}", res.objective);
+        assert!(
+            (res.objective - 23.2).abs() < 1e-3,
+            "obj = {}",
+            res.objective
+        );
     }
 
     #[test]
@@ -304,7 +319,13 @@ mod tests {
     fn pool_cuts_accelerate_resolve() {
         let ir = epigraph_model();
         let first = solve_relaxation(&ir, &ir.lb, &ir.ub, &[], &MinlpOptions::default());
-        let second = solve_relaxation(&ir, &ir.lb, &ir.ub, &first.new_cuts, &MinlpOptions::default());
+        let second = solve_relaxation(
+            &ir,
+            &ir.lb,
+            &ir.ub,
+            &first.new_cuts,
+            &MinlpOptions::default(),
+        );
         assert_eq!(second.status, NlpStatus::Optimal);
         assert!(second.lp_solves <= first.lp_solves);
         assert!((second.objective - first.objective).abs() < 1e-6);
@@ -341,9 +362,9 @@ mod cut_pool_tests {
         let added = absorb_cuts(
             &mut pool,
             vec![
-                cut(0, &[(0, 1.0)], 1.0),       // duplicate
-                cut(0, &[(0, 2.0)], 1.0),       // new
-                cut(1, &[(0, 1.0)], 1.0),       // new (other source)
+                cut(0, &[(0, 1.0)], 1.0), // duplicate
+                cut(0, &[(0, 2.0)], 1.0), // new
+                cut(1, &[(0, 1.0)], 1.0), // new (other source)
             ],
             1e-9,
         );

@@ -78,6 +78,15 @@ pub struct MinlpOptions {
     pub max_kelley_iters: usize,
     /// Worker threads for [`crate::solve_parallel`] (ignored by `solve`).
     pub threads: usize,
+    /// Serial fast-path cutover for [`crate::solve_parallel`]: when the
+    /// root relaxation proves the branch-and-bound tree small — the
+    /// product of undecided SOS-set sizes times 2^(fractional integers)
+    /// is at most this — the solve is delegated to the serial driver
+    /// instead of spinning up workers that would mostly idle at the tail
+    /// of a tiny tree. `0` disables the cutover. The incumbent is
+    /// identical either way (asserted by the telemetry integration
+    /// tests); only thread bring-up/tear-down is skipped.
+    pub serial_cutover: usize,
     /// Print a progress line to stderr every `n` processed nodes
     /// (`None` = silent). Serial driver only.
     pub log_every: Option<usize>,
@@ -105,6 +114,7 @@ impl Default for MinlpOptions {
             max_cut_rounds: 40,
             max_kelley_iters: 120,
             threads: 1,
+            serial_cutover: 64,
             log_every: None,
             telemetry: hslb_telemetry::Telemetry::disabled(),
         }

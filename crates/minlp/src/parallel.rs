@@ -65,6 +65,7 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
     if opts.threads <= 1 {
         return crate::bb::solve(ir, opts);
     }
+    let original_ir = ir;
     let t0 = std::time::Instant::now();
 
     // Root presolve (same as the serial driver).
@@ -84,7 +85,11 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
                 };
             }
             crate::presolve::PresolveResult::Tightened { lb, ub, .. } => {
-                tightened = Ir { lb, ub, ..ir.clone() };
+                tightened = Ir {
+                    lb,
+                    ub,
+                    ..ir.clone()
+                };
                 &tightened
             }
         }
@@ -120,6 +125,43 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
         f64::NEG_INFINITY
     };
 
+    // Serial fast-path cutover: when the root relaxation proves the tree
+    // small, worker bring-up and queue contention cost more than the
+    // search itself (the idle-tail problem on tiny instances). Delegate
+    // to the serial driver on the *original* IR — the exact threads ≤ 1
+    // path — so the incumbent is identical by construction. The probe
+    // work done so far (presolve + root relaxation) is added to the
+    // returned stats and published to the sink, keeping the
+    // counters-equal-stats invariant.
+    if opts.serial_cutover > 0 {
+        if let Some(est) = tree_size_estimate(ir, &root_relax.x, opts.int_tol) {
+            if est <= opts.serial_cutover {
+                let mut sol = crate::bb::solve(original_ir, opts);
+                let probe = SolveStats {
+                    lp_solves: root_relax.lp_solves,
+                    simplex_iters: root_relax.simplex_iters,
+                    ..Default::default()
+                };
+                crate::bb::emit_stats_counters(&opts.telemetry, &probe);
+                sol.stats.lp_solves += probe.lp_solves;
+                sol.stats.simplex_iters += probe.simplex_iters;
+                sol.stats.wall = t0.elapsed();
+                if opts.telemetry.is_enabled() {
+                    opts.telemetry.point(
+                        "minlp.serial_cutover",
+                        &[
+                            ("estimate", est as f64),
+                            ("threshold", opts.serial_cutover as f64),
+                            ("nodes", sol.stats.nodes as f64),
+                        ],
+                        &[("driver", "parallel")],
+                    );
+                }
+                return sol;
+            }
+        }
+    }
+
     let root = Node {
         overrides: Vec::new(),
         sos_window: ir
@@ -151,9 +193,12 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
     let deadline = opts.time_limit.map(|limit| t0 + limit);
 
     let nthreads = opts.threads;
-    let worker_stats: Vec<Mutex<SolveStats>> =
-        (0..nthreads).map(|_| Mutex::new(SolveStats::default())).collect();
+    let worker_stats: Vec<Mutex<SolveStats>> = (0..nthreads)
+        .map(|_| Mutex::new(SolveStats::default()))
+        .collect();
 
+    // A worker panic is a solver bug; propagating it is intended.
+    #[allow(clippy::expect_used)]
     crossbeam::thread::scope(|scope| {
         for (worker_id, stats_slot) in worker_stats.iter().enumerate() {
             let shared = &shared;
@@ -332,7 +377,11 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
                 ("nodes", stats.nodes as f64),
                 (
                     "nodes_per_sec",
-                    if secs > 0.0 { stats.nodes as f64 / secs } else { 0.0 },
+                    if secs > 0.0 {
+                        stats.nodes as f64 / secs
+                    } else {
+                        0.0
+                    },
                 ),
                 ("wall_ms", secs * 1e3),
                 ("threads", nthreads as f64),
@@ -372,4 +421,29 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
             stats,
         },
     }
+}
+
+/// Upper-bound estimate of the branch-and-bound tree implied by the root
+/// relaxation point: the product of the sizes of SOS-1 sets still spread
+/// over more than one member, times 2 per fractional integer variable
+/// (each costs one binary branching), saturating. `None` when the
+/// relaxation produced no usable point.
+fn tree_size_estimate(ir: &Ir, x: &[f64], int_tol: f64) -> Option<usize> {
+    if x.len() != ir.num_vars() {
+        return None;
+    }
+    let mut est = 1usize;
+    for s in &ir.sos {
+        let active = s.members.iter().filter(|&&(v, _)| x[v] > int_tol).count();
+        if active > 1 {
+            est = est.saturating_mul(active);
+        }
+    }
+    for (&xv, _) in x.iter().zip(&ir.is_int).filter(|&(_, &int)| int) {
+        let frac = (xv - xv.round()).abs();
+        if frac > int_tol {
+            est = est.saturating_mul(2);
+        }
+    }
+    Some(est)
 }

@@ -24,12 +24,7 @@ pub enum PresolveResult {
 }
 
 /// Minimum / maximum activity of `terms` over the box, excluding `skip`.
-fn activity_bounds(
-    terms: &[(usize, f64)],
-    lb: &[f64],
-    ub: &[f64],
-    skip: usize,
-) -> (f64, f64) {
+fn activity_bounds(terms: &[(usize, f64)], lb: &[f64], ub: &[f64], skip: usize) -> (f64, f64) {
     let mut lo = 0.0;
     let mut hi = 0.0;
     for &(v, a) in terms {
@@ -153,7 +148,8 @@ mod tests {
             Convexity::Linear,
         )
         .unwrap();
-        m.set_objective(Expr::var(na), ObjectiveSense::Minimize).unwrap();
+        m.set_objective(Expr::var(na), ObjectiveSense::Minimize)
+            .unwrap();
         compile(&m).unwrap()
     }
 
@@ -186,9 +182,13 @@ mod tests {
             Convexity::Linear,
         )
         .unwrap();
-        m.set_objective(Expr::var(na), ObjectiveSense::Minimize).unwrap();
+        m.set_objective(Expr::var(na), ObjectiveSense::Minimize)
+            .unwrap();
         let ir = compile(&m).unwrap();
-        assert!(matches!(propagate(&ir, 10), PresolveResult::Infeasible { .. }));
+        assert!(matches!(
+            propagate(&ir, 10),
+            PresolveResult::Infeasible { .. }
+        ));
     }
 
     #[test]
@@ -204,7 +204,8 @@ mod tests {
             Convexity::Linear,
         )
         .unwrap();
-        m.set_objective(Expr::var(x), ObjectiveSense::Minimize).unwrap();
+        m.set_objective(Expr::var(x), ObjectiveSense::Minimize)
+            .unwrap();
         let ir = compile(&m).unwrap();
         let PresolveResult::Tightened { lb, ub, .. } = propagate(&ir, 10) else {
             panic!("feasible");
@@ -218,7 +219,8 @@ mod tests {
     fn fixpoint_terminates_without_changes() {
         let mut m = Model::new();
         let x = m.continuous("x", 0.0, 1.0).unwrap();
-        m.set_objective(Expr::var(x), ObjectiveSense::Minimize).unwrap();
+        m.set_objective(Expr::var(x), ObjectiveSense::Minimize)
+            .unwrap();
         let ir = compile(&m).unwrap();
         let PresolveResult::Tightened { changes, .. } = propagate(&ir, 10) else {
             panic!("feasible");

@@ -18,6 +18,26 @@ pub enum MinlpStatus {
     TimeLimitNoIncumbent,
 }
 
+/// A compact record of the pre-solve instance audit, threaded into
+/// [`SolveStats`] so every solver result carries its certificate status.
+///
+/// The solver itself never runs the audit (that would invert the layering
+/// — the audit crate sits beside the pipeline, not under the solver); the
+/// pipeline stamps the stats after a solve. `None` means "no audit ran"
+/// (a raw [`crate::solve`] call on a hand-built IR, say), which reporting
+/// code must treat as *unproven*, not as passing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditStamp {
+    /// Both audit levels found nothing.
+    pub passed: bool,
+    /// Fitted components certified.
+    pub components: usize,
+    /// Total violations across the certificate and the model audit.
+    pub violations: usize,
+    /// One-line deterministic summary (for logs and JSON reports).
+    pub summary: String,
+}
+
 /// Counters describing the work a solve performed.
 #[derive(Debug, Clone, Default)]
 pub struct SolveStats {
@@ -43,6 +63,9 @@ pub struct SolveStats {
     pub presolve_changes: usize,
     /// Wall-clock time of the solve.
     pub wall: std::time::Duration,
+    /// The pre-solve instance audit, stamped by the pipeline (`None` when
+    /// the solver was invoked directly on an unaudited IR).
+    pub audit: Option<AuditStamp>,
 }
 
 /// The result of a MINLP solve.

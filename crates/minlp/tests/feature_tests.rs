@@ -24,12 +24,11 @@ fn chained_model(n: f64, k: usize) -> Model {
         )
         .unwrap();
     }
-    let budget = vars
-        .iter()
-        .fold(Expr::c(0.0), |acc, &v| acc + Expr::var(v));
+    let budget = vars.iter().fold(Expr::c(0.0), |acc, &v| acc + Expr::var(v));
     m.constrain("budget", budget, ConstraintSense::Le, n, Convexity::Linear)
         .unwrap();
-    m.set_objective(Expr::var(t), ObjectiveSense::Minimize).unwrap();
+    m.set_objective(Expr::var(t), ObjectiveSense::Minimize)
+        .unwrap();
     m
 }
 
@@ -104,9 +103,16 @@ fn gap_is_none_without_incumbent() {
     // Infeasible model.
     let mut m = Model::new();
     let x = m.integer("x", 0.0, 5.0).unwrap();
-    m.constrain("lo", Expr::var(x), ConstraintSense::Ge, 10.0, Convexity::Linear)
+    m.constrain(
+        "lo",
+        Expr::var(x),
+        ConstraintSense::Ge,
+        10.0,
+        Convexity::Linear,
+    )
+    .unwrap();
+    m.set_objective(Expr::var(x), ObjectiveSense::Minimize)
         .unwrap();
-    m.set_objective(Expr::var(x), ObjectiveSense::Minimize).unwrap();
     let ir = compile(&m).unwrap();
     let sol = solve(&ir, &MinlpOptions::default());
     assert_eq!(sol.status, MinlpStatus::Infeasible);
@@ -126,7 +132,8 @@ fn presolve_proves_infeasibility_before_search() {
         Convexity::Linear,
     )
     .unwrap();
-    m.set_objective(Expr::var(a), ObjectiveSense::Minimize).unwrap();
+    m.set_objective(Expr::var(a), ObjectiveSense::Minimize)
+        .unwrap();
     let ir = compile(&m).unwrap();
     let sol = solve(&ir, &MinlpOptions::default());
     assert_eq!(sol.status, MinlpStatus::Infeasible);

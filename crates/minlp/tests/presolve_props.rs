@@ -55,7 +55,8 @@ fn build(seed: u64, k: usize, rows: usize) -> Model {
         )
         .unwrap();
     }
-    m.set_objective(Expr::var(t), ObjectiveSense::Minimize).unwrap();
+    m.set_objective(Expr::var(t), ObjectiveSense::Minimize)
+        .unwrap();
     m
 }
 

@@ -36,7 +36,8 @@ fn build(a1: f64, d1: f64, a2: f64, d2: f64, n: i64) -> Model {
         Convexity::Linear,
     )
     .unwrap();
-    m.set_objective(Expr::var(t), ObjectiveSense::Minimize).unwrap();
+    m.set_objective(Expr::var(t), ObjectiveSense::Minimize)
+        .unwrap();
     m
 }
 

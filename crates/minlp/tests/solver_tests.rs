@@ -13,7 +13,8 @@ fn simple_curve_model(a: f64, d: f64, hi: f64) -> Model {
     let g = a / Expr::var(n) + d - Expr::var(t);
     m.constrain("perf", g, ConstraintSense::Le, 0.0, Convexity::Convex)
         .unwrap();
-    m.set_objective(Expr::var(t), ObjectiveSense::Minimize).unwrap();
+    m.set_objective(Expr::var(t), ObjectiveSense::Minimize)
+        .unwrap();
     m
 }
 
@@ -88,7 +89,8 @@ fn two_component_model(a1: f64, a2: f64, n_total: f64) -> Model {
         Convexity::Linear,
     )
     .unwrap();
-    m.set_objective(Expr::var(t), ObjectiveSense::Minimize).unwrap();
+    m.set_objective(Expr::var(t), ObjectiveSense::Minimize)
+        .unwrap();
     m
 }
 
@@ -120,7 +122,9 @@ fn min_max_split_matches_brute_force() {
 /// SOS-selected allocation: n must equal one of the allowed values.
 fn sos_model(allowed: &[f64], a: f64, budget: f64) -> (Model, usize) {
     let mut m = Model::new();
-    let n = m.integer("n", allowed[0], *allowed.last().unwrap()).unwrap();
+    let n = m
+        .integer("n", allowed[0], *allowed.last().unwrap())
+        .unwrap();
     let t = m.continuous("T", 0.0, 1e9).unwrap();
     let mut zs = Vec::new();
     for (k, &v) in allowed.iter().enumerate() {
@@ -139,11 +143,8 @@ fn sos_model(allowed: &[f64], a: f64, budget: f64) -> (Model, usize) {
         - Expr::var(n);
     m.constrain("link", link, ConstraintSense::Eq, 0.0, Convexity::Linear)
         .unwrap();
-    m.add_sos1(
-        "alloc",
-        zs.iter().map(|&(z, v)| (z, v)).collect(),
-    )
-    .unwrap();
+    m.add_sos1("alloc", zs.iter().map(|&(z, v)| (z, v)).collect())
+        .unwrap();
     m.constrain(
         "budget",
         Expr::var(n),
@@ -160,7 +161,8 @@ fn sos_model(allowed: &[f64], a: f64, budget: f64) -> (Model, usize) {
         Convexity::Convex,
     )
     .unwrap();
-    m.set_objective(Expr::var(t), ObjectiveSense::Minimize).unwrap();
+    m.set_objective(Expr::var(t), ObjectiveSense::Minimize)
+        .unwrap();
     (m, n)
 }
 
@@ -211,11 +213,24 @@ fn sos_branching_beats_integer_branching() {
 fn infeasible_model_detected() {
     let mut m = Model::new();
     let x = m.integer("x", 0.0, 10.0).unwrap();
-    m.constrain("lo", Expr::var(x), ConstraintSense::Ge, 7.0, Convexity::Linear)
+    m.constrain(
+        "lo",
+        Expr::var(x),
+        ConstraintSense::Ge,
+        7.0,
+        Convexity::Linear,
+    )
+    .unwrap();
+    m.constrain(
+        "hi",
+        Expr::var(x),
+        ConstraintSense::Le,
+        3.0,
+        Convexity::Linear,
+    )
+    .unwrap();
+    m.set_objective(Expr::var(x), ObjectiveSense::Minimize)
         .unwrap();
-    m.constrain("hi", Expr::var(x), ConstraintSense::Le, 3.0, Convexity::Linear)
-        .unwrap();
-    m.set_objective(Expr::var(x), ObjectiveSense::Minimize).unwrap();
     let ir = compile(&m).unwrap();
     let sol = solve(&ir, &MinlpOptions::default());
     assert_eq!(sol.status, MinlpStatus::Infeasible);
@@ -275,7 +290,8 @@ fn nonconvex_integer_constraint_enforced() {
         Convexity::Nonconvex,
     )
     .unwrap();
-    m.set_objective(Expr::var(n1), ObjectiveSense::Minimize).unwrap();
+    m.set_objective(Expr::var(n1), ObjectiveSense::Minimize)
+        .unwrap();
     let ir = compile(&m).unwrap();
     let sol = solve(&ir, &MinlpOptions::default());
     assert_eq!(sol.status, MinlpStatus::Optimal);

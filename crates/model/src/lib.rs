@@ -1,4 +1,6 @@
 //! Declarative optimization modeling with automatic differentiation.
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //!
 //! In the paper, the HSLB MINLP is written in AMPL, which provides (a) a
 //! notation close to the mathematics of Table I/II, and (b) exact

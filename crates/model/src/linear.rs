@@ -193,7 +193,10 @@ mod tests {
 
     #[test]
     fn pow_one_and_zero() {
-        assert_eq!(extract(&Expr::var(0).pow(1.0)).unwrap().pairs(), vec![(0, 1.0)]);
+        assert_eq!(
+            extract(&Expr::var(0).pow(1.0)).unwrap().pairs(),
+            vec![(0, 1.0)]
+        );
         let l = extract(&Expr::var(0).pow(0.0)).unwrap();
         assert!(l.is_constant());
         assert_eq!(l.constant, 1.0);

@@ -321,7 +321,11 @@ impl std::fmt::Display for Model {
             ObjectiveSense::Minimize => "minimize",
             ObjectiveSense::Maximize => "maximize",
         };
-        writeln!(f, "{sense} obj: {};", self.objective.expr.display_with(&namer))?;
+        writeln!(
+            f,
+            "{sense} obj: {};",
+            self.objective.expr.display_with(&namer)
+        )?;
         for c in &self.constraints {
             let s = match c.sense {
                 ConstraintSense::Le => "<=",
@@ -359,7 +363,8 @@ mod tests {
         let g = 10.0 / Expr::var(n) + 0.1 * Expr::var(n) - Expr::var(t);
         m.constrain("perf", g, ConstraintSense::Le, 0.0, Convexity::Convex)
             .unwrap();
-        m.set_objective(Expr::var(t), ObjectiveSense::Minimize).unwrap();
+        m.set_objective(Expr::var(t), ObjectiveSense::Minimize)
+            .unwrap();
         assert_eq!(m.num_vars(), 2);
         assert_eq!(m.constraints.len(), 1);
         assert_eq!(m.constraints[0].convexity, Convexity::Convex);
@@ -430,7 +435,8 @@ mod tests {
     fn display_is_ampl_flavoured() {
         let mut m = Model::new();
         let n = m.integer("n_ocn", 2.0, 768.0).unwrap();
-        m.set_objective(Expr::var(n), ObjectiveSense::Minimize).unwrap();
+        m.set_objective(Expr::var(n), ObjectiveSense::Minimize)
+            .unwrap();
         let shown = format!("{m}");
         assert!(shown.contains("var n_ocn"), "{shown}");
         assert!(shown.contains("minimize obj"), "{shown}");

@@ -32,6 +32,8 @@ impl FitDiagnostics {
             return f64::INFINITY;
         };
         let g = gradient(curve, n);
+        // The stored covariance is 4×4 by construction; so is `g`.
+        #[allow(clippy::expect_used)]
         let cg = cov.matvec(&g).expect("4x4 covariance");
         hslb_numerics::vector::dot(&g, &cg).max(0.0).sqrt()
     }
@@ -123,7 +125,11 @@ mod tests {
         ns.iter()
             .enumerate()
             .map(|(i, &n)| {
-                let eps = if i % 2 == 0 { 1.0 + jitter } else { 1.0 - jitter };
+                let eps = if i % 2 == 0 {
+                    1.0 + jitter
+                } else {
+                    1.0 - jitter
+                };
                 (n, curve.eval(n) * eps)
             })
             .collect()

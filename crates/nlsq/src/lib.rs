@@ -1,4 +1,6 @@
 //! Box-constrained nonlinear least squares for performance-curve fitting.
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //!
 //! Step 2 of the paper's HSLB algorithm fits the performance model
 //!
@@ -23,9 +25,9 @@ pub mod lm;
 pub mod multistart;
 pub mod scaling;
 
+pub use diagnostics::{diagnose, FitDiagnostics};
 pub use lm::{LmOptions, LmOutcome, LmResult, ResidualModel};
 pub use multistart::{
     multistart_fit, multistart_fit_report, EarlyStopPolicy, MultistartOptions, MultistartReport,
 };
-pub use diagnostics::{diagnose, FitDiagnostics};
 pub use scaling::{fit_scaling, ScalingCurve, ScalingFit, ScalingFitOptions};

@@ -129,7 +129,8 @@ pub fn levenberg_marquardt<M: ResidualModel>(model: &M, p0: &[f64], opts: &LmOpt
     for iter in 0..opts.max_iters {
         iterations = iter + 1;
         model.jacobian(&p, &mut jac);
-        // g = Jᵀr ; H = JᵀJ
+        // g = Jᵀr ; H = JᵀJ — `jac` and `r` were sized together above.
+        #[allow(clippy::expect_used)]
         let g = jac.matvec_t(&r).expect("dims");
         if hslb_numerics::vector::norm_inf(&g) < opts.grad_tol {
             outcome = LmOutcome::GradientSmall;
@@ -147,23 +148,18 @@ pub fn levenberg_marquardt<M: ResidualModel>(model: &M, p0: &[f64], opts: &LmOpt
                 let dj = h[(j, j)].max(1e-12);
                 damped[(j, j)] += lambda * dj;
             }
-            let step = match Cholesky::factor_with_ridge(&damped, 1e-12, 20)
-                .and_then(|c| c.solve(&g))
-            {
-                Ok(mut s) => {
-                    hslb_numerics::vector::scale(-1.0, &mut s);
-                    s
-                }
-                Err(_) => {
-                    lambda *= 7.0;
-                    continue;
-                }
-            };
-            let mut trial: Vec<f64> = p
-                .iter()
-                .zip(&step)
-                .map(|(&pi, &si)| pi + si)
-                .collect();
+            let step =
+                match Cholesky::factor_with_ridge(&damped, 1e-12, 20).and_then(|c| c.solve(&g)) {
+                    Ok(mut s) => {
+                        hslb_numerics::vector::scale(-1.0, &mut s);
+                        s
+                    }
+                    Err(_) => {
+                        lambda *= 7.0;
+                        continue;
+                    }
+                };
+            let mut trial: Vec<f64> = p.iter().zip(&step).map(|(&pi, &si)| pi + si).collect();
             hslb_numerics::vector::clamp_box(&mut trial, &lb, &ub);
 
             let mut r_trial = vec![0.0; m];
@@ -287,7 +283,11 @@ mod tests {
         let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
         let m = BoundedLine { xs, ys };
         let res = levenberg_marquardt(&m, &[0.0, 5.0], &LmOptions::default());
-        assert!(res.params[1] >= 2.0 - 1e-12, "bound violated: {}", res.params[1]);
+        assert!(
+            res.params[1] >= 2.0 - 1e-12,
+            "bound violated: {}",
+            res.params[1]
+        );
         // Slope still recovered well despite the active bound.
         assert!((res.params[0] - 3.0).abs() < 0.2, "slope {}", res.params[0]);
     }

@@ -299,8 +299,7 @@ impl BasinScan {
                 // no-improvement streak resets only when a start would
                 // actually move the winner.
                 let displaced = !cost.is_nan()
-                    && (inc.is_nan()
-                        || cost < inc - displacement_margin(inc, self.residual_scale));
+                    && (inc.is_nan() || cost < inc - displacement_margin(inc, self.residual_scale));
                 if displaced {
                     self.incumbent_cost = Some(cost);
                     self.no_improvement = 0;
@@ -432,6 +431,10 @@ fn parallel_runs<M: ResidualModel + Sync>(
         scan: BasinScan::new(opts.early_stop, residual_scale),
         fired: false,
     });
+    // A worker panic is a solver bug; propagating it (rather than
+    // returning a partial fit) is the intended behavior of every
+    // `expect` in this parallel drain.
+    #[allow(clippy::expect_used)]
     crossbeam::thread::scope(|scope| {
         for _ in 0..nthreads {
             let (next, cutoff, drain) = (&next, &cutoff, &drain);
@@ -470,7 +473,11 @@ fn parallel_runs<M: ResidualModel + Sync>(
     })
     .expect("multistart worker panicked");
     let keep = cutoff.load(Ordering::Acquire).min(n);
+    // The scope joined every worker, so the lock cannot be poisoned and
+    // every slot below the published cutoff has been filled.
+    #[allow(clippy::expect_used)]
     let drain = drain.into_inner().expect("multistart drain lock");
+    #[allow(clippy::expect_used)]
     drain
         .slots
         .into_iter()
@@ -729,7 +736,10 @@ mod tests {
             ..Default::default()
         };
         let (serial, serial_rep) = multistart_fit_report(&TwoBasins, &[-3.0], &opts_for(1));
-        assert!(serial_rep.early_stopped, "policy must fire for this test to bite");
+        assert!(
+            serial_rep.early_stopped,
+            "policy must fire for this test to bite"
+        );
         for _ in 0..50 {
             let (par, par_rep) = multistart_fit_report(&TwoBasins, &[-3.0], &opts_for(4));
             assert_eq!(par.params, serial.params);

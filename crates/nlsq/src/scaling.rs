@@ -226,8 +226,13 @@ pub fn fit_scaling(data: &[(f64, f64)], opts: &ScalingFitOptions) -> Result<Scal
     if data.len() < 2 {
         return Err(FitError::BadData("need at least two points"));
     }
-    if data.iter().any(|&(n, y)| n < 1.0 || !y.is_finite() || y <= 0.0) {
-        return Err(FitError::BadData("node counts must be ≥ 1 and times positive"));
+    if data
+        .iter()
+        .any(|&(n, y)| n < 1.0 || !y.is_finite() || y <= 0.0)
+    {
+        return Err(FitError::BadData(
+            "node counts must be ≥ 1 and times positive",
+        ));
     }
     let y_max = data.iter().map(|&(_, y)| y).fold(0.0_f64, f64::max);
     let n_max = data.iter().map(|&(n, _)| n).fold(0.0_f64, f64::max);
@@ -240,11 +245,14 @@ pub fn fit_scaling(data: &[(f64, f64)], opts: &ScalingFitOptions) -> Result<Scal
 
     // Physically-motivated initial guess: all work scalable (a ≈ y·n at
     // the smallest point), small serial floor at the largest point.
+    // `data` was validated non-empty at the top of the fit.
+    #[allow(clippy::expect_used)]
     let (n_min_pt, y_at_nmin) = data
         .iter()
         .copied()
         .min_by(|a, b| hslb_numerics::float::cmp_f64(a.0, b.0))
         .expect("nonempty");
+    #[allow(clippy::expect_used)]
     let y_at_nmax = data
         .iter()
         .copied()

@@ -56,6 +56,8 @@ pub fn cmp_f64(a: f64, b: f64) -> std::cmp::Ordering {
         (true, true) => std::cmp::Ordering::Equal,
         (true, false) => std::cmp::Ordering::Greater,
         (false, true) => std::cmp::Ordering::Less,
+        // Both operands proven non-NaN by the arms above.
+        #[allow(clippy::unwrap_used)]
         (false, false) => a.partial_cmp(&b).unwrap(),
     }
 }

@@ -1,4 +1,6 @@
 //! Dense linear algebra and scalar numerical utilities for the CESM-HSLB
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! workspace.
 //!
 //! This crate deliberately implements only what the rest of the workspace

@@ -69,7 +69,11 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu { packed: m, perm, sign })
+        Ok(Lu {
+            packed: m,
+            perm,
+            sign,
+        })
     }
 
     /// Solve `A·x = b` using the stored factors.
@@ -173,7 +177,9 @@ mod tests {
         // needs no external RNG.
         let mut state = 42_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         for n in [1usize, 2, 3, 5, 8, 13] {

@@ -21,7 +21,10 @@ impl Qr {
     pub fn factor(a: &Matrix) -> Result<Self> {
         let (m, n) = (a.rows(), a.cols());
         if m < n {
-            return Err(NumericsError::DimensionMismatch { expected: n, got: m });
+            return Err(NumericsError::DimensionMismatch {
+                expected: n,
+                got: m,
+            });
         }
         let mut r = a.clone();
         let mut beta = vec![0.0; n];
@@ -93,7 +96,10 @@ impl Qr {
     pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
         let (m, n) = (self.packed.rows(), self.packed.cols());
         if b.len() != m {
-            return Err(NumericsError::DimensionMismatch { expected: m, got: b.len() });
+            return Err(NumericsError::DimensionMismatch {
+                expected: m,
+                got: b.len(),
+            });
         }
         let mut qtb = b.to_vec();
         self.apply_qt(&mut qtb);

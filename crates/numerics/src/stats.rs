@@ -36,7 +36,11 @@ pub fn r_squared(observed: &[f64], predicted: &[f64]) -> Option<f64> {
         .map(|(y, p)| (y - p) * (y - p))
         .sum();
     if ss_tot == 0.0 {
-        return Some(if ss_res == 0.0 { 1.0 } else { f64::NEG_INFINITY });
+        return Some(if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        });
     }
     Some(1.0 - ss_res / ss_tot)
 }

@@ -389,7 +389,13 @@ mod tests {
         let v = parse(r#"{"a": [1, {"b": "x"}, null], "c": {}}"#).unwrap();
         assert_eq!(v.get("a").unwrap().idx(0).unwrap().as_f64(), Some(1.0));
         assert_eq!(
-            v.get("a").unwrap().idx(1).unwrap().get("b").unwrap().as_str(),
+            v.get("a")
+                .unwrap()
+                .idx(1)
+                .unwrap()
+                .get("b")
+                .unwrap()
+                .as_str(),
             Some("x")
         );
         assert_eq!(v.get("c"), Some(&Value::Obj(vec![])));
@@ -397,7 +403,16 @@ mod tests {
 
     #[test]
     fn rejects_malformed_documents() {
-        for bad in ["", "{", "[1,]", "{\"a\"}", "{\"a\":1,}", "1 2", "nul", "\"x"] {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\"}",
+            "{\"a\":1,}",
+            "1 2",
+            "nul",
+            "\"x",
+        ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
     }

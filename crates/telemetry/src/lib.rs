@@ -1,4 +1,6 @@
 //! Lightweight, dependency-free observability for the HSLB pipeline.
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //!
 //! The pipeline (gather → fit → solve → execute) runs as a tuning
 //! service; this crate gives every layer a shared way to say what it is
@@ -203,7 +205,11 @@ impl std::fmt::Debug for Telemetry {
         write!(
             f,
             "Telemetry({})",
-            if self.inner.is_some() { "enabled" } else { "disabled" }
+            if self.inner.is_some() {
+                "enabled"
+            } else {
+                "disabled"
+            }
         )
     }
 }
@@ -362,7 +368,11 @@ impl Telemetry {
         Snapshot {
             events: st.events.clone(),
             counters: st.counters.clone(),
-            hists: st.hists.iter().map(|(k, h)| (k.clone(), h.summary())).collect(),
+            hists: st
+                .hists
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
         }
     }
 

@@ -33,10 +33,20 @@ const GRADIENT_PHASE: [(f64, f64); 5] = [
 fn main() {
     // Step 2 of HSLB: fit the same performance model the paper uses.
     let opts = ScalingFitOptions::default();
-    let scf = fit_scaling(&SCF_PHASE, &opts).expect("well-formed data").curve;
-    let grad = fit_scaling(&GRADIENT_PHASE, &opts).expect("well-formed data").curve;
-    println!("SCF:      T(n) = {:.0}/n + {:.2e}·n^{:.2} + {:.2}", scf.a, scf.b, scf.c, scf.d);
-    println!("gradient: T(n) = {:.0}/n + {:.2e}·n^{:.2} + {:.2}", grad.a, grad.b, grad.c, grad.d);
+    let scf = fit_scaling(&SCF_PHASE, &opts)
+        .expect("well-formed data")
+        .curve;
+    let grad = fit_scaling(&GRADIENT_PHASE, &opts)
+        .expect("well-formed data")
+        .curve;
+    println!(
+        "SCF:      T(n) = {:.0}/n + {:.2e}·n^{:.2} + {:.2}",
+        scf.a, scf.b, scf.c, scf.d
+    );
+    println!(
+        "gradient: T(n) = {:.0}/n + {:.2e}·n^{:.2} + {:.2}",
+        grad.a, grad.b, grad.c, grad.d
+    );
 
     // Step 3: a custom two-task min-max model over 1024 nodes, built with
     // the AMPL-like layer directly (no CESM involved).
@@ -72,7 +82,8 @@ fn main() {
         Convexity::Linear,
     )
     .unwrap();
-    m.set_objective(Expr::var(t), ObjectiveSense::Minimize).unwrap();
+    m.set_objective(Expr::var(t), ObjectiveSense::Minimize)
+        .unwrap();
 
     let ir = compile(&m).expect("convex model compiles");
     let sol = solve(&ir, &MinlpOptions::default());

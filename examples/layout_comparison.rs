@@ -16,12 +16,8 @@ fn main() -> Result<(), HslbError> {
     let node_counts = [128, 256, 512, 1024, 2048];
     let ocean_set = ResolutionConfig::one_degree_ocean_set();
     let atm_set = ResolutionConfig::one_degree_atm_set();
-    let predictions = whatif::predict_layout_scaling(
-        &fits,
-        &node_counts,
-        Some(&ocean_set),
-        Some(&atm_set),
-    );
+    let predictions =
+        whatif::predict_layout_scaling(&fits, &node_counts, Some(&ocean_set), Some(&atm_set));
 
     println!("predicted optimal time (s) per layout — Figure 4");
     print!("{:>8}", "nodes");

@@ -61,6 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Round-trip proof: the XML is parseable back to the same layout.
     let back = pes::PesLayout::from_xml(&xml)?;
     assert_eq!(back.total_tasks, pes_layout.total_tasks);
-    println!("# XML round-trip verified ({} total tasks)", back.total_tasks);
+    println!(
+        "# XML round-trip verified ({} total tasks)",
+        back.total_tasks
+    );
     Ok(())
 }

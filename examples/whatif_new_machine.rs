@@ -46,8 +46,8 @@ fn main() -> Result<(), HslbError> {
     //    flags this as exploratory — extrapolation beyond measured
     //    counts).
     let big = Machine::hypothetical_exascale();
-    let res = hslb::ExhaustiveOptimizer::new(&fits, Layout::Hybrid, big.nodes)
-        .solve(Objective::MinMax);
+    let res =
+        hslb::ExhaustiveOptimizer::new(&fits, Layout::Hybrid, big.nodes).solve(Objective::MinMax);
     println!(
         "\non {} ({} nodes): predicted {:.2}s with {}",
         big.name, big.nodes, res.objective, res.allocation
@@ -61,13 +61,8 @@ fn main() -> Result<(), HslbError> {
         c: ocn.c,
         d: ocn.d / 2.0,
     };
-    let (before, after) = whatif::predict_component_swap(
-        &fits,
-        Layout::Hybrid,
-        2048,
-        Component::Ocn,
-        better_ocean,
-    );
+    let (before, after) =
+        whatif::predict_component_swap(&fits, Layout::Hybrid, 2048, Component::Ocn, better_ocean);
     println!(
         "\nrewriting POP (3x scalable part): {before:.1}s → {after:.1}s at 2048 nodes \
          ({:+.0}%)",

@@ -1,13 +1,24 @@
 #!/usr/bin/env bash
-# Repository gate: build, tests, lints. CI and pre-merge both run this.
+# Repository gate: build, tests, lints, audits. CI and pre-merge both run
+# this.
 #
 #   scripts/check.sh           # everything
-#   scripts/check.sh --fast    # skip the release build
+#   scripts/check.sh --fast    # skip the release build and bench smoke
 #
 # The clippy step is strict (-D warnings) across every target, including
-# tests and benches: the workspace carries `warn(clippy::unwrap_used)` on
-# the library crates' non-test code, so a new unwrap on a fault path
-# fails the gate here rather than panicking on a cluster.
+# tests and benches: the workspace carries `warn(clippy::unwrap_used,
+# clippy::expect_used)` on the library crates' non-test code, so a new
+# unwrap on a fault path fails the gate here rather than panicking on a
+# cluster.
+#
+# The audit gate (DESIGN.md §11) has two levels. Level 2 — `audit-source`,
+# a line-level scan of the workspace for nondeterminism primitives, raw
+# float equality, lock acquisitions inside the multistart drain critical
+# section, and telemetry reads from solver code — runs in both modes;
+# deliberate exceptions live in scripts/audit.allow, one justified line
+# each. Level 1 — `audit-instances`, the convexity/well-formedness
+# certificate over every benchmark scenario plus the seeded non-convex
+# rejection self-test — needs release solves and runs in the full mode.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,8 +26,14 @@ cd "$(dirname "$0")/.."
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
 echo "==> cargo clippy (-D warnings, all targets)"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> audit-source (Level 2: workspace source audit)"
+cargo run -q -p hslb-audit --bin audit-source -- --root . --allowlist scripts/audit.allow
 
 if [[ $fast -eq 0 ]]; then
     echo "==> cargo build --release"
@@ -27,6 +44,9 @@ echo "==> cargo test"
 cargo test -q --workspace
 
 if [[ $fast -eq 0 ]]; then
+    echo "==> audit-instances (Level 1: convexity certificates + rejection self-test)"
+    cargo run --release -q -p hslb-bench --bin audit-instances
+
     echo "==> bench-suite smoke + schema validation"
     smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
     slow_out="$(mktemp /tmp/bench_smoke_full.XXXXXX.json)"

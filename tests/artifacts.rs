@@ -52,8 +52,12 @@ fn pipeline_to_pes_xml_is_consistent() {
     let sim = Simulator::one_degree(42);
     let h = Hslb::new(&sim, HslbOptions::new(256));
     let report = h.run(None).expect("pipeline");
-    let layout =
-        pes::build(&Machine::intrepid(), Layout::Hybrid, &report.hslb.allocation).expect("pes");
+    let layout = pes::build(
+        &Machine::intrepid(),
+        Layout::Hybrid,
+        &report.hslb.allocation,
+    )
+    .expect("pes");
     // Every optimized component appears with a positive task count, and
     // NTASKS matches the allocation under 1 task/node.
     for c in Component::OPTIMIZED {
@@ -63,7 +67,10 @@ fn pipeline_to_pes_xml_is_consistent() {
     }
     assert!(layout.total_tasks <= 256);
     let xml = layout.to_xml();
-    assert_eq!(pes::PesLayout::from_xml(&xml).unwrap().total_tasks, layout.total_tasks);
+    assert_eq!(
+        pes::PesLayout::from_xml(&xml).unwrap().total_tasks,
+        layout.total_tasks
+    );
 }
 
 #[test]
@@ -117,7 +124,9 @@ fn pipeline_survives_hostile_noise() {
         max_nodes: 512,
         points: 11,
     };
-    let report = Hslb::new(&sim, opts).run(None).expect("pipeline under noise");
+    let report = Hslb::new(&sim, opts)
+        .run(None)
+        .expect("pipeline under noise");
     let a = report.hslb.allocation;
     assert!(a.ice + a.lnd <= a.atm && a.atm + a.ocn <= 512);
     // Within 2× of the quiet-environment optimum — degraded, not broken.

@@ -10,7 +10,9 @@ use proptest::prelude::*;
 /// A fault-free 1°/128 baseline to compare degraded runs against.
 fn fault_free_baseline() -> ExperimentReport {
     let sim = Simulator::one_degree(42);
-    Hslb::new(&sim, HslbOptions::new(128)).run(None).expect("clean pipeline")
+    Hslb::new(&sim, HslbOptions::new(128))
+        .run(None)
+        .expect("clean pipeline")
 }
 
 #[test]
@@ -24,10 +26,20 @@ fn expired_deadline_falls_back_to_the_exhaustive_optimum() {
     let sim = Simulator::one_degree(42);
     let mut opts = HslbOptions::new(128);
     opts.solver.time_limit = Some(Duration::ZERO);
-    let report = Hslb::new(&sim, opts).run(None).expect("ladder rescues the run");
+    let report = Hslb::new(&sim, opts)
+        .run(None)
+        .expect("ladder rescues the run");
 
-    let res = report.resilience.as_ref().expect("resilience report present");
-    assert_eq!(res.rung, SolverRung::Exhaustive, "fallbacks: {:?}", res.fallbacks);
+    let res = report
+        .resilience
+        .as_ref()
+        .expect("resilience report present");
+    assert_eq!(
+        res.rung,
+        SolverRung::Exhaustive,
+        "fallbacks: {:?}",
+        res.fallbacks
+    );
     assert!(res.degraded_accuracy, "a forced fallback must be flagged");
     assert!(
         res.fallbacks.iter().any(|f| f.contains("deadline")),
@@ -36,8 +48,14 @@ fn expired_deadline_falls_back_to_the_exhaustive_optimum() {
     );
     // The two exact solvers may break ties differently in the ice/land
     // split, but the optimal objective value must agree.
-    let exhaustive_opt = report.hslb.predicted_total.expect("fallback carries a prediction");
-    let minlp_opt = baseline.hslb.predicted_total.expect("baseline carries a prediction");
+    let exhaustive_opt = report
+        .hslb
+        .predicted_total
+        .expect("fallback carries a prediction");
+    let minlp_opt = baseline
+        .hslb
+        .predicted_total
+        .expect("baseline carries a prediction");
     assert!(
         (exhaustive_opt - minlp_opt).abs() <= 1e-6 * minlp_opt.abs(),
         "exhaustive fallback optimum {exhaustive_opt} must match the MINLP optimum {minlp_opt}"
@@ -52,16 +70,31 @@ fn thirty_percent_failures_and_zero_deadline_stay_within_fifteen_percent() {
     // it, and produce a makespan within 15 % of the fault-free optimum.
     let baseline = fault_free_baseline();
 
-    let faults = FaultSpec { fail_rate: 0.3, ..FaultSpec::none() };
+    let faults = FaultSpec {
+        fail_rate: 0.3,
+        ..FaultSpec::none()
+    };
     let faults = FaultSpec { seed: 5, ..faults };
     let sim = Simulator::one_degree(42).with_faults(faults);
     let mut opts = HslbOptions::new(128);
     opts.solver.time_limit = Some(Duration::ZERO);
-    let report = Hslb::new(&sim, opts).run(None).expect("degraded pipeline completes");
+    let report = Hslb::new(&sim, opts)
+        .run(None)
+        .expect("degraded pipeline completes");
 
-    let res = report.resilience.as_ref().expect("resilience report present");
-    assert_ne!(res.rung, SolverRung::Minlp, "the dead solver cannot be the chosen rung");
-    assert!(!res.fallbacks.is_empty(), "fallback reasons must be recorded");
+    let res = report
+        .resilience
+        .as_ref()
+        .expect("resilience report present");
+    assert_ne!(
+        res.rung,
+        SolverRung::Minlp,
+        "the dead solver cannot be the chosen rung"
+    );
+    assert!(
+        !res.fallbacks.is_empty(),
+        "fallback reasons must be recorded"
+    );
     assert!(res.degraded_accuracy);
 
     let degraded = report.hslb.actual_total;
@@ -76,15 +109,28 @@ fn thirty_percent_failures_and_zero_deadline_stay_within_fifteen_percent() {
 fn gather_report_accounts_for_every_injected_failure() {
     // With pure run failures, every benchmark point must be recovered by
     // retry or substitution — and the report must say which.
-    let faults = FaultSpec { seed: 11, fail_rate: 0.3, ..FaultSpec::none() };
+    let faults = FaultSpec {
+        seed: 11,
+        fail_rate: 0.3,
+        ..FaultSpec::none()
+    };
     let sim = Simulator::one_degree(42).with_faults(faults);
     let h = Hslb::new(&sim, HslbOptions::new(128));
     let (data, gather) = h.gather_resilient();
 
-    assert!(gather.failed_runs > 0, "a 30% fail rate over ~36 runs should hit at least once");
+    assert!(
+        gather.failed_runs > 0,
+        "a 30% fail rate over ~36 runs should hit at least once"
+    );
     assert!(!gather.is_clean());
-    assert_eq!(gather.attempts, gather.succeeded + gather.failed_runs + gather.hung_runs);
-    assert!(gather.meets_minimum(4), "D >= 4 per component (paper §III-C): {gather}");
+    assert_eq!(
+        gather.attempts,
+        gather.succeeded + gather.failed_runs + gather.hung_runs
+    );
+    assert!(
+        gather.meets_minimum(4),
+        "D >= 4 per component (paper §III-C): {gather}"
+    );
     assert!(data.covers_optimized(4));
 }
 

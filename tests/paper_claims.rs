@@ -43,7 +43,10 @@ fn claim_hslb_beats_manual_at_eighth_degree() {
         gains.iter().any(|&g| g >= 5.0),
         "expected a ≥5% win somewhere, got {gains:?}"
     );
-    assert!(gains.iter().all(|&g| g > 0.0), "HSLB must win at 1/8°: {gains:?}");
+    assert!(
+        gains.iter().all(|&g| g > 0.0),
+        "HSLB must win at 1/8°: {gains:?}"
+    );
 }
 
 #[test]
@@ -103,7 +106,11 @@ fn claim_figure4_layout_ordering() {
     let atm = ResolutionConfig::one_degree_atm_set();
     let pred = whatif::predict_layout_scaling(&fits, &counts, Some(&ocean), Some(&atm));
     for (i, &count) in counts.iter().enumerate() {
-        let (l1, l2, l3) = (pred[0].points[i].1, pred[1].points[i].1, pred[2].points[i].1);
+        let (l1, l2, l3) = (
+            pred[0].points[i].1,
+            pred[1].points[i].1,
+            pred[2].points[i].1,
+        );
         assert!(l3 >= l1 && l3 >= l2, "layout 3 must be worst at N={count}");
         assert!(
             (l2 - l1).abs() / l1 < 0.25,
@@ -181,7 +188,10 @@ fn claim_four_benchmark_points_suffice() {
     let h = Hslb::new(&sim, opts);
     let fits = h.fit(&h.gather()).unwrap();
     let min_r2 = fits.min_r_squared().expect("measured fits");
-    assert!(min_r2 > 0.95, "4-point fits should still be good: min R² = {min_r2}");
+    assert!(
+        min_r2 > 0.95,
+        "4-point fits should still be good: min R² = {min_r2}"
+    );
 }
 
 #[test]
@@ -218,8 +228,8 @@ fn claim_exhaustive_and_solver_agree_on_unconstrained_case() {
     let h = Hslb::new(&sim, HslbOptions::new(32_768));
     let fits = h.fit(&h.gather()).unwrap();
     let solved = h.solve(&fits).unwrap();
-    let enumerated = ExhaustiveOptimizer::new(&fits, Layout::Hybrid, 32_768)
-        .solve(Objective::MinMax);
+    let enumerated =
+        ExhaustiveOptimizer::new(&fits, Layout::Hybrid, 32_768).solve(Objective::MinMax);
     // The B&B is exact; the enumeration is near-exact (grid outer loop).
     assert!(
         solved.predicted_total <= enumerated.objective * (1.0 + 1e-3),

@@ -80,8 +80,7 @@ fn unconstrained_ocean_unlocks_large_gain_at_32768() {
             .run(None)
             .expect("unconstrained solve")
     };
-    let actual_gain = 100.0
-        * (constrained.hslb.actual_total - unconstrained.hslb.actual_total)
+    let actual_gain = 100.0 * (constrained.hslb.actual_total - unconstrained.hslb.actual_total)
         / constrained.hslb.actual_total;
     let predicted_gain = 100.0
         * (constrained.hslb.predicted_total.unwrap() - unconstrained.hslb.predicted_total.unwrap())
@@ -148,9 +147,7 @@ fn tsync_constraint_tightens_balance_but_may_cost_time() {
         (p.ice - p.lnd).abs()
     );
     // And it can never beat the unconstrained optimum.
-    assert!(
-        synced.hslb.predicted_total.unwrap() >= base.hslb.predicted_total.unwrap() - 1e-6
-    );
+    assert!(synced.hslb.predicted_total.unwrap() >= base.hslb.predicted_total.unwrap() - 1e-6);
 }
 
 #[test]

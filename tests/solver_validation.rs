@@ -127,10 +127,7 @@ fn objective_ablation_minmax_beats_sum() {
     };
     let mm = makespan(&minmax.allocation);
     let ms = makespan(&sum.allocation);
-    assert!(
-        mm <= ms,
-        "min-max makespan {mm} must beat min-sum's {ms}"
-    );
+    assert!(mm <= ms, "min-max makespan {mm} must beat min-sum's {ms}");
 }
 
 #[test]
