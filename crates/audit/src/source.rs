@@ -2,7 +2,7 @@
 //! express.
 //!
 //! The scanner walks the workspace's own `src/` trees (vendored compat
-//! crates are skipped — they mimic third-party APIs) and enforces four
+//! crates are skipped — they mimic third-party APIs) and enforces five
 //! rules, each born from a real incident class in this repository:
 //!
 //! * **`nondeterminism`** — no `SystemTime` / `thread::sleep` in solver
@@ -15,11 +15,24 @@
 //! * **`lock-in-drain`** — no lock acquisition while a multistart
 //!   drain-lock guard is live (a binding of `drain.lock()`). The PR 3
 //!   early-stop cutoff race came from exactly this nesting class.
+//! * **`lock-in-queue`** — the service-crate twin of `lock-in-drain`:
+//!   no lock acquisition while an admission-queue shard guard (a binding
+//!   of `queue.lock()`) is live. A worker popping under the shard lock
+//!   while a submitter holds the front-desk lock and pushes is the
+//!   deadlock shape this serving layer must never grow; the queue module
+//!   therefore spells out `queue.lock()` at every site (no helper) so
+//!   the scanner can anchor on it.
 //! * **`telemetry-read`** — no telemetry *reads* (`.counter(…)`,
 //!   `.snapshot(…)`, `.events(…)`, `.elapsed_ms(…)`) in solver/fit code
 //!   paths. Instrumentation must be passive: results may be *written*
 //!   from anywhere, but a solver decision based on a telemetry value
 //!   would let observation change the answer.
+//!
+//! The `nondeterminism` and `telemetry-read` rules also cover the
+//! service crate (`crates/service/src`): responses must be bit-identical
+//! to one-shot pipeline runs, so the only randomness allowed there is
+//! the load generator's explicitly seeded LCG, and no scheduling or
+//! response decision may read telemetry.
 //!
 //! Mechanics, kept deliberately simple so diagnostics are reproducible:
 //! files are scanned line by line; scanning stops at the first
@@ -32,7 +45,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// The rule catalog (ids are stable; the allowlist references them).
-pub const RULES: [(&str, &str); 4] = [
+pub const RULES: [(&str, &str); 5] = [
     (
         "nondeterminism",
         "no SystemTime/thread::sleep outside fault-injection modules",
@@ -46,8 +59,12 @@ pub const RULES: [(&str, &str); 4] = [
         "no lock acquisition inside the multistart drain-lock critical section",
     ),
     (
+        "lock-in-queue",
+        "no lock acquisition inside an admission-queue shard critical section",
+    ),
+    (
         "telemetry-read",
-        "no telemetry reads feeding solver/fit control flow",
+        "no telemetry reads feeding solver/fit/service control flow",
     ),
 ];
 
@@ -62,6 +79,13 @@ const SOLVER_PATHS: [&str; 6] = [
     "crates/minlp/src",
     "crates/hslb/src",
 ];
+
+/// The serving layer, held to the same two rules: its determinism
+/// contract (every response bit-identical to a one-shot run) outlaws
+/// wall-clock/sleep primitives and telemetry-driven decisions just as
+/// strictly as the solver paths. Reviewed exceptions (the load
+/// generator's client-side retry backoff) live in the allowlist.
+const SERVICE_PATHS: [&str; 1] = ["crates/service/src"];
 
 /// One diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -160,6 +184,10 @@ fn in_solver_path(path: &str) -> bool {
     SOLVER_PATHS.iter().any(|p| path.starts_with(p))
 }
 
+fn in_service_path(path: &str) -> bool {
+    SERVICE_PATHS.iter().any(|p| path.starts_with(p))
+}
+
 /// True when `s` contains a float-ish token: a decimal literal, an `f64`/
 /// `f32` path, or a float constant name.
 fn has_float_token(s: &str) -> bool {
@@ -198,12 +226,14 @@ fn operand_window(line: &str, op_start: usize, op_len: usize) -> (String, String
 pub fn scan_file_content(path: &str, content: &str) -> Vec<Finding> {
     let mut out = Vec::new();
     let solver = in_solver_path(path);
+    let service = in_service_path(path);
     let fault_module = path.contains("fault");
     let tolerance_helper = path.ends_with("numerics/src/float.rs");
 
-    // lock-in-drain region state: Some(depth of the enclosing block)
-    // while a drain guard is live.
+    // lock-in-drain / lock-in-queue region state: Some(depth of the
+    // enclosing block) while the respective guard is live.
     let mut drain_region: Option<i64> = None;
+    let mut queue_region: Option<i64> = None;
     let mut depth: i64 = 0;
 
     for (idx, raw) in content.lines().enumerate() {
@@ -226,7 +256,7 @@ pub fn scan_file_content(path: &str, content: &str) -> Vec<Finding> {
         };
 
         // --- nondeterminism ---
-        if solver && !fault_module {
+        if (solver || service) && !fault_module {
             if line.contains("SystemTime") {
                 push(
                     "nondeterminism",
@@ -300,13 +330,32 @@ pub fn scan_file_content(path: &str, content: &str) -> Vec<Finding> {
             drain_region = Some(depth_before);
         }
 
+        // --- lock-in-queue --- (same mechanics, service-crate anchor)
+        if let Some(region_depth) = queue_region {
+            if depth_before < region_depth || depth < region_depth {
+                queue_region = None;
+            } else if line.contains(".lock(")
+                || line.contains(".read(")
+                || line.contains(".write(")
+                || line.contains(".try_lock(")
+            {
+                push(
+                    "lock-in-queue",
+                    "lock acquisition while the admission-queue shard guard is held".to_string(),
+                );
+            }
+        }
+        if queue_region.is_none() && line.contains("queue.lock()") {
+            queue_region = Some(depth_before);
+        }
+
         // --- telemetry-read ---
-        if solver {
+        if solver || service {
             for pat in [".snapshot(", ".events(", ".elapsed_ms(", ".counter("] {
                 if line.contains(pat) {
                     push(
                         "telemetry-read",
-                        format!("telemetry read `{pat}…)` in a solver/fit code path"),
+                        format!("telemetry read `{pat}…)` in a solver/fit/service code path"),
                     );
                     break;
                 }
@@ -462,6 +511,53 @@ fn f() {
 }
 ";
         assert!(scan_file_content("crates/nlsq/src/multistart.rs", code).is_empty());
+    }
+
+    #[test]
+    fn lock_in_queue_flags_nested_acquisition_in_the_service_crate() {
+        let code = "\
+fn push(&self) {
+    let mut state = queue.lock().unwrap_or_else(|e| e.into_inner());
+    let desk = front.lock();
+    state.push(1);
+}
+";
+        let f = scan_file_content("crates/service/src/queue.rs", code);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "lock-in-queue");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn lock_in_queue_region_ends_with_the_scope() {
+        let code = "\
+fn push(&self) {
+    {
+        let mut state = queue.lock().unwrap_or_else(|e| e.into_inner());
+        state.push(1);
+    }
+    shard.available.notify_one();
+    let desk = front.lock();
+}
+";
+        assert!(scan_file_content("crates/service/src/queue.rs", code).is_empty());
+    }
+
+    #[test]
+    fn service_crate_is_held_to_nondeterminism_and_telemetry_rules() {
+        let sleep = "std::thread::sleep(backoff);\n";
+        let f = scan_file_content("crates/service/src/bin/loadgen.rs", sleep);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "nondeterminism");
+
+        let read = "let n = telemetry.snapshot();\n";
+        let f = scan_file_content("crates/service/src/service.rs", read);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "telemetry-read");
+
+        // Telemetry writes stay legal in the service crate.
+        let w = "telemetry.counter_add(\"service.submitted\", 1);\n";
+        assert!(scan_file_content("crates/service/src/service.rs", w).is_empty());
     }
 
     #[test]

@@ -3,9 +3,15 @@
 //! Runs the full gather → fit → solve → execute pipeline at both paper
 //! resolutions across several node budgets, with a telemetry sink
 //! attached to every layer, and writes the per-phase timings plus solver
-//! telemetry to `BENCH_pipeline.json` (schema `hslb-bench-pipeline/v3`,
+//! telemetry to `BENCH_pipeline.json` (schema `hslb-bench-pipeline/v4`,
 //! documented in DESIGN.md §8; fast-path design in §10, audit gate in
-//! §11). Every scenario records its pre-solve instance audit; the
+//! §11, service in §12). v4 adds two things to every document: a
+//! per-scenario `solver.cut_pool` summary (the `minlp.cut_pool`
+//! histogram — how the outer-approximation pool grew over cut rounds —
+//! plus LP resolves per node), and a top-level `service` block from an
+//! in-process `hslb-service` load run (throughput, queue-wait and
+//! end-to-end latency percentiles, cache-hit tiers, determinism spot
+//! checks). Every scenario records its pre-solve instance audit; the
 //! validator rejects documents whose audits did not pass — a benchmark
 //! result without a convexity certificate is not evidence of a global
 //! optimum. The fit layer runs the multistart
@@ -19,6 +25,7 @@
 //! cargo run --release -p hslb-bench --bin bench-suite            # full suite
 //! cargo run --release -p hslb-bench --bin bench-suite -- --smoke # CI subset
 //! cargo run -p hslb-bench --bin bench-suite -- --validate FILE   # schema check
+//! cargo run -p hslb-bench --bin bench-suite -- --validate-service FILE
 //! cargo run -p hslb-bench --bin bench-suite -- --out FILE        # custom sink
 //! cargo run --release -p hslb-bench --bin bench-suite -- --no-early-stop
 //! ```
@@ -139,12 +146,46 @@ fn run_scenario(s: &Scenario, early_stop: bool, warm: &WarmStartCache) -> Value 
     let solver = match &report.solver_stats {
         Some(st) => {
             let wall_s = st.wall.as_secs_f64();
+            // v4: the cut-pool growth curve. `minlp.cut_pool` records
+            // the pool size after every cut round, so its histogram is
+            // "how many rounds, and how large did the pool get" — paired
+            // with LP resolves per node it shows what each cut round
+            // cost. A solve that never absorbs a cut has zero rounds.
+            let cut_pool = match snap.hists.get("minlp.cut_pool") {
+                Some(h) => obj(vec![
+                    ("rounds", num(h.count as f64)),
+                    ("min", num(h.min)),
+                    ("max", num(h.max)),
+                    ("mean", num(h.mean)),
+                    ("p50", num(h.p50)),
+                    ("p90", num(h.p90)),
+                    ("p99", num(h.p99)),
+                ]),
+                None => obj(vec![
+                    ("rounds", num(0.0)),
+                    ("min", num(0.0)),
+                    ("max", num(0.0)),
+                    ("mean", num(0.0)),
+                    ("p50", num(0.0)),
+                    ("p90", num(0.0)),
+                    ("p99", num(0.0)),
+                ]),
+            };
             obj(vec![
                 ("rung", Value::Str(resilience.rung.to_string())),
                 ("nodes", num(st.nodes as f64)),
                 ("lp_solves", num(st.lp_solves as f64)),
+                (
+                    "lp_resolves_per_node",
+                    if st.nodes > 0 {
+                        num(st.lp_solves as f64 / st.nodes as f64)
+                    } else {
+                        num(0.0)
+                    },
+                ),
                 ("simplex_iters", num(st.simplex_iters as f64)),
                 ("cuts", num(st.cuts as f64)),
+                ("cut_pool", cut_pool),
                 ("incumbents", num(st.incumbents as f64)),
                 (
                     "nodes_per_sec",
@@ -252,27 +293,139 @@ fn run_scenario(s: &Scenario, early_stop: bool, warm: &WarmStartCache) -> Value 
     ])
 }
 
-/// Schema check for `hslb-bench-pipeline/v3` documents. Returns every
+/// In-process service load run for the v4 `service` block: the same
+/// deterministic mix shape `loadgen` replays over TCP, driven directly
+/// against a [`TuningService`], with serial reference spot checks.
+fn run_service_load(smoke: bool) -> Value {
+    use hslb_service::loadmix::{self, LoadOutcome, LoadReport, MixSpec};
+    use hslb_service::{reference_response, ServiceOptions, TuningService};
+    use std::time::Instant;
+
+    let spec = if smoke {
+        MixSpec::smoke()
+    } else {
+        MixSpec {
+            requests: 48,
+            seed: 11,
+            include_eighth: false,
+        }
+    };
+    let mix = loadmix::generate(&spec);
+    let opts = ServiceOptions::default(); // 4 workers, 2 shards, caches + coalescing on
+    let (workers, shards) = (opts.workers, opts.shards);
+    let service = TuningService::start(opts);
+
+    let started = Instant::now();
+    let mut rejected = 0usize;
+    let mut errors = 0usize;
+    let mut tickets = Vec::new();
+    for req in &mix {
+        match service.submit(req.clone()) {
+            Ok(t) => tickets.push((req.exact_key(), Instant::now(), t)),
+            Err(_) => rejected += 1,
+        }
+    }
+    let mut outcomes = Vec::new();
+    let mut served: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    for (key, submitted, ticket) in tickets {
+        match ticket.wait() {
+            Ok(resp) => {
+                outcomes.push(LoadOutcome {
+                    tier: resp.tier,
+                    coalesced: resp.coalesced,
+                    queue_wait_ms: resp.queue_wait_ms,
+                    e2e_ms: submitted.elapsed().as_secs_f64() * 1e3,
+                });
+                served
+                    .entry(key)
+                    .or_insert_with(|| resp.payload.fingerprint());
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    service.shutdown();
+
+    // Spot-check determinism outside the timed window: the first few
+    // distinct keys must be bit-identical to the one-shot pipeline.
+    let mut checked = 0usize;
+    let mut mismatches = 0usize;
+    let mut seen = std::collections::BTreeSet::new();
+    for req in &mix {
+        if checked >= 3 {
+            break;
+        }
+        let key = req.exact_key();
+        if !seen.insert(key.clone()) {
+            continue;
+        }
+        let Some(observed) = served.get(&key) else {
+            continue;
+        };
+        match reference_response(req) {
+            Ok(reference) if reference.fingerprint() == *observed => checked += 1,
+            Ok(_) => {
+                checked += 1;
+                mismatches += 1;
+            }
+            Err(_) => mismatches += 1,
+        }
+    }
+
+    LoadReport::from_outcomes(
+        &outcomes,
+        hslb_service::loadmix::RunCounters {
+            requests: mix.len(),
+            rejected,
+            errors,
+            workers,
+            shards,
+            wall_ms,
+            determinism_checked: checked,
+            determinism_mismatches: mismatches,
+        },
+    )
+    .to_value()
+}
+
+/// Schema check for `hslb-bench-pipeline/v4` documents. Returns every
 /// violation found (empty = valid). Older schema versions are rejected
 /// with explicit upgrade messages.
 fn validate(doc: &Value) -> Vec<String> {
     let mut errs = Vec::new();
     match doc.get("schema").and_then(Value::as_str) {
-        Some("hslb-bench-pipeline/v3") => {}
+        Some("hslb-bench-pipeline/v4") => {}
         Some("hslb-bench-pipeline/v1") => errs.push(
             "schema hslb-bench-pipeline/v1 is no longer accepted: regenerate with a \
-             v3 emitter (adds early_stop, fit accounting, and the audit block)"
+             v4 emitter (adds early_stop, fit accounting, the audit block, the \
+             solver cut_pool summary, and the service load block)"
                 .to_string(),
         ),
         Some("hslb-bench-pipeline/v2") => errs.push(
             "schema hslb-bench-pipeline/v2 is no longer accepted: regenerate with a \
-             v3 emitter (adds the per-scenario audit block with the convexity \
-             certificate verdict)"
+             v4 emitter (adds the per-scenario audit block, the solver cut_pool \
+             summary, and the service load block)"
+                .to_string(),
+        ),
+        Some("hslb-bench-pipeline/v3") => errs.push(
+            "schema hslb-bench-pipeline/v3 is no longer accepted: regenerate with a \
+             v4 emitter (adds the per-scenario solver cut_pool summary with LP \
+             resolves per node, and the top-level service load block)"
                 .to_string(),
         ),
         other => errs.push(format!(
-            "schema must be hslb-bench-pipeline/v3, got {other:?}"
+            "schema must be hslb-bench-pipeline/v4, got {other:?}"
         )),
+    }
+    // v4 service block: an in-process hslb-service load run with zero
+    // pipeline errors and zero determinism mismatches.
+    match doc.get("service") {
+        Some(sv) if !matches!(sv, Value::Null) => {
+            if let Err(e) = hslb_service::loadmix::validate_service_block(sv) {
+                errs.push(format!("service block: {e}"));
+            }
+        }
+        _ => errs.push("missing service block (v4 requires an hslb-service load run)".to_string()),
     }
     let early_stop_enabled = doc.get("early_stop").and_then(Value::as_bool);
     if early_stop_enabled.is_none() {
@@ -305,13 +458,37 @@ fn validate(doc: &Value) -> Vec<String> {
             }
             None => errs.push(ctx("missing phase_ms")),
         }
-        if sc
-            .get("solver")
-            .and_then(|s| s.get("rung"))
-            .and_then(Value::as_str)
-            .is_none()
-        {
-            errs.push(ctx("missing solver.rung"));
+        match sc.get("solver") {
+            Some(solver) => {
+                if solver.get("rung").and_then(Value::as_str).is_none() {
+                    errs.push(ctx("missing solver.rung"));
+                }
+                // v4: MINLP solves (the ones reporting branch-and-bound
+                // stats) must carry the cut-pool summary and the per-node
+                // LP-resolve rate.
+                if solver.get("nodes").is_some() {
+                    if solver
+                        .get("lp_resolves_per_node")
+                        .and_then(Value::as_f64)
+                        .is_none()
+                    {
+                        errs.push(ctx("solver missing numeric lp_resolves_per_node"));
+                    }
+                    match solver.get("cut_pool") {
+                        Some(pool) if !matches!(pool, Value::Null) => {
+                            for key in ["rounds", "min", "max", "mean", "p50", "p90", "p99"] {
+                                if pool.get(key).and_then(Value::as_f64).is_none() {
+                                    errs.push(ctx(&format!(
+                                        "solver.cut_pool missing numeric {key}"
+                                    )));
+                                }
+                            }
+                        }
+                        _ => errs.push(ctx("solver missing cut_pool summary")),
+                    }
+                }
+            }
+            None => errs.push(ctx("missing solver.rung")),
         }
         match sc.get("allocation") {
             Some(a) => {
@@ -406,6 +583,7 @@ fn main() {
     let mut early_stop = true;
     let mut out = "BENCH_pipeline.json".to_string();
     let mut validate_path: Option<String> = None;
+    let mut validate_service_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -413,11 +591,38 @@ fn main() {
             "--no-early-stop" => early_stop = false,
             "--out" => out = it.next().expect("--out FILE").clone(),
             "--validate" => validate_path = Some(it.next().expect("--validate FILE").clone()),
+            "--validate-service" => {
+                validate_service_path = Some(it.next().expect("--validate-service FILE").clone())
+            }
             other => {
                 eprintln!(
-                    "unknown flag {other}; expected --smoke | --no-early-stop | --out FILE | --validate FILE"
+                    "unknown flag {other}; expected --smoke | --no-early-stop | --out FILE | \
+                     --validate FILE | --validate-service FILE"
                 );
                 std::process::exit(2);
+            }
+        }
+    }
+
+    // Standalone check of an `hslb-service-load/v1` document (what
+    // `loadgen --out` writes and the check.sh service gate feeds back).
+    if let Some(path) = validate_service_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let doc = match hslb_telemetry::json::parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("{path}: JSON parse error: {e}");
+                std::process::exit(1);
+            }
+        };
+        match hslb_service::loadmix::validate_service_block(&doc) {
+            Ok(()) => {
+                println!("{path}: valid {}", hslb_service::loadmix::SERVICE_SCHEMA);
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
             }
         }
     }
@@ -434,7 +639,7 @@ fn main() {
         let errs = validate(&doc);
         if errs.is_empty() {
             println!(
-                "{path}: valid hslb-bench-pipeline/v3 ({} scenarios)",
+                "{path}: valid hslb-bench-pipeline/v4 ({} scenarios)",
                 doc.get("scenarios")
                     .and_then(Value::as_arr)
                     .map_or(0, |a| a.len())
@@ -458,11 +663,14 @@ fn main() {
         let warm = caches.entry(s.resolution.to_string()).or_default();
         results.push(run_scenario(&s, early_stop, warm));
     }
+    eprintln!("bench-suite: service load run...");
+    let service_block = run_service_load(smoke);
     let doc = obj(vec![
-        ("schema", Value::Str("hslb-bench-pipeline/v3".to_string())),
+        ("schema", Value::Str("hslb-bench-pipeline/v4".to_string())),
         ("smoke", Value::Bool(smoke)),
         ("early_stop", Value::Bool(early_stop)),
         ("scenarios", Value::Arr(results)),
+        ("service", service_block),
     ]);
     let errs = validate(&doc);
     assert!(

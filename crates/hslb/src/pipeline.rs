@@ -105,6 +105,19 @@ impl HslbOptions {
     }
 }
 
+/// The reusable intermediates of one pipeline run (see
+/// [`Hslb::run_with_artifacts`]): the gathered benchmark data and the
+/// fitted curves. A request with the same machine, resolution, gather
+/// plan and fit options produces bit-identical artifacts, so a service
+/// can cache them and replay only the solve/execute steps.
+#[derive(Debug, Clone)]
+pub struct PipelineArtifacts {
+    pub data: BenchmarkData,
+    /// `None` when every fit rung failed and the run degraded to the
+    /// fit-free simulated expert.
+    pub fits: Option<FitSet>,
+}
+
 /// Result of the solve step.
 #[derive(Debug, Clone)]
 pub struct SolveOutcome {
@@ -689,6 +702,19 @@ impl<'a> Hslb<'a> {
     /// every ladder rung exhausted, or the final allocation's coupled
     /// run failing every retry.
     pub fn run(&self, manual: Option<Allocation>) -> Result<ExperimentReport, HslbError> {
+        self.run_with_artifacts(manual).map(|(report, _)| report)
+    }
+
+    /// [`Self::run`], additionally handing back the gathered benchmark
+    /// data and the fitted curves it used. The report is bit-identical to
+    /// `run`'s — this only exposes the intermediates so a caller (the
+    /// tuning service's fit-level cache) can replay the solve step for a
+    /// *compatible* request via [`GatherPlan::Reuse`] +
+    /// [`HslbOptions::curve_override`] without re-gathering or re-fitting.
+    pub fn run_with_artifacts(
+        &self,
+        manual: Option<Allocation>,
+    ) -> Result<(ExperimentReport, PipelineArtifacts), HslbError> {
         let _pipeline = self.opts.telemetry.span("pipeline");
         let (data, gather) = self.gather_resilient();
         let mut fallbacks: Vec<String> = Vec::new();
@@ -771,7 +797,11 @@ impl<'a> Hslb<'a> {
             None => None,
         };
 
-        Ok(ExperimentReport {
+        let artifacts = PipelineArtifacts {
+            data,
+            fits: fits.clone(),
+        };
+        let report = ExperimentReport {
             resolution: self.sim.resolution(),
             layout: self.opts.layout,
             objective: self.opts.objective,
@@ -801,7 +831,8 @@ impl<'a> Hslb<'a> {
                 degraded_accuracy: degraded,
                 execute_attempts,
             }),
-        })
+        };
+        Ok((report, artifacts))
     }
 }
 

@@ -1,0 +1,222 @@
+//! `hslb-serve` — the tuning service behind a TCP socket.
+//!
+//! Line-delimited JSON (see `hslb_service::wire` for the grammar):
+//! each connection sends one command per line and receives one reply
+//! per command. Tune replies are written as their tickets resolve, so a
+//! client may pipeline many tune commands and read replies out of
+//! submission order (correlate by `id`).
+//!
+//! ```text
+//! hslb-serve [--addr 127.0.0.1:7878] [--workers 4] [--shards 2]
+//!            [--queue-capacity 64] [--no-coalesce] [--no-cache]
+//!            [--warm-neighbors] [--port-file PATH]
+//! ```
+//!
+//! `--port-file` writes the bound address (host:port) to a file once
+//! listening — how the check.sh smoke gate finds a `--addr 127.0.0.1:0`
+//! ephemeral port. A `shutdown` command drains the service (no admitted
+//! request is lost), waits for every pending reply to be written, acks,
+//! and exits 0.
+#![forbid(unsafe_code)]
+
+use hslb_service::wire;
+use hslb_service::{CachePolicy, ServiceOptions, TuningService};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Args {
+    addr: String,
+    port_file: Option<String>,
+    opts: ServiceOptions,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        port_file: None,
+        opts: ServiceOptions::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--port-file" => args.port_file = Some(value("--port-file")?),
+            "--workers" => {
+                args.opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--shards" => {
+                args.opts.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--queue-capacity" => {
+                args.opts.queue_capacity = value("--queue-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--queue-capacity: {e}"))?
+            }
+            "--no-coalesce" => args.opts.coalesce = false,
+            "--no-cache" => args.opts.cache = CachePolicy::disabled(),
+            "--warm-neighbors" => args.opts.cache.warm_neighbors = true,
+            "--help" | "-h" => {
+                println!(
+                    "hslb-serve [--addr HOST:PORT] [--workers N] [--shards N] \
+                     [--queue-capacity N] [--no-coalesce] [--no-cache] \
+                     [--warm-neighbors] [--port-file PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Counts replies still being written, so shutdown can wait for them.
+#[derive(Default)]
+struct PendingReplies {
+    count: Mutex<u64>,
+    drained: Condvar,
+}
+
+impl PendingReplies {
+    fn enter(&self) {
+        *self.count.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+    }
+
+    fn exit(&self) {
+        let mut n = self.count.lock().unwrap_or_else(|e| e.into_inner());
+        *n -= 1;
+        if *n == 0 {
+            drop(n);
+            self.drained.notify_all();
+        }
+    }
+
+    fn wait_empty(&self) {
+        let mut n = self.count.lock().unwrap_or_else(|e| e.into_inner());
+        while *n > 0 {
+            n = self.drained.wait(n).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+fn write_line(writer: &Arc<Mutex<BufWriter<TcpStream>>>, line: &str) {
+    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+    // A vanished client is not a server error; drop the reply.
+    let _ = writeln!(w, "{line}");
+    let _ = w.flush();
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    service: &Arc<TuningService>,
+    pending: &Arc<PendingReplies>,
+    shutting_down: &Arc<AtomicBool>,
+) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let writer = Arc::new(Mutex::new(BufWriter::new(stream)));
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match wire::parse_command(&line) {
+            Err(msg) => write_line(&writer, &wire::protocol_error_reply(&msg)),
+            Ok(wire::Command::Ping) => write_line(&writer, &wire::pong_reply()),
+            Ok(wire::Command::Stats) => write_line(&writer, &wire::stats_reply(&service.stats())),
+            Ok(wire::Command::Tune(req)) => {
+                let id = req.id;
+                match service.submit(req) {
+                    Err(err) => write_line(&writer, &wire::error_reply(Some(id), &err)),
+                    Ok(ticket) => {
+                        // Resolve asynchronously so the connection can
+                        // pipeline further commands meanwhile.
+                        pending.enter();
+                        let reply_writer = Arc::clone(&writer);
+                        let reply_pending = Arc::clone(pending);
+                        let spawned = std::thread::Builder::new()
+                            .name(format!("hslb-reply-{id}"))
+                            .spawn(move || {
+                                let line = match ticket.wait() {
+                                    Ok(resp) => wire::tune_reply(&resp),
+                                    Err(err) => wire::error_reply(Some(id), &err),
+                                };
+                                write_line(&reply_writer, &line);
+                                reply_pending.exit();
+                            });
+                        if spawned.is_err() {
+                            pending.exit();
+                            write_line(
+                                &writer,
+                                &wire::protocol_error_reply("failed to spawn reply thread"),
+                            );
+                        }
+                    }
+                }
+            }
+            Ok(wire::Command::Shutdown) => {
+                shutting_down.store(true, Ordering::Release);
+                // Drain: stop admissions, finish every admitted request,
+                // then wait until every reply line is on the wire.
+                service.shutdown();
+                pending.wait_empty();
+                write_line(&writer, &wire::shutdown_reply());
+                std::process::exit(0);
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("hslb-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("hslb-serve: bind {}: {e}", args.addr);
+            std::process::exit(2);
+        }
+    };
+    let local = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| args.addr.clone());
+    if let Some(path) = &args.port_file {
+        if let Err(e) = std::fs::write(path, &local) {
+            eprintln!("hslb-serve: write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    eprintln!(
+        "hslb-serve: listening on {local} ({} workers, {} shards, capacity {})",
+        args.opts.workers, args.opts.shards, args.opts.queue_capacity
+    );
+    let service = Arc::new(TuningService::start(args.opts));
+    let pending = Arc::new(PendingReplies::default());
+    let shutting_down = Arc::new(AtomicBool::new(false));
+    for stream in listener.incoming() {
+        if shutting_down.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let service = Arc::clone(&service);
+        let pending = Arc::clone(&pending);
+        let shutting_down = Arc::clone(&shutting_down);
+        let _ = std::thread::Builder::new()
+            .name("hslb-conn".to_string())
+            .spawn(move || serve_connection(stream, &service, &pending, &shutting_down));
+    }
+}

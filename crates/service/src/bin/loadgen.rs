@@ -1,0 +1,470 @@
+//! `loadgen` — replay a deterministic request mix against `hslb-serve`
+//! and report throughput/latency percentiles as the v4 service block.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--smoke] [--requests N] [--seed N]
+//!         [--concurrency N] [--include-eighth] [--check N]
+//!         [--out FILE] [--shutdown]
+//! ```
+//!
+//! Three determinism checks run on every invocation:
+//!
+//! 1. every reply's embedded fingerprint must equal the fingerprint
+//!    recomputed from the parsed payload (the JSON wire is bit-exact);
+//! 2. replies sharing an exact key must be bit-identical to each other
+//!    (cache/coalesce tiers are passive);
+//! 3. for `--check N` distinct scenarios (default 3), the reply must be
+//!    bit-identical to the serial one-shot pipeline computed in-process
+//!    (`hslb_service::reference_response`).
+//!
+//! `--smoke` is the check.sh gate: the fixed smoke mix, plus hard
+//! assertions that every request succeeded, at least one request hit a
+//! cache/coalesce tier, no determinism mismatch occurred, and the
+//! server acked a graceful shutdown. Exit code 0 only if all hold.
+#![forbid(unsafe_code)]
+
+use hslb_service::loadmix::{generate, LoadOutcome, LoadReport, MixSpec};
+use hslb_service::request::{TuneRequest, TuneResponse};
+use hslb_service::wire;
+use hslb_telemetry::json::Value;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const MAX_RETRIES: usize = 50;
+
+struct Args {
+    addr: String,
+    smoke: bool,
+    requests: usize,
+    seed: u64,
+    concurrency: usize,
+    include_eighth: bool,
+    check: usize,
+    out: Option<String>,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        smoke: false,
+        requests: 50,
+        seed: 11,
+        concurrency: 4,
+        include_eighth: false,
+        check: 3,
+        out: None,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--smoke" => {
+                args.smoke = true;
+                args.shutdown = true;
+            }
+            "--requests" => {
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--concurrency" => {
+                args.concurrency = value("--concurrency")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--concurrency: {e}"))?
+                    .max(1)
+            }
+            "--include-eighth" => args.include_eighth = true,
+            "--check" => {
+                args.check = value("--check")?
+                    .parse()
+                    .map_err(|e| format!("--check: {e}"))?
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => {
+                println!(
+                    "loadgen --addr HOST:PORT [--smoke] [--requests N] [--seed N] \
+                     [--concurrency N] [--include-eighth] [--check N] [--out FILE] [--shutdown]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Result<Conn, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        Ok(Conn {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn round_trip(&mut self, line: &str) -> Result<String, String> {
+        writeln!(self.writer, "{line}").map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("flush: {e}"))?;
+        let mut reply = String::new();
+        let n = self
+            .reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        Ok(reply)
+    }
+}
+
+fn tune_line(req: &TuneRequest) -> String {
+    let mut v = req.to_value();
+    if let Value::Obj(kv) = &mut v {
+        kv.insert(0, ("op".to_string(), Value::Str("tune".to_string())));
+    }
+    v.to_string()
+}
+
+/// What one client thread saw for one request.
+enum Attempt {
+    Ok(Box<TuneResponse>, f64),
+    Rejected,
+    Error(String),
+}
+
+fn drive_request(conn: &mut Conn, req: &TuneRequest) -> Attempt {
+    let line = tune_line(req);
+    for _ in 0..=MAX_RETRIES {
+        let started = Instant::now();
+        let reply = match conn.round_trip(&line) {
+            Ok(r) => r,
+            Err(e) => return Attempt::Error(e),
+        };
+        let e2e_ms = started.elapsed().as_secs_f64() * 1e3;
+        let (ok, v) = match wire::parse_reply(&reply) {
+            Ok(p) => p,
+            Err(e) => return Attempt::Error(e),
+        };
+        if ok {
+            return match TuneResponse::from_value(&v) {
+                Ok(resp) => {
+                    // Wire bit-exactness: the embedded fingerprint must
+                    // match one recomputed from the parsed floats.
+                    let embedded = v
+                        .get("fingerprint")
+                        .and_then(Value::as_str)
+                        .unwrap_or_default()
+                        .to_string();
+                    if resp.id != req.id {
+                        // Coalesced replies must still echo the follower's
+                        // own correlation id, not the leader's.
+                        Attempt::Error(format!(
+                            "reply id {} does not echo request id {}",
+                            resp.id, req.id
+                        ))
+                    } else if embedded != resp.payload.fingerprint() {
+                        Attempt::Error(format!(
+                            "wire fingerprint mismatch for id {}: {embedded} vs {}",
+                            resp.id,
+                            resp.payload.fingerprint()
+                        ))
+                    } else {
+                        Attempt::Ok(Box::new(resp), e2e_ms)
+                    }
+                }
+                Err(e) => Attempt::Error(format!("bad tune reply: {e}")),
+            };
+        }
+        match v.get("retry_after_ms").and_then(Value::as_f64) {
+            Some(ms) => {
+                // Client-side backoff on explicit backpressure.
+                std::thread::sleep(std::time::Duration::from_millis(ms.max(1.0) as u64));
+            }
+            None => {
+                return Attempt::Error(
+                    v.get("error")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unknown server error")
+                        .to_string(),
+                )
+            }
+        }
+    }
+    Attempt::Rejected
+}
+
+struct RunResults {
+    outcomes: Vec<LoadOutcome>,
+    responses: Vec<(TuneRequest, TuneResponse)>,
+    rejected: usize,
+    errors: Vec<String>,
+}
+
+fn run_load(addr: &str, mix: &[TuneRequest], concurrency: usize) -> Result<RunResults, String> {
+    let pending: Arc<Mutex<VecDeque<TuneRequest>>> =
+        Arc::new(Mutex::new(mix.iter().cloned().collect()));
+    let collected: Arc<Mutex<RunResults>> = Arc::new(Mutex::new(RunResults {
+        outcomes: Vec::new(),
+        responses: Vec::new(),
+        rejected: 0,
+        errors: Vec::new(),
+    }));
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency {
+            let pending = Arc::clone(&pending);
+            let collected = Arc::clone(&collected);
+            scope.spawn(move || {
+                let mut conn = match Conn::open(addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        let mut res = collected.lock().unwrap_or_else(|p| p.into_inner());
+                        res.errors.push(e);
+                        return;
+                    }
+                };
+                loop {
+                    let req = {
+                        let mut q = pending.lock().unwrap_or_else(|p| p.into_inner());
+                        q.pop_front()
+                    };
+                    let Some(req) = req else { break };
+                    let attempt = drive_request(&mut conn, &req);
+                    let mut res = collected.lock().unwrap_or_else(|p| p.into_inner());
+                    match attempt {
+                        Attempt::Ok(resp, e2e_ms) => {
+                            res.outcomes.push(LoadOutcome {
+                                tier: resp.tier,
+                                coalesced: resp.coalesced,
+                                queue_wait_ms: resp.queue_wait_ms,
+                                e2e_ms,
+                            });
+                            res.responses.push((req, *resp));
+                        }
+                        Attempt::Rejected => res.rejected += 1,
+                        Attempt::Error(e) => res.errors.push(e),
+                    }
+                }
+            });
+        }
+    });
+    Arc::try_unwrap(collected)
+        .map_err(|_| "worker threads leaked result handles".to_string())
+        .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+}
+
+/// Determinism checks 2 and 3: duplicate consistency across the whole
+/// run, and serial-reference equality for `check` distinct scenarios.
+/// Returns (checked, mismatches, messages).
+fn determinism_audit(
+    responses: &[(TuneRequest, TuneResponse)],
+    check: usize,
+) -> (usize, usize, Vec<String>) {
+    let mut checked = 0;
+    let mut mismatches = 0;
+    let mut messages = Vec::new();
+
+    // Duplicates must agree with each other bit for bit.
+    let mut by_key: BTreeMap<String, (u64, String)> = BTreeMap::new();
+    for (req, resp) in responses {
+        let fp = resp.payload.fingerprint();
+        match by_key.get(&req.exact_key()) {
+            None => {
+                by_key.insert(req.exact_key(), (req.id, fp));
+            }
+            Some((first_id, first_fp)) => {
+                checked += 1;
+                if *first_fp != fp {
+                    mismatches += 1;
+                    messages.push(format!(
+                        "duplicate divergence on {}: id {} != id {}",
+                        req.exact_key(),
+                        first_id,
+                        req.id
+                    ));
+                }
+            }
+        }
+    }
+
+    // Serial one-shot references, computed in-process, for the first
+    // `check` distinct 1° scenarios (key order — deterministic). 1° only:
+    // the 1/8° reference pipeline is expensive and already covered by
+    // the service integration tests.
+    let mut referenced = 0;
+    for (key, (id, fp)) in &by_key {
+        if referenced >= check {
+            break;
+        }
+        let Some((req, _)) = responses.iter().find(|(r, _)| {
+            r.exact_key() == *key && r.resolution == hslb_cesm::Resolution::OneDegree
+        }) else {
+            continue;
+        };
+        referenced += 1;
+        match hslb_service::reference_response(req) {
+            Ok(reference) => {
+                checked += 1;
+                if reference.fingerprint() != *fp {
+                    mismatches += 1;
+                    messages.push(format!(
+                        "serial reference divergence on {key} (id {id}): service {fp} vs reference {}",
+                        reference.fingerprint()
+                    ));
+                }
+            }
+            Err(e) => {
+                mismatches += 1;
+                messages.push(format!("reference pipeline failed on {key}: {e}"));
+            }
+        }
+    }
+    (checked, mismatches, messages)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+    let spec = if args.smoke {
+        MixSpec::smoke()
+    } else {
+        MixSpec {
+            requests: args.requests,
+            seed: args.seed,
+            include_eighth: args.include_eighth,
+        }
+    };
+    let mix = generate(&spec);
+
+    // Server topology for the report, via the stats op.
+    let (workers, shards) = match Conn::open(&args.addr)
+        .and_then(|mut c| c.round_trip("{\"op\":\"stats\"}"))
+        .and_then(|r| wire::parse_reply(&r))
+    {
+        Ok((true, v)) => {
+            let field = |k: &str| {
+                v.get("stats")
+                    .and_then(|s| s.get(k))
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0) as usize
+            };
+            (field("workers"), field("shards"))
+        }
+        Ok((false, v)) => {
+            eprintln!(
+                "loadgen: stats op failed: {}",
+                v.get("error").and_then(Value::as_str).unwrap_or("unknown")
+            );
+            (0, 0)
+        }
+        Err(e) => {
+            eprintln!("loadgen: cannot reach server at {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+
+    let started = Instant::now();
+    let results = match run_load(&args.addr, &mix, args.concurrency) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(1);
+        }
+    };
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    for e in &results.errors {
+        eprintln!("loadgen: request error: {e}");
+    }
+
+    let (checked, mismatches, messages) = determinism_audit(&results.responses, args.check);
+    for m in &messages {
+        eprintln!("loadgen: DETERMINISM: {m}");
+    }
+
+    let report = LoadReport::from_outcomes(
+        &results.outcomes,
+        hslb_service::loadmix::RunCounters {
+            requests: mix.len(),
+            rejected: results.rejected,
+            errors: results.errors.len(),
+            workers: workers.max(1),
+            shards: shards.max(1),
+            wall_ms,
+            determinism_checked: checked,
+            determinism_mismatches: mismatches,
+        },
+    );
+    let block = report.to_value();
+    println!("{}", block.to_pretty());
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, format!("{}\n", block.to_pretty())) {
+            eprintln!("loadgen: write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let mut failed = false;
+    if mismatches > 0 {
+        eprintln!("loadgen: {mismatches} determinism mismatch(es)");
+        failed = true;
+    }
+    if args.smoke {
+        if report.ok != mix.len() {
+            eprintln!(
+                "loadgen: smoke requires every request to succeed ({} of {})",
+                report.ok,
+                mix.len()
+            );
+            failed = true;
+        }
+        if report.tier_exact + report.coalesced == 0 {
+            eprintln!("loadgen: smoke requires at least one cache/coalesce hit");
+            failed = true;
+        }
+        if checked == 0 {
+            eprintln!("loadgen: smoke requires determinism checks to run");
+            failed = true;
+        }
+    }
+    if args.shutdown {
+        match Conn::open(&args.addr).and_then(|mut c| c.round_trip("{\"op\":\"shutdown\"}")) {
+            Ok(reply) => match wire::parse_reply(&reply) {
+                Ok((true, v)) if v.get("op").and_then(Value::as_str) == Some("shutdown") => {
+                    eprintln!("loadgen: server drained and acked shutdown");
+                }
+                _ => {
+                    eprintln!("loadgen: bad shutdown ack: {}", reply.trim());
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("loadgen: shutdown: {e}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

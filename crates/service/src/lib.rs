@@ -1,0 +1,48 @@
+//! The HSLB tuning service: the paper's one-shot pipeline
+//! (gather → fit → solve → execute) packaged as a concurrent server.
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+//!
+//! The point of HSLB is to replace expert-in-the-loop tuning for *many*
+//! machine/layout/budget questions at once, so this crate turns
+//! [`hslb::Hslb`] into a multi-tenant service:
+//!
+//! * [`queue`] — a bounded admission queue with priority + deadline
+//!   *ordering* and explicit backpressure (reject-with-retry-after;
+//!   depth never grows without limit);
+//! * [`cache`] — a two-level result cache (exact-key
+//!   [`request::TunePayload`]s, fit-level gather/fit artifacts) plus the
+//!   in-flight registry the request coalescer runs on;
+//! * [`service`] — the sharded worker pool driving the pipeline, with
+//!   per-request telemetry (queue wait, cache tier, coalesce batch size,
+//!   end-to-end latency) through `hslb-telemetry`;
+//! * [`wire`] — the line-delimited JSON protocol `hslb-serve` speaks
+//!   (reusing the telemetry crate's JSON parser — no serde);
+//! * [`loadmix`] — deterministic request mixes and the latency/throughput
+//!   accounting the `loadgen` binary reports into the
+//!   `hslb-bench-pipeline/v4` service block.
+//!
+//! **Determinism is the correctness bar.** For any request mix, at any
+//! worker count, with caches and coalescing on or off, every response
+//! payload is bit-identical to running the one-shot pipeline for that
+//! request alone ([`service::reference_response`]). The queue, the
+//! coalescer and both cache tiers are passive layers, like the telemetry
+//! and audit layers before them. The one opt-in exception is
+//! [`service::CachePolicy::warm_neighbors`], which seeds fits from a
+//! neighboring scenario's curves — same-basin (≤1e-4 relative), not
+//! bit-identical — and is therefore off by default and excluded from the
+//! bit-identity gate.
+
+pub mod cache;
+pub mod loadmix;
+pub mod queue;
+pub mod request;
+pub mod service;
+pub mod wire;
+
+pub use queue::Backpressure;
+pub use request::{CacheTier, TunePayload, TuneRequest, TuneResponse};
+pub use service::{
+    reference_response, CachePolicy, ServiceOptions, ServiceStats, SubmitError, Ticket,
+    TuningService,
+};

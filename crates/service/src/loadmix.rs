@@ -1,0 +1,485 @@
+//! Deterministic request mixes for `loadgen` and the service block of
+//! the `hslb-bench-pipeline/v4` schema.
+//!
+//! The generator is a seeded LCG over a fixed scenario pool, so a
+//! `(requests, seed)` pair always produces the same mix — including the
+//! ~40% duplicate rate that exercises the coalescer and exact cache.
+//! Priorities and logical deadlines vary per request but never the
+//! pipeline inputs, so duplicates stay exact-key duplicates.
+
+use crate::request::TuneRequest;
+use hslb::Objective;
+use hslb_cesm::{Layout, Resolution};
+use hslb_telemetry::json::Value;
+
+/// What mix to generate.
+#[derive(Debug, Clone)]
+pub struct MixSpec {
+    pub requests: usize,
+    pub seed: u64,
+    /// Include the expensive 1/8° 8192-node scenario (full runs only —
+    /// smoke mixes stay 1°).
+    pub include_eighth: bool,
+}
+
+impl MixSpec {
+    /// The smoke mix `loadgen --smoke` and the check.sh gate use.
+    pub fn smoke() -> MixSpec {
+        MixSpec {
+            requests: 24,
+            seed: 7,
+            include_eighth: false,
+        }
+    }
+}
+
+/// Deterministic 64-bit LCG (Knuth constants), returning the high bits.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Generate the request mix for a spec.
+pub fn generate(spec: &MixSpec) -> Vec<TuneRequest> {
+    let budgets = [64, 96, 128, 192, 256];
+    let layouts = [
+        Layout::Hybrid,
+        Layout::SequentialWithOcean,
+        Layout::FullySequential,
+    ];
+    // max-min routes down the exhaustive rung (nonconvex MINLP), so it
+    // only appears at the smallest budget to keep mixes quick.
+    let objectives = [Objective::MinMax, Objective::SumTime];
+    let mut rng = Lcg(spec.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+    let mut out: Vec<TuneRequest> = Vec::with_capacity(spec.requests);
+    for id in 0..spec.requests as u64 {
+        // ~40% of requests duplicate an earlier scenario (fresh id and
+        // scheduling class, same pipeline inputs).
+        let mut req = if !out.is_empty() && rng.below(10) < 4 {
+            let prev = out[rng.below(out.len())].clone();
+            TuneRequest { id, ..prev }
+        } else {
+            let mut req = if spec.include_eighth && rng.below(12) == 0 {
+                TuneRequest::new(id, Resolution::EighthDegree, 8192)
+            } else if rng.below(10) == 0 {
+                TuneRequest {
+                    objective: Objective::MaxMin,
+                    ..TuneRequest::new(id, Resolution::OneDegree, budgets[0])
+                }
+            } else {
+                TuneRequest {
+                    layout: layouts[rng.below(layouts.len())],
+                    objective: objectives[rng.below(objectives.len())],
+                    ..TuneRequest::new(id, Resolution::OneDegree, budgets[rng.below(budgets.len())])
+                }
+            };
+            req.id = id;
+            req
+        };
+        req.priority = (rng.below(10)) as u8;
+        req.deadline_ms = if rng.below(2) == 0 {
+            Some(50 + rng.below(950) as u64)
+        } else {
+            None
+        };
+        out.push(req);
+    }
+    out
+}
+
+/// One finished request as `loadgen` saw it.
+#[derive(Debug, Clone)]
+pub struct LoadOutcome {
+    pub tier: crate::request::CacheTier,
+    pub coalesced: bool,
+    pub queue_wait_ms: f64,
+    pub e2e_ms: f64,
+}
+
+/// Interpolated percentile of an unsorted sample (p in [0, 100]).
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The throughput/latency summary `loadgen` reports and the bench suite
+/// embeds as the v4 `service` block.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    pub requests: usize,
+    pub ok: usize,
+    pub rejected: usize,
+    pub errors: usize,
+    pub workers: usize,
+    pub shards: usize,
+    pub wall_ms: f64,
+    pub queue_wait_p50: f64,
+    pub queue_wait_p90: f64,
+    pub queue_wait_p99: f64,
+    pub e2e_p50: f64,
+    pub e2e_p90: f64,
+    pub e2e_p99: f64,
+    pub tier_exact: usize,
+    pub tier_fit: usize,
+    pub tier_miss: usize,
+    pub coalesced: usize,
+    pub determinism_checked: usize,
+    pub determinism_mismatches: usize,
+}
+
+/// Schema tag of the standalone service-load document.
+pub const SERVICE_SCHEMA: &str = "hslb-service-load/v1";
+
+/// Run-level scalars that accompany the per-request outcomes when
+/// building a [`LoadReport`]: counts the outcome list cannot carry
+/// (rejections never produce an outcome) plus the run configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunCounters {
+    pub requests: usize,
+    pub rejected: usize,
+    pub errors: usize,
+    pub workers: usize,
+    pub shards: usize,
+    pub wall_ms: f64,
+    pub determinism_checked: usize,
+    pub determinism_mismatches: usize,
+}
+
+impl LoadReport {
+    /// Summarize finished requests.
+    pub fn from_outcomes(outcomes: &[LoadOutcome], run: RunCounters) -> LoadReport {
+        let RunCounters {
+            requests,
+            rejected,
+            errors,
+            workers,
+            shards,
+            wall_ms,
+            determinism_checked,
+            determinism_mismatches,
+        } = run;
+        let queue_waits: Vec<f64> = outcomes.iter().map(|o| o.queue_wait_ms).collect();
+        let e2es: Vec<f64> = outcomes.iter().map(|o| o.e2e_ms).collect();
+        let mut tier_exact = 0;
+        let mut tier_fit = 0;
+        let mut tier_miss = 0;
+        let mut coalesced = 0;
+        for o in outcomes {
+            if o.coalesced {
+                coalesced += 1;
+            } else {
+                match o.tier {
+                    crate::request::CacheTier::Exact => tier_exact += 1,
+                    crate::request::CacheTier::Fit => tier_fit += 1,
+                    crate::request::CacheTier::Miss => tier_miss += 1,
+                }
+            }
+        }
+        LoadReport {
+            requests,
+            ok: outcomes.len(),
+            rejected,
+            errors,
+            workers,
+            shards,
+            wall_ms,
+            queue_wait_p50: percentile(&queue_waits, 50.0),
+            queue_wait_p90: percentile(&queue_waits, 90.0),
+            queue_wait_p99: percentile(&queue_waits, 99.0),
+            e2e_p50: percentile(&e2es, 50.0),
+            e2e_p90: percentile(&e2es, 90.0),
+            e2e_p99: percentile(&e2es, 99.0),
+            tier_exact,
+            tier_fit,
+            tier_miss,
+            coalesced,
+            determinism_checked,
+            determinism_mismatches,
+        }
+    }
+
+    /// Requests per second over the wall-clock window.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.ok as f64 / (self.wall_ms / 1e3)
+        }
+    }
+
+    /// The `service` block of the v4 bench schema (also the body of the
+    /// standalone `hslb-service-load/v1` document).
+    pub fn to_value(&self) -> Value {
+        fn pct(p50: f64, p90: f64, p99: f64) -> Value {
+            Value::Obj(vec![
+                ("p50".to_string(), Value::Num(p50)),
+                ("p90".to_string(), Value::Num(p90)),
+                ("p99".to_string(), Value::Num(p99)),
+            ])
+        }
+        Value::Obj(vec![
+            ("schema".to_string(), Value::Str(SERVICE_SCHEMA.to_string())),
+            ("requests".to_string(), Value::Num(self.requests as f64)),
+            ("ok".to_string(), Value::Num(self.ok as f64)),
+            ("rejected".to_string(), Value::Num(self.rejected as f64)),
+            ("errors".to_string(), Value::Num(self.errors as f64)),
+            ("workers".to_string(), Value::Num(self.workers as f64)),
+            ("shards".to_string(), Value::Num(self.shards as f64)),
+            ("wall_ms".to_string(), Value::Num(self.wall_ms)),
+            (
+                "throughput_rps".to_string(),
+                Value::Num(self.throughput_rps()),
+            ),
+            (
+                "queue_wait_ms".to_string(),
+                pct(
+                    self.queue_wait_p50,
+                    self.queue_wait_p90,
+                    self.queue_wait_p99,
+                ),
+            ),
+            (
+                "e2e_ms".to_string(),
+                pct(self.e2e_p50, self.e2e_p90, self.e2e_p99),
+            ),
+            (
+                "tiers".to_string(),
+                Value::Obj(vec![
+                    ("exact".to_string(), Value::Num(self.tier_exact as f64)),
+                    ("fit".to_string(), Value::Num(self.tier_fit as f64)),
+                    ("miss".to_string(), Value::Num(self.tier_miss as f64)),
+                    ("coalesced".to_string(), Value::Num(self.coalesced as f64)),
+                ]),
+            ),
+            (
+                "determinism".to_string(),
+                Value::Obj(vec![
+                    (
+                        "checked".to_string(),
+                        Value::Num(self.determinism_checked as f64),
+                    ),
+                    (
+                        "mismatches".to_string(),
+                        Value::Num(self.determinism_mismatches as f64),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Validate a v4 `service` block (shared by `bench-suite --validate` and
+/// `--validate-service`). Checks structure, conservation (`ok + rejected
+/// + errors == requests`, tier counts sum to `ok`), percentile ordering,
+/// and the hard determinism bar (`mismatches == 0`).
+pub fn validate_service_block(v: &Value) -> Result<(), String> {
+    let num = |key: &str| -> Result<f64, String> {
+        v.get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("service block missing numeric `{key}`"))
+    };
+    match v.get("schema").and_then(Value::as_str) {
+        Some(s) if s == SERVICE_SCHEMA => {}
+        Some(s) => return Err(format!("service schema {s:?}, expected {SERVICE_SCHEMA:?}")),
+        None => return Err("service block missing `schema`".to_string()),
+    }
+    let requests = num("requests")?;
+    let ok = num("ok")?;
+    let rejected = num("rejected")?;
+    let errors = num("errors")?;
+    if (ok + rejected + errors - requests).abs() > 0.5 {
+        return Err(format!(
+            "service accounting leak: ok {ok} + rejected {rejected} + errors {errors} != requests {requests}"
+        ));
+    }
+    if errors > 0.5 {
+        return Err(format!("service reported {errors} pipeline errors"));
+    }
+    if ok < 1.0 {
+        return Err("service block has no successful requests".to_string());
+    }
+    if num("workers")? < 1.0 || num("shards")? < 1.0 {
+        return Err("service block must report workers and shards >= 1".to_string());
+    }
+    if num("throughput_rps")? <= 0.0 {
+        return Err("service throughput must be positive".to_string());
+    }
+    for key in ["queue_wait_ms", "e2e_ms"] {
+        let block = v
+            .get(key)
+            .ok_or_else(|| format!("service block missing `{key}` percentiles"))?;
+        let p = |p: &str| -> Result<f64, String> {
+            block
+                .get(p)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("`{key}` missing `{p}`"))
+        };
+        let (p50, p90, p99) = (p("p50")?, p("p90")?, p("p99")?);
+        if p50 < 0.0 || p50 > p90 + 1e-9 || p90 > p99 + 1e-9 {
+            return Err(format!(
+                "`{key}` percentiles must be ordered: p50 {p50} <= p90 {p90} <= p99 {p99}"
+            ));
+        }
+    }
+    let tiers = v
+        .get("tiers")
+        .ok_or("service block missing `tiers`".to_string())?;
+    let tier = |k: &str| -> Result<f64, String> {
+        tiers
+            .get(k)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("`tiers` missing `{k}`"))
+    };
+    let sum = tier("exact")? + tier("fit")? + tier("miss")? + tier("coalesced")?;
+    if (sum - ok).abs() > 0.5 {
+        return Err(format!("tier counts sum to {sum}, expected ok {ok}"));
+    }
+    let det = v
+        .get("determinism")
+        .ok_or("service block missing `determinism`".to_string())?;
+    let checked = det
+        .get("checked")
+        .and_then(Value::as_f64)
+        .ok_or("determinism missing `checked`")?;
+    let mismatches = det
+        .get("mismatches")
+        .and_then(Value::as_f64)
+        .ok_or("determinism missing `mismatches`")?;
+    if checked < 1.0 {
+        return Err("determinism block must check at least one response".to_string());
+    }
+    if mismatches > 0.0 {
+        return Err(format!(
+            "determinism violated: {mismatches} response(s) differ from the serial pipeline"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_has_duplicates() {
+        let spec = MixSpec {
+            requests: 50,
+            seed: 11,
+            include_eighth: false,
+        };
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a, b, "same spec, same mix");
+        assert_eq!(a.len(), 50);
+        let distinct: std::collections::BTreeSet<String> =
+            a.iter().map(|r| r.exact_key()).collect();
+        assert!(
+            distinct.len() < a.len(),
+            "mix must contain exact-key duplicates"
+        );
+        // ids stay unique even for duplicates.
+        let ids: std::collections::BTreeSet<u64> = a.iter().map(|r| r.id).collect();
+        assert_eq!(ids.len(), a.len());
+    }
+
+    #[test]
+    fn smoke_mix_stays_one_degree() {
+        for r in generate(&MixSpec::smoke()) {
+            assert_eq!(r.resolution, hslb_cesm::Resolution::OneDegree);
+        }
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&xs, 100.0) - 4.0).abs() < 1e-12);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    fn sample_report() -> LoadReport {
+        let outcomes = vec![
+            LoadOutcome {
+                tier: crate::request::CacheTier::Miss,
+                coalesced: false,
+                queue_wait_ms: 1.0,
+                e2e_ms: 10.0,
+            },
+            LoadOutcome {
+                tier: crate::request::CacheTier::Exact,
+                coalesced: false,
+                queue_wait_ms: 0.0,
+                e2e_ms: 0.5,
+            },
+            LoadOutcome {
+                tier: crate::request::CacheTier::Miss,
+                coalesced: true,
+                queue_wait_ms: 2.0,
+                e2e_ms: 9.0,
+            },
+        ];
+        LoadReport::from_outcomes(
+            &outcomes,
+            RunCounters {
+                requests: 4,
+                rejected: 1,
+                errors: 0,
+                workers: 4,
+                shards: 2,
+                wall_ms: 100.0,
+                determinism_checked: 3,
+                determinism_mismatches: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn report_block_validates() {
+        let report = sample_report();
+        assert!((report.throughput_rps() - 30.0).abs() < 1e-9);
+        validate_service_block(&report.to_value()).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_mismatches_and_leaks() {
+        let mut report = sample_report();
+        report.determinism_mismatches = 1;
+        assert!(validate_service_block(&report.to_value())
+            .unwrap_err()
+            .contains("determinism violated"));
+        let mut report = sample_report();
+        report.rejected = 0; // ok(3) + 0 + 0 != requests(4)
+        assert!(validate_service_block(&report.to_value())
+            .unwrap_err()
+            .contains("accounting leak"));
+        let mut report = sample_report();
+        report.tier_miss = 0;
+        assert!(validate_service_block(&report.to_value())
+            .unwrap_err()
+            .contains("tier counts"));
+    }
+}

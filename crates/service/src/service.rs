@@ -1,0 +1,714 @@
+//! The tuning service: sharded workers driving the HSLB pipeline behind
+//! the admission queue, coalescer and cache tiers.
+//!
+//! Determinism contract: [`reference_response`] is the serial one-shot
+//! baseline — fresh simulator, fresh options, no caches. Every response
+//! the service produces must carry a payload bit-identical to that
+//! baseline for the same request, at any worker/shard count, with any
+//! [`CachePolicy`] short of the opt-in `warm_neighbors`. The pieces keep
+//! that bar individually:
+//!
+//! * scheduling (priority/deadline/backpressure) changes only *when* a
+//!   request is computed, never *what* is computed;
+//! * the exact tier replays a payload computed by the same deterministic
+//!   pipeline; the fit tier replays gather/fit artifacts that are pure
+//!   functions of the fit key (`GatherPlan::Reuse` + `curve_override`);
+//! * coalescing hands followers the leader's payload — the same bytes a
+//!   separate run would have produced;
+//! * simulators are stateless (noise is a pure function of seed and
+//!   inputs), so per-worker simulator reuse is exact.
+
+use crate::cache::{AdmitOutcome, FrontDesk, LruCache};
+use crate::queue::{AdmissionQueue, Backpressure, PushError, Rank};
+use crate::request::{resolution_token, CacheTier, TunePayload, TuneRequest, TuneResponse};
+use hslb::{BenchmarkData, FitSet, GatherPlan, Hslb, HslbOptions, WarmStartCache};
+use hslb_cesm::{Machine, NoiseSpec, Resolution, ResolutionConfig, Simulator};
+use hslb_telemetry::json::Value;
+use hslb_telemetry::Telemetry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Which cache layers are active.
+#[derive(Debug, Clone, Copy)]
+pub struct CachePolicy {
+    /// Exact-key payload cache.
+    pub exact: bool,
+    /// Fit-level artifact cache (gathered data + fitted curves).
+    pub fit: bool,
+    /// Seed cache-miss fits from a neighboring scenario's curves via the
+    /// shared [`WarmStartCache`]. **Opt-in and off by default**: warm
+    /// starts are same-basin (≤ 1e-4 relative), not bit-identical, so
+    /// this is the one knob excluded from the bit-identity gate.
+    pub warm_neighbors: bool,
+}
+
+impl Default for CachePolicy {
+    fn default() -> Self {
+        CachePolicy {
+            exact: true,
+            fit: true,
+            warm_neighbors: false,
+        }
+    }
+}
+
+impl CachePolicy {
+    /// Everything off — every request runs the full pipeline.
+    pub fn disabled() -> CachePolicy {
+        CachePolicy {
+            exact: false,
+            fit: false,
+            warm_neighbors: false,
+        }
+    }
+}
+
+/// Service construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServiceOptions {
+    /// Worker threads (each pinned to one queue shard).
+    pub workers: usize,
+    /// Queue shards; admissions to different shards never contend.
+    pub shards: usize,
+    /// Per-shard admission capacity (beyond it: backpressure).
+    pub queue_capacity: usize,
+    /// Batch identical in-flight requests instead of enqueueing each.
+    pub coalesce: bool,
+    pub cache: CachePolicy,
+    /// Exact-tier entries kept (LRU beyond this).
+    pub exact_capacity: usize,
+    /// Fit-tier entries kept (LRU beyond this).
+    pub fit_capacity: usize,
+    /// Warm-start entries kept per the shared cache (only used with
+    /// `cache.warm_neighbors`).
+    pub warm_capacity: usize,
+    pub telemetry: Telemetry,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            workers: 4,
+            shards: 2,
+            queue_capacity: 64,
+            coalesce: true,
+            cache: CachePolicy::default(),
+            exact_capacity: 256,
+            fit_capacity: 64,
+            warm_capacity: 64,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// Why a submission (or a wait) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The target shard is at capacity; retry after the hint.
+    Backpressure(Backpressure),
+    /// The service is draining and accepts nothing new.
+    ShuttingDown,
+    /// The pipeline itself failed for this request.
+    Pipeline(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Backpressure(bp) => write!(
+                f,
+                "backpressure: shard depth {}, retry after {} ms",
+                bp.depth, bp.retry_after_ms
+            ),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+            SubmitError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TicketInner {
+    slot: Mutex<Option<Result<TuneResponse, SubmitError>>>,
+    ready: Condvar,
+}
+
+impl TicketInner {
+    fn new() -> Arc<TicketInner> {
+        Arc::new(TicketInner {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn resolve(&self, result: Result<TuneResponse, SubmitError>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(result);
+        drop(slot);
+        self.ready.notify_all();
+    }
+}
+
+/// A handle to one submitted request; blocks until the response is
+/// computed (or the request failed).
+#[derive(Debug)]
+pub struct Ticket {
+    inner: Arc<TicketInner>,
+}
+
+impl Ticket {
+    /// Block until resolved.
+    pub fn wait(self) -> Result<TuneResponse, SubmitError> {
+        let mut slot = self.inner.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self
+                .inner
+                .ready
+                .wait(slot)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// A follower attached to an in-flight leader: its ticket plus its
+/// submission instant (for its own queue-wait accounting).
+struct Follower {
+    ticket: Arc<TicketInner>,
+    submitted: Instant,
+    /// The follower's own correlation id — replies must echo it, not
+    /// the leader's, or a client can't match coalesced responses.
+    id: u64,
+}
+
+struct Job {
+    request: TuneRequest,
+    ticket: Arc<TicketInner>,
+    enqueued: Instant,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    coalesced: AtomicU64,
+    errors: AtomicU64,
+    tier_exact: AtomicU64,
+    tier_fit: AtomicU64,
+    tier_miss: AtomicU64,
+}
+
+struct Shared {
+    workers: usize,
+    shards: usize,
+    queue: AdmissionQueue<Job>,
+    front: FrontDesk<TunePayload, Follower>,
+    fits: Mutex<LruCache<(BenchmarkData, FitSet)>>,
+    warm: WarmStartCache,
+    policy: CachePolicy,
+    coalesce: bool,
+    accepting: AtomicBool,
+    telemetry: Telemetry,
+    stats: Counters,
+}
+
+/// A point-in-time view of the service's accounting.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    pub workers: usize,
+    pub shards: usize,
+    pub submitted: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    pub coalesced: u64,
+    pub errors: u64,
+    pub tier_exact: u64,
+    pub tier_fit: u64,
+    pub tier_miss: u64,
+    pub queue_depth: usize,
+    pub inflight: usize,
+    pub ewma_service_ms: f64,
+    pub exact_entries: usize,
+    pub fit_entries: usize,
+}
+
+impl ServiceStats {
+    /// JSON object for the wire protocol's `stats` op.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("workers".to_string(), Value::Num(self.workers as f64)),
+            ("shards".to_string(), Value::Num(self.shards as f64)),
+            ("submitted".to_string(), Value::Num(self.submitted as f64)),
+            ("completed".to_string(), Value::Num(self.completed as f64)),
+            ("rejected".to_string(), Value::Num(self.rejected as f64)),
+            ("coalesced".to_string(), Value::Num(self.coalesced as f64)),
+            ("errors".to_string(), Value::Num(self.errors as f64)),
+            ("tier_exact".to_string(), Value::Num(self.tier_exact as f64)),
+            ("tier_fit".to_string(), Value::Num(self.tier_fit as f64)),
+            ("tier_miss".to_string(), Value::Num(self.tier_miss as f64)),
+            (
+                "queue_depth".to_string(),
+                Value::Num(self.queue_depth as f64),
+            ),
+            ("inflight".to_string(), Value::Num(self.inflight as f64)),
+            (
+                "ewma_service_ms".to_string(),
+                Value::Num(self.ewma_service_ms),
+            ),
+            (
+                "exact_entries".to_string(),
+                Value::Num(self.exact_entries as f64),
+            ),
+            (
+                "fit_entries".to_string(),
+                Value::Num(self.fit_entries as f64),
+            ),
+        ])
+    }
+}
+
+/// The concurrent tuning service.
+pub struct TuningService {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl TuningService {
+    /// Start the worker pool.
+    pub fn start(opts: ServiceOptions) -> TuningService {
+        let workers = opts.workers.max(1);
+        let shards = opts.shards.clamp(1, workers);
+        let shared = Arc::new(Shared {
+            workers,
+            shards,
+            queue: AdmissionQueue::new(shards, opts.queue_capacity),
+            front: FrontDesk::new(if opts.cache.exact {
+                opts.exact_capacity
+            } else {
+                0
+            }),
+            fits: Mutex::new(LruCache::new(if opts.cache.fit {
+                opts.fit_capacity
+            } else {
+                0
+            })),
+            warm: WarmStartCache::with_capacity(opts.warm_capacity),
+            policy: opts.cache,
+            coalesce: opts.coalesce,
+            accepting: AtomicBool::new(true),
+            telemetry: opts.telemetry,
+            stats: Counters::default(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let shard = i % shards;
+                std::thread::Builder::new()
+                    .name(format!("hslb-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, shard))
+                    .unwrap_or_else(|e| panic!("spawn worker {i}: {e}"))
+            })
+            .collect();
+        TuningService {
+            shared,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Submit one request. Returns immediately with a [`Ticket`] (or a
+    /// rejection); the response is computed by the worker pool.
+    pub fn submit(&self, request: TuneRequest) -> Result<Ticket, SubmitError> {
+        let shared = &self.shared;
+        if !shared.accepting.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.telemetry.counter_add("service.submitted", 1);
+        let key = request.exact_key();
+        let now = Instant::now();
+        let ticket = TicketInner::new();
+        let follower = Follower {
+            ticket: Arc::clone(&ticket),
+            submitted: now,
+            id: request.id,
+        };
+
+        // One atomic admission decision: cached, coalesced, or lead.
+        match shared.front.admit(&key, follower, shared.coalesce) {
+            AdmitOutcome::Cached(payload, follower) => {
+                record_completion(shared, CacheTier::Exact, false, 0.0, 0.0, 1);
+                follower.ticket.resolve(Ok(TuneResponse {
+                    id: request.id,
+                    payload,
+                    tier: CacheTier::Exact,
+                    coalesced: false,
+                    queue_wait_ms: 0.0,
+                    service_ms: 0.0,
+                }));
+            }
+            AdmitOutcome::Followed => {
+                shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.counter_add("service.coalesced", 1);
+            }
+            AdmitOutcome::Lead(follower) => {
+                // Enqueue, rolling the registration back on reject so no
+                // follower is left waiting on a leader that never ran.
+                let rank = Rank {
+                    priority: request.priority,
+                    deadline_ms: request.deadline_ms,
+                };
+                let shard = shard_of(&key, shared.queue.shard_count());
+                let job = Job {
+                    request,
+                    ticket: follower.ticket,
+                    enqueued: now,
+                };
+                if let Err(err) = shared.queue.push(shard, rank, job) {
+                    let submit_err = push_error(shared, err);
+                    for orphan in shared.front.abandon(&key) {
+                        orphan.ticket.resolve(Err(submit_err.clone()));
+                    }
+                    return Err(submit_err);
+                }
+            }
+        }
+        Ok(Ticket { inner: ticket })
+    }
+
+    /// Current accounting snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let shared = &self.shared;
+        let (exact_entries, inflight) = shared.front.depths();
+        let fit_entries = {
+            let fits = shared.fits.lock().unwrap_or_else(|e| e.into_inner());
+            fits.len()
+        };
+        ServiceStats {
+            workers: shared.workers,
+            shards: shared.shards,
+            submitted: shared.stats.submitted.load(Ordering::Relaxed),
+            completed: shared.stats.completed.load(Ordering::Relaxed),
+            rejected: shared.stats.rejected.load(Ordering::Relaxed),
+            coalesced: shared.stats.coalesced.load(Ordering::Relaxed),
+            errors: shared.stats.errors.load(Ordering::Relaxed),
+            tier_exact: shared.stats.tier_exact.load(Ordering::Relaxed),
+            tier_fit: shared.stats.tier_fit.load(Ordering::Relaxed),
+            tier_miss: shared.stats.tier_miss.load(Ordering::Relaxed),
+            queue_depth: shared.queue.depth(),
+            inflight,
+            ewma_service_ms: shared.queue.ewma_service_ms(),
+            exact_entries,
+            fit_entries,
+        }
+    }
+
+    /// Graceful drain: stop admissions, let the workers finish every
+    /// already-admitted request, join them. Every outstanding [`Ticket`]
+    /// resolves before this returns.
+    pub fn shutdown(&self) {
+        self.shared.accepting.store(false, Ordering::Release);
+        self.shared.queue.close();
+        let handles: Vec<JoinHandle<()>> = {
+            let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+            workers.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TuningService {
+    fn drop(&mut self) {
+        // Un-joined workers must still observe the close and exit.
+        self.shared.accepting.store(false, Ordering::Release);
+        self.shared.queue.close();
+    }
+}
+
+fn push_error(shared: &Shared, err: PushError) -> SubmitError {
+    shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+    shared.telemetry.counter_add("service.rejected", 1);
+    match err {
+        PushError::Backpressure(bp) => SubmitError::Backpressure(bp),
+        PushError::Closed => SubmitError::ShuttingDown,
+    }
+}
+
+/// Stable FNV-1a shard assignment, so a key always lands on the same
+/// shard (keeps identical requests behind one worker's FIFO when they
+/// are not coalesced).
+fn shard_of(key: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+fn record_completion(
+    shared: &Shared,
+    tier: CacheTier,
+    coalesced: bool,
+    queue_wait_ms: f64,
+    service_ms: f64,
+    batch: usize,
+) {
+    shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+    let counter = match tier {
+        CacheTier::Exact => &shared.stats.tier_exact,
+        CacheTier::Fit => &shared.stats.tier_fit,
+        CacheTier::Miss => &shared.stats.tier_miss,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+    if shared.telemetry.is_enabled() {
+        shared.telemetry.counter_add("service.completed", 1);
+        shared
+            .telemetry
+            .counter_add(&format!("service.tier.{}", tier.token()), 1);
+        shared.telemetry.point(
+            "service.request",
+            &[
+                ("queue_wait_ms", queue_wait_ms),
+                ("service_ms", service_ms),
+                ("batch", batch as f64),
+            ],
+            &[
+                ("tier", tier.token()),
+                ("coalesced", if coalesced { "true" } else { "false" }),
+            ],
+        );
+    }
+}
+
+fn worker_loop(shared: &Shared, shard: usize) {
+    // Simulators are stateless and deterministic, so one per machine
+    // configuration per worker is exact and skips recalibration.
+    let mut sims: HashMap<(&'static str, bool, u64), Simulator> = HashMap::new();
+    while let Some(job) = shared.queue.pop(shard) {
+        let popped = Instant::now();
+        let queue_wait_ms = popped.duration_since(job.enqueued).as_secs_f64() * 1e3;
+        let key = job.request.exact_key();
+        let outcome = compute(shared, &mut sims, &job.request);
+        let service_ms = popped.elapsed().as_secs_f64() * 1e3;
+        shared.queue.record_service_ms(service_ms);
+        // Publish to the exact tier and collect followers in one step
+        // (errors publish nothing, so a later duplicate recomputes).
+        let followers = shared
+            .front
+            .complete(&key, outcome.as_ref().ok().map(|(p, _)| p.clone()));
+        match outcome {
+            Ok((payload, tier)) => {
+                record_completion(
+                    shared,
+                    tier,
+                    false,
+                    queue_wait_ms,
+                    service_ms,
+                    1 + followers.len(),
+                );
+                for follower in &followers {
+                    // Followers waited on the leader the whole time; the
+                    // computation itself was shared, so their own service
+                    // span is zero.
+                    record_completion(shared, tier, true, 0.0, 0.0, 0);
+                    follower.ticket.resolve(Ok(TuneResponse {
+                        id: follower.id,
+                        payload: payload.clone(),
+                        tier,
+                        coalesced: true,
+                        queue_wait_ms: follower.submitted.elapsed().as_secs_f64() * 1e3,
+                        service_ms: 0.0,
+                    }));
+                }
+                job.ticket.resolve(Ok(TuneResponse {
+                    id: job.request.id,
+                    payload,
+                    tier,
+                    coalesced: false,
+                    queue_wait_ms,
+                    service_ms,
+                }));
+            }
+            Err(msg) => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.counter_add("service.errors", 1);
+                let err = SubmitError::Pipeline(msg);
+                for follower in &followers {
+                    follower.ticket.resolve(Err(err.clone()));
+                }
+                job.ticket.resolve(Err(err));
+            }
+        }
+    }
+}
+
+/// Run (or replay) the pipeline for one request under the cache policy.
+fn compute(
+    shared: &Shared,
+    sims: &mut HashMap<(&'static str, bool, u64), Simulator>,
+    request: &TuneRequest,
+) -> Result<(TunePayload, CacheTier), String> {
+    // Re-check the exact tier: with coalescing off, an identical request
+    // may have completed while this one sat in the queue. (With the
+    // exact tier off the front desk's capacity is 0 and this is `None`.)
+    if let Some(payload) = shared.front.cached(&request.exact_key()) {
+        return Ok((payload, CacheTier::Exact));
+    }
+
+    let sim_key = (
+        resolution_token(request.resolution),
+        request.ocean_constrained,
+        request.seed,
+    );
+    let sim = sims
+        .entry(sim_key)
+        .or_insert_with(|| simulator_for(request));
+
+    let fit_hit = if shared.policy.fit {
+        let mut fits = shared.fits.lock().unwrap_or_else(|e| e.into_inner());
+        fits.get(&request.fit_key())
+    } else {
+        None
+    };
+
+    let mut opts = build_options(request);
+    let (report, tier) = match fit_hit {
+        Some((data, fitset)) => {
+            // Replay: skip gather (reuse the cached data) and fit (inject
+            // the cached curves). Both artifacts are pure functions of
+            // the fit key, so this is bit-identical to recomputing.
+            opts.gather = GatherPlan::Reuse(data);
+            opts.curve_override = Some(fitset);
+            let report = Hslb::new(sim, opts).run(None).map_err(|e| e.to_string())?;
+            (report, CacheTier::Fit)
+        }
+        None => {
+            if shared.policy.warm_neighbors {
+                opts.warm_cache = Some(shared.warm.scoped(&request.warm_scope()));
+            }
+            let (report, artifacts) = Hslb::new(sim, opts)
+                .run_with_artifacts(None)
+                .map_err(|e| e.to_string())?;
+            if shared.policy.fit {
+                if let Some(fitset) = artifacts.fits {
+                    let mut fits = shared.fits.lock().unwrap_or_else(|e| e.into_inner());
+                    fits.insert(request.fit_key(), (artifacts.data, fitset));
+                }
+            }
+            (report, CacheTier::Miss)
+        }
+    };
+
+    // Publication to the exact tier happens in `worker_loop` via
+    // `FrontDesk::complete`, atomically with follower collection.
+    Ok((TunePayload::from_report(&report), tier))
+}
+
+/// The pipeline options for a request — shared by the service workers
+/// and the serial reference so both run the identical configuration.
+fn build_options(request: &TuneRequest) -> HslbOptions {
+    let mut opts = HslbOptions::new(request.target_nodes);
+    opts.layout = request.layout;
+    opts.objective = request.objective;
+    opts
+}
+
+/// The simulator for a request's machine configuration (the paper's
+/// Intrepid, default noise, request-chosen seed).
+fn simulator_for(request: &TuneRequest) -> Simulator {
+    let config = match (request.resolution, request.ocean_constrained) {
+        (Resolution::OneDegree, true) => ResolutionConfig::one_degree(),
+        (Resolution::OneDegree, false) => ResolutionConfig::one_degree().without_ocean_constraint(),
+        (Resolution::EighthDegree, true) => ResolutionConfig::eighth_degree(),
+        (Resolution::EighthDegree, false) => {
+            ResolutionConfig::eighth_degree().without_ocean_constraint()
+        }
+    };
+    Simulator::new(
+        Machine::intrepid(),
+        config,
+        NoiseSpec::default(),
+        request.seed,
+    )
+}
+
+/// The determinism baseline: run the one-shot pipeline for this request
+/// alone — fresh simulator, no caches, no warm starts — and project the
+/// payload. Every service response must be bit-identical to this.
+pub fn reference_response(request: &TuneRequest) -> Result<TunePayload, String> {
+    let sim = simulator_for(request);
+    let report = Hslb::new(&sim, build_options(request))
+        .run(None)
+        .map_err(|e| e.to_string())?;
+    Ok(TunePayload::from_report(&report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for shards in 1..=8 {
+            let a = shard_of("1deg|hybrid|min-max|n96|oceantrue|seed42", shards);
+            let b = shard_of("1deg|hybrid|min-max|n96|oceantrue|seed42", shards);
+            assert_eq!(a, b);
+            assert!(a < shards);
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let service = TuningService::start(ServiceOptions {
+            workers: 1,
+            shards: 1,
+            ..ServiceOptions::default()
+        });
+        service.shutdown();
+        let err = service
+            .submit(TuneRequest::new(1, Resolution::OneDegree, 64))
+            .unwrap_err();
+        assert_eq!(err, SubmitError::ShuttingDown);
+    }
+
+    #[test]
+    fn tiny_queue_backpressure_carries_retry_hint() {
+        // One worker, capacity 1: the first request occupies the worker,
+        // the second fills the queue, the third must be rejected.
+        let service = TuningService::start(ServiceOptions {
+            workers: 1,
+            shards: 1,
+            queue_capacity: 1,
+            coalesce: false,
+            cache: CachePolicy::disabled(),
+            ..ServiceOptions::default()
+        });
+        let mut tickets = Vec::new();
+        let mut rejections = 0;
+        // Distinct budgets so nothing coalesces or caches.
+        for (i, nodes) in [64, 96, 128, 192, 256, 48, 80, 112].iter().enumerate() {
+            match service.submit(TuneRequest::new(i as u64, Resolution::OneDegree, *nodes)) {
+                Ok(t) => tickets.push(t),
+                Err(SubmitError::Backpressure(bp)) => {
+                    assert!(bp.retry_after_ms >= 1);
+                    assert!(bp.depth >= 1);
+                    rejections += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(rejections > 0, "tiny queue must reject under burst");
+        for t in tickets {
+            t.wait().expect("admitted requests complete");
+        }
+        service.shutdown();
+        assert_eq!(service.stats().rejected, rejections);
+    }
+}

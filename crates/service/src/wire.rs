@@ -1,0 +1,212 @@
+//! The line-delimited JSON wire protocol `hslb-serve` speaks.
+//!
+//! Grammar (one JSON object per line, compact rendering, UTF-8):
+//!
+//! ```text
+//! command   = tune | ping | stats | shutdown
+//! tune      = {"op":"tune","id":N,"resolution":"1deg"|"eighth",
+//!              "layout":"hybrid"|"seq-ocean"|"sequential",
+//!              "objective":"min-max"|"max-min"|"min-sum",
+//!              "nodes":N,"ocean":BOOL,"seed":N,"priority":0..9,
+//!              "deadline_ms":N?}
+//! ping      = {"op":"ping"}
+//! stats     = {"op":"stats"}
+//! shutdown  = {"op":"shutdown"}            ; drains, acks, then exits
+//!
+//! reply     = ok | err
+//! ok        = {"ok":true,"op":OP, ...op-specific fields}
+//! err       = {"ok":false,"error":S,"id":N?,"retry_after_ms":N?}
+//! ```
+//!
+//! Floats cross the wire bit-exactly: the printer renders non-integral
+//! `f64`s shortest-round-trip, so a client can recompute a response's
+//! fingerprint from the parsed fields and compare it to the `fingerprint`
+//! the server embedded (what `loadgen` does for its determinism check).
+
+use crate::request::{TuneRequest, TuneResponse};
+use crate::service::{ServiceStats, SubmitError};
+use hslb_telemetry::json::{parse, Value};
+
+/// One parsed client command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Tune(TuneRequest),
+    Ping,
+    Stats,
+    Shutdown,
+}
+
+/// Parse one wire line into a command.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let v = parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    match v.get("op").and_then(Value::as_str) {
+        Some("tune") => Ok(Command::Tune(TuneRequest::from_value(&v)?)),
+        Some("ping") => Ok(Command::Ping),
+        Some("stats") => Ok(Command::Stats),
+        Some("shutdown") => Ok(Command::Shutdown),
+        Some(other) => Err(format!("unknown op {other:?}")),
+        None => Err("missing `op`".to_string()),
+    }
+}
+
+fn with_ok(op: &str, mut fields: Vec<(String, Value)>) -> String {
+    let mut kv = vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("op".to_string(), Value::Str(op.to_string())),
+    ];
+    kv.append(&mut fields);
+    Value::Obj(kv).to_string()
+}
+
+/// Serialize a tune response line.
+pub fn tune_reply(resp: &TuneResponse) -> String {
+    let Value::Obj(fields) = resp.to_value() else {
+        unreachable!("TuneResponse::to_value returns an object");
+    };
+    with_ok("tune", fields)
+}
+
+/// Serialize a ping reply.
+pub fn pong_reply() -> String {
+    with_ok("pong", Vec::new())
+}
+
+/// Serialize a stats reply.
+pub fn stats_reply(stats: &ServiceStats) -> String {
+    with_ok("stats", vec![("stats".to_string(), stats.to_value())])
+}
+
+/// Serialize the shutdown acknowledgement (sent *after* the drain).
+pub fn shutdown_reply() -> String {
+    with_ok("shutdown", Vec::new())
+}
+
+/// Serialize an error line. `id` correlates it to a tune request when
+/// known; backpressure carries its retry hint.
+pub fn error_reply(id: Option<u64>, err: &SubmitError) -> String {
+    let mut kv = vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Str(err.to_string())),
+    ];
+    if let Some(id) = id {
+        kv.push(("id".to_string(), Value::Num(id as f64)));
+    }
+    if let SubmitError::Backpressure(bp) = err {
+        kv.push((
+            "retry_after_ms".to_string(),
+            Value::Num(bp.retry_after_ms as f64),
+        ));
+    }
+    Value::Obj(kv).to_string()
+}
+
+/// Serialize a protocol-level error (unparseable line, unknown op).
+pub fn protocol_error_reply(message: &str) -> String {
+    Value::Obj(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Str(message.to_string())),
+    ])
+    .to_string()
+}
+
+/// Parse one server reply line. Returns `(ok, value)`.
+pub fn parse_reply(line: &str) -> Result<(bool, Value), String> {
+    let v = parse(line).map_err(|e| format!("bad JSON reply: {e}"))?;
+    let ok = v.get("ok").and_then(Value::as_bool).unwrap_or(false);
+    Ok((ok, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::Backpressure;
+    use crate::request::{CacheTier, TunePayload};
+    use hslb_cesm::{layout::ComponentTimes, Allocation, Resolution};
+
+    #[test]
+    fn command_round_trip() {
+        let req = TuneRequest::new(5, Resolution::OneDegree, 96);
+        let mut v = req.to_value();
+        if let Value::Obj(kv) = &mut v {
+            kv.insert(0, ("op".to_string(), Value::Str("tune".to_string())));
+        }
+        let line = v.to_string();
+        assert!(!line.contains('\n'), "wire lines are single-line");
+        match parse_command(&line).unwrap() {
+            Command::Tune(back) => assert_eq!(back, req),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert_eq!(parse_command("{\"op\":\"ping\"}").unwrap(), Command::Ping);
+        assert_eq!(parse_command("{\"op\":\"stats\"}").unwrap(), Command::Stats);
+        assert_eq!(
+            parse_command("{\"op\":\"shutdown\"}").unwrap(),
+            Command::Shutdown
+        );
+        assert!(parse_command("{\"op\":\"nope\"}").is_err());
+        assert!(parse_command("not json").is_err());
+    }
+
+    #[test]
+    fn tune_reply_fingerprint_survives_the_wire() {
+        let payload = TunePayload {
+            allocation: Allocation {
+                lnd: 12,
+                ice: 20,
+                atm: 64,
+                ocn: 32,
+            },
+            predicted: Some(ComponentTimes {
+                lnd: 1.000000000000004,
+                ice: 2.5e-3,
+                atm: std::f64::consts::PI,
+                ocn: 7.125,
+            }),
+            predicted_total: Some(123.45600000000002),
+            actual: ComponentTimes {
+                lnd: 1.1,
+                ice: 2.2,
+                atm: 3.3,
+                ocn: 4.4,
+            },
+            actual_total: 9.9,
+            min_r_squared: Some(0.9987654321),
+            rung: "MINLP branch-and-bound".to_string(),
+            degraded: false,
+            certified: true,
+            audit_passed: Some(true),
+        };
+        let resp = TuneResponse {
+            id: 9,
+            payload: payload.clone(),
+            tier: CacheTier::Miss,
+            coalesced: false,
+            queue_wait_ms: 0.25,
+            service_ms: 4.5,
+        };
+        let line = tune_reply(&resp);
+        let (ok, v) = parse_reply(&line).unwrap();
+        assert!(ok);
+        let back = TuneResponse::from_value(&v).unwrap();
+        // Bit-identical payload after a JSON round trip.
+        assert_eq!(back.payload.fingerprint(), payload.fingerprint());
+        assert_eq!(
+            v.get("fingerprint").and_then(Value::as_str).unwrap(),
+            payload.fingerprint()
+        );
+    }
+
+    #[test]
+    fn error_reply_carries_retry_hint() {
+        let line = error_reply(
+            Some(3),
+            &SubmitError::Backpressure(Backpressure {
+                retry_after_ms: 40,
+                depth: 8,
+            }),
+        );
+        let (ok, v) = parse_reply(&line).unwrap();
+        assert!(!ok);
+        assert_eq!(v.get("retry_after_ms").and_then(Value::as_f64), Some(40.0));
+        assert_eq!(v.get("id").and_then(Value::as_f64), Some(3.0));
+    }
+}

@@ -16,7 +16,7 @@
 //! * **counters** ([`Telemetry::counter_add`]) — monotonic named totals
 //!   that survive the parallel solver (workers add their local tallies);
 //! * **histograms** ([`Telemetry::record`]) — value distributions with
-//!   count/min/max/mean/p50/p90 summaries (per-run wall times, backoff
+//!   count/min/max/mean/p50/p90/p99 summaries (per-run wall times, backoff
 //!   waits, cut-pool sizes).
 //!
 //! A disabled handle ([`Telemetry::disabled`], the default everywhere) is
@@ -163,6 +163,7 @@ impl Histogram {
             },
             p50: q(0.5),
             p90: q(0.9),
+            p99: q(0.99),
         }
     }
 }
@@ -177,6 +178,7 @@ pub struct HistSummary {
     pub mean: f64,
     pub p50: f64,
     pub p90: f64,
+    pub p99: f64,
 }
 
 #[derive(Default)]
@@ -590,6 +592,7 @@ impl HistSummary {
             ("mean".to_string(), json::Value::Num(self.mean)),
             ("p50".to_string(), json::Value::Num(self.p50)),
             ("p90".to_string(), json::Value::Num(self.p90)),
+            ("p99".to_string(), json::Value::Num(self.p99)),
         ])
     }
 
@@ -602,6 +605,12 @@ impl HistSummary {
             mean: v.get("mean")?.as_f64()?,
             p50: v.get("p50")?.as_f64()?,
             p90: v.get("p90")?.as_f64()?,
+            // p99 arrived with the v4 bench schema; older serialized
+            // snapshots fall back to p90 (their nearest upper quantile).
+            p99: v
+                .get("p99")
+                .and_then(json::Value::as_f64)
+                .unwrap_or(v.get("p90")?.as_f64()?),
         })
     }
 }
@@ -767,6 +776,8 @@ mod tests {
         assert_eq!(h.max, 100.0);
         assert!((h.mean - 22.0).abs() < 1e-12);
         assert_eq!(h.p50, 3.0);
+        assert_eq!(h.p90, 100.0);
+        assert_eq!(h.p99, 100.0);
     }
 
     #[test]

@@ -13,12 +13,20 @@
 #
 # The audit gate (DESIGN.md §11) has two levels. Level 2 — `audit-source`,
 # a line-level scan of the workspace for nondeterminism primitives, raw
-# float equality, lock acquisitions inside the multistart drain critical
-# section, and telemetry reads from solver code — runs in both modes;
-# deliberate exceptions live in scripts/audit.allow, one justified line
-# each. Level 1 — `audit-instances`, the convexity/well-formedness
-# certificate over every benchmark scenario plus the seeded non-convex
-# rejection self-test — needs release solves and runs in the full mode.
+# float equality, lock acquisitions inside the multistart drain (or
+# admission-queue shard) critical sections, and telemetry reads from
+# solver or service code — runs in both modes; deliberate exceptions live
+# in scripts/audit.allow, one justified line each. Level 1 —
+# `audit-instances`, the convexity/well-formedness certificate over every
+# benchmark scenario plus the seeded non-convex rejection self-test —
+# needs release solves and runs in the full mode.
+#
+# The service smoke gate (DESIGN.md §12) starts `hslb-serve` on an
+# ephemeral port, replays the deterministic smoke mix through `loadgen`
+# (which bit-checks every reply's fingerprint against the parsed payload
+# and spot-checks serial references), validates the emitted
+# hslb-service-load/v1 block, and verifies the server drains and exits 0
+# on the shutdown command.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -59,6 +67,24 @@ if [[ $fast -eq 0 ]]; then
     cargo run --release -q -p hslb-bench --bin bench-suite -- --smoke --no-early-stop --out "$slow_out"
     cargo run --release -q -p hslb-bench --bin bench-suite -- --validate "$slow_out"
     cargo run --release -q -p hslb-bench --bin bench-suite -- --validate BENCH_pipeline.json
+
+    echo "==> service smoke (hslb-serve + loadgen + graceful drain)"
+    port_file="$(mktemp /tmp/hslb_serve_port.XXXXXX)"
+    load_out="$(mktemp /tmp/service_load.XXXXXX.json)"
+    rm -f "$port_file"
+    trap 'rm -f "$smoke_out" "$slow_out" "$port_file" "$load_out"' EXIT
+    ./target/release/hslb-serve --addr 127.0.0.1:0 --port-file "$port_file" &
+    serve_pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$port_file" ]] && break
+        sleep 0.1
+    done
+    [[ -s "$port_file" ]] || { echo "hslb-serve never published its port" >&2; exit 1; }
+    # --smoke replays the deterministic mix, bit-checks every reply, and
+    # sends the shutdown command; the server must drain, ack, and exit 0.
+    ./target/release/loadgen --addr "$(cat "$port_file")" --smoke --out "$load_out"
+    cargo run --release -q -p hslb-bench --bin bench-suite -- --validate-service "$load_out"
+    wait "$serve_pid"
 fi
 
 echo "==> all checks passed"
