@@ -2,7 +2,7 @@
 //! express.
 //!
 //! The scanner walks the workspace's own `src/` trees (vendored compat
-//! crates are skipped — they mimic third-party APIs) and enforces five
+//! crates are skipped — they mimic third-party APIs) and enforces six
 //! rules, each born from a real incident class in this repository:
 //!
 //! * **`nondeterminism`** — no `SystemTime` / `thread::sleep` in solver
@@ -27,6 +27,12 @@
 //!   paths. Instrumentation must be passive: results may be *written*
 //!   from anywhere, but a solver decision based on a telemetry value
 //!   would let observation change the answer.
+//! * **`unwrap-in-unwind`** — no `.unwrap()` / `.expect(…)` inside a
+//!   `catch_unwind` closure. The supervision layer treats a caught panic
+//!   as an *injected or exceptional* fault; an unwrap inside the guarded
+//!   region turns every recoverable `Err`/`None` into a panic the
+//!   supervisor then dutifully retries, hiding the real error and
+//!   burning the requeue budget on a deterministic failure.
 //!
 //! The `nondeterminism` and `telemetry-read` rules also cover the
 //! service crate (`crates/service/src`): responses must be bit-identical
@@ -45,7 +51,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// The rule catalog (ids are stable; the allowlist references them).
-pub const RULES: [(&str, &str); 5] = [
+pub const RULES: [(&str, &str); 6] = [
     (
         "nondeterminism",
         "no SystemTime/thread::sleep outside fault-injection modules",
@@ -65,6 +71,10 @@ pub const RULES: [(&str, &str); 5] = [
     (
         "telemetry-read",
         "no telemetry reads feeding solver/fit/service control flow",
+    ),
+    (
+        "unwrap-in-unwind",
+        "no unwrap/expect inside a catch_unwind closure",
     ),
 ];
 
@@ -234,6 +244,9 @@ pub fn scan_file_content(path: &str, content: &str) -> Vec<Finding> {
     // enclosing block) while the respective guard is live.
     let mut drain_region: Option<i64> = None;
     let mut queue_region: Option<i64> = None;
+    // unwrap-in-unwind region state: Some(depth at the `catch_unwind`
+    // line); live while brace depth stays above it (the closure body).
+    let mut unwind_region: Option<i64> = None;
     let mut depth: i64 = 0;
 
     for (idx, raw) in content.lines().enumerate() {
@@ -347,6 +360,28 @@ pub fn scan_file_content(path: &str, content: &str) -> Vec<Finding> {
         }
         if queue_region.is_none() && line.contains("queue.lock()") {
             queue_region = Some(depth_before);
+        }
+
+        // --- unwrap-in-unwind --- (closure-scoped: the region closes
+        // when brace depth returns to the anchor line's depth)
+        if let Some(region_depth) = unwind_region {
+            if depth_before <= region_depth {
+                unwind_region = None;
+            } else if line.contains(".unwrap(") || line.contains(".expect(") {
+                push(
+                    "unwrap-in-unwind",
+                    "unwrap/expect inside a catch_unwind closure".to_string(),
+                );
+            }
+        }
+        if line.contains("catch_unwind") {
+            if line.contains(".unwrap(") || line.contains(".expect(") {
+                push(
+                    "unwrap-in-unwind",
+                    "unwrap/expect on the catch_unwind line itself".to_string(),
+                );
+            }
+            unwind_region = Some(depth_before);
         }
 
         // --- telemetry-read ---
@@ -571,6 +606,43 @@ fn push(&self) {
         // Writes are fine anywhere.
         let w = "telemetry.counter_add(\"x\", 1);\n";
         assert!(scan_file_content("crates/minlp/src/bb.rs", w).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_unwind_flags_the_closure_body() {
+        let code = "\
+fn attempt() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let sim = shared.sims.lock().unwrap();
+        compute(&sim)
+    }));
+    result.unwrap_or_else(|_| fallback());
+}
+";
+        let f = scan_file_content("crates/service/src/service.rs", code);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unwrap-in-unwind");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn unwrap_in_unwind_region_ends_with_the_closure() {
+        let code = "\
+fn attempt() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        compute(&shared)
+    }));
+    let after = result.unwrap();
+}
+";
+        // `.unwrap()` after the closure closes is the panic-on-purpose
+        // idiom this rule does not police (clippy's unwrap_used does).
+        assert!(scan_file_content("crates/service/src/service.rs", code).is_empty());
+        // A single-line catch_unwind carrying its own unwrap is flagged.
+        let one = "let r = catch_unwind(|| x.lock().unwrap());\n";
+        let f = scan_file_content("crates/service/src/service.rs", one);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unwrap-in-unwind");
     }
 
     #[test]

@@ -3,15 +3,21 @@
 //! Runs the full gather → fit → solve → execute pipeline at both paper
 //! resolutions across several node budgets, with a telemetry sink
 //! attached to every layer, and writes the per-phase timings plus solver
-//! telemetry to `BENCH_pipeline.json` (schema `hslb-bench-pipeline/v4`,
+//! telemetry to `BENCH_pipeline.json` (schema `hslb-bench-pipeline/v5`,
 //! documented in DESIGN.md §8; fast-path design in §10, audit gate in
-//! §11, service in §12). v4 adds two things to every document: a
+//! §11, service in §12, supervision/recovery in §13). v4 added the
 //! per-scenario `solver.cut_pool` summary (the `minlp.cut_pool`
 //! histogram — how the outer-approximation pool grew over cut rounds —
-//! plus LP resolves per node), and a top-level `service` block from an
+//! plus LP resolves per node) and a top-level `service` block from an
 //! in-process `hslb-service` load run (throughput, queue-wait and
 //! end-to-end latency percentiles, cache-hit tiers, determinism spot
-//! checks). Every scenario records its pre-solve instance audit; the
+//! checks). v5 embeds the `hslb-service-load/v2` service document
+//! (profile + fault/recovery accounting) and adds two robustness
+//! blocks: `recovery` — an in-process crash-recovery exercise (populate
+//! a snapshotting service, drain, restart from the snapshot, verify
+//! restored cache hits are bit-identical) — and `drift` — a
+//! drift-detector loop that streams observed timings until rebalances
+//! trigger. Every scenario records its pre-solve instance audit; the
 //! validator rejects documents whose audits did not pass — a benchmark
 //! result without a convexity certificate is not evidence of a global
 //! optimum. The fit layer runs the multistart
@@ -293,11 +299,11 @@ fn run_scenario(s: &Scenario, early_stop: bool, warm: &WarmStartCache) -> Value 
     ])
 }
 
-/// In-process service load run for the v4 `service` block: the same
+/// In-process service load run for the v5 `service` block: the same
 /// deterministic mix shape `loadgen` replays over TCP, driven directly
 /// against a [`TuningService`], with serial reference spot checks.
 fn run_service_load(smoke: bool) -> Value {
-    use hslb_service::loadmix::{self, LoadOutcome, LoadReport, MixSpec};
+    use hslb_service::loadmix::{self, FaultReport, LoadOutcome, LoadReport, MixSpec};
     use hslb_service::{reference_response, ServiceOptions, TuningService};
     use std::time::Instant;
 
@@ -384,48 +390,265 @@ fn run_service_load(smoke: bool) -> Value {
             determinism_checked: checked,
             determinism_mismatches: mismatches,
         },
+        // In-process: no TCP boundary, so no connection faults by
+        // construction — the block still carries the v2 fault shape.
+        FaultReport::clean("bench"),
     )
     .to_value()
 }
 
-/// Schema check for `hslb-bench-pipeline/v4` documents. Returns every
+/// v5 `recovery` block: the crash-recovery exercise. Populate a
+/// snapshotting service, drain it (which flushes the snapshot), start a
+/// *fresh* service from that snapshot, and verify every restored
+/// exact-tier hit is bit-identical to what the first service served.
+fn run_recovery_exercise() -> Value {
+    use hslb_service::{ServiceOptions, SnapshotPolicy, TuneRequest, TuningService};
+
+    let path = std::env::temp_dir().join(format!(
+        "hslb-bench-recovery-{}.snapshot.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let requests: Vec<TuneRequest> = [64i64, 96, 128, 192]
+        .iter()
+        .enumerate()
+        .map(|(i, &nodes)| TuneRequest::new(i as u64 + 1, Resolution::OneDegree, nodes))
+        .collect();
+
+    let opts = ServiceOptions {
+        snapshot: Some(SnapshotPolicy::new(&path)),
+        ..ServiceOptions::default()
+    };
+    let first = TuningService::start(opts.clone());
+    let mut fingerprints = Vec::new();
+    for req in &requests {
+        let resp = first
+            .submit(req.clone())
+            .expect("submit")
+            .wait()
+            .expect("pipeline run");
+        fingerprints.push((req.clone(), resp.payload.fingerprint()));
+    }
+    first.shutdown(); // drain flushes the snapshot
+    let snapshot_bytes = std::fs::metadata(&path).map_or(0, |m| m.len());
+
+    let second = TuningService::start(opts);
+    let record = second.health().recovery;
+    let mut verified_hits = 0usize;
+    let mut bit_identical = true;
+    for (req, expected) in &fingerprints {
+        let mut replay = req.clone();
+        replay.id += 100; // fresh correlation id, same exact key
+        let resp = second
+            .submit(replay)
+            .expect("submit")
+            .wait()
+            .expect("pipeline run");
+        if resp.tier == hslb_service::CacheTier::Exact {
+            verified_hits += 1;
+        }
+        if resp.payload.fingerprint() != *expected {
+            bit_identical = false;
+        }
+    }
+    second.shutdown();
+    let _ = std::fs::remove_file(&path);
+
+    obj(vec![
+        ("attempted", Value::Bool(record.attempted)),
+        ("cold_start", Value::Bool(record.cold_start)),
+        ("restored_exact", num(record.restored_exact as f64)),
+        ("restored_fits", num(record.restored_fits as f64)),
+        ("load_ms", num(record.load_ms)),
+        ("snapshot_bytes", num(snapshot_bytes as f64)),
+        ("verified_hits", num(verified_hits as f64)),
+        ("bit_identical", Value::Bool(bit_identical)),
+        (
+            "fallbacks",
+            Value::Arr(
+                record
+                    .fallbacks
+                    .iter()
+                    .map(|s| Value::Str(s.clone()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// v5 `drift` block: stream observed timings into the service's drift
+/// detector — a baseline window, then samples with one component slowed
+/// — until re-fit/re-solve rebalances trigger, and report the counters.
+fn run_drift_exercise() -> Value {
+    use hslb_service::{DriftDecision, ServiceOptions, TuneRequest, TuningService};
+
+    let service = TuningService::start(ServiceOptions::default());
+    let req = TuneRequest::new(1, Resolution::OneDegree, 96);
+    // Populate the fit cache (the rebalance path warm-starts from it).
+    let baseline_resp = service
+        .submit(req.clone())
+        .expect("submit")
+        .wait()
+        .expect("pipeline run");
+    let baseline = baseline_resp.payload.actual;
+    let mut drifted = baseline;
+    drifted.atm *= 1.5; // well past the 1.1× trigger threshold
+
+    let mut samples = 0usize;
+    let mut detections = 0usize;
+    let mut rebalances = 0usize;
+    let mut accepted = 0usize;
+    let mut last = Value::Null;
+    let drift_opts = ServiceOptions::default().drift;
+    for _ in 0..drift_opts.min_samples {
+        service.observe_timing(&req, &baseline);
+        samples += 1;
+    }
+    // Enough drifted samples for one trigger plus one full cooldown.
+    for _ in 0..(drift_opts.cooldown_samples + 8) {
+        let (decision, outcome) = service.observe_timing(&req, &drifted);
+        samples += 1;
+        if matches!(decision, DriftDecision::Triggered { .. }) {
+            detections += 1;
+        }
+        if let Some(out) = outcome {
+            rebalances += 1;
+            if out.accepted {
+                accepted += 1;
+            }
+            last = out.to_value();
+        }
+    }
+    service.shutdown();
+
+    obj(vec![
+        ("samples", num(samples as f64)),
+        ("detections", num(detections as f64)),
+        ("rebalances", num(rebalances as f64)),
+        ("accepted", num(accepted as f64)),
+        ("last", last),
+    ])
+}
+
+/// Schema check for `hslb-bench-pipeline/v5` documents. Returns every
 /// violation found (empty = valid). Older schema versions are rejected
 /// with explicit upgrade messages.
 fn validate(doc: &Value) -> Vec<String> {
     let mut errs = Vec::new();
     match doc.get("schema").and_then(Value::as_str) {
-        Some("hslb-bench-pipeline/v4") => {}
+        Some("hslb-bench-pipeline/v5") => {}
         Some("hslb-bench-pipeline/v1") => errs.push(
             "schema hslb-bench-pipeline/v1 is no longer accepted: regenerate with a \
-             v4 emitter (adds early_stop, fit accounting, the audit block, the \
-             solver cut_pool summary, and the service load block)"
+             v5 emitter (adds early_stop, fit accounting, the audit block, the \
+             solver cut_pool summary, the service load block, and the \
+             recovery/drift robustness blocks)"
                 .to_string(),
         ),
         Some("hslb-bench-pipeline/v2") => errs.push(
             "schema hslb-bench-pipeline/v2 is no longer accepted: regenerate with a \
-             v4 emitter (adds the per-scenario audit block, the solver cut_pool \
-             summary, and the service load block)"
+             v5 emitter (adds the per-scenario audit block, the solver cut_pool \
+             summary, the service load block, and the recovery/drift robustness \
+             blocks)"
                 .to_string(),
         ),
         Some("hslb-bench-pipeline/v3") => errs.push(
             "schema hslb-bench-pipeline/v3 is no longer accepted: regenerate with a \
-             v4 emitter (adds the per-scenario solver cut_pool summary with LP \
-             resolves per node, and the top-level service load block)"
+             v5 emitter (adds the per-scenario solver cut_pool summary with LP \
+             resolves per node, the top-level service load block, and the \
+             recovery/drift robustness blocks)"
+                .to_string(),
+        ),
+        Some("hslb-bench-pipeline/v4") => errs.push(
+            "schema hslb-bench-pipeline/v4 is no longer accepted: regenerate with a \
+             v5 emitter (embeds the hslb-service-load/v2 service document with \
+             fault/recovery accounting, and adds the crash-recovery and \
+             drift-rebalance robustness blocks)"
                 .to_string(),
         ),
         other => errs.push(format!(
-            "schema must be hslb-bench-pipeline/v4, got {other:?}"
+            "schema must be hslb-bench-pipeline/v5, got {other:?}"
         )),
     }
-    // v4 service block: an in-process hslb-service load run with zero
-    // pipeline errors and zero determinism mismatches.
+    // Service block: an in-process hslb-service load run with zero
+    // pipeline errors and zero determinism mismatches (v2 load schema:
+    // carries a profile tag and a fault/recovery accounting block).
     match doc.get("service") {
         Some(sv) if !matches!(sv, Value::Null) => {
             if let Err(e) = hslb_service::loadmix::validate_service_block(sv) {
                 errs.push(format!("service block: {e}"));
             }
         }
-        _ => errs.push("missing service block (v4 requires an hslb-service load run)".to_string()),
+        _ => errs.push("missing service block (v5 requires an hslb-service load run)".to_string()),
+    }
+    // v5 recovery block: the crash-recovery exercise must have restored a
+    // snapshot (not cold-started) and every restored hit must have been
+    // bit-identical — a snapshot that changes answers is worse than none.
+    match doc.get("recovery") {
+        Some(r) if !matches!(r, Value::Null) => {
+            match r.get("attempted").and_then(Value::as_bool) {
+                Some(true) => {}
+                _ => errs.push("recovery block: restore was not attempted".to_string()),
+            }
+            if r.get("cold_start").and_then(Value::as_bool) != Some(false) {
+                errs.push(
+                    "recovery block: snapshot restore cold-started (snapshot invalid?)".to_string(),
+                );
+            }
+            if r.get("bit_identical").and_then(Value::as_bool) != Some(true) {
+                errs.push("recovery block: restored cache hits were not bit-identical".to_string());
+            }
+            for key in ["restored_exact", "verified_hits", "snapshot_bytes"] {
+                match r.get(key).and_then(Value::as_f64) {
+                    Some(x) if x >= 1.0 => {}
+                    Some(x) => errs.push(format!("recovery block: `{key}` is {x}, expected >= 1")),
+                    None => errs.push(format!("recovery block: missing numeric `{key}`")),
+                }
+            }
+            if r.get("load_ms").and_then(Value::as_f64).is_none() {
+                errs.push("recovery block: missing numeric `load_ms`".to_string());
+            }
+        }
+        _ => errs
+            .push("missing recovery block (v5 requires the crash-recovery exercise)".to_string()),
+    }
+    // v5 drift block: the detector must have fired at least once over
+    // the drifted sample stream, and every trigger must have produced a
+    // rebalance evaluation (accepted or held — but evaluated).
+    match doc.get("drift") {
+        Some(d) if !matches!(d, Value::Null) => {
+            let dnum = |k: &str| d.get(k).and_then(Value::as_f64);
+            match (dnum("samples"), dnum("detections"), dnum("rebalances")) {
+                (Some(s), Some(det), Some(reb)) => {
+                    if s < 1.0 {
+                        errs.push("drift block: no samples streamed".to_string());
+                    }
+                    if det < 1.0 {
+                        errs.push("drift block: detector never triggered".to_string());
+                    }
+                    if reb < det {
+                        errs.push(format!(
+                            "drift block: {det} detections but only {reb} rebalance evaluations"
+                        ));
+                    }
+                }
+                _ => errs
+                    .push("drift block: missing numeric samples/detections/rebalances".to_string()),
+            }
+            match dnum("accepted") {
+                Some(a) => {
+                    if let Some(reb) = dnum("rebalances") {
+                        if a > reb {
+                            errs.push(format!(
+                                "drift block: accepted {a} exceeds rebalances {reb}"
+                            ));
+                        }
+                    }
+                }
+                None => errs.push("drift block: missing numeric `accepted`".to_string()),
+            }
+        }
+        _ => errs.push("missing drift block (v5 requires the drift exercise)".to_string()),
     }
     let early_stop_enabled = doc.get("early_stop").and_then(Value::as_bool);
     if early_stop_enabled.is_none() {
@@ -604,7 +827,7 @@ fn main() {
         }
     }
 
-    // Standalone check of an `hslb-service-load/v1` document (what
+    // Standalone check of an `hslb-service-load/v2` document (what
     // `loadgen --out` writes and the check.sh service gate feeds back).
     if let Some(path) = validate_service_path {
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
@@ -639,7 +862,7 @@ fn main() {
         let errs = validate(&doc);
         if errs.is_empty() {
             println!(
-                "{path}: valid hslb-bench-pipeline/v4 ({} scenarios)",
+                "{path}: valid hslb-bench-pipeline/v5 ({} scenarios)",
                 doc.get("scenarios")
                     .and_then(Value::as_arr)
                     .map_or(0, |a| a.len())
@@ -665,12 +888,18 @@ fn main() {
     }
     eprintln!("bench-suite: service load run...");
     let service_block = run_service_load(smoke);
+    eprintln!("bench-suite: crash-recovery exercise...");
+    let recovery_block = run_recovery_exercise();
+    eprintln!("bench-suite: drift/rebalance exercise...");
+    let drift_block = run_drift_exercise();
     let doc = obj(vec![
-        ("schema", Value::Str("hslb-bench-pipeline/v4".to_string())),
+        ("schema", Value::Str("hslb-bench-pipeline/v5".to_string())),
         ("smoke", Value::Bool(smoke)),
         ("early_stop", Value::Bool(early_stop)),
         ("scenarios", Value::Arr(results)),
         ("service", service_block),
+        ("recovery", recovery_block),
+        ("drift", drift_block),
     ]);
     let errs = validate(&doc);
     assert!(

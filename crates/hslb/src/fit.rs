@@ -128,6 +128,27 @@ impl FitSet {
             .collect();
         Ok(FitSet { fits })
     }
+
+    /// Rebuild a fit set from complete [`ScalingFit`] records —
+    /// diagnostics and all. This is the restore path for persisted fits
+    /// (the tuning service's crash-safe cache snapshot): unlike
+    /// [`FitSet::from_curves`], which stamps entries synthetic with
+    /// `r_squared = NAN`, round-tripping measured fits through
+    /// `from_fits` preserves `min_r_squared` and every other diagnostic,
+    /// so a solve replayed from a restored set stays bit-identical to one
+    /// replayed from the live set. The same completeness check applies:
+    /// all four optimized components must be present.
+    pub fn from_fits(fits: BTreeMap<Component, ScalingFit>) -> Result<Self, HslbError> {
+        let missing: Vec<Component> = Component::OPTIMIZED
+            .iter()
+            .copied()
+            .filter(|c| !fits.contains_key(c))
+            .collect();
+        if !missing.is_empty() {
+            return Err(HslbError::IncompleteFitSet { missing });
+        }
+        Ok(FitSet { fits })
+    }
 }
 
 /// One warm-start entry: the fitted parameters plus an LRU tick.

@@ -836,6 +836,35 @@ impl<'a> Hslb<'a> {
     }
 }
 
+/// Drift-rebalance entry point (ROADMAP item 4, first cut): re-fit
+/// `data` — typically previously gathered benchmarks merged with freshly
+/// streamed timing samples — warm-started from `prior`'s curves, then
+/// re-solve and re-execute under the caller's options.
+///
+/// The warm start seeds each component's multistart from the prior
+/// fitted parameters, so a re-fit of mildly drifted data begins
+/// near-converged (the same-basin contract of [`WarmStartCache`]). Any
+/// `curve_override` in `opts` is cleared: a rebalance exists precisely
+/// to replace stale curves with a fresh fit of the drifted data.
+pub fn rebalance(
+    sim: &Simulator,
+    mut opts: HslbOptions,
+    data: BenchmarkData,
+    prior: &FitSet,
+) -> Result<(ExperimentReport, PipelineArtifacts), HslbError> {
+    let total_points: usize = data.components().iter().map(|&c| data.count(c)).sum();
+    opts.telemetry
+        .point("drift.rebalance", &[("points", total_points as f64)], &[]);
+    opts.gather = GatherPlan::Reuse(data);
+    opts.curve_override = None;
+    let cache = opts.warm_cache.take().unwrap_or_default();
+    for (c, fit) in prior.iter() {
+        cache.store(c, &fit.curve);
+    }
+    opts.warm_cache = Some(cache);
+    Hslb::new(sim, opts).run_with_artifacts(None)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

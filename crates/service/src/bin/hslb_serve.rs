@@ -10,19 +10,34 @@
 //! hslb-serve [--addr 127.0.0.1:7878] [--workers 4] [--shards 2]
 //!            [--queue-capacity 64] [--no-coalesce] [--no-cache]
 //!            [--warm-neighbors] [--port-file PATH]
+//!            [--snapshot PATH] [--snapshot-every N]
+//!            [--fault-seed N] [--fault-rate F]
 //! ```
 //!
 //! `--port-file` writes the bound address (host:port) to a file once
 //! listening — how the check.sh smoke gate finds a `--addr 127.0.0.1:0`
-//! ephemeral port. A `shutdown` command drains the service (no admitted
-//! request is lost), waits for every pending reply to be written, acks,
-//! and exits 0.
+//! ephemeral port. A `shutdown` command drains the service (queued
+//! requests are rejected with a typed `Draining` error, in-flight ones
+//! finish), flushes a final cache snapshot when `--snapshot` is set,
+//! waits for every pending reply to be written, acks, and exits 0.
+//!
+//! `--snapshot PATH` restores both cache tiers from `PATH` at startup
+//! (a missing/corrupted snapshot cold-starts with a recovery record —
+//! see the `health` op) and re-flushes periodically and on drain.
+//!
+//! `--fault-rate F` (with `--fault-seed N`) enables the deterministic
+//! chaos spec `ServiceFaultSpec::chaos(N, F)`: seeded worker
+//! panics/hangs/slowdowns and cache poisoning inside the service, plus
+//! connection drops and truncated frames injected here at the TCP
+//! boundary on tune replies.
 #![forbid(unsafe_code)]
 
 use hslb_service::wire;
-use hslb_service::{CachePolicy, ServiceOptions, TuningService};
+use hslb_service::{
+    CachePolicy, ConnFault, ServiceFaultSpec, ServiceOptions, SnapshotPolicy, TuningService,
+};
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -38,6 +53,10 @@ fn parse_args() -> Result<Args, String> {
         port_file: None,
         opts: ServiceOptions::default(),
     };
+    let mut snapshot_path: Option<String> = None;
+    let mut snapshot_every: Option<u64> = None;
+    let mut fault_seed: u64 = 0;
+    let mut fault_rate: f64 = 0.0;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
@@ -62,16 +81,48 @@ fn parse_args() -> Result<Args, String> {
             "--no-coalesce" => args.opts.coalesce = false,
             "--no-cache" => args.opts.cache = CachePolicy::disabled(),
             "--warm-neighbors" => args.opts.cache.warm_neighbors = true,
+            "--snapshot" => snapshot_path = Some(value("--snapshot")?),
+            "--snapshot-every" => {
+                snapshot_every = Some(
+                    value("--snapshot-every")?
+                        .parse()
+                        .map_err(|e| format!("--snapshot-every: {e}"))?,
+                )
+            }
+            "--fault-seed" => {
+                fault_seed = value("--fault-seed")?
+                    .parse()
+                    .map_err(|e| format!("--fault-seed: {e}"))?
+            }
+            "--fault-rate" => {
+                fault_rate = value("--fault-rate")?
+                    .parse()
+                    .map_err(|e| format!("--fault-rate: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "hslb-serve [--addr HOST:PORT] [--workers N] [--shards N] \
                      [--queue-capacity N] [--no-coalesce] [--no-cache] \
-                     [--warm-neighbors] [--port-file PATH]"
+                     [--warm-neighbors] [--port-file PATH] \
+                     [--snapshot PATH] [--snapshot-every N] \
+                     [--fault-seed N] [--fault-rate F]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if let Some(path) = snapshot_path {
+        let mut policy = SnapshotPolicy::new(path);
+        if let Some(every) = snapshot_every {
+            policy.every_completions = every;
+        }
+        args.opts.snapshot = Some(policy);
+    } else if snapshot_every.is_some() {
+        return Err("--snapshot-every requires --snapshot".to_string());
+    }
+    if fault_rate > 0.0 {
+        args.opts.faults = ServiceFaultSpec::chaos(fault_seed, fault_rate);
     }
     Ok(args)
 }
@@ -112,11 +163,33 @@ fn write_line(writer: &Arc<Mutex<BufWriter<TcpStream>>>, line: &str) {
     let _ = w.flush();
 }
 
+/// Write a tune reply, applying any injected connection fault for this
+/// request id: `Drop` closes the socket instead of replying, `Truncate`
+/// writes half the frame (no newline) then closes. Either way the client
+/// sees a broken connection, reconnects, and retries — never a corrupted
+/// reply it would mistake for a real one.
+fn deliver_tune_reply(writer: &Arc<Mutex<BufWriter<TcpStream>>>, line: &str, fault: ConnFault) {
+    match fault {
+        ConnFault::None => write_line(writer, line),
+        ConnFault::Drop => {
+            let w = writer.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = w.get_ref().shutdown(Shutdown::Both);
+        }
+        ConnFault::Truncate => {
+            let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = w.write_all(&line.as_bytes()[..line.len() / 2]);
+            let _ = w.flush();
+            let _ = w.get_ref().shutdown(Shutdown::Both);
+        }
+    }
+}
+
 fn serve_connection(
     stream: TcpStream,
     service: &Arc<TuningService>,
     pending: &Arc<PendingReplies>,
     shutting_down: &Arc<AtomicBool>,
+    faults: ServiceFaultSpec,
 ) {
     let reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
@@ -132,6 +205,13 @@ fn serve_connection(
             Err(msg) => write_line(&writer, &wire::protocol_error_reply(&msg)),
             Ok(wire::Command::Ping) => write_line(&writer, &wire::pong_reply()),
             Ok(wire::Command::Stats) => write_line(&writer, &wire::stats_reply(&service.stats())),
+            Ok(wire::Command::Health) => {
+                write_line(&writer, &wire::health_reply(&service.health()))
+            }
+            Ok(wire::Command::Observe(req, times)) => {
+                let (decision, outcome) = service.observe_timing(&req, &times);
+                write_line(&writer, &wire::observe_reply(&decision, outcome.as_ref()));
+            }
             Ok(wire::Command::Tune(req)) => {
                 let id = req.id;
                 match service.submit(req) {
@@ -149,7 +229,7 @@ fn serve_connection(
                                     Ok(resp) => wire::tune_reply(&resp),
                                     Err(err) => wire::error_reply(Some(id), &err),
                                 };
-                                write_line(&reply_writer, &line);
+                                deliver_tune_reply(&reply_writer, &line, faults.conn(id));
                                 reply_pending.exit();
                             });
                         if spawned.is_err() {
@@ -164,8 +244,10 @@ fn serve_connection(
             }
             Ok(wire::Command::Shutdown) => {
                 shutting_down.store(true, Ordering::Release);
-                // Drain: stop admissions, finish every admitted request,
-                // then wait until every reply line is on the wire.
+                // Drain: stop admissions, reject queued work with a typed
+                // Draining error, finish in-flight requests, flush the
+                // final snapshot, then wait until every reply line is on
+                // the wire.
                 service.shutdown();
                 pending.wait_empty();
                 write_line(&writer, &wire::shutdown_reply());
@@ -204,7 +286,34 @@ fn main() {
         "hslb-serve: listening on {local} ({} workers, {} shards, capacity {})",
         args.opts.workers, args.opts.shards, args.opts.queue_capacity
     );
+    let faults = args.opts.faults;
+    if faults.is_active() {
+        eprintln!(
+            "hslb-serve: fault injection active (seed {}, panic {:.3}, hang {:.3}, slow {:.3}, \
+             poison {:.3}, drop {:.3}, truncate {:.3})",
+            faults.seed,
+            faults.panic_rate,
+            faults.hang_rate,
+            faults.slow_rate,
+            faults.poison_rate,
+            faults.drop_rate,
+            faults.truncate_rate
+        );
+    }
+    let snapshot_configured = args.opts.snapshot.is_some();
     let service = Arc::new(TuningService::start(args.opts));
+    if snapshot_configured {
+        let recovery = service.health().recovery;
+        eprintln!(
+            "hslb-serve: snapshot restore: attempted={} restored_exact={} restored_fits={} \
+             cold_start={} fallbacks={:?}",
+            recovery.attempted,
+            recovery.restored_exact,
+            recovery.restored_fits,
+            recovery.cold_start,
+            recovery.fallbacks
+        );
+    }
     let pending = Arc::new(PendingReplies::default());
     let shutting_down = Arc::new(AtomicBool::new(false));
     for stream in listener.incoming() {
@@ -217,6 +326,6 @@ fn main() {
         let shutting_down = Arc::clone(&shutting_down);
         let _ = std::thread::Builder::new()
             .name("hslb-conn".to_string())
-            .spawn(move || serve_connection(stream, &service, &pending, &shutting_down));
+            .spawn(move || serve_connection(stream, &service, &pending, &shutting_down, faults));
     }
 }

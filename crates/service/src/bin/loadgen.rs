@@ -1,10 +1,11 @@
 //! `loadgen` — replay a deterministic request mix against `hslb-serve`
-//! and report throughput/latency percentiles as the v4 service block.
+//! and report throughput/latency percentiles as the v5 service block
+//! (`hslb-service-load/v2`).
 //!
 //! ```text
-//! loadgen --addr HOST:PORT [--smoke] [--requests N] [--seed N]
-//!         [--concurrency N] [--include-eighth] [--check N]
-//!         [--out FILE] [--shutdown]
+//! loadgen --addr HOST:PORT [--smoke] [--profile smoke|soak|chaos]
+//!         [--requests N] [--seed N] [--concurrency N] [--include-eighth]
+//!         [--check N] [--deadline-ms N] [--out FILE] [--shutdown]
 //! ```
 //!
 //! Three determinism checks run on every invocation:
@@ -17,13 +18,29 @@
 //!    bit-identical to the serial one-shot pipeline computed in-process
 //!    (`hslb_service::reference_response`).
 //!
-//! `--smoke` is the check.sh gate: the fixed smoke mix, plus hard
-//! assertions that every request succeeded, at least one request hit a
-//! cache/coalesce tier, no determinism mismatch occurred, and the
-//! server acked a graceful shutdown. Exit code 0 only if all hold.
+//! The client is fault-tolerant by construction: a broken connection or
+//! truncated frame is survived by reconnecting and retrying the request
+//! under a fresh correlation id, and typed backpressure/draining errors
+//! back off by their `retry_after_ms` hint. Every fault survived, and
+//! the latency from first failure to a verified-correct response, lands
+//! in the report's `faults` block.
+//!
+//! Profiles:
+//!
+//! * `--smoke` / `--profile smoke` — the check.sh gate: the fixed smoke
+//!   mix, hard assertions (every request succeeds, ≥1 cache/coalesce
+//!   hit, zero determinism mismatches, graceful shutdown acked);
+//! * `--profile soak` — a longer sustained mix with the same hard
+//!   assertions (exercises periodic snapshot flushes and cache churn);
+//! * `--profile chaos` — the chaos mix with every deadline pinned
+//!   (short watchdogs), meant for a `--fault-rate` server: asserts that
+//!   every request terminates with a bit-identical response, zero
+//!   determinism mismatches, zero unrecovered errors.
 #![forbid(unsafe_code)]
 
-use hslb_service::loadmix::{generate, LoadOutcome, LoadReport, MixSpec};
+use hslb_service::loadmix::{
+    force_deadlines, generate, FaultReport, LoadOutcome, LoadReport, MixSpec,
+};
 use hslb_service::request::{TuneRequest, TuneResponse};
 use hslb_service::wire;
 use hslb_telemetry::json::Value;
@@ -33,16 +50,22 @@ use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-const MAX_RETRIES: usize = 50;
+const MAX_RETRIES: u64 = 50;
+
+/// Retried attempts get a fresh correlation id in a disjoint band, so
+/// server-side per-id fault draws re-roll while exact keys (and thus
+/// caching/coalescing) are untouched.
+const ID_RETRY_STRIDE: u64 = 1_000_000;
 
 struct Args {
     addr: String,
-    smoke: bool,
+    profile: String,
     requests: usize,
     seed: u64,
     concurrency: usize,
     include_eighth: bool,
     check: usize,
+    deadline_ms: u64,
     out: Option<String>,
     shutdown: bool,
 }
@@ -50,12 +73,13 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7878".to_string(),
-        smoke: false,
+        profile: "custom".to_string(),
         requests: 50,
         seed: 11,
         concurrency: 4,
         include_eighth: false,
         check: 3,
+        deadline_ms: 1500,
         out: None,
         shutdown: false,
     };
@@ -65,8 +89,19 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--addr" => args.addr = value("--addr")?,
             "--smoke" => {
-                args.smoke = true;
+                args.profile = "smoke".to_string();
                 args.shutdown = true;
+            }
+            "--profile" => {
+                let p = value("--profile")?;
+                match p.as_str() {
+                    "smoke" => {
+                        args.profile = p;
+                        args.shutdown = true;
+                    }
+                    "soak" | "chaos" => args.profile = p,
+                    other => return Err(format!("unknown profile {other:?}")),
+                }
             }
             "--requests" => {
                 args.requests = value("--requests")?
@@ -90,12 +125,18 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--check: {e}"))?
             }
+            "--deadline-ms" => {
+                args.deadline_ms = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?
+            }
             "--out" => args.out = Some(value("--out")?),
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => {
                 println!(
-                    "loadgen --addr HOST:PORT [--smoke] [--requests N] [--seed N] \
-                     [--concurrency N] [--include-eighth] [--check N] [--out FILE] [--shutdown]"
+                    "loadgen --addr HOST:PORT [--smoke] [--profile smoke|soak|chaos] \
+                     [--requests N] [--seed N] [--concurrency N] [--include-eighth] \
+                     [--check N] [--deadline-ms N] [--out FILE] [--shutdown]"
                 );
                 std::process::exit(0);
             }
@@ -131,6 +172,11 @@ impl Conn {
         if n == 0 {
             return Err("server closed the connection".to_string());
         }
+        if !reply.ends_with('\n') {
+            // A frame without its newline is a truncation — the server
+            // died (or injected a fault) mid-write.
+            return Err("truncated reply frame".to_string());
+        }
         Ok(reply)
     }
 }
@@ -150,18 +196,71 @@ enum Attempt {
     Error(String),
 }
 
-fn drive_request(conn: &mut Conn, req: &TuneRequest) -> Attempt {
-    let line = tune_line(req);
-    for _ in 0..=MAX_RETRIES {
-        let started = Instant::now();
-        let reply = match conn.round_trip(&line) {
-            Ok(r) => r,
-            Err(e) => return Attempt::Error(e),
+/// Per-thread fault survival counters, merged into the run totals.
+#[derive(Default)]
+struct FaultAcct {
+    conn_failures: usize,
+    reconnects: usize,
+    retry_errors: usize,
+    recovery_ms: Vec<f64>,
+}
+
+/// Drive one request to a terminal outcome: retry broken connections
+/// (reconnect, fresh correlation id) and typed retryable errors (backoff
+/// by the server's hint), give up only after `MAX_RETRIES`. Successful
+/// replies are verified (id echo + wire fingerprint) before they count.
+fn drive_request(
+    addr: &str,
+    conn: &mut Option<Conn>,
+    req: &TuneRequest,
+    acct: &mut FaultAcct,
+) -> Attempt {
+    let started = Instant::now();
+    let mut first_failure: Option<Instant> = None;
+    let fail = |acct: &mut FaultAcct, first: &mut Option<Instant>| {
+        acct.conn_failures += 1;
+        first.get_or_insert_with(Instant::now);
+    };
+    for attempt in 0..=MAX_RETRIES {
+        let mut attempt_req = req.clone();
+        attempt_req.id = req.id + attempt * ID_RETRY_STRIDE;
+        if conn.is_none() {
+            match Conn::open(addr) {
+                Ok(c) => {
+                    *conn = Some(c);
+                    if attempt > 0 {
+                        acct.reconnects += 1;
+                    }
+                }
+                Err(e) => {
+                    if attempt == MAX_RETRIES {
+                        return Attempt::Error(e);
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    continue;
+                }
+            }
+        }
+        let Some(c) = conn.as_mut() else {
+            continue;
         };
-        let e2e_ms = started.elapsed().as_secs_f64() * 1e3;
+        let reply = match c.round_trip(&tune_line(&attempt_req)) {
+            Ok(r) => r,
+            Err(_) => {
+                fail(acct, &mut first_failure);
+                *conn = None;
+                continue;
+            }
+        };
         let (ok, v) = match wire::parse_reply(&reply) {
             Ok(p) => p,
-            Err(e) => return Attempt::Error(e),
+            Err(_) => {
+                // Unparseable reply ⇒ treat as a broken frame: never
+                // trust it, reconnect and retry.
+                fail(acct, &mut first_failure);
+                *conn = None;
+                continue;
+            }
         };
         if ok {
             return match TuneResponse::from_value(&v) {
@@ -173,12 +272,12 @@ fn drive_request(conn: &mut Conn, req: &TuneRequest) -> Attempt {
                         .and_then(Value::as_str)
                         .unwrap_or_default()
                         .to_string();
-                    if resp.id != req.id {
-                        // Coalesced replies must still echo the follower's
-                        // own correlation id, not the leader's.
+                    if resp.id != attempt_req.id {
+                        // Coalesced replies must still echo this
+                        // attempt's own correlation id, not the leader's.
                         Attempt::Error(format!(
                             "reply id {} does not echo request id {}",
-                            resp.id, req.id
+                            resp.id, attempt_req.id
                         ))
                     } else if embedded != resp.payload.fingerprint() {
                         Attempt::Error(format!(
@@ -187,7 +286,10 @@ fn drive_request(conn: &mut Conn, req: &TuneRequest) -> Attempt {
                             resp.payload.fingerprint()
                         ))
                     } else {
-                        Attempt::Ok(Box::new(resp), e2e_ms)
+                        if let Some(t0) = first_failure {
+                            acct.recovery_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                        }
+                        Attempt::Ok(Box::new(resp), started.elapsed().as_secs_f64() * 1e3)
                     }
                 }
                 Err(e) => Attempt::Error(format!("bad tune reply: {e}")),
@@ -195,7 +297,9 @@ fn drive_request(conn: &mut Conn, req: &TuneRequest) -> Attempt {
         }
         match v.get("retry_after_ms").and_then(Value::as_f64) {
             Some(ms) => {
-                // Client-side backoff on explicit backpressure.
+                // Explicit backpressure or drain: back off and retry.
+                acct.retry_errors += 1;
+                first_failure.get_or_insert_with(Instant::now);
                 std::thread::sleep(std::time::Duration::from_millis(ms.max(1.0) as u64));
             }
             None => {
@@ -211,42 +315,33 @@ fn drive_request(conn: &mut Conn, req: &TuneRequest) -> Attempt {
     Attempt::Rejected
 }
 
+#[derive(Default)]
 struct RunResults {
     outcomes: Vec<LoadOutcome>,
     responses: Vec<(TuneRequest, TuneResponse)>,
     rejected: usize,
     errors: Vec<String>,
+    faults: FaultAcct,
 }
 
 fn run_load(addr: &str, mix: &[TuneRequest], concurrency: usize) -> Result<RunResults, String> {
     let pending: Arc<Mutex<VecDeque<TuneRequest>>> =
         Arc::new(Mutex::new(mix.iter().cloned().collect()));
-    let collected: Arc<Mutex<RunResults>> = Arc::new(Mutex::new(RunResults {
-        outcomes: Vec::new(),
-        responses: Vec::new(),
-        rejected: 0,
-        errors: Vec::new(),
-    }));
+    let collected: Arc<Mutex<RunResults>> = Arc::new(Mutex::new(RunResults::default()));
     std::thread::scope(|scope| {
         for _ in 0..concurrency {
             let pending = Arc::clone(&pending);
             let collected = Arc::clone(&collected);
             scope.spawn(move || {
-                let mut conn = match Conn::open(addr) {
-                    Ok(c) => c,
-                    Err(e) => {
-                        let mut res = collected.lock().unwrap_or_else(|p| p.into_inner());
-                        res.errors.push(e);
-                        return;
-                    }
-                };
+                let mut conn: Option<Conn> = None;
+                let mut acct = FaultAcct::default();
                 loop {
                     let req = {
                         let mut q = pending.lock().unwrap_or_else(|p| p.into_inner());
                         q.pop_front()
                     };
                     let Some(req) = req else { break };
-                    let attempt = drive_request(&mut conn, &req);
+                    let attempt = drive_request(addr, &mut conn, &req, &mut acct);
                     let mut res = collected.lock().unwrap_or_else(|p| p.into_inner());
                     match attempt {
                         Attempt::Ok(resp, e2e_ms) => {
@@ -262,6 +357,11 @@ fn run_load(addr: &str, mix: &[TuneRequest], concurrency: usize) -> Result<RunRe
                         Attempt::Error(e) => res.errors.push(e),
                     }
                 }
+                let mut res = collected.lock().unwrap_or_else(|p| p.into_inner());
+                res.faults.conn_failures += acct.conn_failures;
+                res.faults.reconnects += acct.reconnects;
+                res.faults.retry_errors += acct.retry_errors;
+                res.faults.recovery_ms.append(&mut acct.recovery_ms);
             });
         }
     });
@@ -347,16 +447,22 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let spec = if args.smoke {
-        MixSpec::smoke()
-    } else {
-        MixSpec {
+    let spec = match args.profile.as_str() {
+        "smoke" => MixSpec::smoke(),
+        "soak" => MixSpec::soak(),
+        "chaos" => MixSpec::chaos(),
+        _ => MixSpec {
             requests: args.requests,
             seed: args.seed,
             include_eighth: args.include_eighth,
-        }
+        },
     };
-    let mix = generate(&spec);
+    let mut mix = generate(&spec);
+    if args.profile == "chaos" {
+        // Short, uniform deadlines keep the hung-worker watchdog tight,
+        // so injected hangs resolve in round-trip time, not minutes.
+        force_deadlines(&mut mix, args.deadline_ms);
+    }
 
     // Server topology for the report, via the stats op.
     let (workers, shards) = match Conn::open(&args.addr)
@@ -404,6 +510,13 @@ fn main() {
         eprintln!("loadgen: DETERMINISM: {m}");
     }
 
+    let fault = FaultReport::from_samples(
+        &args.profile,
+        results.faults.conn_failures,
+        results.faults.reconnects,
+        results.faults.retry_errors,
+        &results.faults.recovery_ms,
+    );
     let report = LoadReport::from_outcomes(
         &results.outcomes,
         hslb_service::loadmix::RunCounters {
@@ -416,6 +529,7 @@ fn main() {
             determinism_checked: checked,
             determinism_mismatches: mismatches,
         },
+        fault,
     );
     let block = report.to_value();
     println!("{}", block.to_pretty());
@@ -431,23 +545,63 @@ fn main() {
         eprintln!("loadgen: {mismatches} determinism mismatch(es)");
         failed = true;
     }
-    if args.smoke {
-        if report.ok != mix.len() {
+    match args.profile.as_str() {
+        "smoke" | "soak" => {
+            if report.ok != mix.len() {
+                eprintln!(
+                    "loadgen: {} requires every request to succeed ({} of {})",
+                    args.profile,
+                    report.ok,
+                    mix.len()
+                );
+                failed = true;
+            }
+            if report.tier_exact + report.coalesced == 0 {
+                eprintln!(
+                    "loadgen: {} requires at least one cache/coalesce hit",
+                    args.profile
+                );
+                failed = true;
+            }
+            if checked == 0 {
+                eprintln!(
+                    "loadgen: {} requires determinism checks to run",
+                    args.profile
+                );
+                failed = true;
+            }
+        }
+        "chaos" => {
+            // The chaos bar: every request *terminates* with a verified
+            // bit-identical response — faults may slow it down (retries,
+            // reconnects, the supervision ladder), never corrupt it or
+            // lose it.
+            if report.ok != mix.len() {
+                eprintln!(
+                    "loadgen: chaos requires every request to terminate successfully \
+                     ({} of {}; {} rejected, {} errors)",
+                    report.ok,
+                    mix.len(),
+                    report.rejected,
+                    report.errors
+                );
+                failed = true;
+            }
+            if checked == 0 {
+                eprintln!("loadgen: chaos requires determinism checks to run");
+                failed = true;
+            }
             eprintln!(
-                "loadgen: smoke requires every request to succeed ({} of {})",
-                report.ok,
-                mix.len()
+                "loadgen: chaos survived {} connection failure(s), {} reconnect(s), \
+                 {} typed retry(ies); {} request(s) recovered (p99 {:.1} ms)",
+                report.fault.conn_failures,
+                report.fault.reconnects,
+                report.fault.retry_errors,
+                report.fault.recovered,
+                report.fault.recovery_p99
             );
-            failed = true;
         }
-        if report.tier_exact + report.coalesced == 0 {
-            eprintln!("loadgen: smoke requires at least one cache/coalesce hit");
-            failed = true;
-        }
-        if checked == 0 {
-            eprintln!("loadgen: smoke requires determinism checks to run");
-            failed = true;
-        }
+        _ => {}
     }
     if args.shutdown {
         match Conn::open(&args.addr).and_then(|mut c| c.round_trip("{\"op\":\"shutdown\"}")) {

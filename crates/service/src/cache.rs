@@ -79,6 +79,32 @@ impl<V: Clone> LruCache<V> {
         }
     }
 
+    /// Drop `key` outright (a poisoned entry, say). Returns whether it
+    /// was resident.
+    pub fn remove(&mut self, key: &str) -> bool {
+        self.entries.remove(key).is_some()
+    }
+
+    /// Clone out every entry in recency order, least-recently-used
+    /// first — the snapshot export. Re-inserting the exported list in
+    /// order ([`LruCache::import`]) reproduces the same eviction order.
+    pub fn export(&self) -> Vec<(String, V)> {
+        let mut entries: Vec<(&String, &(V, u64))> = self.entries.iter().collect();
+        entries.sort_by_key(|(_, (_, tick))| *tick);
+        entries
+            .into_iter()
+            .map(|(k, (v, _))| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Insert exported entries in order (LRU-first), restoring both the
+    /// contents and the relative recency of a snapshot.
+    pub fn import(&mut self, entries: Vec<(String, V)>) {
+        for (k, v) in entries {
+            self.insert(k, v);
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -183,6 +209,26 @@ impl<V: Clone, T> FrontDesk<V, T> {
             st.exact.insert(key.to_string(), v);
         }
         st.inflight.remove(key).unwrap_or_default()
+    }
+
+    /// Drop one exact-tier entry (a failed verification — see the
+    /// service's sealed-payload poison detection). The in-flight registry
+    /// is untouched. Returns whether the entry was resident.
+    pub fn invalidate(&self, key: &str) -> bool {
+        self.lock().exact.remove(key)
+    }
+
+    /// Snapshot export of the exact tier, LRU-first (see
+    /// [`LruCache::export`]).
+    pub fn export_cached(&self) -> Vec<(String, V)> {
+        self.lock().exact.export()
+    }
+
+    /// Restore exported exact-tier entries (capacity and eviction rules
+    /// still apply — restoring into a smaller cache keeps the most
+    /// recently used tail).
+    pub fn restore_cached(&self, entries: Vec<(String, V)>) {
+        self.lock().exact.import(entries);
     }
 
     /// (cached entries, distinct in-flight keys).

@@ -1,0 +1,414 @@
+//! Drift-triggered rebalancing (first cut of ROADMAP item 4).
+//!
+//! A deployed allocation was optimal for the component timings measured
+//! at tuning time. Timings drift — ocean physics get more expensive in a
+//! new season, an I/O subsystem degrades — and the allocation quietly
+//! stops being optimal. This module watches streamed per-component
+//! timing samples and decides, deterministically, when a re-optimization
+//! is worth running.
+//!
+//! Mechanics per tracked key (an exact-key scenario):
+//!
+//! 1. each observed [`ComponentTimes`] folds into a per-component EWMA;
+//! 2. after `min_samples` warm-up observations the EWMA is frozen as the
+//!    **baseline** — "what the current allocation was sized for";
+//! 3. the drift ratio is `max_i(ewma_i/base_i) / min_i(ewma_i/base_i)`:
+//!    uniform slowdown (all components ×2) does not trigger — the
+//!    *balance* is unchanged and re-solving would reproduce the same
+//!    allocation — only *relative* drift past `threshold` does;
+//! 4. a trigger starts a `cooldown_samples` refractory window, and the
+//!    baseline advances to the drifted EWMA only when the caller accepts
+//!    the rebalance ([`DriftDetector::rebaseline`]) — together these are
+//!    the hysteresis that prevents trigger/re-solve thrash around the
+//!    threshold.
+//!
+//! The detector is advisory by design: it never touches the serving
+//! caches, so observing samples cannot change what any tune response
+//! contains (the bit-identity bar). The service layers re-fit/re-solve
+//! on top via [`hslb::rebalance`] and reports migration cost vs makespan
+//! gain; samples arrive through this explicit API only — the detector
+//! never reads telemetry (enforced by `audit-source`'s telemetry-read
+//! rule over service paths).
+
+use hslb_cesm::layout::ComponentTimes;
+use hslb_telemetry::json::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Drift detection tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftOptions {
+    /// Re-optimize when the max/min component drift ratio exceeds this
+    /// (the issue's "observed max/min component load drifts past 1.1×").
+    pub threshold: f64,
+    /// EWMA smoothing factor for observed timings.
+    pub alpha: f64,
+    /// Observations before the baseline freezes (no triggers earlier).
+    pub min_samples: u64,
+    /// Refractory observations after a trigger before the next one.
+    pub cooldown_samples: u64,
+    /// Minimum relative makespan gain for a rebalance to be *accepted*
+    /// (below it the result is reported but held — migration isn't free).
+    pub min_gain_ratio: f64,
+}
+
+impl Default for DriftOptions {
+    fn default() -> Self {
+        DriftOptions {
+            threshold: 1.1,
+            alpha: 0.2,
+            min_samples: 8,
+            cooldown_samples: 16,
+            min_gain_ratio: 0.02,
+        }
+    }
+}
+
+/// What one observation concluded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriftDecision {
+    /// Baseline not frozen yet.
+    Warming { samples: u64, needed: u64 },
+    /// Within threshold.
+    Stable { drift_ratio: f64 },
+    /// Drifted, but inside the post-trigger refractory window.
+    Cooldown { drift_ratio: f64, remaining: u64 },
+    /// Relative drift past threshold: re-optimize. `ratios` are the
+    /// per-component `ewma/baseline` factors (ice, lnd, atm, ocn order —
+    /// `Component::OPTIMIZED`), for scaling the cached benchmark data.
+    Triggered { drift_ratio: f64, ratios: [f64; 4] },
+}
+
+impl DriftDecision {
+    pub fn token(&self) -> &'static str {
+        match self {
+            DriftDecision::Warming { .. } => "warming",
+            DriftDecision::Stable { .. } => "stable",
+            DriftDecision::Cooldown { .. } => "cooldown",
+            DriftDecision::Triggered { .. } => "triggered",
+        }
+    }
+
+    /// The drift ratio where one is defined.
+    pub fn drift_ratio(&self) -> Option<f64> {
+        match self {
+            DriftDecision::Warming { .. } => None,
+            DriftDecision::Stable { drift_ratio }
+            | DriftDecision::Cooldown { drift_ratio, .. }
+            | DriftDecision::Triggered { drift_ratio, .. } => Some(*drift_ratio),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct KeyState {
+    /// Per-component EWMA in `Component::OPTIMIZED` order.
+    ewma: [f64; 4],
+    /// Frozen warm-up EWMA; `None` while warming.
+    baseline: Option<[f64; 4]>,
+    samples: u64,
+    cooldown_left: u64,
+}
+
+/// One rebalance attempt's outcome, for the `health` op and bench
+/// reports.
+#[derive(Debug, Clone)]
+pub struct RebalanceOutcome {
+    pub key: String,
+    pub drift_ratio: f64,
+    /// Σ|new_i − old_i| over the four allocations: nodes that would move.
+    pub migration_nodes: i64,
+    /// Predicted makespan of the *old* allocation under drifted timings.
+    pub old_makespan: f64,
+    /// Predicted makespan of the re-solved allocation.
+    pub new_makespan: f64,
+    /// `(old − new) / old`.
+    pub gain_ratio: f64,
+    /// Gain cleared `min_gain_ratio`: callers should migrate. Held
+    /// otherwise (reported, no baseline advance — see module docs).
+    pub accepted: bool,
+    pub rung: String,
+}
+
+impl RebalanceOutcome {
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("key".to_string(), Value::Str(self.key.clone())),
+            ("drift_ratio".to_string(), Value::Num(self.drift_ratio)),
+            (
+                "migration_nodes".to_string(),
+                Value::Num(self.migration_nodes as f64),
+            ),
+            ("old_makespan".to_string(), Value::Num(self.old_makespan)),
+            ("new_makespan".to_string(), Value::Num(self.new_makespan)),
+            ("gain_ratio".to_string(), Value::Num(self.gain_ratio)),
+            ("accepted".to_string(), Value::Bool(self.accepted)),
+            ("rung".to_string(), Value::Str(self.rung.clone())),
+        ])
+    }
+}
+
+/// Aggregate drift accounting.
+#[derive(Debug, Clone, Default)]
+pub struct DriftStats {
+    pub tracked_keys: usize,
+    pub samples: u64,
+    pub detections: u64,
+    pub rebalances: u64,
+    pub accepted: u64,
+    pub held: u64,
+}
+
+impl DriftStats {
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "tracked_keys".to_string(),
+                Value::Num(self.tracked_keys as f64),
+            ),
+            ("samples".to_string(), Value::Num(self.samples as f64)),
+            ("detections".to_string(), Value::Num(self.detections as f64)),
+            ("rebalances".to_string(), Value::Num(self.rebalances as f64)),
+            ("accepted".to_string(), Value::Num(self.accepted as f64)),
+            ("held".to_string(), Value::Num(self.held as f64)),
+        ])
+    }
+}
+
+/// The deterministic EWMA/threshold drift detector. Thread-safe;
+/// decisions depend only on the per-key sample sequence and the options,
+/// never on timing or interleaving across keys.
+#[derive(Debug)]
+pub struct DriftDetector {
+    opts: DriftOptions,
+    states: Mutex<BTreeMap<String, KeyState>>,
+    samples: AtomicU64,
+    detections: AtomicU64,
+}
+
+impl DriftDetector {
+    pub fn new(opts: DriftOptions) -> DriftDetector {
+        DriftDetector {
+            opts,
+            states: Mutex::new(BTreeMap::new()),
+            samples: AtomicU64::new(0),
+            detections: AtomicU64::new(0),
+        }
+    }
+
+    pub fn options(&self) -> DriftOptions {
+        self.opts
+    }
+
+    /// Fold one observed timing sample for `key` and decide.
+    pub fn observe(&self, key: &str, times: &ComponentTimes) -> DriftDecision {
+        self.samples.fetch_add(1, Ordering::Relaxed);
+        let observed = [times.ice, times.lnd, times.atm, times.ocn];
+        let mut states = self.states.lock().unwrap_or_else(|e| e.into_inner());
+        let st = states.entry(key.to_string()).or_insert_with(|| KeyState {
+            ewma: observed,
+            baseline: None,
+            samples: 0,
+            cooldown_left: 0,
+        });
+        if st.samples > 0 {
+            for (e, &x) in st.ewma.iter_mut().zip(&observed) {
+                *e = (1.0 - self.opts.alpha) * *e + self.opts.alpha * x;
+            }
+        }
+        st.samples += 1;
+        let Some(baseline) = st.baseline else {
+            if st.samples >= self.opts.min_samples {
+                st.baseline = Some(st.ewma);
+            }
+            return DriftDecision::Warming {
+                samples: st.samples,
+                needed: self.opts.min_samples,
+            };
+        };
+        let mut ratios = [1.0; 4];
+        for (r, (&e, &b)) in ratios.iter_mut().zip(st.ewma.iter().zip(&baseline)) {
+            // A vanished baseline component can't express relative drift;
+            // leave its ratio neutral.
+            if b > 0.0 && e > 0.0 {
+                *r = e / b;
+            }
+        }
+        let max = ratios.iter().copied().fold(f64::MIN, f64::max);
+        let min = ratios.iter().copied().fold(f64::MAX, f64::min);
+        let drift_ratio = if min > 0.0 { max / min } else { 1.0 };
+        if st.cooldown_left > 0 {
+            st.cooldown_left -= 1;
+            return DriftDecision::Cooldown {
+                drift_ratio,
+                remaining: st.cooldown_left,
+            };
+        }
+        if drift_ratio > self.opts.threshold {
+            st.cooldown_left = self.opts.cooldown_samples;
+            self.detections.fetch_add(1, Ordering::Relaxed);
+            DriftDecision::Triggered {
+                drift_ratio,
+                ratios,
+            }
+        } else {
+            DriftDecision::Stable { drift_ratio }
+        }
+    }
+
+    /// Advance `key`'s baseline to its current EWMA — called when a
+    /// triggered rebalance was *accepted*, so the drift that has now been
+    /// re-optimized away no longer counts as drift (the hysteresis that
+    /// stops an accepted trigger re-firing forever).
+    pub fn rebaseline(&self, key: &str) {
+        let mut states = self.states.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(st) = states.get_mut(key) {
+            st.baseline = Some(st.ewma);
+        }
+    }
+
+    /// (tracked keys, total samples, total detections) — the service
+    /// merges these into its [`DriftStats`].
+    pub fn counters(&self) -> (usize, u64, u64) {
+        let tracked = self.states.lock().unwrap_or_else(|e| e.into_inner()).len();
+        (
+            tracked,
+            self.samples.load(Ordering::Relaxed),
+            self.detections.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times(ice: f64, lnd: f64, atm: f64, ocn: f64) -> ComponentTimes {
+        ComponentTimes { lnd, ice, atm, ocn }
+    }
+
+    fn detector() -> DriftDetector {
+        DriftDetector::new(DriftOptions {
+            min_samples: 4,
+            cooldown_samples: 3,
+            ..DriftOptions::default()
+        })
+    }
+
+    #[test]
+    fn stable_timings_never_trigger() {
+        let d = detector();
+        for _ in 0..64 {
+            let dec = d.observe("k", &times(20.0, 10.0, 60.0, 55.0));
+            assert!(!matches!(dec, DriftDecision::Triggered { .. }));
+        }
+        let (_, samples, detections) = d.counters();
+        assert_eq!((samples, detections), (64, 0));
+    }
+
+    #[test]
+    fn uniform_slowdown_is_not_drift() {
+        // Every component ×2: the balance is unchanged, re-solving would
+        // reproduce the same allocation — no trigger.
+        let d = detector();
+        for _ in 0..8 {
+            d.observe("k", &times(20.0, 10.0, 60.0, 55.0));
+        }
+        for _ in 0..64 {
+            let dec = d.observe("k", &times(40.0, 20.0, 120.0, 110.0));
+            assert!(!matches!(dec, DriftDecision::Triggered { .. }));
+        }
+    }
+
+    #[test]
+    fn relative_drift_triggers_once_then_cools_down() {
+        let d = detector();
+        for _ in 0..8 {
+            d.observe("k", &times(20.0, 10.0, 60.0, 55.0));
+        }
+        // Ocean alone doubles: relative drift.
+        let mut first_trigger = None;
+        let mut triggers = 0;
+        for i in 0..16 {
+            if let DriftDecision::Triggered {
+                drift_ratio,
+                ratios,
+            } = d.observe("k", &times(20.0, 10.0, 60.0, 110.0))
+            {
+                triggers += 1;
+                first_trigger.get_or_insert((i, drift_ratio, ratios));
+            }
+        }
+        let (_, ratio, ratios) = first_trigger.expect("drift must trigger");
+        assert!(ratio > 1.1, "drift ratio {ratio} must exceed threshold");
+        assert!(ratios[3] > ratios[0], "ocean ratio dominates");
+        // Cooldown (3) throttles the 16-sample run to far fewer triggers.
+        assert!(
+            (1..=4).contains(&triggers),
+            "hysteresis must throttle triggers, got {triggers}"
+        );
+    }
+
+    #[test]
+    fn rebaseline_absorbs_accepted_drift() {
+        let d = DriftDetector::new(DriftOptions {
+            min_samples: 4,
+            cooldown_samples: 0,
+            ..DriftOptions::default()
+        });
+        for _ in 0..8 {
+            d.observe("k", &times(20.0, 10.0, 60.0, 55.0));
+        }
+        // Converge the EWMA onto the drifted timings (triggering along
+        // the way), then accept.
+        for _ in 0..64 {
+            d.observe("k", &times(20.0, 10.0, 60.0, 110.0));
+        }
+        d.rebaseline("k");
+        for _ in 0..16 {
+            let dec = d.observe("k", &times(20.0, 10.0, 60.0, 110.0));
+            assert!(
+                !matches!(dec, DriftDecision::Triggered { .. }),
+                "accepted drift must stop triggering"
+            );
+        }
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let d = detector();
+        for _ in 0..8 {
+            d.observe("a", &times(20.0, 10.0, 60.0, 55.0));
+            d.observe("b", &times(20.0, 10.0, 60.0, 55.0));
+        }
+        let mut a_triggered = false;
+        for _ in 0..32 {
+            if matches!(
+                d.observe("a", &times(20.0, 10.0, 60.0, 110.0)),
+                DriftDecision::Triggered { .. }
+            ) {
+                a_triggered = true;
+            }
+            assert!(!matches!(
+                d.observe("b", &times(20.0, 10.0, 60.0, 55.0)),
+                DriftDecision::Triggered { .. }
+            ));
+        }
+        assert!(a_triggered);
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let run = || -> Vec<&'static str> {
+            let d = detector();
+            (0..32)
+                .map(|i| {
+                    let ocn = if i < 8 { 55.0 } else { 55.0 + f64::from(i) };
+                    d.observe("k", &times(20.0, 10.0, 60.0, ocn)).token()
+                })
+                .collect()
+        };
+        assert_eq!(run(), run());
+    }
+}

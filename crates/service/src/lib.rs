@@ -20,7 +20,15 @@
 //!   (reusing the telemetry crate's JSON parser — no serde);
 //! * [`loadmix`] — deterministic request mixes and the latency/throughput
 //!   accounting the `loadgen` binary reports into the
-//!   `hslb-bench-pipeline/v4` service block.
+//!   `hslb-bench-pipeline/v5` service block;
+//! * [`fault`] — deterministic service-layer fault injection (seeded
+//!   worker panics/hangs/slowdowns, cache poisoning, connection faults)
+//!   mirroring the simulator's `FaultSpec`;
+//! * [`snapshot`] — crash-safe, seal-verified cache snapshots (atomic
+//!   write, checksum footer, never-fail restore with a
+//!   [`snapshot::RecoveryRecord`]);
+//! * [`drift`] — the deterministic EWMA drift detector behind
+//!   drift-triggered rebalancing (first cut of ROADMAP item 4).
 //!
 //! **Determinism is the correctness bar.** For any request mix, at any
 //! worker count, with caches and coalescing on or off, every response
@@ -34,15 +42,21 @@
 //! bit-identity gate.
 
 pub mod cache;
+pub mod drift;
+pub mod fault;
 pub mod loadmix;
 pub mod queue;
 pub mod request;
 pub mod service;
+pub mod snapshot;
 pub mod wire;
 
+pub use drift::{DriftDecision, DriftDetector, DriftOptions, DriftStats, RebalanceOutcome};
+pub use fault::{ConnFault, ServiceFaultSpec, WorkerFault};
 pub use queue::Backpressure;
 pub use request::{CacheTier, TunePayload, TuneRequest, TuneResponse};
 pub use service::{
-    reference_response, CachePolicy, ServiceOptions, ServiceStats, SubmitError, Ticket,
-    TuningService,
+    reference_response, CachePolicy, HealthStats, ServiceOptions, ServiceStats, SubmitError,
+    SupervisePolicy, Ticket, TuningService,
 };
+pub use snapshot::{RecoveryRecord, SnapshotPolicy, SnapshotStats};

@@ -1,11 +1,16 @@
 //! Deterministic request mixes for `loadgen` and the service block of
-//! the `hslb-bench-pipeline/v4` schema.
+//! the `hslb-bench-pipeline/v5` schema.
 //!
 //! The generator is a seeded LCG over a fixed scenario pool, so a
 //! `(requests, seed)` pair always produces the same mix — including the
 //! ~40% duplicate rate that exercises the coalescer and exact cache.
 //! Priorities and logical deadlines vary per request but never the
 //! pipeline inputs, so duplicates stay exact-key duplicates.
+//!
+//! The v2 service-load document adds a `profile` tag and a `faults`
+//! block: connection failures survived, reconnects, typed-error retries,
+//! and the latency percentiles of recovering from a fault to a correct
+//! response — the chaos/soak accounting of DESIGN.md §13.
 
 use crate::request::TuneRequest;
 use hslb::Objective;
@@ -30,6 +35,37 @@ impl MixSpec {
             seed: 7,
             include_eighth: false,
         }
+    }
+
+    /// The soak profile: a longer sustained mix (exercises periodic
+    /// snapshot flushes and cache churn at steady load).
+    pub fn soak() -> MixSpec {
+        MixSpec {
+            requests: 160,
+            seed: 13,
+            include_eighth: false,
+        }
+    }
+
+    /// The chaos profile mix, replayed against a fault-injecting server
+    /// (`hslb-serve --fault-rate`). Pair with [`force_deadlines`] so the
+    /// hung-worker watchdog stays short.
+    pub fn chaos() -> MixSpec {
+        MixSpec {
+            requests: 48,
+            seed: 7,
+            include_eighth: false,
+        }
+    }
+}
+
+/// Pin every request's deadline (chaos runs: the deadline keys the
+/// service's hung-worker watchdog, so injected hangs resolve quickly).
+/// Scheduling-only — pipeline inputs, and therefore exact keys, are
+/// untouched.
+pub fn force_deadlines(mix: &mut [TuneRequest], deadline_ms: u64) {
+    for req in mix {
+        req.deadline_ms = Some(deadline_ms);
     }
 }
 
@@ -125,8 +161,64 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
     }
 }
 
+/// Fault-survival accounting for one load run (all zero on a fault-free
+/// run).
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Which profile produced the run: "smoke", "soak", "chaos", …
+    pub profile: String,
+    /// Broken connections observed (drops + truncated frames).
+    pub conn_failures: usize,
+    /// Times a client re-dialed the server after a broken connection.
+    pub reconnects: usize,
+    /// Typed error replies (backpressure/draining) that were retried.
+    pub retry_errors: usize,
+    /// Requests that failed at least once and eventually succeeded.
+    pub recovered: usize,
+    /// Recovery latency (first failure → verified success), percentiles.
+    pub recovery_p50: f64,
+    pub recovery_p90: f64,
+    pub recovery_p99: f64,
+}
+
+impl FaultReport {
+    /// A fault-free run under `profile`.
+    pub fn clean(profile: &str) -> FaultReport {
+        FaultReport {
+            profile: profile.to_string(),
+            conn_failures: 0,
+            reconnects: 0,
+            retry_errors: 0,
+            recovered: 0,
+            recovery_p50: 0.0,
+            recovery_p90: 0.0,
+            recovery_p99: 0.0,
+        }
+    }
+
+    /// Summarize raw counters plus per-request recovery latencies.
+    pub fn from_samples(
+        profile: &str,
+        conn_failures: usize,
+        reconnects: usize,
+        retry_errors: usize,
+        recovery_ms: &[f64],
+    ) -> FaultReport {
+        FaultReport {
+            profile: profile.to_string(),
+            conn_failures,
+            reconnects,
+            retry_errors,
+            recovered: recovery_ms.len(),
+            recovery_p50: percentile(recovery_ms, 50.0),
+            recovery_p90: percentile(recovery_ms, 90.0),
+            recovery_p99: percentile(recovery_ms, 99.0),
+        }
+    }
+}
+
 /// The throughput/latency summary `loadgen` reports and the bench suite
-/// embeds as the v4 `service` block.
+/// embeds as the v5 `service` block.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
     pub requests: usize,
@@ -148,10 +240,15 @@ pub struct LoadReport {
     pub coalesced: usize,
     pub determinism_checked: usize,
     pub determinism_mismatches: usize,
+    pub fault: FaultReport,
 }
 
 /// Schema tag of the standalone service-load document.
-pub const SERVICE_SCHEMA: &str = "hslb-service-load/v1";
+pub const SERVICE_SCHEMA: &str = "hslb-service-load/v2";
+
+/// The retired v1 tag — recognized only to reject it with a clear
+/// message (v1 documents carry no fault/recovery accounting).
+pub const SERVICE_SCHEMA_V1: &str = "hslb-service-load/v1";
 
 /// Run-level scalars that accompany the per-request outcomes when
 /// building a [`LoadReport`]: counts the outcome list cannot carry
@@ -170,7 +267,11 @@ pub struct RunCounters {
 
 impl LoadReport {
     /// Summarize finished requests.
-    pub fn from_outcomes(outcomes: &[LoadOutcome], run: RunCounters) -> LoadReport {
+    pub fn from_outcomes(
+        outcomes: &[LoadOutcome],
+        run: RunCounters,
+        fault: FaultReport,
+    ) -> LoadReport {
         let RunCounters {
             requests,
             rejected,
@@ -218,6 +319,7 @@ impl LoadReport {
             coalesced,
             determinism_checked,
             determinism_mismatches,
+            fault,
         }
     }
 
@@ -230,8 +332,8 @@ impl LoadReport {
         }
     }
 
-    /// The `service` block of the v4 bench schema (also the body of the
-    /// standalone `hslb-service-load/v1` document).
+    /// The `service` block of the v5 bench schema (also the body of the
+    /// standalone `hslb-service-load/v2` document).
     pub fn to_value(&self) -> Value {
         fn pct(p50: f64, p90: f64, p99: f64) -> Value {
             Value::Obj(vec![
@@ -242,6 +344,10 @@ impl LoadReport {
         }
         Value::Obj(vec![
             ("schema".to_string(), Value::Str(SERVICE_SCHEMA.to_string())),
+            (
+                "profile".to_string(),
+                Value::Str(self.fault.profile.clone()),
+            ),
             ("requests".to_string(), Value::Num(self.requests as f64)),
             ("ok".to_string(), Value::Num(self.ok as f64)),
             ("rejected".to_string(), Value::Num(self.rejected as f64)),
@@ -287,14 +393,46 @@ impl LoadReport {
                     ),
                 ]),
             ),
+            (
+                "faults".to_string(),
+                Value::Obj(vec![
+                    (
+                        "conn_failures".to_string(),
+                        Value::Num(self.fault.conn_failures as f64),
+                    ),
+                    (
+                        "reconnects".to_string(),
+                        Value::Num(self.fault.reconnects as f64),
+                    ),
+                    (
+                        "retry_errors".to_string(),
+                        Value::Num(self.fault.retry_errors as f64),
+                    ),
+                    (
+                        "recovered".to_string(),
+                        Value::Num(self.fault.recovered as f64),
+                    ),
+                    (
+                        "recovery_ms".to_string(),
+                        pct(
+                            self.fault.recovery_p50,
+                            self.fault.recovery_p90,
+                            self.fault.recovery_p99,
+                        ),
+                    ),
+                ]),
+            ),
         ])
     }
 }
 
-/// Validate a v4 `service` block (shared by `bench-suite --validate` and
-/// `--validate-service`). Checks structure, conservation (`ok + rejected
-/// + errors == requests`, tier counts sum to `ok`), percentile ordering,
-/// and the hard determinism bar (`mismatches == 0`).
+/// Validate a v5 `service` block (shared by `bench-suite --validate` and
+/// `--validate-service`). Checks structure, conservation (the `ok`,
+/// `rejected`, and `errors` counts sum to `requests`, tier counts sum to
+/// `ok`), percentile ordering,
+/// the hard determinism bar (`mismatches == 0`), and the v2 fault block.
+/// v1 documents are rejected explicitly: they predate fault/recovery
+/// accounting.
 pub fn validate_service_block(v: &Value) -> Result<(), String> {
     let num = |key: &str| -> Result<f64, String> {
         v.get(key)
@@ -303,8 +441,18 @@ pub fn validate_service_block(v: &Value) -> Result<(), String> {
     };
     match v.get("schema").and_then(Value::as_str) {
         Some(s) if s == SERVICE_SCHEMA => {}
+        Some(s) if s == SERVICE_SCHEMA_V1 => {
+            return Err(format!(
+                "service schema {SERVICE_SCHEMA_V1:?} is retired: v1 documents carry no \
+                 fault/recovery accounting — regenerate with the current loadgen ({SERVICE_SCHEMA:?})"
+            ))
+        }
         Some(s) => return Err(format!("service schema {s:?}, expected {SERVICE_SCHEMA:?}")),
         None => return Err("service block missing `schema`".to_string()),
+    }
+    match v.get("profile").and_then(Value::as_str) {
+        Some(p) if !p.is_empty() => {}
+        _ => return Err("service block missing non-empty `profile`".to_string()),
     }
     let requests = num("requests")?;
     let ok = num("ok")?;
@@ -374,6 +522,40 @@ pub fn validate_service_block(v: &Value) -> Result<(), String> {
     if mismatches > 0.0 {
         return Err(format!(
             "determinism violated: {mismatches} response(s) differ from the serial pipeline"
+        ));
+    }
+    let faults = v
+        .get("faults")
+        .ok_or("service block missing `faults` (v2 requirement)".to_string())?;
+    let fnum = |k: &str| -> Result<f64, String> {
+        faults
+            .get(k)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("`faults` missing numeric `{k}`"))
+    };
+    let recovered = fnum("recovered")?;
+    for k in ["conn_failures", "reconnects", "retry_errors"] {
+        if fnum(k)? < 0.0 {
+            return Err(format!("`faults.{k}` must be non-negative"));
+        }
+    }
+    if recovered > requests {
+        return Err(format!(
+            "`faults.recovered` {recovered} exceeds requests {requests}"
+        ));
+    }
+    let rec = faults
+        .get("recovery_ms")
+        .ok_or("`faults` missing `recovery_ms` percentiles".to_string())?;
+    let rp = |p: &str| -> Result<f64, String> {
+        rec.get(p)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("`recovery_ms` missing `{p}`"))
+    };
+    let (p50, p90, p99) = (rp("p50")?, rp("p90")?, rp("p99")?);
+    if p50 < 0.0 || p50 > p90 + 1e-9 || p90 > p99 + 1e-9 {
+        return Err(format!(
+            "`recovery_ms` percentiles must be ordered: p50 {p50} <= p90 {p90} <= p99 {p99}"
         ));
     }
     Ok(())
@@ -454,6 +636,7 @@ mod tests {
                 determinism_checked: 3,
                 determinism_mismatches: 0,
             },
+            FaultReport::from_samples("chaos", 2, 2, 1, &[12.0, 30.0]),
         )
     }
 
@@ -481,5 +664,49 @@ mod tests {
         assert!(validate_service_block(&report.to_value())
             .unwrap_err()
             .contains("tier counts"));
+    }
+
+    #[test]
+    fn validator_rejects_retired_v1_schema() {
+        let mut v = sample_report().to_value();
+        if let Value::Obj(kv) = &mut v {
+            for (k, val) in kv.iter_mut() {
+                if k == "schema" {
+                    *val = Value::Str(SERVICE_SCHEMA_V1.to_string());
+                }
+            }
+        }
+        let err = validate_service_block(&v).unwrap_err();
+        assert!(
+            err.contains("retired"),
+            "v1 must be rejected clearly: {err}"
+        );
+    }
+
+    #[test]
+    fn validator_requires_fault_block_and_ordered_recovery() {
+        let mut v = sample_report().to_value();
+        if let Value::Obj(kv) = &mut v {
+            kv.retain(|(k, _)| k != "faults");
+        }
+        assert!(validate_service_block(&v).unwrap_err().contains("faults"));
+        let mut report = sample_report();
+        report.fault.recovery_p50 = 99.0; // > p90
+        assert!(validate_service_block(&report.to_value())
+            .unwrap_err()
+            .contains("recovery_ms"));
+    }
+
+    #[test]
+    fn forced_deadlines_change_scheduling_not_keys() {
+        let mut mix = generate(&MixSpec::chaos());
+        let keys: Vec<String> = mix.iter().map(|r| r.exact_key()).collect();
+        force_deadlines(&mut mix, 900);
+        assert!(mix.iter().all(|r| r.deadline_ms == Some(900)));
+        assert_eq!(
+            keys,
+            mix.iter().map(|r| r.exact_key()).collect::<Vec<_>>(),
+            "deadlines are scheduling-only"
+        );
     }
 }

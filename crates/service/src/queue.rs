@@ -191,6 +191,46 @@ impl<T> AdmissionQueue<T> {
         }
     }
 
+    /// Close *and* hand back everything still queued, in dequeue order.
+    /// The graceful-drain contract (DESIGN.md §13): queued-but-unstarted
+    /// requests are **rejected with a retry hint**, not silently computed
+    /// after the caller asked the service to stop — the caller resolves
+    /// the returned items with an explicit draining error. In-flight
+    /// items (already popped by a worker) are unaffected and complete
+    /// normally.
+    pub fn close_now(&self) -> Vec<T> {
+        let mut drained = Vec::new();
+        for shard in &self.shards {
+            let mut st = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
+            st.closed = true;
+            while let Some(entry) = st.heap.pop() {
+                drained.push(entry.item);
+            }
+            drop(st);
+            shard.available.notify_all();
+        }
+        drained
+    }
+
+    /// Re-admit an item its worker popped but could not finish (the
+    /// supervisor's requeue-on-fault path). Capacity is not enforced —
+    /// the item already held a slot when it was first admitted, so
+    /// bouncing it for backpressure would double-charge it. Only a
+    /// closed shard refuses, handing the item back so the caller can
+    /// route it down the degradation ladder instead of losing it.
+    pub fn push_back(&self, shard: usize, rank: Rank, item: T) -> Result<(), T> {
+        let shard = &self.shards[shard % self.shards.len()];
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut st = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if st.closed {
+            return Err(item);
+        }
+        st.heap.push(Entry { rank, seq, item });
+        drop(st);
+        shard.available.notify_one();
+        Ok(())
+    }
+
     /// Total queued entries across shards.
     pub fn depth(&self) -> usize {
         self.shards

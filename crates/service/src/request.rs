@@ -260,6 +260,115 @@ impl TunePayload {
         }
     }
 
+    /// JSON object form of the payload fields alone — shared by the wire
+    /// reply ([`TuneResponse::to_value`]) and the crash-safe cache
+    /// snapshot, so both serialize the deterministic part identically.
+    pub fn to_value(&self) -> Value {
+        fn opt_num(x: Option<f64>) -> Value {
+            match x {
+                Some(v) => Value::Num(v),
+                None => Value::Null,
+            }
+        }
+        fn times_value(t: &ComponentTimes) -> Value {
+            Value::Obj(vec![
+                ("lnd".to_string(), Value::Num(t.lnd)),
+                ("ice".to_string(), Value::Num(t.ice)),
+                ("atm".to_string(), Value::Num(t.atm)),
+                ("ocn".to_string(), Value::Num(t.ocn)),
+            ])
+        }
+        Value::Obj(vec![
+            (
+                "allocation".to_string(),
+                Value::Arr(
+                    [
+                        self.allocation.lnd,
+                        self.allocation.ice,
+                        self.allocation.atm,
+                        self.allocation.ocn,
+                    ]
+                    .iter()
+                    .map(|&n| Value::Num(n as f64))
+                    .collect(),
+                ),
+            ),
+            (
+                "predicted".to_string(),
+                self.predicted.as_ref().map_or(Value::Null, times_value),
+            ),
+            ("predicted_total".to_string(), opt_num(self.predicted_total)),
+            ("actual".to_string(), times_value(&self.actual)),
+            ("actual_total".to_string(), Value::Num(self.actual_total)),
+            ("min_r_squared".to_string(), opt_num(self.min_r_squared)),
+            ("rung".to_string(), Value::Str(self.rung.clone())),
+            ("degraded".to_string(), Value::Bool(self.degraded)),
+            ("certified".to_string(), Value::Bool(self.certified)),
+            (
+                "audit_passed".to_string(),
+                self.audit_passed.map_or(Value::Null, Value::Bool),
+            ),
+        ])
+    }
+
+    /// Parse the payload fields back from a JSON object (the inverse of
+    /// [`TunePayload::to_value`]; floats survive bit-exactly).
+    pub fn from_value(v: &Value) -> Result<TunePayload, String> {
+        fn times_from(v: &Value) -> Result<ComponentTimes, String> {
+            let f = |k: &str| -> Result<f64, String> {
+                v.get(k)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("missing component time {k}"))
+            };
+            Ok(ComponentTimes {
+                lnd: f("lnd")?,
+                ice: f("ice")?,
+                atm: f("atm")?,
+                ocn: f("ocn")?,
+            })
+        }
+        let alloc = v
+            .get("allocation")
+            .and_then(Value::as_arr)
+            .ok_or("missing allocation")?;
+        if alloc.len() != 4 {
+            return Err("allocation must have 4 entries".to_string());
+        }
+        let nums: Vec<i64> = alloc
+            .iter()
+            .map(|x| x.as_f64().map(|f| f as i64).ok_or("non-numeric allocation"))
+            .collect::<Result<_, _>>()?;
+        let predicted = match v.get("predicted") {
+            Some(Value::Null) | None => None,
+            Some(t) => Some(times_from(t)?),
+        };
+        let actual = times_from(v.get("actual").ok_or("missing actual")?)?;
+        Ok(TunePayload {
+            allocation: Allocation {
+                lnd: nums[0],
+                ice: nums[1],
+                atm: nums[2],
+                ocn: nums[3],
+            },
+            predicted,
+            predicted_total: v.get("predicted_total").and_then(Value::as_f64),
+            actual,
+            actual_total: v
+                .get("actual_total")
+                .and_then(Value::as_f64)
+                .ok_or("missing actual_total")?,
+            min_r_squared: v.get("min_r_squared").and_then(Value::as_f64),
+            rung: v
+                .get("rung")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            degraded: v.get("degraded").and_then(Value::as_bool).unwrap_or(false),
+            certified: v.get("certified").and_then(Value::as_bool).unwrap_or(false),
+            audit_passed: v.get("audit_passed").and_then(Value::as_bool),
+        })
+    }
+
     /// Bit-exact fingerprint: every float via `to_bits` hex, every
     /// discrete field verbatim. Two payloads have equal fingerprints iff
     /// they are bit-identical — including across the JSON wire, because
@@ -319,52 +428,13 @@ pub struct TuneResponse {
 impl TuneResponse {
     /// JSON object for the wire protocol.
     pub fn to_value(&self) -> Value {
-        fn opt_num(x: Option<f64>) -> Value {
-            match x {
-                Some(v) => Value::Num(v),
-                None => Value::Null,
-            }
-        }
-        fn times_value(t: &ComponentTimes) -> Value {
-            Value::Obj(vec![
-                ("lnd".to_string(), Value::Num(t.lnd)),
-                ("ice".to_string(), Value::Num(t.ice)),
-                ("atm".to_string(), Value::Num(t.atm)),
-                ("ocn".to_string(), Value::Num(t.ocn)),
-            ])
-        }
         let p = &self.payload;
-        Value::Obj(vec![
-            ("id".to_string(), Value::Num(self.id as f64)),
-            (
-                "allocation".to_string(),
-                Value::Arr(
-                    [
-                        p.allocation.lnd,
-                        p.allocation.ice,
-                        p.allocation.atm,
-                        p.allocation.ocn,
-                    ]
-                    .iter()
-                    .map(|&n| Value::Num(n as f64))
-                    .collect(),
-                ),
-            ),
-            (
-                "predicted".to_string(),
-                p.predicted.as_ref().map_or(Value::Null, times_value),
-            ),
-            ("predicted_total".to_string(), opt_num(p.predicted_total)),
-            ("actual".to_string(), times_value(&p.actual)),
-            ("actual_total".to_string(), Value::Num(p.actual_total)),
-            ("min_r_squared".to_string(), opt_num(p.min_r_squared)),
-            ("rung".to_string(), Value::Str(p.rung.clone())),
-            ("degraded".to_string(), Value::Bool(p.degraded)),
-            ("certified".to_string(), Value::Bool(p.certified)),
-            (
-                "audit_passed".to_string(),
-                p.audit_passed.map_or(Value::Null, Value::Bool),
-            ),
+        let Value::Obj(payload_fields) = p.to_value() else {
+            unreachable!("TunePayload::to_value returns an object");
+        };
+        let mut kv = vec![("id".to_string(), Value::Num(self.id as f64))];
+        kv.extend(payload_fields);
+        kv.extend([
             (
                 "tier".to_string(),
                 Value::Str(self.tier.token().to_string()),
@@ -373,66 +443,15 @@ impl TuneResponse {
             ("queue_wait_ms".to_string(), Value::Num(self.queue_wait_ms)),
             ("service_ms".to_string(), Value::Num(self.service_ms)),
             ("fingerprint".to_string(), Value::Str(p.fingerprint())),
-        ])
+        ]);
+        Value::Obj(kv)
     }
 
     /// Parse the JSON object form back (used by `loadgen` to recompute
     /// and cross-check fingerprints client-side).
     pub fn from_value(v: &Value) -> Result<TuneResponse, String> {
-        fn times_from(v: &Value) -> Result<ComponentTimes, String> {
-            let f = |k: &str| -> Result<f64, String> {
-                v.get(k)
-                    .and_then(Value::as_f64)
-                    .ok_or_else(|| format!("missing component time {k}"))
-            };
-            Ok(ComponentTimes {
-                lnd: f("lnd")?,
-                ice: f("ice")?,
-                atm: f("atm")?,
-                ocn: f("ocn")?,
-            })
-        }
         let id = v.get("id").and_then(Value::as_f64).ok_or("missing id")? as u64;
-        let alloc = v
-            .get("allocation")
-            .and_then(Value::as_arr)
-            .ok_or("missing allocation")?;
-        if alloc.len() != 4 {
-            return Err("allocation must have 4 entries".to_string());
-        }
-        let nums: Vec<i64> = alloc
-            .iter()
-            .map(|x| x.as_f64().map(|f| f as i64).ok_or("non-numeric allocation"))
-            .collect::<Result<_, _>>()?;
-        let predicted = match v.get("predicted") {
-            Some(Value::Null) | None => None,
-            Some(t) => Some(times_from(t)?),
-        };
-        let actual = times_from(v.get("actual").ok_or("missing actual")?)?;
-        let payload = TunePayload {
-            allocation: Allocation {
-                lnd: nums[0],
-                ice: nums[1],
-                atm: nums[2],
-                ocn: nums[3],
-            },
-            predicted,
-            predicted_total: v.get("predicted_total").and_then(Value::as_f64),
-            actual,
-            actual_total: v
-                .get("actual_total")
-                .and_then(Value::as_f64)
-                .ok_or("missing actual_total")?,
-            min_r_squared: v.get("min_r_squared").and_then(Value::as_f64),
-            rung: v
-                .get("rung")
-                .and_then(Value::as_str)
-                .unwrap_or_default()
-                .to_string(),
-            degraded: v.get("degraded").and_then(Value::as_bool).unwrap_or(false),
-            certified: v.get("certified").and_then(Value::as_bool).unwrap_or(false),
-            audit_passed: v.get("audit_passed").and_then(Value::as_bool),
-        };
+        let payload = TunePayload::from_value(v)?;
         Ok(TuneResponse {
             id,
             payload,

@@ -3,14 +3,19 @@
 //! Grammar (one JSON object per line, compact rendering, UTF-8):
 //!
 //! ```text
-//! command   = tune | ping | stats | shutdown
+//! command   = tune | observe | ping | stats | health | shutdown
 //! tune      = {"op":"tune","id":N,"resolution":"1deg"|"eighth",
 //!              "layout":"hybrid"|"seq-ocean"|"sequential",
 //!              "objective":"min-max"|"max-min"|"min-sum",
 //!              "nodes":N,"ocean":BOOL,"seed":N,"priority":0..9,
 //!              "deadline_ms":N?}
+//! observe   = {"op":"observe", ...tune fields,
+//!              "times":{"lnd":F,"ice":F,"atm":F,"ocn":F}}
+//!             ; streams one observed timing sample into the drift
+//!             ; detector for the identified scenario
 //! ping      = {"op":"ping"}
 //! stats     = {"op":"stats"}
+//! health    = {"op":"health"}              ; supervision/recovery/drift
 //! shutdown  = {"op":"shutdown"}            ; drains, acks, then exits
 //!
 //! reply     = ok | err
@@ -18,22 +23,46 @@
 //! err       = {"ok":false,"error":S,"id":N?,"retry_after_ms":N?}
 //! ```
 //!
+//! `retry_after_ms` appears on both backpressure and drain rejections,
+//! so a retrying client treats them uniformly.
+//!
 //! Floats cross the wire bit-exactly: the printer renders non-integral
 //! `f64`s shortest-round-trip, so a client can recompute a response's
 //! fingerprint from the parsed fields and compare it to the `fingerprint`
 //! the server embedded (what `loadgen` does for its determinism check).
 
+use crate::drift::{DriftDecision, RebalanceOutcome};
 use crate::request::{TuneRequest, TuneResponse};
-use crate::service::{ServiceStats, SubmitError};
+use crate::service::{HealthStats, ServiceStats, SubmitError};
+use hslb_cesm::layout::ComponentTimes;
 use hslb_telemetry::json::{parse, Value};
 
 /// One parsed client command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     Tune(TuneRequest),
+    /// One observed timing sample for a deployed scenario (drift input).
+    Observe(TuneRequest, ComponentTimes),
     Ping,
     Stats,
+    Health,
     Shutdown,
+}
+
+fn parse_times(v: &Value) -> Result<ComponentTimes, String> {
+    let times = v.get("times").ok_or("observe: missing `times`")?;
+    let f = |k: &str| -> Result<f64, String> {
+        times
+            .get(k)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("observe: missing/invalid times.{k}"))
+    };
+    Ok(ComponentTimes {
+        lnd: f("lnd")?,
+        ice: f("ice")?,
+        atm: f("atm")?,
+        ocn: f("ocn")?,
+    })
 }
 
 /// Parse one wire line into a command.
@@ -41,8 +70,13 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
     let v = parse(line).map_err(|e| format!("bad JSON: {e}"))?;
     match v.get("op").and_then(Value::as_str) {
         Some("tune") => Ok(Command::Tune(TuneRequest::from_value(&v)?)),
+        Some("observe") => Ok(Command::Observe(
+            TuneRequest::from_value(&v)?,
+            parse_times(&v)?,
+        )),
         Some("ping") => Ok(Command::Ping),
         Some("stats") => Ok(Command::Stats),
+        Some("health") => Ok(Command::Health),
         Some("shutdown") => Ok(Command::Shutdown),
         Some(other) => Err(format!("unknown op {other:?}")),
         None => Err("missing `op`".to_string()),
@@ -76,13 +110,35 @@ pub fn stats_reply(stats: &ServiceStats) -> String {
     with_ok("stats", vec![("stats".to_string(), stats.to_value())])
 }
 
+/// Serialize a health reply.
+pub fn health_reply(health: &HealthStats) -> String {
+    with_ok("health", vec![("health".to_string(), health.to_value())])
+}
+
+/// Serialize an observe reply: the drift decision plus the rebalance
+/// outcome when one ran.
+pub fn observe_reply(decision: &DriftDecision, outcome: Option<&RebalanceOutcome>) -> String {
+    let mut fields = vec![(
+        "decision".to_string(),
+        Value::Str(decision.token().to_string()),
+    )];
+    if let Some(ratio) = decision.drift_ratio() {
+        fields.push(("drift_ratio".to_string(), Value::Num(ratio)));
+    }
+    fields.push((
+        "rebalance".to_string(),
+        outcome.map_or(Value::Null, RebalanceOutcome::to_value),
+    ));
+    with_ok("observe", fields)
+}
+
 /// Serialize the shutdown acknowledgement (sent *after* the drain).
 pub fn shutdown_reply() -> String {
     with_ok("shutdown", Vec::new())
 }
 
 /// Serialize an error line. `id` correlates it to a tune request when
-/// known; backpressure carries its retry hint.
+/// known; backpressure and drain rejections carry their retry hint.
 pub fn error_reply(id: Option<u64>, err: &SubmitError) -> String {
     let mut kv = vec![
         ("ok".to_string(), Value::Bool(false)),
@@ -91,11 +147,16 @@ pub fn error_reply(id: Option<u64>, err: &SubmitError) -> String {
     if let Some(id) = id {
         kv.push(("id".to_string(), Value::Num(id as f64)));
     }
-    if let SubmitError::Backpressure(bp) = err {
-        kv.push((
+    match err {
+        SubmitError::Backpressure(bp) => kv.push((
             "retry_after_ms".to_string(),
             Value::Num(bp.retry_after_ms as f64),
-        ));
+        )),
+        SubmitError::Draining { retry_after_ms } => kv.push((
+            "retry_after_ms".to_string(),
+            Value::Num(*retry_after_ms as f64),
+        )),
+        _ => {}
     }
     Value::Obj(kv).to_string()
 }
@@ -144,6 +205,64 @@ mod tests {
         );
         assert!(parse_command("{\"op\":\"nope\"}").is_err());
         assert!(parse_command("not json").is_err());
+    }
+
+    #[test]
+    fn observe_and_health_commands_parse() {
+        assert_eq!(
+            parse_command("{\"op\":\"health\"}").unwrap(),
+            Command::Health
+        );
+        let req = TuneRequest::new(2, Resolution::OneDegree, 96);
+        let mut v = req.to_value();
+        if let Value::Obj(kv) = &mut v {
+            kv.insert(0, ("op".to_string(), Value::Str("observe".to_string())));
+            kv.push((
+                "times".to_string(),
+                Value::Obj(vec![
+                    ("lnd".to_string(), Value::Num(10.0)),
+                    ("ice".to_string(), Value::Num(20.0)),
+                    ("atm".to_string(), Value::Num(60.0)),
+                    ("ocn".to_string(), Value::Num(55.5)),
+                ]),
+            ));
+        }
+        match parse_command(&v.to_string()).unwrap() {
+            Command::Observe(back, times) => {
+                assert_eq!(back, req);
+                assert_eq!(times.ocn, 55.5);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // An observe without times is a protocol error.
+        let line = {
+            let mut v = req.to_value();
+            if let Value::Obj(kv) = &mut v {
+                kv.insert(0, ("op".to_string(), Value::Str("observe".to_string())));
+            }
+            v.to_string()
+        };
+        assert!(parse_command(&line).is_err());
+    }
+
+    #[test]
+    fn draining_error_carries_retry_hint() {
+        let line = error_reply(Some(4), &SubmitError::Draining { retry_after_ms: 12 });
+        let (ok, v) = parse_reply(&line).unwrap();
+        assert!(!ok);
+        assert_eq!(v.get("retry_after_ms").and_then(Value::as_f64), Some(12.0));
+    }
+
+    #[test]
+    fn observe_reply_carries_decision_and_rebalance() {
+        let line = observe_reply(
+            &crate::drift::DriftDecision::Stable { drift_ratio: 1.01 },
+            None,
+        );
+        let (ok, v) = parse_reply(&line).unwrap();
+        assert!(ok);
+        assert_eq!(v.get("decision").and_then(Value::as_str), Some("stable"));
+        assert!(matches!(v.get("rebalance"), Some(Value::Null)));
     }
 
     #[test]

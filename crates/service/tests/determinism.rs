@@ -179,8 +179,10 @@ fn backpressure_rejects_with_retry_hint_without_displacing_work() {
     service.shutdown();
 }
 
-/// Shutdown drains: every admitted ticket resolves, and submissions
-/// after shutdown fail with `ShuttingDown`.
+/// Shutdown drains: every admitted ticket *resolves* — in-flight work
+/// completes, still-queued work is rejected with a typed `Draining`
+/// error carrying a retry hint (never silently dropped) — and
+/// submissions after shutdown fail with `ShuttingDown`.
 #[test]
 fn shutdown_drains_admitted_work_and_rejects_new() {
     let service = TuningService::start(quiet_options());
@@ -205,7 +207,15 @@ fn shutdown_drains_admitted_work_and_rejects_new() {
         SubmitError::ShuttingDown
     );
     for ticket in tickets {
-        ticket.wait().expect("admitted before shutdown ⇒ resolved");
+        match ticket.wait() {
+            Ok(_) => {}
+            Err(SubmitError::Draining { retry_after_ms }) => {
+                assert!(retry_after_ms >= 1, "drain rejection carries a retry hint");
+            }
+            Err(other) => {
+                panic!("admitted before shutdown ⇒ completed or Draining, got {other}")
+            }
+        }
     }
 }
 

@@ -1,0 +1,339 @@
+//! Robustness gate (ISSUE 6 acceptance): the supervised service under
+//! injected faults, crash-safe snapshots under corruption, and restart
+//! recovery — the service-layer mirror of `tests/degradation.rs`.
+//!
+//! The bar everywhere: a completed response is **bit-identical** to the
+//! one-shot pipeline (`reference_response`) or an explicit typed error —
+//! never a wrong answer, never a dead process. A snapshot restore either
+//! reproduces cached responses bit for bit or degrades to a clean cold
+//! start with the reasons on the health record.
+
+use hslb_cesm::{layout::ComponentTimes, Allocation};
+use hslb_service::loadmix::{self, force_deadlines, MixSpec};
+use hslb_service::request::TunePayload;
+use hslb_service::snapshot::{load_snapshot, save_snapshot};
+use hslb_service::{
+    reference_response, CacheTier, ServiceFaultSpec, ServiceOptions, SnapshotPolicy, TuneRequest,
+    TuningService,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Any `f64` bit pattern — negative, subnormal, huge, NaN, ±inf. The
+/// snapshot codec stores floats as hex bits, so even non-finite values
+/// must survive bit-exactly.
+fn any_f64_bits() -> impl Strategy<Value = f64> {
+    (0u64..=u64::MAX).prop_map(f64::from_bits)
+}
+
+fn any_opt_f64() -> impl Strategy<Value = Option<f64>> {
+    prop_oneof![Just(None), any_f64_bits().prop_map(Some)]
+}
+
+fn any_bool() -> impl Strategy<Value = bool> {
+    prop_oneof![Just(false), Just(true)]
+}
+
+fn any_opt_bool() -> impl Strategy<Value = Option<bool>> {
+    prop_oneof![Just(None), Just(Some(false)), Just(Some(true))]
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "hslb-robustness-{tag}-{}.snapshot.json",
+        std::process::id()
+    ))
+}
+
+/// Serial references computed once per distinct exact key.
+fn references(requests: &[TuneRequest]) -> BTreeMap<String, String> {
+    let mut refs = BTreeMap::new();
+    for req in requests {
+        refs.entry(req.exact_key()).or_insert_with(|| {
+            reference_response(req)
+                .unwrap_or_else(|e| panic!("reference for {}: {e}", req.exact_key()))
+                .fingerprint()
+        });
+    }
+    refs
+}
+
+/// ISSUE 6 acceptance gate: under ~30% injected service faults (worker
+/// panics, hangs, slow shards, poisoned cache entries), every request
+/// terminates, every completed response is bit-identical to the one-shot
+/// pipeline, and the process survives to serve the next request.
+#[test]
+fn thirty_percent_service_faults_never_produce_a_wrong_answer() {
+    let mut mix = loadmix::generate(&MixSpec::chaos());
+    // Short uniform deadlines keep the hung-worker watchdog tight, so
+    // injected hangs resolve in about a second instead of minutes.
+    force_deadlines(&mut mix, 900);
+    let refs = references(&mix);
+
+    let opts = ServiceOptions {
+        workers: 4,
+        queue_capacity: 64, // admit the whole storm: faults, not backpressure
+        faults: ServiceFaultSpec::chaos(5, 0.3),
+        ..ServiceOptions::default()
+    };
+    let service = TuningService::start(opts);
+
+    let tickets: Vec<_> = mix
+        .iter()
+        .map(|req| {
+            (
+                req.exact_key(),
+                service.submit(req.clone()).expect("mix fits the queue"),
+            )
+        })
+        .collect();
+    let mut completed = 0usize;
+    let mut typed_errors = 0usize;
+    for (key, ticket) in tickets {
+        match ticket.wait() {
+            Ok(resp) => {
+                completed += 1;
+                assert_eq!(
+                    resp.payload.fingerprint(),
+                    refs[&key],
+                    "response for {key} diverged from the one-shot pipeline under faults"
+                );
+            }
+            Err(e) => {
+                // Typed, displayable error — acceptable terminal outcome.
+                typed_errors += 1;
+                assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+    assert_eq!(
+        completed + typed_errors,
+        mix.len(),
+        "every request terminates"
+    );
+    assert!(
+        completed > 0,
+        "the supervision ladder must rescue at least some requests"
+    );
+
+    // The storm must actually have stressed the supervisor...
+    let health = service.health();
+    assert!(
+        health.panics + health.hangs + health.poison_detected > 0,
+        "chaos spec injected nothing: {health:?}"
+    );
+    // ...and the service must still be alive afterwards. The bypass rung
+    // runs fault-free, so a fresh request always completes.
+    let mut probe = TuneRequest::new(9_999, hslb_cesm::Resolution::OneDegree, 96);
+    probe.deadline_ms = Some(900);
+    let resp = service
+        .submit(probe.clone())
+        .expect("service accepts after the storm")
+        .wait()
+        .expect("service serves after the storm");
+    assert_eq!(
+        resp.payload.fingerprint(),
+        reference_response(&probe).expect("reference").fingerprint()
+    );
+    service.shutdown();
+}
+
+/// Every attempt hangs: the watchdog must reap each one at its deadline,
+/// burn the requeue budget, and land on the fault-free bypass rung with
+/// a bit-identical answer — in round-trip time, not minutes.
+#[test]
+fn hung_workers_are_reaped_and_the_bypass_rung_answers() {
+    let opts = ServiceOptions {
+        workers: 2,
+        faults: ServiceFaultSpec {
+            seed: 1,
+            hang_rate: 1.0,
+            ..ServiceFaultSpec::none()
+        },
+        ..ServiceOptions::default()
+    };
+    let service = TuningService::start(opts);
+    let mut req = TuneRequest::new(1, hslb_cesm::Resolution::OneDegree, 96);
+    req.deadline_ms = Some(300); // keys the watchdog
+    let resp = service
+        .submit(req.clone())
+        .expect("submit")
+        .wait()
+        .expect("bypass rung rescues a fully hung pipeline");
+    assert_eq!(
+        resp.payload.fingerprint(),
+        reference_response(&req).expect("reference").fingerprint()
+    );
+    let health = service.health();
+    assert!(health.hangs >= 1, "watchdog never fired: {health:?}");
+    assert!(health.bypasses >= 1, "bypass rung never ran: {health:?}");
+    service.shutdown();
+}
+
+/// Kill-and-restart bit-identity: a service restarted from a valid
+/// snapshot serves the snapshotted scenarios from the exact tier, bit
+/// for bit, without rerunning the pipeline.
+#[test]
+fn snapshot_restart_serves_bit_identical_cached_responses() {
+    let path = temp_path("restart");
+    let _ = std::fs::remove_file(&path);
+    let requests: Vec<TuneRequest> = [64i64, 96, 128]
+        .iter()
+        .enumerate()
+        .map(|(i, &nodes)| TuneRequest::new(i as u64 + 1, hslb_cesm::Resolution::OneDegree, nodes))
+        .collect();
+
+    let opts = ServiceOptions {
+        snapshot: Some(SnapshotPolicy::new(&path)),
+        ..ServiceOptions::default()
+    };
+    let first = TuningService::start(opts.clone());
+    let mut fingerprints = Vec::new();
+    for req in &requests {
+        let resp = first
+            .submit(req.clone())
+            .expect("submit")
+            .wait()
+            .expect("pipeline run");
+        fingerprints.push(resp.payload.fingerprint());
+    }
+    // Graceful drain flushes the snapshot (satellite 2); the file on
+    // disk is what a kill -9 + restart would find.
+    first.shutdown();
+    assert!(path.is_file(), "drain must flush the snapshot");
+
+    let second = TuningService::start(opts);
+    let record = second.health().recovery;
+    assert!(record.attempted);
+    assert!(
+        !record.cold_start,
+        "valid snapshot must restore: {record:?}"
+    );
+    assert_eq!(record.restored_exact, fingerprints.len());
+    for (req, expected) in requests.iter().zip(&fingerprints) {
+        let mut replay = req.clone();
+        replay.id += 100;
+        let resp = second
+            .submit(replay)
+            .expect("submit")
+            .wait()
+            .expect("restored service serves");
+        assert_eq!(
+            resp.tier,
+            CacheTier::Exact,
+            "restored scenario must hit the exact tier"
+        );
+        assert_eq!(
+            &resp.payload.fingerprint(),
+            expected,
+            "restored response must be bit-identical to the pre-restart one"
+        );
+    }
+    second.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A corrupted or truncated snapshot must degrade to a clean cold start
+/// with the reason on the recovery record — never a crash, never a
+/// half-restored cache.
+#[test]
+fn corrupted_and_truncated_snapshots_cold_start_with_a_record() {
+    let path = temp_path("corrupt");
+
+    // Corrupted: plausible-looking JSON that fails the checksum footer.
+    std::fs::write(&path, b"{\"schema\":\"hslb-cache-snapshot/v1\"}\n").expect("write garbage");
+    let opts = ServiceOptions {
+        snapshot: Some(SnapshotPolicy::new(&path)),
+        ..ServiceOptions::default()
+    };
+    let service = TuningService::start(opts.clone());
+    let record = service.health().recovery;
+    assert!(record.attempted);
+    assert!(record.cold_start, "corruption must cold-start: {record:?}");
+    assert_eq!(record.restored_exact + record.restored_fits, 0);
+    assert!(
+        !record.fallbacks.is_empty(),
+        "the reason must be on the record"
+    );
+    // The cold service still serves correctly.
+    let req = TuneRequest::new(1, hslb_cesm::Resolution::OneDegree, 96);
+    let resp = service
+        .submit(req.clone())
+        .expect("submit")
+        .wait()
+        .expect("cold start serves");
+    assert_eq!(
+        resp.payload.fingerprint(),
+        reference_response(&req).expect("reference").fingerprint()
+    );
+    service.shutdown(); // overwrites the garbage with a valid snapshot
+
+    // Truncated: chop the now-valid snapshot mid-body. The length/
+    // checksum footer no longer matches, so restore must refuse it.
+    let full = std::fs::read(&path).expect("valid snapshot exists");
+    assert!(full.len() > 64);
+    std::fs::write(&path, &full[..full.len() / 2]).expect("truncate");
+    let service = TuningService::start(opts);
+    let record = service.health().recovery;
+    assert!(record.attempted);
+    assert!(record.cold_start, "truncation must cold-start: {record:?}");
+    assert!(!record.fallbacks.is_empty());
+    service.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Satellite 3: snapshot round-trip property. For ANY payload float
+    /// bits — negative, subnormal, huge, non-finite — and any cache-key
+    /// string, save → load reproduces the payload bit for bit (equal
+    /// fingerprints) and reports a non-cold restore.
+    #[test]
+    fn snapshot_round_trip_is_bit_exact(
+        lnd in 1i64..512, ice in 1i64..512, atm in 1i64..4096, ocn in 1i64..4096,
+        t_lnd in any_f64_bits(), t_ice in any_f64_bits(),
+        t_atm in any_f64_bits(), t_ocn in any_f64_bits(),
+        total in any_f64_bits(),
+        predicted in any_opt_f64(),
+        r2 in any_opt_f64(),
+        degraded in any_bool(),
+        certified in any_bool(),
+        audit in any_opt_bool(),
+        rung in "[a-zA-Z0-9 /|-]{1,24}",
+        key_salt in 0u64..1_000_000,
+    ) {
+        let payload = TunePayload {
+            allocation: Allocation { lnd, ice, atm, ocn },
+            predicted: Some(ComponentTimes {
+                lnd: t_lnd, ice: t_ice, atm: t_atm, ocn: t_ocn,
+            }),
+            predicted_total: predicted,
+            actual: ComponentTimes {
+                lnd: t_atm, ice: t_ocn, atm: t_lnd, ocn: t_ice,
+            },
+            actual_total: total,
+            min_r_squared: r2,
+            rung,
+            degraded,
+            certified,
+            audit_passed: audit,
+        };
+        let key = format!("1deg|hybrid|min-max|n{atm}|salt{key_salt}");
+        let path = temp_path("roundtrip");
+        let stats = save_snapshot(&path, &[(key.clone(), payload.clone())], &[])
+            .expect("save succeeds");
+        prop_assert_eq!(stats.exact_entries, 1);
+        let restored = load_snapshot(&path);
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(restored.record.attempted);
+        prop_assert!(!restored.record.cold_start,
+            "round trip must not cold-start: {:?}", restored.record);
+        prop_assert_eq!(restored.record.restored_exact, 1);
+        let (got_key, got) = &restored.exact[0];
+        prop_assert_eq!(got_key, &key);
+        prop_assert_eq!(got.fingerprint(), payload.fingerprint(),
+            "restored payload must be bit-identical");
+    }
+}

@@ -54,6 +54,7 @@
 //! assert_eq!(back.counters, snap.counters);
 //! ```
 
+pub mod codec;
 pub mod json;
 
 use std::collections::{BTreeMap, HashMap};

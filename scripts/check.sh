@@ -25,8 +25,17 @@
 # ephemeral port, replays the deterministic smoke mix through `loadgen`
 # (which bit-checks every reply's fingerprint against the parsed payload
 # and spot-checks serial references), validates the emitted
-# hslb-service-load/v1 block, and verifies the server drains and exits 0
+# hslb-service-load/v2 block, and verifies the server drains and exits 0
 # on the shutdown command.
+#
+# The chaos gate (DESIGN.md §13) then restarts the server with seeded
+# service-layer fault injection and a cache snapshot, replays the chaos
+# mix (every request must end in a verified bit-identical response,
+# surviving injected panics, hangs, poisoned cache entries, and dropped/
+# truncated connections), kill -9s the server, restarts it from the same
+# snapshot, and re-runs the smoke mix — the restored cache must serve bit
+# for bit. Level 2 of the audit gate now carries six rules, including
+# no-unwrap-inside-catch_unwind on the supervised worker paths.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -84,6 +93,43 @@ if [[ $fast -eq 0 ]]; then
     # sends the shutdown command; the server must drain, ack, and exit 0.
     ./target/release/loadgen --addr "$(cat "$port_file")" --smoke --out "$load_out"
     cargo run --release -q -p hslb-bench --bin bench-suite -- --validate-service "$load_out"
+    wait "$serve_pid"
+
+    echo "==> service chaos gate (fault injection, kill -9, snapshot recovery)"
+    snapshot_file="$(mktemp /tmp/hslb_snapshot.XXXXXX.json)"
+    chaos_out="$(mktemp /tmp/service_chaos.XXXXXX.json)"
+    rm -f "$port_file" "$snapshot_file"
+    trap 'rm -f "$smoke_out" "$slow_out" "$port_file" "$load_out" "$snapshot_file" "$chaos_out"' EXIT
+    ./target/release/hslb-serve --addr 127.0.0.1:0 --port-file "$port_file" \
+        --fault-seed 7 --fault-rate 0.3 --snapshot "$snapshot_file" &
+    serve_pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$port_file" ]] && break
+        sleep 0.1
+    done
+    [[ -s "$port_file" ]] || { echo "hslb-serve (chaos) never published its port" >&2; exit 1; }
+    # The chaos profile survives injected worker panics/hangs, poisoned
+    # cache entries, and dropped/truncated connections; it fails unless
+    # every request ends in a verified bit-identical response.
+    ./target/release/loadgen --addr "$(cat "$port_file")" --profile chaos --out "$chaos_out"
+    cargo run --release -q -p hslb-bench --bin bench-suite -- --validate-service "$chaos_out"
+    # Simulate a crash: no drain, no final flush — the periodic snapshot
+    # on disk is all the restarted server gets.
+    kill -9 "$serve_pid"
+    wait "$serve_pid" 2>/dev/null || true
+    [[ -s "$snapshot_file" ]] || { echo "periodic snapshot never flushed" >&2; exit 1; }
+    rm -f "$port_file"
+    ./target/release/hslb-serve --addr 127.0.0.1:0 --port-file "$port_file" \
+        --snapshot "$snapshot_file" &
+    serve_pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$port_file" ]] && break
+        sleep 0.1
+    done
+    [[ -s "$port_file" ]] || { echo "restarted hslb-serve never published its port" >&2; exit 1; }
+    # The restored cache must serve the replayed mix bit-identically
+    # (loadgen recomputes and bit-checks every reply's fingerprint).
+    ./target/release/loadgen --addr "$(cat "$port_file")" --smoke
     wait "$serve_pid"
 fi
 
