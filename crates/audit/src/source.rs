@@ -2,7 +2,7 @@
 //! express.
 //!
 //! The scanner walks the workspace's own `src/` trees (vendored compat
-//! crates are skipped — they mimic third-party APIs) and enforces six
+//! crates are skipped — they mimic third-party APIs) and enforces seven
 //! rules, each born from a real incident class in this repository:
 //!
 //! * **`nondeterminism`** — no `SystemTime` / `thread::sleep` in solver
@@ -33,6 +33,14 @@
 //!   region turns every recoverable `Err`/`None` into a panic the
 //!   supervisor then dutifully retries, hiding the real error and
 //!   burning the requeue budget on a deterministic failure.
+//! * **`hash-order`** — no `HashMap`/`HashSet`/`.as_ptr(` in the LP
+//!   crate (`crates/lp/src`). Basis snapshots and warm-start tableaux
+//!   are handed between B&B nodes and across worker threads; keying or
+//!   iterating them through anything hash-seed- or address-order-
+//!   dependent would make the pivot sequence (and therefore the solved
+//!   vertex bits) vary run to run, breaking the warm/cold bit-identity
+//!   bar (DESIGN.md §14). Deterministic containers only: `Vec` indexed
+//!   by variable/row position, or `BTreeMap`/`BTreeSet`.
 //!
 //! The `nondeterminism` and `telemetry-read` rules also cover the
 //! service crate (`crates/service/src`): responses must be bit-identical
@@ -51,7 +59,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// The rule catalog (ids are stable; the allowlist references them).
-pub const RULES: [(&str, &str); 6] = [
+pub const RULES: [(&str, &str); 7] = [
     (
         "nondeterminism",
         "no SystemTime/thread::sleep outside fault-injection modules",
@@ -75,6 +83,10 @@ pub const RULES: [(&str, &str); 6] = [
     (
         "unwrap-in-unwind",
         "no unwrap/expect inside a catch_unwind closure",
+    ),
+    (
+        "hash-order",
+        "no hash/address-order-dependent keying or iteration in the LP crate",
     ),
 ];
 
@@ -384,6 +396,23 @@ pub fn scan_file_content(path: &str, content: &str) -> Vec<Finding> {
             unwind_region = Some(depth_before);
         }
 
+        // --- hash-order --- (LP crate only: warm-start state must never
+        // be keyed or iterated in hash-seed or address order)
+        if path.starts_with("crates/lp/src") {
+            for pat in ["HashMap", "HashSet", ".as_ptr("] {
+                if line.contains(pat) {
+                    push(
+                        "hash-order",
+                        format!(
+                            "`{pat}` in the LP crate: basis/tableau state must use \
+                             deterministic containers (Vec or BTreeMap/BTreeSet)"
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+
         // --- telemetry-read ---
         if solver || service {
             for pat in [".snapshot(", ".events(", ".elapsed_ms(", ".counter("] {
@@ -643,6 +672,30 @@ fn attempt() {
         let f = scan_file_content("crates/service/src/service.rs", one);
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, "unwrap-in-unwind");
+    }
+
+    #[test]
+    fn hash_order_flags_hash_containers_in_the_lp_crate() {
+        for line in [
+            "use std::collections::HashMap;\n",
+            "let seen: HashSet<usize> = HashSet::new();\n",
+            "let key = row.as_ptr() as usize;\n",
+        ] {
+            let f = scan_file_content("crates/lp/src/basis.rs", line);
+            assert_eq!(f.len(), 1, "expected a finding on {line:?}");
+            assert_eq!(f[0].rule, "hash-order");
+        }
+    }
+
+    #[test]
+    fn hash_order_allows_deterministic_containers_and_other_crates() {
+        // BTreeMap iteration order is key order — deterministic.
+        let btree = "let fps: BTreeMap<u64, usize> = BTreeMap::new();\n";
+        assert!(scan_file_content("crates/lp/src/basis.rs", btree).is_empty());
+        // The rule is scoped to the LP crate: the bench/report layer may
+        // use hash containers (it never feeds solver pivot decisions).
+        let map = "use std::collections::HashMap;\n";
+        assert!(scan_file_content("crates/bench/src/lib.rs", map).is_empty());
     }
 
     #[test]

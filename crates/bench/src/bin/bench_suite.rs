@@ -3,9 +3,10 @@
 //! Runs the full gather → fit → solve → execute pipeline at both paper
 //! resolutions across several node budgets, with a telemetry sink
 //! attached to every layer, and writes the per-phase timings plus solver
-//! telemetry to `BENCH_pipeline.json` (schema `hslb-bench-pipeline/v5`,
+//! telemetry to `BENCH_pipeline.json` (schema `hslb-bench-pipeline/v6`,
 //! documented in DESIGN.md §8; fast-path design in §10, audit gate in
-//! §11, service in §12, supervision/recovery in §13). v4 added the
+//! §11, service in §12, supervision/recovery in §13, warm-started dual
+//! simplex in §14). v4 added the
 //! per-scenario `solver.cut_pool` summary (the `minlp.cut_pool`
 //! histogram — how the outer-approximation pool grew over cut rounds —
 //! plus LP resolves per node) and a top-level `service` block from an
@@ -27,6 +28,16 @@
 //! warm starts, by contrast, may move a curve within basin tolerance —
 //! see `WarmStartCache`).
 //!
+//! v6 adds the solver warm-start instrumentation: a top-level
+//! `warm_start` boolean, a per-scenario `solver.warm_start` block
+//! (resolves answered on the live tableau, cold fallbacks, pool cuts
+//! retired by incumbent-slack aging), and a `--no-warm-start` flag that
+//! runs the suite with the dual-simplex warm path disabled for A/B
+//! comparison — the incumbents must be bit-identical either way (the
+//! check.sh gate compares them), only the work counters may differ. The
+//! v6 validator also enforces the solve-phase budget: on every scenario
+//! the solve phase must not exceed the fit phase.
+//!
 //! ```text
 //! cargo run --release -p hslb-bench --bin bench-suite            # full suite
 //! cargo run --release -p hslb-bench --bin bench-suite -- --smoke # CI subset
@@ -34,6 +45,8 @@
 //! cargo run -p hslb-bench --bin bench-suite -- --validate-service FILE
 //! cargo run -p hslb-bench --bin bench-suite -- --out FILE        # custom sink
 //! cargo run --release -p hslb-bench --bin bench-suite -- --no-early-stop
+//! cargo run --release -p hslb-bench --bin bench-suite -- --no-warm-start
+//! cargo run -p hslb-bench --bin bench-suite -- --compare-incumbents A B
 //! ```
 
 use hslb::{Hslb, HslbOptions, WarmStartCache};
@@ -124,13 +137,14 @@ fn fit_components(snap: &Snapshot) -> Value {
     Value::Arr(out)
 }
 
-fn run_scenario(s: &Scenario, early_stop: bool, warm: &WarmStartCache) -> Value {
+fn run_scenario(s: &Scenario, early_stop: bool, warm_start: bool, warm: &WarmStartCache) -> Value {
     let telemetry = Telemetry::new();
     let sim = simulator_for(s.resolution, true).with_telemetry(telemetry.clone());
     let mut opts = HslbOptions::new(s.target_nodes);
     if !early_stop {
         opts.fit.early_stop = None;
     }
+    opts.solver.warm_start = warm_start;
     // Scenarios of the same resolution share fitted curves: warm-start
     // each fit from the previous scenario's optimum. (The parallel
     // multistart driver is bit-identical to serial and available via
@@ -192,6 +206,20 @@ fn run_scenario(s: &Scenario, early_stop: bool, warm: &WarmStartCache) -> Value 
                 ("simplex_iters", num(st.simplex_iters as f64)),
                 ("cuts", num(st.cuts as f64)),
                 ("cut_pool", cut_pool),
+                // v6: the warm dual-simplex path. `warm_resolves` counts
+                // LP solves answered by repairing a live tableau (subset
+                // of `lp_solves`); `warm_fallbacks` counts warm attempts
+                // abandoned for a cold rebuild; `cuts_retired` counts
+                // pool cuts aged out by incumbent slack.
+                (
+                    "warm_start",
+                    obj(vec![
+                        ("enabled", Value::Bool(warm_start)),
+                        ("warm_resolves", num(st.warm_resolves as f64)),
+                        ("warm_fallbacks", num(st.warm_fallbacks as f64)),
+                        ("cuts_retired", num(st.cuts_retired as f64)),
+                    ]),
+                ),
                 ("incumbents", num(st.incumbents as f64)),
                 (
                     "nodes_per_sec",
@@ -531,43 +559,50 @@ fn run_drift_exercise() -> Value {
     ])
 }
 
-/// Schema check for `hslb-bench-pipeline/v5` documents. Returns every
+/// Schema check for `hslb-bench-pipeline/v6` documents. Returns every
 /// violation found (empty = valid). Older schema versions are rejected
 /// with explicit upgrade messages.
 fn validate(doc: &Value) -> Vec<String> {
     let mut errs = Vec::new();
     match doc.get("schema").and_then(Value::as_str) {
-        Some("hslb-bench-pipeline/v5") => {}
+        Some("hslb-bench-pipeline/v6") => {}
         Some("hslb-bench-pipeline/v1") => errs.push(
             "schema hslb-bench-pipeline/v1 is no longer accepted: regenerate with a \
-             v5 emitter (adds early_stop, fit accounting, the audit block, the \
-             solver cut_pool summary, the service load block, and the \
-             recovery/drift robustness blocks)"
+             v6 emitter (adds early_stop, fit accounting, the audit block, the \
+             solver cut_pool summary, the service load block, the recovery/drift \
+             robustness blocks, and the solver warm_start block)"
                 .to_string(),
         ),
         Some("hslb-bench-pipeline/v2") => errs.push(
             "schema hslb-bench-pipeline/v2 is no longer accepted: regenerate with a \
-             v5 emitter (adds the per-scenario audit block, the solver cut_pool \
-             summary, the service load block, and the recovery/drift robustness \
-             blocks)"
+             v6 emitter (adds the per-scenario audit block, the solver cut_pool \
+             summary, the service load block, the recovery/drift robustness \
+             blocks, and the solver warm_start block)"
                 .to_string(),
         ),
         Some("hslb-bench-pipeline/v3") => errs.push(
             "schema hslb-bench-pipeline/v3 is no longer accepted: regenerate with a \
-             v5 emitter (adds the per-scenario solver cut_pool summary with LP \
-             resolves per node, the top-level service load block, and the \
-             recovery/drift robustness blocks)"
+             v6 emitter (adds the per-scenario solver cut_pool summary with LP \
+             resolves per node, the top-level service load block, the \
+             recovery/drift robustness blocks, and the solver warm_start block)"
                 .to_string(),
         ),
         Some("hslb-bench-pipeline/v4") => errs.push(
             "schema hslb-bench-pipeline/v4 is no longer accepted: regenerate with a \
-             v5 emitter (embeds the hslb-service-load/v2 service document with \
+             v6 emitter (embeds the hslb-service-load/v2 service document with \
              fault/recovery accounting, and adds the crash-recovery and \
-             drift-rebalance robustness blocks)"
+             drift-rebalance robustness blocks plus the solver warm_start block)"
+                .to_string(),
+        ),
+        Some("hslb-bench-pipeline/v5") => errs.push(
+            "schema hslb-bench-pipeline/v5 is no longer accepted: regenerate with a \
+             v6 emitter (adds the top-level warm_start boolean, the per-scenario \
+             solver.warm_start work counters, and the solve ≤ fit phase-budget \
+             check)"
                 .to_string(),
         ),
         other => errs.push(format!(
-            "schema must be hslb-bench-pipeline/v5, got {other:?}"
+            "schema must be hslb-bench-pipeline/v6, got {other:?}"
         )),
     }
     // Service block: an in-process hslb-service load run with zero
@@ -654,6 +689,10 @@ fn validate(doc: &Value) -> Vec<String> {
     if early_stop_enabled.is_none() {
         errs.push("missing boolean early_stop".to_string());
     }
+    let warm_start_enabled = doc.get("warm_start").and_then(Value::as_bool);
+    if warm_start_enabled.is_none() {
+        errs.push("missing boolean warm_start".to_string());
+    }
     let Some(scenarios) = doc.get("scenarios").and_then(Value::as_arr) else {
         errs.push("missing scenarios array".to_string());
         return errs;
@@ -676,6 +715,26 @@ fn validate(doc: &Value) -> Vec<String> {
                 for key in ["gather", "fit", "solve", "execute", "total"] {
                     if p.get(key).is_none() {
                         errs.push(ctx(&format!("phase_ms missing {key}")));
+                    }
+                }
+                // v6 phase budget: solving the layout MINLP must not cost
+                // more than fitting the timing curves. The warm-started
+                // dual simplex (plus in-place tableau growth and the
+                // incremental presolve) is what holds this line — a
+                // violation means the solver regressed. Only enforced on
+                // the shipped configuration: the `--no-warm-start` A/B
+                // document deliberately records what turning the warm
+                // path off costs, which can (and does) bust the budget.
+                if warm_start_enabled == Some(true) {
+                    if let (Some(fit), Some(solve)) = (
+                        p.get("fit").and_then(Value::as_f64),
+                        p.get("solve").and_then(Value::as_f64),
+                    ) {
+                        if solve > fit {
+                            errs.push(ctx(&format!(
+                                "phase budget violated: solve {solve:.2} ms exceeds fit {fit:.2} ms"
+                            )));
+                        }
                     }
                 }
             }
@@ -708,6 +767,43 @@ fn validate(doc: &Value) -> Vec<String> {
                             }
                         }
                         _ => errs.push(ctx("solver missing cut_pool summary")),
+                    }
+                    // v6: MINLP solves must carry the warm-start work
+                    // counters, consistent with the document's toggle —
+                    // a disabled run reporting warm resolves means the
+                    // flag was not honored.
+                    match solver.get("warm_start") {
+                        Some(w) if !matches!(w, Value::Null) => {
+                            let enabled = w.get("enabled").and_then(Value::as_bool);
+                            if enabled.is_none() {
+                                errs.push(ctx("solver.warm_start missing boolean enabled"));
+                            }
+                            if warm_start_enabled.is_some() && enabled != warm_start_enabled {
+                                errs.push(ctx("solver.warm_start.enabled disagrees with the \
+                                     document's warm_start toggle"));
+                            }
+                            for key in ["warm_resolves", "warm_fallbacks", "cuts_retired"] {
+                                if w.get(key).and_then(Value::as_f64).is_none() {
+                                    errs.push(ctx(&format!(
+                                        "solver.warm_start missing numeric {key}"
+                                    )));
+                                }
+                            }
+                            if enabled == Some(false) {
+                                for key in ["warm_resolves", "warm_fallbacks"] {
+                                    if let Some(x) = w.get(key).and_then(Value::as_f64) {
+                                        // Counters are non-negative, so
+                                        // "nonzero" is "positive".
+                                        if x > 0.0 {
+                                            errs.push(ctx(&format!(
+                                                "solver.warm_start disabled but `{key}` is {x}"
+                                            )));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        _ => errs.push(ctx("solver missing warm_start block")),
                     }
                 }
             }
@@ -800,31 +896,123 @@ fn validate(doc: &Value) -> Vec<String> {
     errs
 }
 
+/// Bit-compare the incumbents of two bench documents, scenario by
+/// scenario (matched on name): the integer allocation and the predicted
+/// total must agree to the last bit. This is the check.sh warm-start
+/// gate — the warm dual-simplex path may change how much work the solver
+/// does, never what it returns.
+fn compare_incumbents(a: &Value, b: &Value) -> Vec<String> {
+    let mut errs = Vec::new();
+    let scen = |doc: &Value| -> Vec<Value> {
+        doc.get("scenarios")
+            .and_then(Value::as_arr)
+            .map(<[Value]>::to_vec)
+            .unwrap_or_default()
+    };
+    let (sa, sb) = (scen(a), scen(b));
+    if sa.len() != sb.len() {
+        errs.push(format!(
+            "scenario count differs: {} vs {}",
+            sa.len(),
+            sb.len()
+        ));
+    }
+    for x in &sa {
+        let Some(name) = x.get("name").and_then(Value::as_str) else {
+            errs.push("scenario without a name".to_string());
+            continue;
+        };
+        let Some(y) = sb
+            .iter()
+            .find(|s| s.get("name").and_then(Value::as_str) == Some(name))
+        else {
+            errs.push(format!("{name}: missing from second document"));
+            continue;
+        };
+        let field = |sc: &Value, path: &[&str]| -> Option<f64> {
+            let mut v = sc.clone();
+            for k in path {
+                v = v.get(k)?.clone();
+            }
+            v.as_f64()
+        };
+        for path in [
+            &["allocation", "atm"][..],
+            &["allocation", "ocn"],
+            &["allocation", "ice"],
+            &["allocation", "lnd"],
+            &["predicted_total"],
+        ] {
+            let (va, vb) = (field(x, path), field(y, path));
+            let same = match (va, vb) {
+                (Some(p), Some(q)) => p.to_bits() == q.to_bits(),
+                (None, None) => true,
+                _ => false,
+            };
+            if !same {
+                errs.push(format!(
+                    "{name}: {} differs: {va:?} vs {vb:?}",
+                    path.join(".")
+                ));
+            }
+        }
+    }
+    errs
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
     let mut early_stop = true;
+    let mut warm_start = true;
     let mut out = "BENCH_pipeline.json".to_string();
     let mut validate_path: Option<String> = None;
     let mut validate_service_path: Option<String> = None;
+    let mut compare_paths: Option<(String, String)> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--no-early-stop" => early_stop = false,
+            "--no-warm-start" => warm_start = false,
             "--out" => out = it.next().expect("--out FILE").clone(),
             "--validate" => validate_path = Some(it.next().expect("--validate FILE").clone()),
             "--validate-service" => {
                 validate_service_path = Some(it.next().expect("--validate-service FILE").clone())
             }
+            "--compare-incumbents" => {
+                let a = it.next().expect("--compare-incumbents A B").clone();
+                let b = it.next().expect("--compare-incumbents A B").clone();
+                compare_paths = Some((a, b));
+            }
             other => {
                 eprintln!(
-                    "unknown flag {other}; expected --smoke | --no-early-stop | --out FILE | \
-                     --validate FILE | --validate-service FILE"
+                    "unknown flag {other}; expected --smoke | --no-early-stop | \
+                     --no-warm-start | --out FILE | --validate FILE | \
+                     --validate-service FILE | --compare-incumbents A B"
                 );
                 std::process::exit(2);
             }
         }
+    }
+
+    // Bit-compare the incumbents of two bench documents (the check.sh
+    // warm-start gate feeds it a warm and a cold run of the same suite).
+    if let Some((pa, pb)) = compare_paths {
+        let load = |path: &str| {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+            hslb_telemetry::json::parse(&text)
+                .unwrap_or_else(|e| panic!("{path}: JSON parse error: {e}"))
+        };
+        let errs = compare_incumbents(&load(&pa), &load(&pb));
+        if errs.is_empty() {
+            println!("{pa} vs {pb}: incumbents bit-identical");
+            return;
+        }
+        for e in &errs {
+            eprintln!("{e}");
+        }
+        std::process::exit(1);
     }
 
     // Standalone check of an `hslb-service-load/v2` document (what
@@ -862,7 +1050,7 @@ fn main() {
         let errs = validate(&doc);
         if errs.is_empty() {
             println!(
-                "{path}: valid hslb-bench-pipeline/v5 ({} scenarios)",
+                "{path}: valid hslb-bench-pipeline/v6 ({} scenarios)",
                 doc.get("scenarios")
                     .and_then(Value::as_arr)
                     .map_or(0, |a| a.len())
@@ -884,7 +1072,7 @@ fn main() {
             s.name, s.resolution, s.target_nodes
         );
         let warm = caches.entry(s.resolution.to_string()).or_default();
-        results.push(run_scenario(&s, early_stop, warm));
+        results.push(run_scenario(&s, early_stop, warm_start, warm));
     }
     eprintln!("bench-suite: service load run...");
     let service_block = run_service_load(smoke);
@@ -893,9 +1081,10 @@ fn main() {
     eprintln!("bench-suite: drift/rebalance exercise...");
     let drift_block = run_drift_exercise();
     let doc = obj(vec![
-        ("schema", Value::Str("hslb-bench-pipeline/v5".to_string())),
+        ("schema", Value::Str("hslb-bench-pipeline/v6".to_string())),
         ("smoke", Value::Bool(smoke)),
         ("early_stop", Value::Bool(early_stop)),
+        ("warm_start", Value::Bool(warm_start)),
         ("scenarios", Value::Arr(results)),
         ("service", service_block),
         ("recovery", recovery_block),

@@ -72,6 +72,19 @@ fn counters_match_solver_stats_under_parallel_solve() {
         tel.counter("minlp.pruned"),
         (stats.pruned_by_bound + stats.pruned_infeasible) as u64
     );
+    assert_eq!(
+        tel.counter("minlp.warm_resolves"),
+        stats.warm_resolves as u64
+    );
+    assert_eq!(
+        tel.counter("minlp.warm_fallbacks"),
+        stats.warm_fallbacks as u64
+    );
+    assert_eq!(tel.counter("minlp.cuts_retired"), stats.cuts_retired as u64);
+    assert!(
+        stats.warm_resolves > 0,
+        "a multi-node solve must exercise the warm dual-simplex path"
+    );
     // Per-worker utilization points were emitted by every worker.
     let workers = tel
         .events()

@@ -1,0 +1,363 @@
+//! Reusable basis snapshots.
+//!
+//! A [`Basis`] records, for a solved LP in the equality form the solver
+//! uses internally (`[structurals | slacks]`, one slack per row), which
+//! column is basic in each row and where every nonbasic column sits
+//! (lower bound, upper bound, or parked free at zero). That pair of
+//! vectors is everything needed to resume simplex on a *modified* problem
+//! without re-running phase 1: [`solve_from_basis`] refactorizes the
+//! tableau from the snapshot by Gauss–Jordan pivots in **row order** (no
+//! hash- or address-ordered containers anywhere — snapshots must replay
+//! bit-identically across runs and threads), then repairs feasibility with
+//! the dual simplex and certifies optimality with a primal pass.
+//!
+//! A snapshot can go stale: the problem it is installed against may make
+//! the recorded basis singular (a pivot column with no usable pivot
+//! element) or leave neither primal nor dual feasibility to start from.
+//! Both cases surface as `Err`, and every caller answers with the same
+//! fallback ladder: warm → cold two-phase solve.
+
+use crate::dual::dual_iterate;
+use crate::problem::{ConstraintSense, LpProblem};
+use crate::simplex::{extract, iterate, Tableau, VarState};
+use crate::{LpError, LpSolution, LpStatus, SimplexOptions};
+use hslb_numerics::Matrix;
+
+/// Where a column sits in a recorded basis snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnState {
+    /// In the basis (exactly one row's `basic` entry names this column).
+    Basic,
+    /// Nonbasic at its lower bound.
+    AtLower,
+    /// Nonbasic at its upper bound.
+    AtUpper,
+    /// Free nonbasic column parked at zero.
+    FreeZero,
+}
+
+/// A basis snapshot extracted from a solved tableau: the `basis` vector
+/// (basic column per row) and the `state` vector (per-column position)
+/// over `[structurals | slacks]` columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    /// Basic column per row, in row order.
+    pub basic: Vec<usize>,
+    /// State per column: structurals first, then one slack per row.
+    pub state: Vec<ColumnState>,
+}
+
+impl Basis {
+    /// Number of constraint rows the snapshot covers.
+    pub fn num_rows(&self) -> usize {
+        self.basic.len()
+    }
+
+    /// Number of columns (structurals plus slacks) the snapshot covers.
+    pub fn num_cols(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Structural variable count implied by the snapshot shape.
+    pub fn num_structurals(&self) -> usize {
+        self.state.len() - self.basic.len()
+    }
+
+    /// Internal consistency: every `basic` entry is a distinct in-range
+    /// column marked `Basic`, and nothing else is marked `Basic`.
+    /// Index-ordered scan over a plain bit vector — deterministic.
+    pub fn is_consistent(&self) -> bool {
+        let ncols = self.state.len();
+        let mut in_basis = vec![false; ncols];
+        for &b in &self.basic {
+            if b >= ncols || in_basis[b] {
+                return false;
+            }
+            in_basis[b] = true;
+        }
+        self.state
+            .iter()
+            .zip(&in_basis)
+            .all(|(s, &b)| (*s == ColumnState::Basic) == b)
+    }
+}
+
+/// Warm-start a solve from a recorded basis snapshot.
+///
+/// The problem's *shape* must match the snapshot exactly
+/// (`basic.len() == p.num_rows()`, `state.len() == num_vars + num_rows`);
+/// what may differ from the problem the snapshot was taken on are the
+/// variable bounds, row right-hand sides, row coefficients, and the
+/// objective. Returns `Err` on shape mismatch, a singular (stale) basis,
+/// or when the snapshot offers neither dual nor primal feasibility to
+/// resume from — callers then fall back to the cold two-phase
+/// [`crate::solve`].
+pub fn solve_from_basis(
+    p: &LpProblem,
+    basis: &Basis,
+    opts: &SimplexOptions,
+) -> Result<LpSolution, LpError> {
+    let n = p.num_vars();
+    let m = p.num_rows();
+    if basis.basic.len() != m || basis.state.len() != n + m {
+        return Err(LpError::Numerical("basis shape mismatch"));
+    }
+    if !basis.is_consistent() {
+        return Err(LpError::Numerical("inconsistent basis snapshot"));
+    }
+    let tol = opts.tol;
+
+    // ----- equality form, b carried as an extra rightmost column -----
+    let mut lb = Vec::with_capacity(n + m);
+    let mut ub = Vec::with_capacity(n + m);
+    for v in &p.vars {
+        lb.push(v.lb);
+        ub.push(v.ub);
+    }
+    for row in &p.rows {
+        let (sl, su) = match row.sense {
+            ConstraintSense::Le => (0.0, f64::INFINITY),
+            ConstraintSense::Ge => (f64::NEG_INFINITY, 0.0),
+            ConstraintSense::Eq => (0.0, 0.0),
+        };
+        lb.push(sl);
+        ub.push(su);
+    }
+    let bcol_idx = n + m;
+    let mut t = Matrix::zeros(m, n + m + 1);
+    for (i, row) in p.rows.iter().enumerate() {
+        for &(v, c) in &row.terms {
+            t[(i, v)] += c;
+        }
+        t[(i, n + i)] = 1.0;
+        t[(i, bcol_idx)] = row.rhs;
+    }
+
+    // ----- refactorize: Gauss–Jordan on the recorded basic columns -----
+    // Row order, smallest first: deterministic and replayable.
+    for r in 0..m {
+        let q = basis.basic[r];
+        let piv = t[(r, q)];
+        if piv.abs() <= tol.max(1e-10) {
+            return Err(LpError::Numerical("singular basis snapshot"));
+        }
+        {
+            let row = t.row_mut(r);
+            for v in row.iter_mut() {
+                *v /= piv;
+            }
+            row[q] = 1.0;
+        }
+        for i in 0..m {
+            if i == r {
+                continue;
+            }
+            let f = t[(i, q)];
+            if f.abs() > 0.0 {
+                let stride = n + m + 1;
+                let data = t.as_mut_slice();
+                let (ri, rr) = if i < r {
+                    let (head, tail) = data.split_at_mut(r * stride);
+                    (&mut head[i * stride..(i + 1) * stride], &tail[..stride])
+                } else {
+                    let (head, tail) = data.split_at_mut(i * stride);
+                    (&mut tail[..stride], &head[r * stride..(r + 1) * stride])
+                };
+                for (vi, vr) in ri.iter_mut().zip(rr.iter()) {
+                    *vi -= f * vr;
+                }
+                ri[q] = 0.0;
+            }
+        }
+    }
+
+    // ----- basic values: xb = B⁻¹b − Σ_nonbasic (B⁻¹A)_j · x_j -----
+    let state: Vec<VarState> = basis
+        .state
+        .iter()
+        .map(|s| match s {
+            ColumnState::Basic => VarState::Basic,
+            ColumnState::AtLower => VarState::AtLower,
+            ColumnState::AtUpper => VarState::AtUpper,
+            ColumnState::FreeZero => VarState::FreeZero,
+        })
+        .collect();
+    let mut xb = vec![0.0; m];
+    for (r, x) in xb.iter_mut().enumerate() {
+        let mut v = t[(r, bcol_idx)];
+        let row = t.row(r);
+        for j in 0..n + m {
+            let xj = match state[j] {
+                VarState::Basic => continue,
+                VarState::AtLower => lb[j],
+                VarState::AtUpper => ub[j],
+                VarState::FreeZero => 0.0,
+            };
+            if xj.abs() > 0.0 {
+                v -= row[j] * xj;
+            }
+        }
+        if !v.is_finite() {
+            return Err(LpError::Numerical("non-finite basic value from snapshot"));
+        }
+        *x = v;
+    }
+
+    // ----- strip the b column and assemble the tableau -----
+    let mut tt = Matrix::zeros(m, n + m);
+    for i in 0..m {
+        tt.row_mut(i).copy_from_slice(&t.row(i)[..n + m]);
+    }
+    let mut cost = vec![0.0; n + m];
+    cost[..n].copy_from_slice(&p.objective);
+    let mut tab = Tableau {
+        t: tt,
+        xb,
+        basis: basis.basic.clone(),
+        state,
+        lb,
+        ub,
+        d: vec![0.0; n + m],
+        cost,
+        first_artificial: n + m,
+    };
+    tab.recompute_costs();
+
+    // ----- resume: dual if the reduced costs allow it, else primal -----
+    let mut iters = 0usize;
+    let st = if dual_feasible(&tab, tol) {
+        let st = dual_iterate(&mut tab, opts, &mut iters)?;
+        if st == LpStatus::Infeasible {
+            return Ok(LpSolution {
+                status: LpStatus::Infeasible,
+                x: extract(&tab, n),
+                objective: f64::INFINITY,
+                iterations: iters,
+                row_duals: vec![0.0; m],
+            });
+        }
+        iterate(&mut tab, opts, &mut iters)?
+    } else if primal_feasible(&tab, tol) {
+        iterate(&mut tab, opts, &mut iters)?
+    } else {
+        return Err(LpError::Numerical("stale basis: neither feasibility"));
+    };
+
+    let x = extract(&tab, n);
+    let objective = p.objective_value(&x);
+    let row_duals: Vec<f64> = (0..m).map(|i| -tab.d[n + i]).collect();
+    Ok(LpSolution {
+        status: st,
+        x,
+        objective,
+        iterations: iters,
+        row_duals,
+    })
+}
+
+/// Sign-feasibility of the reduced-cost row: nonbasic at-lower columns
+/// need `d ≥ 0`, at-upper need `d ≤ 0`, free need `d ≈ 0` (all within a
+/// drift allowance — the primal pass after the dual loop certifies).
+fn dual_feasible(tab: &Tableau, tol: f64) -> bool {
+    let slack = tol.max(1e-9) * 10.0;
+    for j in 0..tab.ncols() {
+        if tab.lb[j] == tab.ub[j] {
+            continue;
+        }
+        let d = tab.d[j];
+        let ok = match tab.state[j] {
+            VarState::Basic => true,
+            VarState::AtLower => d >= -slack,
+            VarState::AtUpper => d <= slack,
+            VarState::FreeZero => d.abs() <= slack,
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Every basic value within its column's bounds (within tolerance).
+fn primal_feasible(tab: &Tableau, tol: f64) -> bool {
+    tab.basis.iter().zip(&tab.xb).all(|(&b, &v)| {
+        let pad = tol.max(1e-9) * 10.0;
+        v >= tab.lb[b] - pad && v <= tab.ub[b] + pad
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dual::solve_keep;
+    use crate::solve;
+
+    fn sample() -> LpProblem {
+        let mut p = LpProblem::new();
+        let x = p.add_var("x", 0.0, 8.0);
+        let y = p.add_var("y", 0.0, 8.0);
+        p.add_row(&[(x, 1.0), (y, 1.0)], ConstraintSense::Le, 10.0);
+        p.set_objective(&[(x, -1.0), (y, -2.0)]);
+        p
+    }
+
+    #[test]
+    fn snapshot_is_consistent_and_reinstalls() {
+        let p = sample();
+        let opts = SimplexOptions::default();
+        let (cold, warm) = solve_keep(&p, &opts).unwrap();
+        let basis = warm.unwrap().basis();
+        assert!(basis.is_consistent());
+        assert_eq!(basis.num_rows(), 1);
+        assert_eq!(basis.num_structurals(), 2);
+
+        // Re-install against the same problem: already optimal, so the
+        // resumed solve should do no real work and agree exactly.
+        let re = solve_from_basis(&p, &basis, &opts).unwrap();
+        assert_eq!(re.status, LpStatus::Optimal);
+        assert_eq!(re.x, cold.x);
+        assert_eq!(re.objective, cold.objective);
+    }
+
+    #[test]
+    fn reinstall_after_bound_tightening_matches_cold() {
+        let p = sample();
+        let opts = SimplexOptions::default();
+        let (_, warm) = solve_keep(&p, &opts).unwrap();
+        let basis = warm.unwrap().basis();
+
+        let mut p2 = sample();
+        p2.set_bounds(1, 0.0, 5.0); // optimum had y = 8
+        let warm_sol = solve_from_basis(&p2, &basis, &opts).unwrap();
+        let cold_sol = solve(&p2, &opts).unwrap();
+        assert_eq!(warm_sol.status, LpStatus::Optimal);
+        assert!((warm_sol.objective - cold_sol.objective).abs() < 1e-9);
+        for (a, b) in warm_sol.x.iter().zip(&cold_sol.x) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let p = sample();
+        let opts = SimplexOptions::default();
+        let (_, warm) = solve_keep(&p, &opts).unwrap();
+        let basis = warm.unwrap().basis();
+        let mut p2 = sample();
+        p2.add_row(&[(0, 1.0)], ConstraintSense::Le, 4.0);
+        assert!(solve_from_basis(&p2, &basis, &opts).is_err());
+    }
+
+    #[test]
+    fn inconsistent_snapshot_is_rejected() {
+        let p = sample();
+        let opts = SimplexOptions::default();
+        let bad = Basis {
+            basic: vec![0, 0],
+            state: vec![ColumnState::Basic; 4],
+        };
+        assert!(!bad.is_consistent());
+        // Shape is wrong for `p` too, but consistency alone must reject.
+        assert!(solve_from_basis(&p, &bad, &opts).is_err());
+    }
+}

@@ -23,13 +23,25 @@
 //! * bound flips (a nonbasic variable may move bound-to-bound without a
 //!   basis change),
 //! * Dantzig pricing with an automatic switch to Bland's rule after a
-//!   stall, guaranteeing termination on degenerate problems,
-//! * infeasibility and unboundedness detection via status codes.
+//!   stall (and back to Dantzig on the next strict improvement),
+//!   guaranteeing termination on degenerate problems,
+//! * infeasibility and unboundedness detection via status codes,
+//! * warm re-solves: [`solve_keep`] hands back the live tableau as a
+//!   [`WarmLp`] that accepts appended `≤` cut rows and bound tightenings
+//!   and re-attains feasibility with a bounded-variable **dual simplex**
+//!   (DESIGN.md §14); [`Basis`] snapshots extracted from a solved
+//!   tableau re-install against a rebuilt problem via
+//!   [`solve_from_basis`]. Warm paths fail closed: any error falls back
+//!   to the cold two-phase solve.
 
+mod basis;
+mod dual;
 mod mps;
 mod problem;
 mod simplex;
 
+pub use basis::{solve_from_basis, Basis, ColumnState};
+pub use dual::{solve_keep, WarmLp};
 pub use mps::to_mps;
 pub use problem::{ConstraintSense, LpProblem, RowId, VarId};
 pub use simplex::{solve, LpError, LpSolution, LpStatus, SimplexOptions};

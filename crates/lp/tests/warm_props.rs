@@ -1,0 +1,187 @@
+//! Property-based warm/cold equivalence: a warm dual-simplex resolve after
+//! cut-row appends or bound tightenings must agree with a cold two-phase
+//! solve of the freshly rebuilt problem — same status, objectives equal
+//! within the exact-tie tolerance, and the warm point feasible for the
+//! rebuilt problem. (Vertices may differ when the optimal face is not a
+//! point, so x is compared through feasibility + objective, not bitwise.)
+
+use hslb_lp::{
+    solve, solve_from_basis, solve_keep, ConstraintSense, LpProblem, LpStatus, SimplexOptions,
+};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+const TIE_TOL: f64 = 1e-7;
+
+/// Random feasible box LP (origin feasible): bounds [0, ub], `≤` rows with
+/// nonnegative coefficients and positive rhs.
+fn random_feasible_lp(seed: u64, nvars: usize, nrows: usize) -> LpProblem {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut p = LpProblem::new();
+    for j in 0..nvars {
+        let ub = rng.gen_range(0.5..10.0);
+        p.add_var(&format!("x{j}"), 0.0, ub);
+    }
+    for _ in 0..nrows {
+        let terms: Vec<(usize, f64)> = (0..nvars).map(|j| (j, rng.gen_range(0.0..2.0))).collect();
+        let rhs = rng.gen_range(0.5..8.0);
+        p.add_row(&terms, ConstraintSense::Le, rhs);
+    }
+    let obj: Vec<(usize, f64)> = (0..nvars).map(|j| (j, rng.gen_range(-3.0..3.0))).collect();
+    p.set_objective(&obj);
+    p
+}
+
+/// Assert warm and cold answers agree (status; objective within the tie
+/// tolerance; warm point feasible for the cold problem when optimal).
+fn assert_agree(
+    p: &LpProblem,
+    warm: &hslb_lp::LpSolution,
+    cold: &hslb_lp::LpSolution,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(warm.status, cold.status, "status diverged");
+    if cold.status == LpStatus::Optimal {
+        prop_assert!(
+            (warm.objective - cold.objective).abs() <= TIE_TOL * (1.0 + cold.objective.abs()),
+            "objectives diverged: warm {} cold {}",
+            warm.objective,
+            cold.objective
+        );
+        prop_assert!(
+            p.max_violation(&warm.x) < 1e-6,
+            "warm point infeasible for the rebuilt problem"
+        );
+        prop_assert!(
+            (p.objective_value(&warm.x) - warm.objective).abs() <= 1e-6,
+            "warm objective inconsistent with its own point"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Kelley pattern: append random `≤` cut rows one at a time; every
+    /// warm resolve must match the cold solve of the same row set. Cuts
+    /// may have negative coefficients, so infeasibility must agree too.
+    #[test]
+    fn warm_cut_appends_match_cold(
+        seed in 0u64..5_000,
+        nvars in 2usize..7,
+        nrows in 1usize..4,
+        ncuts in 1usize..5,
+    ) {
+        let mut p = random_feasible_lp(seed, nvars, nrows);
+        let opts = SimplexOptions::default();
+        let (first, warm) = solve_keep(&p, &opts).unwrap();
+        prop_assert_eq!(first.status, LpStatus::Optimal);
+        let Some(mut warm) = warm else {
+            // Redundant rows can park an artificial in the basis; the
+            // warm handle is legitimately unavailable then.
+            return Ok(());
+        };
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x00c0_ffee);
+        for _ in 0..ncuts {
+            let terms: Vec<(usize, f64)> =
+                (0..nvars).map(|j| (j, rng.gen_range(-1.5..2.0))).collect();
+            let rhs = rng.gen_range(-1.0..6.0);
+            warm.append_le_row(&terms, rhs).unwrap();
+            p.add_row(&terms, ConstraintSense::Le, rhs);
+
+            let warm_sol = warm.resolve(&opts).unwrap();
+            let cold_sol = solve(&p, &opts).unwrap();
+            assert_agree(&p, &warm_sol, &cold_sol)?;
+            if cold_sol.status != LpStatus::Optimal {
+                break; // once infeasible, stays infeasible
+            }
+        }
+    }
+
+    /// B&B pattern: tighten one variable's bounds at a time (raise lb or
+    /// lower ub); every warm resolve must match the cold rebuild.
+    #[test]
+    fn warm_bound_tightenings_match_cold(
+        seed in 0u64..5_000,
+        nvars in 2usize..7,
+        nrows in 1usize..4,
+        nsteps in 1usize..6,
+    ) {
+        let mut p = random_feasible_lp(seed, nvars, nrows);
+        let opts = SimplexOptions::default();
+        let (_, warm) = solve_keep(&p, &opts).unwrap();
+        let Some(mut warm) = warm else { return Ok(()) };
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xb0a2_51de);
+        for _ in 0..nsteps {
+            let j = rng.gen_range(0..nvars);
+            let (lo, hi) = p.bounds(j);
+            let cut = rng.gen_range(0.0..1.0);
+            let (nlo, nhi) = if rng.gen_bool(0.5) {
+                (lo + cut * (hi - lo), hi) // raise lb (floor of a branch)
+            } else {
+                (lo, hi - cut * (hi - lo)) // lower ub (ceil of a branch)
+            };
+            p.set_bounds(j, nlo, nhi);
+            warm.set_var_bounds(j, nlo, nhi);
+
+            let warm_sol = warm.resolve(&opts).unwrap();
+            let cold_sol = solve(&p, &opts).unwrap();
+            assert_agree(&p, &warm_sol, &cold_sol)?;
+        }
+    }
+
+    /// Mixed sequence (cuts and tightenings interleaved), with a basis
+    /// snapshot re-install cross-check at the end: `solve_from_basis` on
+    /// the final problem must agree with both the warm handle and cold.
+    #[test]
+    fn warm_mixed_edits_and_snapshot_match_cold(
+        seed in 0u64..5_000,
+        nvars in 2usize..6,
+        nsteps in 2usize..6,
+    ) {
+        let mut p = random_feasible_lp(seed, nvars, 2);
+        let opts = SimplexOptions::default();
+        let (_, warm) = solve_keep(&p, &opts).unwrap();
+        let Some(mut warm) = warm else { return Ok(()) };
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5eed_cafe);
+        let mut last: Option<(hslb_lp::LpSolution, hslb_lp::LpSolution)> = None;
+        for _ in 0..nsteps {
+            if rng.gen_bool(0.5) {
+                let terms: Vec<(usize, f64)> =
+                    (0..nvars).map(|j| (j, rng.gen_range(0.0..2.0))).collect();
+                let rhs = rng.gen_range(0.5..6.0);
+                warm.append_le_row(&terms, rhs).unwrap();
+                p.add_row(&terms, ConstraintSense::Le, rhs);
+            } else {
+                let j = rng.gen_range(0..nvars);
+                let (lo, hi) = p.bounds(j);
+                let nhi = lo + rng.gen_range(0.3..1.0) * (hi - lo);
+                p.set_bounds(j, lo, nhi);
+                warm.set_var_bounds(j, lo, nhi);
+            }
+            let warm_sol = warm.resolve(&opts).unwrap();
+            let cold_sol = solve(&p, &opts).unwrap();
+            assert_agree(&p, &warm_sol, &cold_sol)?;
+            last = Some((warm_sol, cold_sol));
+        }
+
+        // Snapshot round-trip: the exported basis re-installed against the
+        // cold problem must land on the same objective.
+        if let Some((_, cold_sol)) = last {
+            if cold_sol.status == LpStatus::Optimal {
+                let snap = warm.basis();
+                prop_assert!(snap.is_consistent());
+                match solve_from_basis(&p, &snap, &opts) {
+                    // A tiny refactorization pivot can make a recorded
+                    // basis numerically singular; that is the fallback
+                    // ladder's cold rung, not a correctness failure.
+                    Err(_) => {}
+                    Ok(re) => assert_agree(&p, &re, &cold_sol)?,
+                }
+            }
+        }
+    }
+}

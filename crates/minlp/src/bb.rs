@@ -9,6 +9,24 @@ use hslb_numerics::float;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// A solved tableau handed from a parent node to its children, plus how
+/// far into the (index-stable) cut pool its rows reach. Children clone
+/// the tableau, tighten the branched bounds, append any pool cuts past
+/// `covered`, and repair feasibility with the dual simplex instead of
+/// solving cold from scratch (DESIGN.md §14). Shared behind an `Arc` —
+/// both children of a branching read the same parent state.
+#[derive(Debug)]
+pub(crate) struct WarmState {
+    pub lp: hslb_lp::WarmLp,
+    /// Pool entries (by index, retired included) present as tableau rows.
+    /// Under the parallel driver this may over-count — cuts absorbed by
+    /// other workers between this node's snapshot and its publish are
+    /// claimed but absent — which only weakens the child's starting
+    /// relaxation; cuts are optional tightening, so the answer is
+    /// unaffected.
+    pub covered: usize,
+}
+
 /// A live tree node. Bounds are stored as deltas against the root —
 /// integer branchings add one `(var, lo, hi)` override each, and SOS
 /// branchings narrow a per-set member index window, so a node costs a few
@@ -26,6 +44,10 @@ pub(crate) struct Node {
     /// The integer branching that created this node, for pseudo-cost
     /// bookkeeping: `(variable, fractional part at the parent, direction)`.
     pub branch: Option<(usize, f64, crate::pseudocost::BranchDir)>,
+    /// Nearest ancestor's solved tableau (None at the root or with
+    /// warm-start off). An ancestor handle further up than the parent is
+    /// still valid — bounds only tighten down the tree — just staler.
+    pub warm: Option<std::sync::Arc<WarmState>>,
 }
 
 /// Heap entry ordered so that `BinaryHeap::pop` yields the best bound.
@@ -84,6 +106,13 @@ pub(crate) struct Processed {
     pub new_cuts: Vec<Cut>,
     pub lp_solves: usize,
     pub simplex_iters: usize,
+    /// LP solves answered warm / warm attempts that fell back cold.
+    pub warm_resolves: usize,
+    pub warm_fallbacks: usize,
+    /// The node's final solved tableau when it branched — the driver
+    /// wraps it in a [`WarmState`] (stamping pool coverage after the
+    /// absorb) and attaches it to the children.
+    pub warm: Option<hslb_lp::WarmLp>,
     /// This node's own relaxation bound (∞ when infeasible) — consumed by
     /// the driver to update pseudo-costs against the parent bound.
     pub relax_bound: f64,
@@ -106,6 +135,9 @@ pub(crate) fn emit_stats_counters(tel: &hslb_telemetry::Telemetry, stats: &Solve
         "minlp.pruned",
         (stats.pruned_by_bound + stats.pruned_infeasible) as u64,
     );
+    tel.counter_add("minlp.warm_resolves", stats.warm_resolves as u64);
+    tel.counter_add("minlp.warm_fallbacks", stats.warm_fallbacks as u64);
+    tel.counter_add("minlp.cuts_retired", stats.cuts_retired as u64);
 }
 
 /// Resolve a node's effective bounds; `None` when an intersection is empty
@@ -252,7 +284,9 @@ fn branch_int(node: &Node, v: usize, xv: f64, lb_v: f64, ub_v: f64, bound: f64) 
     out
 }
 
-/// Process one node against a snapshot of the global cut pool.
+/// Process one node against a snapshot of the global cut pool
+/// (`pool_cuts` with its parallel `pool_retired` flags — indices are
+/// stable across the solve, see [`nlp::CutPool`]).
 ///
 /// `cutoff` is the objective value a node must strictly beat (incumbent
 /// minus gap); nodes at or above it are pruned. Newly generated OA cuts
@@ -261,7 +295,8 @@ pub(crate) fn process_node(
     ir: &Ir,
     opts: &MinlpOptions,
     node: &Node,
-    pool: &[Cut],
+    pool_cuts: &[Cut],
+    pool_retired: &[bool],
     cutoff: f64,
     pc: &crate::pseudocost::PseudoCostTable,
 ) -> Processed {
@@ -270,6 +305,9 @@ pub(crate) fn process_node(
         new_cuts: Vec::new(),
         lp_solves: 0,
         simplex_iters: 0,
+        warm_resolves: 0,
+        warm_fallbacks: 0,
+        warm: None,
         relax_bound: f64::INFINITY,
     };
     let Some((lb, ub)) = node_bounds(ir, node) else {
@@ -277,15 +315,55 @@ pub(crate) fn process_node(
     };
     let sx = SimplexOptions::default();
 
+    // Adopt the ancestor tableau (Quesada–Grossmann only; the NlpBb mode
+    // warm-starts inside each `solve_relaxation` call instead): clone it,
+    // tighten the branched bounds, and append the pool cuts it predates.
+    // Any failure abandons the handle — the first round below then solves
+    // cold, exactly as with warm-start off.
+    let mut warm_lp: Option<hslb_lp::WarmLp> = None;
+    if opts.warm_start && opts.algorithm == Algorithm::LpNlpBb {
+        if let Some(ws) = &node.warm {
+            let mut w = ws.lp.clone();
+            for j in 0..ir.num_vars() {
+                let (wl, wu) = w.var_bounds(j);
+                if wl.to_bits() != lb[j].to_bits() || wu.to_bits() != ub[j].to_bits() {
+                    w.set_var_bounds(j, lb[j], ub[j]);
+                }
+            }
+            let pending: Vec<(&[(usize, f64)], f64)> = pool_cuts
+                .iter()
+                .zip(pool_retired)
+                .skip(ws.covered.min(pool_cuts.len()))
+                .filter(|(_, &retired)| !retired)
+                .map(|(c, _)| (c.terms.as_slice(), c.rhs))
+                .collect();
+            let ok = w.append_le_rows(&pending).is_ok();
+            if ok {
+                warm_lp = Some(w);
+            } else {
+                report.warm_fallbacks += 1;
+            }
+        }
+    }
+    // Prefix of `report.new_cuts` present as rows of `warm_lp`.
+    let mut warm_new_covered = 0usize;
+
     for _round in 0..opts.max_cut_rounds {
         // --- relaxation solve ---
         let (x, bound) = if opts.algorithm == Algorithm::NlpBb {
             // Solve the node NLP to convergence (Kelley).
-            let mut merged: Vec<Cut> = pool.to_vec();
+            let mut merged: Vec<Cut> = pool_cuts
+                .iter()
+                .zip(pool_retired)
+                .filter(|(_, &r)| !r)
+                .map(|(c, _)| c.clone())
+                .collect();
             merged.extend(report.new_cuts.iter().cloned());
             let res = nlp::solve_relaxation(ir, &lb, &ub, &merged, opts);
             report.lp_solves += res.lp_solves;
             report.simplex_iters += res.simplex_iters;
+            report.warm_resolves += res.warm_resolves;
+            report.warm_fallbacks += res.warm_fallbacks;
             report.new_cuts.extend(res.new_cuts);
             match res.status {
                 NlpStatus::Infeasible => {
@@ -303,18 +381,59 @@ pub(crate) fn process_node(
             }
             (res.x, res.objective)
         } else {
-            // Single LP over current linearization (Quesada–Grossmann).
-            let mut lp = nlp::build_lp(ir, &lb, &ub, pool);
-            for c in &report.new_cuts {
-                lp.add_row(&c.terms, hslb_lp::ConstraintSense::Le, c.rhs);
+            // Single LP over current linearization (Quesada–Grossmann),
+            // warm-first: append the rows the live tableau has not seen
+            // and repair with the dual simplex; fall back to a cold
+            // rebuild on any warm failure (which also refreshes the
+            // handle for the following rounds).
+            let mut sol = None;
+            if opts.warm_start {
+                if let Some(w) = warm_lp.as_mut() {
+                    let pending: Vec<(&[(usize, f64)], f64)> = report.new_cuts[warm_new_covered..]
+                        .iter()
+                        .map(|c| (c.terms.as_slice(), c.rhs))
+                        .collect();
+                    let ok = w.append_le_rows(&pending).is_ok();
+                    if ok {
+                        warm_new_covered = report.new_cuts.len();
+                    }
+                    if ok {
+                        if let Ok(s) = w.resolve(&nlp::warm_budget(w.num_rows(), &sx)) {
+                            report.warm_resolves += 1;
+                            sol = Some(s);
+                        }
+                    }
+                    if sol.is_none() {
+                        warm_lp = None;
+                        report.warm_fallbacks += 1;
+                    }
+                }
             }
-            let sol = match hslb_lp::solve(&lp, &sx) {
-                Ok(s) => s,
-                Err(_) => {
-                    // Numerical failure: treat as unfathomed and branch on
-                    // the widest integer to make progress.
-                    report.outcome = NodeOutcome::Pruned { infeasible: true };
-                    return report;
+            let sol = match sol {
+                Some(s) => s,
+                None => {
+                    let mut lp = nlp::build_lp_active(ir, &lb, &ub, pool_cuts, pool_retired);
+                    for c in &report.new_cuts {
+                        lp.add_row(&c.terms, hslb_lp::ConstraintSense::Le, c.rhs);
+                    }
+                    let solved = if opts.warm_start {
+                        hslb_lp::solve_keep(&lp, &sx).map(|(s, w)| {
+                            warm_lp = w;
+                            warm_new_covered = report.new_cuts.len();
+                            s
+                        })
+                    } else {
+                        hslb_lp::solve(&lp, &sx)
+                    };
+                    match solved {
+                        Ok(s) => s,
+                        Err(_) => {
+                            // Numerical failure: treat as unfathomed and
+                            // prune conservatively, as before.
+                            report.outcome = NodeOutcome::Pruned { infeasible: true };
+                            return report;
+                        }
+                    }
                 }
             };
             report.lp_solves += 1;
@@ -349,6 +468,7 @@ pub(crate) fn process_node(
             Branching::IntegerOnly => None,
         };
         if let Some(s) = sos_choice {
+            report.warm = warm_lp.take();
             report.outcome = NodeOutcome::Branched {
                 children: branch_sos(ir, node, &x, s, bound),
                 sos: true,
@@ -356,6 +476,7 @@ pub(crate) fn process_node(
             return report;
         }
         if let Some(v) = fractional_int(ir, &x, opts.int_tol, opts.int_var_selection, pc) {
+            report.warm = warm_lp.take();
             report.outcome = NodeOutcome::Branched {
                 children: branch_int(node, v, x[v], lb[v], ub[v], bound),
                 sos: false,
@@ -364,6 +485,7 @@ pub(crate) fn process_node(
         }
         // Integral: late SOS check (IntegerOnly mode, or degenerate sets).
         if let Some(s) = violated_sos(ir, node, &x, opts.int_tol) {
+            report.warm = warm_lp.take();
             report.outcome = NodeOutcome::Branched {
                 children: branch_sos(ir, node, &x, s, bound),
                 sos: true,
@@ -405,6 +527,7 @@ pub(crate) fn process_node(
                         return report;
                     }
                     Some(v) => {
+                        report.warm = warm_lp.take();
                         report.outcome = NodeOutcome::Branched {
                             children: branch_int(node, v, xi[v], lb[v], ub[v], bound),
                             sos: false,
@@ -460,7 +583,7 @@ pub(crate) fn process_node(
 pub fn solve(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
     let t0 = std::time::Instant::now();
     let mut stats = SolveStats::default();
-    let mut pool: Vec<Cut> = Vec::new();
+    let mut pool = nlp::CutPool::new();
 
     // Root presolve: tighten the box by propagating the linear rows.
     let tightened;
@@ -494,11 +617,13 @@ pub fn solve(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
     // Root: continuous NLP relaxation (Kelley). Its cuts seed the pool —
     // the paper's "initial linearization point".
     let root_bounds = (ir.lb.clone(), ir.ub.clone());
-    let root_relax = nlp::solve_relaxation(ir, &root_bounds.0, &root_bounds.1, &[], opts);
+    let mut root_relax = nlp::solve_relaxation(ir, &root_bounds.0, &root_bounds.1, &[], opts);
     stats.lp_solves += root_relax.lp_solves;
     stats.simplex_iters += root_relax.simplex_iters;
-    pool.extend(root_relax.new_cuts.iter().cloned());
-    stats.cuts = pool.len();
+    stats.warm_resolves += root_relax.warm_resolves;
+    stats.warm_fallbacks += root_relax.warm_fallbacks;
+    pool.absorb_cuts(root_relax.new_cuts.clone(), 1e-9);
+    stats.cuts = pool.total_len();
     match root_relax.status {
         NlpStatus::Infeasible => {
             stats.wall = t0.elapsed();
@@ -531,6 +656,15 @@ pub fn solve(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
         bound: root_bound,
         depth: 0,
         branch: None,
+        // The root relaxation's final tableau already covers every pool
+        // entry (the pool was just seeded from its cuts), so the first
+        // tree solve repairs bounds instead of rebuilding two-phase.
+        warm: root_relax.warm.take().map(|lp| {
+            std::sync::Arc::new(WarmState {
+                lp,
+                covered: pool.total_len(),
+            })
+        }),
     };
 
     let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
@@ -595,12 +729,12 @@ pub fn solve(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
                     stats.nodes,
                     node.bound,
                     inc,
-                    pool.len(),
+                    pool.active_len(),
                     heap.len() + stack.len()
                 );
             }
         }
-        let processed = process_node(ir, opts, &node, &pool, cutoff, &pc);
+        let mut processed = process_node(ir, opts, &node, pool.cuts(), pool.retired(), cutoff, &pc);
         // Pseudo-cost update for the integer branch that created this node.
         if let Some((v, frac, dir)) = node.branch {
             if processed.relax_bound.is_finite() && node.bound.is_finite() {
@@ -609,10 +743,15 @@ pub fn solve(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
         }
         stats.lp_solves += processed.lp_solves;
         stats.simplex_iters += processed.simplex_iters;
+        stats.warm_resolves += processed.warm_resolves;
+        stats.warm_fallbacks += processed.warm_fallbacks;
         if !processed.new_cuts.is_empty() {
-            stats.cuts += nlp::absorb_cuts(&mut pool, processed.new_cuts, 1e-9);
-            opts.telemetry.record("minlp.cut_pool", pool.len() as f64);
+            let new_cuts = std::mem::take(&mut processed.new_cuts);
+            stats.cuts += pool.absorb_cuts(new_cuts, 1e-9);
+            opts.telemetry
+                .record("minlp.cut_pool", pool.active_len() as f64);
         }
+        let node_warm = processed.warm.take();
         match processed.outcome {
             NodeOutcome::Pruned { infeasible } => {
                 if infeasible {
@@ -624,6 +763,8 @@ pub fn solve(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
             NodeOutcome::Incumbent { x, obj } => {
                 if incumbent.as_ref().is_none_or(|(best, _)| obj < *best) {
                     stats.incumbents += 1;
+                    stats.cuts_retired +=
+                        pool.retire_slack(&x, opts.feas_tol, opts.cut_age_incumbents);
                     opts.telemetry.point(
                         "minlp.incumbent",
                         &[("obj", obj), ("node", stats.nodes as f64)],
@@ -638,7 +779,19 @@ pub fn solve(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
                 } else {
                     stats.int_branches += 1;
                 }
-                for c in children {
+                // Hand the node's solved tableau to both children; pool
+                // coverage is stamped after the absorb above, so a child
+                // appends only cuts its inherited rows genuinely lack.
+                let handoff = node_warm.map(|lp| {
+                    std::sync::Arc::new(WarmState {
+                        lp,
+                        covered: pool.total_len(),
+                    })
+                });
+                for mut c in children {
+                    if let Some(ws) = &handoff {
+                        c.warm = Some(ws.clone());
+                    }
                     push(&mut heap, &mut stack, c, &mut seq);
                 }
             }
@@ -662,7 +815,7 @@ pub fn solve(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
                     },
                 ),
                 ("wall_ms", secs * 1e3),
-                ("cut_pool", pool.len() as f64),
+                ("cut_pool", pool.active_len() as f64),
             ],
             &[("driver", "serial")],
         );

@@ -48,7 +48,7 @@ mod solution;
 
 pub use bb::solve;
 pub use ir::{compile, CompileError, Ir};
-pub use nlp::{solve_relaxation, Cut, NlpResult, NlpStatus};
+pub use nlp::{solve_relaxation, Cut, CutPool, NlpResult, NlpStatus};
 pub use options::{Algorithm, Branching, IntVarSelection, MinlpOptions, NodeSelection};
 pub use parallel::solve_parallel;
 pub use presolve::{propagate, PresolveResult};

@@ -40,23 +40,183 @@ impl Cut {
             .zip(&other.terms)
             .all(|(&(va, ca), &(vb, cb))| va == vb && close(ca, cb))
     }
+
+    /// Bit-exact equality (source, term order, coefficient and rhs bits).
+    /// Used to confirm fingerprint hits, so a hash collision can never
+    /// merge two genuinely different cuts.
+    pub fn exact_eq(&self, other: &Cut) -> bool {
+        self.source == other.source
+            && self.rhs.to_bits() == other.rhs.to_bits()
+            && self.terms.len() == other.terms.len()
+            && self
+                .terms
+                .iter()
+                .zip(&other.terms)
+                .all(|(&(va, ca), &(vb, cb))| va == vb && ca.to_bits() == cb.to_bits())
+    }
+
+    /// FNV-1a fingerprint over `(source, (var, coeff bits)…, rhs bits)`.
+    /// Deterministic and order-dependent — exactly the identity
+    /// [`CutPool`] needs for its full-history duplicate set.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&(self.source as u64).to_le_bytes());
+        for &(v, c) in &self.terms {
+            eat(&(v as u64).to_le_bytes());
+            eat(&c.to_bits().to_le_bytes());
+        }
+        eat(&self.rhs.to_bits().to_le_bytes());
+        h
+    }
 }
 
-/// Append `new` cuts to `pool`, dropping near-duplicates of recent pool
-/// entries. Only the tail of the pool is scanned (tangents from the same
-/// search region cluster in time), keeping this O(new · window).
-pub fn absorb_cuts(pool: &mut Vec<Cut>, new: Vec<Cut>, tol: f64) -> usize {
-    const WINDOW: usize = 64;
-    let mut added = 0;
-    for cut in new {
-        let start = pool.len().saturating_sub(WINDOW);
-        if pool[start..].iter().any(|c| c.near_duplicate(&cut, tol)) {
-            continue;
-        }
-        pool.push(cut);
-        added += 1;
+/// The shared outer-approximation cut pool.
+///
+/// Entries are **index-stable**: the `cuts` vector only grows, so a warm
+/// tableau that recorded "I cover the first `k` pool entries" stays
+/// meaningful for the rest of the solve. Dropping a cut sets its
+/// `retired` flag instead of removing it; retired cuts are skipped when
+/// LPs are built but their indices never shift.
+///
+/// Duplicate suppression is two-level:
+///
+/// * a 64-entry **near-duplicate window** over the pool tail catches
+///   tangent planes taken at nearby points (cheap, fuzzy), and
+/// * an **exact fingerprint map** over the *entire history* catches
+///   bit-identical regenerations no matter how far apart they land —
+///   previously the window alone let a cut re-enter once more than 64
+///   distinct cuts had interleaved since its first appearance.
+///
+/// Fingerprint hits are confirmed with [`Cut::exact_eq`] before being
+/// treated as duplicates, so a hash collision costs only a redundant
+/// window scan, never a wrongly merged cut. A `BTreeMap` keeps lookup
+/// order deterministic (no hash-seed or address-order dependence).
+#[derive(Debug, Clone, Default)]
+pub struct CutPool {
+    cuts: Vec<Cut>,
+    retired: Vec<bool>,
+    /// Consecutive incumbent evaluations at which the cut was slack.
+    streak: Vec<u32>,
+    /// Exact fingerprint → index of the first cut bearing it.
+    fps: std::collections::BTreeMap<u64, usize>,
+}
+
+impl CutPool {
+    pub fn new() -> Self {
+        Self::default()
     }
-    added
+
+    /// Seed a pool from an initial batch (the root relaxation's cuts).
+    pub fn from_cuts(cuts: Vec<Cut>) -> Self {
+        let mut pool = Self::new();
+        pool.absorb_cuts(cuts, 0.0);
+        pool
+    }
+
+    /// All entries ever absorbed, retired included (index-stable).
+    pub fn cuts(&self) -> &[Cut] {
+        &self.cuts
+    }
+
+    /// Per-entry retired flags, parallel to [`Self::cuts`].
+    pub fn retired(&self) -> &[bool] {
+        &self.retired
+    }
+
+    /// Total entries ever absorbed (the coverage horizon for warm states).
+    pub fn total_len(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Entries still participating in LP builds.
+    pub fn active_len(&self) -> usize {
+        self.retired.iter().filter(|&&r| !r).count()
+    }
+
+    /// Clones of the active cuts, in insertion order.
+    pub fn active_cuts(&self) -> Vec<Cut> {
+        self.cuts
+            .iter()
+            .zip(&self.retired)
+            .filter(|(_, &r)| !r)
+            .map(|(c, _)| c.clone())
+            .collect()
+    }
+
+    /// Absorb `new` cuts, dropping near-duplicates of the last 64 entries
+    /// and exact duplicates of *any* entry ever absorbed. An exact
+    /// duplicate of a retired cut revives it (the search has returned to
+    /// a region where the cut binds) rather than re-adding it. Returns
+    /// the number of entries appended.
+    pub fn absorb_cuts(&mut self, new: Vec<Cut>, tol: f64) -> usize {
+        const WINDOW: usize = 64;
+        let mut added = 0;
+        for cut in new {
+            let fp = cut.fingerprint();
+            if let Some(&i) = self.fps.get(&fp) {
+                if self.cuts[i].exact_eq(&cut) {
+                    if self.retired[i] {
+                        self.retired[i] = false;
+                        self.streak[i] = 0;
+                    }
+                    continue;
+                }
+            }
+            let start = self.cuts.len().saturating_sub(WINDOW);
+            if self.cuts[start..]
+                .iter()
+                .zip(&self.retired[start..])
+                .any(|(c, &r)| !r && c.near_duplicate(&cut, tol))
+            {
+                continue;
+            }
+            self.fps.entry(fp).or_insert(self.cuts.len());
+            self.cuts.push(cut);
+            self.retired.push(false);
+            self.streak.push(0);
+            added += 1;
+        }
+        added
+    }
+
+    /// Age the pool against a new incumbent point: a cut slack by more
+    /// than `slack_tol` at `x` advances its streak; a binding cut resets
+    /// it; a cut slack at `max_streak` consecutive incumbents is retired.
+    /// `max_streak == 0` disables aging. Returns newly retired count.
+    pub fn retire_slack(&mut self, x: &[f64], slack_tol: f64, max_streak: usize) -> usize {
+        if max_streak == 0 {
+            return 0;
+        }
+        let mut retired_now = 0;
+        for i in 0..self.cuts.len() {
+            if self.retired[i] {
+                continue;
+            }
+            let lhs: f64 = self.cuts[i]
+                .terms
+                .iter()
+                .map(|&(v, c)| c * x.get(v).copied().unwrap_or(0.0))
+                .sum();
+            if self.cuts[i].rhs - lhs > slack_tol {
+                self.streak[i] += 1;
+                if self.streak[i] as usize >= max_streak {
+                    self.retired[i] = true;
+                    retired_now += 1;
+                }
+            } else {
+                self.streak[i] = 0;
+            }
+        }
+        retired_now
+    }
 }
 
 /// Status of a relaxation solve.
@@ -86,6 +246,30 @@ pub struct NlpResult {
     pub lp_solves: usize,
     /// Simplex iterations across those solves.
     pub simplex_iters: usize,
+    /// LP solves answered by the warm dual-simplex path (subset of
+    /// `lp_solves`).
+    pub warm_resolves: usize,
+    /// Warm attempts abandoned for a cold rebuild (stale or singular
+    /// tableau — the fail-closed ladder's bottom rung).
+    pub warm_fallbacks: usize,
+    /// The live tableau of the final optimal LP (covers the pool passed
+    /// in plus every row of `new_cuts`, in order). `Some` only when the
+    /// solve ended `Optimal` with `opts.warm_start` on; the B&B drivers
+    /// hand it to the root node so the first tree solve is warm too.
+    pub warm: Option<hslb_lp::WarmLp>,
+}
+
+/// Iteration budget for a warm dual resolve. Most repairs take a handful
+/// of pivots, but an SOS branch that cuts off the parent vertex can send
+/// the dual simplex on a walk longer than a cold two-phase solve (seen:
+/// 317 warm iterations where cold took 79). Past ~2 pivots per row the
+/// warm path has lost its advantage, so bail out and let the fallback
+/// ladder do a bounded cold rebuild instead.
+pub(crate) fn warm_budget(rows: usize, opts: &SimplexOptions) -> SimplexOptions {
+    SimplexOptions {
+        max_iters: opts.max_iters.min(2 * rows + 32),
+        ..opts.clone()
+    }
 }
 
 /// Build the base LP for the IR under the given bounds, with pool cuts.
@@ -110,6 +294,25 @@ pub fn build_lp(ir: &Ir, lb: &[f64], ub: &[f64], cuts: &[Cut]) -> LpProblem {
         lp.add_row(&cut.terms, LpSense::Le, cut.rhs);
     }
     lp.set_objective(&ir.obj_terms);
+    lp
+}
+
+/// [`build_lp`] over an index-stable pool snapshot: cuts whose `retired`
+/// flag is set are skipped (they stay in the snapshot only so that warm
+/// coverage prefixes keep their meaning).
+pub fn build_lp_active(
+    ir: &Ir,
+    lb: &[f64],
+    ub: &[f64],
+    cuts: &[Cut],
+    retired: &[bool],
+) -> LpProblem {
+    let mut lp = build_lp(ir, lb, ub, &[]);
+    for (cut, &r) in cuts.iter().zip(retired) {
+        if !r {
+            lp.add_row(&cut.terms, LpSense::Le, cut.rhs);
+        }
+    }
     lp
 }
 
@@ -138,6 +341,14 @@ pub fn linearize(ir: &Ir, k: usize, x: &[f64]) -> Cut {
 /// Solve the convex continuous relaxation of `ir` restricted to bounds
 /// `[lb, ub]`, starting from the cut pool `pool`. Newly generated cuts are
 /// returned (and are valid for every other node).
+///
+/// With `opts.warm_start` (the default) one tableau is kept live across
+/// Kelley rounds: each round appends its new cut rows and re-attains
+/// feasibility with the bounded-variable dual simplex instead of solving
+/// the whole LP from scratch (DESIGN.md §14). Any warm failure — a
+/// singular tableau, a basic artificial blocking the handle — falls back
+/// to the cold two-phase rebuild for that round, so warm-start can change
+/// only the work counters, never the answer.
 pub fn solve_relaxation(
     ir: &Ir,
     lb: &[f64],
@@ -149,24 +360,72 @@ pub fn solve_relaxation(
     let mut new_cuts: Vec<Cut> = Vec::new();
     let mut lp_solves = 0usize;
     let mut simplex_iters = 0usize;
+    let mut warm_resolves = 0usize;
+    let mut warm_fallbacks = 0usize;
+    // Live tableau across rounds + how many of `new_cuts` it has as rows.
+    let mut warm: Option<hslb_lp::WarmLp> = None;
+    let mut covered = 0usize;
 
     for _ in 0..opts.max_kelley_iters {
-        // Rebuild with pool + accumulated new cuts. Problems are small;
-        // rebuilding keeps the LP state trivially consistent.
-        let mut lp = build_lp(ir, lb, ub, pool);
-        for c in &new_cuts {
-            lp.add_row(&c.terms, LpSense::Le, c.rhs);
+        // Warm path: append the rows this tableau has not seen, then
+        // dual-resolve. Anything going wrong drops the handle and falls
+        // through to the cold rebuild below.
+        let mut sol = None;
+        if opts.warm_start {
+            if let Some(w) = warm.as_mut() {
+                let pending: Vec<(&[(usize, f64)], f64)> = new_cuts[covered..]
+                    .iter()
+                    .map(|c| (c.terms.as_slice(), c.rhs))
+                    .collect();
+                let ok = w.append_le_rows(&pending).is_ok();
+                if ok {
+                    covered = new_cuts.len();
+                }
+                if ok {
+                    if let Ok(s) = w.resolve(&warm_budget(w.num_rows(), &sx)) {
+                        warm_resolves += 1;
+                        sol = Some(s);
+                    }
+                }
+                if sol.is_none() {
+                    warm = None;
+                    warm_fallbacks += 1;
+                }
+            }
         }
-        let sol = match hslb_lp::solve(&lp, &sx) {
-            Ok(s) => s,
-            Err(_) => {
-                return NlpResult {
-                    status: NlpStatus::IterationLimit,
-                    x: vec![],
-                    objective: f64::INFINITY,
-                    new_cuts,
-                    lp_solves,
-                    simplex_iters,
+        let sol = match sol {
+            Some(s) => s,
+            None => {
+                // Cold rebuild with pool + accumulated new cuts. When
+                // warm-starting, keep the solved tableau for next round.
+                let mut lp = build_lp(ir, lb, ub, pool);
+                for c in &new_cuts {
+                    lp.add_row(&c.terms, LpSense::Le, c.rhs);
+                }
+                let solved = if opts.warm_start {
+                    hslb_lp::solve_keep(&lp, &sx).map(|(s, w)| {
+                        warm = w;
+                        covered = new_cuts.len();
+                        s
+                    })
+                } else {
+                    hslb_lp::solve(&lp, &sx)
+                };
+                match solved {
+                    Ok(s) => s,
+                    Err(_) => {
+                        return NlpResult {
+                            status: NlpStatus::IterationLimit,
+                            x: vec![],
+                            objective: f64::INFINITY,
+                            new_cuts,
+                            lp_solves,
+                            simplex_iters,
+                            warm_resolves,
+                            warm_fallbacks,
+                            warm: None,
+                        }
+                    }
                 }
             }
         };
@@ -181,6 +440,9 @@ pub fn solve_relaxation(
                     new_cuts,
                     lp_solves,
                     simplex_iters,
+                    warm_resolves,
+                    warm_fallbacks,
+                    warm: None,
                 }
             }
             LpStatus::Unbounded => {
@@ -191,6 +453,9 @@ pub fn solve_relaxation(
                     new_cuts,
                     lp_solves,
                     simplex_iters,
+                    warm_resolves,
+                    warm_fallbacks,
+                    warm: None,
                 }
             }
             LpStatus::Optimal => {}
@@ -217,6 +482,9 @@ pub fn solve_relaxation(
                 new_cuts,
                 lp_solves,
                 simplex_iters,
+                warm_resolves,
+                warm_fallbacks,
+                warm: warm.take(),
             };
         }
     }
@@ -228,6 +496,9 @@ pub fn solve_relaxation(
         new_cuts,
         lp_solves,
         simplex_iters,
+        warm_resolves,
+        warm_fallbacks,
+        warm: None,
     }
 }
 
@@ -358,9 +629,8 @@ mod cut_pool_tests {
 
     #[test]
     fn absorb_skips_duplicates_and_counts_additions() {
-        let mut pool = vec![cut(0, &[(0, 1.0)], 1.0)];
-        let added = absorb_cuts(
-            &mut pool,
+        let mut pool = CutPool::from_cuts(vec![cut(0, &[(0, 1.0)], 1.0)]);
+        let added = pool.absorb_cuts(
             vec![
                 cut(0, &[(0, 1.0)], 1.0), // duplicate
                 cut(0, &[(0, 2.0)], 1.0), // new
@@ -369,6 +639,68 @@ mod cut_pool_tests {
             1e-9,
         );
         assert_eq!(added, 2);
-        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.total_len(), 3);
+    }
+
+    /// Regression for the windowed dedup bug: the 64-entry near-duplicate
+    /// window alone let an exact duplicate re-enter the pool once more
+    /// than 64 distinct cuts had interleaved since its first appearance.
+    /// The fingerprint set must catch it at any distance.
+    #[test]
+    fn exact_duplicate_is_dropped_across_the_window_horizon() {
+        let marked = cut(7, &[(0, 0.25), (1, -1.5)], 4.0);
+        let mut pool = CutPool::new();
+        assert_eq!(pool.absorb_cuts(vec![marked.clone()], 1e-9), 1);
+        // Bury the marked cut under well over a window's worth of
+        // mutually distinct cuts.
+        for i in 0..100usize {
+            let c = cut(0, &[(0, 1.0 + i as f64), (1, 2.0 + i as f64)], i as f64);
+            assert_eq!(pool.absorb_cuts(vec![c], 1e-9), 1);
+        }
+        assert_eq!(pool.total_len(), 101);
+        // The bit-identical resubmission must be dropped even though the
+        // original is 100 entries deep.
+        assert_eq!(pool.absorb_cuts(vec![marked.clone()], 1e-9), 0);
+        assert_eq!(pool.total_len(), 101);
+        // And reviving: retire the original, resubmit, it comes back
+        // active instead of duplicating.
+        let many = pool.total_len();
+        // (-100, 100) leaves only the marked cut slack, so three strikes
+        // retire exactly it.
+        for _ in 0..3 {
+            pool.retire_slack(&[-100.0, 100.0], 1e-6, 3);
+        }
+        assert!(pool.retired()[0]);
+        pool.absorb_cuts(vec![marked], 1e-9);
+        assert_eq!(pool.total_len(), many, "revive must not append");
+        assert!(!pool.retired()[0], "exact duplicate revives a retired cut");
+    }
+
+    #[test]
+    fn retire_slack_ages_and_revives() {
+        // Cut 0 binds at x = (1, 0); cut 1 is slack there.
+        let mut pool = CutPool::from_cuts(vec![cut(0, &[(0, 1.0)], 1.0), cut(1, &[(1, 1.0)], 5.0)]);
+        let x = [1.0, 0.0];
+        assert_eq!(pool.retire_slack(&x, 1e-6, 3), 0);
+        assert_eq!(pool.retire_slack(&x, 1e-6, 3), 0);
+        assert_eq!(pool.retire_slack(&x, 1e-6, 3), 1); // third strike
+        assert_eq!(pool.active_len(), 1);
+        assert!(pool.retired()[1]);
+        // Binding point resets the survivor's streak; disabled aging is a
+        // no-op.
+        assert_eq!(pool.retire_slack(&x, 1e-6, 0), 0);
+        assert_eq!(pool.active_cuts().len(), 1);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_near_misses() {
+        let a = cut(0, &[(0, 1.0), (1, 2.0)], 3.0);
+        let b = cut(0, &[(0, 1.0), (1, 2.0)], 3.0 + 1e-15);
+        let c = cut(1, &[(0, 1.0), (1, 2.0)], 3.0);
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert!(a.exact_eq(&a.clone()));
+        assert!(!a.exact_eq(&b));
     }
 }

@@ -76,6 +76,19 @@ pub struct MinlpOptions {
     pub max_cut_rounds: usize,
     /// Cap on Kelley iterations per relaxation solve.
     pub max_kelley_iters: usize,
+    /// Reuse solved tableaux across cut rounds and down branch-and-bound
+    /// edges: appended cut rows and tightened bounds are repaired with a
+    /// bounded-variable dual simplex instead of a cold two-phase solve
+    /// (DESIGN.md §14). Fail-closed — any warm error falls back to the
+    /// cold path — so this flag changes work counters, never the
+    /// incumbent (asserted at the pipeline level by the warm-start
+    /// integration tests).
+    pub warm_start: bool,
+    /// Cut-pool aging: retire a cut once it has been slack at this many
+    /// consecutive incumbent points. Retired cuts keep their pool index
+    /// (warm coverage prefixes stay valid) and are revived if the search
+    /// regenerates them exactly. `0` disables aging.
+    pub cut_age_incumbents: usize,
     /// Worker threads for [`crate::solve_parallel`] (ignored by `solve`).
     pub threads: usize,
     /// Serial fast-path cutover for [`crate::solve_parallel`]: when the
@@ -113,6 +126,8 @@ impl Default for MinlpOptions {
             time_limit: None,
             max_cut_rounds: 40,
             max_kelley_iters: 120,
+            warm_start: true,
+            cut_age_incumbents: 8,
             threads: 1,
             serial_cutover: 64,
             log_every: None,
@@ -131,5 +146,7 @@ mod tests {
         assert_eq!(o.algorithm, Algorithm::LpNlpBb);
         assert_eq!(o.branching, Branching::SosFirst);
         assert_eq!(o.node_selection, NodeSelection::BestBound);
+        assert!(o.warm_start, "warm re-solves are on by default");
+        assert!(o.cut_age_incumbents > 0, "cut aging is on by default");
     }
 }

@@ -11,9 +11,9 @@
 //! therefore identical to the serial solver's (node and cut *counts*
 //! differ run to run).
 
-use crate::bb::{process_node, Node, NodeOutcome};
+use crate::bb::{process_node, Node, NodeOutcome, WarmState};
 use crate::ir::Ir;
-use crate::nlp::{self, Cut, NlpStatus};
+use crate::nlp::{self, NlpStatus};
 use crate::options::MinlpOptions;
 use crate::solution::{MinlpSolution, MinlpStatus, SolveStats};
 use hslb_numerics::float;
@@ -48,7 +48,7 @@ impl Ord for HeapEntry {
 
 struct Shared {
     queue: Mutex<(BinaryHeap<HeapEntry>, u64)>,
-    pool: RwLock<Vec<Cut>>,
+    pool: RwLock<nlp::CutPool>,
     incumbent: Mutex<Option<(f64, Vec<f64>)>>,
     /// Number of workers currently processing a node (used for quiescence
     /// detection: queue empty AND no one busy ⇒ done).
@@ -99,7 +99,7 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
     let pc = crate::pseudocost::PseudoCostTable::new(ir.num_vars());
 
     // Root relaxation (serial) seeds the cut pool.
-    let root_relax = nlp::solve_relaxation(ir, &ir.lb, &ir.ub, &[], opts);
+    let mut root_relax = nlp::solve_relaxation(ir, &ir.lb, &ir.ub, &[], opts);
     match root_relax.status {
         NlpStatus::Infeasible => {
             return MinlpSolution {
@@ -140,11 +140,15 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
                 let probe = SolveStats {
                     lp_solves: root_relax.lp_solves,
                     simplex_iters: root_relax.simplex_iters,
+                    warm_resolves: root_relax.warm_resolves,
+                    warm_fallbacks: root_relax.warm_fallbacks,
                     ..Default::default()
                 };
                 crate::bb::emit_stats_counters(&opts.telemetry, &probe);
                 sol.stats.lp_solves += probe.lp_solves;
                 sol.stats.simplex_iters += probe.simplex_iters;
+                sol.stats.warm_resolves += probe.warm_resolves;
+                sol.stats.warm_fallbacks += probe.warm_fallbacks;
                 sol.stats.wall = t0.elapsed();
                 if opts.telemetry.is_enabled() {
                     opts.telemetry.point(
@@ -162,6 +166,7 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
         }
     }
 
+    let pool = nlp::CutPool::from_cuts(root_relax.new_cuts.clone());
     let root = Node {
         overrides: Vec::new(),
         sos_window: ir
@@ -172,6 +177,15 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
         bound: root_bound,
         depth: 0,
         branch: None,
+        // Same root handoff as the serial driver: the root relaxation's
+        // tableau covers every seeded pool entry, so the first worker to
+        // pop the root warm-starts instead of rebuilding two-phase.
+        warm: root_relax.warm.take().map(|lp| {
+            std::sync::Arc::new(WarmState {
+                lp,
+                covered: pool.total_len(),
+            })
+        }),
     };
 
     let shared = Shared {
@@ -184,7 +198,7 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
             });
             (h, 1)
         }),
-        pool: RwLock::new(root_relax.new_cuts.clone()),
+        pool: RwLock::new(pool),
         incumbent: Mutex::new(None),
         busy: AtomicUsize::new(0),
         nodes_done: AtomicUsize::new(0),
@@ -252,9 +266,15 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
                         continue;
                     }
 
-                    let snapshot: Vec<Cut> = shared.pool.read().clone();
+                    // Index-stable snapshot: cuts + retired flags (indices
+                    // never shift, so warm coverage prefixes stay valid).
+                    let (snap_cuts, snap_retired) = {
+                        let pool = shared.pool.read();
+                        (pool.cuts().to_vec(), pool.retired().to_vec())
+                    };
                     let node_t0 = std::time::Instant::now();
-                    let processed = process_node(ir, opts, &node, &snapshot, cutoff, pc);
+                    let mut processed =
+                        process_node(ir, opts, &node, &snap_cuts, &snap_retired, cutoff, pc);
                     busy_time += node_t0.elapsed();
                     if let Some((v, frac, dir)) = node.branch {
                         if processed.relax_bound.is_finite() && node.bound.is_finite() {
@@ -265,14 +285,27 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
                     shared.nodes_done.fetch_add(1, Ordering::Relaxed);
                     local.lp_solves += processed.lp_solves;
                     local.simplex_iters += processed.simplex_iters;
+                    local.warm_resolves += processed.warm_resolves;
+                    local.warm_fallbacks += processed.warm_fallbacks;
+                    // Coverage horizon for children: what the tableau
+                    // certainly has from the pool (the whole snapshot)
+                    // plus whatever this absorb appends. Cuts other
+                    // workers absorbed in between get claimed too —
+                    // children then skip them, which only weakens their
+                    // starting relaxation (cuts are optional tightening).
+                    let mut covered_after = snap_cuts.len();
                     if !processed.new_cuts.is_empty() {
-                        let pool_len = {
+                        let new_cuts = std::mem::take(&mut processed.new_cuts);
+                        let (added, active, total) = {
                             let mut pool = shared.pool.write();
-                            local.cuts += nlp::absorb_cuts(&mut pool, processed.new_cuts, 1e-9);
-                            pool.len()
+                            let added = pool.absorb_cuts(new_cuts, 1e-9);
+                            (added, pool.active_len(), pool.total_len())
                         };
-                        telemetry.record("minlp.cut_pool", pool_len as f64);
+                        local.cuts += added;
+                        covered_after = total;
+                        telemetry.record("minlp.cut_pool", active as f64);
                     }
+                    let node_warm = processed.warm.take();
                     match processed.outcome {
                         NodeOutcome::Pruned { infeasible } => {
                             if infeasible {
@@ -282,10 +315,24 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
                             }
                         }
                         NodeOutcome::Incumbent { x, obj } => {
-                            let mut inc = shared.incumbent.lock();
-                            if inc.as_ref().is_none_or(|(best, _)| obj < *best) {
+                            let improved = {
+                                let mut inc = shared.incumbent.lock();
+                                if inc.as_ref().is_none_or(|(best, _)| obj < *best) {
+                                    *inc = Some((obj, x.clone()));
+                                    true
+                                } else {
+                                    false
+                                }
+                            };
+                            // Age the pool outside the incumbent lock
+                            // (never hold both).
+                            if improved {
                                 local.incumbents += 1;
-                                *inc = Some((obj, x));
+                                local.cuts_retired += shared.pool.write().retire_slack(
+                                    &x,
+                                    opts.feas_tol,
+                                    opts.cut_age_incumbents,
+                                );
                                 telemetry.point(
                                     "minlp.incumbent",
                                     &[("obj", obj), ("worker", worker_id as f64)],
@@ -299,8 +346,17 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
                             } else {
                                 local.int_branches += 1;
                             }
+                            let handoff = node_warm.map(|lp| {
+                                std::sync::Arc::new(WarmState {
+                                    lp,
+                                    covered: covered_after,
+                                })
+                            });
                             let mut q = shared.queue.lock();
-                            for c in children {
+                            for mut c in children {
+                                if let Some(ws) = &handoff {
+                                    c.warm = Some(ws.clone());
+                                }
                                 let seq = q.1;
                                 q.1 += 1;
                                 q.0.push(HeapEntry {
@@ -342,6 +398,8 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
     let mut stats = SolveStats::default();
     stats.lp_solves += root_relax.lp_solves;
     stats.simplex_iters += root_relax.simplex_iters;
+    stats.warm_resolves += root_relax.warm_resolves;
+    stats.warm_fallbacks += root_relax.warm_fallbacks;
     stats.cuts += root_relax.new_cuts.len();
     for s in &worker_stats {
         let s = s.lock();
@@ -349,6 +407,9 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
         stats.lp_solves += s.lp_solves;
         stats.simplex_iters += s.simplex_iters;
         stats.cuts += s.cuts;
+        stats.warm_resolves += s.warm_resolves;
+        stats.warm_fallbacks += s.warm_fallbacks;
+        stats.cuts_retired += s.cuts_retired;
         stats.pruned_by_bound += s.pruned_by_bound;
         stats.pruned_infeasible += s.pruned_infeasible;
         stats.incumbents += s.incumbents;
@@ -366,6 +427,8 @@ pub fn solve_parallel(ir: &Ir, opts: &MinlpOptions) -> MinlpSolution {
             lp_solves: root_relax.lp_solves,
             simplex_iters: root_relax.simplex_iters,
             cuts: root_relax.new_cuts.len(),
+            warm_resolves: root_relax.warm_resolves,
+            warm_fallbacks: root_relax.warm_fallbacks,
             ..Default::default()
         },
     );

@@ -23,36 +23,87 @@ pub enum PresolveResult {
     Infeasible { row: String },
 }
 
-/// Minimum / maximum activity of `terms` over the box, excluding `skip`.
-fn activity_bounds(terms: &[(usize, f64)], lb: &[f64], ub: &[f64], skip: usize) -> (f64, f64) {
-    let mut lo = 0.0;
-    let mut hi = 0.0;
-    for &(v, a) in terms {
-        if v == skip {
-            continue;
-        }
-        let (l, u) = (lb[v], ub[v]);
-        if a >= 0.0 {
-            lo += a * l;
-            hi += a * u;
-        } else {
-            lo += a * u;
-            hi += a * l;
-        }
+/// Term `i`'s contribution to the row's (min, max) activity over the box.
+fn contribution(terms: &[(usize, f64)], lb: &[f64], ub: &[f64], i: usize) -> (f64, f64) {
+    let (v, a) = terms[i];
+    let (l, u) = (lb[v], ub[v]);
+    if a >= 0.0 {
+        (a * l, a * u)
+    } else {
+        (a * u, a * l)
     }
-    (lo, hi)
+}
+
+/// Prefix/suffix activity sums for one row: after the call,
+/// `pre[i] = Σ contributions 0..i` and `suf[i] = Σ contributions i..k`,
+/// so the activity of every term's complement is `pre[i] + suf[i + 1]` —
+/// O(1) per term instead of the O(len) rescans that made wide SOS link
+/// rows quadratic to propagate.
+#[allow(clippy::too_many_arguments)]
+fn build_activity_sums(
+    terms: &[(usize, f64)],
+    lb: &[f64],
+    ub: &[f64],
+    pre_lo: &mut Vec<f64>,
+    pre_hi: &mut Vec<f64>,
+    suf_lo: &mut Vec<f64>,
+    suf_hi: &mut Vec<f64>,
+) {
+    let k = terms.len();
+    pre_lo.resize(k + 1, 0.0);
+    pre_hi.resize(k + 1, 0.0);
+    suf_lo.resize(k + 1, 0.0);
+    suf_hi.resize(k + 1, 0.0);
+    pre_lo[0] = 0.0;
+    pre_hi[0] = 0.0;
+    for i in 0..k {
+        let (clo, chi) = contribution(terms, lb, ub, i);
+        pre_lo[i + 1] = pre_lo[i] + clo;
+        pre_hi[i + 1] = pre_hi[i] + chi;
+    }
+    suf_lo[k] = 0.0;
+    suf_hi[k] = 0.0;
+    for i in (0..k).rev() {
+        let (clo, chi) = contribution(terms, lb, ub, i);
+        suf_lo[i] = clo + suf_lo[i + 1];
+        suf_hi[i] = chi + suf_hi[i + 1];
+    }
 }
 
 /// Propagate bounds to a fixpoint (capped at `max_rounds`).
+///
+/// Re-evaluating a row is a pure function of its variables' current
+/// bounds, so a row none of whose variables changed since its last
+/// evaluation is skipped — it would recompute the identical activities
+/// and tighten nothing. This keeps later rounds near-free (the SOS link
+/// rows are wide, and the per-term activity scan is quadratic in row
+/// length) while producing bit-identical bounds to the exhaustive sweep.
 pub fn propagate(ir: &Ir, max_rounds: usize) -> PresolveResult {
     let mut lb = ir.lb.clone();
     let mut ub = ir.ub.clone();
     let mut changes = 0usize;
     let tol = 1e-9;
 
+    // Monotone version stamp per variable; a row is clean when no term's
+    // stamp is newer than its last evaluation.
+    let mut var_ver: Vec<u64> = vec![1; ir.lb.len()];
+    let mut row_seen: Vec<u64> = vec![0; ir.linear.len()];
+    let mut ver = 1u64;
+
+    // Reusable prefix/suffix activity buffers (see `build_activity_sums`).
+    let (mut pre_lo, mut pre_hi) = (Vec::new(), Vec::new());
+    let (mut suf_lo, mut suf_hi) = (Vec::new(), Vec::new());
+
     for _ in 0..max_rounds {
         let mut changed_this_round = false;
-        for row in &ir.linear {
+        for (ri, row) in ir.linear.iter().enumerate() {
+            if row.terms.iter().all(|&(v, _)| var_ver[v] <= row_seen[ri]) {
+                continue;
+            }
+            // Stamp before evaluating: the row's own tightenings bump the
+            // stamps past this mark, so a self-tightening row re-runs next
+            // round exactly as in the exhaustive sweep.
+            row_seen[ri] = ver;
             // Normalize to a two-sided form: lo_rhs ≤ Σ a x ≤ hi_rhs.
             let (row_lo, row_hi) = match row.sense {
                 ConstraintSense::Le => (f64::NEG_INFINITY, row.rhs),
@@ -60,17 +111,27 @@ pub fn propagate(ir: &Ir, max_rounds: usize) -> PresolveResult {
                 ConstraintSense::Eq => (row.rhs, row.rhs),
             };
             // Row infeasibility check against total activity.
-            let (act_lo, act_hi) = activity_bounds(&row.terms, &lb, &ub, usize::MAX);
+            build_activity_sums(
+                &row.terms,
+                &lb,
+                &ub,
+                &mut pre_lo,
+                &mut pre_hi,
+                &mut suf_lo,
+                &mut suf_hi,
+            );
+            let k = row.terms.len();
+            let (act_lo, act_hi) = (pre_lo[k], pre_hi[k]);
             if act_lo > row_hi + 1e-6 || act_hi < row_lo - 1e-6 {
                 return PresolveResult::Infeasible {
                     row: row.name.clone(),
                 };
             }
-            for &(v, a) in &row.terms {
+            for (i, &(v, a)) in row.terms.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let (others_lo, others_hi) = activity_bounds(&row.terms, &lb, &ub, v);
+                let (others_lo, others_hi) = (pre_lo[i] + suf_lo[i + 1], pre_hi[i] + suf_hi[i + 1]);
                 // a·x ≤ row_hi − others_lo  and  a·x ≥ row_lo − others_hi.
                 let max_ax = row_hi - others_lo;
                 let min_ax = row_lo - others_hi;
@@ -95,20 +156,40 @@ pub fn propagate(ir: &Ir, max_rounds: usize) -> PresolveResult {
                     new_lb = (lb[v].max(new_lb) - 1e-9).ceil();
                     new_ub = (ub[v].min(new_ub) + 1e-9).floor();
                 }
+                let mut tightened = false;
                 if new_lb > lb[v] + tol {
                     lb[v] = new_lb;
                     changes += 1;
                     changed_this_round = true;
+                    ver += 1;
+                    var_ver[v] = ver;
+                    tightened = true;
                 }
                 if new_ub < ub[v] - tol {
                     ub[v] = new_ub;
                     changes += 1;
                     changed_this_round = true;
+                    ver += 1;
+                    var_ver[v] = ver;
+                    tightened = true;
                 }
                 if lb[v] > ub[v] + 1e-6 {
                     return PresolveResult::Infeasible {
                         row: row.name.clone(),
                     };
+                }
+                if tightened {
+                    // Later terms in this row must see the new box (the
+                    // sweep is Gauss–Seidel within a row, not Jacobi).
+                    build_activity_sums(
+                        &row.terms,
+                        &lb,
+                        &ub,
+                        &mut pre_lo,
+                        &mut pre_hi,
+                        &mut suf_lo,
+                        &mut suf_hi,
+                    );
                 }
             }
         }

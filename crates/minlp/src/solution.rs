@@ -49,6 +49,15 @@ pub struct SolveStats {
     pub simplex_iters: usize,
     /// Outer-approximation cuts generated.
     pub cuts: usize,
+    /// LP solves answered by the warm dual-simplex path (appended cut
+    /// rows or tightened bounds repaired on a live tableau; subset of
+    /// `lp_solves`).
+    pub warm_resolves: usize,
+    /// Warm attempts abandoned for a cold rebuild (stale or singular
+    /// tableau — the fail-closed ladder).
+    pub warm_fallbacks: usize,
+    /// Pool cuts retired by incumbent-slack aging.
+    pub cuts_retired: usize,
     /// Nodes pruned by bound.
     pub pruned_by_bound: usize,
     /// Nodes pruned by infeasibility.

@@ -213,6 +213,61 @@ impl Matrix {
     pub fn max_abs(&self) -> f64 {
         self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
     }
+
+    /// Append a row at the bottom.
+    ///
+    /// Returns an error when `row.len() != self.cols()`.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<()> {
+        if row.len() != self.cols {
+            return Err(NumericsError::DimensionMismatch {
+                expected: self.cols,
+                got: row.len(),
+            });
+        }
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Append a column on the right, one entry per row. Row-major storage
+    /// makes this an O(rows·cols) reshuffle; the LP warm path appends one
+    /// slack column per cut row, which amortizes fine against a pivot.
+    ///
+    /// Returns an error when `col.len() != self.rows()`.
+    pub fn push_col(&mut self, col: &[f64]) -> Result<()> {
+        if col.len() != self.rows {
+            return Err(NumericsError::DimensionMismatch {
+                expected: self.rows,
+                got: col.len(),
+            });
+        }
+        self.grow_cols(1);
+        let cols = self.cols;
+        for (i, &v) in col.iter().enumerate() {
+            self.data[i * cols + cols - 1] = v;
+        }
+        Ok(())
+    }
+
+    /// Widen the matrix by `added` zero columns on the right, in place:
+    /// one `resize` plus a backward row shift (`memmove`), so appending a
+    /// batch of columns costs one reshuffle instead of one per column.
+    pub fn grow_cols(&mut self, added: usize) {
+        if added == 0 {
+            return;
+        }
+        let (rows, old_cols) = (self.rows, self.cols);
+        let new_cols = old_cols + added;
+        self.data.resize(rows * new_cols, 0.0);
+        // Back to front: row i's destination starts at i·new_cols, at or
+        // past the end of row i−1's source, so no unmoved row is clobbered.
+        for i in (0..rows).rev() {
+            self.data
+                .copy_within(i * old_cols..(i + 1) * old_cols, i * new_cols);
+            self.data[i * new_cols + old_cols..(i + 1) * new_cols].fill(0.0);
+        }
+        self.cols = new_cols;
+    }
 }
 
 impl std::ops::Index<(usize, usize)> for Matrix {
@@ -266,6 +321,34 @@ mod tests {
     }
 
     #[test]
+    fn grow_cols_preserves_entries_and_zero_fills() {
+        let mut m = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        m.grow_cols(3);
+        assert_eq!((m.rows(), m.cols()), (3, 5));
+        for (i, row) in [[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]].iter().enumerate() {
+            assert_eq!(m[(i, 0)], row[0]);
+            assert_eq!(m[(i, 1)], row[1]);
+            for j in 2..5 {
+                assert_eq!(m[(i, j)], 0.0);
+            }
+        }
+        // Growing by zero is a no-op.
+        let before = m.clone();
+        m.grow_cols(0);
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn grow_cols_matches_repeated_push_col() {
+        let mut grown = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut pushed = grown.clone();
+        grown.grow_cols(2);
+        pushed.push_col(&[0.0, 0.0]).unwrap();
+        pushed.push_col(&[0.0, 0.0]).unwrap();
+        assert_eq!(grown, pushed);
+    }
+
+    #[test]
     fn matmul_known_product() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
@@ -307,6 +390,21 @@ mod tests {
         assert_eq!(a.row(2), &[1.0, 2.0]);
         a.swap_rows(1, 1); // no-op
         assert_eq!(a.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn push_row_and_push_col_grow_in_place() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        a.push_row(&[5.0, 6.0]).unwrap();
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.row(2), &[5.0, 6.0]);
+        a.push_col(&[7.0, 8.0, 9.0]).unwrap();
+        assert_eq!(a.cols(), 3);
+        assert_eq!(a.row(0), &[1.0, 2.0, 7.0]);
+        assert_eq!(a.row(1), &[3.0, 4.0, 8.0]);
+        assert_eq!(a.row(2), &[5.0, 6.0, 9.0]);
+        assert!(a.push_row(&[0.0]).is_err());
+        assert!(a.push_col(&[0.0]).is_err());
     }
 
     #[test]

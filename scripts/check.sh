@@ -34,8 +34,17 @@
 # surviving injected panics, hangs, poisoned cache entries, and dropped/
 # truncated connections), kill -9s the server, restarts it from the same
 # snapshot, and re-runs the smoke mix — the restored cache must serve bit
-# for bit. Level 2 of the audit gate now carries six rules, including
-# no-unwrap-inside-catch_unwind on the supervised worker paths.
+# for bit. Level 2 of the audit gate now carries seven rules, including
+# no-unwrap-inside-catch_unwind on the supervised worker paths and the
+# hash-order rule (no HashMap/HashSet/pointer-identity iteration in the
+# simplex crate, whose pivot order must be reproducible).
+#
+# The warm-start gate (DESIGN.md §14) runs the bench smoke twice — warm
+# dual-simplex path on and off — validates both documents against the v6
+# schema (which checks the warm_start work counters and the solve ≤ fit
+# phase budget), and bit-compares the incumbents between the two runs:
+# warm starts may change how much work the solver does, never what it
+# returns.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -77,11 +86,18 @@ if [[ $fast -eq 0 ]]; then
     cargo run --release -q -p hslb-bench --bin bench-suite -- --validate "$slow_out"
     cargo run --release -q -p hslb-bench --bin bench-suite -- --validate BENCH_pipeline.json
 
+    echo "==> warm-start gate (warm vs cold A/B, incumbents bit-compared)"
+    cold_out="$(mktemp /tmp/bench_smoke_cold.XXXXXX.json)"
+    trap 'rm -f "$smoke_out" "$slow_out" "$cold_out"' EXIT
+    cargo run --release -q -p hslb-bench --bin bench-suite -- --smoke --no-warm-start --out "$cold_out"
+    cargo run --release -q -p hslb-bench --bin bench-suite -- --validate "$cold_out"
+    cargo run --release -q -p hslb-bench --bin bench-suite -- --compare-incumbents "$smoke_out" "$cold_out"
+
     echo "==> service smoke (hslb-serve + loadgen + graceful drain)"
     port_file="$(mktemp /tmp/hslb_serve_port.XXXXXX)"
     load_out="$(mktemp /tmp/service_load.XXXXXX.json)"
     rm -f "$port_file"
-    trap 'rm -f "$smoke_out" "$slow_out" "$port_file" "$load_out"' EXIT
+    trap 'rm -f "$smoke_out" "$slow_out" "$cold_out" "$port_file" "$load_out"' EXIT
     ./target/release/hslb-serve --addr 127.0.0.1:0 --port-file "$port_file" &
     serve_pid=$!
     for _ in $(seq 1 100); do
@@ -99,7 +115,7 @@ if [[ $fast -eq 0 ]]; then
     snapshot_file="$(mktemp /tmp/hslb_snapshot.XXXXXX.json)"
     chaos_out="$(mktemp /tmp/service_chaos.XXXXXX.json)"
     rm -f "$port_file" "$snapshot_file"
-    trap 'rm -f "$smoke_out" "$slow_out" "$port_file" "$load_out" "$snapshot_file" "$chaos_out"' EXIT
+    trap 'rm -f "$smoke_out" "$slow_out" "$cold_out" "$port_file" "$load_out" "$snapshot_file" "$chaos_out"' EXIT
     ./target/release/hslb-serve --addr 127.0.0.1:0 --port-file "$port_file" \
         --fault-seed 7 --fault-rate 0.3 --snapshot "$snapshot_file" &
     serve_pid=$!
