@@ -9,17 +9,33 @@
 //! ```text
 //! hslb-serve [--addr 127.0.0.1:7878] [--workers 4] [--shards 2]
 //!            [--queue-capacity 64] [--no-coalesce] [--no-cache]
-//!            [--warm-neighbors] [--port-file PATH]
+//!            [--warm-neighbors] [--port-file PATH] [--shard i/N]
 //!            [--snapshot PATH] [--snapshot-every N]
 //!            [--fault-seed N] [--fault-rate F]
+//!            [--max-outbound-bytes N] [--drain-deadline-ms N]
 //! ```
+//!
+//! The front end is the std-only nonblocking readiness loop of
+//! `hslb_service::reactor`: one thread multiplexes accept, read,
+//! dispatch, and write-backpressure across every connection, and tune
+//! replies ride a completion bus from the resolving worker straight
+//! into per-connection outbound queues. Thread count is `workers + 1`
+//! regardless of connection count — there is no thread per connection
+//! and no thread per reply.
+//!
+//! `--shard i/N` declares this process shard `i` of an `N`-process
+//! consistent-hash deployment: tune requests whose exact key routes to
+//! another shard are rejected with a typed `misrouted` error naming the
+//! owner (clients route with `hslb_service::shard_for_key`).
 //!
 //! `--port-file` writes the bound address (host:port) to a file once
 //! listening — how the check.sh smoke gate finds a `--addr 127.0.0.1:0`
-//! ephemeral port. A `shutdown` command drains the service (queued
-//! requests are rejected with a typed `Draining` error, in-flight ones
-//! finish), flushes a final cache snapshot when `--snapshot` is set,
-//! waits for every pending reply to be written, acks, and exits 0.
+//! ephemeral port. The write is atomic (temp + rename), so a poller can
+//! never observe a partial address. A `shutdown` command drains the
+//! service (queued requests are rejected with a typed `Draining` error,
+//! in-flight ones finish), flushes a final cache snapshot when
+//! `--snapshot` is set, writes every pending reply under a hard
+//! deadline, acks, and exits 0.
 //!
 //! `--snapshot PATH` restores both cache tiers from `PATH` at startup
 //! (a missing/corrupted snapshot cold-starts with a recovery record —
@@ -28,23 +44,20 @@
 //! `--fault-rate F` (with `--fault-seed N`) enables the deterministic
 //! chaos spec `ServiceFaultSpec::chaos(N, F)`: seeded worker
 //! panics/hangs/slowdowns and cache poisoning inside the service, plus
-//! connection drops and truncated frames injected here at the TCP
-//! boundary on tune replies.
+//! connection drops and truncated frames injected at the reactor's
+//! outbound-enqueue point on tune replies.
 #![forbid(unsafe_code)]
 
-use hslb_service::wire;
-use hslb_service::{
-    CachePolicy, ConnFault, ServiceFaultSpec, ServiceOptions, SnapshotPolicy, TuningService,
-};
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use hslb_service::reactor::{write_port_file, Reactor, ReactorOptions};
+use hslb_service::shard::ShardSpec;
+use hslb_service::{CachePolicy, ServiceFaultSpec, ServiceOptions, SnapshotPolicy, TuningService};
+use std::sync::Arc;
 
 struct Args {
     addr: String,
     port_file: Option<String>,
     opts: ServiceOptions,
+    reactor: ReactorOptions,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:7878".to_string(),
         port_file: None,
         opts: ServiceOptions::default(),
+        reactor: ReactorOptions::default(),
     };
     let mut snapshot_path: Option<String> = None;
     let mut snapshot_every: Option<u64> = None;
@@ -63,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--addr" => args.addr = value("--addr")?,
             "--port-file" => args.port_file = Some(value("--port-file")?),
+            "--shard" => args.reactor.shard = Some(ShardSpec::parse(&value("--shard")?)?),
             "--workers" => {
                 args.opts.workers = value("--workers")?
                     .parse()
@@ -99,13 +114,24 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--fault-rate: {e}"))?
             }
+            "--max-outbound-bytes" => {
+                args.reactor.max_outbound_bytes = value("--max-outbound-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--max-outbound-bytes: {e}"))?
+            }
+            "--drain-deadline-ms" => {
+                args.reactor.drain_deadline_ms = value("--drain-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--drain-deadline-ms: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "hslb-serve [--addr HOST:PORT] [--workers N] [--shards N] \
                      [--queue-capacity N] [--no-coalesce] [--no-cache] \
-                     [--warm-neighbors] [--port-file PATH] \
+                     [--warm-neighbors] [--port-file PATH] [--shard i/N] \
                      [--snapshot PATH] [--snapshot-every N] \
-                     [--fault-seed N] [--fault-rate F]"
+                     [--fault-seed N] [--fault-rate F] \
+                     [--max-outbound-bytes N] [--drain-deadline-ms N]"
                 );
                 std::process::exit(0);
             }
@@ -122,139 +148,11 @@ fn parse_args() -> Result<Args, String> {
         return Err("--snapshot-every requires --snapshot".to_string());
     }
     if fault_rate > 0.0 {
-        args.opts.faults = ServiceFaultSpec::chaos(fault_seed, fault_rate);
+        let spec = ServiceFaultSpec::chaos(fault_seed, fault_rate);
+        args.opts.faults = spec;
+        args.reactor.faults = spec;
     }
     Ok(args)
-}
-
-/// Counts replies still being written, so shutdown can wait for them.
-#[derive(Default)]
-struct PendingReplies {
-    count: Mutex<u64>,
-    drained: Condvar,
-}
-
-impl PendingReplies {
-    fn enter(&self) {
-        *self.count.lock().unwrap_or_else(|e| e.into_inner()) += 1;
-    }
-
-    fn exit(&self) {
-        let mut n = self.count.lock().unwrap_or_else(|e| e.into_inner());
-        *n -= 1;
-        if *n == 0 {
-            drop(n);
-            self.drained.notify_all();
-        }
-    }
-
-    fn wait_empty(&self) {
-        let mut n = self.count.lock().unwrap_or_else(|e| e.into_inner());
-        while *n > 0 {
-            n = self.drained.wait(n).unwrap_or_else(|e| e.into_inner());
-        }
-    }
-}
-
-fn write_line(writer: &Arc<Mutex<BufWriter<TcpStream>>>, line: &str) {
-    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
-    // A vanished client is not a server error; drop the reply.
-    let _ = writeln!(w, "{line}");
-    let _ = w.flush();
-}
-
-/// Write a tune reply, applying any injected connection fault for this
-/// request id: `Drop` closes the socket instead of replying, `Truncate`
-/// writes half the frame (no newline) then closes. Either way the client
-/// sees a broken connection, reconnects, and retries — never a corrupted
-/// reply it would mistake for a real one.
-fn deliver_tune_reply(writer: &Arc<Mutex<BufWriter<TcpStream>>>, line: &str, fault: ConnFault) {
-    match fault {
-        ConnFault::None => write_line(writer, line),
-        ConnFault::Drop => {
-            let w = writer.lock().unwrap_or_else(|e| e.into_inner());
-            let _ = w.get_ref().shutdown(Shutdown::Both);
-        }
-        ConnFault::Truncate => {
-            let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
-            let _ = w.write_all(&line.as_bytes()[..line.len() / 2]);
-            let _ = w.flush();
-            let _ = w.get_ref().shutdown(Shutdown::Both);
-        }
-    }
-}
-
-fn serve_connection(
-    stream: TcpStream,
-    service: &Arc<TuningService>,
-    pending: &Arc<PendingReplies>,
-    shutting_down: &Arc<AtomicBool>,
-    faults: ServiceFaultSpec,
-) {
-    let reader = match stream.try_clone() {
-        Ok(s) => BufReader::new(s),
-        Err(_) => return,
-    };
-    let writer = Arc::new(Mutex::new(BufWriter::new(stream)));
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        match wire::parse_command(&line) {
-            Err(msg) => write_line(&writer, &wire::protocol_error_reply(&msg)),
-            Ok(wire::Command::Ping) => write_line(&writer, &wire::pong_reply()),
-            Ok(wire::Command::Stats) => write_line(&writer, &wire::stats_reply(&service.stats())),
-            Ok(wire::Command::Health) => {
-                write_line(&writer, &wire::health_reply(&service.health()))
-            }
-            Ok(wire::Command::Observe(req, times)) => {
-                let (decision, outcome) = service.observe_timing(&req, &times);
-                write_line(&writer, &wire::observe_reply(&decision, outcome.as_ref()));
-            }
-            Ok(wire::Command::Tune(req)) => {
-                let id = req.id;
-                match service.submit(req) {
-                    Err(err) => write_line(&writer, &wire::error_reply(Some(id), &err)),
-                    Ok(ticket) => {
-                        // Resolve asynchronously so the connection can
-                        // pipeline further commands meanwhile.
-                        pending.enter();
-                        let reply_writer = Arc::clone(&writer);
-                        let reply_pending = Arc::clone(pending);
-                        let spawned = std::thread::Builder::new()
-                            .name(format!("hslb-reply-{id}"))
-                            .spawn(move || {
-                                let line = match ticket.wait() {
-                                    Ok(resp) => wire::tune_reply(&resp),
-                                    Err(err) => wire::error_reply(Some(id), &err),
-                                };
-                                deliver_tune_reply(&reply_writer, &line, faults.conn(id));
-                                reply_pending.exit();
-                            });
-                        if spawned.is_err() {
-                            pending.exit();
-                            write_line(
-                                &writer,
-                                &wire::protocol_error_reply("failed to spawn reply thread"),
-                            );
-                        }
-                    }
-                }
-            }
-            Ok(wire::Command::Shutdown) => {
-                shutting_down.store(true, Ordering::Release);
-                // Drain: stop admissions, reject queued work with a typed
-                // Draining error, finish in-flight requests, flush the
-                // final snapshot, then wait until every reply line is on
-                // the wire.
-                service.shutdown();
-                pending.wait_empty();
-                write_line(&writer, &wire::shutdown_reply());
-                std::process::exit(0);
-            }
-        }
-    }
 }
 
 fn main() {
@@ -265,42 +163,11 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let listener = match TcpListener::bind(&args.addr) {
-        Ok(l) => l,
-        Err(e) => {
-            eprintln!("hslb-serve: bind {}: {e}", args.addr);
-            std::process::exit(2);
-        }
-    };
-    let local = listener
-        .local_addr()
-        .map(|a| a.to_string())
-        .unwrap_or_else(|_| args.addr.clone());
-    if let Some(path) = &args.port_file {
-        if let Err(e) = std::fs::write(path, &local) {
-            eprintln!("hslb-serve: write {path}: {e}");
-            std::process::exit(2);
-        }
-    }
-    eprintln!(
-        "hslb-serve: listening on {local} ({} workers, {} shards, capacity {})",
-        args.opts.workers, args.opts.shards, args.opts.queue_capacity
-    );
     let faults = args.opts.faults;
-    if faults.is_active() {
-        eprintln!(
-            "hslb-serve: fault injection active (seed {}, panic {:.3}, hang {:.3}, slow {:.3}, \
-             poison {:.3}, drop {:.3}, truncate {:.3})",
-            faults.seed,
-            faults.panic_rate,
-            faults.hang_rate,
-            faults.slow_rate,
-            faults.poison_rate,
-            faults.drop_rate,
-            faults.truncate_rate
-        );
-    }
     let snapshot_configured = args.opts.snapshot.is_some();
+    let workers = args.opts.workers;
+    let shards = args.opts.shards;
+    let capacity = args.opts.queue_capacity;
     let service = Arc::new(TuningService::start(args.opts));
     if snapshot_configured {
         let recovery = service.health().recovery;
@@ -314,18 +181,46 @@ fn main() {
             recovery.fallbacks
         );
     }
-    let pending = Arc::new(PendingReplies::default());
-    let shutting_down = Arc::new(AtomicBool::new(false));
-    for stream in listener.incoming() {
-        if shutting_down.load(Ordering::Acquire) {
-            break;
+    let reactor = match Reactor::bind(&args.addr, Arc::clone(&service), args.reactor.clone()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hslb-serve: {e}");
+            std::process::exit(2);
         }
-        let Ok(stream) = stream else { continue };
-        let service = Arc::clone(&service);
-        let pending = Arc::clone(&pending);
-        let shutting_down = Arc::clone(&shutting_down);
-        let _ = std::thread::Builder::new()
-            .name("hslb-conn".to_string())
-            .spawn(move || serve_connection(stream, &service, &pending, &shutting_down, faults));
+    };
+    let local = reactor.local_addr().to_string();
+    if let Some(path) = &args.port_file {
+        if let Err(e) = write_port_file(path, &local) {
+            eprintln!("hslb-serve: {e}");
+            std::process::exit(2);
+        }
     }
+    match args.reactor.shard {
+        Some(spec) => eprintln!(
+            "hslb-serve: listening on {local} as shard {spec} \
+             ({workers} workers, {shards} queue shards, capacity {capacity})"
+        ),
+        None => eprintln!(
+            "hslb-serve: listening on {local} \
+             ({workers} workers, {shards} queue shards, capacity {capacity})"
+        ),
+    }
+    if faults.is_active() {
+        eprintln!(
+            "hslb-serve: fault injection active (seed {}, panic {:.3}, hang {:.3}, slow {:.3}, \
+             poison {:.3}, drop {:.3}, truncate {:.3})",
+            faults.seed,
+            faults.panic_rate,
+            faults.hang_rate,
+            faults.slow_rate,
+            faults.poison_rate,
+            faults.drop_rate,
+            faults.truncate_rate
+        );
+    }
+    if let Err(e) = reactor.run() {
+        eprintln!("hslb-serve: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("hslb-serve: drained and exiting");
 }

@@ -1,12 +1,21 @@
-//! `loadgen` — replay a deterministic request mix against `hslb-serve`
-//! and report throughput/latency percentiles as the v5 service block
-//! (`hslb-service-load/v2`).
+//! `loadgen` — replay a deterministic request mix against one or more
+//! `hslb-serve` processes and report throughput/latency/connection
+//! accounting as the v7 service block (`hslb-service-load/v3`).
 //!
 //! ```text
-//! loadgen --addr HOST:PORT [--smoke] [--profile smoke|soak|chaos]
-//!         [--requests N] [--seed N] [--concurrency N] [--include-eighth]
-//!         [--check N] [--deadline-ms N] [--out FILE] [--shutdown]
+//! loadgen --addr HOST:PORT[,HOST:PORT...]
+//!         [--smoke] [--profile smoke|soak|chaos|ramp]
+//!         [--requests N] [--seed N] [--concurrency N]
+//!         [--connections N] [--churn-every N] [--timeout-ms N]
+//!         [--include-eighth] [--check N] [--deadline-ms N]
+//!         [--out FILE] [--shutdown]
 //! ```
+//!
+//! `--addr` takes a comma-separated list for sharded deployments: the
+//! address at position `i` must be the server started with `--shard
+//! i/N`. Every request routes by `hslb_service::shard_for_key` over its
+//! exact key — the same consistent hash the servers verify — and the
+//! report carries a per-shard requests/throughput split.
 //!
 //! Three determinism checks run on every invocation:
 //!
@@ -28,41 +37,42 @@
 //! Profiles:
 //!
 //! * `--smoke` / `--profile smoke` — the check.sh gate: the fixed smoke
-//!   mix, hard assertions (every request succeeds, ≥1 cache/coalesce
-//!   hit, zero determinism mismatches, graceful shutdown acked);
-//! * `--profile soak` — a longer sustained mix with the same hard
-//!   assertions (exercises periodic snapshot flushes and cache churn);
+//!   mix, closed-loop, hard assertions (every request succeeds, ≥1
+//!   cache/coalesce hit, zero determinism mismatches, graceful shutdown
+//!   acked);
 //! * `--profile chaos` — the chaos mix with every deadline pinned
-//!   (short watchdogs), meant for a `--fault-rate` server: asserts that
-//!   every request terminates with a bit-identical response, zero
-//!   determinism mismatches, zero unrecovered errors.
+//!   (short watchdogs), closed-loop, meant for a `--fault-rate` server:
+//!   asserts that every request terminates with a bit-identical
+//!   response, zero determinism mismatches, zero unrecovered errors;
+//! * `--profile ramp` — **open-loop**: hold `--connections` sockets
+//!   (smoke default 512) and step the arrival rate up through a
+//!   schedule regardless of completions. The connection-scale gate:
+//!   asserts every request succeeds, determinism holds, and the
+//!   servers' peak concurrent connections reached the client's count;
+//! * `--profile soak` — **open-loop** sustained load with connection
+//!   churn (smoke default 5,000 connections, `--churn-every 1`):
+//!   the bounded-threads / slow-drift gate. Same hard assertions as
+//!   ramp, plus at least one deliberate churn cycle.
 #![forbid(unsafe_code)]
 
-use hslb_service::loadmix::{
-    force_deadlines, generate, FaultReport, LoadOutcome, LoadReport, MixSpec,
+use hslb_service::loadclient::{
+    connections_report, determinism_audit, probe_stats, request_shutdown, run_closed_loop,
+    run_open_loop, OpenLoopSpec, RateStep, StatsProbe,
 };
-use hslb_service::request::{TuneRequest, TuneResponse};
-use hslb_service::wire;
-use hslb_telemetry::json::Value;
-use std::collections::{BTreeMap, VecDeque};
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::TcpStream;
-use std::sync::{Arc, Mutex};
+use hslb_service::loadmix::{
+    force_deadlines, generate, ConnectionsReport, FaultReport, LoadReport, MixSpec, RunCounters,
+};
 use std::time::Instant;
 
-const MAX_RETRIES: u64 = 50;
-
-/// Retried attempts get a fresh correlation id in a disjoint band, so
-/// server-side per-id fault draws re-roll while exact keys (and thus
-/// caching/coalescing) are untouched.
-const ID_RETRY_STRIDE: u64 = 1_000_000;
-
 struct Args {
-    addr: String,
+    addrs: Vec<String>,
     profile: String,
     requests: usize,
     seed: u64,
     concurrency: usize,
+    connections: Option<usize>,
+    churn_every: Option<usize>,
+    timeout_ms: u64,
     include_eighth: bool,
     check: usize,
     deadline_ms: u64,
@@ -72,24 +82,40 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        addr: "127.0.0.1:7878".to_string(),
+        addrs: vec!["127.0.0.1:7878".to_string()],
         profile: "custom".to_string(),
         requests: 50,
         seed: 11,
         concurrency: 4,
+        connections: None,
+        churn_every: None,
+        timeout_ms: 120_000,
         include_eighth: false,
         check: 3,
         deadline_ms: 1500,
         out: None,
         shutdown: false,
     };
+    let mut smoke = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match arg.as_str() {
-            "--addr" => args.addr = value("--addr")?,
+            "--addr" => {
+                args.addrs = value("--addr")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if args.addrs.is_empty() {
+                    return Err("--addr needs at least one address".to_string());
+                }
+            }
             "--smoke" => {
-                args.profile = "smoke".to_string();
+                smoke = true;
+                if args.profile == "custom" {
+                    args.profile = "smoke".to_string();
+                }
                 args.shutdown = true;
             }
             "--profile" => {
@@ -99,7 +125,7 @@ fn parse_args() -> Result<Args, String> {
                         args.profile = p;
                         args.shutdown = true;
                     }
-                    "soak" | "chaos" => args.profile = p,
+                    "soak" | "chaos" | "ramp" => args.profile = p,
                     other => return Err(format!("unknown profile {other:?}")),
                 }
             }
@@ -119,6 +145,26 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--concurrency: {e}"))?
                     .max(1)
             }
+            "--connections" => {
+                args.connections = Some(
+                    value("--connections")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--connections: {e}"))?
+                        .max(1),
+                )
+            }
+            "--churn-every" => {
+                args.churn_every = Some(
+                    value("--churn-every")?
+                        .parse()
+                        .map_err(|e| format!("--churn-every: {e}"))?,
+                )
+            }
+            "--timeout-ms" => {
+                args.timeout_ms = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--timeout-ms: {e}"))?
+            }
             "--include-eighth" => args.include_eighth = true,
             "--check" => {
                 args.check = value("--check")?
@@ -134,309 +180,78 @@ fn parse_args() -> Result<Args, String> {
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => {
                 println!(
-                    "loadgen --addr HOST:PORT [--smoke] [--profile smoke|soak|chaos] \
-                     [--requests N] [--seed N] [--concurrency N] [--include-eighth] \
-                     [--check N] [--deadline-ms N] [--out FILE] [--shutdown]"
+                    "loadgen --addr HOST:PORT[,HOST:PORT...] [--smoke] \
+                     [--profile smoke|soak|chaos|ramp] [--requests N] [--seed N] \
+                     [--concurrency N] [--connections N] [--churn-every N] \
+                     [--timeout-ms N] [--include-eighth] [--check N] \
+                     [--deadline-ms N] [--out FILE] [--shutdown]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    // `--profile ramp --smoke` / `--profile soak --smoke` keep the
+    // open-loop profile but shrink it to gate scale.
+    if smoke && (args.profile == "ramp" || args.profile == "soak") {
+        args.shutdown = true;
+        args.requests = 0; // marker: profile picks its smoke mix below
+    }
     Ok(args)
 }
 
-struct Conn {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+/// The open-loop shape of a profile: mix spec, connection count, churn
+/// cadence, and arrival schedule.
+struct OpenProfile {
+    mix: MixSpec,
+    connections: usize,
+    churn_every: usize,
+    schedule: Vec<RateStep>,
 }
 
-impl Conn {
-    fn open(addr: &str) -> Result<Conn, String> {
-        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-        let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-        Ok(Conn {
-            reader,
-            writer: BufWriter::new(stream),
-        })
-    }
-
-    fn round_trip(&mut self, line: &str) -> Result<String, String> {
-        writeln!(self.writer, "{line}").map_err(|e| format!("send: {e}"))?;
-        self.writer.flush().map_err(|e| format!("flush: {e}"))?;
-        let mut reply = String::new();
-        let n = self
-            .reader
-            .read_line(&mut reply)
-            .map_err(|e| format!("recv: {e}"))?;
-        if n == 0 {
-            return Err("server closed the connection".to_string());
-        }
-        if !reply.ends_with('\n') {
-            // A frame without its newline is a truncation — the server
-            // died (or injected a fault) mid-write.
-            return Err("truncated reply frame".to_string());
-        }
-        Ok(reply)
-    }
-}
-
-fn tune_line(req: &TuneRequest) -> String {
-    let mut v = req.to_value();
-    if let Value::Obj(kv) = &mut v {
-        kv.insert(0, ("op".to_string(), Value::Str("tune".to_string())));
-    }
-    v.to_string()
-}
-
-/// What one client thread saw for one request.
-enum Attempt {
-    Ok(Box<TuneResponse>, f64),
-    Rejected,
-    Error(String),
-}
-
-/// Per-thread fault survival counters, merged into the run totals.
-#[derive(Default)]
-struct FaultAcct {
-    conn_failures: usize,
-    reconnects: usize,
-    retry_errors: usize,
-    recovery_ms: Vec<f64>,
-}
-
-/// Drive one request to a terminal outcome: retry broken connections
-/// (reconnect, fresh correlation id) and typed retryable errors (backoff
-/// by the server's hint), give up only after `MAX_RETRIES`. Successful
-/// replies are verified (id echo + wire fingerprint) before they count.
-fn drive_request(
-    addr: &str,
-    conn: &mut Option<Conn>,
-    req: &TuneRequest,
-    acct: &mut FaultAcct,
-) -> Attempt {
-    let started = Instant::now();
-    let mut first_failure: Option<Instant> = None;
-    let fail = |acct: &mut FaultAcct, first: &mut Option<Instant>| {
-        acct.conn_failures += 1;
-        first.get_or_insert_with(Instant::now);
-    };
-    for attempt in 0..=MAX_RETRIES {
-        let mut attempt_req = req.clone();
-        attempt_req.id = req.id + attempt * ID_RETRY_STRIDE;
-        if conn.is_none() {
-            match Conn::open(addr) {
-                Ok(c) => {
-                    *conn = Some(c);
-                    if attempt > 0 {
-                        acct.reconnects += 1;
-                    }
-                }
-                Err(e) => {
-                    if attempt == MAX_RETRIES {
-                        return Attempt::Error(e);
-                    }
-                    std::thread::sleep(std::time::Duration::from_millis(20));
-                    continue;
-                }
+fn open_profile(args: &Args, smoke: bool) -> OpenProfile {
+    match (args.profile.as_str(), smoke) {
+        ("ramp", _) => {
+            // Step the arrival rate up; smoke scale holds 512 sockets.
+            let requests = if smoke { 1024 } else { args.requests.max(1024) };
+            OpenProfile {
+                mix: MixSpec {
+                    requests,
+                    seed: 17,
+                    include_eighth: false,
+                },
+                connections: args.connections.unwrap_or(512),
+                churn_every: args.churn_every.unwrap_or(0),
+                schedule: vec![
+                    RateStep {
+                        requests: requests / 4,
+                        rps: 200.0,
+                    },
+                    RateStep {
+                        requests: requests - requests / 4,
+                        rps: 500.0,
+                    },
+                ],
             }
         }
-        let Some(c) = conn.as_mut() else {
-            continue;
-        };
-        let reply = match c.round_trip(&tune_line(&attempt_req)) {
-            Ok(r) => r,
-            Err(_) => {
-                fail(acct, &mut first_failure);
-                *conn = None;
-                continue;
-            }
-        };
-        let (ok, v) = match wire::parse_reply(&reply) {
-            Ok(p) => p,
-            Err(_) => {
-                // Unparseable reply ⇒ treat as a broken frame: never
-                // trust it, reconnect and retry.
-                fail(acct, &mut first_failure);
-                *conn = None;
-                continue;
-            }
-        };
-        if ok {
-            return match TuneResponse::from_value(&v) {
-                Ok(resp) => {
-                    // Wire bit-exactness: the embedded fingerprint must
-                    // match one recomputed from the parsed floats.
-                    let embedded = v
-                        .get("fingerprint")
-                        .and_then(Value::as_str)
-                        .unwrap_or_default()
-                        .to_string();
-                    if resp.id != attempt_req.id {
-                        // Coalesced replies must still echo this
-                        // attempt's own correlation id, not the leader's.
-                        Attempt::Error(format!(
-                            "reply id {} does not echo request id {}",
-                            resp.id, attempt_req.id
-                        ))
-                    } else if embedded != resp.payload.fingerprint() {
-                        Attempt::Error(format!(
-                            "wire fingerprint mismatch for id {}: {embedded} vs {}",
-                            resp.id,
-                            resp.payload.fingerprint()
-                        ))
-                    } else {
-                        if let Some(t0) = first_failure {
-                            acct.recovery_ms.push(t0.elapsed().as_secs_f64() * 1e3);
-                        }
-                        Attempt::Ok(Box::new(resp), started.elapsed().as_secs_f64() * 1e3)
-                    }
-                }
-                Err(e) => Attempt::Error(format!("bad tune reply: {e}")),
-            };
-        }
-        match v.get("retry_after_ms").and_then(Value::as_f64) {
-            Some(ms) => {
-                // Explicit backpressure or drain: back off and retry.
-                acct.retry_errors += 1;
-                first_failure.get_or_insert_with(Instant::now);
-                std::thread::sleep(std::time::Duration::from_millis(ms.max(1.0) as u64));
-            }
-            None => {
-                return Attempt::Error(
-                    v.get("error")
-                        .and_then(Value::as_str)
-                        .unwrap_or("unknown server error")
-                        .to_string(),
-                )
+        _ => {
+            // soak: flat sustained rate, aggressive churn, many sockets.
+            let requests = if smoke { 1500 } else { args.requests.max(1500) };
+            OpenProfile {
+                mix: MixSpec {
+                    requests,
+                    seed: 13,
+                    include_eighth: false,
+                },
+                connections: args.connections.unwrap_or(5_000),
+                churn_every: args.churn_every.unwrap_or(1),
+                schedule: vec![RateStep {
+                    requests,
+                    rps: 300.0,
+                }],
             }
         }
     }
-    Attempt::Rejected
-}
-
-#[derive(Default)]
-struct RunResults {
-    outcomes: Vec<LoadOutcome>,
-    responses: Vec<(TuneRequest, TuneResponse)>,
-    rejected: usize,
-    errors: Vec<String>,
-    faults: FaultAcct,
-}
-
-fn run_load(addr: &str, mix: &[TuneRequest], concurrency: usize) -> Result<RunResults, String> {
-    let pending: Arc<Mutex<VecDeque<TuneRequest>>> =
-        Arc::new(Mutex::new(mix.iter().cloned().collect()));
-    let collected: Arc<Mutex<RunResults>> = Arc::new(Mutex::new(RunResults::default()));
-    std::thread::scope(|scope| {
-        for _ in 0..concurrency {
-            let pending = Arc::clone(&pending);
-            let collected = Arc::clone(&collected);
-            scope.spawn(move || {
-                let mut conn: Option<Conn> = None;
-                let mut acct = FaultAcct::default();
-                loop {
-                    let req = {
-                        let mut q = pending.lock().unwrap_or_else(|p| p.into_inner());
-                        q.pop_front()
-                    };
-                    let Some(req) = req else { break };
-                    let attempt = drive_request(addr, &mut conn, &req, &mut acct);
-                    let mut res = collected.lock().unwrap_or_else(|p| p.into_inner());
-                    match attempt {
-                        Attempt::Ok(resp, e2e_ms) => {
-                            res.outcomes.push(LoadOutcome {
-                                tier: resp.tier,
-                                coalesced: resp.coalesced,
-                                queue_wait_ms: resp.queue_wait_ms,
-                                e2e_ms,
-                            });
-                            res.responses.push((req, *resp));
-                        }
-                        Attempt::Rejected => res.rejected += 1,
-                        Attempt::Error(e) => res.errors.push(e),
-                    }
-                }
-                let mut res = collected.lock().unwrap_or_else(|p| p.into_inner());
-                res.faults.conn_failures += acct.conn_failures;
-                res.faults.reconnects += acct.reconnects;
-                res.faults.retry_errors += acct.retry_errors;
-                res.faults.recovery_ms.append(&mut acct.recovery_ms);
-            });
-        }
-    });
-    Arc::try_unwrap(collected)
-        .map_err(|_| "worker threads leaked result handles".to_string())
-        .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
-}
-
-/// Determinism checks 2 and 3: duplicate consistency across the whole
-/// run, and serial-reference equality for `check` distinct scenarios.
-/// Returns (checked, mismatches, messages).
-fn determinism_audit(
-    responses: &[(TuneRequest, TuneResponse)],
-    check: usize,
-) -> (usize, usize, Vec<String>) {
-    let mut checked = 0;
-    let mut mismatches = 0;
-    let mut messages = Vec::new();
-
-    // Duplicates must agree with each other bit for bit.
-    let mut by_key: BTreeMap<String, (u64, String)> = BTreeMap::new();
-    for (req, resp) in responses {
-        let fp = resp.payload.fingerprint();
-        match by_key.get(&req.exact_key()) {
-            None => {
-                by_key.insert(req.exact_key(), (req.id, fp));
-            }
-            Some((first_id, first_fp)) => {
-                checked += 1;
-                if *first_fp != fp {
-                    mismatches += 1;
-                    messages.push(format!(
-                        "duplicate divergence on {}: id {} != id {}",
-                        req.exact_key(),
-                        first_id,
-                        req.id
-                    ));
-                }
-            }
-        }
-    }
-
-    // Serial one-shot references, computed in-process, for the first
-    // `check` distinct 1° scenarios (key order — deterministic). 1° only:
-    // the 1/8° reference pipeline is expensive and already covered by
-    // the service integration tests.
-    let mut referenced = 0;
-    for (key, (id, fp)) in &by_key {
-        if referenced >= check {
-            break;
-        }
-        let Some((req, _)) = responses.iter().find(|(r, _)| {
-            r.exact_key() == *key && r.resolution == hslb_cesm::Resolution::OneDegree
-        }) else {
-            continue;
-        };
-        referenced += 1;
-        match hslb_service::reference_response(req) {
-            Ok(reference) => {
-                checked += 1;
-                if reference.fingerprint() != *fp {
-                    mismatches += 1;
-                    messages.push(format!(
-                        "serial reference divergence on {key} (id {id}): service {fp} vs reference {}",
-                        reference.fingerprint()
-                    ));
-                }
-            }
-            Err(e) => {
-                mismatches += 1;
-                messages.push(format!("reference pipeline failed on {key}: {e}"));
-            }
-        }
-    }
-    (checked, mismatches, messages)
 }
 
 fn main() {
@@ -447,10 +262,17 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let spec = match args.profile.as_str() {
-        "smoke" => MixSpec::smoke(),
-        "soak" => MixSpec::soak(),
-        "chaos" => MixSpec::chaos(),
+    let open_loop = args.profile == "ramp" || args.profile == "soak";
+    let smoke_scale = args.requests == 0;
+    let profile = if open_loop {
+        Some(open_profile(&args, smoke_scale))
+    } else {
+        None
+    };
+    let spec = match (&profile, args.profile.as_str()) {
+        (Some(p), _) => p.mix.clone(),
+        (None, "smoke") => MixSpec::smoke(),
+        (None, "chaos") => MixSpec::chaos(),
         _ => MixSpec {
             requests: args.requests,
             seed: args.seed,
@@ -465,41 +287,41 @@ fn main() {
     }
 
     // Server topology for the report, via the stats op.
-    let (workers, shards) = match Conn::open(&args.addr)
-        .and_then(|mut c| c.round_trip("{\"op\":\"stats\"}"))
-        .and_then(|r| wire::parse_reply(&r))
-    {
-        Ok((true, v)) => {
-            let field = |k: &str| {
-                v.get("stats")
-                    .and_then(|s| s.get(k))
-                    .and_then(Value::as_f64)
-                    .unwrap_or(0.0) as usize
-            };
-            (field("workers"), field("shards"))
-        }
-        Ok((false, v)) => {
-            eprintln!(
-                "loadgen: stats op failed: {}",
-                v.get("error").and_then(Value::as_str).unwrap_or("unknown")
-            );
-            (0, 0)
-        }
+    let (workers, shards) = match probe_stats(&args.addrs[0]) {
+        Ok(p) => (p.workers, p.shards),
         Err(e) => {
-            eprintln!("loadgen: cannot reach server at {}: {e}", args.addr);
+            eprintln!("loadgen: cannot reach server at {}: {e}", args.addrs[0]);
             std::process::exit(1);
         }
     };
 
     let started = Instant::now();
-    let results = match run_load(&args.addr, &mix, args.concurrency) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("loadgen: {e}");
-            std::process::exit(1);
+    let (results, concurrent, churned, wall_ms) = if let Some(p) = &profile {
+        let spec = OpenLoopSpec {
+            connections: p.connections,
+            churn_every: p.churn_every,
+            schedule: p.schedule.clone(),
+            timeout_ms: args.timeout_ms,
+        };
+        match run_open_loop(&args.addrs, &mix, &spec) {
+            Ok(r) => (r.run, r.concurrent, r.churned, r.wall_ms),
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match run_closed_loop(&args.addrs, &mix, args.concurrency) {
+            Ok(r) => {
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                (r, args.concurrency * args.addrs.len(), 0, wall_ms)
+            }
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                std::process::exit(1);
+            }
         }
     };
-    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
 
     for e in &results.errors {
         eprintln!("loadgen: request error: {e}");
@@ -510,6 +332,14 @@ fn main() {
         eprintln!("loadgen: DETERMINISM: {m}");
     }
 
+    // Post-run serving probes: the servers' connection high-water marks
+    // and reply-queue depths, taken before shutdown tears them down.
+    let probes: Vec<StatsProbe> = args
+        .addrs
+        .iter()
+        .filter_map(|addr| probe_stats(addr).ok())
+        .collect();
+
     let fault = FaultReport::from_samples(
         &args.profile,
         results.faults.conn_failures,
@@ -517,9 +347,16 @@ fn main() {
         results.faults.retry_errors,
         &results.faults.recovery_ms,
     );
+    let connections: ConnectionsReport = connections_report(
+        concurrent,
+        churned,
+        results.shard_loads(&args.addrs, wall_ms),
+        &probes,
+    );
+    let server_peak = connections.server_peak;
     let report = LoadReport::from_outcomes(
         &results.outcomes,
-        hslb_service::loadmix::RunCounters {
+        RunCounters {
             requests: mix.len(),
             rejected: results.rejected,
             errors: results.errors.len(),
@@ -530,6 +367,7 @@ fn main() {
             determinism_mismatches: mismatches,
         },
         fault,
+        connections,
     );
     let block = report.to_value();
     println!("{}", block.to_pretty());
@@ -546,20 +384,34 @@ fn main() {
         failed = true;
     }
     match args.profile.as_str() {
-        "smoke" | "soak" => {
+        "smoke" => {
             if report.ok != mix.len() {
                 eprintln!(
-                    "loadgen: {} requires every request to succeed ({} of {})",
-                    args.profile,
+                    "loadgen: smoke requires every request to succeed ({} of {})",
                     report.ok,
                     mix.len()
                 );
                 failed = true;
             }
             if report.tier_exact + report.coalesced == 0 {
+                eprintln!("loadgen: smoke requires at least one cache/coalesce hit");
+                failed = true;
+            }
+            if checked == 0 {
+                eprintln!("loadgen: smoke requires determinism checks to run");
+                failed = true;
+            }
+        }
+        "ramp" | "soak" => {
+            if report.ok != mix.len() {
                 eprintln!(
-                    "loadgen: {} requires at least one cache/coalesce hit",
-                    args.profile
+                    "loadgen: {} requires every request to succeed ({} of {}; {} rejected, \
+                     {} errors)",
+                    args.profile,
+                    report.ok,
+                    mix.len(),
+                    report.rejected,
+                    report.errors
                 );
                 failed = true;
             }
@@ -570,6 +422,37 @@ fn main() {
                 );
                 failed = true;
             }
+            if server_peak < concurrent {
+                eprintln!(
+                    "loadgen: {} requires the server(s) to have held all {} connections \
+                     concurrently (peak seen: {})",
+                    args.profile, concurrent, server_peak
+                );
+                failed = true;
+            }
+            for load in report.connections.per_shard.iter() {
+                if args.addrs.len() > 1 && load.requests == 0 {
+                    eprintln!(
+                        "loadgen: {} routed no requests to shard {} ({})",
+                        args.profile, load.shard, load.addr
+                    );
+                    failed = true;
+                }
+            }
+            if args.profile == "soak" && report.connections.churned == 0 {
+                eprintln!("loadgen: soak requires at least one churn cycle");
+                failed = true;
+            }
+            eprintln!(
+                "loadgen: {} held {} connection(s) (server peak {}), churned {}, \
+                 {:.1} req/s over {:.0} ms",
+                args.profile,
+                concurrent,
+                server_peak,
+                report.connections.churned,
+                report.throughput_rps(),
+                wall_ms
+            );
         }
         "chaos" => {
             // The chaos bar: every request *terminates* with a verified
@@ -604,19 +487,13 @@ fn main() {
         _ => {}
     }
     if args.shutdown {
-        match Conn::open(&args.addr).and_then(|mut c| c.round_trip("{\"op\":\"shutdown\"}")) {
-            Ok(reply) => match wire::parse_reply(&reply) {
-                Ok((true, v)) if v.get("op").and_then(Value::as_str) == Some("shutdown") => {
-                    eprintln!("loadgen: server drained and acked shutdown");
-                }
-                _ => {
-                    eprintln!("loadgen: bad shutdown ack: {}", reply.trim());
+        for addr in &args.addrs {
+            match request_shutdown(addr) {
+                Ok(()) => eprintln!("loadgen: {addr} drained and acked shutdown"),
+                Err(e) => {
+                    eprintln!("loadgen: shutdown {addr}: {e}");
                     failed = true;
                 }
-            },
-            Err(e) => {
-                eprintln!("loadgen: shutdown: {e}");
-                failed = true;
             }
         }
     }

@@ -20,7 +20,18 @@
 //!   (reusing the telemetry crate's JSON parser — no serde);
 //! * [`loadmix`] — deterministic request mixes and the latency/throughput
 //!   accounting the `loadgen` binary reports into the
-//!   `hslb-bench-pipeline/v5` service block;
+//!   `hslb-bench-pipeline/v7` service block;
+//! * [`reactor`] — the std-only nonblocking readiness loop behind
+//!   `hslb-serve`: one thread multiplexes accept/read/parse/dispatch and
+//!   write-backpressure across thousands of connections, with replies
+//!   delivered by ticket callbacks over a completion bus (no
+//!   thread-per-connection, no thread-per-reply);
+//! * [`shard`] — rendezvous consistent-hash routing for `--shard i/N`
+//!   multi-process deployments (client-side routing, server-side
+//!   misroute rejection);
+//! * [`loadclient`] — the TCP client engine `loadgen` runs on:
+//!   shard-aware routing, closed-loop determinism audits, and the
+//!   open-loop ramp/soak profiles with connection churn;
 //! * [`fault`] — deterministic service-layer fault injection (seeded
 //!   worker panics/hangs/slowdowns, cache poisoning, connection faults)
 //!   mirroring the simulator's `FaultSpec`;
@@ -44,19 +55,24 @@
 pub mod cache;
 pub mod drift;
 pub mod fault;
+pub mod loadclient;
 pub mod loadmix;
 pub mod queue;
+pub mod reactor;
 pub mod request;
 pub mod service;
+pub mod shard;
 pub mod snapshot;
 pub mod wire;
 
 pub use drift::{DriftDecision, DriftDetector, DriftOptions, DriftStats, RebalanceOutcome};
 pub use fault::{ConnFault, ServiceFaultSpec, WorkerFault};
 pub use queue::Backpressure;
+pub use reactor::{write_port_file, Reactor, ReactorOptions, ServingStats};
 pub use request::{CacheTier, TunePayload, TuneRequest, TuneResponse};
 pub use service::{
     reference_response, CachePolicy, HealthStats, ServiceOptions, ServiceStats, SubmitError,
     SupervisePolicy, Ticket, TuningService,
 };
+pub use shard::{shard_for_key, ShardSpec};
 pub use snapshot::{RecoveryRecord, SnapshotPolicy, SnapshotStats};

@@ -1,5 +1,5 @@
 //! Deterministic request mixes for `loadgen` and the service block of
-//! the `hslb-bench-pipeline/v5` schema.
+//! the `hslb-bench-pipeline/v7` schema.
 //!
 //! The generator is a seeded LCG over a fixed scenario pool, so a
 //! `(requests, seed)` pair always produces the same mix — including the
@@ -7,10 +7,13 @@
 //! Priorities and logical deadlines vary per request but never the
 //! pipeline inputs, so duplicates stay exact-key duplicates.
 //!
-//! The v2 service-load document adds a `profile` tag and a `faults`
+//! The v2 service-load document added a `profile` tag and a `faults`
 //! block: connection failures survived, reconnects, typed-error retries,
 //! and the latency percentiles of recovering from a fault to a correct
-//! response — the chaos/soak accounting of DESIGN.md §13.
+//! response — the chaos/soak accounting of DESIGN.md §13. The v3
+//! document adds the `connections` block — concurrent-connection
+//! counts, server-side reply-queue depth percentiles, and the per-shard
+//! throughput split that evidences linear scaling (DESIGN.md §15).
 
 use crate::request::TuneRequest;
 use hslb::Objective;
@@ -144,12 +147,18 @@ pub struct LoadOutcome {
 }
 
 /// Interpolated percentile of an unsorted sample (p in [0, 100]).
+///
+/// Non-finite samples (NaN, ±inf) are filtered out before sorting: a
+/// single NaN latency must neither scramble the sort order (NaN
+/// compares `Equal` to everything under the old `partial_cmp` fallback,
+/// which silently shuffled neighbors) nor poison the interpolation. An
+/// all-non-finite (or empty) sample reports 0.0.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
-    if samples.is_empty() {
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+    if sorted.is_empty() {
         return 0.0;
     }
-    let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(f64::total_cmp);
     let rank = (p / 100.0) * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -217,8 +226,113 @@ impl FaultReport {
     }
 }
 
+/// Per-shard accounting of one load run: how many requests routed to a
+/// shard, how many succeeded, and over what wall-clock window — the
+/// linear-scaling evidence of the v3 schema.
+#[derive(Debug, Clone)]
+pub struct ShardLoad {
+    /// Shard index in the deployment (consistent-hash owner).
+    pub shard: usize,
+    /// The shard's address as the client dialed it.
+    pub addr: String,
+    /// Requests the router sent to this shard.
+    pub requests: usize,
+    /// Requests that ended in a verified success.
+    pub ok: usize,
+    /// Wall-clock window this shard was driven over.
+    pub wall_ms: f64,
+}
+
+impl ShardLoad {
+    /// Verified successes per second over this shard's window.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.ok as f64 / (self.wall_ms / 1e3)
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("shard".to_string(), Value::Num(self.shard as f64)),
+            ("addr".to_string(), Value::Str(self.addr.clone())),
+            ("requests".to_string(), Value::Num(self.requests as f64)),
+            ("ok".to_string(), Value::Num(self.ok as f64)),
+            ("wall_ms".to_string(), Value::Num(self.wall_ms)),
+            (
+                "throughput_rps".to_string(),
+                Value::Num(self.throughput_rps()),
+            ),
+        ])
+    }
+}
+
+/// Connection-scale accounting of one load run (the v3 addition):
+/// client-side concurrency and churn, the server's connection
+/// high-water mark, server-side reply-queue depth percentiles, and the
+/// per-shard request/throughput split.
+#[derive(Debug, Clone)]
+pub struct ConnectionsReport {
+    /// Client-side concurrently open connections (high-water mark).
+    pub concurrent: usize,
+    /// Server-reported peak concurrent connections (summed across shard
+    /// processes — each holds its slice of the client's sockets).
+    pub server_peak: usize,
+    /// Connections deliberately closed and reopened by churn.
+    pub churned: usize,
+    /// Server-side reply-queue depth percentiles (frames queued on a
+    /// connection at enqueue time; max-merged across shards).
+    pub reply_queue_p50: f64,
+    pub reply_queue_p90: f64,
+    pub reply_queue_p99: f64,
+    pub reply_queue_max: f64,
+    /// Per-shard accounting; a single unsharded server reports one row.
+    pub per_shard: Vec<ShardLoad>,
+}
+
+impl ConnectionsReport {
+    /// A single-connection-class run against one unsharded server.
+    pub fn single(concurrent: usize, shard: ShardLoad) -> ConnectionsReport {
+        ConnectionsReport {
+            concurrent,
+            server_peak: concurrent,
+            churned: 0,
+            reply_queue_p50: 0.0,
+            reply_queue_p90: 0.0,
+            reply_queue_p99: 0.0,
+            reply_queue_max: 0.0,
+            per_shard: vec![shard],
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("concurrent".to_string(), Value::Num(self.concurrent as f64)),
+            (
+                "server_peak".to_string(),
+                Value::Num(self.server_peak as f64),
+            ),
+            ("churned".to_string(), Value::Num(self.churned as f64)),
+            (
+                "reply_queue_depth".to_string(),
+                Value::Obj(vec![
+                    ("p50".to_string(), Value::Num(self.reply_queue_p50)),
+                    ("p90".to_string(), Value::Num(self.reply_queue_p90)),
+                    ("p99".to_string(), Value::Num(self.reply_queue_p99)),
+                    ("max".to_string(), Value::Num(self.reply_queue_max)),
+                ]),
+            ),
+            (
+                "per_shard".to_string(),
+                Value::Arr(self.per_shard.iter().map(ShardLoad::to_value).collect()),
+            ),
+        ])
+    }
+}
+
 /// The throughput/latency summary `loadgen` reports and the bench suite
-/// embeds as the v5 `service` block.
+/// embeds as the v7 `service` block.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
     pub requests: usize,
@@ -241,14 +355,19 @@ pub struct LoadReport {
     pub determinism_checked: usize,
     pub determinism_mismatches: usize,
     pub fault: FaultReport,
+    pub connections: ConnectionsReport,
 }
 
 /// Schema tag of the standalone service-load document.
-pub const SERVICE_SCHEMA: &str = "hslb-service-load/v2";
+pub const SERVICE_SCHEMA: &str = "hslb-service-load/v3";
 
 /// The retired v1 tag — recognized only to reject it with a clear
 /// message (v1 documents carry no fault/recovery accounting).
 pub const SERVICE_SCHEMA_V1: &str = "hslb-service-load/v1";
+
+/// The retired v2 tag — recognized only to reject it with a clear
+/// message (v2 documents predate connection-scale serving).
+pub const SERVICE_SCHEMA_V2: &str = "hslb-service-load/v2";
 
 /// Run-level scalars that accompany the per-request outcomes when
 /// building a [`LoadReport`]: counts the outcome list cannot carry
@@ -271,6 +390,7 @@ impl LoadReport {
         outcomes: &[LoadOutcome],
         run: RunCounters,
         fault: FaultReport,
+        connections: ConnectionsReport,
     ) -> LoadReport {
         let RunCounters {
             requests,
@@ -320,6 +440,7 @@ impl LoadReport {
             determinism_checked,
             determinism_mismatches,
             fault,
+            connections,
         }
     }
 
@@ -332,8 +453,8 @@ impl LoadReport {
         }
     }
 
-    /// The `service` block of the v5 bench schema (also the body of the
-    /// standalone `hslb-service-load/v2` document).
+    /// The `service` block of the v7 bench schema (also the body of the
+    /// standalone `hslb-service-load/v3` document).
     pub fn to_value(&self) -> Value {
         fn pct(p50: f64, p90: f64, p99: f64) -> Value {
             Value::Obj(vec![
@@ -422,17 +543,19 @@ impl LoadReport {
                     ),
                 ]),
             ),
+            ("connections".to_string(), self.connections.to_value()),
         ])
     }
 }
 
-/// Validate a v5 `service` block (shared by `bench-suite --validate` and
+/// Validate a v7 `service` block (shared by `bench-suite --validate` and
 /// `--validate-service`). Checks structure, conservation (the `ok`,
 /// `rejected`, and `errors` counts sum to `requests`, tier counts sum to
-/// `ok`), percentile ordering,
-/// the hard determinism bar (`mismatches == 0`), and the v2 fault block.
-/// v1 documents are rejected explicitly: they predate fault/recovery
-/// accounting.
+/// `ok`, per-shard successes sum to `ok`), percentile ordering and
+/// finiteness (a NaN percentile means the sampler was fed garbage),
+/// the hard determinism bar (`mismatches == 0`), the v2 fault block,
+/// and the v3 connections block. v1 and v2 documents are rejected
+/// explicitly with upgrade messages.
 pub fn validate_service_block(v: &Value) -> Result<(), String> {
     let num = |key: &str| -> Result<f64, String> {
         v.get(key)
@@ -445,6 +568,14 @@ pub fn validate_service_block(v: &Value) -> Result<(), String> {
             return Err(format!(
                 "service schema {SERVICE_SCHEMA_V1:?} is retired: v1 documents carry no \
                  fault/recovery accounting — regenerate with the current loadgen ({SERVICE_SCHEMA:?})"
+            ))
+        }
+        Some(s) if s == SERVICE_SCHEMA_V2 => {
+            return Err(format!(
+                "service schema {SERVICE_SCHEMA_V2:?} is retired: v2 documents predate \
+                 connection-scale serving (no concurrent-connection count, per-shard \
+                 throughput, or reply-queue depth accounting) — regenerate with the \
+                 current loadgen ({SERVICE_SCHEMA:?})"
             ))
         }
         Some(s) => return Err(format!("service schema {s:?}, expected {SERVICE_SCHEMA:?}")),
@@ -472,8 +603,11 @@ pub fn validate_service_block(v: &Value) -> Result<(), String> {
     if num("workers")? < 1.0 || num("shards")? < 1.0 {
         return Err("service block must report workers and shards >= 1".to_string());
     }
-    if num("throughput_rps")? <= 0.0 {
-        return Err("service throughput must be positive".to_string());
+    let throughput = num("throughput_rps")?;
+    if !throughput.is_finite() || throughput <= 0.0 {
+        return Err(format!(
+            "service throughput must be positive and finite, got {throughput}"
+        ));
     }
     for key in ["queue_wait_ms", "e2e_ms"] {
         let block = v
@@ -486,6 +620,12 @@ pub fn validate_service_block(v: &Value) -> Result<(), String> {
                 .ok_or_else(|| format!("`{key}` missing `{p}`"))
         };
         let (p50, p90, p99) = (p("p50")?, p("p90")?, p("p99")?);
+        if !(p50.is_finite() && p90.is_finite() && p99.is_finite()) {
+            return Err(format!(
+                "`{key}` percentiles must be finite: p50 {p50}, p90 {p90}, p99 {p99} \
+                 — a NaN here means the latency sampler was fed garbage"
+            ));
+        }
         if p50 < 0.0 || p50 > p90 + 1e-9 || p90 > p99 + 1e-9 {
             return Err(format!(
                 "`{key}` percentiles must be ordered: p50 {p50} <= p90 {p90} <= p99 {p99}"
@@ -553,9 +693,93 @@ pub fn validate_service_block(v: &Value) -> Result<(), String> {
             .ok_or_else(|| format!("`recovery_ms` missing `{p}`"))
     };
     let (p50, p90, p99) = (rp("p50")?, rp("p90")?, rp("p99")?);
+    if !(p50.is_finite() && p90.is_finite() && p99.is_finite()) {
+        return Err(format!(
+            "`recovery_ms` percentiles must be finite: p50 {p50}, p90 {p90}, p99 {p99}"
+        ));
+    }
     if p50 < 0.0 || p50 > p90 + 1e-9 || p90 > p99 + 1e-9 {
         return Err(format!(
             "`recovery_ms` percentiles must be ordered: p50 {p50} <= p90 {p90} <= p99 {p99}"
+        ));
+    }
+    let conns = v
+        .get("connections")
+        .ok_or("service block missing `connections` (v3 requirement)".to_string())?;
+    let cnum = |k: &str| -> Result<f64, String> {
+        conns
+            .get(k)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("`connections` missing numeric `{k}`"))
+    };
+    if cnum("concurrent")? < 1.0 {
+        return Err("`connections.concurrent` must be >= 1".to_string());
+    }
+    if cnum("server_peak")? < 1.0 {
+        return Err("`connections.server_peak` must be >= 1".to_string());
+    }
+    if cnum("churned")? < 0.0 {
+        return Err("`connections.churned` must be non-negative".to_string());
+    }
+    let depth = conns
+        .get("reply_queue_depth")
+        .ok_or("`connections` missing `reply_queue_depth` percentiles".to_string())?;
+    let dp = |p: &str| -> Result<f64, String> {
+        depth
+            .get(p)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("`reply_queue_depth` missing `{p}`"))
+    };
+    let (d50, d90, d99, dmax) = (dp("p50")?, dp("p90")?, dp("p99")?, dp("max")?);
+    if !(d50.is_finite() && d90.is_finite() && d99.is_finite() && dmax.is_finite()) {
+        return Err(format!(
+            "`reply_queue_depth` percentiles must be finite: p50 {d50}, p90 {d90}, p99 {d99}, max {dmax}"
+        ));
+    }
+    if d50 < 0.0 || d50 > d90 + 1e-9 || d90 > d99 + 1e-9 || d99 > dmax + 1e-9 {
+        return Err(format!(
+            "`reply_queue_depth` percentiles must be ordered: p50 {d50} <= p90 {d90} <= p99 {d99} <= max {dmax}"
+        ));
+    }
+    let per_shard = match conns.get("per_shard") {
+        Some(Value::Arr(rows)) if !rows.is_empty() => rows,
+        Some(Value::Arr(_)) => {
+            return Err("`connections.per_shard` must name at least one shard".to_string())
+        }
+        _ => return Err("`connections` missing `per_shard` array".to_string()),
+    };
+    let mut shard_ok = 0.0;
+    let mut shard_requests = 0.0;
+    for (i, row) in per_shard.iter().enumerate() {
+        let snum = |k: &str| -> Result<f64, String> {
+            row.get(k)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("`per_shard[{i}]` missing numeric `{k}`"))
+        };
+        let rps = snum("throughput_rps")?;
+        if !rps.is_finite() || rps < 0.0 {
+            return Err(format!(
+                "`per_shard[{i}].throughput_rps` must be finite and non-negative, got {rps}"
+            ));
+        }
+        let row_ok = snum("ok")?;
+        let row_requests = snum("requests")?;
+        if row_ok > row_requests + 0.5 {
+            return Err(format!(
+                "`per_shard[{i}]` ok {row_ok} exceeds requests {row_requests}"
+            ));
+        }
+        shard_ok += row_ok;
+        shard_requests += row_requests;
+    }
+    if (shard_ok - ok).abs() > 0.5 {
+        return Err(format!(
+            "per-shard accounting leak: shard ok counts sum to {shard_ok}, report ok is {ok}"
+        ));
+    }
+    if shard_requests > requests + 0.5 {
+        return Err(format!(
+            "per-shard requests sum to {shard_requests}, exceeding report requests {requests}"
         ));
     }
     Ok(())
@@ -603,6 +827,28 @@ mod tests {
         assert_eq!(percentile(&[], 50.0), 0.0);
     }
 
+    #[test]
+    fn percentile_ignores_non_finite_samples() {
+        // Under the old partial_cmp-with-Equal-fallback sort, a NaN in
+        // the middle of the sample left neighbors unsorted and could
+        // surface as a bogus percentile. Non-finite values are now
+        // excluded from the sample entirely.
+        let xs = [
+            f64::NAN,
+            4.0,
+            1.0,
+            f64::INFINITY,
+            3.0,
+            2.0,
+            f64::NEG_INFINITY,
+        ];
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&xs, 100.0) - 4.0).abs() < 1e-12);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        assert!(percentile(&xs, 50.0).is_finite());
+        assert_eq!(percentile(&[f64::NAN, f64::NAN], 50.0), 0.0);
+    }
+
     fn sample_report() -> LoadReport {
         let outcomes = vec![
             LoadOutcome {
@@ -637,6 +883,16 @@ mod tests {
                 determinism_mismatches: 0,
             },
             FaultReport::from_samples("chaos", 2, 2, 1, &[12.0, 30.0]),
+            ConnectionsReport::single(
+                4,
+                ShardLoad {
+                    shard: 0,
+                    addr: "in-process".to_string(),
+                    requests: 4,
+                    ok: 3,
+                    wall_ms: 100.0,
+                },
+            ),
         )
     }
 
@@ -681,6 +937,74 @@ mod tests {
             err.contains("retired"),
             "v1 must be rejected clearly: {err}"
         );
+    }
+
+    #[test]
+    fn validator_rejects_retired_v2_schema() {
+        let mut v = sample_report().to_value();
+        if let Value::Obj(kv) = &mut v {
+            for (k, val) in kv.iter_mut() {
+                if k == "schema" {
+                    *val = Value::Str(SERVICE_SCHEMA_V2.to_string());
+                }
+            }
+        }
+        let err = validate_service_block(&v).unwrap_err();
+        assert!(
+            err.contains("retired") && err.contains("connection-scale"),
+            "v2 must be rejected with an upgrade message: {err}"
+        );
+    }
+
+    #[test]
+    fn validator_flags_non_finite_percentiles() {
+        let mut report = sample_report();
+        report.e2e_p90 = f64::NAN;
+        let err = validate_service_block(&report.to_value()).unwrap_err();
+        assert!(
+            err.contains("finite"),
+            "NaN percentile must be flagged: {err}"
+        );
+        let mut report = sample_report();
+        report.queue_wait_p99 = f64::INFINITY;
+        assert!(validate_service_block(&report.to_value())
+            .unwrap_err()
+            .contains("finite"));
+        let mut report = sample_report();
+        report.connections.reply_queue_p99 = f64::NAN;
+        assert!(validate_service_block(&report.to_value())
+            .unwrap_err()
+            .contains("reply_queue_depth"));
+    }
+
+    #[test]
+    fn validator_checks_connections_block() {
+        // Per-shard successes must sum to the report's ok count.
+        let mut report = sample_report();
+        report.connections.per_shard[0].ok = 1;
+        assert!(validate_service_block(&report.to_value())
+            .unwrap_err()
+            .contains("per-shard accounting leak"));
+        // An empty shard table is meaningless.
+        let mut report = sample_report();
+        report.connections.per_shard.clear();
+        assert!(validate_service_block(&report.to_value())
+            .unwrap_err()
+            .contains("per_shard"));
+        // Depth percentiles must be ordered up to the max.
+        let mut report = sample_report();
+        report.connections.reply_queue_p99 = 5.0; // > max (0.0)
+        assert!(validate_service_block(&report.to_value())
+            .unwrap_err()
+            .contains("ordered"));
+        // A missing connections block is a schema violation.
+        let mut v = sample_report().to_value();
+        if let Value::Obj(kv) = &mut v {
+            kv.retain(|(k, _)| k != "connections");
+        }
+        assert!(validate_service_block(&v)
+            .unwrap_err()
+            .contains("connections"));
     }
 
     #[test]

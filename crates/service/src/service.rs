@@ -188,25 +188,61 @@ impl std::fmt::Display for SubmitError {
     }
 }
 
-#[derive(Debug)]
+/// The terminal state of one submitted request.
+pub type TicketResult = Result<TuneResponse, SubmitError>;
+
+type ResolveCallback = Box<dyn FnOnce(TicketResult) + Send + 'static>;
+
+/// The resolution slot behind a [`Ticket`]. `Callback` is the
+/// reactor-serving mode: instead of a thread parked in [`Ticket::wait`],
+/// the resolving worker invokes the callback inline (after releasing the
+/// slot lock), which hands the serialized reply to the readiness loop's
+/// completion bus — no per-reply thread anywhere.
+enum Slot {
+    Pending,
+    Ready(TicketResult),
+    Callback(ResolveCallback),
+    /// Result already consumed (waited on, or delivered to a callback).
+    Done,
+}
+
 struct TicketInner {
-    slot: Mutex<Option<Result<TuneResponse, SubmitError>>>,
+    slot: Mutex<Slot>,
     ready: Condvar,
+}
+
+impl std::fmt::Debug for TicketInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TicketInner").finish_non_exhaustive()
+    }
 }
 
 impl TicketInner {
     fn new() -> Arc<TicketInner> {
         Arc::new(TicketInner {
-            slot: Mutex::new(None),
+            slot: Mutex::new(Slot::Pending),
             ready: Condvar::new(),
         })
     }
 
-    fn resolve(&self, result: Result<TuneResponse, SubmitError>) {
+    fn resolve(&self, result: TicketResult) {
         let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
-        *slot = Some(result);
-        drop(slot);
-        self.ready.notify_all();
+        match std::mem::replace(&mut *slot, Slot::Done) {
+            Slot::Pending => {
+                *slot = Slot::Ready(result);
+                drop(slot);
+                self.ready.notify_all();
+            }
+            Slot::Callback(cb) => {
+                // Invoke outside the lock: the callback may itself take
+                // other locks (the reactor's completion bus).
+                drop(slot);
+                cb(result);
+            }
+            // Double resolution cannot happen (each job resolves its
+            // ticket exactly once); keep the first result if it ever did.
+            prior => *slot = prior,
+        }
     }
 }
 
@@ -219,17 +255,42 @@ pub struct Ticket {
 
 impl Ticket {
     /// Block until resolved.
-    pub fn wait(self) -> Result<TuneResponse, SubmitError> {
+    pub fn wait(self) -> TicketResult {
         let mut slot = self.inner.slot.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if let Some(result) = slot.take() {
-                return result;
+            if matches!(&*slot, Slot::Ready(_)) {
+                match std::mem::replace(&mut *slot, Slot::Done) {
+                    Slot::Ready(result) => return result,
+                    // `matches!` above guarantees Ready; restore anything
+                    // else and keep waiting rather than panic.
+                    prior => *slot = prior,
+                }
             }
             slot = self
                 .inner
                 .ready
                 .wait(slot)
                 .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Register `cb` to be invoked exactly once with the result, from
+    /// whichever thread resolves the ticket (a worker, the drain path,
+    /// or — when the result is already in — this one, inline before the
+    /// call returns). This is the non-blocking alternative to [`wait`]:
+    /// the readiness loop uses it to enqueue the serialized reply on the
+    /// owning connection's outbound queue without parking any thread.
+    ///
+    /// [`wait`]: Ticket::wait
+    pub fn on_resolve(self, cb: impl FnOnce(TicketResult) + Send + 'static) {
+        let mut slot = self.inner.slot.lock().unwrap_or_else(|e| e.into_inner());
+        match std::mem::replace(&mut *slot, Slot::Done) {
+            Slot::Pending => *slot = Slot::Callback(Box::new(cb)),
+            Slot::Ready(result) => {
+                drop(slot);
+                cb(result);
+            }
+            prior => *slot = prior,
         }
     }
 }

@@ -1,0 +1,199 @@
+//! Consistent-hash sharding over the request exact key.
+//!
+//! A deployment runs N independent `hslb-serve` processes, each started
+//! with `--shard i/N`. Clients (and the `loadgen` harness) route every
+//! tune request by [`shard_for_key`] over its *exact key* — the
+//! pipeline-input identity, not the correlation id — so retries and
+//! duplicates of the same scenario always land on the same shard and
+//! its exact/fit caches keep working. Shards share nothing (no
+//! cross-process state at all), which is what makes them scale
+//! linearly: adding a shard adds a whole worker pool, queue, and cache.
+//!
+//! The hash is rendezvous (highest-random-weight) hashing: for a key
+//! `k` and shard count `N`, every shard `i` draws a deterministic
+//! 64-bit weight `w(k, i)` and the key belongs to the arg-max. Compared
+//! to `hash(k) % N` this keeps reassignment minimal when N changes
+//! (only keys whose new shard wins move — in expectation `1/(N+1)` of
+//! them), which matters for cache-warm rolling resizes. The weight
+//! function is FNV-1a over the key folded with a splitmix64 avalanche
+//! of the shard index — std-only, deterministic across platforms and
+//! processes.
+//!
+//! Server side, a sharded process *verifies* routing: a tune request
+//! whose key belongs to another shard is rejected with a typed
+//! `misrouted` error naming the owner, so a misconfigured client fails
+//! loudly instead of silently splitting a scenario's cache across
+//! shards.
+
+/// A parsed `--shard i/N` specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This process's shard index, `0 <= index < total`.
+    pub index: usize,
+    /// Total number of shard processes in the deployment.
+    pub total: usize,
+}
+
+impl ShardSpec {
+    /// Parse `"i/N"` (e.g. `"0/2"`). Rejects `N == 0` and `i >= N`.
+    pub fn parse(s: &str) -> Result<ShardSpec, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard spec {s:?} must be i/N, e.g. 0/2"))?;
+        let index: usize = i
+            .trim()
+            .parse()
+            .map_err(|e| format!("shard index {i:?}: {e}"))?;
+        let total: usize = n
+            .trim()
+            .parse()
+            .map_err(|e| format!("shard count {n:?}: {e}"))?;
+        if total == 0 {
+            return Err("shard count must be >= 1".to_string());
+        }
+        if index >= total {
+            return Err(format!(
+                "shard index {index} out of range for {total} shard(s)"
+            ));
+        }
+        Ok(ShardSpec { index, total })
+    }
+
+    /// Does this shard own `key`?
+    pub fn owns(&self, key: &str) -> bool {
+        shard_for_key(key, self.total) == self.index
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.total)
+    }
+}
+
+/// FNV-1a over the key bytes (the same family the in-process queue
+/// sharding uses), as the key half of the rendezvous weight.
+fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 avalanche — mixes the shard index into the key hash so
+/// per-shard weights are independent draws.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The rendezvous weight of shard `i` for `key`.
+fn weight(key_hash: u64, shard: usize) -> u64 {
+    mix(key_hash ^ mix(shard as u64))
+}
+
+/// Which of `total` shards owns `key` (highest-random-weight hashing).
+/// `total == 0` is treated as a single shard.
+pub fn shard_for_key(key: &str, total: usize) -> usize {
+    if total <= 1 {
+        return 0;
+    }
+    let kh = fnv1a(key);
+    let mut best = 0usize;
+    let mut best_w = weight(kh, 0);
+    for i in 1..total {
+        let w = weight(kh, i);
+        // Strict greater-than: ties (probability ~2^-64) break toward
+        // the lower index, deterministically.
+        if w > best_w {
+            best = i;
+            best_w = w;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_and_rejects() {
+        assert_eq!(
+            ShardSpec::parse("0/2").unwrap(),
+            ShardSpec { index: 0, total: 2 }
+        );
+        assert_eq!(
+            ShardSpec::parse("3/4").unwrap(),
+            ShardSpec { index: 3, total: 4 }
+        );
+        assert!(ShardSpec::parse("2/2").is_err(), "index must be < total");
+        assert!(ShardSpec::parse("0/0").is_err(), "zero shards");
+        assert!(ShardSpec::parse("1").is_err(), "missing slash");
+        assert!(ShardSpec::parse("a/b").is_err(), "non-numeric");
+        assert_eq!(ShardSpec::parse("1/3").unwrap().to_string(), "1/3");
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        for total in 1..=8 {
+            for i in 0..200 {
+                let key = format!("scenario-{i}");
+                let s = shard_for_key(&key, total);
+                assert!(s < total);
+                assert_eq!(s, shard_for_key(&key, total), "stable per call");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_roughly_balanced() {
+        let total = 4;
+        let mut counts = vec![0usize; total];
+        for i in 0..4000 {
+            counts[shard_for_key(&format!("key-{i}"), total)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1300).contains(&c),
+                "shard {i} got {c} of 4000 keys — rendezvous weights are skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn resize_moves_few_keys() {
+        // Rendezvous hashing: growing 4 -> 5 shards must only move keys
+        // that the new shard wins (~1/5 in expectation), never shuffle
+        // keys between surviving shards.
+        let mut moved = 0usize;
+        let n = 4000;
+        for i in 0..n {
+            let key = format!("key-{i}");
+            let before = shard_for_key(&key, 4);
+            let after = shard_for_key(&key, 5);
+            if before != after {
+                assert_eq!(after, 4, "a moved key may only move to the new shard");
+                moved += 1;
+            }
+        }
+        assert!(
+            moved > 0 && moved < n / 3,
+            "expected ~{} moves, saw {moved}",
+            n / 5
+        );
+    }
+
+    #[test]
+    fn owns_matches_routing() {
+        let spec = ShardSpec { index: 1, total: 3 };
+        for i in 0..50 {
+            let key = format!("k{i}");
+            assert_eq!(spec.owns(&key), shard_for_key(&key, 3) == 1);
+        }
+    }
+}

@@ -107,7 +107,19 @@ pub fn pong_reply() -> String {
 
 /// Serialize a stats reply.
 pub fn stats_reply(stats: &ServiceStats) -> String {
-    with_ok("stats", vec![("stats".to_string(), stats.to_value())])
+    stats_reply_with(stats, None)
+}
+
+/// Serialize a stats reply with an optional `serving` block — the
+/// readiness loop's connection-scale accounting (connection counts,
+/// reply-queue depth percentiles, shard identity). `None` keeps the
+/// plain service-stats shape for in-process servers.
+pub fn stats_reply_with(stats: &ServiceStats, serving: Option<Value>) -> String {
+    let mut fields = vec![("stats".to_string(), stats.to_value())];
+    if let Some(serving) = serving {
+        fields.push(("serving".to_string(), serving));
+    }
+    with_ok("stats", fields)
 }
 
 /// Serialize a health reply.
@@ -159,6 +171,25 @@ pub fn error_reply(id: Option<u64>, err: &SubmitError) -> String {
         _ => {}
     }
     Value::Obj(kv).to_string()
+}
+
+/// Serialize the typed rejection a sharded server sends for a tune
+/// request whose exact key routes to another shard. Terminal (no
+/// `retry_after_ms`): the client must fix its routing table, not retry
+/// the same shard.
+pub fn misrouted_reply(id: u64, owner_shard: usize, spec: crate::shard::ShardSpec) -> String {
+    Value::Obj(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        (
+            "error".to_string(),
+            Value::Str(format!(
+                "misrouted: key belongs to shard {owner_shard}, this is shard {spec}"
+            )),
+        ),
+        ("id".to_string(), Value::Num(id as f64)),
+        ("owner_shard".to_string(), Value::Num(owner_shard as f64)),
+    ])
+    .to_string()
 }
 
 /// Serialize a protocol-level error (unparseable line, unknown op).

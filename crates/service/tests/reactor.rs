@@ -1,0 +1,355 @@
+//! Connection-scale serving gates: the readiness-loop front end under
+//! pipelining, chaos, backpressure, drain, and misrouting.
+//!
+//! The regression this file pins (ISSUE 8): the original server spawned
+//! one thread per connection *and one thread per resolved tune reply*,
+//! so a single client pipelining N commands drove the process to N
+//! threads. The reactor must answer the same pipelined load with a
+//! bounded thread count — workers plus the loop, independent of N —
+//! while still correlating out-of-order replies by id, surviving
+//! injected connection faults deterministically, disconnecting slow
+//! readers instead of buffering without bound, and draining queued
+//! replies on shutdown instead of dropping them.
+
+use hslb_service::loadclient::{run_closed_loop, tune_line};
+use hslb_service::loadmix::{force_deadlines, generate, MixSpec};
+use hslb_service::reactor::{Reactor, ReactorOptions};
+use hslb_service::shard::{shard_for_key, ShardSpec};
+use hslb_service::{ServiceFaultSpec, ServiceOptions, TuneRequest, TuningService};
+use hslb_telemetry::json::Value;
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Start a reactor-fronted service on an ephemeral port; returns the
+/// address and the join handle of the loop thread (joins when a client
+/// sends `shutdown`).
+fn start_server(
+    opts: ServiceOptions,
+    reactor_opts: ReactorOptions,
+) -> (String, JoinHandle<Result<(), String>>) {
+    let service = Arc::new(TuningService::start(opts));
+    let reactor = Reactor::bind("127.0.0.1:0", service, reactor_opts).expect("bind ephemeral port");
+    let addr = reactor.local_addr().to_string();
+    let handle = std::thread::spawn(move || reactor.run());
+    (addr, handle)
+}
+
+fn small_options(workers: usize) -> ServiceOptions {
+    ServiceOptions {
+        workers,
+        queue_capacity: 512,
+        ..ServiceOptions::default()
+    }
+}
+
+/// Threads currently alive in this process (Linux: /proc/self/task).
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .map(|d| d.count())
+        .unwrap_or(0)
+}
+
+fn parse_line(line: &str) -> (bool, Value) {
+    hslb_service::wire::parse_reply(line).expect("well-formed reply frame")
+}
+
+/// Satellite 1 regression: ≥256 tune commands pipelined on ONE
+/// connection must resolve with a bounded process thread count and
+/// correct id correlation, replies arriving in any order.
+#[test]
+fn pipelined_replies_are_bounded_and_correlated() {
+    let workers = 2;
+    let (addr, handle) = start_server(small_options(workers), ReactorOptions::default());
+    let baseline = thread_count();
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = BufReader::new(stream);
+
+    // 256 pipelined tunes over a handful of distinct scenarios: the
+    // duplicates coalesce/cache, the ids never collide.
+    const N: u64 = 256;
+    let budgets = [64i64, 96, 128, 192];
+    for id in 0..N {
+        let req = TuneRequest::new(
+            id,
+            hslb_cesm::Resolution::OneDegree,
+            budgets[(id % 4) as usize],
+        );
+        writeln!(writer, "{}", tune_line(&req)).expect("send");
+    }
+    writer.flush().expect("flush");
+
+    let mut seen = BTreeSet::new();
+    let mut out_of_order = false;
+    let mut peak_threads = baseline;
+    let mut last = None;
+    for _ in 0..N {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reply");
+        peak_threads = peak_threads.max(thread_count());
+        let (ok, v) = parse_line(&line);
+        assert!(ok, "pipelined tune failed: {line}");
+        let id = v.get("id").and_then(Value::as_f64).expect("reply id") as u64;
+        assert!(id < N, "unknown id {id}");
+        assert!(seen.insert(id), "id {id} answered twice");
+        if let Some(prev) = last {
+            out_of_order |= id < prev;
+        }
+        last = Some(id);
+    }
+    assert_eq!(seen.len() as u64, N, "every pipelined command answered");
+    // Resolution order follows workers and cache hits, not submission
+    // order — with 4 scenarios racing through 2 workers some reply must
+    // overtake another. (If this ever flakes, the correlation assertions
+    // above are the load-bearing part.)
+    assert!(
+        out_of_order,
+        "expected at least one out-of-order reply under pipelining"
+    );
+
+    // The old server held ~one thread per unresolved reply (256 here).
+    // Bound: workers, their supervised attempt threads, the reactor,
+    // and a little slack — independent of pipelining depth.
+    let bound = baseline + workers * 2 + 4;
+    assert!(
+        peak_threads <= bound,
+        "thread count {peak_threads} exceeds bound {bound} (baseline {baseline}) — \
+         reply delivery is spawning threads again"
+    );
+
+    writeln!(writer, "{{\"op\":\"shutdown\"}}").expect("send shutdown");
+    writer.flush().expect("flush");
+    let mut ack = String::new();
+    reader.read_line(&mut ack).expect("ack");
+    let (ok, v) = parse_line(&ack);
+    assert!(ok && v.get("op").and_then(Value::as_str) == Some("shutdown"));
+    handle.join().expect("reactor joins").expect("clean drain");
+}
+
+/// Satellite 4a: injected `ConnFault::Drop` and `ConnFault::Truncate`
+/// at the readiness-loop write path must be survivable — every request
+/// still terminates with a verified bit-identical response, and the
+/// client's fault accounting shows the faults actually fired.
+#[test]
+fn reactor_survives_injected_connection_faults() {
+    let faults = ServiceFaultSpec {
+        drop_rate: 0.12,
+        truncate_rate: 0.12,
+        ..ServiceFaultSpec::chaos(23, 0.0)
+    };
+    let opts = ServiceOptions {
+        faults,
+        ..small_options(2)
+    };
+    let reactor_opts = ReactorOptions {
+        faults,
+        ..ReactorOptions::default()
+    };
+    let (addr, handle) = start_server(opts, reactor_opts);
+
+    let mut mix = generate(&MixSpec::chaos());
+    force_deadlines(&mut mix, 1500);
+    let addrs = vec![addr.clone()];
+    let results = run_closed_loop(&addrs, &mix, 3).expect("closed loop");
+
+    assert!(
+        results.errors.is_empty(),
+        "chaos must never surface terminal errors: {:?}",
+        results.errors
+    );
+    assert_eq!(results.rejected, 0, "chaos must never exhaust retries");
+    assert_eq!(
+        results.outcomes.len(),
+        mix.len(),
+        "every request terminates with a verified response"
+    );
+    assert!(
+        results.faults.conn_failures > 0,
+        "the seeded drop/truncate spec must actually fire at these rates"
+    );
+    assert!(
+        results.faults.reconnects > 0,
+        "surviving a dropped connection requires reconnecting"
+    );
+
+    let mut ctl = hslb_service::loadclient::Conn::open(&addr).expect("control conn");
+    let reply = ctl.round_trip("{\"op\":\"shutdown\"}").expect("shutdown");
+    assert!(parse_line(&reply).0);
+    handle.join().expect("reactor joins").expect("clean drain");
+}
+
+/// Satellite 4b: a client that stops reading mid-flood is disconnected
+/// once its outbound queue passes the cap — the server's memory stays
+/// bounded and other connections keep serving.
+#[test]
+fn slow_reader_is_disconnected_not_buffered() {
+    let reactor_opts = ReactorOptions {
+        max_outbound_bytes: 4 * 1024,
+        ..ReactorOptions::default()
+    };
+    let (addr, handle) = start_server(small_options(1), reactor_opts);
+
+    // Conn A: flood pings, never read a byte. Replies pile up first in
+    // kernel buffers, then in the reactor's outbound queue for this
+    // connection, which is capped — the server must cut us off.
+    let slow = TcpStream::connect(&addr).expect("connect slow");
+    let mut slow_writer = BufWriter::new(slow.try_clone().expect("clone"));
+    let mut write_failed = false;
+    for _ in 0..400_000 {
+        if writeln!(slow_writer, "{{\"op\":\"ping\"}}").is_err() || slow_writer.flush().is_err() {
+            write_failed = true;
+            break;
+        }
+    }
+    // Whether or not the local write already observed the reset, the
+    // server side must have closed the connection for slowness; verify
+    // through a healthy second connection.
+    let mut ctl = hslb_service::loadclient::Conn::open(&addr).expect("control conn");
+    let mut slow_closed = 0.0;
+    for _ in 0..200 {
+        let reply = ctl.round_trip("{\"op\":\"stats\"}").expect("stats");
+        let (ok, v) = parse_line(&reply);
+        assert!(ok, "stats must succeed on the healthy connection");
+        slow_closed = v
+            .get("serving")
+            .and_then(|s| s.get("slow_closed"))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        if slow_closed > 0.0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(
+        slow_closed > 0.0,
+        "server never disconnected the slow reader (write_failed={write_failed})"
+    );
+
+    // The healthy connection still round-trips fine.
+    let reply = ctl.round_trip("{\"op\":\"ping\"}").expect("ping");
+    assert!(parse_line(&reply).0);
+
+    drop(slow_writer);
+    drop(slow);
+    let reply = ctl.round_trip("{\"op\":\"shutdown\"}").expect("shutdown");
+    assert!(parse_line(&reply).0);
+    handle.join().expect("reactor joins").expect("clean drain");
+}
+
+/// Satellite 4c: graceful drain with replies still queued. Every
+/// pipelined id is answered — a verified success or a typed Draining
+/// error, never silence — the shutdown ack comes after them, and the
+/// loop thread joins. The run must not hang regardless of how much was
+/// in flight.
+#[test]
+fn drain_answers_every_queued_reply_before_ack() {
+    // One worker and distinct scenarios: most submissions are still
+    // queued (not yet solving) when the shutdown lands right behind
+    // them on the same connection.
+    let (addr, handle) = start_server(small_options(1), ReactorOptions::default());
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = BufReader::new(stream);
+
+    let mix = generate(&MixSpec {
+        requests: 24,
+        seed: 41,
+        include_eighth: false,
+    });
+    for req in &mix {
+        writeln!(writer, "{}", tune_line(req)).expect("send");
+    }
+    writeln!(writer, "{{\"op\":\"shutdown\"}}").expect("send shutdown");
+    writer.flush().expect("flush");
+
+    let mut answered = BTreeSet::new();
+    let mut drained = 0usize;
+    let mut acked = false;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read") == 0 {
+            break;
+        }
+        let (ok, v) = parse_line(&line);
+        if ok && v.get("op").and_then(Value::as_str) == Some("shutdown") {
+            acked = true;
+            break;
+        }
+        let id = v.get("id").and_then(Value::as_f64).expect("correlated id") as u64;
+        assert!(answered.insert(id), "id {id} answered twice");
+        if !ok {
+            let err = v.get("error").and_then(Value::as_str).unwrap_or_default();
+            assert!(
+                v.get("retry_after_ms").is_some(),
+                "drain rejections must be typed retryable errors, got: {err}"
+            );
+            drained += 1;
+        }
+    }
+    assert!(acked, "shutdown must be acked after the queued replies");
+    assert_eq!(
+        answered.len(),
+        mix.len(),
+        "every pipelined id is answered before the ack (drained {drained})"
+    );
+    handle.join().expect("reactor joins").expect("clean drain");
+}
+
+/// Sharded serving: a reactor started as shard 0 of 2 verifies routing
+/// server-side — owned keys solve, foreign keys get the typed
+/// `misrouted` rejection naming the owner.
+#[test]
+fn sharded_reactor_rejects_misrouted_keys() {
+    let reactor_opts = ReactorOptions {
+        shard: Some(ShardSpec { index: 0, total: 2 }),
+        ..ReactorOptions::default()
+    };
+    let (addr, handle) = start_server(small_options(1), reactor_opts);
+
+    // Probe scenarios until we hold one key per shard.
+    let budgets = [64i64, 96, 128, 192, 256];
+    let mut owned = None;
+    let mut foreign = None;
+    for (i, &budget) in budgets.iter().enumerate() {
+        let req = TuneRequest::new(i as u64, hslb_cesm::Resolution::OneDegree, budget);
+        match shard_for_key(&req.exact_key(), 2) {
+            0 if owned.is_none() => owned = Some(req),
+            1 if foreign.is_none() => foreign = Some(req),
+            _ => {}
+        }
+    }
+    let owned = owned.expect("some budget routes to shard 0");
+    let foreign = foreign.expect("some budget routes to shard 1");
+
+    let mut conn = hslb_service::loadclient::Conn::open(&addr).expect("connect");
+    let reply = conn.round_trip(&tune_line(&foreign)).expect("reply");
+    let (ok, v) = parse_line(&reply);
+    assert!(!ok, "foreign key must be rejected");
+    let err = v.get("error").and_then(Value::as_str).unwrap_or_default();
+    assert!(
+        err.contains("misrouted") && err.contains("shard 1"),
+        "rejection must name the owner: {err}"
+    );
+    assert!(
+        v.get("retry_after_ms").is_none(),
+        "misrouting is terminal, not retryable"
+    );
+
+    let reply = conn.round_trip(&tune_line(&owned)).expect("reply");
+    let (ok, v) = parse_line(&reply);
+    assert!(ok, "owned key must solve: {reply}");
+    assert_eq!(
+        v.get("id").and_then(Value::as_f64),
+        Some(owned.id as f64),
+        "owned reply correlates"
+    );
+
+    let reply = conn.round_trip("{\"op\":\"shutdown\"}").expect("shutdown");
+    assert!(parse_line(&reply).0);
+    handle.join().expect("reactor joins").expect("clean drain");
+}

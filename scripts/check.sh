@@ -25,7 +25,7 @@
 # ephemeral port, replays the deterministic smoke mix through `loadgen`
 # (which bit-checks every reply's fingerprint against the parsed payload
 # and spot-checks serial references), validates the emitted
-# hslb-service-load/v2 block, and verifies the server drains and exits 0
+# hslb-service-load/v3 block, and verifies the server drains and exits 0
 # on the shutdown command.
 #
 # The chaos gate (DESIGN.md §13) then restarts the server with seeded
@@ -40,11 +40,21 @@
 # simplex crate, whose pivot order must be reproducible).
 #
 # The warm-start gate (DESIGN.md §14) runs the bench smoke twice — warm
-# dual-simplex path on and off — validates both documents against the v6
+# dual-simplex path on and off — validates both documents against the v7
 # schema (which checks the warm_start work counters and the solve ≤ fit
 # phase budget), and bit-compares the incumbents between the two runs:
 # warm starts may change how much work the solver does, never what it
 # returns.
+#
+# The connection-scale gate (DESIGN.md §15) runs the readiness-loop
+# deployment shape end to end: two `hslb-serve --shard i/2` processes on
+# ephemeral ports, `loadgen --profile ramp --smoke` holding 512 sockets
+# with client-side consistent-hash routing (every reply bit-checked,
+# both shards drained); then a single server under `--profile soak
+# --smoke` — 5,000 concurrent connections with churn — while a sampler
+# records the server's thread count: the readiness loop must answer
+# connection-scale load with a bounded thread pool (the ISSUE 8
+# regression drove one thread per connection and per reply).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -147,6 +157,60 @@ if [[ $fast -eq 0 ]]; then
     # (loadgen recomputes and bit-checks every reply's fingerprint).
     ./target/release/loadgen --addr "$(cat "$port_file")" --smoke
     wait "$serve_pid"
+
+    echo "==> connection-scale gate (2 shards, ramp, 512 connections)"
+    port0_file="$(mktemp /tmp/hslb_shard0_port.XXXXXX)"
+    port1_file="$(mktemp /tmp/hslb_shard1_port.XXXXXX)"
+    ramp_out="$(mktemp /tmp/service_ramp.XXXXXX.json)"
+    soak_out="$(mktemp /tmp/service_soak.XXXXXX.json)"
+    threads_log="$(mktemp /tmp/hslb_threads.XXXXXX)"
+    rm -f "$port0_file" "$port1_file"
+    trap 'rm -f "$smoke_out" "$slow_out" "$cold_out" "$port_file" "$load_out" "$snapshot_file" "$chaos_out" "$port0_file" "$port1_file" "$ramp_out" "$soak_out" "$threads_log"' EXIT
+    ./target/release/hslb-serve --addr 127.0.0.1:0 --shard 0/2 --port-file "$port0_file" &
+    shard0_pid=$!
+    ./target/release/hslb-serve --addr 127.0.0.1:0 --shard 1/2 --port-file "$port1_file" &
+    shard1_pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$port0_file" && -s "$port1_file" ]] && break
+        sleep 0.1
+    done
+    [[ -s "$port0_file" && -s "$port1_file" ]] || { echo "sharded hslb-serve never published its ports" >&2; exit 1; }
+    # Open-loop ramp: 512 held sockets, stepped arrival rate, every
+    # request routed to its consistent-hash shard and bit-checked; the
+    # smoke profile then drains both shard processes.
+    ./target/release/loadgen --addr "$(cat "$port0_file"),$(cat "$port1_file")" \
+        --profile ramp --smoke --out "$ramp_out" > /dev/null
+    cargo run --release -q -p hslb-bench --bin bench-suite -- --validate-service "$ramp_out"
+    wait "$shard0_pid"
+    wait "$shard1_pid"
+
+    echo "==> connection-scale gate (soak, 5000 connections, bounded threads)"
+    rm -f "$port0_file"
+    ./target/release/hslb-serve --addr 127.0.0.1:0 --port-file "$port0_file" --queue-capacity 512 &
+    soak_pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$port0_file" ]] && break
+        sleep 0.1
+    done
+    [[ -s "$port0_file" ]] || { echo "soak hslb-serve never published its port" >&2; exit 1; }
+    # Sample the server's thread count for the whole run: the readiness
+    # loop must hold 5,000 churning connections on a fixed thread pool.
+    ( while kill -0 "$soak_pid" 2>/dev/null; do
+          grep Threads "/proc/$soak_pid/status" 2>/dev/null || true
+          sleep 0.2
+      done ) > "$threads_log" &
+    sampler_pid=$!
+    ./target/release/loadgen --addr "$(cat "$port0_file")" --profile soak --smoke --out "$soak_out" > /dev/null
+    cargo run --release -q -p hslb-bench --bin bench-suite -- --validate-service "$soak_out"
+    wait "$soak_pid"
+    wait "$sampler_pid" 2>/dev/null || true
+    peak_threads="$(awk '{print $2}' "$threads_log" | sort -n | tail -1)"
+    [[ -n "$peak_threads" ]] || { echo "thread sampler never read the soak server" >&2; exit 1; }
+    if (( peak_threads > 64 )); then
+        echo "soak server peaked at $peak_threads threads under 5000 connections (thread-per-connection regression?)" >&2
+        exit 1
+    fi
+    echo "    soak server peak: $peak_threads threads under 5000 connections"
 fi
 
 echo "==> all checks passed"
