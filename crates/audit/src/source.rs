@@ -1,4 +1,4 @@
-//! Level 2: a line-level source scanner for project rules clippy cannot
+//! Level 2: a token-level source scanner for project rules clippy cannot
 //! express.
 //!
 //! The scanner walks the workspace's own `src/` trees (vendored compat
@@ -48,18 +48,33 @@
 //! the load generator's explicitly seeded LCG, and no scheduling or
 //! response decision may read telemetry.
 //!
-//! Mechanics, kept deliberately simple so diagnostics are reproducible:
-//! files are scanned line by line; scanning stops at the first
-//! `#[cfg(test)]` (test modules sit at the end of a file by repo
-//! convention); full-line comments are skipped. Documented exceptions
-//! live in an allowlist file (`scripts/audit.allow`) whose entries must
-//! each carry a justification.
+//! Four further rule ids — `unranked-lock`, `lock-cycle`, `lock-rank`,
+//! `lock-blocking` — belong to Level 3, the concurrency auditor in
+//! [`crate::locks`]; they share this module's [`Finding`] shape and the
+//! allowlist mechanics.
+//!
+//! Mechanics: every file is lexed by [`crate::lex`] (comments vanish,
+//! string/char literals become single opaque tokens), rules match token
+//! patterns grouped by source line, and brace depth is counted on real
+//! `{`/`}` punct tokens only. The line-scanner era's failure modes —
+//! rule substrings inside block comments or raw strings creating false
+//! findings, and braces inside comments/strings unbalancing a
+//! critical-section region so a real nested lock goes unreported — are
+//! pinned as regression fixtures at the bottom of this file. Scanning
+//! still stops at the first `#[cfg(test)]` (test modules sit at the end
+//! of a file by repo convention). Documented exceptions live in an
+//! allowlist file (`scripts/audit.allow`) whose entries must each carry
+//! a justification; entries that stop matching anything are flagged by
+//! `audit-source --check-allow` so the list cannot rot.
 
+use crate::lex::{self, Kind, Tok};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// The rule catalog (ids are stable; the allowlist references them).
-pub const RULES: [(&str, &str); 7] = [
+/// The first seven are Level 2 token rules; the last four are Level 3
+/// concurrency-audit rules emitted by [`crate::locks`].
+pub const RULES: [(&str, &str); 11] = [
     (
         "nondeterminism",
         "no SystemTime/thread::sleep outside fault-injection modules",
@@ -87,6 +102,22 @@ pub const RULES: [(&str, &str); 7] = [
     (
         "hash-order",
         "no hash/address-order-dependent keying or iteration in the LP crate",
+    ),
+    (
+        "unranked-lock",
+        "every lock in the service crate must be a ranked wrapper",
+    ),
+    (
+        "lock-cycle",
+        "the cross-crate lock acquisition graph must be acyclic",
+    ),
+    (
+        "lock-rank",
+        "lock graph edges must respect the declared rank lattice",
+    ),
+    (
+        "lock-blocking",
+        "no guard held across a blocking call (IO, sleep, join, foreign wait)",
     ),
 ];
 
@@ -185,10 +216,17 @@ impl Allowlist {
         Ok(Allowlist { entries })
     }
 
-    fn allows(&self, f: &Finding) -> bool {
-        self.entries.iter().any(|e| {
+    /// Index of the first entry suppressing `f`, if any. The index feeds
+    /// the stale-entry check: an entry that never matches is rot.
+    pub fn match_idx(&self, f: &Finding) -> Option<usize> {
+        self.entries.iter().position(|e| {
             e.rule == f.rule && f.path.ends_with(&e.path_suffix) && f.text.contains(&e.substring)
         })
+    }
+
+    /// True when some entry suppresses `f`.
+    pub fn allows(&self, f: &Finding) -> bool {
+        self.match_idx(f).is_some()
     }
 }
 
@@ -200,6 +238,37 @@ pub struct ScanOutcome {
     pub findings: Vec<Finding>,
     pub allowlisted: usize,
     pub files_scanned: usize,
+    /// Per-allowlist-entry suppression counts (same order as
+    /// `Allowlist::entries`); `--check-allow` fails on zeros.
+    pub allow_used: Vec<usize>,
+}
+
+impl ScanOutcome {
+    /// Route one finding through the allowlist, updating the counters.
+    pub fn absorb(&mut self, allow: &Allowlist, f: Finding) {
+        match allow.match_idx(&f) {
+            Some(i) => {
+                self.allowlisted += 1;
+                self.allow_used[i] += 1;
+            }
+            None => self.findings.push(f),
+        }
+    }
+
+    /// Entries that suppressed nothing this scan: stale, prune them.
+    pub fn stale_entries<'a>(&self, allow: &'a Allowlist) -> Vec<(usize, &'a AllowEntry)> {
+        allow
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.allow_used.get(i).copied().unwrap_or(0) == 0)
+            .collect()
+    }
+
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    }
 }
 
 fn in_solver_path(path: &str) -> bool {
@@ -210,37 +279,82 @@ fn in_service_path(path: &str) -> bool {
     SERVICE_PATHS.iter().any(|p| path.starts_with(p))
 }
 
-/// True when `s` contains a float-ish token: a decimal literal, an `f64`/
-/// `f32` path, or a float constant name.
-fn has_float_token(s: &str) -> bool {
-    let bytes = s.as_bytes();
-    for i in 0..bytes.len() {
-        if bytes[i] == b'.'
-            && i > 0
-            && bytes[i - 1].is_ascii_digit()
-            && i + 1 < bytes.len()
-            && bytes[i + 1].is_ascii_digit()
-        {
-            return true;
-        }
-    }
-    s.contains("f64") || s.contains("f32") || s.contains("NAN") || s.contains("INFINITY")
+/// Contiguous token-pattern match: each pattern is `(kind, text)`.
+fn has_seq(toks: &[Tok], pat: &[(Kind, &str)]) -> bool {
+    find_seq(toks, pat).is_some()
 }
 
-/// The operand slice around a comparison, cut at expression delimiters.
-fn operand_window(line: &str, op_start: usize, op_len: usize) -> (String, String) {
-    let delims: &[char] = &[',', ';', '(', ')', '{', '}', '[', ']', '&', '|'];
-    let left_raw = &line[..op_start];
-    let left = left_raw
-        .rfind(delims)
-        .map(|i| &left_raw[i + 1..])
-        .unwrap_or(left_raw);
-    let right_raw = &line[op_start + op_len..];
-    let right = right_raw
-        .find(delims)
-        .map(|i| &right_raw[..i])
-        .unwrap_or(right_raw);
-    (left.to_string(), right.to_string())
+fn find_seq(toks: &[Tok], pat: &[(Kind, &str)]) -> Option<usize> {
+    if pat.is_empty() || toks.len() < pat.len() {
+        return None;
+    }
+    (0..=toks.len() - pat.len()).find(|&i| {
+        pat.iter()
+            .enumerate()
+            .all(|(k, p)| toks[i + k].is(p.0, p.1))
+    })
+}
+
+/// `.name(` for any of `names` — a method call, never an ident in a
+/// comment or string (those no longer exist post-lex).
+fn has_method_call(toks: &[Tok], names: &[&str]) -> bool {
+    toks.windows(3).any(|w| {
+        w[0].punct(".")
+            && w[1].kind == Kind::Ident
+            && names.contains(&w[1].text.as_str())
+            && w[2].punct("(")
+    })
+}
+
+/// True when any token in the window is float-ish: a float literal, or
+/// an identifier mentioning `f64`/`f32`/`NAN`/`INFINITY` (covers casts,
+/// paths like `f64::EPSILON`, and `NEG_INFINITY`).
+fn window_has_float(toks: &[Tok]) -> bool {
+    toks.iter().any(|t| {
+        t.is_float()
+            || (t.kind == Kind::Ident
+                && ["f64", "f32", "NAN", "INFINITY"]
+                    .iter()
+                    .any(|p| t.text.contains(p)))
+    })
+}
+
+/// Delimiters bounding a comparison's operand window.
+fn is_operand_delim(t: &Tok) -> bool {
+    t.kind == Kind::Punct
+        && matches!(
+            t.text.as_str(),
+            "," | ";" | "(" | ")" | "{" | "}" | "[" | "]" | "&" | "|" | "&&" | "||"
+        )
+}
+
+/// The `#[cfg(test)]` attribute, which by repo convention starts the
+/// test module that ends a file's audited region.
+fn has_cfg_test(toks: &[Tok]) -> bool {
+    has_seq(
+        toks,
+        &[
+            (Kind::Punct, "#"),
+            (Kind::Punct, "["),
+            (Kind::Ident, "cfg"),
+            (Kind::Punct, "("),
+            (Kind::Ident, "test"),
+            (Kind::Punct, ")"),
+            (Kind::Punct, "]"),
+        ],
+    )
+}
+
+/// Group a token stream by 1-based source line (index 0 = line 1).
+/// Multi-line tokens (block strings) count on their starting line.
+pub(crate) fn tokens_by_line(toks: &[Tok], nlines: usize) -> Vec<Vec<Tok>> {
+    let mut lines = vec![Vec::new(); nlines];
+    for t in toks {
+        if t.line >= 1 && t.line <= nlines {
+            lines[t.line - 1].push(t.clone());
+        }
+    }
+    lines
 }
 
 /// Pure per-file scan (separated from IO for tests). `path` is the
@@ -252,6 +366,9 @@ pub fn scan_file_content(path: &str, content: &str) -> Vec<Finding> {
     let fault_module = path.contains("fault");
     let tolerance_helper = path.ends_with("numerics/src/float.rs");
 
+    let raw_lines: Vec<&str> = content.lines().collect();
+    let line_toks = tokens_by_line(&lex::lex(content), raw_lines.len());
+
     // lock-in-drain / lock-in-queue region state: Some(depth of the
     // enclosing block) while the respective guard is live.
     let mut drain_region: Option<i64> = None;
@@ -261,34 +378,51 @@ pub fn scan_file_content(path: &str, content: &str) -> Vec<Finding> {
     let mut unwind_region: Option<i64> = None;
     let mut depth: i64 = 0;
 
-    for (idx, raw) in content.lines().enumerate() {
+    let lock_anchor = |name: &'static str| {
+        [
+            (Kind::Ident, name),
+            (Kind::Punct, "."),
+            (Kind::Ident, "lock"),
+            (Kind::Punct, "("),
+            (Kind::Punct, ")"),
+        ]
+    };
+
+    for (idx, toks) in line_toks.iter().enumerate() {
         let line_no = idx + 1;
-        let line = raw.trim();
-        if line.contains("#[cfg(test)]") {
+        if has_cfg_test(toks) {
             break; // test modules end the audited region of a file
         }
-        if line.starts_with("//") {
+        if toks.is_empty() {
             continue;
         }
+        let text = raw_lines[idx].trim();
         let mut push = |rule: &'static str, message: String| {
             out.push(Finding {
                 rule,
                 path: path.to_string(),
                 line: line_no,
-                text: line.to_string(),
+                text: text.to_string(),
                 message,
             });
         };
 
         // --- nondeterminism ---
         if (solver || service) && !fault_module {
-            if line.contains("SystemTime") {
+            if toks.iter().any(|t| t.ident("SystemTime")) {
                 push(
                     "nondeterminism",
                     "wall-clock read in a solver/fit code path".to_string(),
                 );
             }
-            if line.contains("thread::sleep") {
+            if has_seq(
+                toks,
+                &[
+                    (Kind::Ident, "thread"),
+                    (Kind::Punct, "::"),
+                    (Kind::Ident, "sleep"),
+                ],
+            ) {
                 push(
                     "nondeterminism",
                     "sleep outside a fault-injection module".to_string(),
@@ -296,62 +430,49 @@ pub fn scan_file_content(path: &str, content: &str) -> Vec<Finding> {
             }
         }
 
-        // --- float-eq ---
+        // --- float-eq --- (token operands: string literals can no
+        // longer smuggle a float into the window)
         if !tolerance_helper {
-            let bytes = line.as_bytes();
-            let mut i = 0;
-            while i + 1 < bytes.len() {
-                // Byte-wise match: `=`/`!` are ASCII, so `i` and `i + 2`
-                // are char boundaries whenever this hits.
-                let is_eq = (bytes[i] == b'=' || bytes[i] == b'!') && bytes[i + 1] == b'=';
-                if is_eq {
-                    let neq = bytes[i] == b'!';
-                    let before = if i > 0 { bytes[i - 1] } else { b' ' };
-                    let after = if i + 2 < bytes.len() {
-                        bytes[i + 2]
-                    } else {
-                        b' '
-                    };
-                    // Skip <=, >=, =>, === fragments and pattern `=>`.
-                    let operator = !matches!(before, b'<' | b'>' | b'=' | b'!')
-                        && after != b'='
-                        && !(neq && after == b'!');
-                    if operator {
-                        let (l, r) = operand_window(line, i, 2);
-                        if has_float_token(&l) || has_float_token(&r) {
-                            push(
-                                "float-eq",
-                                "float equality outside the tolerance helpers".to_string(),
-                            );
-                            // One finding per line is enough.
-                            break;
-                        }
-                    }
-                    i += 2;
-                } else {
-                    i += 1;
+            for (i, t) in toks.iter().enumerate() {
+                if !(t.punct("==") || t.punct("!=")) {
+                    continue;
+                }
+                let left_start = toks[..i]
+                    .iter()
+                    .rposition(is_operand_delim)
+                    .map_or(0, |d| d + 1);
+                let right_end = toks[i + 1..]
+                    .iter()
+                    .position(is_operand_delim)
+                    .map_or(toks.len(), |d| i + 1 + d);
+                if window_has_float(&toks[left_start..i])
+                    || window_has_float(&toks[i + 1..right_end])
+                {
+                    push(
+                        "float-eq",
+                        "float equality outside the tolerance helpers".to_string(),
+                    );
+                    break; // one finding per line is enough
                 }
             }
         }
 
         // --- lock-in-drain ---
         let depth_before = depth;
-        depth += line.matches('{').count() as i64 - line.matches('}').count() as i64;
+        depth += toks.iter().filter(|t| t.punct("{")).count() as i64
+            - toks.iter().filter(|t| t.punct("}")).count() as i64;
+        let acquires_lock = has_method_call(toks, &["lock", "read", "write", "try_lock"]);
         if let Some(region_depth) = drain_region {
             if depth_before < region_depth || depth < region_depth {
                 drain_region = None;
-            } else if line.contains(".lock(")
-                || line.contains(".read(")
-                || line.contains(".write(")
-                || line.contains(".try_lock(")
-            {
+            } else if acquires_lock {
                 push(
                     "lock-in-drain",
                     "lock acquisition while the drain guard is held".to_string(),
                 );
             }
         }
-        if drain_region.is_none() && line.contains("drain.lock()") {
+        if drain_region.is_none() && has_seq(toks, &lock_anchor("drain")) {
             drain_region = Some(depth_before);
         }
 
@@ -359,35 +480,32 @@ pub fn scan_file_content(path: &str, content: &str) -> Vec<Finding> {
         if let Some(region_depth) = queue_region {
             if depth_before < region_depth || depth < region_depth {
                 queue_region = None;
-            } else if line.contains(".lock(")
-                || line.contains(".read(")
-                || line.contains(".write(")
-                || line.contains(".try_lock(")
-            {
+            } else if acquires_lock {
                 push(
                     "lock-in-queue",
                     "lock acquisition while the admission-queue shard guard is held".to_string(),
                 );
             }
         }
-        if queue_region.is_none() && line.contains("queue.lock()") {
+        if queue_region.is_none() && has_seq(toks, &lock_anchor("queue")) {
             queue_region = Some(depth_before);
         }
 
         // --- unwrap-in-unwind --- (closure-scoped: the region closes
         // when brace depth returns to the anchor line's depth)
+        let unwraps = has_method_call(toks, &["unwrap", "expect"]);
         if let Some(region_depth) = unwind_region {
             if depth_before <= region_depth {
                 unwind_region = None;
-            } else if line.contains(".unwrap(") || line.contains(".expect(") {
+            } else if unwraps {
                 push(
                     "unwrap-in-unwind",
                     "unwrap/expect inside a catch_unwind closure".to_string(),
                 );
             }
         }
-        if line.contains("catch_unwind") {
-            if line.contains(".unwrap(") || line.contains(".expect(") {
+        if toks.iter().any(|t| t.ident("catch_unwind")) {
+            if unwraps {
                 push(
                     "unwrap-in-unwind",
                     "unwrap/expect on the catch_unwind line itself".to_string(),
@@ -399,27 +517,33 @@ pub fn scan_file_content(path: &str, content: &str) -> Vec<Finding> {
         // --- hash-order --- (LP crate only: warm-start state must never
         // be keyed or iterated in hash-seed or address order)
         if path.starts_with("crates/lp/src") {
-            for pat in ["HashMap", "HashSet", ".as_ptr("] {
-                if line.contains(pat) {
-                    push(
-                        "hash-order",
-                        format!(
-                            "`{pat}` in the LP crate: basis/tableau state must use \
-                             deterministic containers (Vec or BTreeMap/BTreeSet)"
-                        ),
-                    );
-                    break;
-                }
+            let hit = if toks.iter().any(|t| t.ident("HashMap")) {
+                Some("HashMap")
+            } else if toks.iter().any(|t| t.ident("HashSet")) {
+                Some("HashSet")
+            } else if has_method_call(toks, &["as_ptr"]) {
+                Some(".as_ptr(")
+            } else {
+                None
+            };
+            if let Some(pat) = hit {
+                push(
+                    "hash-order",
+                    format!(
+                        "`{pat}` in the LP crate: basis/tableau state must use \
+                         deterministic containers (Vec or BTreeMap/BTreeSet)"
+                    ),
+                );
             }
         }
 
         // --- telemetry-read ---
         if solver || service {
-            for pat in [".snapshot(", ".events(", ".elapsed_ms(", ".counter("] {
-                if line.contains(pat) {
+            for name in ["snapshot", "events", "elapsed_ms", "counter"] {
+                if has_method_call(toks, &[name]) {
                     push(
                         "telemetry-read",
-                        format!("telemetry read `{pat}…)` in a solver/fit/service code path"),
+                        format!("telemetry read `.{name}(…)` in a solver/fit/service code path"),
                     );
                     break;
                 }
@@ -467,33 +591,45 @@ pub fn workspace_src_roots(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(roots)
 }
 
-/// Scan the workspace rooted at `root` under the allowlist.
-pub fn scan_workspace(root: &Path, allow: &Allowlist) -> std::io::Result<ScanOutcome> {
+/// Load every workspace source file as `(workspace-relative path,
+/// content)`, sorted by path. Shared by Level 2 and the Level 3 lock
+/// analysis so both see the same file set.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     for src in workspace_src_roots(root)? {
         collect_rs_files(&src, &mut files)?;
     }
-    let mut outcome = ScanOutcome::default();
+    let mut out = Vec::with_capacity(files.len());
     for file in files {
         let rel = file
             .strip_prefix(root)
             .unwrap_or(&file)
             .to_string_lossy()
             .replace('\\', "/");
-        let content = std::fs::read_to_string(&file)?;
+        out.push((rel, std::fs::read_to_string(&file)?));
+    }
+    Ok(out)
+}
+
+/// Scan the workspace rooted at `root` under the allowlist.
+pub fn scan_workspace(root: &Path, allow: &Allowlist) -> std::io::Result<ScanOutcome> {
+    Ok(scan_sources(&workspace_sources(root)?, allow))
+}
+
+/// Pure Level 2 scan over preloaded sources.
+pub fn scan_sources(sources: &[(String, String)], allow: &Allowlist) -> ScanOutcome {
+    let mut outcome = ScanOutcome {
+        allow_used: vec![0; allow.entries.len()],
+        ..ScanOutcome::default()
+    };
+    for (rel, content) in sources {
         outcome.files_scanned += 1;
-        for f in scan_file_content(&rel, &content) {
-            if allow.allows(&f) {
-                outcome.allowlisted += 1;
-            } else {
-                outcome.findings.push(f);
-            }
+        for f in scan_file_content(rel, content) {
+            outcome.absorb(allow, f);
         }
     }
+    outcome.sort();
     outcome
-        .findings
-        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -539,6 +675,21 @@ mod tests {
                 scan_file_content("crates/hslb/src/fit.rs", line).is_empty(),
                 "false positive on {line:?}"
             );
+        }
+    }
+
+    #[test]
+    fn float_eq_sees_casts_and_constants() {
+        for line in [
+            "if a == x as f64 {\n",
+            "if a == f64::INFINITY {\n",
+            "if a != f64::NEG_INFINITY {\n",
+            "if a == f32::NAN {\n",
+            "if x == 1e-9 {\n",
+        ] {
+            let f = scan_file_content("crates/hslb/src/fit.rs", line);
+            assert_eq!(f.len(), 1, "expected a finding on {line:?}");
+            assert_eq!(f[0].rule, "float-eq");
         }
     }
 
@@ -732,12 +883,154 @@ mod tests {
     }
 
     #[test]
+    fn allowlist_accepts_lock_rule_ids() {
+        let ok = Allowlist::parse(
+            "lock-blocking | loadclient.rs | stream.read | client IO, no shared guard\n",
+        )
+        .unwrap();
+        assert_eq!(ok.entries.len(), 1);
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let allow = Allowlist::parse(
+            "float-eq | fit.rs | x == 0.0 | sentinel\nfloat-eq | gone.rs | y == 1.0 | rotted\n",
+        )
+        .unwrap();
+        let sources = vec![(
+            "crates/hslb/src/fit.rs".to_string(),
+            "fn f() { if x == 0.0 {} }\n".to_string(),
+        )];
+        let outcome = scan_sources(&sources, &allow);
+        assert!(outcome.findings.is_empty());
+        assert_eq!(outcome.allowlisted, 1);
+        let stale = outcome.stale_entries(&allow);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].1.path_suffix, "gone.rs");
+    }
+
+    #[test]
     fn findings_render_deterministically() {
         let f = &scan_file_content("crates/hslb/src/fit.rs", "if x == 0.0 {\n")[0];
         assert_eq!(
             f.to_string(),
             "crates/hslb/src/fit.rs:1: [float-eq] float equality outside the tolerance \
              helpers: `if x == 0.0 {`"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Pinned regressions: the line-scanner era's false positives and
+    // masked findings, fixed by the token lexer. These fixtures are the
+    // contract that the ported rules can never regress to line matching.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn pinned_block_comment_cannot_create_findings() {
+        // The old line scanner only skipped lines *starting* with `//`;
+        // every one of these block-comment bodies used to produce a
+        // finding.
+        let code = "\
+fn f() {
+    /* thread::sleep(d) was here before the retry rework */
+    /* if x == 0.0 { legacy sentinel } */
+    let y = 1; /* SystemTime::now() read removed in PR 2 */
+}
+";
+        assert!(
+            scan_file_content("crates/minlp/src/bb.rs", code).is_empty(),
+            "block-comment bodies must not produce findings"
+        );
+    }
+
+    #[test]
+    fn pinned_trailing_line_comment_cannot_create_findings() {
+        // A trailing `//` comment after real code was scanned as code.
+        let code =
+            "let y = compute(); // thread::sleep-free since PR 3, x == 0.0 checked upstream\n";
+        assert!(
+            scan_file_content("crates/nlsq/src/multistart.rs", code).is_empty(),
+            "trailing comments must not produce findings"
+        );
+    }
+
+    #[test]
+    fn pinned_string_literals_cannot_create_findings() {
+        // Rule substrings inside normal and raw strings: the old scanner
+        // flagged all three lines.
+        let code = "\
+fn f() {
+    let msg = \"retry after thread::sleep backoff\";
+    let probe = r#\"drain.lock() held too long\"#;
+    let cmp = \"x == 0.0\";
+    log(msg, probe, cmp);
+}
+";
+        assert!(
+            scan_file_content("crates/nlsq/src/multistart.rs", code).is_empty(),
+            "string bodies must not produce findings"
+        );
+    }
+
+    #[test]
+    fn pinned_raw_string_cannot_open_a_lock_region() {
+        // `drain.lock()` inside a raw string used to open the critical-
+        // section region, flagging the innocent lock that follows.
+        let code = "\
+fn f() {
+    let doc = r#\"drain.lock()\"#;
+    let other = cache.lock();
+    use_both(doc, other);
+}
+";
+        assert!(
+            scan_file_content("crates/nlsq/src/multistart.rs", code).is_empty(),
+            "a raw-string anchor must not open a region"
+        );
+    }
+
+    #[test]
+    fn pinned_comment_brace_cannot_mask_a_nested_lock() {
+        // The masked-finding twin: a `}` inside a comment used to
+        // unbalance the depth tracker, closing the drain region early so
+        // the real nested acquisition on the next line went unreported.
+        let code = "\
+fn f() {
+    let mut d = drain.lock();
+    /* } */
+    let peek = other.lock();
+    d.push(1);
+}
+";
+        let f = scan_file_content("crates/nlsq/src/multistart.rs", code);
+        assert_eq!(f.len(), 1, "the nested lock must be reported: {f:?}");
+        assert_eq!(f[0].rule, "lock-in-drain");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn pinned_string_brace_cannot_mask_a_nested_lock() {
+        let code = "\
+fn push(&self) {
+    let mut state = queue.lock().unwrap_or_else(|e| e.into_inner());
+    state.tag(\"}\");
+    let desk = front.lock();
+}
+";
+        let f = scan_file_content("crates/service/src/queue.rs", code);
+        assert_eq!(f.len(), 1, "the nested lock must be reported: {f:?}");
+        assert_eq!(f[0].rule, "lock-in-queue");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn pinned_string_float_cannot_trip_float_eq() {
+        // A float literal inside a string operand used to satisfy the
+        // window check: `name == "v1.5"` is a string comparison.
+        let code = "if name == \"v1.5\" { mark(); }\n";
+        assert!(
+            scan_file_content("crates/hslb/src/fit.rs", code).is_empty(),
+            "string contents must not classify an operand as float"
         );
     }
 }

@@ -15,8 +15,8 @@
 //! the least-recently-used entry on overflow — deterministic iteration,
 //! no hashing of float-bearing values.
 
+use crate::ranked::{rank, RankedGuard, RankedMutex};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Mutex;
 
 /// A capacity-bounded LRU map with stable (sorted) key iteration.
 #[derive(Debug)]
@@ -147,7 +147,7 @@ struct FrontState<V, T> {
 /// resolved always reports a cache/coalesce hit.
 #[derive(Debug)]
 pub struct FrontDesk<V, T> {
-    state: Mutex<FrontState<V, T>>,
+    state: RankedMutex<FrontState<V, T>, { rank::FRONT_DESK }>,
 }
 
 impl<V: Clone, T> FrontDesk<V, T> {
@@ -155,15 +155,15 @@ impl<V: Clone, T> FrontDesk<V, T> {
     /// coalesces).
     pub fn new(exact_capacity: usize) -> FrontDesk<V, T> {
         FrontDesk {
-            state: Mutex::new(FrontState {
+            state: RankedMutex::new(FrontState {
                 exact: LruCache::new(exact_capacity),
                 inflight: HashMap::new(),
             }),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, FrontState<V, T>> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock(&self) -> RankedGuard<'_, FrontState<V, T>, { rank::FRONT_DESK }> {
+        self.state.lock()
     }
 
     /// Admit one request: exact-tier lookup and leader/follower decision

@@ -30,11 +30,11 @@
 //! never reads telemetry (enforced by `audit-source`'s telemetry-read
 //! rule over service paths).
 
+use crate::ranked::{rank, RankedMutex};
 use hslb_cesm::layout::ComponentTimes;
 use hslb_telemetry::json::Value;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Drift detection tuning.
 #[derive(Debug, Clone, Copy)]
@@ -182,7 +182,7 @@ impl DriftStats {
 #[derive(Debug)]
 pub struct DriftDetector {
     opts: DriftOptions,
-    states: Mutex<BTreeMap<String, KeyState>>,
+    states: RankedMutex<BTreeMap<String, KeyState>, { rank::DRIFT_STATE }>,
     samples: AtomicU64,
     detections: AtomicU64,
 }
@@ -191,7 +191,7 @@ impl DriftDetector {
     pub fn new(opts: DriftOptions) -> DriftDetector {
         DriftDetector {
             opts,
-            states: Mutex::new(BTreeMap::new()),
+            states: RankedMutex::new(BTreeMap::new()),
             samples: AtomicU64::new(0),
             detections: AtomicU64::new(0),
         }
@@ -205,7 +205,7 @@ impl DriftDetector {
     pub fn observe(&self, key: &str, times: &ComponentTimes) -> DriftDecision {
         self.samples.fetch_add(1, Ordering::Relaxed);
         let observed = [times.ice, times.lnd, times.atm, times.ocn];
-        let mut states = self.states.lock().unwrap_or_else(|e| e.into_inner());
+        let mut states = self.states.lock();
         let st = states.entry(key.to_string()).or_insert_with(|| KeyState {
             ewma: observed,
             baseline: None,
@@ -262,7 +262,7 @@ impl DriftDetector {
     /// re-optimized away no longer counts as drift (the hysteresis that
     /// stops an accepted trigger re-firing forever).
     pub fn rebaseline(&self, key: &str) {
-        let mut states = self.states.lock().unwrap_or_else(|e| e.into_inner());
+        let mut states = self.states.lock();
         if let Some(st) = states.get_mut(key) {
             st.baseline = Some(st.ewma);
         }
@@ -271,7 +271,7 @@ impl DriftDetector {
     /// (tracked keys, total samples, total detections) — the service
     /// merges these into its [`DriftStats`].
     pub fn counters(&self) -> (usize, u64, u64) {
-        let tracked = self.states.lock().unwrap_or_else(|e| e.into_inner()).len();
+        let tracked = self.states.lock().len();
         (
             tracked,
             self.samples.load(Ordering::Relaxed),

@@ -39,7 +39,12 @@
 //!   write, checksum footer, never-fail restore with a
 //!   [`snapshot::RecoveryRecord`]);
 //! * [`drift`] — the deterministic EWMA drift detector behind
-//!   drift-triggered rebalancing (first cut of ROADMAP item 4).
+//!   drift-triggered rebalancing (first cut of ROADMAP item 4);
+//! * [`ranked`] — the rank-lattice lock wrappers every module above
+//!   holds its `Mutex`/`Condvar` state in: audit Level 3 statically
+//!   proves the cross-crate acquisition graph respects the lattice, and
+//!   the wrappers assert monotone per-thread acquisition under
+//!   `debug_assertions` (DESIGN.md §16).
 //!
 //! **Determinism is the correctness bar.** For any request mix, at any
 //! worker count, with caches and coalescing on or off, every response
@@ -58,6 +63,7 @@ pub mod fault;
 pub mod loadclient;
 pub mod loadmix;
 pub mod queue;
+pub mod ranked;
 pub mod reactor;
 pub mod request;
 pub mod service;

@@ -27,6 +27,7 @@
 //! and its caches keep working.
 
 use crate::loadmix::{ConnectionsReport, LoadOutcome, ShardLoad};
+use crate::ranked::{rank, RankedMutex};
 use crate::request::{TuneRequest, TuneResponse};
 use crate::shard::shard_for_key;
 use crate::wire;
@@ -34,7 +35,7 @@ use hslb_telemetry::json::Value;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
 use std::net::TcpStream;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Attempts per request before the client gives up and counts a
@@ -278,9 +279,10 @@ pub fn run_closed_loop(
     if addrs.is_empty() {
         return Err("no server addresses".to_string());
     }
-    let pending: Arc<Mutex<VecDeque<TuneRequest>>> =
-        Arc::new(Mutex::new(mix.iter().cloned().collect()));
-    let collected: Arc<Mutex<RunResults>> = Arc::new(Mutex::new(RunResults::sized(addrs.len())));
+    let pending: Arc<RankedMutex<VecDeque<TuneRequest>, { rank::CLIENT_PENDING }>> =
+        Arc::new(RankedMutex::new(mix.iter().cloned().collect()));
+    let collected: Arc<RankedMutex<RunResults, { rank::CLIENT_RESULTS }>> =
+        Arc::new(RankedMutex::new(RunResults::sized(addrs.len())));
     std::thread::scope(|scope| {
         for _ in 0..concurrency.max(1) {
             let pending = Arc::clone(&pending);
@@ -291,13 +293,13 @@ pub fn run_closed_loop(
                 let mut acct = FaultAcct::default();
                 loop {
                     let req = {
-                        let mut q = pending.lock().unwrap_or_else(|p| p.into_inner());
+                        let mut q = pending.lock();
                         q.pop_front()
                     };
                     let Some(req) = req else { break };
                     let shard = shard_for_key(&req.exact_key(), addrs.len());
                     let attempt = drive_request(&addrs[shard], &mut conns[shard], &req, &mut acct);
-                    let mut res = collected.lock().unwrap_or_else(|p| p.into_inner());
+                    let mut res = collected.lock();
                     res.shard_requests[shard] += 1;
                     match attempt {
                         Attempt::Ok(resp, e2e_ms) => {
@@ -314,7 +316,7 @@ pub fn run_closed_loop(
                         Attempt::Error(e) => res.errors.push(e),
                     }
                 }
-                let mut res = collected.lock().unwrap_or_else(|p| p.into_inner());
+                let mut res = collected.lock();
                 res.faults.conn_failures += acct.conn_failures;
                 res.faults.reconnects += acct.reconnects;
                 res.faults.retry_errors += acct.retry_errors;
@@ -324,7 +326,7 @@ pub fn run_closed_loop(
     });
     Arc::try_unwrap(collected)
         .map_err(|_| "worker threads leaked result handles".to_string())
-        .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+        .map(RankedMutex::into_inner)
 }
 
 /// One step of an open-loop rate schedule: send `requests` requests at

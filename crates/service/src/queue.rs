@@ -18,9 +18,9 @@
 //!   everything already admitted, so a draining worker pool loses no
 //!   in-flight request.
 
+use crate::ranked::{rank, RankedCondvar, RankedMutex};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
 
 /// Explicit admission rejection: the shard is at capacity. The caller
 /// should retry after the hinted delay (depth × EWMA service time).
@@ -95,10 +95,11 @@ struct Shard<T> {
     // anchors its critical-section regions on the literal `queue.lock()`,
     // so every acquisition below spells it out (no helper indirection).
     // A poisoned queue mutex only means a worker panicked mid-pop; the
-    // remaining entries are still worth draining, hence the
-    // `unwrap_or_else(into_inner)` at each site.
-    queue: Mutex<ShardState<T>>,
-    available: Condvar,
+    // remaining entries are still worth draining — the ranked wrapper
+    // absorbs poison internally. Shard locks are leaves of the lattice
+    // (QUEUE_SHARD): nothing is ever acquired while one is held.
+    queue: RankedMutex<ShardState<T>, { rank::QUEUE_SHARD }>,
+    available: RankedCondvar<{ rank::QUEUE_SHARD }>,
 }
 
 /// The bounded sharded queue. Each shard has its own mutex + condvar so
@@ -122,11 +123,11 @@ impl<T> AdmissionQueue<T> {
         AdmissionQueue {
             shards: (0..shards)
                 .map(|_| Shard {
-                    queue: Mutex::new(ShardState {
+                    queue: RankedMutex::new(ShardState {
                         heap: BinaryHeap::new(),
                         closed: false,
                     }),
-                    available: Condvar::new(),
+                    available: RankedCondvar::new(),
                 })
                 .collect(),
             capacity: capacity.max(1),
@@ -145,7 +146,7 @@ impl<T> AdmissionQueue<T> {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let depth;
         {
-            let mut st = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let mut st = shard.queue.lock();
             if st.closed {
                 return Err(PushError::Closed);
             }
@@ -168,7 +169,7 @@ impl<T> AdmissionQueue<T> {
     /// queue is closed *and* drained — then `None`.
     pub fn pop(&self, shard: usize) -> Option<T> {
         let shard = &self.shards[shard % self.shards.len()];
-        let mut st = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = shard.queue.lock();
         loop {
             if let Some(entry) = st.heap.pop() {
                 return Some(entry.item);
@@ -176,7 +177,7 @@ impl<T> AdmissionQueue<T> {
             if st.closed {
                 return None;
             }
-            st = shard.available.wait(st).unwrap_or_else(|e| e.into_inner());
+            st = shard.available.wait(st);
         }
     }
 
@@ -184,7 +185,7 @@ impl<T> AdmissionQueue<T> {
     /// `pop`s return `None` once their shard drains.
     pub fn close(&self) {
         for shard in &self.shards {
-            let mut st = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let mut st = shard.queue.lock();
             st.closed = true;
             drop(st);
             shard.available.notify_all();
@@ -201,7 +202,7 @@ impl<T> AdmissionQueue<T> {
     pub fn close_now(&self) -> Vec<T> {
         let mut drained = Vec::new();
         for shard in &self.shards {
-            let mut st = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let mut st = shard.queue.lock();
             st.closed = true;
             while let Some(entry) = st.heap.pop() {
                 drained.push(entry.item);
@@ -221,7 +222,7 @@ impl<T> AdmissionQueue<T> {
     pub fn push_back(&self, shard: usize, rank: Rank, item: T) -> Result<(), T> {
         let shard = &self.shards[shard % self.shards.len()];
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let mut st = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = shard.queue.lock();
         if st.closed {
             return Err(item);
         }
@@ -233,10 +234,7 @@ impl<T> AdmissionQueue<T> {
 
     /// Total queued entries across shards.
     pub fn depth(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.queue.lock().unwrap_or_else(|e| e.into_inner()).heap.len())
-            .sum()
+        self.shards.iter().map(|s| s.queue.lock().heap.len()).sum()
     }
 
     /// Fold an observed service time into the EWMA the retry-after hint

@@ -11,7 +11,7 @@
 //! Why not epoll/kqueue: the workspace carries `forbid(unsafe_code)`
 //! and vendors no FFI crates, so raw readiness syscalls are out of
 //! reach by design. The loop instead sweeps nonblocking sockets in
-//! index order and parks on a [`Condvar`] with a millisecond bound
+//! index order and parks on a ranked condvar with a millisecond bound
 //! between sweeps whenever a full pass made no progress. A sweep over
 //! N idle connections is N cheap `EWOULDBLOCK` reads — measured well
 //! past 5,000 connections this stays comfortably inside the smoke-gate
@@ -45,6 +45,7 @@
 //!   returns — it can be slow under fault injection, never hung.
 
 use crate::fault::{ConnFault, ServiceFaultSpec};
+use crate::ranked::{rank, RankedCondvar, RankedMutex};
 use crate::service::{TicketResult, TuningService};
 use crate::shard::{shard_for_key, ShardSpec};
 use crate::wire;
@@ -52,7 +53,7 @@ use hslb_telemetry::json::Value;
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Hard cap on one wire line; a frame that grows past this without a
@@ -179,32 +180,29 @@ struct Reply {
 /// doubles as the loop's idle parking spot, so a reply arriving while
 /// the loop sleeps wakes it immediately.
 struct Bus {
-    resolved: Mutex<VecDeque<Reply>>,
-    wake: Condvar,
+    resolved: RankedMutex<VecDeque<Reply>, { rank::COMPLETION_BUS }>,
+    wake: RankedCondvar<{ rank::COMPLETION_BUS }>,
 }
 
 impl Bus {
     fn push(&self, reply: Reply) {
-        let mut q = self.resolved.lock().unwrap_or_else(|e| e.into_inner());
+        let mut q = self.resolved.lock();
         q.push_back(reply);
         drop(q);
         self.wake.notify_one();
     }
 
     fn drain(&self) -> Vec<Reply> {
-        let mut q = self.resolved.lock().unwrap_or_else(|e| e.into_inner());
+        let mut q = self.resolved.lock();
         q.drain(..).collect()
     }
 
     /// Park until woken or `ms` elapsed (the loop's idle wait — bounded,
     /// so socket readiness is re-polled even without a wake).
     fn wait_ms(&self, ms: u64) {
-        let q = self.resolved.lock().unwrap_or_else(|e| e.into_inner());
+        let q = self.resolved.lock();
         if q.is_empty() {
-            let _ = self
-                .wake
-                .wait_timeout(q, Duration::from_millis(ms))
-                .unwrap_or_else(|e| e.into_inner());
+            let _ = self.wake.wait_timeout(q, Duration::from_millis(ms));
         }
     }
 }
@@ -284,8 +282,8 @@ impl Reactor {
             open: 0,
             next_gen: 0,
             bus: Arc::new(Bus {
-                resolved: Mutex::new(VecDeque::new()),
-                wake: Condvar::new(),
+                resolved: RankedMutex::new(VecDeque::new()),
+                wake: RankedCondvar::new(),
             }),
             accepted: 0,
             closed: 0,

@@ -31,6 +31,7 @@ use crate::cache::{AdmitOutcome, FrontDesk, LruCache};
 use crate::drift::{DriftDecision, DriftDetector, DriftOptions, DriftStats, RebalanceOutcome};
 use crate::fault::ServiceFaultSpec;
 use crate::queue::{AdmissionQueue, Backpressure, PushError, Rank};
+use crate::ranked::{rank, RankedCondvar, RankedMutex};
 use crate::request::{resolution_token, CacheTier, TunePayload, TuneRequest, TuneResponse};
 use crate::snapshot::{self, RecoveryRecord, SnapshotPolicy, SnapshotStats};
 use hslb::{BenchmarkData, FitSet, GatherPlan, Hslb, HslbOptions, WarmStartCache};
@@ -43,7 +44,7 @@ use hslb_telemetry::Telemetry;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, Once};
+use std::sync::{mpsc, Arc, Once};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -207,8 +208,8 @@ enum Slot {
 }
 
 struct TicketInner {
-    slot: Mutex<Slot>,
-    ready: Condvar,
+    slot: RankedMutex<Slot, { rank::TICKET_SLOT }>,
+    ready: RankedCondvar<{ rank::TICKET_SLOT }>,
 }
 
 impl std::fmt::Debug for TicketInner {
@@ -220,13 +221,13 @@ impl std::fmt::Debug for TicketInner {
 impl TicketInner {
     fn new() -> Arc<TicketInner> {
         Arc::new(TicketInner {
-            slot: Mutex::new(Slot::Pending),
-            ready: Condvar::new(),
+            slot: RankedMutex::new(Slot::Pending),
+            ready: RankedCondvar::new(),
         })
     }
 
     fn resolve(&self, result: TicketResult) {
-        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        let mut slot = self.slot.lock();
         match std::mem::replace(&mut *slot, Slot::Done) {
             Slot::Pending => {
                 *slot = Slot::Ready(result);
@@ -256,7 +257,7 @@ pub struct Ticket {
 impl Ticket {
     /// Block until resolved.
     pub fn wait(self) -> TicketResult {
-        let mut slot = self.inner.slot.lock().unwrap_or_else(|e| e.into_inner());
+        let mut slot = self.inner.slot.lock();
         loop {
             if matches!(&*slot, Slot::Ready(_)) {
                 match std::mem::replace(&mut *slot, Slot::Done) {
@@ -266,11 +267,7 @@ impl Ticket {
                     prior => *slot = prior,
                 }
             }
-            slot = self
-                .inner
-                .ready
-                .wait(slot)
-                .unwrap_or_else(|e| e.into_inner());
+            slot = self.inner.ready.wait(slot);
         }
     }
 
@@ -283,7 +280,7 @@ impl Ticket {
     ///
     /// [`wait`]: Ticket::wait
     pub fn on_resolve(self, cb: impl FnOnce(TicketResult) + Send + 'static) {
-        let mut slot = self.inner.slot.lock().unwrap_or_else(|e| e.into_inner());
+        let mut slot = self.inner.slot.lock();
         match std::mem::replace(&mut *slot, Slot::Done) {
             Slot::Pending => *slot = Slot::Callback(Box::new(cb)),
             Slot::Ready(result) => {
@@ -361,10 +358,10 @@ struct Shared {
     shards: usize,
     queue: AdmissionQueue<Job>,
     front: FrontDesk<SealedPayload, Follower>,
-    fits: Mutex<LruCache<(BenchmarkData, FitSet)>>,
+    fits: RankedMutex<LruCache<(BenchmarkData, FitSet)>, { rank::FIT_CACHE }>,
     /// Simulators are stateless and deterministic; one per machine
     /// configuration, cloned out per attempt (clones are exact).
-    sims: Mutex<HashMap<(&'static str, bool, u64), Simulator>>,
+    sims: RankedMutex<HashMap<(&'static str, bool, u64), Simulator>, { rank::SIM_CACHE }>,
     warm: WarmStartCache,
     policy: CachePolicy,
     coalesce: bool,
@@ -373,8 +370,8 @@ struct Shared {
     snapshot: Option<SnapshotPolicy>,
     since_flush: AtomicU64,
     drift: DriftDetector,
-    recovery: Mutex<RecoveryRecord>,
-    rebalances: Mutex<Vec<RebalanceOutcome>>,
+    recovery: RankedMutex<RecoveryRecord, { rank::SNAPSHOT_RECOVERY }>,
+    rebalances: RankedMutex<Vec<RebalanceOutcome>, { rank::REBALANCE_LOG }>,
     accepting: AtomicBool,
     telemetry: Telemetry,
     stats: Counters,
@@ -497,7 +494,7 @@ const REBALANCE_HISTORY: usize = 8;
 /// The concurrent tuning service.
 pub struct TuningService {
     shared: Arc<Shared>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    workers: RankedMutex<Vec<JoinHandle<()>>, { rank::WORKER_HANDLES }>,
 }
 
 impl TuningService {
@@ -519,12 +516,12 @@ impl TuningService {
             } else {
                 0
             }),
-            fits: Mutex::new(LruCache::new(if opts.cache.fit {
+            fits: RankedMutex::new(LruCache::new(if opts.cache.fit {
                 opts.fit_capacity
             } else {
                 0
             })),
-            sims: Mutex::new(HashMap::new()),
+            sims: RankedMutex::new(HashMap::new()),
             warm: WarmStartCache::with_capacity(opts.warm_capacity),
             policy: opts.cache,
             coalesce: opts.coalesce,
@@ -533,8 +530,8 @@ impl TuningService {
             snapshot: opts.snapshot,
             since_flush: AtomicU64::new(0),
             drift: DriftDetector::new(opts.drift),
-            recovery: Mutex::new(RecoveryRecord::default()),
-            rebalances: Mutex::new(Vec::new()),
+            recovery: RankedMutex::new(RecoveryRecord::default()),
+            rebalances: RankedMutex::new(Vec::new()),
             accepting: AtomicBool::new(true),
             telemetry: opts.telemetry,
             stats: Counters::default(),
@@ -549,7 +546,7 @@ impl TuningService {
                     .collect(),
             );
             {
-                let mut fits = shared.fits.lock().unwrap_or_else(|e| e.into_inner());
+                let mut fits = shared.fits.lock();
                 fits.import(restored.fits);
             }
             shared.telemetry.point(
@@ -568,7 +565,7 @@ impl TuningService {
                     },
                 )],
             );
-            let mut recovery = shared.recovery.lock().unwrap_or_else(|e| e.into_inner());
+            let mut recovery = shared.recovery.lock();
             *recovery = restored.record;
         }
         let handles = (0..workers)
@@ -583,7 +580,7 @@ impl TuningService {
             .collect();
         TuningService {
             shared,
-            workers: Mutex::new(handles),
+            workers: RankedMutex::new(handles),
         }
     }
 
@@ -666,7 +663,7 @@ impl TuningService {
         let shared = &self.shared;
         let (exact_entries, inflight) = shared.front.depths();
         let fit_entries = {
-            let fits = shared.fits.lock().unwrap_or_else(|e| e.into_inner());
+            let fits = shared.fits.lock();
             fits.len()
         };
         ServiceStats {
@@ -692,16 +689,8 @@ impl TuningService {
     pub fn health(&self) -> HealthStats {
         let shared = &self.shared;
         let (tracked_keys, samples, detections) = shared.drift.counters();
-        let recovery = shared
-            .recovery
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone();
-        let recent_rebalances = shared
-            .rebalances
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone();
+        let recovery = shared.recovery.lock().clone();
+        let recent_rebalances = shared.rebalances.lock().clone();
         HealthStats {
             accepting: shared.accepting.load(Ordering::Acquire),
             panics: shared.stats.panics.load(Ordering::Relaxed),
@@ -769,7 +758,7 @@ impl TuningService {
                 ],
                 &[("accepted", if o.accepted { "true" } else { "false" })],
             );
-            let mut history = shared.rebalances.lock().unwrap_or_else(|e| e.into_inner());
+            let mut history = shared.rebalances.lock();
             history.push(o.clone());
             let len = history.len();
             if len > REBALANCE_HISTORY {
@@ -811,7 +800,7 @@ impl TuningService {
             }
         }
         let handles: Vec<JoinHandle<()>> = {
-            let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+            let mut workers = self.workers.lock();
             workers.drain(..).collect()
         };
         for h in handles {
@@ -939,7 +928,7 @@ fn flush_snapshot(shared: &Shared) -> Option<SnapshotStats> {
         .map(|(k, sealed)| (k, sealed.payload))
         .collect();
     let fit_entries = {
-        let fits = shared.fits.lock().unwrap_or_else(|e| e.into_inner());
+        let fits = shared.fits.lock();
         fits.export()
     };
     match snapshot::save_snapshot(&policy.path, &exact, &fit_entries) {
@@ -1221,7 +1210,7 @@ fn simulator_cached(shared: &Shared, request: &TuneRequest) -> Simulator {
         request.ocean_constrained,
         request.seed,
     );
-    let mut sims = shared.sims.lock().unwrap_or_else(|e| e.into_inner());
+    let mut sims = shared.sims.lock();
     sims.entry(sim_key)
         .or_insert_with(|| simulator_for(request))
         .clone()
@@ -1243,7 +1232,7 @@ fn compute(shared: &Shared, request: &TuneRequest) -> Result<(TunePayload, Cache
     let sim = simulator_cached(shared, request);
 
     let fit_hit = if shared.policy.fit {
-        let mut fits = shared.fits.lock().unwrap_or_else(|e| e.into_inner());
+        let mut fits = shared.fits.lock();
         fits.get(&request.fit_key())
     } else {
         None
@@ -1269,7 +1258,7 @@ fn compute(shared: &Shared, request: &TuneRequest) -> Result<(TunePayload, Cache
                 .map_err(|e| e.to_string())?;
             if shared.policy.fit {
                 if let Some(fitset) = artifacts.fits {
-                    let mut fits = shared.fits.lock().unwrap_or_else(|e| e.into_inner());
+                    let mut fits = shared.fits.lock();
                     fits.insert(request.fit_key(), (artifacts.data, fitset));
                 }
             }
@@ -1305,7 +1294,7 @@ fn run_rebalance(
     ratios: [f64; 4],
 ) -> Option<RebalanceOutcome> {
     let (data, prior) = {
-        let mut fits = shared.fits.lock().unwrap_or_else(|e| e.into_inner());
+        let mut fits = shared.fits.lock();
         fits.get(&request.fit_key())?
     };
     // `ratios` is in `Component::OPTIMIZED` order (ice, lnd, atm, ocn).

@@ -11,15 +11,26 @@
 # unwrap on a fault path fails the gate here rather than panicking on a
 # cluster.
 #
-# The audit gate (DESIGN.md §11) has two levels. Level 2 — `audit-source`,
-# a line-level scan of the workspace for nondeterminism primitives, raw
-# float equality, lock acquisitions inside the multistart drain (or
-# admission-queue shard) critical sections, and telemetry reads from
-# solver or service code — runs in both modes; deliberate exceptions live
-# in scripts/audit.allow, one justified line each. Level 1 —
+# The audit gate (DESIGN.md §11, §16) has three levels. Level 2 —
+# `audit-source`, a token-level scan (hand-rolled lexer, so comments and
+# strings neither create nor mask findings) of the workspace for
+# nondeterminism primitives, raw float equality, lock acquisitions inside
+# the multistart drain (or admission-queue shard) critical sections, and
+# telemetry reads from solver or service code. Level 3 — the same binary's
+# concurrency audit: a cross-crate lock acquisition graph with cycle,
+# rank-lattice, and held-across-blocking-call checks, plus the zero-raw-
+# locks rule over crates/service/src (every lock there is a ranked
+# wrapper). Both run in both modes with `--check-allow` (stale allowlist
+# entries fail the gate) and dump the machine-readable graph to
+# AUDIT_lockgraph.json, which is committed next to BENCH_pipeline.json
+# and must match the tree. Deliberate exceptions live in
+# scripts/audit.allow, one justified line each. Level 1 —
 # `audit-instances`, the convexity/well-formedness certificate over every
 # benchmark scenario plus the seeded non-convex rejection self-test —
-# needs release solves and runs in the full mode.
+# needs release solves and runs in the full mode. The full mode also
+# rebuilds the service crate with debug assertions on, so the ranked
+# wrappers' runtime rank asserts are exercised by compilation even in
+# the release-profile gate.
 #
 # The service smoke gate (DESIGN.md §12) starts `hslb-serve` on an
 # ephemeral port, replays the deterministic smoke mix through `loadgen`
@@ -68,8 +79,18 @@ cargo fmt --all --check
 echo "==> cargo clippy (-D warnings, all targets)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> audit-source (Level 2: workspace source audit)"
-cargo run -q -p hslb-audit --bin audit-source -- --root . --allowlist scripts/audit.allow
+echo "==> audit-source (Levels 2+3: token-level source audit + lock-order graph)"
+lockgraph_out="$(mktemp /tmp/audit_lockgraph.XXXXXX.json)"
+cargo run -q -p hslb-audit --bin audit-source -- --root . --allowlist scripts/audit.allow \
+    --check-allow --json "$lockgraph_out"
+# The committed artifact must match the tree (regenerate with:
+#   cargo run -p hslb-audit --bin audit-source -- --root . --json AUDIT_lockgraph.json)
+if ! diff AUDIT_lockgraph.json "$lockgraph_out" >/dev/null 2>&1; then
+    echo "AUDIT_lockgraph.json is stale: regenerate it (see scripts/check.sh)" >&2
+    rm -f "$lockgraph_out"
+    exit 1
+fi
+rm -f "$lockgraph_out" 
 
 if [[ $fast -eq 0 ]]; then
     echo "==> cargo build --release"
@@ -211,6 +232,9 @@ if [[ $fast -eq 0 ]]; then
         exit 1
     fi
     echo "    soak server peak: $peak_threads threads under 5000 connections"
+
+    echo "==> ranked-lock asserts compile (service crate, debug assertions on)"
+    cargo rustc -q -p hslb-service --lib --release -- -C debug-assertions=on
 fi
 
 echo "==> all checks passed"
