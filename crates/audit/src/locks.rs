@@ -130,7 +130,7 @@ fn is_ranked_module(path: &str) -> bool {
 }
 
 fn in_service(path: &str) -> bool {
-    path.starts_with("crates/service/src")
+    path.starts_with("crates/service/src") || path.starts_with("crates/sweep/src")
 }
 
 /// Truncate a token stream at the first `#[cfg(test)]` attribute (test

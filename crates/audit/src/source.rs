@@ -137,8 +137,11 @@ const SOLVER_PATHS: [&str; 6] = [
 /// contract (every response bit-identical to a one-shot run) outlaws
 /// wall-clock/sleep primitives and telemetry-driven decisions just as
 /// strictly as the solver paths. Reviewed exceptions (the load
-/// generator's client-side retry backoff) live in the allowlist.
-const SERVICE_PATHS: [&str; 1] = ["crates/service/src"];
+/// generator's client-side retry backoff) live in the allowlist. The
+/// sweep planner/predictor crate rides the same contract: a portfolio's
+/// non-pruned entries must be bit-identical to one-shot runs, so its
+/// planning and pruning decisions may not consult clocks either.
+const SERVICE_PATHS: [&str; 2] = ["crates/service/src", "crates/sweep/src"];
 
 /// One diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -3,7 +3,7 @@
 //! Runs the full gather → fit → solve → execute pipeline at both paper
 //! resolutions across several node budgets, with a telemetry sink
 //! attached to every layer, and writes the per-phase timings plus solver
-//! telemetry to `BENCH_pipeline.json` (schema `hslb-bench-pipeline/v7`,
+//! telemetry to `BENCH_pipeline.json` (schema `hslb-bench-pipeline/v8`,
 //! documented in DESIGN.md §8; fast-path design in §10, audit gate in
 //! §11, service in §12, supervision/recovery in §13, warm-started dual
 //! simplex in §14, connection-scale serving in §15). v4 added the
@@ -48,6 +48,15 @@
 //! A/B (each shard driven alone on exactly its routed keys; the summed
 //! rate against the single-shard baseline evidences linear shard
 //! scaling even on a single-core runner).
+//!
+//! v8 adds the portfolio-sweep subsystem (DESIGN.md §17): a top-level
+//! `sweep` block from an in-process `hslb-sweep` run over a layout ×
+//! budget grid — configurations planned/solved/pruned (the validator
+//! demands they reconcile), shared-work dedup counts (fit groups vs
+//! configs), fit/gather cache hit rates, predictor MAE against the
+//! exact solves it ranked, the sweep wall-clock vs the Σ-one-shot
+//! estimate, and each resolution's winner plus Pareto frontier — and a
+//! `fit_cache` accounting block inside the service block.
 //!
 //! ```text
 //! cargo run --release -p hslb-bench --bin bench-suite            # full suite
@@ -369,12 +378,14 @@ fn run_service_load(smoke: bool) -> Value {
     let (workers, shards) = (opts.workers, opts.shards);
     const CONCURRENCY: usize = 4;
 
-    // One reactor-fronted shard server on an ephemeral port.
+    // One reactor-fronted shard server on an ephemeral port. The
+    // service handle is returned alongside so the caller can read cache
+    // accounting after the run (the reactor owns its own clone).
     let start = |shard: Option<ShardSpec>| {
         let service = Arc::new(TuningService::start(ServiceOptions::default()));
         let reactor = Reactor::bind(
             "127.0.0.1:0",
-            service,
+            Arc::clone(&service),
             ReactorOptions {
                 shard,
                 ..ReactorOptions::default()
@@ -382,7 +393,7 @@ fn run_service_load(smoke: bool) -> Value {
         )
         .expect("bind ephemeral bench server");
         let addr = reactor.local_addr().to_string();
-        (addr, std::thread::spawn(move || reactor.run()))
+        (addr, service, std::thread::spawn(move || reactor.run()))
     };
     // Drive `mix` to terminal outcomes against `addrs`; returns the
     // client-side results and the wall-clock window in milliseconds.
@@ -414,10 +425,16 @@ fn run_service_load(smoke: bool) -> Value {
     // consistent-hash routing — the same deployment shape
     // `scripts/check.sh` gates across real processes, here in-process
     // for the committed artifact.
-    let (addr0, h0) = start(Some(ShardSpec { index: 0, total: 2 }));
-    let (addr1, h1) = start(Some(ShardSpec { index: 1, total: 2 }));
+    let (addr0, svc0, h0) = start(Some(ShardSpec { index: 0, total: 2 }));
+    let (addr1, svc1, h1) = start(Some(ShardSpec { index: 1, total: 2 }));
     let addrs = vec![addr0, addr1];
     let (res, wall_ms) = drive(&addrs, &mix);
+    // Fit-level cache accounting across the headline shards, read
+    // before the drain tears the services down.
+    let (fit_hits, fit_misses) = {
+        let (s0, s1) = (svc0.stats(), svc1.stats());
+        (s0.fit_hits + s1.fit_hits, s0.fit_misses + s1.fit_misses)
+    };
     let probes = stop(&addrs, vec![h0, h1]);
     let (checked, mismatches, _messages) = determinism_audit(&res.responses, 3);
     let connections = connections_report(
@@ -469,7 +486,7 @@ fn run_service_load(smoke: bool) -> Value {
         seed: 41,
         include_eighth: false,
     });
-    let (single_addr, sh) = start(None);
+    let (single_addr, _svc, sh) = start(None);
     let single_addrs = vec![single_addr];
     let (single_res, single_wall) = drive(&single_addrs, &scaling_mix);
     stop(&single_addrs, vec![sh]);
@@ -488,7 +505,7 @@ fn run_service_load(smoke: bool) -> Value {
             per_shard_rps.push(0.0);
             continue;
         }
-        let (addr, h) = start(Some(ShardSpec { index, total: 2 }));
+        let (addr, _svc, h) = start(Some(ShardSpec { index, total: 2 }));
         let iso_addrs = vec![addr];
         // The client routes by shard_for_key over the full deployment
         // width; an isolated run still dials shard `index` only, so
@@ -507,6 +524,17 @@ fn run_service_load(smoke: bool) -> Value {
 
     let mut service_block = report.to_value();
     if let Value::Obj(fields) = &mut service_block {
+        fields.push((
+            "fit_cache".to_string(),
+            obj(vec![
+                ("hits", num(fit_hits as f64)),
+                ("misses", num(fit_misses as f64)),
+                (
+                    "hit_rate",
+                    num(hslb_service::service::hit_rate(fit_hits, fit_misses)),
+                ),
+            ]),
+        ));
         fields.push((
             "scaling".to_string(),
             obj(vec![
@@ -662,6 +690,65 @@ fn run_drift_exercise() -> Value {
     ])
 }
 
+/// v8 `sweep` block: the portfolio-sweep exercise. A layout × budget
+/// grid runs through one service via the sweep driver; the block
+/// reports the shared-work accounting (fit groups vs configs, fit/gather
+/// cache hit rates), the predictor's calibration quality, the pruning
+/// counts, and the wall-clock vs Σ-one-shot comparison, plus each
+/// resolution's winner and Pareto frontier.
+fn run_sweep_exercise(smoke: bool) -> Value {
+    use hslb_service::sweep_driver::run_sweep;
+    use hslb_service::{ServiceOptions, TuningService};
+    use hslb_sweep::SweepSpec;
+
+    let spec = SweepSpec {
+        one_degree_budgets: vec![48, 64, 96, 128, 160, 192, 224, 256],
+        // Budgets where every layout's ocean count lands in the grid's
+        // hard-coded allowed set (sequential at e.g. 12288 does not).
+        eighth_degree_budgets: if smoke {
+            Vec::new()
+        } else {
+            vec![4096, 6144, 8192, 16384]
+        },
+        ..SweepSpec::default()
+    };
+    let service = TuningService::start(ServiceOptions::default());
+    let telemetry = hslb_telemetry::Telemetry::disabled();
+    let portfolio = run_sweep(&service, &spec, &telemetry, |_| {}).expect("bench sweep exercise");
+    service.shutdown();
+
+    let mut fields = match portfolio.stats.to_value() {
+        Value::Obj(kv) => kv,
+        _ => unreachable!("SweepStats::to_value returns an object"),
+    };
+    let winners: Vec<(String, Value)> = portfolio
+        .frontier
+        .iter()
+        .filter_map(|(res, _)| {
+            portfolio
+                .winner(res)
+                .map(|e| (res.clone(), Value::Str(e.key.clone())))
+        })
+        .collect();
+    fields.push(("winners".to_string(), Value::Obj(winners)));
+    fields.push((
+        "frontier".to_string(),
+        Value::Obj(
+            portfolio
+                .frontier
+                .iter()
+                .map(|(res, keys)| {
+                    (
+                        res.clone(),
+                        Value::Arr(keys.iter().map(|k| Value::Str(k.clone())).collect()),
+                    )
+                })
+                .collect(),
+        ),
+    ));
+    Value::Obj(fields)
+}
+
 /// Structural check of the bench-only `scaling` sub-block inside the
 /// service block (v7): the isolated-shard A/B must be present, every
 /// rate finite and positive, and the summed isolated rate must not fall
@@ -715,58 +802,68 @@ fn validate_scaling(sv: &Value) -> Vec<String> {
     errs
 }
 
-/// Schema check for `hslb-bench-pipeline/v7` documents. Returns every
+/// Schema check for `hslb-bench-pipeline/v8` documents. Returns every
 /// violation found (empty = valid). Older schema versions are rejected
 /// with explicit upgrade messages.
 fn validate(doc: &Value) -> Vec<String> {
     let mut errs = Vec::new();
     match doc.get("schema").and_then(Value::as_str) {
-        Some("hslb-bench-pipeline/v7") => {}
+        Some("hslb-bench-pipeline/v8") => {}
         Some("hslb-bench-pipeline/v1") => errs.push(
             "schema hslb-bench-pipeline/v1 is no longer accepted: regenerate with a \
-             v7 emitter (adds early_stop, fit accounting, the audit block, the \
+             v8 emitter (adds early_stop, fit accounting, the audit block, the \
              solver cut_pool summary, the service load block, the recovery/drift \
-             robustness blocks, and the solver warm_start block)"
+             robustness blocks, the solver warm_start block, and the sweep block)"
                 .to_string(),
         ),
         Some("hslb-bench-pipeline/v2") => errs.push(
             "schema hslb-bench-pipeline/v2 is no longer accepted: regenerate with a \
-             v7 emitter (adds the per-scenario audit block, the solver cut_pool \
+             v8 emitter (adds the per-scenario audit block, the solver cut_pool \
              summary, the service load block, the recovery/drift robustness \
-             blocks, and the solver warm_start block)"
+             blocks, the solver warm_start block, and the sweep block)"
                 .to_string(),
         ),
         Some("hslb-bench-pipeline/v3") => errs.push(
             "schema hslb-bench-pipeline/v3 is no longer accepted: regenerate with a \
-             v7 emitter (adds the per-scenario solver cut_pool summary with LP \
+             v8 emitter (adds the per-scenario solver cut_pool summary with LP \
              resolves per node, the top-level service load block, the \
-             recovery/drift robustness blocks, and the solver warm_start block)"
+             recovery/drift robustness blocks, the solver warm_start block, and \
+             the sweep block)"
                 .to_string(),
         ),
         Some("hslb-bench-pipeline/v4") => errs.push(
             "schema hslb-bench-pipeline/v4 is no longer accepted: regenerate with a \
-             v7 emitter (embeds the current hslb-service-load service document \
+             v8 emitter (embeds the current hslb-service-load service document \
              with fault/recovery accounting, and adds the crash-recovery and \
-             drift-rebalance robustness blocks plus the solver warm_start block)"
+             drift-rebalance robustness blocks plus the solver warm_start and \
+             sweep blocks)"
                 .to_string(),
         ),
         Some("hslb-bench-pipeline/v5") => errs.push(
             "schema hslb-bench-pipeline/v5 is no longer accepted: regenerate with a \
-             v7 emitter (adds the top-level warm_start boolean, the per-scenario \
-             solver.warm_start work counters, and the solve ≤ fit phase-budget \
-             check)"
+             v8 emitter (adds the top-level warm_start boolean, the per-scenario \
+             solver.warm_start work counters, the solve ≤ fit phase-budget \
+             check, and the sweep block)"
                 .to_string(),
         ),
         Some("hslb-bench-pipeline/v6") => errs.push(
             "schema hslb-bench-pipeline/v6 is no longer accepted: regenerate with a \
-             v7 emitter (embeds the hslb-service-load/v3 service block with the \
+             v8 emitter (embeds the hslb-service-load/v3 service block with the \
              connection-scale `connections` accounting — concurrent connections, \
              server peaks, reply-queue depth percentiles, per-shard throughput — \
-             plus the isolated-shard `scaling` A/B)"
+             plus the isolated-shard `scaling` A/B and the sweep block)"
+                .to_string(),
+        ),
+        Some("hslb-bench-pipeline/v7") => errs.push(
+            "schema hslb-bench-pipeline/v7 is no longer accepted: regenerate with a \
+             v8 emitter (adds the top-level `sweep` block — portfolio-sweep \
+             accounting with shared-work dedup counts, fit/gather cache hit \
+             rates, predictor MAE, and the wall-clock vs Σ-one-shot comparison — \
+             and the `fit_cache` accounting in the service block)"
                 .to_string(),
         ),
         other => errs.push(format!(
-            "schema must be hslb-bench-pipeline/v7, got {other:?}"
+            "schema must be hslb-bench-pipeline/v8, got {other:?}"
         )),
     }
     // Service block: a TCP hslb-service load run with zero pipeline
@@ -779,8 +876,90 @@ fn validate(doc: &Value) -> Vec<String> {
                 errs.push(format!("service block: {e}"));
             }
             errs.extend(validate_scaling(sv));
+            // v8: the headline run must surface its fit-level cache
+            // accounting (hits, misses, hit_rate).
+            match sv.get("fit_cache") {
+                Some(fc) if !matches!(fc, Value::Null) => {
+                    for key in ["hits", "misses", "hit_rate"] {
+                        if fc.get(key).and_then(Value::as_f64).is_none() {
+                            errs.push(format!("service fit_cache: missing numeric `{key}`"));
+                        }
+                    }
+                }
+                _ => errs.push(
+                    "service block: missing `fit_cache` (v8 surfaces fit-level cache \
+                     accounting)"
+                        .to_string(),
+                ),
+            }
         }
-        _ => errs.push("missing service block (v7 requires an hslb-service load run)".to_string()),
+        _ => errs.push("missing service block (v8 requires an hslb-service load run)".to_string()),
+    }
+    // v8 sweep block: the portfolio-sweep exercise. The accounting must
+    // be conservative (planned == solved + pruned — nothing vanishes),
+    // the shared-work dedup must have collapsed the grid into fewer fit
+    // groups than configs, and the cache blocks must be present. The
+    // fit-hit-rate and wall-clock acceptance bars live in
+    // `scripts/check.sh`, not here — a schema validator must not fail
+    // on a loaded CI runner's timing.
+    match doc.get("sweep") {
+        Some(sw) if !matches!(sw, Value::Null) => {
+            let n = |k: &str| sw.get(k).and_then(Value::as_f64);
+            match (n("planned"), n("solved"), n("pruned")) {
+                (Some(p), Some(s), Some(pr)) => {
+                    if p < 1.0 {
+                        errs.push("sweep block: no configurations planned".to_string());
+                    }
+                    if p != s + pr {
+                        errs.push(format!(
+                            "sweep block: planned {p} != solved {s} + pruned {pr}"
+                        ));
+                    }
+                }
+                _ => errs.push("sweep block: missing numeric planned/solved/pruned".to_string()),
+            }
+            match (n("planned"), n("fit_groups"), n("dedup_saved")) {
+                (Some(p), Some(g), Some(d)) => {
+                    if g < 1.0 {
+                        errs.push("sweep block: no fit groups scheduled".to_string());
+                    }
+                    if p - g != d {
+                        errs.push(format!(
+                            "sweep block: dedup_saved {d} != planned {p} - fit_groups {g}"
+                        ));
+                    }
+                    if d < 1.0 {
+                        errs.push(
+                            "sweep block: dedup saved nothing — the grid shares no fit work"
+                                .to_string(),
+                        );
+                    }
+                }
+                _ => errs.push("sweep block: missing numeric fit_groups/dedup_saved".to_string()),
+            }
+            for cache in ["fit_cache", "gather_cache"] {
+                match sw.get(cache) {
+                    Some(c) if !matches!(c, Value::Null) => {
+                        for key in ["hits", "misses", "hit_rate"] {
+                            if c.get(key).and_then(Value::as_f64).is_none() {
+                                errs.push(format!("sweep {cache}: missing numeric `{key}`"));
+                            }
+                        }
+                    }
+                    _ => errs.push(format!("sweep block: missing `{cache}`")),
+                }
+            }
+            for key in ["wall_ms", "sum_one_shot_ms"] {
+                match n(key) {
+                    Some(x) if x.is_finite() && x > 0.0 => {}
+                    Some(x) => errs.push(format!("sweep block: `{key}` is {x}, expected > 0")),
+                    None => errs.push(format!("sweep block: missing numeric `{key}`")),
+                }
+            }
+        }
+        _ => {
+            errs.push("missing sweep block (v8 requires the portfolio-sweep exercise)".to_string())
+        }
     }
     // v5 recovery block: the crash-recovery exercise must have restored a
     // snapshot (not cold-started) and every restored hit must have been
@@ -1216,7 +1395,7 @@ fn main() {
         let errs = validate(&doc);
         if errs.is_empty() {
             println!(
-                "{path}: valid hslb-bench-pipeline/v7 ({} scenarios)",
+                "{path}: valid hslb-bench-pipeline/v8 ({} scenarios)",
                 doc.get("scenarios")
                     .and_then(Value::as_arr)
                     .map_or(0, |a| a.len())
@@ -1246,8 +1425,10 @@ fn main() {
     let recovery_block = run_recovery_exercise();
     eprintln!("bench-suite: drift/rebalance exercise...");
     let drift_block = run_drift_exercise();
+    eprintln!("bench-suite: portfolio-sweep exercise...");
+    let sweep_block = run_sweep_exercise(smoke);
     let doc = obj(vec![
-        ("schema", Value::Str("hslb-bench-pipeline/v7".to_string())),
+        ("schema", Value::Str("hslb-bench-pipeline/v8".to_string())),
         ("smoke", Value::Bool(smoke)),
         ("early_stop", Value::Bool(early_stop)),
         ("warm_start", Value::Bool(warm_start)),
@@ -1255,6 +1436,7 @@ fn main() {
         ("service", service_block),
         ("recovery", recovery_block),
         ("drift", drift_block),
+        ("sweep", sweep_block),
     ]);
     let errs = validate(&doc);
     assert!(

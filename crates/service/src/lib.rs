@@ -20,7 +20,7 @@
 //!   (reusing the telemetry crate's JSON parser — no serde);
 //! * [`loadmix`] — deterministic request mixes and the latency/throughput
 //!   accounting the `loadgen` binary reports into the
-//!   `hslb-bench-pipeline/v7` service block;
+//!   `hslb-bench-pipeline/v8` service block;
 //! * [`reactor`] — the std-only nonblocking readiness loop behind
 //!   `hslb-serve`: one thread multiplexes accept/read/parse/dispatch and
 //!   write-backpressure across thousands of connections, with replies
@@ -40,6 +40,10 @@
 //!   [`snapshot::RecoveryRecord`]);
 //! * [`drift`] — the deterministic EWMA drift detector behind
 //!   drift-triggered rebalancing (first cut of ROADMAP item 4);
+//! * [`sweep_driver`] — the executor behind the `hslb-sweep` portfolio
+//!   crate: runs a [`hslb_sweep::SweepPlan`] through the worker pool and
+//!   cache tiers (calibrate → predict/prune → solve, fail-open to exact
+//!   solves), streaming per-configuration progress (DESIGN.md §17);
 //! * [`ranked`] — the rank-lattice lock wrappers every module above
 //!   holds its `Mutex`/`Condvar` state in: audit Level 3 statically
 //!   proves the cross-crate acquisition graph respects the lattice, and
@@ -69,6 +73,7 @@ pub mod request;
 pub mod service;
 pub mod shard;
 pub mod snapshot;
+pub mod sweep_driver;
 pub mod wire;
 
 pub use drift::{DriftDecision, DriftDetector, DriftOptions, DriftStats, RebalanceOutcome};

@@ -16,8 +16,9 @@
 //! The lattice (low acquires first; see DESIGN.md §16 for the table and
 //! rationale): queue shards < front-desk cache < fit/sim caches <
 //! ticket slots < completion bus < snapshot/recovery < worker handles <
-//! drift state < rebalance log < load-client accumulators. Gaps of 10
-//! between neighbors leave room to slot new locks without renumbering.
+//! drift state < rebalance log < load-client accumulators < sweep
+//! result collector. Gaps of 10 between neighbors leave room to slot
+//! new locks without renumbering.
 //!
 //! In release builds (`debug_assertions` off) the wrappers are
 //! zero-overhead: `lock()` is exactly `Mutex::lock` plus the project's
@@ -57,6 +58,11 @@ pub mod rank {
     pub const CLIENT_PENDING: u16 = 600;
     /// Load-client result accumulator (`loadclient.rs`).
     pub const CLIENT_RESULTS: u16 = 610;
+    /// Sweep-driver result collector (`sweep_driver.rs`). Highest: the
+    /// sweep driver resolves tickets (ranks ≤ 310) strictly before
+    /// recording into the collector, and nothing is acquired while it is
+    /// held.
+    pub const SWEEP_RESULTS: u16 = 700;
 
     /// Human-readable name for a rank (panic messages, graph dumps).
     pub fn name(r: u16) -> &'static str {
@@ -73,6 +79,7 @@ pub mod rank {
             REBALANCE_LOG => "REBALANCE_LOG",
             CLIENT_PENDING => "CLIENT_PENDING",
             CLIENT_RESULTS => "CLIENT_RESULTS",
+            SWEEP_RESULTS => "SWEEP_RESULTS",
             _ => "UNKNOWN",
         }
     }

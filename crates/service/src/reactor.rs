@@ -34,7 +34,12 @@
 //! * a slow reader (client stopped draining its socket) is disconnected
 //!   once its outbound queue passes [`ReactorOptions::max_outbound_bytes`]
 //!   — queue memory is bounded per connection, and the client observes
-//!   a broken connection (a typed, retryable condition), never a stall;
+//!   a broken connection (a typed, retryable condition), never a stall.
+//!   Streamed sweep *progress* frames count against the same cap but are
+//!   coalesced first: while earlier bytes sit unread, only the latest
+//!   progress frame stays staged (drop-intermediate, keep-latest), so a
+//!   slow client loses progress beats — never the final portfolio, and
+//!   never the connection;
 //! * injected connection faults ([`ConnFault::Drop`]/
 //!   [`ConnFault::Truncate`]) are applied at the outbound-enqueue point,
 //!   exactly where the old server applied them at write time;
@@ -53,6 +58,7 @@ use hslb_telemetry::json::Value;
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -66,6 +72,12 @@ const READ_CHUNK: usize = 16 * 1024;
 /// Reply-queue depth histogram resolution: depths at or above the last
 /// bucket saturate into it.
 const DEPTH_BUCKETS: usize = 4096;
+
+/// Concurrent sweeps a server runs at once; beyond this a `sweep`
+/// command gets a typed, retryable rejection. Each sweep occupies one
+/// driver thread for its whole run, so this bounds thread count the way
+/// the admission queue bounds work.
+const MAX_ACTIVE_SWEEPS: usize = 4;
 
 /// Configuration of the readiness loop (everything service-independent).
 #[derive(Debug, Clone)]
@@ -111,6 +123,9 @@ pub struct ServingStats {
     pub slow_closed: u64,
     /// Closures forced by injected connection faults.
     pub faulted_closes: u64,
+    /// Sweep progress frames dropped in favor of a newer frame while
+    /// the connection's outbound queue was non-empty (slow reader).
+    pub progress_coalesced: u64,
     /// Reply-queue depth (frames queued on a connection at enqueue
     /// time), percentiles over every enqueue so far.
     pub reply_queue_p50: f64,
@@ -144,6 +159,10 @@ impl ServingStats {
                 Value::Num(self.faulted_closes as f64),
             ),
             (
+                "progress_coalesced".to_string(),
+                Value::Num(self.progress_coalesced as f64),
+            ),
+            (
                 "reply_queue_depth".to_string(),
                 Value::Obj(vec![
                     ("p50".to_string(), Value::Num(self.reply_queue_p50)),
@@ -165,14 +184,27 @@ impl ServingStats {
     }
 }
 
-/// One resolved tune reply in flight from a resolving thread to the
-/// loop: the serialized line plus the connection it belongs to (guarded
-/// by the slot generation) and its per-id fault draw.
+/// How the loop treats a bus reply on its way to the outbound queue.
+#[derive(Clone, Copy, PartialEq)]
+enum ReplyKind {
+    /// A terminal reply: decrements the connection's inflight count and
+    /// is always delivered (tune replies, the sweep portfolio).
+    Final,
+    /// A streamed progress beat: never decrements inflight, and while
+    /// the connection has unread outbound bytes only the latest one
+    /// stays staged (drop-intermediate, keep-latest).
+    Progress,
+}
+
+/// One resolved reply in flight from a resolving thread to the loop:
+/// the serialized line plus the connection it belongs to (guarded by
+/// the slot generation) and its per-id fault draw.
 struct Reply {
     conn: usize,
     gen: u64,
     line: String,
     fault: ConnFault,
+    kind: ReplyKind,
 }
 
 /// The completion bus: resolving threads push serialized replies, the
@@ -222,6 +254,9 @@ struct Conn {
     inflight: usize,
     /// Slot generation — stale bus replies for a reused slot are dropped.
     gen: u64,
+    /// The latest sweep progress frame staged while `out` was non-empty;
+    /// promoted into `out` as soon as the queue drains.
+    staged_progress: Option<String>,
     /// Peer sent FIN; stop reading, finish writing, then close.
     peer_eof: bool,
     /// Close once the outbound queue fully drains (truncate faults,
@@ -253,9 +288,11 @@ pub struct Reactor {
     closed: u64,
     slow_closed: u64,
     faulted_closes: u64,
+    progress_coalesced: u64,
     peak_connections: usize,
     depth_hist: Vec<u64>,
     depth_max: usize,
+    active_sweeps: Arc<AtomicUsize>,
 }
 
 impl Reactor {
@@ -289,9 +326,11 @@ impl Reactor {
             closed: 0,
             slow_closed: 0,
             faulted_closes: 0,
+            progress_coalesced: 0,
             peak_connections: 0,
             depth_hist: vec![0; DEPTH_BUCKETS + 1],
             depth_max: 0,
+            active_sweeps: Arc::new(AtomicUsize::new(0)),
         })
     }
 
@@ -324,6 +363,7 @@ impl Reactor {
             closed: self.closed,
             slow_closed: self.slow_closed,
             faulted_closes: self.faulted_closes,
+            progress_coalesced: self.progress_coalesced,
             reply_queue_p50: pct(50.0),
             reply_queue_p90: pct(90.0),
             reply_queue_p99: pct(99.0),
@@ -380,7 +420,35 @@ impl Reactor {
             if conn.gen != reply.gen {
                 continue; // slot was reused
             }
+            if reply.kind == ReplyKind::Progress {
+                // Drop-intermediate, keep-latest: while the client has
+                // unread bytes, stage only the newest progress frame so
+                // a slow reader cannot be pushed past the outbound cap
+                // by its own sweep's beats.
+                if conn.out.is_empty() && conn.staged_progress.is_none() {
+                    self.enqueue_frame(reply.conn, &reply.line);
+                } else {
+                    if conn.staged_progress.is_some() {
+                        self.progress_coalesced += 1;
+                    }
+                    conn.staged_progress = Some(reply.line);
+                }
+                continue;
+            }
             conn.inflight = conn.inflight.saturating_sub(1);
+            if let Some(staged) = conn.staged_progress.take() {
+                // Deliver the last staged beat ahead of the terminal
+                // frame so the stream stays ordered.
+                self.enqueue_frame(reply.conn, &staged);
+                if self
+                    .conns
+                    .get(reply.conn)
+                    .and_then(Option::as_ref)
+                    .is_none()
+                {
+                    continue; // the promotion tripped the slow-reader cap
+                }
+            }
             match reply.fault {
                 ConnFault::None => {
                     self.enqueue_frame(reply.conn, &reply.line);
@@ -426,6 +494,7 @@ impl Reactor {
                         queued_frames: 0,
                         inflight: 0,
                         gen: self.next_gen,
+                        staged_progress: None,
                         peer_eof: false,
                         close_after_flush: false,
                     };
@@ -449,6 +518,7 @@ impl Reactor {
     fn flush_writes(&mut self, idx: usize) -> bool {
         let mut progress = false;
         let mut close: Option<CloseReason> = None;
+        let mut promote: Option<String> = None;
         if let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) {
             while !conn.out.is_empty() {
                 let (front, _) = conn.out.as_slices();
@@ -473,11 +543,18 @@ impl Reactor {
                 conn.queued_frames = 0;
                 if conn.close_after_flush {
                     close = Some(CloseReason::Normal);
+                } else {
+                    // The client caught up: the latest coalesced sweep
+                    // beat (if any) goes out now.
+                    promote = conn.staged_progress.take();
                 }
             }
         }
         if let Some(reason) = close {
             self.close(idx, reason);
+        } else if let Some(line) = promote {
+            self.enqueue_frame(idx, &line);
+            progress = true;
         }
         progress
     }
@@ -609,10 +686,64 @@ impl Reactor {
                                 gen,
                                 line,
                                 fault,
+                                kind: ReplyKind::Final,
                             });
                         });
                     }
                 }
+            }
+            Ok(wire::Command::Sweep(spec)) => {
+                // Bound concurrent sweeps: each one holds a driver
+                // thread for its full run.
+                let claimed = self
+                    .active_sweeps
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                        (n < MAX_ACTIVE_SWEEPS).then_some(n + 1)
+                    })
+                    .is_ok();
+                if !claimed {
+                    let reply = wire::sweep_error_reply(
+                        &format!("sweep capacity reached ({MAX_ACTIVE_SWEEPS} active)"),
+                        Some(250),
+                    );
+                    self.enqueue_frame(idx, &reply);
+                    return false;
+                }
+                let (gen, bus) = {
+                    let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                        self.active_sweeps.fetch_sub(1, Ordering::SeqCst);
+                        return false;
+                    };
+                    conn.inflight += 1; // released by the final frame
+                    (conn.gen, Arc::clone(&self.bus))
+                };
+                let service = Arc::clone(&self.service);
+                let active = Arc::clone(&self.active_sweeps);
+                std::thread::spawn(move || {
+                    let telemetry = hslb_telemetry::Telemetry::disabled();
+                    let progress_bus = Arc::clone(&bus);
+                    let result = crate::sweep_driver::run_sweep(&service, &spec, &telemetry, |p| {
+                        progress_bus.push(Reply {
+                            conn: idx,
+                            gen,
+                            line: wire::sweep_progress_reply(p),
+                            fault: ConnFault::None,
+                            kind: ReplyKind::Progress,
+                        });
+                    });
+                    let line = match result {
+                        Ok(portfolio) => wire::sweep_portfolio_reply(&portfolio),
+                        Err(msg) => wire::sweep_error_reply(&msg, None),
+                    };
+                    bus.push(Reply {
+                        conn: idx,
+                        gen,
+                        line,
+                        fault: ConnFault::None,
+                        kind: ReplyKind::Final,
+                    });
+                    active.fetch_sub(1, Ordering::SeqCst);
+                });
             }
             Ok(wire::Command::Shutdown) => return true,
         }
@@ -748,6 +879,7 @@ mod tests {
             closed: 9,
             slow_closed: 1,
             faulted_closes: 2,
+            progress_coalesced: 5,
             reply_queue_p50: 1.0,
             reply_queue_p90: 4.0,
             reply_queue_p99: 7.0,
@@ -756,6 +888,10 @@ mod tests {
         };
         let v = stats.to_value();
         assert_eq!(v.get("peak_connections").and_then(Value::as_f64), Some(9.0));
+        assert_eq!(
+            v.get("progress_coalesced").and_then(Value::as_f64),
+            Some(5.0)
+        );
         let depth = v.get("reply_queue_depth").unwrap();
         assert_eq!(depth.get("p99").and_then(Value::as_f64), Some(7.0));
         let shard = v.get("shard").unwrap();

@@ -68,18 +68,20 @@ impl TuneRequest {
         )
     }
 
-    /// Fit-level cache key: every field that feeds the gather and fit
-    /// steps. The default gather plan depends on `target_nodes`, so the
-    /// plan parameters are spelled out — requests that differ only in
-    /// layout/objective/priority share gathered data and fitted curves.
+    /// Fit-level cache key: only the curve-defining inputs — the machine
+    /// configuration (resolution, ocean constraint, seed) plus the
+    /// service's canonical gather plan. The node budget, layout and
+    /// objective deliberately do NOT appear: the service gathers over the
+    /// whole machine ([`service_gather_plan`]), so one fitted curve set
+    /// fans out to every budget a sweep asks about.
     pub fn fit_key(&self) -> String {
         let hslb::GatherPlan::LogSpaced {
             min_nodes,
             max_nodes,
             points,
-        } = hslb::GatherPlan::default_for(self.target_nodes)
+        } = service_gather_plan()
         else {
-            unreachable!("default_for always returns LogSpaced");
+            unreachable!("service_gather_plan always returns LogSpaced");
         };
         format!(
             "{}|ocean{}|seed{}|log{}:{}:{}",
@@ -466,6 +468,23 @@ impl TuneResponse {
     }
 }
 
+/// The service's canonical gather plan: log-spaced benchmark counts
+/// spanning the whole machine (8 .. every Intrepid node), independent of
+/// any one request's node budget. One-shot pipelines default to a plan
+/// derived from `target_nodes` ([`hslb::GatherPlan::default_for`]); the
+/// service instead benchmarks the full machine once so that gathered
+/// data and fitted curves are shared across every budget — the property
+/// the fit cache and the sweep planner key on. Eight points (vs the
+/// paper's five) keep per-component coverage comparable over the wider
+/// span.
+pub fn service_gather_plan() -> hslb::GatherPlan {
+    hslb::GatherPlan::LogSpaced {
+        min_nodes: 8,
+        max_nodes: hslb_cesm::Machine::intrepid().nodes,
+        points: 8,
+    }
+}
+
 /// Wire token for a resolution.
 pub fn resolution_token(r: Resolution) -> &'static str {
     match r {
@@ -580,7 +599,7 @@ mod tests {
     }
 
     #[test]
-    fn fit_key_ignores_layout_and_objective() {
+    fn fit_key_ignores_layout_objective_and_budget() {
         let a = TuneRequest::new(0, Resolution::OneDegree, 96);
         let b = TuneRequest {
             layout: Layout::SequentialWithOcean,
@@ -588,10 +607,30 @@ mod tests {
             ..a.clone()
         };
         assert_eq!(a.fit_key(), b.fit_key());
+        // The service gathers over the whole machine, so the node budget
+        // must not split the fit cache: one fit fans out to all sizes.
         let c = TuneRequest {
             target_nodes: 256,
             ..a.clone()
         };
-        assert_ne!(a.fit_key(), c.fit_key(), "gather plan differs with N");
+        assert_eq!(a.fit_key(), c.fit_key(), "fit key must not depend on N");
+        // Curve-defining inputs still separate.
+        for variant in [
+            TuneRequest {
+                resolution: Resolution::EighthDegree,
+                target_nodes: 8192,
+                ..a.clone()
+            },
+            TuneRequest {
+                ocean_constrained: false,
+                ..a.clone()
+            },
+            TuneRequest {
+                seed: 7,
+                ..a.clone()
+            },
+        ] {
+            assert_ne!(a.fit_key(), variant.fit_key(), "{variant:?}");
+        }
     }
 }

@@ -351,6 +351,10 @@ struct Counters {
     drained: AtomicU64,
     rebalances: AtomicU64,
     rebalances_accepted: AtomicU64,
+    /// Simulator-memo (gather-level) accounting: a hit means the machine
+    /// configuration's simulator was cloned out instead of rebuilt.
+    sim_hits: AtomicU64,
+    sim_misses: AtomicU64,
 }
 
 struct Shared {
@@ -395,6 +399,24 @@ pub struct ServiceStats {
     pub ewma_service_ms: f64,
     pub exact_entries: usize,
     pub fit_entries: usize,
+    /// Fit-level cache accounting (hits/misses/evictions from the LRU
+    /// itself, so coalesced and re-checked lookups are all counted).
+    pub fit_hits: u64,
+    pub fit_misses: u64,
+    pub fit_evictions: u64,
+    /// Gather-level (simulator memo) accounting.
+    pub gather_hits: u64,
+    pub gather_misses: u64,
+}
+
+/// `hits / (hits + misses)`, or 0 when nothing was looked up.
+pub fn hit_rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
 }
 
 impl ServiceStats {
@@ -427,6 +449,32 @@ impl ServiceStats {
             (
                 "fit_entries".to_string(),
                 Value::Num(self.fit_entries as f64),
+            ),
+            (
+                "fit_cache".to_string(),
+                Value::Obj(vec![
+                    ("hits".to_string(), Value::Num(self.fit_hits as f64)),
+                    ("misses".to_string(), Value::Num(self.fit_misses as f64)),
+                    (
+                        "evictions".to_string(),
+                        Value::Num(self.fit_evictions as f64),
+                    ),
+                    (
+                        "hit_rate".to_string(),
+                        Value::Num(hit_rate(self.fit_hits, self.fit_misses)),
+                    ),
+                ]),
+            ),
+            (
+                "gather_cache".to_string(),
+                Value::Obj(vec![
+                    ("hits".to_string(), Value::Num(self.gather_hits as f64)),
+                    ("misses".to_string(), Value::Num(self.gather_misses as f64)),
+                    (
+                        "hit_rate".to_string(),
+                        Value::Num(hit_rate(self.gather_hits, self.gather_misses)),
+                    ),
+                ]),
             ),
         ])
     }
@@ -662,9 +710,10 @@ impl TuningService {
     pub fn stats(&self) -> ServiceStats {
         let shared = &self.shared;
         let (exact_entries, inflight) = shared.front.depths();
-        let fit_entries = {
+        let (fit_entries, fit_hits, fit_misses, fit_evictions) = {
             let fits = shared.fits.lock();
-            fits.len()
+            let (h, m, e) = fits.counters();
+            (fits.len(), h, m, e)
         };
         ServiceStats {
             workers: shared.workers,
@@ -682,6 +731,11 @@ impl TuningService {
             ewma_service_ms: shared.queue.ewma_service_ms(),
             exact_entries,
             fit_entries,
+            fit_hits,
+            fit_misses,
+            fit_evictions,
+            gather_hits: shared.stats.sim_hits.load(Ordering::Relaxed),
+            gather_misses: shared.stats.sim_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -1211,9 +1265,18 @@ fn simulator_cached(shared: &Shared, request: &TuneRequest) -> Simulator {
         request.seed,
     );
     let mut sims = shared.sims.lock();
-    sims.entry(sim_key)
-        .or_insert_with(|| simulator_for(request))
-        .clone()
+    match sims.get(&sim_key) {
+        Some(sim) => {
+            shared.stats.sim_hits.fetch_add(1, Ordering::Relaxed);
+            sim.clone()
+        }
+        None => {
+            shared.stats.sim_misses.fetch_add(1, Ordering::Relaxed);
+            let sim = simulator_for(request);
+            sims.insert(sim_key, sim.clone());
+            sim
+        }
+    }
 }
 
 /// Run (or replay) the pipeline for one request under the cache policy.
@@ -1371,6 +1434,11 @@ fn build_options(request: &TuneRequest) -> HslbOptions {
     let mut opts = HslbOptions::new(request.target_nodes);
     opts.layout = request.layout;
     opts.objective = request.objective;
+    // The service benchmarks the whole machine, not just this request's
+    // budget, so gathered data and fitted curves are shared across every
+    // node budget (see `request::service_gather_plan`). The serial
+    // reference uses the same plan, so bit-identity is preserved.
+    opts.gather = crate::request::service_gather_plan();
     opts
 }
 

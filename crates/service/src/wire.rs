@@ -3,7 +3,7 @@
 //! Grammar (one JSON object per line, compact rendering, UTF-8):
 //!
 //! ```text
-//! command   = tune | observe | ping | stats | health | shutdown
+//! command   = tune | observe | sweep | ping | stats | health | shutdown
 //! tune      = {"op":"tune","id":N,"resolution":"1deg"|"eighth",
 //!              "layout":"hybrid"|"seq-ocean"|"sequential",
 //!              "objective":"min-max"|"max-min"|"min-sum",
@@ -13,6 +13,13 @@
 //!              "times":{"lnd":F,"ice":F,"atm":F,"ocn":F}}
 //!             ; streams one observed timing sample into the drift
 //!             ; detector for the identified scenario
+//! sweep     = {"op":"sweep","spec":SPEC}
+//!             ; SPEC is an hslb-sweep SweepSpec object; the server
+//!             ; streams {"ok":true,"op":"sweep-progress",...} frames
+//!             ; (one per terminal configuration — a slow reader sees
+//!             ; intermediate frames coalesced away, never a disconnect)
+//!             ; and finishes with one {"ok":true,"op":"sweep",
+//!             ; "portfolio":...} frame
 //! ping      = {"op":"ping"}
 //! stats     = {"op":"stats"}
 //! health    = {"op":"health"}              ; supervision/recovery/drift
@@ -34,7 +41,9 @@
 use crate::drift::{DriftDecision, RebalanceOutcome};
 use crate::request::{TuneRequest, TuneResponse};
 use crate::service::{HealthStats, ServiceStats, SubmitError};
+use crate::sweep_driver::SweepProgress;
 use hslb_cesm::layout::ComponentTimes;
+use hslb_sweep::{Portfolio, SweepSpec};
 use hslb_telemetry::json::{parse, Value};
 
 /// One parsed client command.
@@ -43,6 +52,8 @@ pub enum Command {
     Tune(TuneRequest),
     /// One observed timing sample for a deployed scenario (drift input).
     Observe(TuneRequest, ComponentTimes),
+    /// A portfolio sweep: streamed progress frames, then the portfolio.
+    Sweep(SweepSpec),
     Ping,
     Stats,
     Health,
@@ -74,6 +85,10 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             TuneRequest::from_value(&v)?,
             parse_times(&v)?,
         )),
+        Some("sweep") => {
+            let spec = v.get("spec").ok_or("sweep: missing `spec`")?;
+            Ok(Command::Sweep(SweepSpec::from_value(spec)?))
+        }
         Some("ping") => Ok(Command::Ping),
         Some("stats") => Ok(Command::Stats),
         Some("health") => Ok(Command::Health),
@@ -142,6 +157,43 @@ pub fn observe_reply(decision: &DriftDecision, outcome: Option<&RebalanceOutcome
         outcome.map_or(Value::Null, RebalanceOutcome::to_value),
     ));
     with_ok("observe", fields)
+}
+
+/// Serialize one streamed sweep progress frame.
+pub fn sweep_progress_reply(p: &SweepProgress) -> String {
+    with_ok(
+        "sweep-progress",
+        vec![
+            ("done".to_string(), Value::Num(p.done as f64)),
+            ("total".to_string(), Value::Num(p.total as f64)),
+            ("key".to_string(), Value::Str(p.key.clone())),
+            ("status".to_string(), Value::Str(p.status.to_string())),
+            ("makespan".to_string(), Value::Num(p.makespan)),
+        ],
+    )
+}
+
+/// Serialize the final sweep frame: the ranked portfolio.
+pub fn sweep_portfolio_reply(portfolio: &Portfolio) -> String {
+    with_ok(
+        "sweep",
+        vec![("portfolio".to_string(), portfolio.to_value())],
+    )
+}
+
+/// Serialize a sweep-level failure (spec rejected, a member solve
+/// failed, or the server's concurrent-sweep cap was hit — the latter
+/// carries a retry hint).
+pub fn sweep_error_reply(message: &str, retry_after_ms: Option<u64>) -> String {
+    let mut kv = vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("op".to_string(), Value::Str("sweep".to_string())),
+        ("error".to_string(), Value::Str(message.to_string())),
+    ];
+    if let Some(ms) = retry_after_ms {
+        kv.push(("retry_after_ms".to_string(), Value::Num(ms as f64)));
+    }
+    Value::Obj(kv).to_string()
 }
 
 /// Serialize the shutdown acknowledgement (sent *after* the drain).
@@ -343,6 +395,44 @@ mod tests {
             v.get("fingerprint").and_then(Value::as_str).unwrap(),
             payload.fingerprint()
         );
+    }
+
+    #[test]
+    fn sweep_command_and_replies_round_trip() {
+        let spec = SweepSpec {
+            one_degree_budgets: vec![64, 128],
+            eighth_degree_budgets: vec![8192],
+            ..SweepSpec::default()
+        };
+        let line = Value::Obj(vec![
+            ("op".to_string(), Value::Str("sweep".to_string())),
+            ("spec".to_string(), spec.to_value()),
+        ])
+        .to_string();
+        match parse_command(&line).unwrap() {
+            Command::Sweep(back) => assert_eq!(back, spec),
+            other => panic!("wrong command {other:?}"),
+        }
+        // A sweep without a spec is a protocol error.
+        assert!(parse_command("{\"op\":\"sweep\"}").is_err());
+
+        let p = SweepProgress {
+            done: 3,
+            total: 24,
+            key: "1deg|hybrid|min-max|n96|oceantrue|seed42".to_string(),
+            status: "solved",
+            makespan: 12.5,
+        };
+        let (ok, v) = parse_reply(&sweep_progress_reply(&p)).unwrap();
+        assert!(ok);
+        assert_eq!(v.get("op").and_then(Value::as_str), Some("sweep-progress"));
+        assert_eq!(v.get("done").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("solved"));
+
+        let (ok, v) = parse_reply(&sweep_error_reply("sweep capacity reached", Some(250))).unwrap();
+        assert!(!ok);
+        assert_eq!(v.get("op").and_then(Value::as_str), Some("sweep"));
+        assert_eq!(v.get("retry_after_ms").and_then(Value::as_f64), Some(250.0));
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Shared-work planning: turn an expanded sweep into the DAG the
+//! executor walks.
+//!
+//! The expensive stages of one tune — gather (benchmark the machine) and
+//! fit (nonlinear least squares per component) — depend only on a
+//! configuration's *fit signature* (resolution + ocean constraint +
+//! seed), not on its node budget, layout or objective. The plan
+//! therefore groups configurations by signature: the first member of
+//! each group (its **lead**) pays the gather+fit cost once, and every
+//! other member replays the cached artifacts, running only the cheap
+//! solve/execute stages. That is the sweep's work DAG:
+//!
+//! ```text
+//!   gather(sig) ── fit(sig) ──┬── solve(cfg₁) ── execute(cfg₁)
+//!                             ├── solve(cfg₂) ── execute(cfg₂)
+//!                             └── ...
+//! ```
+//!
+//! The plan also selects the **calibration set** — the configurations
+//! exact-solved unconditionally, whose results calibrate the predictor:
+//! every layout at the smallest budget of each resolution (so every
+//! layout factor is observed), plus the lead layout at every budget (so
+//! every budget group has an exact incumbent to prune against). Held
+//! configurations join the set by definition. Everything here is pure
+//! bookkeeping over indices — deterministic by construction.
+
+use crate::spec::{SweepConfig, SweepSpec};
+use std::collections::BTreeMap;
+
+/// Configurations sharing one gather+fit computation.
+#[derive(Debug, Clone)]
+pub struct FitGroup {
+    /// The shared curve signature ([`SweepConfig::fit_signature`]).
+    pub signature: String,
+    /// Indices into the plan's config vector, in expansion order; the
+    /// first is the group's lead.
+    pub members: Vec<usize>,
+}
+
+/// The executable form of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    pub configs: Vec<SweepConfig>,
+    /// Gather/fit dedup groups, ordered by first appearance.
+    pub groups: Vec<FitGroup>,
+    /// Indices exact-solved unconditionally (calibration + holds),
+    /// sorted ascending.
+    pub calibration: Vec<usize>,
+    /// Indices the predictor may rank and prune (the complement of
+    /// `calibration`), sorted ascending.
+    pub candidates: Vec<usize>,
+}
+
+impl SweepPlan {
+    /// Plan a spec. Errors on an empty expansion.
+    pub fn new(spec: &SweepSpec) -> Result<SweepPlan, String> {
+        let configs = spec.configs();
+        if configs.is_empty() {
+            return Err("sweep expands to zero configurations".to_string());
+        }
+        let mut group_of: BTreeMap<String, usize> = BTreeMap::new();
+        let mut groups: Vec<FitGroup> = Vec::new();
+        for (i, cfg) in configs.iter().enumerate() {
+            let sig = cfg.fit_signature();
+            let gi = *group_of.entry(sig.clone()).or_insert_with(|| {
+                groups.push(FitGroup {
+                    signature: sig,
+                    members: Vec::new(),
+                });
+                groups.len() - 1
+            });
+            groups[gi].members.push(i);
+        }
+
+        // Smallest budget per resolution axis and the lead layout (the
+        // spec's first) at every budget.
+        let lead_layout = spec.layouts[0];
+        let mut min_budget: BTreeMap<String, i64> = BTreeMap::new();
+        for cfg in &configs {
+            let sig = cfg.fit_signature();
+            let entry = min_budget.entry(sig).or_insert(cfg.target_nodes);
+            *entry = (*entry).min(cfg.target_nodes);
+        }
+        let mut calibration = Vec::new();
+        let mut candidates = Vec::new();
+        for (i, cfg) in configs.iter().enumerate() {
+            let is_min_budget = min_budget.get(&cfg.fit_signature()) == Some(&cfg.target_nodes);
+            if cfg.held || is_min_budget || cfg.layout == lead_layout {
+                calibration.push(i);
+            } else {
+                candidates.push(i);
+            }
+        }
+        Ok(SweepPlan {
+            configs,
+            groups,
+            calibration,
+            candidates,
+        })
+    }
+
+    /// How many gather+fit computations dedup saves versus running every
+    /// configuration standalone.
+    pub fn dedup_saved(&self) -> usize {
+        self.configs.len() - self.groups.len()
+    }
+
+    /// The lead index of the group containing config `i`.
+    pub fn lead_of(&self, i: usize) -> usize {
+        let sig = self.configs[i].fit_signature();
+        self.groups
+            .iter()
+            .find(|g| g.signature == sig)
+            .and_then(|g| g.members.first().copied())
+            .unwrap_or(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hslb_cesm::Layout;
+
+    fn spec() -> SweepSpec {
+        SweepSpec {
+            one_degree_budgets: vec![64, 96, 128, 192],
+            eighth_degree_budgets: vec![8192, 16384],
+            ..SweepSpec::default()
+        }
+    }
+
+    #[test]
+    fn groups_collapse_budgets_and_layouts() {
+        let plan = SweepPlan::new(&spec()).unwrap();
+        // 4 budgets × 3 layouts + 2 budgets × 3 layouts = 18 configs,
+        // but only two fit signatures (one per resolution).
+        assert_eq!(plan.configs.len(), 18);
+        assert_eq!(plan.groups.len(), 2);
+        assert_eq!(plan.dedup_saved(), 16);
+        for g in &plan.groups {
+            for &m in &g.members {
+                assert_eq!(plan.configs[m].fit_signature(), g.signature);
+                assert_eq!(plan.lead_of(m), g.members[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_covers_every_layout_and_every_budget_group() {
+        let plan = SweepPlan::new(&spec()).unwrap();
+        // Min budget per resolution: all 3 layouts. Other budgets: the
+        // lead layout only.
+        let mut seen_layouts = std::collections::BTreeSet::new();
+        let mut covered_groups = std::collections::BTreeSet::new();
+        for &i in &plan.calibration {
+            let c = &plan.configs[i];
+            if c.target_nodes == 64 || c.target_nodes == 8192 {
+                seen_layouts.insert(c.layout.number());
+            }
+            covered_groups.insert(c.budget_group());
+        }
+        assert_eq!(seen_layouts.len(), 3);
+        let all_groups: std::collections::BTreeSet<String> =
+            plan.configs.iter().map(SweepConfig::budget_group).collect();
+        assert_eq!(covered_groups, all_groups);
+        // Candidates and calibration partition the index space.
+        let mut union: Vec<usize> = plan
+            .calibration
+            .iter()
+            .chain(&plan.candidates)
+            .copied()
+            .collect();
+        union.sort_unstable();
+        assert_eq!(union, (0..plan.configs.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn held_configs_are_always_calibration() {
+        let mut s = spec();
+        // Hold a non-lead layout at a non-min budget: it would otherwise
+        // be a pruning candidate.
+        s.holds
+            .push("1deg|sequential|min-max|n128|oceantrue|seed42".to_string());
+        let plan = SweepPlan::new(&s).unwrap();
+        let idx = plan
+            .configs
+            .iter()
+            .position(|c| c.held && c.target_nodes == 128 && c.layout == Layout::FullySequential)
+            .expect("held config present");
+        assert!(plan.calibration.contains(&idx));
+        assert!(!plan.candidates.contains(&idx));
+    }
+}

@@ -51,7 +51,7 @@
 # simplex crate, whose pivot order must be reproducible).
 #
 # The warm-start gate (DESIGN.md §14) runs the bench smoke twice — warm
-# dual-simplex path on and off — validates both documents against the v7
+# dual-simplex path on and off — validates both documents against the v8
 # schema (which checks the warm_start work counters and the solve ≤ fit
 # phase budget), and bit-compares the incumbents between the two runs:
 # warm starts may change how much work the solver does, never what it
@@ -66,6 +66,16 @@
 # records the server's thread count: the readiness loop must answer
 # connection-scale load with a bounded thread pool (the ISSUE 8
 # regression drove one thread per connection and per reply).
+#
+# The sweep gate (DESIGN.md §17) drives a 96-configuration portfolio
+# sweep (3 layout topologies × 22 one-degree budgets × 10 eighth-degree
+# budgets) through a single `hslb-serve` process over TCP with the
+# `hslb-sweep` client: every streamed portfolio entry is re-derived
+# locally via `reference_response` and bit-compared (`--verify`), the
+# shared-work dedup must push the fit-level cache hit rate to ≥ 0.5
+# (`--min-fit-hit-rate`), and the committed BENCH_pipeline.json's sweep
+# block must show the batch beating half the Σ-one-shot estimate
+# (wall_ms ≤ 0.5 × sum_one_shot_ms).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -232,6 +242,49 @@ if [[ $fast -eq 0 ]]; then
         exit 1
     fi
     echo "    soak server peak: $peak_threads threads under 5000 connections"
+
+    echo "==> sweep gate (96-config portfolio over TCP, verified + fit-cache bar)"
+    sweep_port_file="$(mktemp /tmp/hslb_sweep_port.XXXXXX)"
+    sweep_out="$(mktemp /tmp/sweep_portfolio.XXXXXX.json)"
+    rm -f "$sweep_port_file"
+    trap 'rm -f "$smoke_out" "$slow_out" "$cold_out" "$port_file" "$load_out" "$snapshot_file" "$chaos_out" "$port0_file" "$port1_file" "$ramp_out" "$soak_out" "$threads_log" "$sweep_port_file" "$sweep_out"' EXIT
+    ./target/release/hslb-serve --addr 127.0.0.1:0 --port-file "$sweep_port_file" &
+    sweep_serve_pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$sweep_port_file" ]] && break
+        sleep 0.1
+    done
+    [[ -s "$sweep_port_file" ]] || { echo "sweep hslb-serve never published its port" >&2; exit 1; }
+    # 3 layouts × (22 + 10) budgets = 96 configurations, all through one
+    # server connection. --verify re-derives every solved entry with
+    # reference_response and bit-compares fingerprints; the fit-cache bar
+    # is what shared-work dedup buys (fits are budget-independent, so 32
+    # budgets reuse 6 fit signatures). Budgets stay inside the set where
+    # every layout's ocean count is feasible (sequential rejects 1° >512
+    # and 1/8° 9216/12288/14336/32768).
+    ./target/release/hslb-sweep --addr "$(cat "$sweep_port_file")" \
+        --one-degree-nodes 32,48,64,80,96,112,128,144,160,192,224,256,288,320,352,384,416,448,464,480,496,512 \
+        --eighth-nodes 4096,5120,6144,7168,8192,10240,11264,13312,15360,16384 \
+        --verify --min-fit-hit-rate 0.5 --quiet --out "$sweep_out"
+    # Drain and stop the server (one tune request keeps the plain op
+    # exercised on a server that just ran a sweep).
+    ./target/release/loadgen --addr "$(cat "$sweep_port_file")" --requests 1 --shutdown > /dev/null
+    wait "$sweep_serve_pid"
+    # Batch-beats-serial bar on the committed artifact: the sweep block's
+    # wall clock must be at most half the Σ-one-shot estimate.
+    awk '
+        /"sweep":/ { in_sweep = 1 }
+        in_sweep && wall == "" && /"wall_ms":/ { gsub(/[",]/, "", $2); wall = $2 }
+        in_sweep && serial == "" && /"sum_one_shot_ms":/ { gsub(/[",]/, "", $2); serial = $2 }
+        END {
+            if (wall == "" || serial == "") { print "sweep block missing wall_ms/sum_one_shot_ms" > "/dev/stderr"; exit 1 }
+            if (wall + 0 > 0.5 * (serial + 0)) {
+                printf "sweep wall %.1fms exceeds 0.5 x one-shot estimate %.1fms\n", wall, serial > "/dev/stderr"
+                exit 1
+            }
+            printf "    sweep wall %.1fms vs one-shot estimate %.1fms\n", wall, serial
+        }
+    ' BENCH_pipeline.json
 
     echo "==> ranked-lock asserts compile (service crate, debug assertions on)"
     cargo rustc -q -p hslb-service --lib --release -- -C debug-assertions=on
